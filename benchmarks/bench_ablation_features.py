@@ -1,0 +1,95 @@
+"""Ablation — which Table-I features carry the signal?
+
+Not a paper table (the paper motivates its 10 features qualitatively in
+Section IV); this ablation quantifies the choice: train the tuned forest
+on feature subsets and compare test accuracy, and report the fitted
+forest's impurity-based importances.
+
+Subsets:
+  size-only   : M, N, NNZ                    (Section IV "general idea")
+  +row-dist   : + NNZ_avg, rho, max, min, std
+  +diagonals  : + ND, NTD (the full Table-I set)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_dataset
+from repro.core.features import FEATURE_NAMES
+from repro.ml import RandomForestClassifier, accuracy_score, balanced_accuracy_score
+
+from benchmarks.conftest import write_result
+
+SUBSETS = {
+    "size-only": ["M", "N", "NNZ"],
+    "+row-dist": ["M", "N", "NNZ", "NNZ_avg", "rho", "max_nnz", "min_nnz", "std_nnz"],
+    "full": list(FEATURE_NAMES),
+}
+
+
+@pytest.fixture(scope="module")
+def gpu_dataset(collection, spaces, profiling, split):
+    sp = next(s for s in spaces if s.backend == "hip")
+    train, test = split
+    Xtr, ytr = build_dataset(collection, train, profiling, sp.name)
+    Xte, yte = build_dataset(collection, test, profiling, sp.name)
+    return Xtr, ytr, Xte, yte
+
+
+def run_ablation(gpu_dataset):
+    Xtr, ytr, Xte, yte = gpu_dataset
+    idx = {name: i for i, name in enumerate(FEATURE_NAMES)}
+    results = {}
+    for label, names in SUBSETS.items():
+        cols = [idx[n] for n in names]
+        rf = RandomForestClassifier(n_estimators=30, max_depth=14, seed=0)
+        rf.fit(Xtr[:, cols], ytr)
+        pred = rf.predict(Xte[:, cols])
+        results[label] = (
+            accuracy_score(yte, pred),
+            balanced_accuracy_score(yte, pred),
+        )
+    return results
+
+
+def test_feature_subset_ablation(benchmark, gpu_dataset):
+    results = benchmark.pedantic(run_ablation, args=(gpu_dataset,), rounds=1, iterations=1)
+    lines = [
+        "Ablation: Table-I feature subsets (p3/hip labels)",
+        "",
+        f"{'subset':<12}{'accuracy':>10}{'balanced':>10}",
+        "-" * 32,
+    ]
+    for label, (acc, bal) in results.items():
+        lines.append(f"{label:<12}{100 * acc:>10.2f}{100 * bal:>10.2f}")
+    write_result("ablation_features.txt", "\n".join(lines) + "\n")
+
+    # richer features must not hurt, and the full set should help the
+    # balanced metric vs raw sizes
+    assert results["full"][0] >= results["size-only"][0] - 0.05
+    assert results["full"][1] >= results["size-only"][1] - 0.05
+
+
+def test_feature_importances_favour_distribution_features(
+    benchmark, gpu_dataset
+):
+    """The row-distribution and diagonal features motivated in Section IV
+    must actually carry importance in the fitted forest."""
+    Xtr, ytr, _, _ = gpu_dataset
+
+    def importances():
+        rf = RandomForestClassifier(n_estimators=30, max_depth=14, seed=0)
+        rf.fit(Xtr, ytr)
+        return rf.feature_importances_
+
+    imp = benchmark.pedantic(importances, rounds=1, iterations=1)
+    table = sorted(zip(FEATURE_NAMES, imp), key=lambda kv: -kv[1])
+    lines = ["Feature importances (p3/hip):", ""]
+    lines += [f"{name:<10}{100 * v:>8.2f}%" for name, v in table]
+    write_result("ablation_feature_importances.txt", "\n".join(lines) + "\n")
+
+    beyond_size = sum(v for name, v in zip(FEATURE_NAMES, imp)
+                      if name not in ("M", "N", "NNZ"))
+    assert beyond_size > 0.3

@@ -1,0 +1,113 @@
+"""Ablation — the paper's Section-IX future-work directions, quantified.
+
+The conclusions name two routes to better (balanced) accuracy:
+
+1. **balancing the dataset** — here via ``class_weight="balanced"``
+   training, which re-weights the rare-format classes;
+2. **gradient-boosted decision trees** — implemented in
+   :class:`repro.ml.GradientBoostingClassifier`.
+
+This bench trains the paper's tuned random forest, a balanced forest and a
+GBT on the same (system, backend) dataset and compares accuracy and
+balanced accuracy on the held-out test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_dataset
+from repro.ml import (
+    GradientBoostingClassifier,
+    RandomForestClassifier,
+    accuracy_score,
+    balanced_accuracy_score,
+)
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def datasets(collection, spaces, profiling, split):
+    train, test = split
+    out = {}
+    for sp in spaces:
+        if sp.name not in ("archer2/serial", "p3/hip"):
+            continue
+        Xtr, ytr = build_dataset(collection, train, profiling, sp.name)
+        Xte, yte = build_dataset(collection, test, profiling, sp.name)
+        out[sp.name] = (Xtr, ytr, Xte, yte)
+    return out
+
+
+MODELS = {
+    "random-forest": lambda: RandomForestClassifier(
+        n_estimators=40, max_depth=14, seed=0
+    ),
+    "balanced-forest": lambda: RandomForestClassifier(
+        n_estimators=40, max_depth=14, class_weight="balanced", seed=0
+    ),
+    "gradient-boosting": lambda: GradientBoostingClassifier(
+        n_estimators=40, max_depth=3, learning_rate=0.15, seed=0
+    ),
+}
+
+
+def run(datasets):
+    rows = []
+    for space_name, (Xtr, ytr, Xte, yte) in datasets.items():
+        for label, factory in MODELS.items():
+            model = factory()
+            model.fit(Xtr, ytr)
+            pred = model.predict(Xte)
+            rows.append(
+                (
+                    space_name,
+                    label,
+                    accuracy_score(yte, pred),
+                    balanced_accuracy_score(yte, pred),
+                )
+            )
+    return rows
+
+
+def test_future_work_ablation(benchmark, datasets):
+    rows = benchmark.pedantic(run, args=(datasets,), rounds=1, iterations=1)
+    lines = [
+        "Ablation: Section-IX future-work directions",
+        "",
+        f"{'space':<16}{'model':<20}{'accuracy':>10}{'balanced':>10}",
+        "-" * 56,
+    ]
+    for space_name, label, acc, bal in rows:
+        lines.append(
+            f"{space_name:<16}{label:<20}{100 * acc:>10.2f}{100 * bal:>10.2f}"
+        )
+    write_result("ablation_future_work.txt", "\n".join(lines) + "\n")
+
+    by_model = {}
+    for _, label, acc, bal in rows:
+        by_model.setdefault(label, []).append((acc, bal))
+    rf_acc = np.mean([a for a, _ in by_model["random-forest"]])
+    for label, scores in by_model.items():
+        # every variant must stay competitive on plain accuracy
+        assert np.mean([a for a, _ in scores]) > rf_acc - 0.12, label
+
+
+def test_balanced_training_helps_minority_recall(benchmark, datasets):
+    """Balanced weighting should not lose balanced accuracy on average."""
+
+    def deltas():
+        out = []
+        for _, (Xtr, ytr, Xte, yte) in datasets.items():
+            plain = MODELS["random-forest"]().fit(Xtr, ytr)
+            balanced = MODELS["balanced-forest"]().fit(Xtr, ytr)
+            out.append(
+                balanced_accuracy_score(yte, balanced.predict(Xte))
+                - balanced_accuracy_score(yte, plain.predict(Xte))
+            )
+        return out
+
+    diffs = benchmark.pedantic(deltas, rounds=1, iterations=1)
+    assert np.mean(diffs) > -0.08

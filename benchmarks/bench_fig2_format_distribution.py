@@ -1,0 +1,76 @@
+"""Figure 2 — optimal-format distribution per system and backend.
+
+Paper: for every matrix in the SuiteSparse corpus, 1000 SpMV repetitions
+are timed per format on each (system, backend) pair; the minimum-runtime
+format is the optimum.  The stacked-bar figure shows CSR as the clear
+majority on every pair, with markedly more diverse optima on the GPU
+backends.
+
+This regenerator prints the per-pair distribution (percent of matrices per
+format) and asserts the paper's two headline properties.
+"""
+
+from __future__ import annotations
+
+from repro.formats.base import FORMAT_IDS
+
+from benchmarks.conftest import write_result
+
+
+def render_distribution(profiling, spaces) -> str:
+    lines = ["Figure 2: optimal-format distribution (% of matrices)", ""]
+    header = f"{'system/backend':<18}" + "".join(
+        f"{fmt:>8}" for fmt in FORMAT_IDS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for sp in spaces:
+        dist = profiling.format_distribution(sp.name)
+        row = f"{sp.name:<18}" + "".join(
+            f"{100 * dist[fmt]:>8.1f}" for fmt in FORMAT_IDS
+        )
+        lines.append(row)
+    return "\n".join(lines) + "\n"
+
+
+def test_fig2_format_distribution(benchmark, profiling, spaces):
+    text = benchmark.pedantic(
+        render_distribution, args=(profiling, spaces), rounds=1, iterations=1
+    )
+    write_result("fig2_format_distribution.txt", text)
+
+    # Paper property 1: CSR is the majority class on every pair.
+    for sp in spaces:
+        dist = profiling.format_distribution(sp.name)
+        assert dist["CSR"] == max(dist.values()), sp.name
+        assert dist["CSR"] >= 0.4
+
+    # Paper property 2: GPU backends have more diverse optima than OpenMP
+    # CPU backends (lower CSR share / more classes represented).
+    gpu_csr = [
+        profiling.format_distribution(sp.name)["CSR"]
+        for sp in spaces
+        if sp.backend in ("cuda", "hip")
+    ]
+    omp_csr = [
+        profiling.format_distribution(sp.name)["CSR"]
+        for sp in spaces
+        if sp.backend == "openmp"
+    ]
+    assert sum(gpu_csr) / len(gpu_csr) < sum(omp_csr) / len(omp_csr)
+
+
+def test_fig2_distribution_is_imbalanced(benchmark, profiling, spaces):
+    """Section VII-B: the classification problem is a rare-event problem —
+    at least four of the six classes appear somewhere, all minorities."""
+
+    def class_presence():
+        present = set()
+        for sp in spaces:
+            for fid in profiling.optimal[sp.name].values():
+                present.add(fid)
+        return present
+
+    present = benchmark.pedantic(class_presence, rounds=1, iterations=1)
+    assert len(present) >= 4
+    assert FORMAT_IDS["CSR"] in present

@@ -1,0 +1,76 @@
+"""Figure 3 — SpMV speedup of the optimal format vs CSR on CPU backends.
+
+Paper: on the OpenMP backend, matrices whose optimum is not CSR see
+speedups mostly below 1.5x with a visible tail between 1.5x and 10.5x;
+average ~1.8x on Cirrus/XCI/A64FX and ~1.3x on ARCHER2 (similar for the
+Serial backend).
+
+This regenerator prints summary statistics of the per-matrix speedup
+distribution for every CPU pair and asserts the shape: averages in the
+low single digits, maxima well above the averages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+
+
+def render(profiling, spaces) -> str:
+    lines = [
+        "Figure 3: speedup of optimal format vs CSR (CPU backends,",
+        "matrices with CSR-optimal omitted)",
+        "",
+        f"{'system/backend':<18}{'n':>6}{'mean':>8}{'median':>8}"
+        f"{'q3':>8}{'max':>8}",
+    ]
+    lines.append("-" * 56)
+    for sp in spaces:
+        if sp.backend not in ("serial", "openmp"):
+            continue
+        s = profiling.speedup_vs_csr(sp.name)
+        if s.size == 0:
+            lines.append(f"{sp.name:<18}{0:>6}")
+            continue
+        lines.append(
+            f"{sp.name:<18}{s.size:>6}{s.mean():>8.2f}"
+            f"{np.median(s):>8.2f}{np.quantile(s, 0.75):>8.2f}{s.max():>8.2f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig3_cpu_speedup(benchmark, profiling, spaces):
+    text = benchmark.pedantic(render, args=(profiling, spaces), rounds=1, iterations=1)
+    write_result("fig3_cpu_speedup.txt", text)
+
+    for sp in spaces:
+        if sp.backend not in ("serial", "openmp"):
+            continue
+        s = profiling.speedup_vs_csr(sp.name)
+        if s.size < 5:
+            continue
+        # speedups are >= 1 by construction and averages stay low single-digit
+        assert s.min() >= 1.0
+        assert 1.0 < s.mean() < 4.0, sp.name
+        # a tail of matrices gains noticeably more than the typical case
+        assert s.max() > np.median(s)
+
+
+def test_fig3_openmp_average_band(benchmark, profiling, spaces):
+    """Average CPU speedup lands in the paper's reported band (~1.3-1.8x,
+    we accept 1.1-3x for the synthetic corpus)."""
+
+    def openmp_means():
+        out = {}
+        for sp in spaces:
+            if sp.backend != "openmp":
+                continue
+            s = profiling.speedup_vs_csr(sp.name)
+            if s.size:
+                out[sp.name] = float(s.mean())
+        return out
+
+    means = benchmark.pedantic(openmp_means, rounds=1, iterations=1)
+    for name, mean in means.items():
+        assert 1.0 < mean < 3.0, (name, mean)

@@ -1,0 +1,96 @@
+"""Figure 4 — SpMV speedup of the optimal format vs CSR on GPU backends.
+
+Paper: on CUDA (V100 on Cirrus, A100 on Ampere/P3) and HIP (MI100 on
+Instinct/P3), the average speedup over CSR for non-CSR-optimal matrices is
+~8x and ~10x respectively, with maxima up to ~1000x driven by matrices
+(e.g. ``mawi``) whose sparsity pattern leaves CSR uncoalesced and the
+device under-utilised.
+
+This regenerator prints the distribution statistics for the three GPU
+pairs and asserts: GPU averages far above CPU averages, HIP above CUDA,
+and a heavy tail reaching orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+
+
+def gpu_pairs(spaces):
+    return [sp for sp in spaces if sp.backend in ("cuda", "hip")]
+
+
+def render(profiling, spaces) -> str:
+    lines = [
+        "Figure 4: speedup of optimal format vs CSR (GPU backends,",
+        "matrices with CSR-optimal omitted)",
+        "",
+        f"{'system/backend':<18}{'n':>6}{'mean':>9}{'median':>9}"
+        f"{'q3':>9}{'max':>10}",
+    ]
+    lines.append("-" * 61)
+    for sp in gpu_pairs(spaces):
+        s = profiling.speedup_vs_csr(sp.name)
+        if s.size == 0:
+            lines.append(f"{sp.name:<18}{0:>6}")
+            continue
+        lines.append(
+            f"{sp.name:<18}{s.size:>6}{s.mean():>9.2f}{np.median(s):>9.2f}"
+            f"{np.quantile(s, 0.75):>9.2f}{s.max():>10.1f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def test_fig4_gpu_speedup(benchmark, profiling, spaces):
+    text = benchmark.pedantic(render, args=(profiling, spaces), rounds=1, iterations=1)
+    write_result("fig4_gpu_speedup.txt", text)
+
+    for sp in gpu_pairs(spaces):
+        s = profiling.speedup_vs_csr(sp.name)
+        assert s.size > 0, sp.name
+        # paper: averages around 8-10x; accept the 2-40x band for the
+        # synthetic corpus
+        assert 2.0 < s.mean() < 40.0, (sp.name, s.mean())
+        # heavy tail: the max is at least an order of magnitude
+        assert s.max() > 10.0, sp.name
+
+
+def test_fig4_gpu_beats_cpu_averages(benchmark, profiling, spaces):
+    """The defining contrast of Figures 3 vs 4."""
+
+    def means():
+        gpu = [
+            profiling.speedup_vs_csr(sp.name).mean()
+            for sp in spaces
+            if sp.backend in ("cuda", "hip")
+            and profiling.speedup_vs_csr(sp.name).size
+        ]
+        cpu = [
+            profiling.speedup_vs_csr(sp.name).mean()
+            for sp in spaces
+            if sp.backend in ("serial", "openmp")
+            and profiling.speedup_vs_csr(sp.name).size
+        ]
+        return float(np.mean(gpu)), float(np.mean(cpu))
+
+    gpu_mean, cpu_mean = benchmark.pedantic(means, rounds=1, iterations=1)
+    assert gpu_mean > 2 * cpu_mean
+
+
+def test_fig4_hip_exceeds_cuda(benchmark, profiling, spaces):
+    """Paper: HIP (64-wide wavefronts) suffers more from the wrong format,
+    so its optimal-vs-CSR speedups exceed CUDA's on the same system."""
+
+    def hip_vs_cuda():
+        by_backend = {}
+        for sp in spaces:
+            if sp.system.name != "p3":
+                continue
+            s = profiling.speedup_vs_csr(sp.name)
+            by_backend[sp.backend] = float(s.mean()) if s.size else 0.0
+        return by_backend
+
+    means = benchmark.pedantic(hip_vs_cuda, rounds=1, iterations=1)
+    assert means["hip"] > means["cuda"]

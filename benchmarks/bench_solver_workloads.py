@@ -1,0 +1,92 @@
+"""Solver-workload benchmarks: the paper's motivating use case end-to-end.
+
+Section I motivates format auto-tuning with iterative solvers whose
+runtime is dominated by SpMV.  These benches run the real solvers from
+:mod:`repro.solvers` over DynamicMatrix operators (host wall-clock via
+pytest-benchmark) and check that a tuned format never changes the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RunFirstTuner, tune_multiply
+from repro.backends import make_space
+from repro.datasets.generators import stencil_2d
+from repro.formats import COOMatrix, DynamicMatrix
+from repro.machine import MatrixStats
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+
+
+@pytest.fixture(scope="module")
+def spd_operator():
+    stencil = stencil_2d(48, 48, points=5, seed=0)
+    vals = np.where(stencil.row == stencil.col, 4.0, -1.0)
+    return COOMatrix(
+        stencil.nrows, stencil.ncols, stencil.row, stencil.col, vals
+    )
+
+
+@pytest.fixture(scope="module")
+def rhs(spd_operator):
+    rng = np.random.default_rng(0)
+    return spd_operator.spmv(rng.standard_normal(spd_operator.nrows))
+
+
+def test_cg_on_tuned_operator(benchmark, spd_operator, rhs):
+    dyn = DynamicMatrix(spd_operator)
+    space = make_space("a64fx", "openmp")
+    tune_multiply(dyn, RunFirstTuner(repetitions=3), space)
+    res = benchmark.pedantic(
+        conjugate_gradient, args=(dyn, rhs), kwargs={"tol": 1e-8},
+        rounds=1, iterations=1,
+    )
+    assert res.converged
+    # tuned-format solve equals the COO-format solve
+    ref = conjugate_gradient(spd_operator, rhs, tol=1e-8)
+    np.testing.assert_allclose(res.x, ref.x, atol=1e-6)
+
+
+def test_jacobi_on_tuned_operator(benchmark, spd_operator, rhs):
+    dyn = DynamicMatrix(spd_operator).switch("DIA")
+    res = benchmark.pedantic(
+        jacobi, args=(dyn, rhs),
+        kwargs={"tol": 1e-8, "max_iterations": 20_000},
+        rounds=1, iterations=1,
+    )
+    assert res.converged
+
+
+def test_power_iteration_on_graph(benchmark):
+    from repro.datasets.generators import rmat
+
+    graph = rmat(12, edges_per_node=6, seed=0)
+    dyn = DynamicMatrix(graph).switch("CSR")
+    res = benchmark.pedantic(
+        power_iteration, args=(dyn,),
+        kwargs={"tol": 1e-8, "max_iterations": 2_000},
+        rounds=1, iterations=1,
+    )
+    assert res.spmv_calls >= 2
+
+
+def test_cg_amortises_tuner(benchmark, spd_operator, rhs):
+    """CG needs hundreds of SpMVs; the modelled tuner overhead is a small
+    fraction of the modelled solve time."""
+    dyn = DynamicMatrix(spd_operator)
+    space = make_space("a64fx", "openmp")
+
+    def measure():
+        result = tune_multiply(dyn, RunFirstTuner(repetitions=3), space)
+        cg = conjugate_gradient(dyn, rhs, tol=1e-8)
+        stats = MatrixStats.from_matrix(dyn.concrete)
+        t_iter = space.time_spmv(stats, dyn.active_format)
+        solve_seconds = cg.spmv_calls * t_iter
+        return result.report.overhead_seconds, solve_seconds, cg
+
+    overhead, solve_seconds, cg = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert cg.converged
+    assert overhead < solve_seconds  # the tuner pays for itself within one solve

@@ -1,0 +1,13 @@
+"""Execution spaces: the Morpheus backend abstraction.
+
+An :class:`ExecutionSpace` pairs a simulated device (from
+:mod:`repro.machine`) with a Morpheus backend name (``serial`` / ``openmp``
+/ ``cuda`` / ``hip``).  Running SpMV through a space computes the numerical
+result with the format's real NumPy kernel and *times* it with the
+analytic cost model — the host/device substitution described in DESIGN.md.
+"""
+
+from repro.backends.base import ExecutionSpace, SpMVResult
+from repro.backends.registry import available_spaces, make_space
+
+__all__ = ["ExecutionSpace", "SpMVResult", "make_space", "available_spaces"]

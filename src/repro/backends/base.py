@@ -1,0 +1,124 @@
+"""Execution-space core: run real kernels under a simulated clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+from repro.machine.arch import ArchSpec
+from repro.machine.cost_model import CostModel
+from repro.machine.stats import MatrixStats
+from repro.machine.systems import System
+
+__all__ = ["ExecutionSpace", "SpMVResult"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+@dataclass(frozen=True)
+class SpMVResult:
+    """Outcome of one SpMV run: numerical result + modelled runtime."""
+
+    y: np.ndarray
+    seconds: float
+    format: str
+
+
+class ExecutionSpace:
+    """A (system, backend) pair that can run sparse kernels.
+
+    Parameters
+    ----------
+    system:
+        The simulated system hosting the device.
+    backend:
+        One of ``"serial"``, ``"openmp"``, ``"cuda"``, ``"hip"``; must be
+        available on *system*.
+    cost_model:
+        The timing model; defaults to a fresh :class:`CostModel` with the
+        standard noise settings.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        backend: str,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.system = system
+        self.backend = backend.lower()
+        self.device: ArchSpec = system.device_for(self.backend)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Identifier like ``"cirrus/cuda"``."""
+        return f"{self.system.name}/{self.backend}"
+
+    # ------------------------------------------------------------------
+    def run_spmv(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        matrix_key: str = "",
+        repetitions: int = 1,
+        stats: MatrixStats | None = None,
+    ) -> SpMVResult:
+        """Execute ``y = A @ x`` and report the modelled device time.
+
+        ``repetitions`` scales the reported time (the kernel is evaluated
+        once; SpMV is deterministic).
+        """
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        y = concrete.spmv(x)
+        if stats is None:
+            stats = MatrixStats.from_matrix(concrete)
+        seconds = repetitions * self.cost_model.spmv_time(
+            stats, concrete.format, self.device, self.backend, matrix_key=matrix_key
+        )
+        return SpMVResult(y=y, seconds=seconds, format=concrete.format)
+
+    def time_spmv(
+        self, stats: MatrixStats, fmt: str, *, matrix_key: str = ""
+    ) -> float:
+        """Modelled seconds for one SpMV without executing the kernel."""
+        return self.cost_model.spmv_time(
+            stats, fmt, self.device, self.backend, matrix_key=matrix_key
+        )
+
+    def time_all_formats(
+        self, stats: MatrixStats, *, matrix_key: str = ""
+    ) -> dict[str, float]:
+        """Modelled single-SpMV seconds for each of the six formats."""
+        return self.cost_model.spmv_times(
+            stats, self.device, self.backend, matrix_key=matrix_key
+        )
+
+    def time_feature_extraction(self, stats: MatrixStats) -> float:
+        """Modelled seconds for the Oracle's online feature extraction."""
+        return self.cost_model.feature_extraction_time(
+            stats, self.device, self.backend
+        )
+
+    def time_prediction(self, *, n_estimators: int, avg_depth: float) -> float:
+        """Modelled seconds for an ensemble prediction on this space's host."""
+        return self.cost_model.prediction_time(
+            self.device, self.backend, n_estimators=n_estimators, avg_depth=avg_depth
+        )
+
+    def time_conversion(
+        self, stats: MatrixStats, source: str, target: str
+    ) -> float:
+        """Modelled seconds for a format conversion on this space."""
+        return self.cost_model.conversion_time(
+            stats, source, target, self.device, self.backend
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ExecutionSpace {self.name} device={self.device.name!r}>"

@@ -1,0 +1,201 @@
+"""Command-line interface: the Sparse.Tree / Oracle workflow from a shell.
+
+Subcommands mirror the paper's pipeline:
+
+``repro-oracle systems``
+    List the simulated systems and their backends (Table II).
+``repro-oracle profile --system cirrus --backend cuda [-n 300]``
+    Profiling runs on the synthetic corpus; prints the optimal-format
+    distribution (Figure 2 column).
+``repro-oracle train --system cirrus --backend cuda -o model.file``
+    Offline stage: profile, train, grid-search-tune, export (Figure 1).
+``repro-oracle features matrix.mtx``
+    Print the Table-I feature vector of a Matrix Market file.
+``repro-oracle predict --model model.file matrix.mtx``
+    Online stage: load the model, extract features, print the format.
+``repro-oracle tune --model model.file --repetitions 1000 matrix.mtx``
+    Full TuneMultiply: decision, overhead and speedup report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends import make_space
+from repro.core import (
+    RandomForestTuner,
+    build_dataset,
+    extract_features,
+    profile_collection,
+    save_model,
+    train_tuned_model,
+    tune_multiply,
+)
+from repro.core.features import FEATURE_NAMES
+from repro.core.pipeline import SMALL_RF_GRID
+from repro.datasets import MatrixCollection, read_matrix_market
+from repro.formats import DynamicMatrix
+from repro.formats.base import FORMAT_IDS
+from repro.machine.systems import SYSTEMS
+
+__all__ = ["main"]
+
+
+def _add_target_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--system", required=True, choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--backend", required=True, choices=["serial", "openmp", "cuda", "hip"]
+    )
+
+
+def _add_corpus_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "-n", "--n-matrices", type=int, default=300,
+        help="corpus size (paper: 2200)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+
+
+def cmd_systems(_args: argparse.Namespace) -> int:
+    print(f"{'system':<10}{'backends':<24}devices")
+    print("-" * 70)
+    for name in sorted(SYSTEMS):
+        system = SYSTEMS[name]
+        devices = ", ".join(
+            sorted({d.name for d in system.devices.values()})
+        )
+        print(f"{name:<10}{', '.join(system.backends):<24}{devices}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    space = make_space(args.system, args.backend)
+    collection = MatrixCollection(n_matrices=args.n_matrices, seed=args.seed)
+    profiling = profile_collection(collection, [space])
+    dist = profiling.format_distribution(space.name)
+    print(f"optimal-format distribution on {space.name} "
+          f"({args.n_matrices} matrices):")
+    for fmt in FORMAT_IDS:
+        print(f"  {fmt:<5} {100 * dist[fmt]:6.1f}%")
+    speedups = profiling.speedup_vs_csr(space.name)
+    if speedups.size:
+        print(f"optimal-vs-CSR speedup (non-CSR optima): "
+              f"mean {speedups.mean():.2f}x, max {speedups.max():.1f}x")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    space = make_space(args.system, args.backend)
+    collection = MatrixCollection(n_matrices=args.n_matrices, seed=args.seed)
+    profiling = profile_collection(collection, [space])
+    train, test = collection.train_test_split()
+    Xtr, ytr = build_dataset(collection, train, profiling, space.name)
+    Xte, yte = build_dataset(collection, test, profiling, space.name)
+    tm = train_tuned_model(
+        Xtr, ytr, Xte, yte,
+        algorithm=args.algorithm,
+        grid=SMALL_RF_GRID if args.algorithm == "random_forest" else None,
+        system=args.system, backend=args.backend,
+    )
+    save_model(args.output, tm.oracle_model)
+    print(f"model written to {args.output}")
+    print(f"test accuracy          {100 * tm.test_scores['tuned_accuracy']:.2f}%")
+    print(f"test balanced accuracy "
+          f"{100 * tm.test_scores['tuned_balanced_accuracy']:.2f}%")
+    return 0
+
+
+def cmd_features(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    vec = extract_features(matrix)
+    for name, value in zip(FEATURE_NAMES, vec):
+        print(f"{name:<8} {value:g}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    tuner = RandomForestTuner(args.model)
+    system = tuner.model.system or "cirrus"
+    backend = tuner.model.backend or "serial"
+    space = make_space(system, backend)
+    report = tuner.tune(DynamicMatrix(matrix), space)
+    print(f"predicted optimal format: {report.format_name} "
+          f"(id {report.format_id}) for {space.name}")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    matrix = read_matrix_market(args.matrix)
+    tuner = RandomForestTuner(args.model)
+    system = tuner.model.system or "cirrus"
+    backend = tuner.model.backend or "serial"
+    space = make_space(system, backend)
+    dyn = DynamicMatrix(matrix)
+    result = tune_multiply(
+        dyn, tuner, space, np.ones(dyn.ncols), repetitions=args.repetitions
+    )
+    print(f"target               {space.name} ({space.device.name})")
+    print(f"selected format      {result.report.format_name}")
+    print(f"tuning cost          "
+          f"{result.tuning_cost_csr_equivalents:.1f} CSR-SpMV equivalents")
+    print(f"speedup vs CSR       {result.speedup_vs_csr:.2f}x "
+          f"over {result.repetitions} SpMVs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oracle",
+        description="Morpheus-Oracle reproduction: sparse-format auto-tuning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list simulated systems").set_defaults(
+        func=cmd_systems
+    )
+
+    p = sub.add_parser("profile", help="optimal-format distribution")
+    _add_target_args(p)
+    _add_corpus_args(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("train", help="train + tune a model (offline stage)")
+    _add_target_args(p)
+    _add_corpus_args(p)
+    p.add_argument("-o", "--output", required=True, help="model file path")
+    p.add_argument(
+        "--algorithm", default="random_forest",
+        choices=["random_forest", "decision_tree"],
+    )
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("features", help="Table-I features of a .mtx file")
+    p.add_argument("matrix", help="Matrix Market file")
+    p.set_defaults(func=cmd_features)
+
+    p = sub.add_parser("predict", help="predict the optimal format")
+    p.add_argument("--model", required=True, help="Oracle model file")
+    p.add_argument("matrix", help="Matrix Market file")
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("tune", help="TuneMultiply report for a .mtx file")
+    p.add_argument("--model", required=True, help="Oracle model file")
+    p.add_argument("--repetitions", type=int, default=1000)
+    p.add_argument("matrix", help="Matrix Market file")
+    p.set_defaults(func=cmd_tune)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""The 10-feature extraction of the paper's Table I.
+
+=========  =====================================================
+Feature    Definition
+=========  =====================================================
+M          number of rows
+N          number of columns
+NNZ        number of non-zeros
+NNZ_avg    NNZ / M            (average non-zeros per row)
+rho        NNZ / (M * N)      (density)
+max_nnz    max_i row_nnz_i
+min_nnz    min_i row_nnz_i
+std_nnz    sqrt(sum_i |row_nnz_i - NNZ_avg|^2 / M)
+ND         number of diagonals with at least one non-zero
+NTD        number of "true" diagonals (non-zeros >= threshold)
+=========  =====================================================
+
+Per Section VI-C, the online extractor computes these from the *active*
+format's own arrays (``row_nnz`` / ``diagonal_nnz`` are implemented by every
+container), so tuning never converts the matrix first.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+from repro.formats.hdc import default_hdc_threshold
+from repro.machine.stats import MatrixStats
+
+__all__ = [
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "extract_features",
+    "extract_features_from_stats",
+]
+
+FEATURE_NAMES = (
+    "M",
+    "N",
+    "NNZ",
+    "NNZ_avg",
+    "rho",
+    "max_nnz",
+    "min_nnz",
+    "std_nnz",
+    "ND",
+    "NTD",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+def extract_features(
+    matrix: MatrixLike, *, true_diag_threshold: int | None = None
+) -> np.ndarray:
+    """Extract the Table-I feature vector from a matrix in any format.
+
+    Parameters
+    ----------
+    matrix:
+        A concrete container or a :class:`DynamicMatrix` (the active
+        format's statistics routines are used directly).
+    true_diag_threshold:
+        Occupancy above which a diagonal counts as "true"; defaults to the
+        HDC format's threshold so NTD matches what HDC would store.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(10,)`` float64 vector ordered as :data:`FEATURE_NAMES`.
+    """
+    concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+    nrows = concrete.nrows
+    ncols = concrete.ncols
+    row_nnz = concrete.row_nnz()
+    diag_nnz = concrete.diagonal_nnz()
+    nnz = int(row_nnz.sum())
+    if true_diag_threshold is None:
+        true_diag_threshold = default_hdc_threshold(nrows, ncols)
+    avg = nnz / nrows if nrows else 0.0
+    density = nnz / (nrows * ncols) if nrows and ncols else 0.0
+    return np.array(
+        [
+            float(nrows),
+            float(ncols),
+            float(nnz),
+            avg,
+            density,
+            float(row_nnz.max()) if nrows else 0.0,
+            float(row_nnz.min()) if nrows else 0.0,
+            float(np.sqrt(np.mean((row_nnz - avg) ** 2))) if nrows else 0.0,
+            float(diag_nnz.shape[0]),
+            float((diag_nnz >= true_diag_threshold).sum()),
+        ],
+        dtype=np.float64,
+    )
+
+
+def extract_features_from_stats(stats: MatrixStats) -> np.ndarray:
+    """Build the same feature vector from cached :class:`MatrixStats`.
+
+    The offline pipeline profiles thousands of matrices; reusing the stats
+    object avoids regenerating each matrix a second time.  Values are
+    identical to :func:`extract_features` on the materialised matrix.
+    """
+    return np.array(
+        [
+            float(stats.nrows),
+            float(stats.ncols),
+            float(stats.nnz),
+            stats.row_nnz_mean,
+            stats.density,
+            float(stats.row_nnz_max),
+            float(stats.row_nnz_min),
+            stats.row_nnz_std,
+            float(stats.ndiags),
+            float(stats.ntrue_diags),
+        ],
+        dtype=np.float64,
+    )

@@ -1,0 +1,327 @@
+"""The offline Sparse.Tree stage (paper Section III-A, Figure 1).
+
+Pipeline: **profiling runs** label every (matrix, system, backend) with its
+optimal format → **feature extraction** turns matrices into Table-I vectors
+→ **training + grid-search tuning** produces baseline and tuned classifiers
+→ **model extraction** writes Oracle model files into a
+:class:`ModelDatabase` for the online stage to load.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backends.base import ExecutionSpace
+from repro.core.features import extract_features_from_stats
+from repro.core.model_io import OracleModel, load_model, save_model
+from repro.datasets.collection import MatrixCollection, MatrixSpec
+from repro.errors import TuningError, ValidationError
+from repro.formats.base import FORMAT_IDS
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score, balanced_accuracy_score
+from repro.ml.model_selection import GridSearchCV
+from repro.ml.tree.classifier import DecisionTreeClassifier
+
+__all__ = [
+    "ProfilingResult",
+    "profile_collection",
+    "build_dataset",
+    "TrainedModel",
+    "train_tuned_model",
+    "ModelDatabase",
+    "DEFAULT_RF_GRID",
+    "SMALL_RF_GRID",
+    "DEFAULT_DT_GRID",
+]
+
+# ----------------------------------------------------------------------
+# profiling runs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ProfilingResult:
+    """Per-space SpMV timings and optimal-format labels.
+
+    ``times[space_name][matrix_name][fmt]`` is the modelled seconds of one
+    SpMV; ``optimal[space_name][matrix_name]`` is the winning format id.
+    """
+
+    times: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+    optimal: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def labels(self, space_name: str, names: Sequence[str]) -> np.ndarray:
+        """Optimal-format ids for *names* on one space, in order."""
+        table = self.optimal[space_name]
+        return np.asarray([table[n] for n in names], dtype=np.int64)
+
+    def format_distribution(self, space_name: str) -> Dict[str, float]:
+        """Fraction of matrices whose optimum is each format (Figure 2)."""
+        table = self.optimal[space_name]
+        counts = {fmt: 0 for fmt in FORMAT_IDS}
+        inv = {v: k for k, v in FORMAT_IDS.items()}
+        for fid in table.values():
+            counts[inv[fid]] += 1
+        total = max(1, len(table))
+        return {fmt: c / total for fmt, c in counts.items()}
+
+    def speedup_vs_csr(self, space_name: str, *, omit_csr_optimal: bool = True) -> np.ndarray:
+        """Per-matrix ``T_CSR / T_optimal`` (Figures 3 and 4)."""
+        out = []
+        for name, fmts in self.times[space_name].items():
+            best_id = self.optimal[space_name][name]
+            best_name = {v: k for k, v in FORMAT_IDS.items()}[best_id]
+            if omit_csr_optimal and best_name == "CSR":
+                continue
+            out.append(fmts["CSR"] / fmts[best_name])
+        return np.asarray(out)
+
+
+def profile_collection(
+    collection: MatrixCollection,
+    spaces: Sequence[ExecutionSpace],
+    *,
+    specs: Sequence[MatrixSpec] | None = None,
+) -> ProfilingResult:
+    """Run the profiling stage: label the optimal format everywhere.
+
+    For every matrix and space the modelled runtime of one SpMV per format
+    is recorded and the minimum designates the optimum (the paper times
+    1000 repetitions; with deterministic per-pair noise the argmin over
+    one modelled iteration is equivalent).
+    """
+    if specs is None:
+        specs = collection.specs
+    result = ProfilingResult()
+    for space in spaces:
+        result.times[space.name] = {}
+        result.optimal[space.name] = {}
+    for spec in specs:
+        stats = collection.stats(spec)
+        for space in spaces:
+            times = space.time_all_formats(stats, matrix_key=spec.name)
+            result.times[space.name][spec.name] = times
+            best = min(times, key=times.get)  # type: ignore[arg-type]
+            result.optimal[space.name][spec.name] = FORMAT_IDS[best]
+    return result
+
+
+def build_dataset(
+    collection: MatrixCollection,
+    specs: Sequence[MatrixSpec],
+    profiling: ProfilingResult,
+    space_name: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble ``(X, y)``: Table-I features and optimal-format labels."""
+    X = np.stack(
+        [extract_features_from_stats(collection.stats(s)) for s in specs]
+    )
+    y = profiling.labels(space_name, [s.name for s in specs])
+    return X, y
+
+
+# ----------------------------------------------------------------------
+# training + tuning
+# ----------------------------------------------------------------------
+
+#: Full grid in the spirit of Table III (large: use for overnight runs).
+DEFAULT_RF_GRID: Mapping[str, Sequence[object]] = {
+    "n_estimators": [20, 40, 60],
+    "max_depth": [10, 14, 18, 22],
+    "min_samples_leaf": [1, 2],
+    "min_samples_split": [2, 10],
+    "criterion": ["gini", "entropy"],
+    "bootstrap": [True, False],
+}
+
+#: Reduced grid keeping every tuned axis but fewer levels (CI-friendly).
+SMALL_RF_GRID: Mapping[str, Sequence[object]] = {
+    "n_estimators": [20, 40],
+    "max_depth": [12, 20],
+    "min_samples_leaf": [1, 2],
+    "criterion": ["gini", "entropy"],
+}
+
+#: Decision-tree grid (Section VII-D trains and tunes both algorithms).
+DEFAULT_DT_GRID: Mapping[str, Sequence[object]] = {
+    "max_depth": [8, 12, 16, 20, None],
+    "min_samples_leaf": [1, 2, 5],
+    "min_samples_split": [2, 5, 10],
+    "criterion": ["gini", "entropy"],
+}
+
+
+@dataclass
+class TrainedModel:
+    """Baseline + grid-search-tuned classifier pair for one space.
+
+    Mirrors one row of the paper's Table III: the baseline model uses the
+    library-default hyperparameters, the tuned model the grid-search
+    winner; both are scored on the held-out test set with accuracy and
+    balanced accuracy.
+    """
+
+    algorithm: str
+    system: str
+    backend: str
+    baseline: object
+    tuned: object
+    baseline_params: Dict[str, object]
+    tuned_params: Dict[str, object]
+    cv_best_score: float
+    test_scores: Dict[str, float]
+
+    @property
+    def oracle_model(self) -> OracleModel:
+        """Deployable tuned model for the online stage."""
+        return OracleModel.from_estimator(
+            self.tuned, system=self.system, backend=self.backend
+        )
+
+    @property
+    def baseline_oracle_model(self) -> OracleModel:
+        """Deployable baseline model (for overhead comparisons)."""
+        return OracleModel.from_estimator(
+            self.baseline, system=self.system, backend=self.backend
+        )
+
+
+def _make_estimator(algorithm: str, seed: int) -> object:
+    if algorithm == "random_forest":
+        # scikit-learn-like defaults: 100 trees, unbounded depth
+        return RandomForestClassifier(n_estimators=100, seed=seed)
+    if algorithm == "decision_tree":
+        return DecisionTreeClassifier(seed=seed)
+    raise ValidationError(
+        f"unknown algorithm {algorithm!r}; expected "
+        "'random_forest' or 'decision_tree'"
+    )
+
+
+def train_tuned_model(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+    *,
+    algorithm: str = "random_forest",
+    grid: Mapping[str, Sequence[object]] | None = None,
+    cv: int = 5,
+    scoring: str = "accuracy",
+    seed: int = 0,
+    system: str = "",
+    backend: str = "",
+) -> TrainedModel:
+    """Train the baseline, grid-search the tuned model, score both.
+
+    Follows Section VII-D: 5-fold CV grid search on the training split,
+    refit on the full training set, report accuracy and balanced accuracy
+    on the untouched test split.
+    """
+    if np.unique(y_train).shape[0] < 2:
+        raise TuningError(
+            "training labels contain a single class; profiling produced a "
+            "degenerate dataset"
+        )
+    baseline = _make_estimator(algorithm, seed)
+    baseline.fit(X_train, y_train)
+
+    search_grid = grid
+    if search_grid is None:
+        search_grid = (
+            DEFAULT_RF_GRID if algorithm == "random_forest" else DEFAULT_DT_GRID
+        )
+    search = GridSearchCV(
+        _make_estimator(algorithm, seed),
+        search_grid,
+        cv=cv,
+        scoring=scoring,
+        seed=seed,
+    )
+    search.fit(X_train, y_train)
+    tuned = search.best_estimator_
+
+    scores = {
+        "baseline_accuracy": accuracy_score(y_test, baseline.predict(X_test)),
+        "baseline_balanced_accuracy": balanced_accuracy_score(
+            y_test, baseline.predict(X_test)
+        ),
+        "tuned_accuracy": accuracy_score(y_test, tuned.predict(X_test)),
+        "tuned_balanced_accuracy": balanced_accuracy_score(
+            y_test, tuned.predict(X_test)
+        ),
+    }
+    return TrainedModel(
+        algorithm=algorithm,
+        system=system,
+        backend=backend,
+        baseline=baseline,
+        tuned=tuned,
+        baseline_params=baseline.get_params(),
+        tuned_params=search.best_params_,
+        cv_best_score=search.best_score_,
+        test_scores=scores,
+    )
+
+
+# ----------------------------------------------------------------------
+# model database
+# ----------------------------------------------------------------------
+
+
+class ModelDatabase:
+    """Directory of Oracle model files keyed by (system, backend, algorithm).
+
+    The paper ships pre-trained models for its test systems; users point
+    the online tuners at a database path and load by key.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, system: str, backend: str, algorithm: str) -> str:
+        """Model-file path for a (system, backend, algorithm) key."""
+        return os.path.join(
+            self.root, f"{system.lower()}_{backend.lower()}_{algorithm}.model"
+        )
+
+    def save(self, model: OracleModel, *, algorithm: str | None = None) -> str:
+        """Store *model*; returns the file path."""
+        algo = algorithm or model.kind
+        if not model.system or not model.backend:
+            raise ValidationError(
+                "OracleModel must carry system and backend metadata to be "
+                "stored in a ModelDatabase"
+            )
+        path = self.path_for(model.system, model.backend, algo)
+        save_model(path, model)
+        return path
+
+    def load(self, system: str, backend: str, algorithm: str) -> OracleModel:
+        """Load the model for a key; raises if absent."""
+        path = self.path_for(system, backend, algorithm)
+        if not os.path.exists(path):
+            raise TuningError(
+                f"no model for ({system}, {backend}, {algorithm}) in "
+                f"{self.root}"
+            )
+        return load_model(path)
+
+    def available(self) -> List[Tuple[str, str, str]]:
+        """All (system, backend, algorithm) keys present on disk."""
+        out = []
+        for fname in sorted(os.listdir(self.root)):
+            if not fname.endswith(".model"):
+                continue
+            stem = fname[: -len(".model")]
+            parts = stem.split("_")
+            if len(parts) >= 3:
+                system, backend = parts[0], parts[1]
+                algorithm = "_".join(parts[2:])
+                out.append((system, backend, algorithm))
+        return out

@@ -1,0 +1,24 @@
+"""The three Oracle tuners (paper Section VI-A).
+
+* :class:`RunFirstTuner` — converts to every candidate format, times
+  N iterations of the operation each, picks the fastest.  Most accurate,
+  most expensive.
+* :class:`DecisionTreeTuner` — traverses a single loaded tree model.
+* :class:`RandomForestTuner` — traverses an ensemble and majority-votes.
+"""
+
+from repro.core.tuners.base import Tuner, TuningReport
+from repro.core.tuners.run_first import RunFirstTuner
+from repro.core.tuners.ml import DecisionTreeTuner, MLTuner, RandomForestTuner
+from repro.core.tuners.hybrid import ConfidenceFallbackTuner, OverheadConsciousTuner
+
+__all__ = [
+    "Tuner",
+    "TuningReport",
+    "RunFirstTuner",
+    "MLTuner",
+    "DecisionTreeTuner",
+    "RandomForestTuner",
+    "ConfidenceFallbackTuner",
+    "OverheadConsciousTuner",
+]

@@ -1,0 +1,51 @@
+"""Synthetic sparse-matrix corpus (the SuiteSparse substitute).
+
+The paper trains on ~2200 real square matrices from the SuiteSparse
+collection.  Offline we cannot download them, so
+:class:`~repro.datasets.collection.MatrixCollection` assembles a
+deterministic corpus of the same size whose families mirror the structural
+classes that dominate SuiteSparse — discretised PDE stencils, banded
+systems, scale-free graphs, random sparse, near-regular rows, block
+structures and hypersparse incidence patterns.  Matrix Market I/O is
+provided so real matrices can be substituted in when available.
+"""
+
+from repro.datasets.generators import (
+    FAMILIES,
+    banded,
+    block_diagonal,
+    diagonal_dominant,
+    generate_family,
+    hypersparse,
+    multi_diagonal,
+    noisy_banded,
+    powerlaw,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+    uniform_random,
+    uniform_rows,
+)
+from repro.datasets.collection import MatrixCollection, MatrixSpec
+from repro.datasets.matrixmarket import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "FAMILIES",
+    "banded",
+    "block_diagonal",
+    "diagonal_dominant",
+    "generate_family",
+    "hypersparse",
+    "multi_diagonal",
+    "noisy_banded",
+    "powerlaw",
+    "rmat",
+    "stencil_2d",
+    "stencil_3d",
+    "uniform_random",
+    "uniform_rows",
+    "MatrixCollection",
+    "MatrixSpec",
+    "read_matrix_market",
+    "write_matrix_market",
+]

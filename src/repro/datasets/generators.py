@@ -1,0 +1,404 @@
+"""Generators for the structural families of the synthetic corpus.
+
+Every generator returns a square :class:`~repro.formats.coo.COOMatrix`, is
+fully vectorised, and is deterministic given its ``seed``.  The families
+map onto SuiteSparse application domains:
+
+==================  ==============================================  =============
+Family              SuiteSparse analogue                            Favours
+==================  ==============================================  =============
+banded              1-D PDEs, spline systems                        DIA
+multi_diagonal      higher-order FD stencils, lattice QCD           DIA / HDC
+noisy_banded        circuit matrices with banded core               HDC
+stencil_2d / 3d     FEM / FD discretisations (majority class)       CSR / DIA
+uniform_random      statistical / optimisation problems             CSR
+uniform_rows        structured meshes, semi-structured CFD          ELL (GPU)
+powerlaw            web / social / citation graphs                  COO / HYB (GPU)
+rmat                power-law graphs with community structure       COO / HYB (GPU)
+hypersparse         incidence, linear programming constraints       COO
+block_diagonal      multibody / domain-decomposed problems          CSR / ELL
+diagonal_dominant   preconditioner factors                          DIA / HDC
+==================  ==============================================  =============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.formats.coo import COOMatrix
+from repro.utils.rng import ensure_generator
+
+__all__ = [
+    "FAMILIES",
+    "banded",
+    "block_diagonal",
+    "diagonal_dominant",
+    "generate_family",
+    "hypersparse",
+    "multi_diagonal",
+    "network_trace",
+    "noisy_banded",
+    "powerlaw",
+    "rmat",
+    "stencil_2d",
+    "stencil_3d",
+    "uniform_random",
+    "uniform_rows",
+    "unstructured_fem",
+]
+
+
+def _values(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Non-zero coefficient values: unit-scale, bounded away from zero."""
+    vals = rng.standard_normal(n)
+    vals += np.sign(vals) * 0.1 + (vals == 0.0)
+    return vals
+
+
+def _coo(n: int, row: np.ndarray, col: np.ndarray, rng: np.random.Generator) -> COOMatrix:
+    keep = (row >= 0) & (row < n) & (col >= 0) & (col < n)
+    row = row[keep].astype(np.int64)
+    col = col[keep].astype(np.int64)
+    return COOMatrix(n, n, row, col, _values(rng, row.shape[0]))
+
+
+# ----------------------------------------------------------------------
+# banded / diagonal families
+# ----------------------------------------------------------------------
+
+def banded(n: int, *, half_bandwidth: int = 2, fill: float = 1.0, seed: int = 0) -> COOMatrix:
+    """Dense band of half-width *half_bandwidth* around the main diagonal.
+
+    ``fill < 1`` drops entries uniformly at random inside the band while
+    always keeping the main diagonal (so no empty rows).
+    """
+    if half_bandwidth < 0:
+        raise DatasetError("half_bandwidth must be >= 0")
+    rng = ensure_generator(seed)
+    offsets = np.arange(-half_bandwidth, half_bandwidth + 1)
+    rows = []
+    cols = []
+    for off in offsets:
+        r = np.arange(max(0, -off), min(n, n - off), dtype=np.int64)
+        if off != 0 and fill < 1.0:
+            r = r[rng.random(r.shape[0]) < fill]
+        rows.append(r)
+        cols.append(r + off)
+    return _coo(n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+def multi_diagonal(
+    n: int, *, ndiags: int = 9, spread: int | None = None, seed: int = 0
+) -> COOMatrix:
+    """*ndiags* full diagonals at random offsets within ``±spread``.
+
+    Models high-order finite-difference / lattice operators whose
+    diagonals are not contiguous.
+    """
+    rng = ensure_generator(seed)
+    if spread is None:
+        spread = max(ndiags * 4, n // 8)
+    spread = min(spread, n - 1)
+    pool = np.arange(-spread, spread + 1)
+    pool = pool[pool != 0]
+    chosen = rng.choice(pool, size=min(ndiags - 1, pool.shape[0]), replace=False)
+    offsets = np.concatenate([[0], chosen])
+    rows = []
+    cols = []
+    for off in offsets:
+        r = np.arange(max(0, -off), min(n, n - off), dtype=np.int64)
+        rows.append(r)
+        cols.append(r + off)
+    return _coo(n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+def noisy_banded(
+    n: int,
+    *,
+    half_bandwidth: int = 2,
+    noise_frac: float = 0.15,
+    seed: int = 0,
+) -> COOMatrix:
+    """A dense band plus uniformly scattered off-band entries.
+
+    The scattered entries ruin pure DIA (every hit adds a diagonal) while
+    the band still dominates — the HDC sweet spot.
+    """
+    rng = ensure_generator(seed)
+    band = banded(n, half_bandwidth=half_bandwidth, fill=1.0, seed=seed)
+    n_noise = int(noise_frac * band.nnz)
+    nr = rng.integers(0, n, size=n_noise)
+    nc = rng.integers(0, n, size=n_noise)
+    row = np.concatenate([band.row, nr])
+    col = np.concatenate([band.col, nc])
+    return _coo(n, row, col, rng)
+
+
+def diagonal_dominant(
+    n: int, *, ndiags: int = 5, decay: float = 0.6, seed: int = 0
+) -> COOMatrix:
+    """Contiguous diagonals with geometrically decaying fill.
+
+    Diagonal ``k`` keeps a ``decay**k`` fraction of its entries, producing
+    the tapered band profiles of incomplete factorisations.
+    """
+    rng = ensure_generator(seed)
+    rows = [np.arange(n, dtype=np.int64)]
+    cols = [np.arange(n, dtype=np.int64)]
+    for k in range(1, ndiags):
+        frac = decay**k
+        for off in (k, -k):
+            r = np.arange(max(0, -off), min(n, n - off), dtype=np.int64)
+            r = r[rng.random(r.shape[0]) < frac]
+            rows.append(r)
+            cols.append(r + off)
+    return _coo(n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+# ----------------------------------------------------------------------
+# PDE stencils
+# ----------------------------------------------------------------------
+
+def stencil_2d(nx: int, ny: int | None = None, *, points: int = 5, seed: int = 0) -> COOMatrix:
+    """5- or 9-point 2-D finite-difference stencil on an ``nx x ny`` grid."""
+    if points not in (5, 9):
+        raise DatasetError(f"points must be 5 or 9, got {points}")
+    if ny is None:
+        ny = nx
+    rng = ensure_generator(seed)
+    n = nx * ny
+    ix, iy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+    ix = ix.ravel()
+    iy = iy.ravel()
+    base = ix * ny + iy
+    if points == 5:
+        moves = [(0, 0), (1, 0), (-1, 0), (0, 1), (0, -1)]
+    else:
+        moves = [(dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)]
+    rows = []
+    cols = []
+    for dx, dy in moves:
+        jx = ix + dx
+        jy = iy + dy
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        rows.append(base[ok])
+        cols.append((jx * ny + jy)[ok])
+    return _coo(n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+def stencil_3d(nx: int, *, points: int = 7, seed: int = 0) -> COOMatrix:
+    """7- or 27-point 3-D stencil on an ``nx**3`` grid."""
+    if points not in (7, 27):
+        raise DatasetError(f"points must be 7 or 27, got {points}")
+    rng = ensure_generator(seed)
+    n = nx**3
+    g = np.arange(nx)
+    ix, iy, iz = np.meshgrid(g, g, g, indexing="ij")
+    ix = ix.ravel()
+    iy = iy.ravel()
+    iz = iz.ravel()
+    base = (ix * nx + iy) * nx + iz
+    if points == 7:
+        moves = [
+            (0, 0, 0),
+            (1, 0, 0), (-1, 0, 0),
+            (0, 1, 0), (0, -1, 0),
+            (0, 0, 1), (0, 0, -1),
+        ]
+    else:
+        moves = [
+            (dx, dy, dz)
+            for dx in (-1, 0, 1)
+            for dy in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+        ]
+    rows = []
+    cols = []
+    for dx, dy, dz in moves:
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < nx) & (jz >= 0) & (jz < nx)
+        rows.append(base[ok])
+        cols.append(((jx * nx + jy) * nx + jz)[ok])
+    return _coo(n, np.concatenate(rows), np.concatenate(cols), rng)
+
+
+# ----------------------------------------------------------------------
+# random / graph families
+# ----------------------------------------------------------------------
+
+def unstructured_fem(
+    n: int, *, avg_row_nnz: float = 12.0, bandwidth_frac: float = 0.05, seed: int = 0
+) -> COOMatrix:
+    """Unstructured-mesh FEM pattern: the SuiteSparse majority class.
+
+    Rows have near-uniform length; columns scatter in a *local*
+    neighbourhood of the diagonal (Laplace-distributed jitter), so hundreds
+    of diagonals are occupied — which is precisely why DIA/HDC do not pay
+    off for general FEM matrices and CSR is the default choice.
+    """
+    rng = ensure_generator(seed)
+    sigma = max(1.0, avg_row_nnz / 6.0)
+    counts = np.maximum(1, np.rint(rng.normal(avg_row_nnz, sigma, size=n)).astype(np.int64))
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    # the neighbourhood must comfortably exceed the row length, otherwise
+    # individual diagonals fill up and the pattern degenerates to banded
+    scale = max(3.0 * avg_row_nnz, bandwidth_frac * n / 4.0)
+    jitter = np.rint(rng.laplace(0.0, scale, size=row.shape[0])).astype(np.int64)
+    col = np.clip(row + jitter, 0, n - 1)
+    return _coo(n, row, col, rng)
+
+
+def uniform_random(n: int, *, avg_row_nnz: float = 10.0, seed: int = 0) -> COOMatrix:
+    """Erdős–Rényi-style sparse matrix with Poisson row lengths."""
+    rng = ensure_generator(seed)
+    counts = rng.poisson(avg_row_nnz, size=n)
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    col = rng.integers(0, n, size=row.shape[0])
+    return _coo(n, row, col, rng)
+
+
+def uniform_rows(n: int, *, row_nnz: int = 8, jitter: int = 1, seed: int = 0) -> COOMatrix:
+    """Nearly constant row lengths (``row_nnz ± jitter``) — the ELL case.
+
+    Columns cluster near the diagonal with occasional long-range links,
+    mimicking semi-structured meshes.
+    """
+    rng = ensure_generator(seed)
+    counts = row_nnz + rng.integers(-jitter, jitter + 1, size=n)
+    counts = np.clip(counts, 1, None)
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    near = row + rng.integers(-3 * row_nnz, 3 * row_nnz + 1, size=row.shape[0])
+    far = rng.integers(0, n, size=row.shape[0])
+    use_far = rng.random(row.shape[0]) < 0.1
+    col = np.clip(np.where(use_far, far, near), 0, n - 1)
+    return _coo(n, row, col, rng)
+
+
+def powerlaw(n: int, *, avg_row_nnz: float = 8.0, alpha: float = 2.1, seed: int = 0) -> COOMatrix:
+    """Scale-free matrix: Zipf-distributed row degrees, uniform columns.
+
+    A handful of hub rows are orders of magnitude longer than the mean —
+    the pattern that cripples scalar CSR on GPUs (paper Section VII-C).
+    """
+    rng = ensure_generator(seed)
+    raw = rng.zipf(alpha, size=n).astype(np.float64)
+    raw = np.minimum(raw, n / 2)
+    counts = np.maximum(1, (raw * (avg_row_nnz / raw.mean())).astype(np.int64))
+    counts = np.minimum(counts, n)
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    col = rng.integers(0, n, size=row.shape[0])
+    return _coo(n, row, col, rng)
+
+
+def rmat(
+    n_scale: int,
+    *,
+    edges_per_node: float = 8.0,
+    probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> COOMatrix:
+    """R-MAT (Kronecker) graph of ``2**n_scale`` nodes.
+
+    Recursive quadrant sampling yields power-law degrees with community
+    structure, matching the web/social graphs in SuiteSparse.
+    """
+    if abs(sum(probs) - 1.0) > 1e-9:
+        raise DatasetError(f"RMAT probabilities must sum to 1, got {probs}")
+    rng = ensure_generator(seed)
+    n = 1 << n_scale
+    n_edges = int(edges_per_node * n)
+    a, b, c, _ = probs
+    row = np.zeros(n_edges, dtype=np.int64)
+    col = np.zeros(n_edges, dtype=np.int64)
+    for level in range(n_scale):
+        u = rng.random(n_edges)
+        right = (u >= a) & (u < a + b)
+        down = (u >= a + b) & (u < a + b + c)
+        both = u >= a + b + c
+        bit = np.int64(1) << (n_scale - 1 - level)
+        row += bit * (down | both)
+        col += bit * (right | both)
+    return _coo(n, row, col, rng)
+
+
+def network_trace(
+    n: int, *, avg_row_nnz: float = 2.0, alpha: float = 1.6, seed: int = 0
+) -> COOMatrix:
+    """Internet-trace-like pattern (the paper's ``mawi`` analogue).
+
+    Extremely short rows on average with a few colossal hubs and fully
+    random columns — the worst case for row-parallel CSR on GPUs, where the
+    paper observes up to ~1000x penalty for the wrong format.
+    """
+    rng = ensure_generator(seed)
+    raw = rng.zipf(alpha, size=n).astype(np.float64)
+    raw = np.minimum(raw, n / 4)
+    counts = np.maximum(1, (raw * (avg_row_nnz / raw.mean())).astype(np.int64))
+    counts = np.minimum(counts, n)
+    # most rows carry a single entry; hubs keep their heavy tail
+    thin = rng.random(n) < 0.6
+    counts[thin] = 1
+    row = np.repeat(np.arange(n, dtype=np.int64), counts)
+    col = rng.integers(0, n, size=row.shape[0])
+    return _coo(n, row, col, rng)
+
+
+def hypersparse(n: int, *, density: float = 0.2, seed: int = 0) -> COOMatrix:
+    """Far fewer non-zeros than rows: most rows empty — the COO case.
+
+    *density* is the expected number of entries per row (< 1).
+    """
+    rng = ensure_generator(seed)
+    nnz = max(1, int(density * n))
+    row = rng.integers(0, n, size=nnz)
+    col = rng.integers(0, n, size=nnz)
+    return _coo(n, row, col, rng)
+
+
+def block_diagonal(n: int, *, block: int = 16, fill: float = 0.8, seed: int = 0) -> COOMatrix:
+    """Dense-ish blocks along the diagonal (multibody / DD problems)."""
+    rng = ensure_generator(seed)
+    n_blocks = max(1, n // block)
+    n = n_blocks * block
+    starts = np.arange(n_blocks, dtype=np.int64) * block
+    li, lj = np.meshgrid(np.arange(block), np.arange(block), indexing="ij")
+    row = (starts[:, None, None] + li[None]).ravel()
+    col = (starts[:, None, None] + lj[None]).ravel()
+    keep = rng.random(row.shape[0]) < fill
+    # always keep local diagonals so no row is empty
+    keep |= row == col
+    return _coo(n, row[keep], col[keep], rng)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+FAMILIES: Dict[str, Callable[..., COOMatrix]] = {
+    "unstructured_fem": unstructured_fem,
+    "banded": banded,
+    "multi_diagonal": multi_diagonal,
+    "noisy_banded": noisy_banded,
+    "diagonal_dominant": diagonal_dominant,
+    "stencil_2d": stencil_2d,
+    "stencil_3d": stencil_3d,
+    "uniform_random": uniform_random,
+    "uniform_rows": uniform_rows,
+    "powerlaw": powerlaw,
+    "rmat": rmat,
+    "network_trace": network_trace,
+    "hypersparse": hypersparse,
+    "block_diagonal": block_diagonal,
+}
+
+
+def generate_family(family: str, **params: object) -> COOMatrix:
+    """Dispatch to a family generator by name."""
+    if family not in FAMILIES:
+        raise DatasetError(
+            f"unknown family {family!r}; expected one of {sorted(FAMILIES)}"
+        )
+    return FAMILIES[family](**params)  # type: ignore[arg-type]

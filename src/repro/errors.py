@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything produced by this package with a single ``except`` clause,
+while still being able to discriminate on the precise failure class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "FormatError",
+    "ConversionError",
+    "ShapeError",
+    "BackendError",
+    "DatasetError",
+    "ModelError",
+    "ModelIOError",
+    "NotFittedError",
+    "TuningError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad dtype, negative size, ...)."""
+
+
+class ShapeError(ValidationError):
+    """Operand shapes are inconsistent (e.g. SpMV with mismatched vector)."""
+
+
+class FormatError(ReproError):
+    """A sparse-format container is malformed or an unknown format was named."""
+
+
+class ConversionError(FormatError):
+    """A conversion between two sparse formats failed or is unsupported."""
+
+
+class BackendError(ReproError):
+    """An execution backend was misconfigured or cannot run a kernel."""
+
+
+class DatasetError(ReproError):
+    """The synthetic matrix collection or matrix I/O encountered a problem."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model was misused (wrong input width, ...)."""
+
+
+class NotFittedError(ModelError):
+    """Prediction was requested from an estimator that has not been fitted."""
+
+
+class ModelIOError(ModelError):
+    """A model file could not be parsed or written."""
+
+
+class TuningError(ReproError):
+    """The auto-tuner could not produce a format decision."""

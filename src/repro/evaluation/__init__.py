@@ -1,0 +1,34 @@
+"""Evaluation helpers: the paper's tables and figures as library calls.
+
+The benchmark files under ``benchmarks/`` are thin wrappers around these
+functions, so the analysis that regenerates each table/figure is itself
+unit-tested API:
+
+* :func:`format_distribution_table` — Figure 2 rows.
+* :func:`speedup_summary` — Figures 3 and 4 statistics.
+* :func:`tuner_cost_statistics` — Table IV statistics.
+* :func:`tuned_speedup_series` — Figure 5 per-matrix series (Eq. 2).
+* :func:`render_table` — fixed-width text rendering used by the harness.
+"""
+
+from repro.evaluation.analysis import (
+    SpeedupSummary,
+    TunerCostStats,
+    backend_flip_analysis,
+    format_distribution_table,
+    speedup_summary,
+    tuned_speedup_series,
+    tuner_cost_statistics,
+)
+from repro.evaluation.render import render_table
+
+__all__ = [
+    "SpeedupSummary",
+    "TunerCostStats",
+    "backend_flip_analysis",
+    "format_distribution_table",
+    "speedup_summary",
+    "tuned_speedup_series",
+    "tuner_cost_statistics",
+    "render_table",
+]

@@ -1,0 +1,197 @@
+"""Statistical reductions behind the paper's tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.backends.base import ExecutionSpace
+from repro.core.pipeline import ProfilingResult
+from repro.core.tune import tune_multiply
+from repro.core.tuners.base import Tuner
+from repro.datasets.collection import MatrixCollection, MatrixSpec
+from repro.formats.base import FORMAT_IDS
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = [
+    "format_distribution_table",
+    "speedup_summary",
+    "SpeedupSummary",
+    "tuner_cost_statistics",
+    "TunerCostStats",
+    "tuned_speedup_series",
+]
+
+
+def format_distribution_table(
+    profiling: ProfilingResult, space_names: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
+    """Figure 2: per-space fraction of matrices optimal in each format."""
+    return {
+        name: profiling.format_distribution(name) for name in space_names
+    }
+
+
+@dataclass(frozen=True)
+class SpeedupSummary:
+    """Distribution statistics of optimal-vs-CSR speedups (Figs. 3/4)."""
+
+    n: int
+    mean: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_array(cls, speedups: np.ndarray) -> "SpeedupSummary":
+        if speedups.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            n=int(speedups.size),
+            mean=float(speedups.mean()),
+            median=float(np.median(speedups)),
+            q3=float(np.quantile(speedups, 0.75)),
+            maximum=float(speedups.max()),
+        )
+
+
+def speedup_summary(
+    profiling: ProfilingResult,
+    space_name: str,
+    *,
+    omit_csr_optimal: bool = True,
+) -> SpeedupSummary:
+    """Figures 3/4: summary of ``T_CSR / T_optimal`` for one space."""
+    return SpeedupSummary.from_array(
+        profiling.speedup_vs_csr(space_name, omit_csr_optimal=omit_csr_optimal)
+    )
+
+
+@dataclass(frozen=True)
+class TunerCostStats:
+    """Table IV row: tuner cost in CSR-SpMV equivalents."""
+
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    q2: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_array(cls, costs: np.ndarray) -> "TunerCostStats":
+        return cls(
+            mean=float(costs.mean()),
+            std=float(costs.std()),
+            minimum=float(costs.min()),
+            q1=float(np.quantile(costs, 0.25)),
+            q2=float(np.quantile(costs, 0.5)),
+            q3=float(np.quantile(costs, 0.75)),
+            maximum=float(costs.max()),
+        )
+
+
+def tuner_cost_statistics(
+    tuner: Tuner,
+    collection: MatrixCollection,
+    specs: Sequence[MatrixSpec],
+    space: ExecutionSpace,
+) -> TunerCostStats:
+    """Table IV: ``(T_FE + T_PRED) / T_CSR`` statistics over *specs*."""
+    costs: List[float] = []
+    for spec in specs:
+        stats = collection.stats(spec)
+        report = tuner.tune(
+            DynamicMatrix(collection.generate(spec)),
+            space,
+            stats=stats,
+            matrix_key=spec.name,
+        )
+        t_csr = space.time_spmv(stats, "CSR", matrix_key=spec.name)
+        costs.append(report.overhead_seconds / t_csr)
+    return TunerCostStats.from_array(np.asarray(costs))
+
+
+def tuned_speedup_series(
+    tuner: Tuner,
+    collection: MatrixCollection,
+    specs: Sequence[MatrixSpec],
+    space: ExecutionSpace,
+    *,
+    repetitions: int = 1000,
+) -> Dict[str, np.ndarray]:
+    """Figure 5: per-matrix tuned and oracle-optimal speedups (Eq. 2).
+
+    Returns arrays keyed ``"tuned"`` (auto-tuner end-to-end, including
+    T_FE and T_PRED) and ``"optimal"`` (hindsight-best format, no tuner
+    overhead).
+    """
+    tuned: List[float] = []
+    optimal: List[float] = []
+    for spec in specs:
+        stats = collection.stats(spec)
+        res = tune_multiply(
+            DynamicMatrix(collection.generate(spec)),
+            tuner,
+            space,
+            stats=stats,
+            matrix_key=spec.name,
+            repetitions=repetitions,
+        )
+        tuned.append(res.speedup_vs_csr)
+        times = space.time_all_formats(stats, matrix_key=spec.name)
+        optimal.append(times["CSR"] / min(times.values()))
+    return {
+        "tuned": np.asarray(tuned),
+        "optimal": np.asarray(optimal),
+    }
+
+
+def backend_flip_analysis(
+    profiling: ProfilingResult,
+    space_a: str,
+    space_b: str,
+) -> Dict[str, object]:
+    """Section VII-B's observation, quantified: optima flip between two
+    backends *of the same node* (e.g. serial vs OpenMP on ARCHER2).
+
+    Returns the fraction of matrices whose optimal format differs between
+    the two spaces and the most common (a-format -> b-format) transitions.
+    """
+    inv = {v: k for k, v in FORMAT_IDS.items()}
+    table_a = profiling.optimal[space_a]
+    table_b = profiling.optimal[space_b]
+    names = sorted(set(table_a) & set(table_b))
+    if not names:
+        return {"n": 0, "flip_fraction": 0.0, "transitions": {}}
+    transitions: Dict[str, int] = {}
+    flips = 0
+    for name in names:
+        a, b = table_a[name], table_b[name]
+        if a != b:
+            flips += 1
+            key = f"{inv[a]}->{inv[b]}"
+            transitions[key] = transitions.get(key, 0) + 1
+    ordered = dict(
+        sorted(transitions.items(), key=lambda kv: -kv[1])
+    )
+    return {
+        "n": len(names),
+        "flip_fraction": flips / len(names),
+        "transitions": ordered,
+    }
+
+
+def confusion_by_format(
+    y_true: np.ndarray, y_pred: np.ndarray
+) -> Dict[str, Dict[str, int]]:
+    """Readable confusion counts keyed by format name (diagnostics)."""
+    inv = {v: k for k, v in FORMAT_IDS.items()}
+    out: Dict[str, Dict[str, int]] = {}
+    for t, p in zip(y_true, y_pred):
+        row = out.setdefault(inv[int(t)], {})
+        row[inv[int(p)]] = row.get(inv[int(p)], 0) + 1
+    return out

@@ -1,0 +1,45 @@
+"""Fixed-width text rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Column widths adapt to content; floats use *float_format*; the first
+    column is left-aligned, the rest right-aligned (numeric convention).
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("")
+    out.append(line(list(headers)))
+    out.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out) + "\n"

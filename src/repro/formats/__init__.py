@@ -1,0 +1,52 @@
+"""Sparse matrix storage formats (the Morpheus substrate).
+
+Six concrete formats — matching the paper's Section II-B — plus the
+:class:`~repro.formats.dynamic.DynamicMatrix` runtime-switching container:
+
+======  ==  =============================================================
+Format  id  Description
+======  ==  =============================================================
+COO      0  Coordinate: (row, col, value) triplets.
+CSR      1  Compressed Sparse Row: row pointers + column indices + values.
+DIA      2  Diagonal: dense bands indexed by offset.
+ELL      3  ELLPACK: fixed-width padded rows.
+HYB      4  Hybrid ELL + COO with per-row split parameter ``K``.
+HDC      5  Hybrid DIA + CSR with true-diagonal threshold ``ND``.
+======  ==  =============================================================
+
+The integer ids are the classification targets used throughout the ML
+pipeline, in the paper's enumeration order (Eq. 1: ``COO, CSR, ..., HDC``).
+"""
+
+from repro.formats.base import (
+    FORMAT_IDS,
+    FORMAT_NAMES,
+    SparseMatrix,
+    format_id,
+    format_name,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.formats.hdc import HDCMatrix
+from repro.formats.convert import convert, convert_cost_weight
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = [
+    "FORMAT_IDS",
+    "FORMAT_NAMES",
+    "SparseMatrix",
+    "format_id",
+    "format_name",
+    "COOMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "HYBMatrix",
+    "HDCMatrix",
+    "convert",
+    "convert_cost_weight",
+    "DynamicMatrix",
+]

@@ -1,0 +1,214 @@
+"""Abstract base class and registry for sparse matrix storage formats.
+
+Every concrete format implements the small :class:`SparseMatrix` interface:
+construction from / conversion to COO (the interchange hub), a serial
+reference SpMV, an exact storage-byte count, and the per-row / per-diagonal
+statistics the Oracle feature extractor needs *without* leaving the format
+(paper Section VI-C: online feature extraction must not convert the matrix).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Type
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.utils.validation import check_vector_length
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.formats.coo import COOMatrix
+
+__all__ = [
+    "FORMAT_IDS",
+    "FORMAT_NAMES",
+    "SparseMatrix",
+    "format_id",
+    "format_name",
+    "register_format",
+    "format_class",
+]
+
+#: Paper enumeration order (Eq. 1): these ids are the ML targets.
+FORMAT_IDS: Dict[str, int] = {
+    "COO": 0,
+    "CSR": 1,
+    "DIA": 2,
+    "ELL": 3,
+    "HYB": 4,
+    "HDC": 5,
+}
+
+#: Inverse mapping id -> canonical name.
+FORMAT_NAMES: Dict[int, str] = {v: k for k, v in FORMAT_IDS.items()}
+
+_REGISTRY: Dict[str, Type["SparseMatrix"]] = {}
+
+
+def format_id(name: str) -> int:
+    """Return the integer id for a format *name* (case-insensitive)."""
+    key = name.upper()
+    if key not in FORMAT_IDS:
+        raise FormatError(
+            f"unknown format {name!r}; expected one of {sorted(FORMAT_IDS)}"
+        )
+    return FORMAT_IDS[key]
+
+
+def format_name(fid: int) -> str:
+    """Return the canonical name for a format id."""
+    try:
+        return FORMAT_NAMES[int(fid)]
+    except (KeyError, ValueError) as exc:
+        raise FormatError(f"unknown format id {fid!r}") from exc
+
+
+def register_format(cls: Type["SparseMatrix"]) -> Type["SparseMatrix"]:
+    """Class decorator: add *cls* to the name -> class registry."""
+    key = cls.format.upper()
+    if key not in FORMAT_IDS:
+        raise FormatError(f"cannot register unknown format {key!r}")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def format_class(name: str) -> Type["SparseMatrix"]:
+    """Look up the container class for a format name."""
+    key = name.upper()
+    if key not in _REGISTRY:
+        raise FormatError(f"no registered container for format {name!r}")
+    return _REGISTRY[key]
+
+
+class SparseMatrix(abc.ABC):
+    """Common interface of the six storage formats.
+
+    Concrete subclasses store their arrays as read-only attributes and are
+    immutable after construction: conversions always build new containers.
+    """
+
+    #: Canonical format name, overridden per subclass ("COO", "CSR", ...).
+    format: str = "?"
+
+    def __init__(self, nrows: int, ncols: int) -> None:
+        if nrows < 0 or ncols < 0:
+            raise ShapeError(f"matrix shape must be non-negative, got {nrows}x{ncols}")
+        self._nrows = int(nrows)
+        self._ncols = int(ncols)
+
+    # ------------------------------------------------------------------
+    # shape / metadata
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        """Number of rows (paper feature ``M``)."""
+        return self._nrows
+
+    @property
+    def ncols(self) -> int:
+        """Number of columns (paper feature ``N``)."""
+        return self._ncols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrows, ncols)``."""
+        return (self._nrows, self._ncols)
+
+    @property
+    def format_id(self) -> int:
+        """Integer id of this container's format."""
+        return FORMAT_IDS[self.format]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored non-zero entries (excluding padding)."""
+
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Exact bytes occupied by the format's arrays, *including* padding.
+
+        This drives the memory-traffic term of the performance models.
+        """
+
+    # ------------------------------------------------------------------
+    # conversion hub
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def to_coo(self) -> "COOMatrix":
+        """Convert to canonical (row-major sorted, deduplicated) COO."""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_coo(cls, coo: "COOMatrix", **params: object) -> "SparseMatrix":
+        """Build this format from a canonical COO matrix."""
+
+    # ------------------------------------------------------------------
+    # reference kernel
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Serial reference ``y = A @ x`` used by all backends for values."""
+
+    def _check_spmv_operand(self, x: np.ndarray) -> np.ndarray:
+        """Validate and coerce the SpMV input vector."""
+        vec = np.ascontiguousarray(x, dtype=np.float64)
+        if vec.ndim != 1:
+            raise ShapeError(f"SpMV operand must be 1-D, got ndim={vec.ndim}")
+        check_vector_length(vec, self._ncols, name="x")
+        return vec
+
+    # ------------------------------------------------------------------
+    # statistics for online feature extraction (paper Section VI-C)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def row_nnz(self) -> np.ndarray:
+        """Length-``nrows`` int64 array with the non-zero count of each row."""
+
+    @abc.abstractmethod
+    def diagonal_nnz(self) -> np.ndarray:
+        """Non-zero count per occupied diagonal.
+
+        The returned array has one entry per diagonal that contains at least
+        one non-zero; its length is the paper's ``ND`` feature and the counts
+        feed ``NTD`` (true diagonals above a threshold).
+        """
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the full dense matrix (tests / tiny matrices only)."""
+        coo = self.to_coo()
+        dense = np.zeros(self.shape, dtype=np.float64)
+        # canonical COO is deduplicated, so plain assignment is safe
+        dense[coo.row, coo.col] = coo.data
+        return dense
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal as a dense length-``min(nrows, ncols)`` vector.
+
+        Needed by diagonal preconditioners (Jacobi) and the HDC split
+        diagnostics; implemented via the COO view, overridable where a
+        format can answer faster.
+        """
+        coo = self.to_coo()
+        k = min(self.nrows, self.ncols)
+        diag = np.zeros(k, dtype=np.float64)
+        on_diag = coo.row == coo.col
+        diag[coo.row[on_diag]] = coo.data[on_diag]
+        return diag
+
+    def to_scipy(self):
+        """Return an equivalent :class:`scipy.sparse.coo_matrix` (test oracle)."""
+        import scipy.sparse as sp
+
+        coo = self.to_coo()
+        return sp.coo_matrix((coo.data, (coo.row, coo.col)), shape=self.shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.nrows}x{self.ncols} "
+            f"nnz={self.nnz} format={self.format}>"
+        )

@@ -1,0 +1,72 @@
+"""Conversions between the six storage formats.
+
+All conversions route through canonical COO (the interchange hub), which is
+exact for every pair and keeps the conversion graph a star.  The relative
+*cost weights* exposed here feed the run-first tuner's overhead model: a
+run-first tuner must pay one conversion per candidate format, which is
+precisely why the paper replaces it with ML prediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConversionError
+from repro.formats.base import SparseMatrix, format_class
+
+__all__ = ["convert", "convert_cost_weight"]
+
+#: Relative cost of building each format from COO, in units of "touches per
+#: stored entry".  DIA/ELL write padded dense blocks, hence the extra factor.
+_CONVERSION_WEIGHTS: Dict[str, float] = {
+    "COO": 1.0,
+    "CSR": 2.0,   # counting sort of rows + pointer scan
+    "DIA": 4.0,   # offset discovery + padded block fill
+    "ELL": 3.5,   # row-width discovery + padded block fill
+    "HYB": 4.5,   # split decision + ELL fill + COO spill
+    "HDC": 5.0,   # diagonal histogram + DIA fill + CSR build of the rest
+}
+
+
+def convert(
+    matrix: SparseMatrix, target: str, **params: object
+) -> SparseMatrix:
+    """Convert *matrix* to the *target* format (case-insensitive name).
+
+    Format-specific split parameters (HYB's ``k``, HDC's ``nd``) can be
+    passed through ``params``; unknown parameters are ignored by formats
+    that do not use them.
+
+    Converting to the format the matrix already has returns the same object
+    (containers are immutable, so sharing is safe) unless parameters are
+    supplied, in which case the container is rebuilt.
+    """
+    key = target.upper()
+    cls = format_class(key)
+    if matrix.format == key and not params:
+        return matrix
+    try:
+        return cls.from_coo(matrix.to_coo(), **params)
+    except ConversionError:
+        raise
+    except Exception as exc:  # pragma: no cover - defensive wrap
+        raise ConversionError(
+            f"converting {matrix.format} -> {key} failed: {exc}"
+        ) from exc
+
+
+def convert_cost_weight(source: str, target: str) -> float:
+    """Relative cost of converting *source* -> *target*.
+
+    The star topology means cost = (read source as COO) + (build target),
+    approximated by the target build weight plus one source traversal.
+    Same-format "conversion" is free.
+    """
+    src = source.upper()
+    dst = target.upper()
+    for name in (src, dst):
+        if name not in _CONVERSION_WEIGHTS:
+            raise ConversionError(f"unknown format {name!r} in cost query")
+    if src == dst:
+        return 0.0
+    return 1.0 + _CONVERSION_WEIGHTS[dst]

@@ -1,0 +1,160 @@
+"""Coordinate (COO) storage format.
+
+COO stores one ``(row, col, value)`` triplet per non-zero in three parallel
+arrays.  The paper (Section II-B) treats it as a general-purpose format with
+no ordering guarantee; our *canonical* COO — produced by
+:meth:`COOMatrix.canonical` and by every ``to_coo`` — is row-major sorted
+with duplicate coordinates summed, which makes it a convenient interchange
+hub for the other five formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, register_format
+from repro.utils.validation import (
+    as_index_array,
+    as_value_array,
+    check_index_bounds,
+)
+
+__all__ = ["COOMatrix"]
+
+
+@register_format
+class COOMatrix(SparseMatrix):
+    """Coordinate-format sparse matrix.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix shape.
+    row, col, data:
+        Parallel arrays of equal length: row index, column index and value of
+        each stored entry.
+    canonical:
+        When ``True`` the caller asserts the triplets are already row-major
+        sorted and duplicate-free, skipping the normalisation pass.
+    """
+
+    format = "COO"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        row: np.ndarray,
+        col: np.ndarray,
+        data: np.ndarray,
+        *,
+        canonical: bool = False,
+    ) -> None:
+        super().__init__(nrows, ncols)
+        row = as_index_array(row, name="row")
+        col = as_index_array(col, name="col")
+        data = as_value_array(data, name="data")
+        if not (row.shape == col.shape == data.shape):
+            raise ValidationError(
+                "row, col and data must have equal length, got "
+                f"{row.shape[0]}, {col.shape[0]}, {data.shape[0]}"
+            )
+        check_index_bounds(row, nrows, name="row")
+        check_index_bounds(col, ncols, name="col")
+        if not canonical:
+            row, col, data = _canonicalise(nrows, ncols, row, col, data)
+        self.row = row
+        self.col = col
+        self.data = data
+        for arr in (self.row, self.col, self.data):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.data.shape[0])
+
+    def nbytes(self) -> int:
+        return int(self.row.nbytes + self.col.nbytes + self.data.nbytes)
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> "COOMatrix":
+        return self
+
+    @classmethod
+    def from_coo(cls, coo: "COOMatrix", **params: object) -> "COOMatrix":
+        return coo
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "COOMatrix":
+        """Build from a dense 2-D array, storing every non-zero entry."""
+        arr = np.ascontiguousarray(dense, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValidationError(f"dense input must be 2-D, got ndim={arr.ndim}")
+        row, col = np.nonzero(arr)
+        return cls(
+            arr.shape[0],
+            arr.shape[1],
+            row.astype(np.int64),
+            col.astype(np.int64),
+            arr[row, col],
+            canonical=True,
+        )
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` via a scatter-add over the triplets."""
+        vec = self._check_spmv_operand(x)
+        products = self.data * vec[self.col]
+        return np.bincount(self.row, weights=products, minlength=self.nrows)
+
+    # ------------------------------------------------------------------
+    def row_nnz(self) -> np.ndarray:
+        return np.bincount(self.row, minlength=self.nrows).astype(np.int64)
+
+    def diagonal_nnz(self) -> np.ndarray:
+        if self.nnz == 0:
+            return np.zeros(0, dtype=np.int64)
+        offsets = self.col - self.row  # in [-(nrows-1), ncols-1]
+        shifted = offsets + (self.nrows - 1)
+        counts = np.bincount(shifted, minlength=self.nrows + self.ncols - 1)
+        return counts[counts > 0].astype(np.int64)
+
+    def diagonal_offsets(self) -> np.ndarray:
+        """Sorted offsets (col - row) of the occupied diagonals."""
+        if self.nnz == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(self.col - self.row)
+
+    # ------------------------------------------------------------------
+    def transpose(self) -> "COOMatrix":
+        """Return the transposed matrix (canonicalised)."""
+        return COOMatrix(self.ncols, self.nrows, self.col, self.row, self.data)
+
+
+def _canonicalise(
+    nrows: int,
+    ncols: int,
+    row: np.ndarray,
+    col: np.ndarray,
+    data: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort triplets row-major and sum duplicate coordinates."""
+    if row.size == 0:
+        return row, col, data
+    # linearised key fits in int64 for any matrix we can hold in memory
+    key = row * np.int64(ncols) + col
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    data = data[order]
+    uniq_mask = np.empty(key.shape, dtype=bool)
+    uniq_mask[0] = True
+    np.not_equal(key[1:], key[:-1], out=uniq_mask[1:])
+    if uniq_mask.all():
+        return row[order], col[order], data
+    # sum runs of duplicates via segment ids
+    seg = np.cumsum(uniq_mask) - 1
+    summed = np.bincount(seg, weights=data)
+    key_u = key[uniq_mask]
+    return (key_u // ncols).astype(np.int64), (key_u % ncols).astype(np.int64), summed

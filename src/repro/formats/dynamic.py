@@ -1,0 +1,128 @@
+"""The ``DynamicMatrix`` runtime-switching container (Morpheus's core idea).
+
+A :class:`DynamicMatrix` wraps exactly one concrete format at a time and can
+:meth:`switch` to any other format at runtime, mirroring the paper's
+Section II-C: a single "abstract" matrix type whose active format is a
+runtime property, so algorithms (SpMV) and tuners are written once against
+the dynamic type.
+
+The container keeps a switch history so experiments can audit how many
+conversions a tuning policy triggered.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import FORMAT_IDS, SparseMatrix, format_name
+from repro.formats.convert import convert
+
+__all__ = ["DynamicMatrix"]
+
+
+class DynamicMatrix:
+    """A sparse matrix whose storage format can change at runtime.
+
+    Parameters
+    ----------
+    matrix:
+        The initial concrete container (any of the six formats).
+
+    Examples
+    --------
+    >>> from repro.formats import COOMatrix, DynamicMatrix
+    >>> import numpy as np
+    >>> m = DynamicMatrix(COOMatrix.from_dense(np.eye(3)))
+    >>> m.active_format
+    'COO'
+    >>> m.switch("CSR").active_format
+    'CSR'
+    """
+
+    def __init__(self, matrix: SparseMatrix) -> None:
+        if not isinstance(matrix, SparseMatrix):
+            raise FormatError(
+                f"DynamicMatrix wraps SparseMatrix instances, got {type(matrix)}"
+            )
+        self._matrix = matrix
+        self._history: List[str] = [matrix.format]
+
+    # ------------------------------------------------------------------
+    @property
+    def concrete(self) -> SparseMatrix:
+        """The currently active concrete container."""
+        return self._matrix
+
+    @property
+    def active_format(self) -> str:
+        """Canonical name of the active format."""
+        return self._matrix.format
+
+    @property
+    def active_format_id(self) -> int:
+        """Integer id of the active format (the ML target space)."""
+        return self._matrix.format_id
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape
+
+    @property
+    def nrows(self) -> int:
+        return self._matrix.nrows
+
+    @property
+    def ncols(self) -> int:
+        return self._matrix.ncols
+
+    @property
+    def nnz(self) -> int:
+        return self._matrix.nnz
+
+    @property
+    def switch_history(self) -> tuple[str, ...]:
+        """Formats the matrix has been stored in, oldest first."""
+        return tuple(self._history)
+
+    @property
+    def n_switches(self) -> int:
+        """Number of conversions performed (excludes the initial format)."""
+        return len(self._history) - 1
+
+    # ------------------------------------------------------------------
+    def switch(self, target: str | int, **params: object) -> "DynamicMatrix":
+        """Switch the active storage format in place; returns ``self``.
+
+        *target* may be a format name or id.  Switching to the current
+        format is a no-op (no history entry).
+        """
+        name = format_name(target) if isinstance(target, int) else target.upper()
+        if name not in FORMAT_IDS:
+            raise FormatError(f"unknown target format {target!r}")
+        if name == self._matrix.format and not params:
+            return self
+        self._matrix = convert(self._matrix, name, **params)
+        self._history.append(name)
+        return self
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` with the active format's kernel."""
+        return self._matrix.spmv(x)
+
+    def row_nnz(self) -> np.ndarray:
+        return self._matrix.row_nnz()
+
+    def diagonal_nnz(self) -> np.ndarray:
+        return self._matrix.diagonal_nnz()
+
+    def nbytes(self) -> int:
+        return self._matrix.nbytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DynamicMatrix {self.nrows}x{self.ncols} nnz={self.nnz} "
+            f"active={self.active_format} switches={self.n_switches}>"
+        )

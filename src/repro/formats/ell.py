@@ -1,0 +1,149 @@
+"""ELLPACK (ELL) storage format.
+
+ELL assumes at most ``K`` non-zeros per row and stores two dense
+``(nrows, K)`` arrays: values and column indices, padding short rows (paper
+Section II-B).  Padded slots carry the sentinel column index ``-1`` and a
+zero value, so kernels and statistics can mask them exactly.
+
+ELL shines when row lengths are uniform (structured / semi-structured
+matrices) and degrades through padding when ``max(row_nnz)`` far exceeds the
+mean — exactly the signal the ``max(NNZ)`` / ``sigma_NNZ`` features capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.utils.validation import check_array_2d
+
+__all__ = ["ELLMatrix", "PAD_COL"]
+
+#: Sentinel column index marking padded slots.
+PAD_COL = -1
+
+
+@register_format
+class ELLMatrix(SparseMatrix):
+    """ELLPACK sparse matrix with fixed row width ``K``.
+
+    Parameters
+    ----------
+    nrows, ncols:
+        Matrix shape.
+    col_idx:
+        ``(nrows, K)`` int64 array; entries are column indices or
+        :data:`PAD_COL` for padding.  Valid entries precede padding in
+        each row.
+    data:
+        ``(nrows, K)`` float64 array; padded slots hold ``0.0``.
+    """
+
+    format = "ELL"
+
+    def __init__(
+        self,
+        nrows: int,
+        ncols: int,
+        col_idx: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        super().__init__(nrows, ncols)
+        col_idx = check_array_2d(col_idx, name="col_idx", dtype=np.int64)
+        data = check_array_2d(data, name="data", dtype=np.float64)
+        if col_idx.shape != data.shape:
+            raise ValidationError(
+                f"col_idx shape {col_idx.shape} != data shape {data.shape}"
+            )
+        if col_idx.shape[0] != nrows:
+            raise ValidationError(
+                f"col_idx must have nrows={nrows} rows, got {col_idx.shape[0]}"
+            )
+        valid = col_idx != PAD_COL
+        if valid.any():
+            cols = col_idx[valid]
+            if cols.min() < 0 or cols.max() >= ncols:
+                raise ValidationError(
+                    f"column indices must lie in [0, {ncols}) or be {PAD_COL}"
+                )
+        # normalise padded slots to exactly (PAD_COL, 0.0)
+        data = np.where(valid, data, 0.0)
+        self.col_idx = col_idx
+        self.data = data
+        self._valid = valid
+        self.col_idx.setflags(write=False)
+        self.data.setflags(write=False)
+        self._valid.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Row width ``K`` (maximum entries stored per row)."""
+        return int(self.col_idx.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        return int(self._valid.sum())
+
+    def padded_size(self) -> int:
+        """Total stored slots ``nrows * K`` including padding."""
+        return int(self.data.size)
+
+    def nbytes(self) -> int:
+        return int(self.col_idx.nbytes + self.data.nbytes)
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        rows = np.broadcast_to(
+            np.arange(self.nrows, dtype=np.int64)[:, None], self.col_idx.shape
+        )
+        mask = self._valid
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            rows[mask],
+            self.col_idx[mask],
+            self.data[mask],
+        )
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, **params: object) -> "ELLMatrix":
+        row_counts = coo.row_nnz()
+        width = int(row_counts.max()) if row_counts.size else 0
+        col_idx = np.full((coo.nrows, max(width, 0)), PAD_COL, dtype=np.int64)
+        data = np.zeros((coo.nrows, max(width, 0)), dtype=np.float64)
+        if coo.nnz:
+            # canonical COO is row-major sorted: position within row is the
+            # running index since the row started
+            starts = np.zeros(coo.nrows + 1, dtype=np.int64)
+            np.cumsum(row_counts, out=starts[1:])
+            slot = np.arange(coo.nnz, dtype=np.int64) - starts[coo.row]
+            col_idx[coo.row, slot] = coo.col
+            data[coo.row, slot] = coo.data
+        return cls(coo.nrows, coo.ncols, col_idx, data)
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` as a masked gather over the fixed-width slots."""
+        vec = self._check_spmv_operand(x)
+        if self.width == 0:
+            return np.zeros(self.nrows, dtype=np.float64)
+        gathered = vec[np.where(self._valid, self.col_idx, 0)]
+        return (self.data * np.where(self._valid, gathered, 0.0)).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def row_nnz(self) -> np.ndarray:
+        return self._valid.sum(axis=1).astype(np.int64)
+
+    def diagonal_nnz(self) -> np.ndarray:
+        if self.nnz == 0:
+            return np.zeros(0, dtype=np.int64)
+        rows = np.broadcast_to(
+            np.arange(self.nrows, dtype=np.int64)[:, None], self.col_idx.shape
+        )
+        mask = self._valid
+        shifted = self.col_idx[mask] - rows[mask] + (self.nrows - 1)
+        counts = np.bincount(shifted, minlength=self.nrows + self.ncols - 1)
+        return counts[counts > 0].astype(np.int64)

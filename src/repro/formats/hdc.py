@@ -1,0 +1,133 @@
+"""Hybrid DIA/CSR (HDC) storage format.
+
+HDC uses a threshold ``ND`` (paper Section II-B): diagonals whose non-zero
+count is at least ``ND`` are "true" diagonals and are stored in a DIA block;
+every remaining entry goes into a CSR block.  The format captures
+banded-plus-noise matrices — dense bands run at DIA speed while stray
+entries avoid blowing up the diagonal count.
+
+The default threshold is ``HDC_DIAG_FRACTION * min(nrows, ncols)``: a
+diagonal must be reasonably full before dedicated DIA storage pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix, register_format
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+
+__all__ = ["HDCMatrix", "default_hdc_threshold", "HDC_DIAG_FRACTION"]
+
+#: Fraction of the main-diagonal length a diagonal must fill to be "true".
+HDC_DIAG_FRACTION = 0.5
+
+
+def default_hdc_threshold(nrows: int, ncols: int) -> int:
+    """Default true-diagonal occupancy threshold ``ND``."""
+    return max(1, int(HDC_DIAG_FRACTION * min(nrows, ncols)))
+
+
+@register_format
+class HDCMatrix(SparseMatrix):
+    """Hybrid sparse matrix: a DIA block for true diagonals plus CSR rest."""
+
+    format = "HDC"
+
+    def __init__(self, dia: DIAMatrix, csr: CSRMatrix) -> None:
+        if dia.shape != csr.shape:
+            raise ValidationError(
+                f"DIA part {dia.shape} and CSR part {csr.shape} disagree"
+            )
+        super().__init__(dia.nrows, dia.ncols)
+        self.dia = dia
+        self.csr = csr
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self.dia.nnz + self.csr.nnz
+
+    @property
+    def dia_nnz(self) -> int:
+        """Entries stored in the diagonal block."""
+        return self.dia.nnz
+
+    @property
+    def csr_nnz(self) -> int:
+        """Entries stored in the irregular (CSR) block."""
+        return self.csr.nnz
+
+    @property
+    def ntrue_diags(self) -> int:
+        """Number of diagonals promoted to the DIA block."""
+        return self.dia.ndiags
+
+    def nbytes(self) -> int:
+        return self.dia.nbytes() + self.csr.nbytes()
+
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        a = self.dia.to_coo()
+        b = self.csr.to_coo()
+        return COOMatrix(
+            self.nrows,
+            self.ncols,
+            np.concatenate([a.row, b.row]),
+            np.concatenate([a.col, b.col]),
+            np.concatenate([a.data, b.data]),
+        )
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, **params: object) -> "HDCMatrix":
+        """Build from COO, promoting diagonals with ``>= nd`` non-zeros."""
+        nd = params.get("nd")
+        if nd is None:
+            nd = default_hdc_threshold(coo.nrows, coo.ncols)
+        nd = int(nd)
+        if nd < 1:
+            raise ValidationError(f"HDC threshold nd must be >= 1, got {nd}")
+        if coo.nnz == 0:
+            dia = DIAMatrix(
+                coo.nrows,
+                coo.ncols,
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, coo.ncols)),
+            )
+            return cls(dia, CSRMatrix.from_coo(coo))
+        entry_offsets = coo.col - coo.row
+        shift = coo.nrows - 1
+        counts = np.bincount(
+            entry_offsets + shift, minlength=coo.nrows + coo.ncols - 1
+        )
+        true_mask_per_entry = counts[entry_offsets + shift] >= nd
+        true_offsets = np.flatnonzero(counts >= nd).astype(np.int64) - shift
+        dia_data = np.zeros((true_offsets.shape[0], coo.ncols), dtype=np.float64)
+        if true_offsets.size:
+            k = np.searchsorted(true_offsets, entry_offsets[true_mask_per_entry])
+            dia_data[k, coo.col[true_mask_per_entry]] = coo.data[true_mask_per_entry]
+        dia = DIAMatrix(coo.nrows, coo.ncols, true_offsets, dia_data)
+        rest = COOMatrix(
+            coo.nrows,
+            coo.ncols,
+            coo.row[~true_mask_per_entry],
+            coo.col[~true_mask_per_entry],
+            coo.data[~true_mask_per_entry],
+            canonical=True,
+        )
+        return cls(dia, CSRMatrix.from_coo(rest))
+
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        vec = self._check_spmv_operand(x)
+        return self.dia.spmv(vec) + self.csr.spmv(vec)
+
+    # ------------------------------------------------------------------
+    def row_nnz(self) -> np.ndarray:
+        return self.dia.row_nnz() + self.csr.row_nnz()
+
+    def diagonal_nnz(self) -> np.ndarray:
+        return self.to_coo().diagonal_nnz()

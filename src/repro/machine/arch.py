@@ -1,0 +1,138 @@
+"""Architecture specifications for the simulated execution targets.
+
+The numeric fields are transcriptions of published hardware characteristics
+(vendor datasheets / STREAM and BabelStream measurements reported in the
+open literature) for the processors in the paper's Table II.  They
+parameterise the roofline cost model; absolute fidelity is not required —
+the *ratios* between architectures and the format-sensitivity knobs
+(warp width, cache, launch latency) are what shape the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+
+__all__ = ["ArchSpec", "CPUSpec", "GPUSpec"]
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Common fields of a compute device used for SpMV.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name, e.g. ``"AMD EPYC 7742"``.
+    kind:
+        ``"cpu"`` or ``"gpu"``.
+    peak_bw_gbs:
+        Achievable main-memory bandwidth of the full device in GB/s
+        (STREAM-triad-like, not theoretical peak).
+    peak_gflops:
+        Double-precision throughput of the full device in GFLOP/s.
+    llc_mib:
+        Last-level cache (CPU) or L2 (GPU) capacity in MiB; decides whether
+        the gathered ``x`` vector is cache-resident.
+    """
+
+    name: str
+    kind: str
+    peak_bw_gbs: float
+    peak_gflops: float
+    llc_mib: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise ValidationError(f"kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        for attr in ("peak_bw_gbs", "peak_gflops", "llc_mib"):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"{attr} must be positive")
+
+    @property
+    def peak_bw_bytes(self) -> float:
+        """Bandwidth in bytes/second."""
+        return self.peak_bw_gbs * 1e9
+
+    @property
+    def peak_flops(self) -> float:
+        """FLOP/s of the full device."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def llc_bytes(self) -> float:
+        """Last-level cache capacity in bytes."""
+        return self.llc_mib * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CPUSpec(ArchSpec):
+    """A multicore CPU (possibly a dual-socket node).
+
+    Attributes
+    ----------
+    cores:
+        Total physical cores across the node's sockets.
+    single_core_bw_frac:
+        Fraction of node bandwidth one core can sustain (serial backend).
+    row_loop_overhead_ns:
+        Fixed per-row cost of the row loop (branch + pointer arithmetic);
+        dominates for matrices with very short rows.
+    omp_fork_us:
+        One-off cost of an OpenMP parallel region (fork/join + barrier).
+    simd_width:
+        Double-precision SIMD lanes; regular formats (DIA/ELL) vectorise
+        fully, irregular row remainders do not.
+    """
+
+    kind: str = field(default="cpu", init=False)
+    cores: int = 1
+    single_core_bw_frac: float = 0.15
+    row_loop_overhead_ns: float = 1.5
+    omp_fork_us: float = 6.0
+    simd_width: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cores < 1:
+            raise ValidationError("cores must be >= 1")
+        if not (0.0 < self.single_core_bw_frac <= 1.0):
+            raise ValidationError("single_core_bw_frac must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class GPUSpec(ArchSpec):
+    """A discrete GPU accelerator.
+
+    Attributes
+    ----------
+    sms:
+        Streaming multiprocessors / compute units.
+    warp_size:
+        SIMT width (32 for NVIDIA, 64 for AMD wavefronts); CSR-scalar row
+        assignment under-uses a warp whenever rows are short, and wider
+        wavefronts hurt more (the paper's HIP speedups exceed CUDA's).
+    launch_us:
+        Kernel-launch latency; hybrid formats pay it twice.
+    max_resident_threads:
+        Device-wide resident-thread capacity, bounding occupancy for small
+        matrices.
+    gather_penalty:
+        Bandwidth degradation factor for fully uncoalesced gathers
+        (random access to ``x`` or scattered row segments).
+    """
+
+    kind: str = field(default="gpu", init=False)
+    sms: int = 80
+    warp_size: int = 32
+    launch_us: float = 6.0
+    max_resident_threads: int = 160_000
+    gather_penalty: float = 12.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sms < 1 or self.warp_size < 1:
+            raise ValidationError("sms and warp_size must be >= 1")
+        if self.gather_penalty < 1.0:
+            raise ValidationError("gather_penalty must be >= 1")

@@ -1,0 +1,197 @@
+"""Per-matrix structural statistics consumed by the performance models.
+
+:class:`MatrixStats` is computed once per matrix (one pass over a COO/CSR
+view) and carries everything the cost model and the feature extractor need:
+shape, the row-length distribution, the diagonal census and the derived
+per-format storage sizes (ELL width, DIA padding, HYB/HDC split sizes).
+
+Keeping this separate from the containers means profiling 2200 matrices does
+not require materialising six containers each — the stats fully determine
+the modelled runtime of every format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.base import SparseMatrix
+from repro.formats.hdc import default_hdc_threshold
+from repro.formats.hyb import default_hyb_split
+
+__all__ = ["MatrixStats"]
+
+#: Bytes per stored value (float64).
+VAL_BYTES = 8
+#: Bytes per stored index (int64).
+IDX_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Structural summary of a sparse matrix.
+
+    All fields are plain Python scalars so instances are cheap to cache,
+    hash-friendly and trivially serialisable.
+    """
+
+    nrows: int
+    ncols: int
+    nnz: int
+    # row-length distribution
+    row_nnz_mean: float
+    row_nnz_min: int
+    row_nnz_max: int
+    row_nnz_std: float
+    n_empty_rows: int
+    # diagonal census
+    ndiags: int
+    ntrue_diags: int
+    true_diag_nnz: int
+    # hybrid split sizes (computed with the formats' default parameters)
+    hyb_k: int
+    hyb_ell_nnz: int
+    hyb_coo_nnz: int
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: SparseMatrix,
+        *,
+        true_diag_threshold: int | None = None,
+    ) -> "MatrixStats":
+        """Compute statistics from any concrete format container."""
+        row_nnz = matrix.row_nnz()
+        diag_nnz = matrix.diagonal_nnz()
+        return cls.from_distributions(
+            matrix.nrows,
+            matrix.ncols,
+            row_nnz,
+            diag_nnz,
+            true_diag_threshold=true_diag_threshold,
+        )
+
+    @classmethod
+    def from_distributions(
+        cls,
+        nrows: int,
+        ncols: int,
+        row_nnz: np.ndarray,
+        diag_nnz: np.ndarray,
+        *,
+        true_diag_threshold: int | None = None,
+    ) -> "MatrixStats":
+        """Build from pre-computed row / diagonal non-zero histograms."""
+        nnz = int(row_nnz.sum())
+        if true_diag_threshold is None:
+            true_diag_threshold = default_hdc_threshold(nrows, ncols)
+        true_mask = diag_nnz >= true_diag_threshold
+        hyb_k = default_hyb_split(row_nnz)
+        ell_per_row = np.minimum(row_nnz, hyb_k)
+        hyb_ell_nnz = int(ell_per_row.sum())
+        return cls(
+            nrows=int(nrows),
+            ncols=int(ncols),
+            nnz=nnz,
+            row_nnz_mean=float(row_nnz.mean()) if nrows else 0.0,
+            row_nnz_min=int(row_nnz.min()) if nrows else 0,
+            row_nnz_max=int(row_nnz.max()) if nrows else 0,
+            row_nnz_std=float(row_nnz.std()) if nrows else 0.0,
+            n_empty_rows=int((row_nnz == 0).sum()),
+            ndiags=int(diag_nnz.shape[0]),
+            ntrue_diags=int(true_mask.sum()),
+            true_diag_nnz=int(diag_nnz[true_mask].sum()),
+            hyb_k=int(hyb_k),
+            hyb_ell_nnz=hyb_ell_nnz,
+            hyb_coo_nnz=nnz - hyb_ell_nnz,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Fill fraction ``nnz / (nrows * ncols)`` (the paper's ρ)."""
+        denom = self.nrows * self.ncols
+        return self.nnz / denom if denom else 0.0
+
+    @property
+    def ell_width(self) -> int:
+        """ELL row width, ``max(row_nnz)``."""
+        return self.row_nnz_max
+
+    @property
+    def ell_padded(self) -> int:
+        """Stored slots in ELL, ``nrows * ell_width``."""
+        return self.nrows * self.ell_width
+
+    @property
+    def ell_padding_ratio(self) -> float:
+        """Padded slots / useful slots for ELL (>= 1; 1 means no waste)."""
+        return self.ell_padded / self.nnz if self.nnz else 1.0
+
+    @property
+    def dia_padded(self) -> int:
+        """Stored slots in DIA, ``ndiags * ncols``."""
+        return self.ndiags * self.ncols
+
+    @property
+    def dia_padding_ratio(self) -> float:
+        """Padded slots / useful slots for DIA."""
+        return self.dia_padded / self.nnz if self.nnz else 1.0
+
+    @property
+    def hdc_dia_nnz(self) -> int:
+        """Entries stored in HDC's DIA block."""
+        return self.true_diag_nnz
+
+    @property
+    def hdc_csr_nnz(self) -> int:
+        """Entries stored in HDC's CSR block."""
+        return self.nnz - self.true_diag_nnz
+
+    @property
+    def hdc_dia_padded(self) -> int:
+        """Stored slots in HDC's DIA block."""
+        return self.ntrue_diags * self.ncols
+
+    @property
+    def row_imbalance(self) -> float:
+        """``max(row_nnz) / mean(row_nnz)`` — load-imbalance proxy (>= 1)."""
+        if self.row_nnz_mean <= 0:
+            return 1.0
+        return max(1.0, self.row_nnz_max / self.row_nnz_mean)
+
+    @property
+    def row_cv(self) -> float:
+        """Coefficient of variation of row lengths (irregularity proxy)."""
+        if self.row_nnz_mean <= 0:
+            return 0.0
+        return self.row_nnz_std / self.row_nnz_mean
+
+    # ------------------------------------------------------------------
+    # exact storage footprints (bytes) per format
+    # ------------------------------------------------------------------
+    def format_bytes(self, fmt: str) -> int:
+        """Bytes occupied by this matrix stored in format *fmt*."""
+        f = fmt.upper()
+        if f == "COO":
+            return self.nnz * (2 * IDX_BYTES + VAL_BYTES)
+        if f == "CSR":
+            return self.nnz * (IDX_BYTES + VAL_BYTES) + (self.nrows + 1) * IDX_BYTES
+        if f == "DIA":
+            return self.dia_padded * VAL_BYTES + self.ndiags * IDX_BYTES
+        if f == "ELL":
+            return self.ell_padded * (IDX_BYTES + VAL_BYTES)
+        if f == "HYB":
+            ell_bytes = self.nrows * self.hyb_k * (IDX_BYTES + VAL_BYTES)
+            coo_bytes = self.hyb_coo_nnz * (2 * IDX_BYTES + VAL_BYTES)
+            return ell_bytes + coo_bytes
+        if f == "HDC":
+            dia_bytes = self.hdc_dia_padded * VAL_BYTES + self.ntrue_diags * IDX_BYTES
+            csr_bytes = (
+                self.hdc_csr_nnz * (IDX_BYTES + VAL_BYTES)
+                + (self.nrows + 1) * IDX_BYTES
+            )
+            return dia_bytes + csr_bytes
+        raise ValueError(f"unknown format {fmt!r}")

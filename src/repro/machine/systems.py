@@ -1,0 +1,228 @@
+"""The paper's test systems (Table II) as a registry of simulated devices.
+
+Each :class:`System` names the devices reachable from one of the paper's
+(system, queue) combinations and the Morpheus backends that run on them.
+The eleven (system, backend) pairs of Tables III/IV are exactly
+``list(iter_system_backends())``.
+
+Hardware numbers are drawn from vendor datasheets and published STREAM /
+BabelStream results for the node types in Table II:
+
+====================  =========================  ======================
+System                CPU                         GPU
+====================  =========================  ======================
+ARCHER2               2x AMD EPYC 7742 (128c)     —
+Cirrus (standard)     2x Intel Xeon E5-2695 (36c) —
+Cirrus (gpu)          2x Xeon Gold 6248           4x NVIDIA V100 16GB
+Isambard A64FX        1x Fujitsu A64FX (48c)      —
+Isambard XCI          1x Marvell ThunderX2 (32c)  —
+Isambard P3 Ampere    1x AMD EPYC 7543P           4x NVIDIA A100 40GB
+Isambard P3 Instinct  1x AMD EPYC 7543P           4x AMD Instinct MI100
+====================  =========================  ======================
+
+A single GPU is modelled per run (the paper's kernels are single-device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import BackendError
+from repro.machine.arch import ArchSpec, CPUSpec, GPUSpec
+
+__all__ = [
+    "System",
+    "SYSTEMS",
+    "SYSTEM_BACKENDS",
+    "get_system",
+    "iter_system_backends",
+]
+
+# ----------------------------------------------------------------------
+# devices
+# ----------------------------------------------------------------------
+
+EPYC_7742_NODE = CPUSpec(
+    name="2x AMD EPYC 7742",
+    peak_bw_gbs=340.0,
+    peak_gflops=3500.0,
+    llc_mib=512.0,
+    cores=128,
+    single_core_bw_frac=0.07,
+    row_loop_overhead_ns=1.2,
+    omp_fork_us=9.0,
+    simd_width=4,
+)
+
+XEON_E5_2695_NODE = CPUSpec(
+    name="2x Intel Xeon E5-2695",
+    peak_bw_gbs=115.0,
+    peak_gflops=1100.0,
+    llc_mib=90.0,
+    cores=36,
+    single_core_bw_frac=0.12,
+    row_loop_overhead_ns=1.6,
+    omp_fork_us=5.0,
+    simd_width=4,
+)
+
+A64FX_NODE = CPUSpec(
+    name="Fujitsu A64FX",
+    peak_bw_gbs=840.0,
+    peak_gflops=2700.0,
+    llc_mib=32.0,
+    cores=48,
+    single_core_bw_frac=0.06,
+    row_loop_overhead_ns=2.8,
+    omp_fork_us=7.0,
+    simd_width=8,
+)
+
+THUNDERX2_NODE = CPUSpec(
+    name="Marvell ThunderX2",
+    peak_bw_gbs=110.0,
+    peak_gflops=560.0,
+    llc_mib=32.0,
+    cores=32,
+    single_core_bw_frac=0.10,
+    row_loop_overhead_ns=2.0,
+    omp_fork_us=5.0,
+    simd_width=2,
+)
+
+EPYC_7543P_NODE = CPUSpec(
+    name="AMD EPYC 7543P",
+    peak_bw_gbs=170.0,
+    peak_gflops=1800.0,
+    llc_mib=256.0,
+    cores=32,
+    single_core_bw_frac=0.11,
+    row_loop_overhead_ns=1.2,
+    omp_fork_us=5.0,
+    simd_width=4,
+)
+
+V100 = GPUSpec(
+    name="NVIDIA V100 16GB",
+    peak_bw_gbs=790.0,
+    peak_gflops=7000.0,
+    llc_mib=6.0,
+    sms=80,
+    warp_size=32,
+    launch_us=7.0,
+    max_resident_threads=163_840,
+    gather_penalty=12.0,
+)
+
+A100 = GPUSpec(
+    name="NVIDIA A100 40GB",
+    peak_bw_gbs=1400.0,
+    peak_gflops=9700.0,
+    llc_mib=40.0,
+    sms=108,
+    warp_size=32,
+    launch_us=6.0,
+    max_resident_threads=221_184,
+    gather_penalty=10.0,
+)
+
+MI100 = GPUSpec(
+    name="AMD Instinct MI100",
+    peak_bw_gbs=1000.0,
+    peak_gflops=11500.0,
+    llc_mib=8.0,
+    sms=120,
+    warp_size=64,
+    launch_us=10.0,
+    max_resident_threads=245_760,
+    gather_penalty=16.0,
+)
+
+
+# ----------------------------------------------------------------------
+# systems
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class System:
+    """A (site, queue) combination with its devices per backend."""
+
+    name: str
+    devices: Dict[str, ArchSpec]
+
+    def device_for(self, backend: str) -> ArchSpec:
+        """The device a Morpheus backend targets on this system."""
+        key = backend.lower()
+        if key not in self.devices:
+            raise BackendError(
+                f"system {self.name!r} has no {backend!r} backend; "
+                f"available: {sorted(self.devices)}"
+            )
+        return self.devices[key]
+
+    @property
+    def backends(self) -> Tuple[str, ...]:
+        """Backends available on this system, in canonical order."""
+        order = ("serial", "openmp", "cuda", "hip")
+        return tuple(b for b in order if b in self.devices)
+
+
+SYSTEMS: Dict[str, System] = {
+    "archer2": System(
+        "archer2",
+        {"serial": EPYC_7742_NODE, "openmp": EPYC_7742_NODE},
+    ),
+    "cirrus": System(
+        "cirrus",
+        {
+            "serial": XEON_E5_2695_NODE,
+            "openmp": XEON_E5_2695_NODE,
+            "cuda": V100,
+        },
+    ),
+    "a64fx": System(
+        "a64fx",
+        {"serial": A64FX_NODE, "openmp": A64FX_NODE},
+    ),
+    "xci": System(
+        "xci",
+        {"serial": THUNDERX2_NODE, "openmp": THUNDERX2_NODE},
+    ),
+    "p3": System(
+        "p3",
+        {"cuda": A100, "hip": MI100},
+    ),
+}
+
+#: The eleven (system, backend) pairs of the paper's Tables III/IV.
+SYSTEM_BACKENDS: Tuple[Tuple[str, str], ...] = (
+    ("archer2", "serial"),
+    ("archer2", "openmp"),
+    ("cirrus", "serial"),
+    ("cirrus", "openmp"),
+    ("cirrus", "cuda"),
+    ("a64fx", "serial"),
+    ("a64fx", "openmp"),
+    ("p3", "cuda"),
+    ("p3", "hip"),
+    ("xci", "serial"),
+    ("xci", "openmp"),
+)
+
+
+def get_system(name: str) -> System:
+    """Look up a system by (case-insensitive) name."""
+    key = name.lower()
+    if key not in SYSTEMS:
+        raise BackendError(
+            f"unknown system {name!r}; expected one of {sorted(SYSTEMS)}"
+        )
+    return SYSTEMS[key]
+
+
+def iter_system_backends() -> Iterator[Tuple[System, str]]:
+    """Yield the paper's eleven (System, backend) evaluation pairs."""
+    for sys_name, backend in SYSTEM_BACKENDS:
+        yield SYSTEMS[sys_name], backend

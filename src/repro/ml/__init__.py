@@ -1,0 +1,61 @@
+"""From-scratch machine-learning stack (the scikit-learn substitute).
+
+The paper's Sparse.Tree framework trains decision-tree and random-forest
+classifiers with scikit-learn; this offline environment has no scikit-learn,
+so the package implements the required subset from first principles:
+
+* :class:`~repro.ml.tree.DecisionTreeClassifier` — CART with gini/entropy
+  criteria, depth / leaf / split / feature-subset controls.
+* :class:`~repro.ml.forest.RandomForestClassifier` — bagged trees with
+  majority voting (the scheme Oracle's ``RandomForestTuner`` uses).
+* :mod:`~repro.ml.model_selection` — stratified K-fold CV, grid search.
+* :mod:`~repro.ml.metrics` — accuracy, balanced accuracy (the paper's
+  headline metrics), confusion matrices and reports.
+
+The implementations follow scikit-learn's API conventions (``fit`` /
+``predict`` / ``get_params``) so the pipeline code reads like the paper's.
+"""
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.boosting import GradientBoostingClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+__all__ = [
+    "BaseEstimator",
+    "clone",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "f1_score",
+    "precision_score",
+    "recall_score",
+    "GridSearchCV",
+    "KFold",
+    "ParameterGrid",
+    "StratifiedKFold",
+    "cross_val_score",
+    "train_test_split",
+]

@@ -1,0 +1,64 @@
+"""Estimator plumbing: parameter introspection and cloning.
+
+Follows scikit-learn's convention: every constructor argument is a
+hyperparameter stored under the same attribute name, learned state uses a
+trailing underscore, and :func:`clone` builds an unfitted copy from
+``get_params``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, TypeVar
+
+from repro.errors import ModelError, NotFittedError
+
+__all__ = ["BaseEstimator", "clone", "check_is_fitted"]
+
+E = TypeVar("E", bound="BaseEstimator")
+
+
+class BaseEstimator:
+    """Base class providing ``get_params`` / ``set_params``."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind != inspect.Parameter.VAR_KEYWORD
+        ]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Hyperparameters as a dict (constructor-argument names)."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self: E, **params: Any) -> E:
+        """Set hyperparameters; unknown names raise :class:`ModelError`."""
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ModelError(
+                    f"invalid parameter {key!r} for {type(self).__name__}; "
+                    f"valid parameters: {sorted(valid)}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"
+
+
+def clone(estimator: E) -> E:
+    """Return an unfitted copy of *estimator* with identical parameters."""
+    return type(estimator)(**estimator.get_params())
+
+
+def check_is_fitted(estimator: object, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless *attribute* exists."""
+    if not hasattr(estimator, attribute):
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted; call fit() first"
+        )

@@ -1,0 +1,168 @@
+"""Classification metrics.
+
+The paper reports **accuracy** and **balanced accuracy** (Section VII-D);
+balanced accuracy — the mean of per-class recalls — is the indicative
+metric because the optimal-format distribution is heavily imbalanced
+(Section VII-B: CSR is the clear majority class / "rare event prediction").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "classification_report",
+]
+
+
+def _validate(y_true: Sequence[int], y_pred: Sequence[int]) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(y_true)
+    p = np.asarray(y_pred)
+    if t.shape != p.shape:
+        raise ValidationError(
+            f"y_true shape {t.shape} != y_pred shape {p.shape}"
+        )
+    if t.ndim != 1:
+        raise ValidationError(f"labels must be 1-D, got ndim={t.ndim}")
+    if t.size == 0:
+        raise ValidationError("cannot score empty label arrays")
+    return t, p
+
+
+def accuracy_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of exactly correct predictions."""
+    t, p = _validate(y_true, y_pred)
+    return float(np.mean(t == p))
+
+
+def balanced_accuracy_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Mean per-class recall over the classes present in ``y_true``."""
+    t, p = _validate(y_true, y_pred)
+    classes = np.unique(t)
+    recalls = np.empty(classes.shape[0])
+    for i, c in enumerate(classes):
+        mask = t == c
+        recalls[i] = np.mean(p[mask] == c)
+    return float(recalls.mean())
+
+
+def confusion_matrix(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    *,
+    labels: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Counts ``C[i, j]``: samples of class ``labels[i]`` predicted ``labels[j]``."""
+    t, p = _validate(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([t, p]))
+    labels = np.asarray(labels)
+    k = labels.shape[0]
+    index = {int(c): i for i, c in enumerate(labels)}
+    out = np.zeros((k, k), dtype=np.int64)
+    for ti, pi in zip(t, p):
+        if int(ti) in index and int(pi) in index:
+            out[index[int(ti)], index[int(pi)]] += 1
+    return out
+
+
+def _per_class_prf(
+    y_true: Sequence[int], y_pred: Sequence[int], labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1).astype(np.float64)
+    predicted = cm.sum(axis=0).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(support > 0, tp / support, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1, support
+
+
+def precision_score(
+    y_true: Sequence[int], y_pred: Sequence[int], *, average: str = "macro"
+) -> float:
+    """Macro- or micro-averaged precision."""
+    t, p = _validate(y_true, y_pred)
+    labels = np.unique(t)
+    prec, _, _, support = _per_class_prf(t, p, labels)
+    return _average(prec, support, average)
+
+
+def recall_score(
+    y_true: Sequence[int], y_pred: Sequence[int], *, average: str = "macro"
+) -> float:
+    """Macro- or micro-averaged recall (macro recall == balanced accuracy)."""
+    t, p = _validate(y_true, y_pred)
+    labels = np.unique(t)
+    _, rec, _, support = _per_class_prf(t, p, labels)
+    return _average(rec, support, average)
+
+
+def f1_score(
+    y_true: Sequence[int], y_pred: Sequence[int], *, average: str = "macro"
+) -> float:
+    """Macro- or micro-averaged F1."""
+    t, p = _validate(y_true, y_pred)
+    labels = np.unique(t)
+    _, _, f1, support = _per_class_prf(t, p, labels)
+    return _average(f1, support, average)
+
+
+def _average(values: np.ndarray, support: np.ndarray, average: str) -> float:
+    if average == "macro":
+        return float(values.mean())
+    if average == "weighted":
+        total = support.sum()
+        return float((values * support).sum() / total) if total else 0.0
+    raise ValidationError(f"average must be 'macro' or 'weighted', got {average!r}")
+
+
+def classification_report(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    *,
+    target_names: Sequence[str] | None = None,
+) -> str:
+    """Human-readable per-class precision / recall / F1 / support table."""
+    t, p = _validate(y_true, y_pred)
+    labels = np.unique(t)
+    prec, rec, f1, support = _per_class_prf(t, p, labels)
+    if target_names is None:
+        target_names = [str(int(c)) for c in labels]
+    if len(target_names) != labels.shape[0]:
+        raise ValidationError(
+            f"target_names has {len(target_names)} entries for "
+            f"{labels.shape[0]} classes"
+        )
+    width = max(12, max(len(n) for n in target_names) + 2)
+    lines = [
+        f"{'':<{width}}{'precision':>10}{'recall':>10}{'f1':>10}{'support':>10}"
+    ]
+    for i, name in enumerate(target_names):
+        lines.append(
+            f"{name:<{width}}{prec[i]:>10.3f}{rec[i]:>10.3f}"
+            f"{f1[i]:>10.3f}{int(support[i]):>10d}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'accuracy':<{width}}{'':>10}{'':>10}"
+        f"{accuracy_score(t, p):>10.3f}{t.shape[0]:>10d}"
+    )
+    lines.append(
+        f"{'balanced acc':<{width}}{'':>10}{'':>10}"
+        f"{balanced_accuracy_score(t, p):>10.3f}{t.shape[0]:>10d}"
+    )
+    return "\n".join(lines)

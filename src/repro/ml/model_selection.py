@@ -1,0 +1,264 @@
+"""Cross-validation and hyperparameter search.
+
+The paper tunes its classifiers with an exhaustive grid search wrapped
+around 5-fold cross-validation on the training split (Section VII-D); this
+module provides :class:`KFold` / :class:`StratifiedKFold`,
+:func:`cross_val_score` and :class:`GridSearchCV` with the same semantics
+as their scikit-learn namesakes (for the feature subset used here).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import accuracy_score, balanced_accuracy_score
+from repro.utils.rng import ensure_generator
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "ParameterGrid",
+    "GridSearchCV",
+]
+
+Scorer = Callable[[np.ndarray, np.ndarray], float]
+
+_SCORERS: Dict[str, Scorer] = {
+    "accuracy": accuracy_score,
+    "balanced_accuracy": balanced_accuracy_score,
+}
+
+
+def get_scorer(scoring: str | Scorer) -> Scorer:
+    """Resolve a scoring name or callable to a ``(y_true, y_pred) -> float``."""
+    if callable(scoring):
+        return scoring
+    if scoring not in _SCORERS:
+        raise ValidationError(
+            f"unknown scoring {scoring!r}; expected one of {sorted(_SCORERS)}"
+        )
+    return _SCORERS[scoring]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_size: float = 0.2,
+    seed: int | None = 0,
+    stratify: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split arrays into train and test partitions.
+
+    With ``stratify=True`` the class proportions of *y* are preserved in
+    both partitions (up to rounding).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]}"
+        )
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    rng = ensure_generator(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx: List[int] = []
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            members = members[rng.permutation(members.shape[0])]
+            k = max(1, int(round(test_size * members.shape[0])))
+            test_idx.extend(members[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.asarray(test_idx, dtype=np.int64)] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """Shuffled K-fold splitter yielding (train_idx, test_idx) pairs."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X: np.ndarray, y: np.ndarray | None = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        n = np.asarray(X).shape[0]
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        idx = np.arange(n)
+        if self.shuffle:
+            idx = ensure_generator(self.seed).permutation(n)
+        folds = np.array_split(idx, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+class StratifiedKFold:
+    """K-fold preserving per-class proportions in every fold.
+
+    Samples of each class are dealt round-robin (after shuffling) into the
+    folds, so even minority classes with fewer members than folds are
+    spread as evenly as possible — important here because the format
+    labels are heavily imbalanced.
+    """
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, X: np.ndarray, y: np.ndarray) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n = y.shape[0]
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        rng = ensure_generator(self.seed)
+        fold_of = np.empty(n, dtype=np.int64)
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            if self.shuffle:
+                members = members[rng.permutation(members.shape[0])]
+            fold_of[members] = np.arange(members.shape[0]) % self.n_splits
+        for i in range(self.n_splits):
+            test = np.flatnonzero(fold_of == i)
+            train = np.flatnonzero(fold_of != i)
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    cv: KFold | StratifiedKFold | int = 5,
+    scoring: str | Scorer = "accuracy",
+) -> np.ndarray:
+    """Fit a clone per fold and return the per-fold test scores."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    splitter = StratifiedKFold(cv) if isinstance(cv, int) else cv
+    scorer = get_scorer(scoring)
+    scores = []
+    for train_idx, test_idx in splitter.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+class ParameterGrid:
+    """Cartesian product over a ``{name: [values...]}`` mapping."""
+
+    def __init__(self, grid: Mapping[str, Sequence[object]]) -> None:
+        if not grid:
+            raise ValidationError("parameter grid must not be empty")
+        for key, values in grid.items():
+            if isinstance(values, str) or not isinstance(values, Iterable):
+                raise ValidationError(
+                    f"grid entry {key!r} must be a sequence of values"
+                )
+        self.grid = {k: list(v) for k, v in grid.items()}
+
+    def __len__(self) -> int:
+        out = 1
+        for values in self.grid.values():
+            out *= len(values)
+        return out
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        keys = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive hyperparameter search with cross-validated scoring.
+
+    Mirrors the paper's tuning procedure: every grid point is evaluated
+    with (stratified) 5-fold CV on the training set; the best-scoring
+    parameters are refitted on the full training set.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    best_params_:
+        The winning parameter combination.
+    best_score_:
+        Its mean CV score.
+    best_estimator_:
+        A clone refitted on all of ``(X, y)`` with the winning parameters.
+    cv_results_:
+        Dict with ``params``, ``mean_test_score`` and ``std_test_score``.
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Mapping[str, Sequence[object]],
+        *,
+        cv: int = 5,
+        scoring: str | Scorer = "accuracy",
+        seed: int | None = 0,
+    ) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        splitter = StratifiedKFold(self.cv, seed=self.seed)
+        # materialise folds once: every grid point sees identical splits
+        folds = list(splitter.split(X, y))
+        scorer = get_scorer(self.scoring)
+        results: List[Tuple[Dict[str, object], float, float]] = []
+        for params in ParameterGrid(self.param_grid):
+            fold_scores = []
+            for train_idx, test_idx in folds:
+                model = clone(self.estimator).set_params(**params)
+                model.fit(X[train_idx], y[train_idx])
+                fold_scores.append(
+                    scorer(y[test_idx], model.predict(X[test_idx]))
+                )
+            arr = np.asarray(fold_scores)
+            results.append((params, float(arr.mean()), float(arr.std())))
+        best_idx = int(np.argmax([r[1] for r in results]))
+        self.best_params_ = results[best_idx][0]
+        self.best_score_ = results[best_idx][1]
+        self.cv_results_ = {
+            "params": [r[0] for r in results],
+            "mean_test_score": np.asarray([r[1] for r in results]),
+            "std_test_score": np.asarray([r[2] for r in results]),
+        }
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the refitted best estimator."""
+        return self.best_estimator_.predict(X)

@@ -1,0 +1,14 @@
+"""Decision-tree classifier (CART) built from first principles."""
+
+from repro.ml.tree.classifier import DecisionTreeClassifier
+from repro.ml.tree.regressor import DecisionTreeRegressor
+from repro.ml.tree.criteria import entropy_impurity, gini_impurity
+from repro.ml.tree.structure import Tree
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "Tree",
+    "gini_impurity",
+    "entropy_impurity",
+]

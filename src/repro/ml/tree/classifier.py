@@ -1,0 +1,284 @@
+"""CART decision-tree classifier.
+
+Grows a binary tree depth-first with the usual regularisation controls
+(``max_depth``, ``min_samples_split``, ``min_samples_leaf``,
+``max_features``, ``min_impurity_decrease``) — the hyperparameters the
+paper's grid search tunes (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, ValidationError
+from repro.ml.base import BaseEstimator, check_is_fitted
+from repro.ml.tree.criteria import get_criterion
+from repro.ml.tree.splitter import find_best_split
+from repro.ml.tree.structure import Tree, TreeBuffer
+from repro.utils.rng import ensure_generator
+
+__all__ = ["DecisionTreeClassifier", "compute_sample_weight"]
+
+
+def compute_sample_weight(
+    class_weight: str | dict | None,
+    y_enc: np.ndarray,
+    n_classes: int,
+) -> np.ndarray | None:
+    """Per-sample weights from a class-weight spec.
+
+    ``"balanced"`` gives class ``c`` weight ``n / (k * count_c)`` — the
+    paper's Section IX names dataset balancing as the route to better
+    minority-format recall.  A dict maps *encoded* class index to weight.
+    ``None`` means unweighted.
+    """
+    if class_weight is None:
+        return None
+    counts = np.bincount(y_enc, minlength=n_classes).astype(np.float64)
+    if class_weight == "balanced":
+        n = y_enc.shape[0]
+        with np.errstate(divide="ignore"):
+            per_class = np.where(counts > 0, n / (n_classes * counts), 0.0)
+        return per_class[y_enc]
+    if isinstance(class_weight, dict):
+        per_class = np.ones(n_classes, dtype=np.float64)
+        for cls, w in class_weight.items():
+            if not 0 <= int(cls) < n_classes:
+                raise ValidationError(
+                    f"class_weight key {cls!r} outside encoded class range"
+                )
+            per_class[int(cls)] = float(w)
+        return per_class[y_enc]
+    raise ValidationError(
+        f"class_weight must be None, 'balanced' or a dict, got {class_weight!r}"
+    )
+
+
+def _weighted_counts(
+    y_enc: np.ndarray, weight: np.ndarray | None, n_classes: int
+) -> np.ndarray:
+    if weight is None:
+        return np.bincount(y_enc, minlength=n_classes).astype(np.float64)
+    return np.bincount(y_enc, weights=weight, minlength=n_classes)
+
+
+def _sub(weight: np.ndarray | None, idx: np.ndarray) -> np.ndarray | None:
+    return None if weight is None else weight[idx]
+
+
+def resolve_max_features(max_features: object, n_features: int) -> int:
+    """Translate a ``max_features`` spec into a concrete count."""
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features)))
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValidationError(
+                f"float max_features must be in (0, 1], got {max_features}"
+            )
+        return max(1, int(max_features * n_features))
+    if isinstance(max_features, (int, np.integer)):
+        if max_features < 1:
+            raise ValidationError("int max_features must be >= 1")
+        return min(int(max_features), n_features)
+    raise ValidationError(f"unsupported max_features spec: {max_features!r}")
+
+
+class DecisionTreeClassifier(BaseEstimator):
+    """CART classifier with gini or entropy splits.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` or ``"entropy"`` (both appear in the paper's Table III).
+    max_depth:
+        Depth cap; ``None`` grows until purity or the sample limits bind.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain.
+    max_features:
+        Features considered per split: ``None`` (all), ``"sqrt"``,
+        ``"log2"``, an int, or a float fraction.  When a subset is used it
+        is drawn independently at every node (random-forest style).
+    min_impurity_decrease:
+        Minimum weighted impurity decrease for a split.
+    seed:
+        Seed for the per-node feature subsampling.
+
+    Attributes
+    ----------
+    tree_:
+        The fitted :class:`~repro.ml.tree.structure.Tree`.
+    classes_:
+        Sorted original class labels; predictions are mapped back to them.
+    feature_importances_:
+        Normalised impurity-decrease importances.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = None,
+        min_impurity_decrease: float = 0.0,
+        class_weight: str | dict | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.class_weight = class_weight
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        X: np.ndarray,
+        y: Sequence[int],
+        *,
+        class_labels: Sequence[int] | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``.
+
+        ``class_labels`` fixes the label universe (useful in ensembles
+        where a bootstrap may miss a rare class entirely).
+        """
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        if y.ndim != 1 or y.shape[0] != X.shape[0]:
+            raise ValidationError(
+                f"y must be 1-D with len(X)={X.shape[0]}, got shape {y.shape}"
+            )
+        if X.shape[0] == 0:
+            raise ValidationError("cannot fit on an empty dataset")
+        if self.min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValidationError("max_depth must be >= 1 or None")
+
+        self.classes_ = (
+            np.unique(y) if class_labels is None else np.asarray(class_labels)
+        )
+        label_of = {int(c): i for i, c in enumerate(self.classes_)}
+        try:
+            y_enc = np.asarray([label_of[int(v)] for v in y], dtype=np.int64)
+        except KeyError as exc:
+            raise ValidationError(f"label {exc} not in class_labels") from exc
+
+        self.n_features_in_ = X.shape[1]
+        n_classes = self.classes_.shape[0]
+        criterion = get_criterion(self.criterion)
+        k_features = resolve_max_features(self.max_features, self.n_features_in_)
+        rng = ensure_generator(self.seed)
+        sample_weight = compute_sample_weight(self.class_weight, y_enc, n_classes)
+
+        buf = TreeBuffer(n_classes)
+        root = buf.add_node(
+            _weighted_counts(y_enc, sample_weight, n_classes)
+        )
+        # explicit stack => no recursion-limit concerns for deep trees
+        stack: List[tuple[int, np.ndarray, int]] = [
+            (root, np.arange(X.shape[0], dtype=np.int64), 0)
+        ]
+        while stack:
+            node, idx, depth = stack.pop()
+            n_node = idx.shape[0]
+            counts = np.bincount(y_enc[idx], minlength=n_classes)
+            if (
+                n_node < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.count_nonzero(counts) <= 1
+            ):
+                continue  # stays a leaf
+            if k_features < self.n_features_in_:
+                feats = rng.choice(self.n_features_in_, size=k_features, replace=False)
+            else:
+                feats = np.arange(self.n_features_in_)
+            split = find_best_split(
+                X[idx],
+                y_enc[idx],
+                n_classes,
+                criterion=criterion,
+                feature_indices=feats,
+                min_samples_leaf=self.min_samples_leaf,
+                min_impurity_decrease=self.min_impurity_decrease,
+                sample_weight=(
+                    None if sample_weight is None else sample_weight[idx]
+                ),
+            )
+            if split is None:
+                continue
+            left_idx = idx[split.left_mask]
+            right_idx = idx[~split.left_mask]
+            left = buf.add_node(
+                _weighted_counts(y_enc[left_idx], _sub(sample_weight, left_idx), n_classes)
+            )
+            right = buf.add_node(
+                _weighted_counts(y_enc[right_idx], _sub(sample_weight, right_idx), n_classes)
+            )
+            buf.set_split(node, split.feature, split.threshold, left, right)
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+
+        self.tree_ = buf.freeze()
+        self.feature_importances_ = self.tree_.feature_importances(
+            self.n_features_in_
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_X(self, X: np.ndarray) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        if X.shape[1] != self.n_features_in_:
+            raise ModelError(
+                f"model was fitted with {self.n_features_in_} features, "
+                f"got {X.shape[1]}"
+            )
+        return X
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class distributions, columns ordered as ``classes_``."""
+        X = self._check_X(X)
+        return self.tree_.predict_proba(X)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per sample, in original label space."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------
+    @property
+    def depth_(self) -> int:
+        """Depth of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.depth()
+
+    @property
+    def n_leaves_(self) -> int:
+        """Leaf count of the fitted tree."""
+        check_is_fitted(self, "tree_")
+        return self.tree_.n_leaves
+
+    def score(self, X: np.ndarray, y: Sequence[int]) -> float:
+        """Accuracy on ``(X, y)``."""
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y), self.predict(X))

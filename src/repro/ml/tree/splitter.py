@@ -1,0 +1,192 @@
+"""Best-split search for one CART node.
+
+For each candidate feature the samples are sorted by value; prefix sums of
+one-hot class indicators give the left-partition class counts at every
+possible threshold simultaneously, so the impurity of all splits of a
+feature is scored in one vectorised sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["SplitResult", "find_best_split"]
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """The winning split of a node."""
+
+    feature: int
+    threshold: float
+    gain: float  # impurity decrease, weighted by node fraction
+    left_mask: np.ndarray  # boolean over the node's local samples
+
+
+def find_best_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    *,
+    criterion: Callable[[np.ndarray], np.ndarray],
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+    min_impurity_decrease: float = 0.0,
+    sample_weight: np.ndarray | None = None,
+) -> Optional[SplitResult]:
+    """Return the best split of ``(X, y)`` over *feature_indices*, or None.
+
+    Parameters
+    ----------
+    X, y:
+        The node's samples (rows of the full matrix already gathered).
+    n_classes:
+        Total number of classes in the overall problem.
+    criterion:
+        Impurity function over class-count arrays.
+    feature_indices:
+        Candidate features in evaluation order (callers pass a random
+        subset/permutation for ``max_features``).
+    min_samples_leaf:
+        Both children must keep at least this many samples (raw counts,
+        independent of sample weights — matching scikit-learn).
+    min_impurity_decrease:
+        Minimum weighted impurity decrease for a split to be admissible.
+    sample_weight:
+        Optional per-sample weights; impurities are computed on weighted
+        class counts (this is how ``class_weight='balanced'`` training
+        re-weights the rare-format classes).
+    """
+    n = X.shape[0]
+    if n < 2 * min_samples_leaf:
+        return None
+    onehot = np.zeros((n, n_classes), dtype=np.float64)
+    if sample_weight is None:
+        onehot[np.arange(n), y] = 1.0
+    else:
+        onehot[np.arange(n), y] = sample_weight
+    parent_counts = onehot.sum(axis=0)
+    parent_imp = float(criterion(parent_counts[None, :])[0])
+    if parent_imp <= 0.0:
+        return None  # pure node
+
+    best_gain = min_impurity_decrease
+    best: Optional[tuple[int, float]] = None
+
+    for f in feature_indices:
+        values = X[:, f]
+        order = np.argsort(values, kind="stable")
+        v_sorted = values[order]
+        # split position i means left = sorted samples [0..i]; a position is
+        # valid only between distinct consecutive values
+        distinct = v_sorted[:-1] < v_sorted[1:]
+        if not distinct.any():
+            continue
+        left_counts = np.cumsum(onehot[order], axis=0)[:-1]
+        right_counts = parent_counts[None, :] - left_counts
+        n_left = np.arange(1, n, dtype=np.float64)
+        n_right = n - n_left
+        valid = (
+            distinct
+            & (n_left >= min_samples_leaf)
+            & (n_right >= min_samples_leaf)
+        )
+        if not valid.any():
+            continue
+        child_imp = (
+            n_left * criterion(left_counts) + n_right * criterion(right_counts)
+        ) / n
+        gains = parent_imp - child_imp
+        gains[~valid] = -np.inf
+        pos = int(np.argmax(gains))
+        gain = float(gains[pos])
+        if gain > best_gain + 1e-15:
+            best_gain = gain
+            # midpoint threshold, matching scikit-learn
+            thr = 0.5 * (float(v_sorted[pos]) + float(v_sorted[pos + 1]))
+            best = (int(f), thr)
+
+    if best is None:
+        return None
+    feature, threshold = best
+    return SplitResult(
+        feature=feature,
+        threshold=threshold,
+        gain=best_gain,
+        left_mask=X[:, feature] <= threshold,
+    )
+
+
+def find_best_split_mse(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    feature_indices: np.ndarray,
+    min_samples_leaf: int,
+    min_impurity_decrease: float = 0.0,
+) -> Optional[SplitResult]:
+    """Best variance-reducing split for a regression target.
+
+    Node impurity is the variance of *y*; child impurities are evaluated at
+    every candidate threshold via prefix sums of ``y`` and ``y**2`` (the
+    same one-sweep trick as the classification splitter).  Used by the
+    regression trees inside gradient boosting.
+    """
+    n = X.shape[0]
+    if n < 2 * min_samples_leaf:
+        return None
+    y = np.asarray(y, dtype=np.float64)
+    parent_var = float(y.var())
+    if parent_var <= 1e-18:
+        return None
+
+    best_gain = min_impurity_decrease
+    best: Optional[tuple[int, float]] = None
+
+    for f in feature_indices:
+        values = X[:, f]
+        order = np.argsort(values, kind="stable")
+        v_sorted = values[order]
+        distinct = v_sorted[:-1] < v_sorted[1:]
+        if not distinct.any():
+            continue
+        y_sorted = y[order]
+        csum = np.cumsum(y_sorted)[:-1]
+        csum2 = np.cumsum(y_sorted * y_sorted)[:-1]
+        n_left = np.arange(1, n, dtype=np.float64)
+        n_right = n - n_left
+        total = float(y_sorted.sum())
+        total2 = float((y_sorted * y_sorted).sum())
+        valid = (
+            distinct
+            & (n_left >= min_samples_leaf)
+            & (n_right >= min_samples_leaf)
+        )
+        if not valid.any():
+            continue
+        # child variance * child count == sum(y^2) - sum(y)^2 / count
+        left_sse = csum2 - csum * csum / n_left
+        right_sum = total - csum
+        right_sse = (total2 - csum2) - right_sum * right_sum / n_right
+        child = (left_sse + right_sse) / n
+        gains = parent_var - child
+        gains[~valid] = -np.inf
+        pos = int(np.argmax(gains))
+        gain = float(gains[pos])
+        if gain > best_gain + 1e-15:
+            best_gain = gain
+            thr = 0.5 * (float(v_sorted[pos]) + float(v_sorted[pos + 1]))
+            best = (int(f), thr)
+
+    if best is None:
+        return None
+    feature, threshold = best
+    return SplitResult(
+        feature=feature,
+        threshold=threshold,
+        gain=best_gain,
+        left_mask=X[:, feature] <= threshold,
+    )

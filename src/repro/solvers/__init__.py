@@ -1,0 +1,20 @@
+"""Iterative solvers over DynamicMatrix operators.
+
+The paper motivates the auto-tuner with iterative solvers whose runtime is
+dominated by SpMV (Section I).  These reference implementations exercise
+that access pattern against the public API: thousands of ``spmv`` calls on
+one operator, which a single up-front tuning decision accelerates.
+"""
+
+from repro.solvers.cg import ConjugateGradientResult, conjugate_gradient
+from repro.solvers.jacobi import JacobiResult, jacobi
+from repro.solvers.power import PowerIterationResult, power_iteration
+
+__all__ = [
+    "conjugate_gradient",
+    "ConjugateGradientResult",
+    "jacobi",
+    "JacobiResult",
+    "power_iteration",
+    "PowerIterationResult",
+]

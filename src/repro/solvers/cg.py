@@ -1,0 +1,101 @@
+"""Conjugate gradient for symmetric positive-definite sparse systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = ["conjugate_gradient", "ConjugateGradientResult"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+@dataclass(frozen=True)
+class ConjugateGradientResult:
+    """Solution plus convergence bookkeeping."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    spmv_calls: int
+
+
+def conjugate_gradient(
+    A: MatrixLike,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iterations: int | None = None,
+) -> ConjugateGradientResult:
+    """Solve ``A x = b`` for SPD ``A`` with (unpreconditioned) CG.
+
+    One SpMV per iteration — the workload class the auto-tuner's overhead
+    is amortised against (Section VII-E).
+
+    Parameters
+    ----------
+    A:
+        Square SPD operator (any format / DynamicMatrix).
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (zeros by default).
+    tol:
+        Relative residual tolerance ``||r|| <= tol * ||b||``.
+    max_iterations:
+        Cap (default ``10 * n``).
+    """
+    nrows, ncols = A.shape
+    if nrows != ncols:
+        raise ValidationError(f"CG needs a square operator, got {nrows}x{ncols}")
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if b.shape != (nrows,):
+        raise ValidationError(f"b must have shape ({nrows},), got {b.shape}")
+    if max_iterations is None:
+        max_iterations = 10 * nrows
+    x = (
+        np.zeros(nrows)
+        if x0 is None
+        else np.ascontiguousarray(x0, dtype=np.float64).copy()
+    )
+    spmv_calls = 0
+    r = b - A.spmv(x)
+    spmv_calls += 1
+    p = r.copy()
+    rs_old = float(r @ r)
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    target = tol * b_norm
+    iterations = 0
+    while iterations < max_iterations:
+        if np.sqrt(rs_old) <= target:
+            break
+        Ap = A.spmv(p)
+        spmv_calls += 1
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            raise ValidationError(
+                "operator is not positive definite (p^T A p <= 0)"
+            )
+        alpha = rs_old / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = float(r @ r)
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+        iterations += 1
+    residual = float(np.sqrt(rs_old))
+    return ConjugateGradientResult(
+        x=x,
+        iterations=iterations,
+        residual_norm=residual,
+        converged=residual <= target,
+        spmv_calls=spmv_calls,
+    )

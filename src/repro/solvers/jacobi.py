@@ -1,0 +1,81 @@
+"""Jacobi iteration for diagonally dominant systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = ["jacobi", "JacobiResult"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+@dataclass(frozen=True)
+class JacobiResult:
+    """Solution plus convergence bookkeeping."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    spmv_calls: int
+
+
+def _diagonal(A: MatrixLike) -> np.ndarray:
+    concrete = A.concrete if isinstance(A, DynamicMatrix) else A
+    return concrete.diagonal()
+
+
+def jacobi(
+    A: MatrixLike,
+    b: np.ndarray,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-8,
+    max_iterations: int = 10_000,
+) -> JacobiResult:
+    """Solve ``A x = b`` with the (damped-free) Jacobi splitting.
+
+    ``x_{k+1} = x_k + D^{-1} (b - A x_k)`` — one SpMV per sweep.
+    Converges for strictly diagonally dominant operators.
+    """
+    nrows, ncols = A.shape
+    if nrows != ncols:
+        raise ValidationError(f"Jacobi needs a square operator, got {nrows}x{ncols}")
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if b.shape != (nrows,):
+        raise ValidationError(f"b must have shape ({nrows},), got {b.shape}")
+    diag = _diagonal(A)
+    if np.any(diag == 0.0):
+        raise ValidationError("Jacobi requires a zero-free diagonal")
+    inv_diag = 1.0 / diag
+    x = (
+        np.zeros(nrows)
+        if x0 is None
+        else np.ascontiguousarray(x0, dtype=np.float64).copy()
+    )
+    b_norm = float(np.linalg.norm(b)) or 1.0
+    target = tol * b_norm
+    spmv_calls = 0
+    residual = np.inf
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        r = b - A.spmv(x)
+        spmv_calls += 1
+        residual = float(np.linalg.norm(r))
+        if residual <= target:
+            break
+        x += inv_diag * r
+    return JacobiResult(
+        x=x,
+        iterations=iterations,
+        residual_norm=residual,
+        converged=residual <= target,
+        spmv_calls=spmv_calls,
+    )

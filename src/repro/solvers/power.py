@@ -1,0 +1,78 @@
+"""Power iteration for the dominant eigenpair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+from repro.utils.rng import ensure_generator
+
+__all__ = ["power_iteration", "PowerIterationResult"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+@dataclass(frozen=True)
+class PowerIterationResult:
+    """Dominant eigenpair estimate plus bookkeeping."""
+
+    eigenvalue: float
+    eigenvector: np.ndarray
+    iterations: int
+    converged: bool
+    spmv_calls: int
+
+
+def power_iteration(
+    A: MatrixLike,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 5_000,
+    seed: int | None = 0,
+) -> PowerIterationResult:
+    """Estimate the dominant eigenvalue/vector of a square operator.
+
+    One SpMV per iteration (PageRank-style workloads on the graph
+    matrices in the corpus).
+    """
+    nrows, ncols = A.shape
+    if nrows != ncols:
+        raise ValidationError(
+            f"power iteration needs a square operator, got {nrows}x{ncols}"
+        )
+    rng = ensure_generator(seed)
+    v = rng.standard_normal(nrows)
+    v /= np.linalg.norm(v)
+    eigenvalue = 0.0
+    spmv_calls = 0
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        w = A.spmv(v)
+        spmv_calls += 1
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            # v is in the null space; the dominant eigenvalue is 0
+            return PowerIterationResult(0.0, v, iterations, True, spmv_calls)
+        w /= norm
+        new_eigenvalue = float(w @ A.spmv(w))
+        spmv_calls += 1
+        if abs(new_eigenvalue - eigenvalue) <= tol * max(1.0, abs(new_eigenvalue)):
+            eigenvalue = new_eigenvalue
+            v = w
+            converged = True
+            break
+        eigenvalue = new_eigenvalue
+        v = w
+    return PowerIterationResult(
+        eigenvalue=eigenvalue,
+        eigenvector=v,
+        iterations=iterations,
+        converged=converged,
+        spmv_calls=spmv_calls,
+    )

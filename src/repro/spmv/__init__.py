@@ -1,0 +1,18 @@
+"""SpMV kernels and dispatch.
+
+The container classes own their reference kernels; this subpackage exposes
+
+* :func:`spmv` — format-agnostic dispatch (works on any container or a
+  :class:`~repro.formats.dynamic.DynamicMatrix`);
+* raw-array kernels (:mod:`repro.spmv.kernels`) operating directly on the
+  format arrays, used by the kernel micro-benchmarks and as independent
+  cross-checks of the container methods;
+* :func:`spmv_iterations` — repeated application ``y = A^k x`` used by the
+  iterative-solver style workloads in the examples.
+"""
+
+from repro.spmv.dispatch import spmv, spmv_iterations
+from repro.spmv.spmm import spmm, spmm_time_factor
+from repro.spmv import kernels
+
+__all__ = ["spmv", "spmv_iterations", "spmm", "spmm_time_factor", "kernels"]

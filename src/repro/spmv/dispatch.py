@@ -1,0 +1,42 @@
+"""Format-agnostic SpMV entry points."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = ["spmv", "spmv_iterations"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+def spmv(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` using the matrix's active format kernel."""
+    return matrix.spmv(x)
+
+
+def spmv_iterations(
+    matrix: MatrixLike, x: np.ndarray, *, iterations: int
+) -> np.ndarray:
+    """Repeated application ``y = A^iterations x`` (power-iteration style).
+
+    Requires a square matrix; this is the access pattern of the iterative
+    solvers that motivate amortising the tuner cost over thousands of
+    SpMV calls (Section VII-E).
+    """
+    if iterations < 1:
+        raise ValidationError(f"iterations must be >= 1, got {iterations}")
+    nrows, ncols = matrix.shape
+    if nrows != ncols:
+        raise ValidationError(
+            f"spmv_iterations needs a square matrix, got {nrows}x{ncols}"
+        )
+    y = np.ascontiguousarray(x, dtype=np.float64)
+    for _ in range(iterations):
+        y = matrix.spmv(y)
+    return y

@@ -1,0 +1,32 @@
+"""Shared utilities: validation helpers, deterministic RNG, timers, I/O."""
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_dtype_float,
+    check_dtype_int,
+    check_index_bounds,
+    check_nonnegative,
+    check_positive,
+    check_square,
+    check_vector_length,
+)
+from repro.utils.rng import derive_seed, ensure_generator, stable_hash
+from repro.utils.timing import Timer, WallClock
+
+__all__ = [
+    "check_array_1d",
+    "check_array_2d",
+    "check_dtype_float",
+    "check_dtype_int",
+    "check_index_bounds",
+    "check_nonnegative",
+    "check_positive",
+    "check_square",
+    "check_vector_length",
+    "derive_seed",
+    "ensure_generator",
+    "stable_hash",
+    "Timer",
+    "WallClock",
+]

@@ -1,0 +1,71 @@
+"""ASCII "spy plot" of a sparsity pattern.
+
+A terminal-friendly stand-in for matplotlib's ``spy``: the matrix is
+binned onto a character grid and cells are shaded by occupancy.  Used by
+the examples to show *why* a format was selected (bands, hubs, blocks are
+visible at a glance).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+
+__all__ = ["spy"]
+
+#: Shading ramp from empty to dense.
+_RAMP = " .:-=+*#%@"
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+def spy(matrix: MatrixLike, *, width: int = 60, height: int | None = None) -> str:
+    """Render the sparsity pattern as shaded ASCII art.
+
+    Parameters
+    ----------
+    matrix:
+        Any container or DynamicMatrix.
+    width:
+        Output columns (the matrix's columns are binned into these).
+    height:
+        Output rows; default keeps the matrix aspect ratio at a 2:1
+        character aspect correction.
+    """
+    if width < 1:
+        raise ValidationError(f"width must be >= 1, got {width}")
+    concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+    coo = concrete.to_coo()
+    nrows, ncols = concrete.shape
+    if height is None:
+        height = max(1, int(width * nrows / max(1, ncols) / 2))
+    if height < 1:
+        raise ValidationError(f"height must be >= 1, got {height}")
+    grid = np.zeros((height, width), dtype=np.int64)
+    if coo.nnz:
+        r = (coo.row * height // max(1, nrows)).clip(0, height - 1)
+        c = (coo.col * width // max(1, ncols)).clip(0, width - 1)
+        np.add.at(grid, (r, c), 1)
+    # normalise by the densest cell so structure stays visible
+    peak = grid.max()
+    lines = []
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for i in range(height):
+        if peak == 0:
+            row = " " * width
+        else:
+            levels = (grid[i] * (len(_RAMP) - 1) + peak - 1) // peak
+            row = "".join(_RAMP[min(int(v), len(_RAMP) - 1)] for v in levels)
+        lines.append("|" + row + "|")
+    lines.append(border)
+    lines.append(
+        f"{nrows}x{ncols}, nnz={coo.nnz} "
+        f"(each cell ~{max(1, nrows // height)}x{max(1, ncols // width)})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers.
+
+The simulated backends report *modelled* runtimes; the :class:`Timer` here is
+for measuring the *host-side* cost of the pure-Python machinery itself (e.g.
+feature extraction or tree traversal in the paper's Table IV analogue can be
+reported either in modelled units or measured host seconds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "WallClock"]
+
+
+class WallClock:
+    """Thin indirection over :func:`time.perf_counter` (swappable in tests)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed seconds.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    elapsed: float = 0.0
+    n_calls: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += self.clock.now() - self._start
+        self.n_calls += 1
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and call count."""
+        self.elapsed = 0.0
+        self.n_calls = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean elapsed seconds per timed call (0 when never used)."""
+        return self.elapsed / self.n_calls if self.n_calls else 0.0

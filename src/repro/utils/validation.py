@@ -1,0 +1,159 @@
+"""Argument-validation helpers used across the package.
+
+These functions normalise user input into contiguous NumPy arrays with
+well-defined dtypes and raise :class:`repro.errors.ValidationError` (or the
+more specific :class:`repro.errors.ShapeError`) with actionable messages.
+Keeping validation centralised means the sparse-format containers and the ML
+estimators share identical error behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+__all__ = [
+    "check_array_1d",
+    "check_array_2d",
+    "check_dtype_float",
+    "check_dtype_int",
+    "check_index_bounds",
+    "check_nonnegative",
+    "check_positive",
+    "check_square",
+    "check_vector_length",
+]
+
+#: dtype used for all index arrays in the sparse containers.
+INDEX_DTYPE = np.int64
+#: dtype used for all value arrays in the sparse containers.
+VALUE_DTYPE = np.float64
+
+
+def check_array_1d(
+    arr: Any,
+    *,
+    name: str,
+    dtype: np.dtype | type | None = None,
+    allow_empty: bool = True,
+) -> np.ndarray:
+    """Coerce *arr* to a contiguous 1-D ndarray, optionally casting dtype.
+
+    Parameters
+    ----------
+    arr:
+        Anything :func:`numpy.asarray` accepts.
+    name:
+        Argument name used in error messages.
+    dtype:
+        If given, the returned array is cast to this dtype.
+    allow_empty:
+        When ``False`` an empty array raises :class:`ValidationError`.
+    """
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out.ndim != 1:
+        raise ShapeError(f"{name!r} must be 1-D, got ndim={out.ndim}")
+    if not allow_empty and out.size == 0:
+        raise ValidationError(f"{name!r} must not be empty")
+    return out
+
+
+def check_array_2d(
+    arr: Any,
+    *,
+    name: str,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """Coerce *arr* to a contiguous 2-D ndarray."""
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out.ndim != 2:
+        raise ShapeError(f"{name!r} must be 2-D, got ndim={out.ndim}")
+    return out
+
+
+def check_dtype_float(arr: np.ndarray, *, name: str) -> np.ndarray:
+    """Ensure *arr* has a floating dtype, casting integers to float64."""
+    if not np.issubdtype(arr.dtype, np.floating):
+        if np.issubdtype(arr.dtype, np.integer) or np.issubdtype(arr.dtype, np.bool_):
+            return arr.astype(VALUE_DTYPE)
+        raise ValidationError(
+            f"{name!r} must have a floating dtype, got {arr.dtype}"
+        )
+    return arr
+
+
+def check_dtype_int(arr: np.ndarray, *, name: str) -> np.ndarray:
+    """Ensure *arr* has an integer dtype, casting to the index dtype."""
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.floor(arr)):
+            return arr.astype(INDEX_DTYPE)
+        raise ValidationError(
+            f"{name!r} must have an integer dtype, got {arr.dtype}"
+        )
+    return arr.astype(INDEX_DTYPE, copy=False)
+
+
+def check_nonnegative(value: int | float, *, name: str) -> None:
+    """Raise unless ``value >= 0``."""
+    if value < 0:
+        raise ValidationError(f"{name!r} must be non-negative, got {value}")
+
+
+def check_positive(value: int | float, *, name: str) -> None:
+    """Raise unless ``value > 0``."""
+    if value <= 0:
+        raise ValidationError(f"{name!r} must be positive, got {value}")
+
+
+def check_square(nrows: int, ncols: int, *, context: str = "matrix") -> None:
+    """Raise unless the matrix is square."""
+    if nrows != ncols:
+        raise ShapeError(f"{context} must be square, got {nrows}x{ncols}")
+
+
+def check_index_bounds(
+    indices: np.ndarray, upper: int, *, name: str
+) -> None:
+    """Raise unless every index lies in ``[0, upper)``."""
+    if indices.size == 0:
+        return
+    lo = int(indices.min())
+    hi = int(indices.max())
+    if lo < 0 or hi >= upper:
+        raise ValidationError(
+            f"{name!r} entries must lie in [0, {upper}), got range [{lo}, {hi}]"
+        )
+
+
+def check_vector_length(
+    vec: np.ndarray, expected: int, *, name: str
+) -> None:
+    """Raise unless ``len(vec) == expected``."""
+    if vec.shape[0] != expected:
+        raise ShapeError(
+            f"{name!r} has length {vec.shape[0]}, expected {expected}"
+        )
+
+
+def as_index_array(arr: Any, *, name: str) -> np.ndarray:
+    """Shorthand: 1-D contiguous int64 array."""
+    out = check_array_1d(arr, name=name)
+    return check_dtype_int(out, name=name)
+
+
+def as_value_array(arr: Any, *, name: str) -> np.ndarray:
+    """Shorthand: 1-D contiguous float64 array."""
+    out = check_array_1d(arr, name=name)
+    return check_dtype_float(out, name=name).astype(VALUE_DTYPE, copy=False)
+
+
+def as_sequence_of_str(items: Sequence[str], *, name: str) -> list[str]:
+    """Validate a sequence of strings (used for format pools)."""
+    out = list(items)
+    for item in out:
+        if not isinstance(item, str):
+            raise ValidationError(f"{name!r} must contain strings, got {type(item)}")
+    return out

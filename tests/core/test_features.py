@@ -1,0 +1,108 @@
+"""Tests for the Table-I feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_NAMES, N_FEATURES, extract_features
+from repro.core.features import extract_features_from_stats
+from repro.formats import COOMatrix, DynamicMatrix, convert
+from repro.machine import MatrixStats
+
+from tests.conftest import ALL_FORMATS
+
+IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def tridiag(n: int) -> np.ndarray:
+    return (
+        np.diag(2.0 * np.ones(n))
+        + np.diag(-np.ones(n - 1), 1)
+        + np.diag(-np.ones(n - 1), -1)
+    )
+
+
+class TestTableIFormulas:
+    """Each feature must match its Table-I formula exactly."""
+
+    @pytest.fixture
+    def vec(self, dense_small):
+        return extract_features(COOMatrix.from_dense(dense_small)), dense_small
+
+    def test_feature_count_is_ten(self):
+        assert N_FEATURES == 10
+        assert len(FEATURE_NAMES) == 10
+
+    def test_m_n_nnz(self, vec):
+        f, d = vec
+        assert f[IDX["M"]] == d.shape[0]
+        assert f[IDX["N"]] == d.shape[1]
+        assert f[IDX["NNZ"]] == np.count_nonzero(d)
+
+    def test_avg_nnz_formula(self, vec):
+        f, d = vec
+        assert f[IDX["NNZ_avg"]] == pytest.approx(
+            np.count_nonzero(d) / d.shape[0]
+        )
+
+    def test_density_formula(self, vec):
+        f, d = vec
+        assert f[IDX["rho"]] == pytest.approx(np.count_nonzero(d) / d.size)
+
+    def test_min_max_nnz(self, vec):
+        f, d = vec
+        row_nnz = (d != 0).sum(axis=1)
+        assert f[IDX["max_nnz"]] == row_nnz.max()
+        assert f[IDX["min_nnz"]] == row_nnz.min()
+
+    def test_std_formula_uses_population_std(self, vec):
+        f, d = vec
+        row_nnz = (d != 0).sum(axis=1)
+        avg = row_nnz.mean()
+        expected = np.sqrt(np.sum(np.abs(row_nnz - avg) ** 2) / d.shape[0])
+        assert f[IDX["std_nnz"]] == pytest.approx(expected)
+
+    def test_nd_tridiagonal(self):
+        f = extract_features(COOMatrix.from_dense(tridiag(10)))
+        assert f[IDX["ND"]] == 3
+
+    def test_ntd_tridiagonal(self):
+        # all three diagonals of a 10x10 tridiagonal exceed the 50% default
+        f = extract_features(COOMatrix.from_dense(tridiag(10)))
+        assert f[IDX["NTD"]] == 3
+
+    def test_ntd_custom_threshold(self):
+        f = extract_features(
+            COOMatrix.from_dense(tridiag(10)), true_diag_threshold=10
+        )
+        assert f[IDX["NTD"]] == 1  # only the main diagonal has 10 entries
+
+
+class TestOnlineExtraction:
+    """Section VI-C: features must not depend on the active format."""
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_format_independent(self, fmt, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        ref = extract_features(coo)
+        out = extract_features(convert(coo, fmt))
+        np.testing.assert_allclose(out, ref)
+
+    def test_dynamic_matrix_accepted(self, dense_small):
+        dyn = DynamicMatrix(COOMatrix.from_dense(dense_small)).switch("HYB")
+        np.testing.assert_allclose(
+            extract_features(dyn),
+            extract_features(COOMatrix.from_dense(dense_small)),
+        )
+
+    def test_stats_shortcut_identical(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        direct = extract_features(coo)
+        via_stats = extract_features_from_stats(MatrixStats.from_matrix(coo))
+        np.testing.assert_allclose(via_stats, direct)
+
+    def test_vector_dtype_and_shape(self, coo_small):
+        f = extract_features(coo_small)
+        assert f.dtype == np.float64
+        assert f.shape == (10,)

@@ -1,0 +1,144 @@
+"""Tests for the extension tuners (confidence fallback, overhead-aware)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import (
+    ConfidenceFallbackTuner,
+    OracleModel,
+    OverheadConsciousTuner,
+    RandomForestTuner,
+)
+from repro.core.features import N_FEATURES
+from repro.datasets.generators import banded, uniform_random
+from repro.errors import TuningError
+from repro.formats import DynamicMatrix
+from repro.machine import CostModel, MatrixStats
+from repro.ml import RandomForestClassifier
+from repro.ml.tree.structure import Tree
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_space("cirrus", "serial", cost_model=CostModel(noise_sigma=0.0))
+
+
+def constant_model(format_id: int, *, n_trees: int = 5) -> OracleModel:
+    """A forest of single-leaf trees that always vote *format_id*."""
+    counts = np.zeros((1, 6))
+    counts[0, format_id] = 1.0
+    leaf = Tree(
+        feature=np.array([-1], dtype=np.int64),
+        threshold=np.array([np.nan]),
+        left=np.array([-1], dtype=np.int64),
+        right=np.array([-1], dtype=np.int64),
+        counts=counts,
+    )
+    return OracleModel(
+        kind="random_forest",
+        trees=[leaf] * n_trees,
+        classes=np.arange(6),
+        n_features=N_FEATURES,
+    )
+
+
+@pytest.fixture(scope="module")
+def noisy_forest():
+    """A forest trained on noise: votes split across classes."""
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((120, N_FEATURES))
+    y = rng.integers(0, 6, size=120)
+    rf = RandomForestClassifier(
+        n_estimators=9, max_depth=2, max_features=2, seed=0
+    ).fit(X, y)
+    return OracleModel.from_estimator(rf)
+
+
+class TestConfidenceFallback:
+    def test_high_confidence_uses_ml(self, space):
+        tuner = ConfidenceFallbackTuner(constant_model(2), threshold=0.9)
+        m = DynamicMatrix(banded(3000, half_bandwidth=2, seed=0))
+        report = tuner.tune(m, space)
+        assert report.format_id == 2
+        assert report.details["fallback"] is False
+        assert report.t_profiling == 0.0
+
+    def test_low_confidence_falls_back_to_run_first(self, space, noisy_forest):
+        tuner = ConfidenceFallbackTuner(noisy_forest, threshold=1.0)
+        # threshold 1.0: any split vote triggers fallback
+        m = DynamicMatrix(uniform_random(3000, seed=1))
+        stats = MatrixStats.from_matrix(m.concrete)
+        report = tuner.tune(m, space, stats=stats)
+        if report.details["fallback"]:
+            assert report.t_profiling > 0.0
+            # fallback decision equals the run-first argmin
+            times = space.time_all_formats(stats)
+            from repro.formats.base import FORMAT_IDS
+
+            assert report.format_id == FORMAT_IDS[min(times, key=times.get)]
+
+    def test_threshold_validation(self, noisy_forest):
+        with pytest.raises(TuningError):
+            ConfidenceFallbackTuner(noisy_forest, threshold=0.0)
+        with pytest.raises(TuningError):
+            ConfidenceFallbackTuner(noisy_forest, threshold=1.5)
+
+    def test_confidence_reported(self, space, noisy_forest):
+        tuner = ConfidenceFallbackTuner(noisy_forest, threshold=0.01)
+        m = DynamicMatrix(uniform_random(2000, seed=2))
+        report = tuner.tune(m, space)
+        assert 0.0 < report.details["confidence"] <= 1.0
+
+
+class TestOverheadConscious:
+    def test_no_switch_when_already_optimal_format(self, space):
+        inner = RandomForestTuner(constant_model(1))  # always CSR
+        tuner = OverheadConsciousTuner(inner, planned_iterations=1000)
+        m = DynamicMatrix(uniform_random(3000, seed=3)).switch("CSR")
+        report = tuner.tune(m, space)
+        assert report.format_name == "CSR"
+
+    def test_declines_unamortised_switch(self, space):
+        """One planned iteration can never amortise a conversion."""
+        inner = RandomForestTuner(constant_model(2))  # always DIA
+        tuner = OverheadConsciousTuner(inner, planned_iterations=1)
+        m = DynamicMatrix(banded(20_000, half_bandwidth=2, seed=4)).switch("CSR")
+        report = tuner.tune(m, space)
+        assert report.format_name == "CSR"  # stayed put
+        assert report.details["switched"] is False
+        assert report.details["ml_choice"] == 2
+
+    def test_accepts_amortised_switch(self, space):
+        """A banded matrix gains ~2x from DIA; enough iterations pay for
+        the conversion."""
+        inner = RandomForestTuner(constant_model(2))
+        tuner = OverheadConsciousTuner(inner, planned_iterations=1_000_000)
+        m = DynamicMatrix(banded(20_000, half_bandwidth=2, seed=4)).switch("CSR")
+        report = tuner.tune(m, space)
+        assert report.format_name == "DIA"
+        assert report.details["switched"] is True
+
+    def test_never_switches_to_slower_format(self, space):
+        """Predicting a slower format must be vetoed at any horizon."""
+        inner = RandomForestTuner(constant_model(0))  # always COO
+        tuner = OverheadConsciousTuner(inner, planned_iterations=10**9)
+        m = DynamicMatrix(banded(20_000, half_bandwidth=2, seed=4)).switch("DIA")
+        report = tuner.tune(m, space)
+        assert report.format_name == "DIA"
+
+    def test_validation(self, noisy_forest):
+        inner = RandomForestTuner(noisy_forest)
+        with pytest.raises(TuningError):
+            OverheadConsciousTuner(inner, planned_iterations=0)
+
+    def test_works_with_tune_multiply(self, space):
+        from repro.core import tune_multiply
+
+        inner = RandomForestTuner(constant_model(2))
+        tuner = OverheadConsciousTuner(inner, planned_iterations=100_000)
+        m = DynamicMatrix(banded(20_000, half_bandwidth=2, seed=5))
+        res = tune_multiply(m, tuner, space, repetitions=100_000)
+        assert res.speedup_vs_csr > 1.0

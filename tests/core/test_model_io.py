@@ -1,0 +1,141 @@
+"""Tests for Oracle model serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import OracleModel, load_model, save_model
+from repro.errors import ModelIOError
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+@pytest.fixture
+def fitted_pair():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((300, 10))
+    y = (X[:, 0] > 0).astype(int) + (X[:, 4] > 1).astype(int)
+    dt = DecisionTreeClassifier(max_depth=6).fit(X, y)
+    rf = RandomForestClassifier(n_estimators=7, max_depth=5, seed=1).fit(X, y)
+    return X, y, dt, rf
+
+
+class TestFromEstimator:
+    def test_decision_tree_extraction(self, fitted_pair):
+        X, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt, system="cirrus", backend="serial")
+        assert om.kind == "decision_tree"
+        assert om.n_estimators == 1
+        np.testing.assert_array_equal(om.predict(X), dt.predict(X))
+
+    def test_random_forest_extraction(self, fitted_pair):
+        X, _, _, rf = fitted_pair
+        om = OracleModel.from_estimator(rf)
+        assert om.kind == "random_forest"
+        assert om.n_estimators == 7
+        np.testing.assert_array_equal(om.predict(X), rf.predict(X))
+
+    def test_unfittable_object_raises(self):
+        with pytest.raises(ModelIOError):
+            OracleModel.from_estimator("not a model")
+
+    def test_mean_depth_positive(self, fitted_pair):
+        _, _, _, rf = fitted_pair
+        om = OracleModel.from_estimator(rf)
+        assert 0 < om.mean_depth <= 5
+
+
+class TestRoundtrip:
+    def test_forest_roundtrip_bitexact(self, fitted_pair):
+        X, _, _, rf = fitted_pair
+        om = OracleModel.from_estimator(rf, system="p3", backend="hip")
+        buf = io.StringIO()
+        save_model(buf, om)
+        buf.seek(0)
+        back = load_model(buf)
+        assert back.kind == "random_forest"
+        assert back.system == "p3"
+        assert back.backend == "hip"
+        assert back.n_features == 10
+        np.testing.assert_array_equal(back.predict(X), om.predict(X))
+
+    def test_tree_roundtrip_file(self, fitted_pair, tmp_path):
+        X, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        path = tmp_path / "dt.model"
+        save_model(path, om)
+        back = load_model(path)
+        np.testing.assert_array_equal(back.predict(X), dt.predict(X))
+
+    def test_thresholds_bit_exact(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        buf = io.StringIO()
+        save_model(buf, om)
+        buf.seek(0)
+        back = load_model(buf)
+        np.testing.assert_array_equal(
+            back.trees[0].threshold, om.trees[0].threshold
+        )
+
+
+class TestValidation:
+    def test_bad_magic_raises(self):
+        with pytest.raises(ModelIOError):
+            load_model(io.StringIO("not a model file\n"))
+
+    def test_truncated_file_raises(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        buf = io.StringIO()
+        save_model(buf, OracleModel.from_estimator(dt))
+        text = buf.getvalue()
+        truncated = "\n".join(text.splitlines()[:5])
+        with pytest.raises(ModelIOError):
+            load_model(io.StringIO(truncated))
+
+    def test_kind_mismatch_raises(self, fitted_pair):
+        _, _, _, rf = fitted_pair
+        om = OracleModel.from_estimator(rf)
+        with pytest.raises(ModelIOError):
+            OracleModel(
+                kind="decision_tree",
+                trees=om.trees,  # more than one tree
+                classes=om.classes,
+                n_features=om.n_features,
+            )
+
+    def test_empty_trees_raise(self, fitted_pair):
+        _, _, _, rf = fitted_pair
+        om = OracleModel.from_estimator(rf)
+        with pytest.raises(ModelIOError):
+            OracleModel(
+                kind="random_forest",
+                trees=[],
+                classes=om.classes,
+                n_features=10,
+            )
+
+    def test_unknown_kind_raises(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        with pytest.raises(ModelIOError):
+            OracleModel(
+                kind="svm",
+                trees=om.trees,
+                classes=om.classes,
+                n_features=10,
+            )
+
+    def test_wrong_feature_count_predict_raises(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        with pytest.raises(ModelIOError):
+            om.predict(np.zeros((1, 3)))
+
+    def test_predict_one_returns_int(self, fitted_pair):
+        X, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        out = om.predict_one(X[0])
+        assert isinstance(out, int)

@@ -1,0 +1,151 @@
+"""Tests for TuneMultiply."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner, tune_multiply
+from repro.datasets.generators import banded, uniform_random
+from repro.formats import COOMatrix, DynamicMatrix
+from repro.machine import CostModel, MatrixStats
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_space("cirrus", "openmp", cost_model=CostModel(noise_sigma=0.0))
+
+
+class TestTuneMultiply:
+    def test_switches_to_tuned_format(self, space):
+        m = DynamicMatrix(banded(4000, half_bandwidth=2, seed=0))
+        res = tune_multiply(m, RunFirstTuner(), space)
+        assert m.active_format == res.report.format_name
+
+    def test_numerical_result_exact(self, space, rng):
+        dense = (rng.random((50, 50)) < 0.2) * rng.standard_normal((50, 50))
+        m = DynamicMatrix(COOMatrix.from_dense(dense))
+        x = rng.standard_normal(50)
+        res = tune_multiply(m, RunFirstTuner(), space, x)
+        np.testing.assert_allclose(res.y, dense @ x)
+
+    def test_no_switch_mode(self, space):
+        m = DynamicMatrix(banded(4000, half_bandwidth=2, seed=0))
+        res = tune_multiply(m, RunFirstTuner(), space, switch=False)
+        assert m.active_format == "COO"
+        assert res.report.format_name != "COO" or True  # decision recorded
+
+    def test_y_none_without_vector(self, space):
+        m = DynamicMatrix(uniform_random(1000, seed=1))
+        res = tune_multiply(m, RunFirstTuner(), space)
+        assert res.y is None
+
+    def test_speedup_definition(self, space):
+        """speedup == T_CSR / (overhead + T_tuned), Eq. 2."""
+        m = DynamicMatrix(banded(20_000, half_bandwidth=3, seed=2))
+        stats = MatrixStats.from_matrix(m.concrete)
+        res = tune_multiply(m, RunFirstTuner(), space, stats=stats, repetitions=500)
+        expected = res.t_csr_spmv / (res.report.overhead_seconds + res.t_tuned_spmv)
+        assert res.speedup_vs_csr == pytest.approx(expected)
+
+    def test_tuning_cost_in_csr_units(self, space):
+        m = DynamicMatrix(uniform_random(5000, seed=3))
+        res = tune_multiply(m, RunFirstTuner(), space, repetitions=100)
+        single_csr = res.t_csr_spmv / 100
+        assert res.tuning_cost_csr_equivalents == pytest.approx(
+            res.report.overhead_seconds / single_csr
+        )
+
+    def test_repetitions_amortise_overhead(self, space):
+        """More SpMV repetitions => overhead matters less (Section VII-F)."""
+        m = DynamicMatrix(banded(20_000, half_bandwidth=3, seed=4))
+        stats = MatrixStats.from_matrix(m.concrete)
+        few = tune_multiply(
+            DynamicMatrix(m.concrete), RunFirstTuner(), space,
+            stats=stats, repetitions=10,
+        )
+        many = tune_multiply(
+            DynamicMatrix(m.concrete), RunFirstTuner(), space,
+            stats=stats, repetitions=10_000,
+        )
+        assert many.speedup_vs_csr > few.speedup_vs_csr
+
+    def test_csr_choice_speedup_near_one_with_many_reps(self, space):
+        """When an ML tuner picks CSR, tuned speedup approaches 1 over many
+        repetitions (Figure 5 CPU: samples concentrate around 1)."""
+        import numpy as np
+
+        from repro.core import OracleModel, RandomForestTuner
+        from repro.ml.tree.structure import Tree
+
+        # a single-leaf tree that always votes CSR (class id 1)
+        leaf = Tree(
+            feature=np.array([-1], dtype=np.int64),
+            threshold=np.array([np.nan]),
+            left=np.array([-1], dtype=np.int64),
+            right=np.array([-1], dtype=np.int64),
+            counts=np.array([[0.0, 1.0, 0.0, 0.0, 0.0, 0.0]]),
+        )
+        model = OracleModel(
+            kind="random_forest",
+            trees=[leaf],
+            classes=np.arange(6),
+            n_features=10,
+        )
+        m = DynamicMatrix(uniform_random(30_000, avg_row_nnz=20, seed=5))
+        res = tune_multiply(
+            m, RandomForestTuner(model), space, repetitions=100_000
+        )
+        assert res.report.format_name == "CSR"
+        assert res.speedup_vs_csr == pytest.approx(1.0, rel=0.05)
+
+    def test_run_first_overhead_dominated_by_worst_conversion(self, space):
+        """Run-first must pay the DIA conversion even for matrices where
+        DIA storage explodes — the cost anti-pattern of Section III."""
+        m = DynamicMatrix(uniform_random(30_000, avg_row_nnz=20, seed=5))
+        stats = MatrixStats.from_matrix(m.concrete)
+        report = RunFirstTuner(repetitions=1).tune(m, space, stats=stats)
+        t_dia_conv = space.time_conversion(stats, "COO", "DIA")
+        assert report.t_profiling > t_dia_conv
+        assert t_dia_conv > 100 * space.time_spmv(stats, "CSR")
+
+
+class TestTuneBlockMultiply:
+    """SpMM as a tuned operation (Section VI-B generalisation)."""
+
+    def test_block_operand_executes_spmm(self, space, rng):
+        from repro.formats import COOMatrix
+
+        dense = (rng.random((40, 40)) < 0.2) * rng.standard_normal((40, 40))
+        m = DynamicMatrix(COOMatrix.from_dense(dense))
+        X = rng.standard_normal((40, 3))
+        res = tune_multiply(m, RunFirstTuner(), space, X, n_vectors=3)
+        np.testing.assert_allclose(res.y, dense @ X, atol=1e-10)
+
+    def test_block_pricing_sublinear(self, space):
+        m = banded(10_000, half_bandwidth=2, seed=7)
+        stats = MatrixStats.from_matrix(m)
+        one = tune_multiply(
+            DynamicMatrix(m), RunFirstTuner(), space,
+            stats=stats, repetitions=100, n_vectors=1,
+        )
+        eight = tune_multiply(
+            DynamicMatrix(m), RunFirstTuner(), space,
+            stats=stats, repetitions=100, n_vectors=8,
+        )
+        assert one.t_tuned_spmv < eight.t_tuned_spmv < 8 * one.t_tuned_spmv
+
+    def test_speedup_invariant_under_block_width(self, space):
+        """The tuned-vs-CSR ratio is k-independent (both scale alike)."""
+        m = banded(10_000, half_bandwidth=2, seed=7)
+        stats = MatrixStats.from_matrix(m)
+        s1 = tune_multiply(
+            DynamicMatrix(m), RunFirstTuner(), space,
+            stats=stats, repetitions=100_000, n_vectors=1,
+        ).speedup_vs_csr
+        s8 = tune_multiply(
+            DynamicMatrix(m), RunFirstTuner(), space,
+            stats=stats, repetitions=100_000, n_vectors=8,
+        ).speedup_vs_csr
+        assert s8 == pytest.approx(s1, rel=0.15)

@@ -1,0 +1,169 @@
+"""Tests for the three Oracle tuners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import (
+    DecisionTreeTuner,
+    OracleModel,
+    RandomForestTuner,
+    RunFirstTuner,
+)
+from repro.core.features import N_FEATURES
+from repro.datasets.generators import banded, uniform_random
+from repro.errors import TuningError, ValidationError
+from repro.formats import DynamicMatrix
+from repro.machine import CostModel, MatrixStats
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_space("archer2", "serial", cost_model=CostModel(noise_sigma=0.0))
+
+
+@pytest.fixture(scope="module")
+def gpu_space():
+    return make_space("p3", "cuda", cost_model=CostModel(noise_sigma=0.0))
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((200, N_FEATURES))
+    y = rng.integers(0, 6, size=200)
+    dt = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    rf = RandomForestClassifier(n_estimators=5, max_depth=4, seed=0).fit(X, y)
+    return dt, rf
+
+
+class TestRunFirst:
+    def test_selects_global_minimum(self, space):
+        m = banded(5000, half_bandwidth=2, seed=0)
+        stats = MatrixStats.from_matrix(m)
+        report = RunFirstTuner().tune(DynamicMatrix(m), space, stats=stats)
+        times = space.time_all_formats(stats)
+        assert report.format_name == min(times, key=times.get)
+
+    def test_profiling_cost_accounts_conversions_and_runs(self, space):
+        m = uniform_random(3000, avg_row_nnz=10, seed=1)
+        stats = MatrixStats.from_matrix(m)
+        tuner = RunFirstTuner(repetitions=10)
+        report = tuner.tune(DynamicMatrix(m), space, stats=stats)
+        assert report.t_profiling > 0
+        assert report.t_feature_extraction == 0.0
+        assert report.t_prediction == 0.0
+        # cost grows with repetitions
+        report50 = RunFirstTuner(repetitions=50).tune(
+            DynamicMatrix(m), space, stats=stats
+        )
+        assert report50.t_profiling > report.t_profiling
+
+    def test_restricted_format_pool(self, space):
+        m = banded(5000, half_bandwidth=2, seed=0)
+        tuner = RunFirstTuner(formats=["COO", "CSR"])
+        report = tuner.tune(DynamicMatrix(m), space)
+        assert report.format_name in ("COO", "CSR")
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(TuningError):
+            RunFirstTuner(formats=[])
+
+    def test_bad_repetitions_raises(self):
+        with pytest.raises(ValidationError):
+            RunFirstTuner(repetitions=0)
+
+    def test_details_contain_trial_times(self, space):
+        m = uniform_random(1000, seed=2)
+        report = RunFirstTuner().tune(DynamicMatrix(m), space)
+        assert set(report.details["trial_times"]) == {
+            "COO", "CSR", "DIA", "ELL", "HYB", "HDC"
+        }
+
+
+class TestMLTuners:
+    def test_decision_tree_tuner_predicts(self, space, fitted_models):
+        dt, _ = fitted_models
+        tuner = DecisionTreeTuner(dt)
+        m = uniform_random(2000, seed=3)
+        report = tuner.tune(DynamicMatrix(m), space)
+        assert 0 <= report.format_id <= 5
+        assert report.t_feature_extraction > 0
+        assert report.t_prediction > 0
+        assert report.t_profiling == 0.0
+
+    def test_forest_tuner_predicts(self, space, fitted_models):
+        _, rf = fitted_models
+        tuner = RandomForestTuner(rf)
+        m = uniform_random(2000, seed=3)
+        report = tuner.tune(DynamicMatrix(m), space)
+        assert 0 <= report.format_id <= 5
+        assert tuner.n_estimators == 5
+
+    def test_kind_mismatch_raises(self, fitted_models):
+        dt, rf = fitted_models
+        with pytest.raises(TuningError):
+            DecisionTreeTuner(rf)
+        with pytest.raises(TuningError):
+            RandomForestTuner(dt)
+
+    def test_model_from_file(self, tmp_path, fitted_models, space):
+        _, rf = fitted_models
+        from repro.core import save_model
+
+        path = tmp_path / "rf.model"
+        save_model(path, OracleModel.from_estimator(rf))
+        tuner = RandomForestTuner(str(path))
+        m = uniform_random(1000, seed=4)
+        assert 0 <= tuner.tune(DynamicMatrix(m), space).format_id <= 5
+
+    def test_prediction_matches_estimator(self, space, fitted_models):
+        """The tuner's decision must equal predicting on the extracted
+        features directly."""
+        from repro.core import extract_features
+
+        _, rf = fitted_models
+        tuner = RandomForestTuner(rf)
+        m = uniform_random(1500, avg_row_nnz=7, seed=5)
+        report = tuner.tune(DynamicMatrix(m), space)
+        expected = rf.predict(extract_features(m)[None, :])[0]
+        assert report.format_id == expected
+
+    def test_forest_prediction_cost_exceeds_tree(self, space, fitted_models):
+        dt, rf = fitted_models
+        m = uniform_random(1500, seed=6)
+        dyn = DynamicMatrix(m)
+        t_tree = DecisionTreeTuner(dt).tune(dyn, space).t_prediction
+        t_forest = RandomForestTuner(rf).tune(dyn, space).t_prediction
+        assert t_forest > t_tree
+
+    def test_openmp_tuning_costlier_than_serial(self, fitted_models):
+        """Table IV: relative to its own SpMV, the OpenMP backend pays the
+        most for tuning on every system (serial extraction fraction)."""
+        _, rf = fitted_models
+        tuner = RandomForestTuner(rf)
+        cm = CostModel(noise_sigma=0.0)
+        serial = make_space("archer2", "serial", cost_model=cm)
+        openmp = make_space("archer2", "openmp", cost_model=cm)
+        m = uniform_random(30_000, avg_row_nnz=20, seed=7)
+        stats = MatrixStats.from_matrix(m)
+        rep_ser = tuner.tune(DynamicMatrix(m), serial, stats=stats)
+        rep_omp = tuner.tune(DynamicMatrix(m), openmp, stats=stats)
+        cost_ser = rep_ser.overhead_seconds / serial.time_spmv(stats, "CSR")
+        cost_omp = rep_omp.overhead_seconds / openmp.time_spmv(stats, "CSR")
+        assert cost_omp > cost_ser
+
+    def test_ml_tuner_cheaper_than_run_first(self, space, fitted_models):
+        """The paper's core cost claim (Section VI-A)."""
+        _, rf = fitted_models
+        m = uniform_random(20_000, avg_row_nnz=15, seed=8)
+        stats = MatrixStats.from_matrix(m)
+        dyn = DynamicMatrix(m)
+        ml_cost = RandomForestTuner(rf).tune(dyn, space, stats=stats).overhead_seconds
+        rf_cost = RunFirstTuner(repetitions=10).tune(
+            dyn, space, stats=stats
+        ).overhead_seconds
+        assert ml_cost < rf_cost / 5

@@ -1,0 +1,140 @@
+"""Tests for the MatrixCollection corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import MatrixCollection
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def coll() -> MatrixCollection:
+    return MatrixCollection(n_matrices=60, seed=42)
+
+
+class TestSpecs:
+    def test_len_matches_request(self, coll):
+        assert len(coll) == 60
+
+    def test_names_unique(self, coll):
+        names = [s.name for s in coll.specs]
+        assert len(set(names)) == len(names)
+
+    def test_deterministic_across_instances(self, coll):
+        other = MatrixCollection(n_matrices=60, seed=42)
+        assert [s.name for s in other.specs] == [s.name for s in coll.specs]
+        assert [s.params for s in other.specs] == [s.params for s in coll.specs]
+
+    def test_different_seed_different_params(self, coll):
+        other = MatrixCollection(n_matrices=60, seed=43)
+        assert [s.params for s in other.specs] != [s.params for s in coll.specs]
+
+    def test_families_interleaved_in_prefix(self, coll):
+        families = {s.family for s in coll.subset(30)}
+        assert len(families) >= 5
+
+    def test_subset_bounds(self, coll):
+        assert len(coll.subset(10)) == 10
+        assert len(coll.subset(10_000)) == 60
+        with pytest.raises(DatasetError):
+            coll.subset(-1)
+
+    def test_spec_by_name(self, coll):
+        spec = coll.specs[0]
+        assert coll.spec_by_name(spec.name) == spec
+
+    def test_spec_by_name_missing(self, coll):
+        with pytest.raises(DatasetError):
+            coll.spec_by_name("nope_9999")
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(DatasetError):
+            MatrixCollection(n_matrices=0)
+
+
+class TestGeneration:
+    def test_generate_square(self, coll):
+        m = coll.generate(coll.specs[0])
+        assert m.nrows == m.ncols
+        assert m.nnz > 0
+
+    def test_generate_deterministic(self, coll):
+        spec = coll.specs[1]
+        a = coll.generate(spec)
+        b = coll.generate(spec)
+        np.testing.assert_array_equal(a.row, b.row)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_stats_cached_and_correct(self, coll):
+        spec = coll.specs[2]
+        s1 = coll.stats(spec)
+        s2 = coll.stats(spec)
+        assert s1 is s2
+        m = coll.generate(spec)
+        assert s1.nnz == m.nnz
+        assert s1.nrows == m.nrows
+
+
+class TestSplit:
+    def test_split_proportions(self, coll):
+        train, test = coll.train_test_split(test_fraction=0.2)
+        assert len(train) + len(test) == 60
+        assert len(test) == 12
+
+    def test_split_deterministic(self, coll):
+        t1 = coll.train_test_split()
+        t2 = coll.train_test_split()
+        assert [s.name for s in t1[1]] == [s.name for s in t2[1]]
+
+    def test_split_disjoint(self, coll):
+        train, test = coll.train_test_split()
+        assert not ({s.name for s in train} & {s.name for s in test})
+
+    def test_custom_seed_changes_split(self, coll):
+        _, t1 = coll.train_test_split(seed=1)
+        _, t2 = coll.train_test_split(seed=2)
+        assert {s.name for s in t1} != {s.name for s in t2}
+
+    def test_invalid_fraction_raises(self, coll):
+        with pytest.raises(DatasetError):
+            coll.train_test_split(test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            coll.train_test_split(test_fraction=1.0)
+
+    def test_split_of_subset(self, coll):
+        subset = coll.subset(20)
+        train, test = coll.train_test_split(subset, test_fraction=0.25)
+        assert len(train) == 15
+        assert len(test) == 5
+
+
+class TestStatsCache:
+    def test_roundtrip(self, coll, tmp_path):
+        spec = coll.specs[0]
+        original = coll.stats(spec)
+        path = str(tmp_path / "stats.npz")
+        n_saved = coll.save_stats_cache(path)
+        assert n_saved >= 1
+
+        fresh = MatrixCollection(n_matrices=60, seed=42)
+        n_loaded = fresh.load_stats_cache(path)
+        assert n_loaded == n_saved
+        assert fresh.stats(spec) == original
+
+    def test_unknown_names_ignored(self, coll, tmp_path):
+        coll.stats(coll.specs[1])
+        path = str(tmp_path / "stats.npz")
+        coll.save_stats_cache(path)
+        other = MatrixCollection(n_matrices=5, seed=999)
+        assert other.load_stats_cache(path) == 0
+
+    def test_loaded_stats_skip_generation(self, coll, tmp_path):
+        spec = coll.specs[2]
+        coll.stats(spec)
+        path = str(tmp_path / "stats.npz")
+        coll.save_stats_cache(path)
+        fresh = MatrixCollection(n_matrices=60, seed=42)
+        fresh.load_stats_cache(path)
+        assert spec.name in fresh._stats_cache

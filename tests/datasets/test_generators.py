@@ -1,0 +1,163 @@
+"""Tests for the matrix-family generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FAMILIES,
+    banded,
+    block_diagonal,
+    diagonal_dominant,
+    generate_family,
+    hypersparse,
+    multi_diagonal,
+    noisy_banded,
+    powerlaw,
+    rmat,
+    stencil_2d,
+    stencil_3d,
+    uniform_random,
+    uniform_rows,
+)
+from repro.datasets.generators import network_trace, unstructured_fem
+from repro.errors import DatasetError
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_square_and_nonempty(self, family):
+        kwargs = {"seed": 3}
+        if family == "rmat":
+            kwargs["n_scale"] = 7
+        elif family == "stencil_2d":
+            kwargs["nx"] = 12
+        elif family == "stencil_3d":
+            kwargs["nx"] = 5
+        else:
+            kwargs["n"] = 300
+        m = generate_family(family, **kwargs)
+        assert m.nrows == m.ncols
+        assert m.nnz > 0
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_deterministic_given_seed(self, family):
+        kwargs = {"seed": 11}
+        if family == "rmat":
+            kwargs["n_scale"] = 7
+        elif family == "stencil_2d":
+            kwargs["nx"] = 10
+        elif family == "stencil_3d":
+            kwargs["nx"] = 5
+        else:
+            kwargs["n"] = 200
+        a = generate_family(family, **kwargs)
+        b = generate_family(family, **kwargs)
+        np.testing.assert_array_equal(a.row, b.row)
+        np.testing.assert_array_equal(a.col, b.col)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(DatasetError):
+            generate_family("sparse_unicorn", n=10)
+
+    def test_values_bounded_away_from_zero(self):
+        m = uniform_random(500, seed=0)
+        assert np.abs(m.data).min() > 0.0
+
+
+class TestStructure:
+    def test_banded_diagonal_count(self):
+        m = banded(100, half_bandwidth=2, fill=1.0, seed=0)
+        assert m.diagonal_nnz().shape[0] == 5
+
+    def test_banded_no_empty_rows(self):
+        m = banded(100, half_bandwidth=3, fill=0.7, seed=0)
+        assert (m.row_nnz() > 0).all()
+
+    def test_banded_invalid_bandwidth(self):
+        with pytest.raises(DatasetError):
+            banded(10, half_bandwidth=-1)
+
+    def test_multi_diagonal_count(self):
+        m = multi_diagonal(200, ndiags=7, seed=0)
+        assert m.diagonal_nnz().shape[0] == 7
+
+    def test_noisy_banded_has_many_diagonals(self):
+        m = noisy_banded(300, half_bandwidth=1, noise_frac=0.3, seed=0)
+        assert m.diagonal_nnz().shape[0] > 3
+
+    def test_diagonal_dominant_main_diag_full(self):
+        m = diagonal_dominant(100, ndiags=4, seed=0)
+        dense = m.to_dense()
+        assert (np.diag(dense) != 0).all()
+
+    def test_stencil_2d_five_point_row_lengths(self):
+        m = stencil_2d(10, 10, points=5, seed=0)
+        assert m.nrows == 100
+        assert m.row_nnz().max() == 5
+        assert m.row_nnz().min() == 3  # corner nodes
+
+    def test_stencil_2d_nine_point(self):
+        m = stencil_2d(8, points=9, seed=0)
+        assert m.row_nnz().max() == 9
+
+    def test_stencil_2d_rejects_bad_points(self):
+        with pytest.raises(DatasetError):
+            stencil_2d(8, points=6)
+
+    def test_stencil_3d_seven_point(self):
+        m = stencil_3d(5, points=7, seed=0)
+        assert m.nrows == 125
+        assert m.row_nnz().max() == 7
+
+    def test_stencil_3d_rejects_bad_points(self):
+        with pytest.raises(DatasetError):
+            stencil_3d(4, points=9)
+
+    def test_stencil_symmetric_pattern(self):
+        m = stencil_2d(6, points=5, seed=0)
+        dense = m.to_dense()
+        np.testing.assert_array_equal(dense != 0, (dense != 0).T)
+
+    def test_uniform_rows_narrow_spread(self):
+        m = uniform_rows(400, row_nnz=6, jitter=1, seed=0)
+        counts = m.row_nnz()
+        # duplicates may shave a little, but spread stays tight
+        assert counts.max() <= 7
+        assert np.median(counts) >= 4
+
+    def test_powerlaw_has_heavy_tail(self):
+        m = powerlaw(3000, avg_row_nnz=5, alpha=1.9, seed=0)
+        counts = m.row_nnz()
+        assert counts.max() > 10 * max(1.0, np.median(counts))
+
+    def test_network_trace_mostly_single_entry_rows(self):
+        m = network_trace(20_000, seed=0)
+        counts = m.row_nnz()
+        assert (counts <= 1).mean() > 0.4
+        assert counts.max() > 50
+
+    def test_rmat_size_is_power_of_two(self):
+        m = rmat(8, edges_per_node=4, seed=0)
+        assert m.nrows == 256
+
+    def test_rmat_bad_probs_raise(self):
+        with pytest.raises(DatasetError):
+            rmat(6, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_hypersparse_mostly_empty_rows(self):
+        m = hypersparse(10_000, density=0.1, seed=0)
+        assert (m.row_nnz() == 0).mean() > 0.8
+
+    def test_block_diagonal_confined_to_blocks(self):
+        m = block_diagonal(64, block=8, fill=1.0, seed=0)
+        assert (np.abs(m.row - m.col) < 8).all()
+
+    def test_unstructured_fem_local_but_many_diagonals(self):
+        m = unstructured_fem(3000, avg_row_nnz=10, seed=0)
+        assert m.diagonal_nnz().shape[0] > 50  # not banded
+        # columns cluster near the diagonal
+        spread = np.abs(m.col - m.row)
+        assert np.median(spread) < 3000 * 0.2

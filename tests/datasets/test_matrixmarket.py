@@ -1,0 +1,144 @@
+"""Tests for Matrix Market I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets import read_matrix_market, write_matrix_market
+from repro.errors import DatasetError
+from repro.formats import COOMatrix
+
+
+class TestRoundtrip:
+    def test_write_read_roundtrip(self, coo_small, dense_small, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo_small, comment="test matrix")
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), dense_small)
+
+    def test_stream_roundtrip(self, coo_small, dense_small):
+        buf = io.StringIO()
+        write_matrix_market(buf, coo_small)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        np.testing.assert_allclose(back.to_dense(), dense_small)
+
+    def test_empty_matrix_roundtrip(self):
+        empty = COOMatrix(3, 4, [], [], [])
+        buf = io.StringIO()
+        write_matrix_market(buf, empty)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.shape == (3, 4)
+        assert back.nnz == 0
+
+    def test_scipy_can_read_our_output(self, coo_small, dense_small, tmp_path):
+        import scipy.io
+
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, coo_small)
+        ref = scipy.io.mmread(str(path))
+        np.testing.assert_allclose(ref.toarray(), dense_small)
+
+    def test_we_can_read_scipy_output(self, dense_small, tmp_path):
+        import scipy.io
+        import scipy.sparse as sp
+
+        path = tmp_path / "s.mtx"
+        scipy.io.mmwrite(str(path), sp.coo_matrix(dense_small))
+        back = read_matrix_market(str(path))
+        np.testing.assert_allclose(back.to_dense(), dense_small)
+
+
+class TestFields:
+    def test_pattern_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 1\n"
+            "3 2\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert m.to_dense()[0, 0] == 1.0
+        assert m.to_dense()[2, 1] == 1.0
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "2 1 7\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[1, 0] == 7.0
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 5.0\n"
+            "3 2 -1.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[0, 1] == 5.0 and dense[1, 0] == 5.0
+        assert dense[1, 2] == -1.0 and dense[2, 1] == -1.0
+        assert dense[0, 0] == 2.0  # diagonal not duplicated
+        assert m.nnz == 5
+
+    def test_skew_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == 3.0
+        assert dense[0, 1] == -3.0
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "1 1 1\n"
+            "1 1 4.5\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.to_dense()[0, 0] == 4.5
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_object(self):
+        text = "%%MatrixMarket vector coordinate real general\n1 1 0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_dense_format(self):
+        text = "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_malformed_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2\n"
+        with pytest.raises(DatasetError):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,99 @@
+"""Tests for the SparseMatrix base-class behaviours and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+from repro.formats.base import SparseMatrix, register_format
+
+
+class TestToDense:
+    def test_round_trips_values(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        np.testing.assert_allclose(coo.to_dense(), dense_small)
+
+    def test_empty_shape(self):
+        coo = COOMatrix(3, 5, [], [], [])
+        assert coo.to_dense().shape == (3, 5)
+
+
+class TestToScipy:
+    def test_matches_dense(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        np.testing.assert_allclose(coo.to_scipy().toarray(), dense_small)
+
+    def test_type_is_scipy_coo(self, coo_small):
+        import scipy.sparse as sp
+
+        assert sp.issparse(coo_small.to_scipy())
+
+
+class TestRegisterFormat:
+    def test_unknown_format_name_rejected(self):
+        class BogusMatrix(SparseMatrix):
+            format = "BOGUS"
+
+            # minimal abstract stubs
+            @property
+            def nnz(self):  # pragma: no cover
+                return 0
+
+            def nbytes(self):  # pragma: no cover
+                return 0
+
+            def to_coo(self):  # pragma: no cover
+                raise NotImplementedError
+
+            @classmethod
+            def from_coo(cls, coo, **params):  # pragma: no cover
+                raise NotImplementedError
+
+            def spmv(self, x):  # pragma: no cover
+                raise NotImplementedError
+
+            def row_nnz(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def diagonal_nnz(self):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(FormatError):
+            register_format(BogusMatrix)
+
+
+class TestOperandChecks:
+    def test_list_input_coerced(self, coo_small, dense_small):
+        y = coo_small.spmv([1.0] * 12)
+        np.testing.assert_allclose(y, dense_small @ np.ones(12))
+
+    def test_format_id_property(self, coo_small):
+        assert coo_small.format_id == 0
+
+    def test_repr_mentions_format(self, coo_small):
+        assert "COO" in repr(coo_small)
+
+
+class TestDiagonal:
+    def test_matches_dense_diagonal(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        np.testing.assert_allclose(coo.diagonal(), np.diag(dense_small))
+
+    def test_rectangular_diagonal_length(self, dense_rect):
+        coo = COOMatrix.from_dense(dense_rect)
+        assert coo.diagonal().shape == (20,)
+
+    def test_empty_matrix_zero_diagonal(self):
+        coo = COOMatrix(4, 4, [], [], [])
+        np.testing.assert_allclose(coo.diagonal(), np.zeros(4))
+
+    def test_format_independent(self, dense_small):
+        from repro.formats import convert
+        from tests.conftest import ALL_FORMATS
+
+        coo = COOMatrix.from_dense(dense_small)
+        ref = coo.diagonal()
+        for fmt in ALL_FORMATS:
+            np.testing.assert_allclose(convert(coo, fmt).diagonal(), ref)

@@ -1,0 +1,110 @@
+"""Conversion graph tests: every ordered pair of formats."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ConversionError, FormatError
+from repro.formats import COOMatrix, convert, convert_cost_weight
+from repro.formats.base import FORMAT_IDS, format_class, format_id, format_name
+
+from tests.conftest import ALL_FORMATS
+
+
+@pytest.mark.parametrize(
+    "src,dst", list(itertools.product(ALL_FORMATS, ALL_FORMATS))
+)
+def test_all_pairs_preserve_values(src, dst, dense_small):
+    coo = COOMatrix.from_dense(dense_small)
+    a = convert(coo, src)
+    b = convert(a, dst)
+    assert b.format == dst
+    np.testing.assert_allclose(b.to_dense(), dense_small)
+    assert b.nnz == coo.nnz
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_same_format_conversion_returns_same_object(fmt, coo_small):
+    a = convert(coo_small, fmt)
+    assert convert(a, fmt) is a
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_conversion_case_insensitive(fmt, coo_small):
+    assert convert(coo_small, fmt.lower()).format == fmt
+
+
+def test_unknown_target_raises(coo_small):
+    with pytest.raises(FormatError):
+        convert(coo_small, "BSR")
+
+
+def test_hyb_param_passthrough(coo_small):
+    hyb = convert(coo_small, "HYB", k=1)
+    assert hyb.split_k == 1
+
+
+def test_hdc_param_passthrough(coo_small):
+    hdc = convert(coo_small, "HDC", nd=1)
+    assert hdc.csr_nnz == 0
+
+
+def test_param_forces_rebuild(coo_small):
+    hyb1 = convert(coo_small, "HYB", k=1)
+    hyb2 = convert(hyb1, "HYB", k=2)
+    assert hyb2 is not hyb1
+    assert hyb2.split_k == 2
+
+
+class TestCostWeights:
+    def test_same_format_free(self):
+        for fmt in ALL_FORMATS:
+            assert convert_cost_weight(fmt, fmt) == 0.0
+
+    def test_cross_format_positive(self):
+        for src, dst in itertools.permutations(ALL_FORMATS, 2):
+            assert convert_cost_weight(src, dst) > 0.0
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ConversionError):
+            convert_cost_weight("CSR", "XYZ")
+
+    def test_hybrids_cost_more_than_csr(self):
+        assert convert_cost_weight("COO", "HDC") > convert_cost_weight("COO", "CSR")
+        assert convert_cost_weight("COO", "HYB") > convert_cost_weight("COO", "CSR")
+
+
+class TestRegistry:
+    def test_format_ids_are_paper_order(self):
+        assert FORMAT_IDS == {
+            "COO": 0,
+            "CSR": 1,
+            "DIA": 2,
+            "ELL": 3,
+            "HYB": 4,
+            "HDC": 5,
+        }
+
+    def test_format_id_roundtrip(self):
+        for name, fid in FORMAT_IDS.items():
+            assert format_id(name) == fid
+            assert format_name(fid) == name
+
+    def test_format_id_case_insensitive(self):
+        assert format_id("csr") == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FormatError):
+            format_id("DENSE")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(FormatError):
+            format_name(17)
+
+    def test_registry_has_all_six_classes(self):
+        for fmt in ALL_FORMATS:
+            cls = format_class(fmt)
+            assert cls.format == fmt

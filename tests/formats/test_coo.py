@@ -1,0 +1,135 @@
+"""Unit tests for the COO container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, ValidationError
+from repro.formats import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        np.testing.assert_allclose(coo.to_dense(), dense_small)
+
+    def test_nnz_counts_stored_entries(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        assert coo.nnz == np.count_nonzero(dense_small)
+
+    def test_shape_properties(self, dense_rect):
+        coo = COOMatrix.from_dense(dense_rect)
+        assert coo.shape == (20, 35)
+        assert coo.nrows == 20
+        assert coo.ncols == 35
+
+    def test_empty_matrix(self):
+        coo = COOMatrix(5, 7, [], [], [])
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (5, 7)
+        assert coo.spmv(np.ones(7)).tolist() == [0.0] * 5
+
+    def test_canonicalisation_sorts_row_major(self):
+        coo = COOMatrix(3, 3, [2, 0, 1, 0], [1, 2, 0, 0], [1.0, 2.0, 3.0, 4.0])
+        keys = coo.row * 3 + coo.col
+        assert (np.diff(keys) > 0).all()
+
+    def test_duplicates_are_summed(self):
+        coo = COOMatrix(2, 2, [0, 0, 1], [1, 1, 0], [2.0, 3.0, 1.0])
+        assert coo.nnz == 2
+        assert coo.to_dense()[0, 1] == pytest.approx(5.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            COOMatrix(2, 2, [0, 1], [0], [1.0, 2.0])
+
+    def test_out_of_bounds_row_raises(self):
+        with pytest.raises(ValidationError):
+            COOMatrix(2, 2, [5], [0], [1.0])
+
+    def test_out_of_bounds_col_raises(self):
+        with pytest.raises(ValidationError):
+            COOMatrix(2, 2, [0], [-3], [1.0])
+
+    def test_negative_shape_raises(self):
+        with pytest.raises(ShapeError):
+            COOMatrix(-1, 2, [], [], [])
+
+    def test_arrays_are_readonly(self, coo_small):
+        with pytest.raises(ValueError):
+            coo_small.data[0] = 99.0
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            COOMatrix.from_dense(np.ones(4))
+
+
+class TestSpMV:
+    def test_matches_dense(self, dense_small, rng):
+        coo = COOMatrix.from_dense(dense_small)
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(coo.spmv(x), dense_small @ x)
+
+    def test_matches_scipy(self, dense_medium, rng):
+        coo = COOMatrix.from_dense(dense_medium)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(coo.spmv(x), coo.to_scipy() @ x)
+
+    def test_rectangular(self, dense_rect, rng):
+        coo = COOMatrix.from_dense(dense_rect)
+        x = rng.standard_normal(35)
+        np.testing.assert_allclose(coo.spmv(x), dense_rect @ x)
+
+    def test_wrong_length_vector_raises(self, coo_small):
+        with pytest.raises(ShapeError):
+            coo_small.spmv(np.ones(13))
+
+    def test_2d_operand_raises(self, coo_small):
+        with pytest.raises(ShapeError):
+            coo_small.spmv(np.ones((12, 1)))
+
+    def test_integer_vector_is_accepted(self, coo_small, dense_small):
+        y = coo_small.spmv(np.ones(12, dtype=np.int32))
+        np.testing.assert_allclose(y, dense_small @ np.ones(12))
+
+
+class TestStatistics:
+    def test_row_nnz_matches_dense(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        expected = (dense_small != 0).sum(axis=1)
+        np.testing.assert_array_equal(coo.row_nnz(), expected)
+
+    def test_diagonal_nnz_total(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        assert coo.diagonal_nnz().sum() == coo.nnz
+
+    def test_diagonal_nnz_identity(self):
+        coo = COOMatrix.from_dense(np.eye(6))
+        diag = coo.diagonal_nnz()
+        assert diag.tolist() == [6]
+
+    def test_diagonal_offsets_tridiag(self):
+        d = np.diag(np.ones(5)) + np.diag(np.ones(4), 1) + np.diag(np.ones(4), -1)
+        coo = COOMatrix.from_dense(d)
+        assert coo.diagonal_offsets().tolist() == [-1, 0, 1]
+
+    def test_empty_diagonal_census(self):
+        coo = COOMatrix(4, 4, [], [], [])
+        assert coo.diagonal_nnz().size == 0
+        assert coo.diagonal_offsets().size == 0
+
+    def test_nbytes_accounts_all_arrays(self, coo_small):
+        expected = coo_small.nnz * (8 + 8 + 8)
+        assert coo_small.nbytes() == expected
+
+
+class TestTranspose:
+    def test_transpose_matches_dense(self, dense_rect):
+        coo = COOMatrix.from_dense(dense_rect)
+        np.testing.assert_allclose(coo.transpose().to_dense(), dense_rect.T)
+
+    def test_double_transpose_identity(self, coo_small, dense_small):
+        np.testing.assert_allclose(
+            coo_small.transpose().transpose().to_dense(), dense_small
+        )

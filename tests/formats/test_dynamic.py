@@ -1,0 +1,90 @@
+"""Tests for the DynamicMatrix runtime-switching container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix, DynamicMatrix
+
+from tests.conftest import ALL_FORMATS
+
+
+@pytest.fixture
+def dyn(coo_small) -> DynamicMatrix:
+    return DynamicMatrix(coo_small)
+
+
+class TestSwitching:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_switch_changes_active_format(self, dyn, fmt):
+        dyn.switch(fmt)
+        assert dyn.active_format == fmt
+
+    def test_switch_by_id(self, dyn):
+        dyn.switch(2)
+        assert dyn.active_format == "DIA"
+
+    def test_switch_preserves_values(self, dyn, dense_small):
+        for fmt in ALL_FORMATS + ["COO"]:
+            dyn.switch(fmt)
+            np.testing.assert_allclose(dyn.concrete.to_dense(), dense_small)
+
+    def test_noop_switch_records_no_history(self, dyn):
+        dyn.switch("COO")
+        assert dyn.n_switches == 0
+
+    def test_history_tracks_conversions(self, dyn):
+        dyn.switch("CSR").switch("ELL").switch("CSR")
+        assert dyn.switch_history == ("COO", "CSR", "ELL", "CSR")
+        assert dyn.n_switches == 3
+
+    def test_unknown_format_raises(self, dyn):
+        with pytest.raises(FormatError):
+            dyn.switch("BSR")
+
+    def test_unknown_id_raises(self, dyn):
+        with pytest.raises(FormatError):
+            dyn.switch(42)
+
+    def test_wrapping_non_matrix_raises(self):
+        with pytest.raises(FormatError):
+            DynamicMatrix(np.eye(3))
+
+    def test_switch_with_params_rebuilds(self, dyn):
+        dyn.switch("HYB", k=1)
+        assert dyn.concrete.split_k == 1
+        dyn.switch("HYB", k=3)
+        assert dyn.concrete.split_k == 3
+
+
+class TestDelegation:
+    def test_shape_and_nnz(self, dyn, dense_small):
+        assert dyn.shape == dense_small.shape
+        assert dyn.nnz == np.count_nonzero(dense_small)
+        assert dyn.nrows == dense_small.shape[0]
+        assert dyn.ncols == dense_small.shape[1]
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_spmv_invariant_under_switching(self, dyn, dense_small, fmt, rng):
+        x = rng.standard_normal(dense_small.shape[1])
+        dyn.switch(fmt)
+        np.testing.assert_allclose(dyn.spmv(x), dense_small @ x)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_statistics_invariant_under_switching(self, dyn, dense_small, fmt):
+        dyn.switch(fmt)
+        expected = (dense_small != 0).sum(axis=1)
+        np.testing.assert_array_equal(dyn.row_nnz(), expected)
+        assert dyn.diagonal_nnz().sum() == dyn.nnz
+
+    def test_active_format_id_matches_registry(self, dyn):
+        dyn.switch("ELL")
+        assert dyn.active_format_id == 3
+
+    def test_nbytes_changes_with_format(self, dyn):
+        dyn.switch("COO")
+        coo_bytes = dyn.nbytes()
+        dyn.switch("CSR")
+        assert dyn.nbytes() != coo_bytes

@@ -1,0 +1,71 @@
+"""Edge-shape tests: degenerate matrices through every format and kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import extract_features
+from repro.formats import COOMatrix, DynamicMatrix, convert
+from repro.machine import MatrixStats
+
+from tests.conftest import ALL_FORMATS
+
+
+def cases():
+    return {
+        "1x1_nonzero": np.array([[3.0]]),
+        "1x1_zero": np.array([[0.0]]),
+        "single_row": np.array([[1.0, 0.0, 2.0, 0.0]]),
+        "single_col": np.array([[1.0], [0.0], [2.0]]),
+        "single_entry": np.pad(np.array([[5.0]]), ((3, 3), (2, 2))),
+        "full_dense": np.arange(1.0, 10.0).reshape(3, 3),
+        "all_zero": np.zeros((4, 6)),
+        "one_full_row": np.vstack([np.ones((1, 5)), np.zeros((4, 5))]),
+        "one_full_col": np.hstack([np.ones((5, 1)), np.zeros((5, 4))]),
+        "anti_diagonal": np.fliplr(np.eye(5)),
+    }
+
+
+@pytest.mark.parametrize("label", sorted(cases()))
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_roundtrip_and_spmv(label, fmt):
+    dense = cases()[label]
+    m = convert(COOMatrix.from_dense(dense), fmt)
+    np.testing.assert_allclose(m.to_dense(), dense)
+    x = np.arange(1.0, dense.shape[1] + 1)
+    np.testing.assert_allclose(m.spmv(x), dense @ x, atol=1e-12)
+
+
+@pytest.mark.parametrize("label", sorted(cases()))
+def test_stats_and_features_never_crash(label):
+    dense = cases()[label]
+    coo = COOMatrix.from_dense(dense)
+    stats = MatrixStats.from_matrix(coo)
+    assert stats.nnz == np.count_nonzero(dense)
+    vec = extract_features(coo)
+    assert np.isfinite(vec).all()
+
+
+@pytest.mark.parametrize("label", sorted(cases()))
+def test_dynamic_switch_cycle(label):
+    dense = cases()[label]
+    dyn = DynamicMatrix(COOMatrix.from_dense(dense))
+    for fmt in ALL_FORMATS:
+        dyn.switch(fmt)
+        assert dyn.nnz == np.count_nonzero(dense)
+    np.testing.assert_allclose(dyn.concrete.to_dense(), dense)
+
+
+def test_anti_diagonal_occupies_every_diagonal_once():
+    coo = COOMatrix.from_dense(np.fliplr(np.eye(5)))
+    diag = coo.diagonal_nnz()
+    assert diag.shape[0] == 5
+    assert (diag == 1).all()
+
+
+def test_one_full_row_is_the_ell_worst_case():
+    dense = np.vstack([np.ones((1, 50)), np.zeros((49, 50))])
+    stats = MatrixStats.from_matrix(COOMatrix.from_dense(dense))
+    assert stats.ell_width == 50
+    assert stats.ell_padding_ratio == pytest.approx(50.0)

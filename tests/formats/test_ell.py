@@ -1,0 +1,104 @@
+"""Unit tests for the ELL container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats import COOMatrix, ELLMatrix
+from repro.formats.ell import PAD_COL
+
+
+def build(dense: np.ndarray) -> ELLMatrix:
+    return ELLMatrix.from_coo(COOMatrix.from_dense(dense))
+
+
+class TestConstruction:
+    def test_roundtrip(self, dense_small):
+        np.testing.assert_allclose(build(dense_small).to_dense(), dense_small)
+
+    def test_width_is_max_row_nnz(self, dense_small):
+        ell = build(dense_small)
+        assert ell.width == (dense_small != 0).sum(axis=1).max()
+
+    def test_padding_uses_sentinel(self):
+        dense = np.zeros((3, 3))
+        dense[0, 0] = 1.0
+        dense[0, 1] = 2.0
+        dense[1, 1] = 3.0
+        ell = build(dense)
+        assert ell.width == 2
+        assert ell.col_idx[1, 1] == PAD_COL
+        assert ell.data[1, 1] == 0.0
+        assert (ell.col_idx[2] == PAD_COL).all()
+
+    def test_nnz_excludes_padding(self, dense_small):
+        ell = build(dense_small)
+        assert ell.nnz == np.count_nonzero(dense_small)
+
+    def test_empty_matrix_zero_width(self):
+        ell = ELLMatrix.from_coo(COOMatrix(4, 4, [], [], []))
+        assert ell.width == 0
+        assert ell.nnz == 0
+        np.testing.assert_allclose(ell.spmv(np.ones(4)), np.zeros(4))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            ELLMatrix(3, 3, np.zeros((3, 2), dtype=np.int64), np.zeros((2, 2)))
+
+    def test_wrong_nrows_raises(self):
+        with pytest.raises(ValidationError):
+            ELLMatrix(3, 3, np.zeros((2, 2), dtype=np.int64), np.zeros((2, 2)))
+
+    def test_col_out_of_range_raises(self):
+        cols = np.array([[5]], dtype=np.int64)
+        with pytest.raises(ValidationError):
+            ELLMatrix(1, 3, cols, np.ones((1, 1)))
+
+    def test_padded_value_is_normalised_to_zero(self):
+        cols = np.array([[PAD_COL]], dtype=np.int64)
+        data = np.array([[42.0]])
+        ell = ELLMatrix(1, 3, cols, data)
+        assert ell.data[0, 0] == 0.0
+
+
+class TestSpMV:
+    def test_matches_dense(self, dense_small, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(build(dense_small).spmv(x), dense_small @ x)
+
+    def test_matches_scipy(self, dense_medium, rng):
+        ell = build(dense_medium)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(ell.spmv(x), ell.to_scipy() @ x)
+
+    def test_uniform_rows_no_padding(self, rng):
+        # every row has exactly 3 entries => padding-free ELL
+        n = 10
+        dense = np.zeros((n, n))
+        for i in range(n):
+            cols = rng.choice(n, size=3, replace=False)
+            dense[i, cols] = rng.standard_normal(3)
+        ell = build(dense)
+        assert ell.padded_size() == ell.nnz
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(ell.spmv(x), dense @ x)
+
+    def test_rectangular(self, dense_rect, rng):
+        x = rng.standard_normal(35)
+        np.testing.assert_allclose(build(dense_rect).spmv(x), dense_rect @ x)
+
+
+class TestStatistics:
+    def test_row_nnz(self, dense_small):
+        expected = (dense_small != 0).sum(axis=1)
+        np.testing.assert_array_equal(build(dense_small).row_nnz(), expected)
+
+    def test_diagonal_nnz_total(self, dense_small):
+        ell = build(dense_small)
+        assert ell.diagonal_nnz().sum() == ell.nnz
+
+    def test_nbytes_includes_padding(self, dense_small):
+        ell = build(dense_small)
+        assert ell.nbytes() == ell.padded_size() * 16

@@ -1,0 +1,127 @@
+"""Unit tests for the HDC (DIA + CSR) container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats import COOMatrix, HDCMatrix
+from repro.formats.hdc import default_hdc_threshold
+
+
+def build(dense: np.ndarray, **params) -> HDCMatrix:
+    return HDCMatrix.from_coo(COOMatrix.from_dense(dense), **params)
+
+
+def banded_plus_noise(rng: np.random.Generator, n: int = 24) -> np.ndarray:
+    dense = (
+        np.diag(2.0 * np.ones(n))
+        + np.diag(-np.ones(n - 1), 1)
+        + np.diag(-np.ones(n - 1), -1)
+    )
+    # sprinkle a few scattered entries well off the band
+    for _ in range(6):
+        i, j = rng.integers(0, n, size=2)
+        if abs(int(i) - int(j)) > 2:
+            dense[i, j] = rng.standard_normal()
+    return dense
+
+
+class TestConstruction:
+    def test_roundtrip(self, dense_small):
+        np.testing.assert_allclose(build(dense_small).to_dense(), dense_small)
+
+    def test_roundtrip_banded_noise(self, rng):
+        d = banded_plus_noise(rng)
+        np.testing.assert_allclose(build(d).to_dense(), d)
+
+    def test_band_goes_to_dia(self, rng):
+        d = banded_plus_noise(rng)
+        hdc = build(d)
+        # the three full diagonals must be promoted
+        assert hdc.ntrue_diags >= 3
+        assert hdc.dia_nnz >= 3 * (d.shape[0] - 1)
+
+    def test_noise_goes_to_csr(self, rng):
+        d = banded_plus_noise(rng)
+        hdc = build(d)
+        assert hdc.csr_nnz == np.count_nonzero(d) - hdc.dia_nnz
+        assert hdc.csr_nnz > 0
+
+    def test_threshold_one_promotes_everything(self, dense_small):
+        hdc = build(dense_small, nd=1)
+        assert hdc.csr_nnz == 0
+        np.testing.assert_allclose(hdc.to_dense(), dense_small)
+
+    def test_huge_threshold_promotes_nothing(self, dense_small):
+        hdc = build(dense_small, nd=10_000)
+        assert hdc.dia_nnz == 0
+        np.testing.assert_allclose(hdc.to_dense(), dense_small)
+
+    def test_invalid_threshold_raises(self, dense_small):
+        with pytest.raises(ValidationError):
+            build(dense_small, nd=0)
+
+    def test_default_threshold_scales_with_size(self):
+        assert default_hdc_threshold(100, 100) == 50
+        assert default_hdc_threshold(10, 30) == 5
+        assert default_hdc_threshold(1, 1) == 1
+
+    def test_empty_matrix(self):
+        hdc = HDCMatrix.from_coo(COOMatrix(4, 4, [], [], []))
+        assert hdc.nnz == 0
+        np.testing.assert_allclose(hdc.spmv(np.ones(4)), np.zeros(4))
+
+    def test_mismatched_parts_raise(self, dense_small, dense_rect):
+        from repro.formats import CSRMatrix, DIAMatrix
+
+        dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense_small))
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense_rect))
+        with pytest.raises(ValidationError):
+            HDCMatrix(dia, csr)
+
+
+class TestSpMV:
+    def test_matches_dense(self, dense_small, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(build(dense_small).spmv(x), dense_small @ x)
+
+    def test_matches_dense_banded_noise(self, rng):
+        d = banded_plus_noise(rng)
+        x = rng.standard_normal(d.shape[1])
+        np.testing.assert_allclose(build(d).spmv(x), d @ x)
+
+    def test_matches_scipy(self, dense_medium, rng):
+        hdc = build(dense_medium)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(hdc.spmv(x), hdc.to_scipy() @ x)
+
+    def test_threshold_invariance(self, dense_medium, rng):
+        """SpMV result must not depend on the promotion threshold."""
+        x = rng.standard_normal(60)
+        y_ref = dense_medium @ x
+        for nd in (1, 3, 30, 10_000):
+            np.testing.assert_allclose(
+                build(dense_medium, nd=nd).spmv(x), y_ref
+            )
+
+
+class TestStatistics:
+    def test_row_nnz(self, rng):
+        d = banded_plus_noise(rng)
+        expected = (d != 0).sum(axis=1)
+        np.testing.assert_array_equal(build(d).row_nnz(), expected)
+
+    def test_diagonal_nnz_total(self, dense_small):
+        hdc = build(dense_small)
+        assert hdc.diagonal_nnz().sum() == hdc.nnz
+
+    def test_nnz_partition(self, rng):
+        d = banded_plus_noise(rng)
+        hdc = build(d)
+        assert hdc.dia_nnz + hdc.csr_nnz == np.count_nonzero(d)
+
+    def test_nbytes_sums_blocks(self, dense_small):
+        hdc = build(dense_small)
+        assert hdc.nbytes() == hdc.dia.nbytes() + hdc.csr.nbytes()

@@ -1,0 +1,134 @@
+"""Unit tests for the HYB (ELL + COO) container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats import COOMatrix, HYBMatrix
+from repro.formats.hyb import default_hyb_split
+
+
+def build(dense: np.ndarray, **params) -> HYBMatrix:
+    return HYBMatrix.from_coo(COOMatrix.from_dense(dense), **params)
+
+
+def skewed(rng: np.random.Generator, n: int = 20) -> np.ndarray:
+    """One heavy row, the rest short — forces a genuine COO spill."""
+    dense = np.zeros((n, n))
+    dense[0] = rng.standard_normal(n)  # full row
+    for i in range(1, n):
+        cols = rng.choice(n, size=2, replace=False)
+        dense[i, cols] = rng.standard_normal(2)
+    return dense
+
+
+class TestConstruction:
+    def test_roundtrip(self, dense_small):
+        np.testing.assert_allclose(build(dense_small).to_dense(), dense_small)
+
+    def test_roundtrip_skewed(self, rng):
+        d = skewed(rng)
+        np.testing.assert_allclose(build(d).to_dense(), d)
+
+    def test_split_parameter_respected(self, rng):
+        d = skewed(rng)
+        hyb = build(d, k=2)
+        assert hyb.split_k == 2
+        assert hyb.coo_nnz == d.shape[0] - 2  # full row spills n-2 entries
+
+    def test_default_split_covers_majority_rows(self, rng):
+        d = skewed(rng)
+        hyb = build(d)
+        row_nnz = (d != 0).sum(axis=1)
+        covered = (row_nnz <= hyb.split_k).mean()
+        assert covered >= 2.0 / 3.0 - 1e-9
+
+    def test_nnz_is_partitioned(self, rng):
+        d = skewed(rng)
+        hyb = build(d)
+        assert hyb.ell_nnz + hyb.coo_nnz == np.count_nonzero(d)
+
+    def test_k_zero_puts_everything_in_coo(self, dense_small):
+        hyb = build(dense_small, k=0)
+        assert hyb.ell_nnz == 0
+        assert hyb.coo_nnz == np.count_nonzero(dense_small)
+        np.testing.assert_allclose(hyb.to_dense(), dense_small)
+
+    def test_huge_k_puts_everything_in_ell(self, dense_small):
+        hyb = build(dense_small, k=100)
+        assert hyb.coo_nnz == 0
+        np.testing.assert_allclose(hyb.to_dense(), dense_small)
+
+    def test_negative_k_raises(self, dense_small):
+        with pytest.raises(ValidationError):
+            build(dense_small, k=-1)
+
+    def test_mismatched_parts_raise(self, dense_small, dense_rect):
+        from repro.formats import ELLMatrix
+
+        ell = ELLMatrix.from_coo(COOMatrix.from_dense(dense_small))
+        coo = COOMatrix.from_dense(dense_rect)
+        with pytest.raises(ValidationError):
+            HYBMatrix(ell, coo)
+
+    def test_empty_matrix(self):
+        hyb = HYBMatrix.from_coo(COOMatrix(4, 4, [], [], []))
+        assert hyb.nnz == 0
+        np.testing.assert_allclose(hyb.spmv(np.ones(4)), np.zeros(4))
+
+
+class TestDefaultSplit:
+    def test_uniform_rows_full_coverage(self):
+        row_counts = np.full(10, 4)
+        assert default_hyb_split(row_counts) == 4
+
+    def test_empty(self):
+        assert default_hyb_split(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_all_empty_rows(self):
+        assert default_hyb_split(np.zeros(5, dtype=np.int64)) == 0
+
+    def test_skewed_clips_tail(self):
+        row_counts = np.array([1] * 9 + [100])
+        k = default_hyb_split(row_counts)
+        assert k < 100
+
+
+class TestSpMV:
+    def test_matches_dense(self, dense_small, rng):
+        x = rng.standard_normal(12)
+        np.testing.assert_allclose(build(dense_small).spmv(x), dense_small @ x)
+
+    def test_matches_dense_skewed(self, rng):
+        d = skewed(rng)
+        x = rng.standard_normal(d.shape[1])
+        np.testing.assert_allclose(build(d).spmv(x), d @ x)
+
+    def test_matches_scipy(self, dense_medium, rng):
+        hyb = build(dense_medium)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(hyb.spmv(x), hyb.to_scipy() @ x)
+
+    def test_split_invariance(self, dense_medium, rng):
+        """SpMV result must not depend on the split parameter."""
+        x = rng.standard_normal(60)
+        y_ref = dense_medium @ x
+        for k in (0, 1, 3, 10, 60):
+            np.testing.assert_allclose(build(dense_medium, k=k).spmv(x), y_ref)
+
+
+class TestStatistics:
+    def test_row_nnz(self, rng):
+        d = skewed(rng)
+        expected = (d != 0).sum(axis=1)
+        np.testing.assert_array_equal(build(d).row_nnz(), expected)
+
+    def test_diagonal_nnz_total(self, dense_small):
+        hyb = build(dense_small)
+        assert hyb.diagonal_nnz().sum() == hyb.nnz
+
+    def test_nbytes_sums_blocks(self, dense_small):
+        hyb = build(dense_small)
+        assert hyb.nbytes() == hyb.ell.nbytes() + hyb.coo.nbytes()

@@ -1,0 +1,116 @@
+"""Property-based tests (hypothesis) over the format containers.
+
+Core invariants, for arbitrary random sparse matrices:
+
+* every format round-trips through COO without value loss;
+* every format's SpMV equals the dense reference;
+* nnz / row_nnz / diagonal census are format-independent;
+* HYB/HDC results are invariant in their split parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, convert
+
+from tests.conftest import ALL_FORMATS
+
+
+@st.composite
+def sparse_cases(draw, max_dim: int = 24):
+    """A random (dense, x) pair: arbitrary shape, density and values."""
+    nrows = draw(st.integers(min_value=1, max_value=max_dim))
+    ncols = draw(st.integers(min_value=1, max_value=max_dim))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((nrows, ncols)) < density) * rng.standard_normal(
+        (nrows, ncols)
+    )
+    x = rng.standard_normal(ncols)
+    return dense, x
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=sparse_cases(), fmt=st.sampled_from(ALL_FORMATS))
+def test_roundtrip_through_any_format(case, fmt):
+    dense, _ = case
+    coo = COOMatrix.from_dense(dense)
+    m = convert(coo, fmt)
+    np.testing.assert_allclose(m.to_dense(), dense, atol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=sparse_cases(), fmt=st.sampled_from(ALL_FORMATS))
+def test_spmv_matches_dense_reference(case, fmt):
+    dense, x = case
+    m = convert(COOMatrix.from_dense(dense), fmt)
+    np.testing.assert_allclose(m.spmv(x), dense @ x, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=sparse_cases(), fmt=st.sampled_from(ALL_FORMATS))
+def test_structural_statistics_format_independent(case, fmt):
+    dense, _ = case
+    coo = COOMatrix.from_dense(dense)
+    m = convert(coo, fmt)
+    assert m.nnz == coo.nnz
+    np.testing.assert_array_equal(m.row_nnz(), coo.row_nnz())
+    np.testing.assert_array_equal(
+        np.sort(m.diagonal_nnz()), np.sort(coo.diagonal_nnz())
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=sparse_cases(), k=st.integers(min_value=0, max_value=30))
+def test_hyb_split_invariance(case, k):
+    dense, x = case
+    hyb = convert(COOMatrix.from_dense(dense), "HYB", k=k)
+    np.testing.assert_allclose(hyb.spmv(x), dense @ x, atol=1e-9)
+    assert hyb.ell_nnz + hyb.coo_nnz == np.count_nonzero(dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=sparse_cases(), nd=st.integers(min_value=1, max_value=50))
+def test_hdc_threshold_invariance(case, nd):
+    dense, x = case
+    hdc = convert(COOMatrix.from_dense(dense), "HDC", nd=nd)
+    np.testing.assert_allclose(hdc.spmv(x), dense @ x, atol=1e-9)
+    assert hdc.dia_nnz + hdc.csr_nnz == np.count_nonzero(dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=sparse_cases())
+def test_spmv_linearity(case):
+    """SpMV must be linear: A(ax + by) == a*Ax + b*Ay."""
+    dense, x = case
+    rng = np.random.default_rng(7)
+    y_vec = rng.standard_normal(dense.shape[1])
+    m = COOMatrix.from_dense(dense)
+    lhs = m.spmv(2.0 * x - 3.0 * y_vec)
+    rhs = 2.0 * m.spmv(x) - 3.0 * m.spmv(y_vec)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=sparse_cases())
+def test_scipy_agreement(case):
+    """Our COO SpMV agrees with scipy's on the same triplets."""
+    dense, x = case
+    m = COOMatrix.from_dense(dense)
+    np.testing.assert_allclose(m.spmv(x), m.to_scipy() @ x, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=sparse_cases(), fmt=st.sampled_from(ALL_FORMATS))
+def test_nbytes_positive_and_padding_monotone(case, fmt):
+    dense, _ = case
+    coo = COOMatrix.from_dense(dense)
+    m = convert(coo, fmt)
+    assert m.nbytes() >= 0
+    if coo.nnz:
+        # any format must store at least the values
+        assert m.nbytes() >= coo.nnz * 8

@@ -1,0 +1,70 @@
+"""Tests for the architecture specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine.arch import CPUSpec, GPUSpec
+
+
+def cpu(**kw) -> CPUSpec:
+    base = dict(
+        name="test-cpu", peak_bw_gbs=100.0, peak_gflops=1000.0, llc_mib=32.0, cores=16
+    )
+    base.update(kw)
+    return CPUSpec(**base)
+
+
+def gpu(**kw) -> GPUSpec:
+    base = dict(
+        name="test-gpu", peak_bw_gbs=900.0, peak_gflops=7000.0, llc_mib=6.0
+    )
+    base.update(kw)
+    return GPUSpec(**base)
+
+
+class TestCPUSpec:
+    def test_kind_is_cpu(self):
+        assert cpu().kind == "cpu"
+
+    def test_unit_conversions(self):
+        spec = cpu()
+        assert spec.peak_bw_bytes == 100.0e9
+        assert spec.peak_flops == 1000.0e9
+        assert spec.llc_bytes == 32 * 1024 * 1024
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValidationError):
+            cpu(peak_bw_gbs=0.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValidationError):
+            cpu(cores=0)
+
+    def test_rejects_bad_core_bw_fraction(self):
+        with pytest.raises(ValidationError):
+            cpu(single_core_bw_frac=1.5)
+        with pytest.raises(ValidationError):
+            cpu(single_core_bw_frac=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            cpu().cores = 32
+
+
+class TestGPUSpec:
+    def test_kind_is_gpu(self):
+        assert gpu().kind == "gpu"
+
+    def test_rejects_gather_penalty_below_one(self):
+        with pytest.raises(ValidationError):
+            gpu(gather_penalty=0.5)
+
+    def test_rejects_zero_warp(self):
+        with pytest.raises(ValidationError):
+            gpu(warp_size=0)
+
+    def test_rejects_negative_llc(self):
+        with pytest.raises(ValidationError):
+            gpu(llc_mib=-1.0)

@@ -1,0 +1,218 @@
+"""Behavioural tests of the analytic cost model.
+
+These check the *qualitative physics* the reproduction depends on: who
+wins where, and that the penalties move in the right direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    banded,
+    hypersparse,
+    network_trace,
+    noisy_banded,
+    powerlaw,
+    uniform_random,
+    uniform_rows,
+)
+from repro.errors import BackendError
+from repro.formats.base import FORMAT_IDS
+from repro.machine import CostModel, MatrixStats
+from repro.machine.systems import A100, EPYC_7742_NODE, MI100, V100
+
+from tests.conftest import ALL_FORMATS
+
+CPU = EPYC_7742_NODE
+GPU = A100
+
+
+@pytest.fixture(scope="module")
+def model() -> CostModel:
+    return CostModel(noise_sigma=0.0)
+
+
+def stats_of(matrix) -> MatrixStats:
+    return MatrixStats.from_matrix(matrix)
+
+
+class TestBasicProperties:
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    @pytest.mark.parametrize(
+        "arch,backend",
+        [(CPU, "serial"), (CPU, "openmp"), (GPU, "cuda")],
+    )
+    def test_times_positive(self, model, fmt, arch, backend):
+        s = stats_of(uniform_random(2000, avg_row_nnz=8, seed=0))
+        assert model.spmv_time(s, fmt, arch, backend) > 0.0
+
+    def test_all_formats_reported(self, model):
+        s = stats_of(uniform_random(1000, seed=1))
+        times = model.spmv_times(s, CPU, "serial")
+        assert set(times) == set(FORMAT_IDS)
+
+    def test_unknown_format_raises(self, model):
+        s = stats_of(uniform_random(100, seed=2))
+        with pytest.raises(BackendError):
+            model.spmv_time(s, "BSR", CPU, "serial")
+
+    def test_unknown_backend_raises(self, model):
+        s = stats_of(uniform_random(100, seed=2))
+        with pytest.raises(BackendError):
+            model.spmv_time(s, "CSR", CPU, "sycl")
+
+    def test_gpu_backend_on_cpu_raises(self, model):
+        s = stats_of(uniform_random(100, seed=2))
+        with pytest.raises(BackendError):
+            model.spmv_time(s, "CSR", CPU, "cuda")
+
+    def test_cpu_backend_on_gpu_raises(self, model):
+        s = stats_of(uniform_random(100, seed=2))
+        with pytest.raises(BackendError):
+            model.spmv_time(s, "CSR", GPU, "openmp")
+
+    def test_empty_matrix_costs_fixed_overhead(self, model):
+        from repro.formats import COOMatrix
+
+        s = stats_of(COOMatrix(10, 10, [], [], []))
+        t = model.spmv_time(s, "CSR", CPU, "serial")
+        assert 0.0 < t < 1e-5
+
+    def test_openmp_faster_than_serial_for_large(self, model):
+        s = stats_of(uniform_random(50_000, avg_row_nnz=20, seed=3))
+        t_ser = model.spmv_time(s, "CSR", CPU, "serial")
+        t_omp = model.spmv_time(s, "CSR", CPU, "openmp")
+        assert t_omp < t_ser
+
+    def test_more_nnz_takes_longer(self, model):
+        small = stats_of(uniform_random(5000, avg_row_nnz=5, seed=4))
+        big = stats_of(uniform_random(5000, avg_row_nnz=50, seed=4))
+        for backend, arch in (("serial", CPU), ("cuda", GPU)):
+            assert model.spmv_time(big, "CSR", arch, backend) > model.spmv_time(
+                small, "CSR", arch, backend
+            )
+
+
+class TestFormatLandscape:
+    """The qualitative format-vs-structure results of Section VII."""
+
+    def test_dia_wins_banded_on_cpu(self, model):
+        s = stats_of(banded(20_000, half_bandwidth=2, seed=5))
+        times = model.spmv_times(s, CPU, "serial")
+        assert times["DIA"] < times["CSR"]
+
+    def test_csr_wins_unstructured_on_cpu(self, model):
+        s = stats_of(uniform_random(20_000, avg_row_nnz=15, seed=6))
+        times = model.spmv_times(s, CPU, "serial")
+        assert min(times, key=times.get) == "CSR"
+
+    def test_hdc_wins_noisy_banded_on_cpu(self, model):
+        s = stats_of(noisy_banded(20_000, half_bandwidth=3, noise_frac=0.15, seed=7))
+        times = model.spmv_times(s, CPU, "serial")
+        assert times["HDC"] < times["CSR"]
+        assert times["HDC"] < times["DIA"]  # noise blows up pure DIA
+
+    def test_coo_wins_hypersparse_on_cpu(self, model):
+        s = stats_of(hypersparse(100_000, density=0.1, seed=8))
+        times = model.spmv_times(s, CPU, "serial")
+        assert times["COO"] < times["CSR"]
+
+    def test_power_law_destroys_csr_on_gpu(self, model):
+        s = stats_of(network_trace(200_000, seed=9))
+        times = model.spmv_times(s, GPU, "cuda")
+        assert times["CSR"] / times["COO"] > 10.0
+
+    def test_ell_competitive_uniform_rows_gpu(self, model):
+        # large enough that thread-per-row ELL saturates the device
+        s = stats_of(uniform_rows(400_000, row_nnz=5, jitter=1, seed=10))
+        times = model.spmv_times(s, GPU, "cuda")
+        assert times["ELL"] < times["CSR"]
+
+    def test_csr_fine_for_moderate_uniform_gpu(self, model):
+        s = stats_of(uniform_random(60_000, avg_row_nnz=30, seed=11))
+        times = model.spmv_times(s, GPU, "cuda")
+        assert min(times, key=times.get) == "CSR"
+
+
+class TestGPUPenalties:
+    def test_divergence_grows_with_imbalance(self, model):
+        uni = stats_of(uniform_rows(50_000, row_nnz=8, seed=12))
+        pl = stats_of(powerlaw(50_000, avg_row_nnz=8, alpha=1.9, seed=12))
+        pen_uni = model._csr_divergence_penalty(uni, GPU)
+        pen_pl = model._csr_divergence_penalty(pl, GPU)
+        assert pen_pl > pen_uni
+
+    def test_wider_wavefront_hurts_more(self, model):
+        s = stats_of(powerlaw(50_000, avg_row_nnz=8, alpha=1.9, seed=13))
+        assert model._csr_divergence_penalty(s, MI100) > model._csr_divergence_penalty(
+            s, V100
+        )
+
+    def test_occupancy_penalty_bounds(self, model):
+        assert model._occupancy_penalty(0, GPU) > 1.0
+        assert model._occupancy_penalty(10, GPU) > 1.0
+        assert model._occupancy_penalty(10**9, GPU) == 1.0
+
+    def test_short_rows_waste_subwarp(self, model):
+        short = stats_of(uniform_rows(50_000, row_nnz=2, jitter=0, seed=14))
+        long = stats_of(uniform_rows(50_000, row_nnz=32, jitter=0, seed=14))
+        assert model._csr_coalescing_penalty(
+            short, GPU
+        ) > model._csr_coalescing_penalty(long, GPU)
+
+
+class TestNoise:
+    def test_zero_sigma_deterministic(self):
+        m = CostModel(noise_sigma=0.0)
+        s = stats_of(uniform_random(1000, seed=15))
+        t1 = m.spmv_time(s, "CSR", CPU, "serial", matrix_key="a")
+        t2 = m.spmv_time(s, "CSR", CPU, "serial", matrix_key="b")
+        assert t1 == t2
+
+    def test_noise_is_keyed_and_reproducible(self):
+        m = CostModel(noise_sigma=0.05)
+        s = stats_of(uniform_random(1000, seed=16))
+        ta = m.spmv_time(s, "CSR", CPU, "serial", matrix_key="a")
+        tb = m.spmv_time(s, "CSR", CPU, "serial", matrix_key="b")
+        assert ta != tb
+        assert ta == m.spmv_time(s, "CSR", CPU, "serial", matrix_key="a")
+
+    def test_noise_magnitude_bounded(self):
+        m0 = CostModel(noise_sigma=0.0)
+        m1 = CostModel(noise_sigma=0.05)
+        s = stats_of(uniform_random(1000, seed=17))
+        base = m0.spmv_time(s, "CSR", CPU, "serial")
+        noisy = m1.spmv_time(s, "CSR", CPU, "serial", matrix_key="z")
+        assert 0.7 < noisy / base < 1.4
+
+
+class TestAuxiliaryCosts:
+    def test_feature_extraction_scales_with_nnz(self, model):
+        small = stats_of(uniform_random(2000, avg_row_nnz=5, seed=18))
+        big = stats_of(uniform_random(50_000, avg_row_nnz=20, seed=18))
+        assert model.feature_extraction_time(
+            big, CPU, "serial"
+        ) > model.feature_extraction_time(small, CPU, "serial")
+
+    def test_prediction_scales_with_forest_size(self, model):
+        t1 = model.prediction_time(CPU, "serial", n_estimators=1, avg_depth=10)
+        t2 = model.prediction_time(CPU, "serial", n_estimators=100, avg_depth=10)
+        assert t2 > t1
+
+    def test_conversion_same_format_free(self, model):
+        s = stats_of(uniform_random(1000, seed=19))
+        assert model.conversion_time(s, "CSR", "CSR", CPU, "serial") == 0.0
+
+    def test_conversion_cross_format_positive(self, model):
+        s = stats_of(uniform_random(1000, seed=19))
+        assert model.conversion_time(s, "COO", "HDC", CPU, "serial") > 0.0
+
+    def test_conversion_costs_more_than_one_spmv(self, model):
+        """Key premise: run-first tuning is expensive because conversions
+        dwarf single SpMV iterations."""
+        s = stats_of(uniform_random(20_000, avg_row_nnz=20, seed=20))
+        t_conv = model.conversion_time(s, "CSR", "HYB", CPU, "serial")
+        t_spmv = model.spmv_time(s, "CSR", CPU, "serial")
+        assert t_conv > t_spmv

@@ -1,0 +1,88 @@
+"""Tests for the Table-II system registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BackendError
+from repro.machine.systems import (
+    SYSTEM_BACKENDS,
+    SYSTEMS,
+    get_system,
+    iter_system_backends,
+)
+
+
+class TestRegistry:
+    def test_all_five_systems_present(self):
+        assert set(SYSTEMS) == {"archer2", "cirrus", "a64fx", "xci", "p3"}
+
+    def test_eleven_evaluation_pairs(self):
+        """Tables III/IV have exactly eleven (system, backend) rows."""
+        assert len(SYSTEM_BACKENDS) == 11
+
+    def test_pairs_match_paper_rows(self):
+        expected = {
+            ("archer2", "serial"),
+            ("archer2", "openmp"),
+            ("cirrus", "serial"),
+            ("cirrus", "openmp"),
+            ("cirrus", "cuda"),
+            ("a64fx", "serial"),
+            ("a64fx", "openmp"),
+            ("p3", "cuda"),
+            ("p3", "hip"),
+            ("xci", "serial"),
+            ("xci", "openmp"),
+        }
+        assert set(SYSTEM_BACKENDS) == expected
+
+    def test_iter_yields_systems_in_order(self):
+        pairs = [(s.name, b) for s, b in iter_system_backends()]
+        assert pairs == list(SYSTEM_BACKENDS)
+
+    def test_get_system_case_insensitive(self):
+        assert get_system("ARCHER2").name == "archer2"
+
+    def test_get_system_unknown_raises(self):
+        with pytest.raises(BackendError):
+            get_system("summit")
+
+
+class TestDevices:
+    def test_cpu_backends_use_cpu_devices(self):
+        for sys_name, backend in SYSTEM_BACKENDS:
+            device = SYSTEMS[sys_name].device_for(backend)
+            if backend in ("serial", "openmp"):
+                assert device.kind == "cpu"
+            else:
+                assert device.kind == "gpu"
+
+    def test_p3_cuda_is_a100(self):
+        assert "A100" in get_system("p3").device_for("cuda").name
+
+    def test_p3_hip_is_mi100(self):
+        assert "MI100" in get_system("p3").device_for("hip").name
+
+    def test_cirrus_cuda_is_v100(self):
+        assert "V100" in get_system("cirrus").device_for("cuda").name
+
+    def test_amd_wavefront_is_64(self):
+        assert get_system("p3").device_for("hip").warp_size == 64
+
+    def test_nvidia_warp_is_32(self):
+        assert get_system("p3").device_for("cuda").warp_size == 32
+
+    def test_missing_backend_raises(self):
+        with pytest.raises(BackendError):
+            get_system("archer2").device_for("cuda")
+
+    def test_backends_property_ordering(self):
+        assert get_system("cirrus").backends == ("serial", "openmp", "cuda")
+        assert get_system("p3").backends == ("cuda", "hip")
+
+    def test_a64fx_has_widest_cpu_bandwidth(self):
+        """A64FX's HBM2 dwarfs the DDR systems (paper Table II context)."""
+        a64fx_bw = get_system("a64fx").device_for("serial").peak_bw_gbs
+        for other in ("archer2", "cirrus", "xci"):
+            assert a64fx_bw > get_system(other).device_for("serial").peak_bw_gbs

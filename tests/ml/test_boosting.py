@@ -1,0 +1,171 @@
+"""Tests for gradient boosting (the paper's Section-IX extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError, ValidationError
+from repro.ml import DecisionTreeClassifier, GradientBoostingClassifier
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((500, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int) + 2 * (X[:, 3] > 1.0).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_fits_multiclass(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=20, seed=0).fit(X, y)
+        assert gb.score(X, y) > 0.9
+        assert set(gb.predict(X)) <= set(np.unique(y))
+
+    def test_beats_a_stump(self, data):
+        X, y = data
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        gb = GradientBoostingClassifier(
+            n_estimators=30, max_depth=2, seed=0
+        ).fit(X, y)
+        assert gb.score(X, y) > stump.score(X, y)
+
+    def test_more_stages_fit_tighter(self, data):
+        X, y = data
+        few = GradientBoostingClassifier(n_estimators=3, seed=0).fit(X, y)
+        many = GradientBoostingClassifier(n_estimators=40, seed=0).fit(X, y)
+        assert many.score(X, y) >= few.score(X, y)
+
+    def test_stage_structure(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=7, seed=0).fit(X, y)
+        assert len(gb.stages_) == 7
+        assert all(len(stage) == len(gb.classes_) for stage in gb.stages_)
+
+    def test_subsample_mode(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(
+            n_estimators=15, subsample=0.5, seed=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.8
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = GradientBoostingClassifier(n_estimators=8, subsample=0.7, seed=4).fit(X, y)
+        b = GradientBoostingClassifier(n_estimators=8, subsample=0.7, seed=4).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_noninteger_labels(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 10)
+        y = np.array([10, 10, 33, 33] * 10)
+        gb = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        assert set(gb.predict(X)) <= {10, 33}
+
+
+class TestProbabilities:
+    def test_proba_valid_distribution(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        proba = gb.predict_proba(X)
+        assert (proba > 0).all()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_is_argmax(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=10, seed=0).fit(X, y)
+        np.testing.assert_array_equal(
+            gb.predict(X), gb.classes_[np.argmax(gb.predict_proba(X), axis=1)]
+        )
+
+    def test_decision_function_shape(self, data):
+        X, y = data
+        gb = GradientBoostingClassifier(n_estimators=5, seed=0).fit(X, y)
+        assert gb.decision_function(X[:7]).shape == (7, len(gb.classes_))
+
+
+class TestValidation:
+    def test_bad_estimators(self, data):
+        X, y = data
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(n_estimators=0).fit(X, y)
+
+    def test_bad_learning_rate(self, data):
+        X, y = data
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(learning_rate=0.0).fit(X, y)
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(learning_rate=1.5).fit(X, y)
+
+    def test_bad_subsample(self, data):
+        X, y = data
+        with pytest.raises(ValidationError):
+            GradientBoostingClassifier(subsample=0.0).fit(X, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict(np.zeros((1, 2)))
+
+    def test_grid_search_compatible(self, data):
+        from repro.ml import GridSearchCV
+
+        X, y = data
+        gs = GridSearchCV(
+            GradientBoostingClassifier(n_estimators=5, seed=0),
+            {"max_depth": [2, 3]},
+            cv=3,
+        ).fit(X, y)
+        assert gs.best_params_["max_depth"] in (2, 3)
+
+
+class TestClassWeightTraining:
+    """The other Section-IX item: balanced training for rare formats."""
+
+    @pytest.fixture
+    def imbalanced(self):
+        rng = np.random.default_rng(5)
+        X = rng.standard_normal((600, 4))
+        # rare class only in a specific corner
+        y = np.zeros(600, dtype=int)
+        rare = (X[:, 0] > 1.0) & (X[:, 1] > 0.5)
+        y[rare] = 1
+        return X, y
+
+    def test_balanced_tree_improves_minority_recall(self, imbalanced):
+        from repro.ml import balanced_accuracy_score
+
+        X, y = imbalanced
+        split = 450
+        plain = DecisionTreeClassifier(max_depth=2, seed=0).fit(
+            X[:split], y[:split]
+        )
+        balanced = DecisionTreeClassifier(
+            max_depth=2, class_weight="balanced", seed=0
+        ).fit(X[:split], y[:split])
+        bal_plain = balanced_accuracy_score(y[split:], plain.predict(X[split:]))
+        bal_weighted = balanced_accuracy_score(
+            y[split:], balanced.predict(X[split:])
+        )
+        assert bal_weighted >= bal_plain
+
+    def test_dict_class_weight(self, imbalanced):
+        X, y = imbalanced
+        clf = DecisionTreeClassifier(
+            max_depth=3, class_weight={0: 1.0, 1: 20.0}
+        ).fit(X, y)
+        assert clf.score(X, y) > 0.5
+
+    def test_invalid_class_weight_raises(self, imbalanced):
+        X, y = imbalanced
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(class_weight="boosted").fit(X, y)
+
+    def test_forest_accepts_class_weight(self, imbalanced):
+        from repro.ml import RandomForestClassifier
+
+        X, y = imbalanced
+        rf = RandomForestClassifier(
+            n_estimators=10, class_weight="balanced", seed=0
+        ).fit(X, y)
+        assert rf.score(X, y) > 0.5

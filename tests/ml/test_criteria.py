@@ -1,0 +1,67 @@
+"""Tests for the impurity criteria."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml.tree.criteria import entropy_impurity, get_criterion, gini_impurity
+
+
+class TestGini:
+    def test_pure_node_zero(self):
+        assert gini_impurity(np.array([10.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_binary_is_half(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_uniform_k_classes(self):
+        k = 4
+        assert gini_impurity(np.ones(k)) == pytest.approx(1 - 1 / k)
+
+    def test_vectorised_rows(self):
+        counts = np.array([[10.0, 0.0], [5.0, 5.0]])
+        out = gini_impurity(counts)
+        np.testing.assert_allclose(out, [0.0, 0.5])
+
+    def test_empty_counts_zero(self):
+        assert gini_impurity(np.zeros(3)) == pytest.approx(0.0)
+
+    def test_invariant_to_scale(self):
+        a = gini_impurity(np.array([3.0, 1.0]))
+        b = gini_impurity(np.array([300.0, 100.0]))
+        assert a == pytest.approx(b)
+
+
+class TestEntropy:
+    def test_pure_node_zero(self):
+        assert entropy_impurity(np.array([7.0, 0.0])) == pytest.approx(0.0)
+
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy_impurity(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_uniform_k_is_log2_k(self):
+        assert entropy_impurity(np.ones(8)) == pytest.approx(3.0)
+
+    def test_vectorised_rows(self):
+        counts = np.array([[4.0, 0.0], [2.0, 2.0]])
+        np.testing.assert_allclose(entropy_impurity(counts), [0.0, 1.0])
+
+    def test_empty_counts_zero(self):
+        assert entropy_impurity(np.zeros(2)) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # p = (0.25, 0.75): H = 0.811278...
+        out = entropy_impurity(np.array([1.0, 3.0]))
+        assert out == pytest.approx(0.8112781244591328)
+
+
+class TestResolver:
+    def test_resolves_both(self):
+        assert get_criterion("gini") is gini_impurity
+        assert get_criterion("entropy") is entropy_impurity
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            get_criterion("mse")

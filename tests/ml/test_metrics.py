@@ -1,0 +1,125 @@
+"""Tests for the classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import (
+    accuracy_score,
+    balanced_accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_none_correct(self):
+        assert accuracy_score([1, 1], [0, 0]) == 0.0
+
+    def test_fraction(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy_score([], [])
+
+
+class TestBalancedAccuracy:
+    def test_equals_accuracy_when_balanced(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 1, 1, 1]
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_imbalance_exposes_majority_guessing(self):
+        """Always predicting the majority looks good on accuracy but gets
+        balanced accuracy 1/k — the paper's reason to report it."""
+        y_true = [0] * 95 + [1] * 5
+        y_pred = [0] * 100
+        assert accuracy_score(y_true, y_pred) == 0.95
+        assert balanced_accuracy_score(y_true, y_pred) == 0.5
+
+    def test_perfect_minority_detection(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 9 + [1]
+        assert balanced_accuracy_score(y_true, y_pred) == 1.0
+
+    def test_macro_recall_equivalence(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 100)
+        y_pred = rng.integers(0, 3, 100)
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx(
+            recall_score(y_true, y_pred, average="macro")
+        )
+
+
+class TestConfusionMatrix:
+    def test_diagonal_counts(self):
+        cm = confusion_matrix([0, 1, 1, 2], [0, 1, 1, 2])
+        np.testing.assert_array_equal(cm, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        cm = confusion_matrix([0, 0, 1], [1, 0, 1])
+        np.testing.assert_array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_explicit_labels_order(self):
+        cm = confusion_matrix([0, 1], [0, 1], labels=[1, 0])
+        np.testing.assert_array_equal(cm, [[1, 0], [0, 1]])
+
+    def test_total_equals_samples(self):
+        rng = np.random.default_rng(1)
+        t = rng.integers(0, 4, 50)
+        p = rng.integers(0, 4, 50)
+        assert confusion_matrix(t, p).sum() == 50
+
+
+class TestPRF:
+    def test_precision_perfect(self):
+        assert precision_score([0, 1], [0, 1]) == 1.0
+
+    def test_f1_interpolates(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 1]
+        f1 = f1_score(y_true, y_pred, average="macro")
+        assert 0.5 < f1 < 1.0
+
+    def test_weighted_average_weights_by_support(self):
+        y_true = [0] * 8 + [1] * 2
+        y_pred = [0] * 8 + [0] * 2
+        w = recall_score(y_true, y_pred, average="weighted")
+        m = recall_score(y_true, y_pred, average="macro")
+        assert w > m  # majority class dominates the weighted mean
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValidationError):
+            precision_score([0, 1], [0, 1], average="micro-ish")
+
+    def test_zero_division_yields_zero(self):
+        # class 1 never predicted => precision 0 without warnings/NaN
+        out = precision_score([1, 1], [0, 0])
+        assert out == 0.0
+
+
+class TestReport:
+    def test_contains_all_class_names(self):
+        text = classification_report(
+            [0, 1, 2], [0, 1, 2], target_names=["COO", "CSR", "DIA"]
+        )
+        for name in ("COO", "CSR", "DIA"):
+            assert name in text
+        assert "balanced acc" in text
+
+    def test_wrong_name_count_raises(self):
+        with pytest.raises(ValidationError):
+            classification_report([0, 1], [0, 1], target_names=["only-one"])

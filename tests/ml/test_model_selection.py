@@ -1,0 +1,193 @@
+"""Tests for cross-validation and grid search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((200, 4))
+    y = (X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def imbalanced():
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((110, 3))
+    y = np.array([0] * 100 + [1] * 10)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, data):
+        X, y = data
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=0)
+        assert Xte.shape[0] == 50
+        assert Xtr.shape[0] == 150
+        assert ytr.shape[0] == 150
+
+    def test_disjoint_and_complete(self, data):
+        X, y = data
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.2, seed=0)
+        assert Xtr.shape[0] + Xte.shape[0] == X.shape[0]
+
+    def test_deterministic(self, data):
+        X, y = data
+        a = train_test_split(X, y, seed=3)[1]
+        b = train_test_split(X, y, seed=3)[1]
+        np.testing.assert_array_equal(a, b)
+
+    def test_stratified_preserves_ratio(self, imbalanced):
+        X, y = imbalanced
+        _, _, _, yte = train_test_split(X, y, test_size=0.2, seed=0, stratify=True)
+        assert (yte == 1).sum() == 2  # 20% of the 10 minority samples
+
+    def test_bad_fraction_raises(self, data):
+        X, y = data
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.5)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestKFold:
+    def test_partitions_cover_everything(self, data):
+        X, y = data
+        seen = []
+        for _, test_idx in KFold(5, seed=0).split(X):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(200))
+
+    def test_train_test_disjoint(self, data):
+        X, _ = data
+        for train_idx, test_idx in KFold(4, seed=0).split(X):
+            assert not (set(train_idx) & set(test_idx))
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValidationError):
+            KFold(1)
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValidationError):
+            list(KFold(10).split(np.zeros((3, 1))))
+
+
+class TestStratifiedKFold:
+    def test_minority_class_in_every_fold(self, imbalanced):
+        X, y = imbalanced
+        for _, test_idx in StratifiedKFold(5, seed=0).split(X, y):
+            assert (y[test_idx] == 1).sum() == 2
+
+    def test_partitions_cover_everything(self, imbalanced):
+        X, y = imbalanced
+        seen = []
+        for _, test_idx in StratifiedKFold(5, seed=0).split(X, y):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(110))
+
+    def test_class_rarer_than_folds_spread(self):
+        y = np.array([0] * 20 + [1] * 2)
+        X = np.zeros((22, 1))
+        folds_with_minority = 0
+        for _, test_idx in StratifiedKFold(5, seed=0).split(X, y):
+            folds_with_minority += int((y[test_idx] == 1).any())
+        assert folds_with_minority == 2  # the two samples land in 2 folds
+
+
+class TestCrossValScore:
+    def test_returns_one_score_per_fold(self, data):
+        X, y = data
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3), X, y, cv=4
+        )
+        assert scores.shape == (4,)
+        assert (scores > 0.8).all()
+
+    def test_balanced_accuracy_scoring(self, imbalanced):
+        X, y = imbalanced
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3),
+            X,
+            y,
+            cv=5,
+            scoring="balanced_accuracy",
+        )
+        assert scores.shape == (5,)
+
+    def test_unknown_scoring_raises(self, data):
+        X, y = data
+        with pytest.raises(ValidationError):
+            cross_val_score(DecisionTreeClassifier(), X, y, scoring="auc")
+
+
+class TestParameterGrid:
+    def test_cartesian_product_size(self):
+        grid = ParameterGrid({"a": [1, 2], "b": [3, 4, 5]})
+        assert len(grid) == 6
+        assert len(list(grid)) == 6
+
+    def test_each_combo_unique(self):
+        combos = list(ParameterGrid({"a": [1, 2], "b": [3, 4]}))
+        assert len({tuple(sorted(c.items())) for c in combos}) == 4
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValidationError):
+            ParameterGrid({})
+
+    def test_scalar_value_raises(self):
+        with pytest.raises(ValidationError):
+            ParameterGrid({"a": 5})
+
+
+class TestGridSearchCV:
+    def test_finds_reasonable_depth(self, data):
+        X, y = data
+        gs = GridSearchCV(
+            DecisionTreeClassifier(),
+            {"max_depth": [1, 3, 6]},
+            cv=3,
+        ).fit(X, y)
+        assert gs.best_params_["max_depth"] in (1, 3, 6)
+        assert gs.best_score_ > 0.85
+
+    def test_best_estimator_is_refitted(self, data):
+        X, y = data
+        gs = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [2, 4]}, cv=3
+        ).fit(X, y)
+        assert gs.best_estimator_.max_depth == gs.best_params_["max_depth"]
+        assert gs.predict(X).shape == y.shape
+
+    def test_cv_results_structure(self, data):
+        X, y = data
+        gs = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [2, 4, 8]}, cv=3
+        ).fit(X, y)
+        assert len(gs.cv_results_["params"]) == 3
+        assert gs.cv_results_["mean_test_score"].shape == (3,)
+        assert gs.cv_results_["std_test_score"].shape == (3,)
+        assert gs.best_score_ == gs.cv_results_["mean_test_score"].max()
+
+    def test_deterministic(self, data):
+        X, y = data
+        grid = {"max_depth": [2, 4], "criterion": ["gini", "entropy"]}
+        a = GridSearchCV(DecisionTreeClassifier(), grid, cv=3, seed=1).fit(X, y)
+        b = GridSearchCV(DecisionTreeClassifier(), grid, cv=3, seed=1).fit(X, y)
+        assert a.best_params_ == b.best_params_

@@ -1,0 +1,96 @@
+"""Tests for the regression tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError, ValidationError
+from repro.ml import DecisionTreeRegressor
+
+
+@pytest.fixture
+def step_data():
+    """Piecewise-constant target: exactly representable by a small tree."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(400, 3))
+    y = np.where(X[:, 0] > 0, 5.0, -2.0) + np.where(X[:, 1] > 0.5, 1.0, 0.0)
+    return X, y
+
+
+@pytest.fixture
+def smooth_data():
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-2, 2, size=(500, 2))
+    y = np.sin(X[:, 0]) + 0.3 * X[:, 1]
+    return X, y
+
+
+class TestFit:
+    def test_learns_step_function(self, step_data):
+        X, y = step_data
+        reg = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert reg.score(X, y) > 0.99
+
+    def test_approximates_smooth_function(self, smooth_data):
+        X, y = smooth_data
+        reg = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert reg.score(X, y) > 0.9
+
+    def test_depth_cap_respected(self, smooth_data):
+        X, y = smooth_data
+        for depth in (1, 3, 5):
+            reg = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+            assert reg.depth_ <= depth
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(2).random((30, 2))
+        y = np.full(30, 7.0)
+        reg = DecisionTreeRegressor().fit(X, y)
+        assert reg.tree_.n_nodes == 1
+        np.testing.assert_allclose(reg.predict(X), 7.0)
+
+    def test_prediction_is_leaf_mean(self):
+        X = np.array([[0.0], [0.1], [1.0], [1.1]])
+        y = np.array([1.0, 3.0, 10.0, 12.0])
+        reg = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        preds = reg.predict(X)
+        np.testing.assert_allclose(preds[:2], 2.0)   # mean(1, 3)
+        np.testing.assert_allclose(preds[2:], 11.0)  # mean(10, 12)
+
+    def test_min_samples_leaf(self, smooth_data):
+        X, y = smooth_data
+        reg = DecisionTreeRegressor(min_samples_leaf=50).fit(X, y)
+        leaf_counts = reg.tree_.counts[reg.tree_.feature == -1, 1]
+        assert (leaf_counts >= 50).all()
+
+    def test_deterministic_with_feature_subsets(self, smooth_data):
+        X, y = smooth_data
+        a = DecisionTreeRegressor(max_features=1, seed=3).fit(X, y)
+        b = DecisionTreeRegressor(max_features=1, seed=3).fit(X, y)
+        np.testing.assert_allclose(a.predict(X), b.predict(X))
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_feature_count_mismatch_raises(self, smooth_data):
+        X, y = smooth_data
+        reg = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        with pytest.raises(ModelError):
+            reg.predict(np.zeros((1, 9)))
+
+    def test_bad_depth_raises(self, smooth_data):
+        X, y = smooth_data
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(max_depth=0).fit(X, y)

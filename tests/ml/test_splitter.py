@@ -1,0 +1,95 @@
+"""Tests for the node splitter."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree.criteria import gini_impurity
+from repro.ml.tree.splitter import find_best_split
+
+
+def split(X, y, n_classes=2, **kw):
+    defaults = dict(
+        criterion=gini_impurity,
+        feature_indices=np.arange(np.asarray(X).shape[1]),
+        min_samples_leaf=1,
+    )
+    defaults.update(kw)
+    return find_best_split(
+        np.asarray(X, dtype=np.float64), np.asarray(y), n_classes, **defaults
+    )
+
+
+class TestBasicSplits:
+    def test_perfect_split_found(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        res = split(X, y)
+        assert res is not None
+        assert res.feature == 0
+        assert 1.0 < res.threshold < 10.0
+        assert res.left_mask.tolist() == [True, True, False, False]
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.random(40), np.repeat([0.0, 1.0], 20)])
+        y = np.repeat([0, 1], 20)
+        res = split(X, y)
+        assert res.feature == 1
+
+    def test_pure_node_returns_none(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1, 1])
+        assert split(X, y) is None
+
+    def test_constant_feature_returns_none(self):
+        X = np.zeros((6, 1))
+        y = np.array([0, 1, 0, 1, 0, 1])
+        assert split(X, y) is None
+
+    def test_threshold_is_midpoint(self):
+        X = np.array([[2.0], [4.0]])
+        y = np.array([0, 1])
+        res = split(X, y)
+        assert res.threshold == 3.0
+
+
+class TestConstraints:
+    def test_min_samples_leaf_blocks_extreme_split(self):
+        X = np.array([[0.0], [5.0], [6.0], [7.0]])
+        y = np.array([0, 1, 1, 1])
+        res = split(X, y, min_samples_leaf=2)
+        # the 1-vs-3 perfect split is forbidden; 2-2 is chosen instead
+        assert res is not None
+        assert res.left_mask.sum() == 2
+
+    def test_too_few_samples_returns_none(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 0])
+        assert split(X, y, min_samples_leaf=2) is None
+
+    def test_min_impurity_decrease_filters_weak_splits(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((50, 1))
+        y = rng.integers(0, 2, size=50)  # noise: tiny gains only
+        assert split(X, y, min_impurity_decrease=0.2) is None
+
+    def test_feature_subset_respected(self):
+        X = np.column_stack([np.repeat([0.0, 1.0], 10), np.zeros(20)])
+        y = np.repeat([0, 1], 10)
+        res = split(X, y, feature_indices=np.array([1]))
+        assert res is None  # only the useless feature was allowed
+
+    def test_gain_positive_when_split_found(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        res = split(X, y)
+        assert res.gain > 0.4
+
+    def test_duplicate_values_never_split_between(self):
+        X = np.array([[1.0], [1.0], [1.0], [2.0]])
+        y = np.array([0, 1, 0, 1])
+        res = split(X, y)
+        if res is not None:
+            # split can only fall between the distinct values 1 and 2
+            assert 1.0 < res.threshold < 2.0

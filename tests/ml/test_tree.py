@@ -1,0 +1,178 @@
+"""Tests for the decision-tree classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError, ValidationError
+from repro.ml import DecisionTreeClassifier
+
+
+@pytest.fixture
+def xor_data():
+    """XOR-ish problem: needs depth >= 2, impossible for a stump."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def simple_data():
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((300, 5))
+    y = (X[:, 2] > 0.3).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_learns_xor(self, xor_data):
+        X, y = xor_data
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_stump_cannot_learn_xor(self, xor_data):
+        X, y = xor_data
+        clf = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        assert clf.score(X, y) < 0.8
+
+    def test_max_depth_respected(self, simple_data):
+        X, y = simple_data
+        for depth in (1, 2, 4):
+            clf = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+            assert clf.depth_ <= depth
+
+    def test_min_samples_leaf_respected(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        leaf_counts = clf.tree_.counts[clf.tree_.feature == -1].sum(axis=1)
+        assert (leaf_counts >= 20).all()
+
+    def test_min_samples_split_respected(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(min_samples_split=100).fit(X, y)
+        internal = clf.tree_.feature != -1
+        node_sizes = clf.tree_.counts.sum(axis=1)
+        assert (node_sizes[internal] >= 100).all()
+
+    def test_pure_labels_give_single_leaf(self):
+        X = np.random.default_rng(2).random((20, 3))
+        y = np.zeros(20, dtype=int)
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert clf.tree_.n_nodes == 1
+        assert clf.depth_ == 0
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((600, 4))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        clf = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert clf.score(X, y) > 0.9
+        assert set(clf.predict(X)) <= {0, 1, 2}
+
+    def test_class_labels_parameter_fixes_universe(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier().fit(X, y, class_labels=[0, 1, 2, 3])
+        assert clf.predict_proba(X[:5]).shape == (5, 4)
+
+    def test_label_outside_universe_raises(self, simple_data):
+        X, y = simple_data
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier().fit(X, y, class_labels=[5, 6])
+
+    def test_noninteger_labels_preserved(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([10, 10, 77, 77])
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert set(clf.predict(X)) == {10, 77}
+
+
+class TestValidation:
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier().fit(np.zeros((0, 2)), [])
+
+    def test_1d_X_raises(self, simple_data):
+        _, y = simple_data
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier().fit(np.zeros(300), y)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), [0, 1])
+
+    def test_bad_max_depth_raises(self, simple_data):
+        X, y = simple_data
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_depth=0).fit(X, y)
+
+    def test_bad_min_samples_raises(self, simple_data):
+        X, y = simple_data
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1).fit(X, y)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_leaf=0).fit(X, y)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count_raises(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ModelError):
+            clf.predict(np.zeros((2, 7)))
+
+
+class TestPrediction:
+    def test_proba_rows_sum_to_one(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = clf.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_is_argmax_of_proba(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = clf.predict_proba(X)
+        np.testing.assert_array_equal(
+            clf.predict(X), clf.classes_[np.argmax(proba, axis=1)]
+        )
+
+    def test_training_accuracy_unbounded_depth(self, simple_data):
+        """With no regularisation a CART fits separable training data."""
+        X, y = simple_data
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert clf.score(X, y) == pytest.approx(1.0)
+
+    def test_determinism(self, simple_data):
+        X, y = simple_data
+        a = DecisionTreeClassifier(max_features="sqrt", seed=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features="sqrt", seed=5).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+
+class TestIntrospection:
+    def test_feature_importances_find_signal(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.argmax(clf.feature_importances_) == 2
+        assert clf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_n_leaves_consistent(self, simple_data):
+        X, y = simple_data
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        internal = (clf.tree_.feature != -1).sum()
+        assert clf.n_leaves_ == internal + 1  # binary tree invariant
+
+    def test_get_set_params_roundtrip(self):
+        clf = DecisionTreeClassifier(max_depth=7, criterion="entropy")
+        params = clf.get_params()
+        clone = DecisionTreeClassifier().set_params(**params)
+        assert clone.max_depth == 7
+        assert clone.criterion == "entropy"
+
+    def test_set_unknown_param_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().set_params(bogus=1)

@@ -1,0 +1,112 @@
+"""Property-based tests for the ML stack (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    RandomForestClassifier,
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+)
+from repro.ml.tree.criteria import entropy_impurity, gini_impurity
+
+
+@st.composite
+def datasets(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=10, max_value=120))
+    d = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=2, max_value=4))
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, d))
+    y = rng.integers(0, k, size=n)
+    return X, y
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=datasets(), depth=st.integers(min_value=1, max_value=8))
+def test_tree_depth_never_exceeds_cap(data, depth):
+    X, y = data
+    clf = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+    assert clf.depth_ <= depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=datasets())
+def test_tree_predictions_are_seen_labels(data):
+    X, y = data
+    clf = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    assert set(clf.predict(X)) <= set(np.unique(y))
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=datasets())
+def test_tree_proba_is_distribution(data):
+    X, y = data
+    clf = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert (proba >= 0).all()
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=datasets(), leaf=st.integers(min_value=1, max_value=10))
+def test_min_samples_leaf_invariant(data, leaf):
+    X, y = data
+    clf = DecisionTreeClassifier(min_samples_leaf=leaf).fit(X, y)
+    leaf_sizes = clf.tree_.counts[clf.tree_.feature == -1].sum(axis=1)
+    assert (leaf_sizes >= min(leaf, X.shape[0])).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=datasets(), n_trees=st.integers(min_value=1, max_value=8))
+def test_forest_vote_fractions_valid(data, n_trees):
+    X, y = data
+    rf = RandomForestClassifier(n_estimators=n_trees, max_depth=4, seed=0).fit(X, y)
+    proba = rf.predict_proba(X)
+    assert (proba >= 0).all()
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(
+        st.floats(min_value=0, max_value=1e6), min_size=2, max_size=6
+    )
+)
+def test_impurity_bounds(counts):
+    arr = np.asarray(counts)
+    g = float(gini_impurity(arr))
+    e = float(entropy_impurity(arr))
+    k = arr.shape[0]
+    assert 0.0 <= g <= 1.0 - 1.0 / k + 1e-12
+    assert 0.0 <= e <= np.log2(k) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=datasets())
+def test_metric_relationships(data):
+    """Accuracy equals the confusion-matrix trace ratio; balanced accuracy
+    is bounded by [0, 1]."""
+    _, y = data
+    rng = np.random.default_rng(0)
+    y_pred = rng.permutation(y)
+    cm = confusion_matrix(y, y_pred, labels=np.unique(np.concatenate([y, y_pred])))
+    acc = accuracy_score(y, y_pred)
+    assert acc == np.trace(cm) / cm.sum()
+    bal = balanced_accuracy_score(y, y_pred)
+    assert 0.0 <= bal <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=datasets())
+def test_forest_seed_determinism(data):
+    X, y = data
+    a = RandomForestClassifier(n_estimators=3, max_depth=3, seed=11).fit(X, y)
+    b = RandomForestClassifier(n_estimators=3, max_depth=3, seed=11).fit(X, y)
+    np.testing.assert_array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,153 @@
+"""Tests for the iterative solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import stencil_2d
+from repro.errors import ValidationError
+from repro.formats import COOMatrix, DynamicMatrix, convert
+from repro.solvers import conjugate_gradient, jacobi, power_iteration
+
+from tests.conftest import ALL_FORMATS
+
+
+def spd_laplacian(nx: int) -> COOMatrix:
+    """2-D Laplacian (SPD): 4 on the diagonal, -1 on the stencil arms."""
+    stencil = stencil_2d(nx, nx, points=5, seed=0)
+    vals = np.where(stencil.row == stencil.col, 4.0, -1.0)
+    return COOMatrix(stencil.nrows, stencil.ncols, stencil.row, stencil.col, vals)
+
+
+def diag_dominant(n: int, rng: np.random.Generator) -> COOMatrix:
+    dense = (rng.random((n, n)) < 0.1) * rng.uniform(-1, 1, (n, n))
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return COOMatrix.from_dense(dense)
+
+
+class TestConjugateGradient:
+    def test_solves_laplacian(self):
+        A = spd_laplacian(12)
+        rng = np.random.default_rng(0)
+        x_true = rng.standard_normal(A.nrows)
+        b = A.spmv(x_true)
+        res = conjugate_gradient(A, b, tol=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_format_independent(self, fmt):
+        A = spd_laplacian(8)
+        b = np.ones(A.nrows)
+        ref = conjugate_gradient(A, b).x
+        out = conjugate_gradient(convert(A, fmt), b).x
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+    def test_dynamic_matrix_operator(self):
+        A = DynamicMatrix(spd_laplacian(8)).switch("DIA")
+        b = np.ones(A.nrows)
+        res = conjugate_gradient(A, b)
+        assert res.converged
+
+    def test_spmv_calls_counted(self):
+        A = spd_laplacian(8)
+        res = conjugate_gradient(A, np.ones(A.nrows))
+        assert res.spmv_calls == res.iterations + 1
+
+    def test_initial_guess_speeds_convergence(self):
+        A = spd_laplacian(10)
+        rng = np.random.default_rng(1)
+        x_true = rng.standard_normal(A.nrows)
+        b = A.spmv(x_true)
+        cold = conjugate_gradient(A, b)
+        warm = conjugate_gradient(A, b, x0=x_true + 1e-6)
+        assert warm.iterations <= cold.iterations
+
+    def test_non_square_raises(self, dense_rect):
+        A = COOMatrix.from_dense(dense_rect)
+        with pytest.raises(ValidationError):
+            conjugate_gradient(A, np.ones(20))
+
+    def test_wrong_rhs_shape_raises(self):
+        A = spd_laplacian(4)
+        with pytest.raises(ValidationError):
+            conjugate_gradient(A, np.ones(3))
+
+    def test_indefinite_operator_detected(self):
+        dense = np.diag([1.0, -1.0, 1.0])
+        A = COOMatrix.from_dense(dense)
+        with pytest.raises(ValidationError):
+            conjugate_gradient(A, np.array([1.0, 1.0, 1.0]))
+
+    def test_iteration_cap_respected(self):
+        A = spd_laplacian(12)
+        res = conjugate_gradient(A, np.ones(A.nrows), max_iterations=2, tol=1e-14)
+        assert res.iterations == 2
+        assert not res.converged
+
+
+class TestJacobi:
+    def test_solves_diag_dominant(self, rng):
+        A = diag_dominant(40, rng)
+        x_true = rng.standard_normal(40)
+        b = A.spmv(x_true)
+        res = jacobi(A, b, tol=1e-10, max_iterations=5000)
+        assert res.converged
+        np.testing.assert_allclose(res.x, x_true, atol=1e-6)
+
+    def test_zero_diagonal_raises(self):
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        A = COOMatrix.from_dense(dense)
+        with pytest.raises(ValidationError):
+            jacobi(A, np.ones(2))
+
+    def test_non_square_raises(self, dense_rect):
+        with pytest.raises(ValidationError):
+            jacobi(COOMatrix.from_dense(dense_rect), np.ones(20))
+
+    def test_iteration_cap(self, rng):
+        A = diag_dominant(40, rng)
+        res = jacobi(A, np.ones(40), max_iterations=3, tol=1e-15)
+        assert res.iterations == 3
+        assert not res.converged
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenvalue(self):
+        dense = np.diag([5.0, 1.0, 0.5])
+        dense[0, 1] = 0.1
+        A = COOMatrix.from_dense(dense)
+        res = power_iteration(A, tol=1e-12)
+        assert res.converged
+        assert res.eigenvalue == pytest.approx(5.0, abs=1e-3)
+
+    def test_eigenvector_is_unit_and_consistent(self):
+        A = spd_laplacian(6)
+        res = power_iteration(A)
+        assert np.linalg.norm(res.eigenvector) == pytest.approx(1.0)
+        # A v ~ lambda v
+        np.testing.assert_allclose(
+            A.spmv(res.eigenvector),
+            res.eigenvalue * res.eigenvector,
+            atol=1e-4,
+        )
+
+    def test_matches_numpy_eig(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((20, 20))
+        dense = dense + dense.T  # symmetric: real spectrum
+        A = COOMatrix.from_dense(dense)
+        res = power_iteration(A, tol=1e-12, max_iterations=20_000, seed=5)
+        expected = np.abs(np.linalg.eigvalsh(dense)).max()
+        assert abs(res.eigenvalue) == pytest.approx(expected, rel=1e-2)
+
+    def test_zero_matrix(self):
+        A = COOMatrix(4, 4, [], [], [])
+        res = power_iteration(A)
+        assert res.eigenvalue == 0.0
+        assert res.converged
+
+    def test_non_square_raises(self, dense_rect):
+        with pytest.raises(ValidationError):
+            power_iteration(COOMatrix.from_dense(dense_rect))

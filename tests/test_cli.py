@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import write_matrix_market
+from repro.datasets.generators import banded
+
+
+@pytest.fixture(scope="module")
+def mtx_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "band.mtx"
+    write_matrix_market(path, banded(2_000, half_bandwidth=2, seed=0))
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.file"
+    code = main(
+        [
+            "train",
+            "--system", "cirrus",
+            "--backend", "cuda",
+            "-n", "80",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestSystems:
+    def test_lists_all_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("archer2", "cirrus", "a64fx", "xci", "p3"):
+            assert name in out
+
+    def test_shows_devices(self, capsys):
+        main(["systems"])
+        out = capsys.readouterr().out
+        assert "A100" in out
+        assert "MI100" in out
+
+
+class TestProfile:
+    def test_prints_distribution(self, capsys):
+        assert main(
+            ["profile", "--system", "archer2", "--backend", "serial", "-n", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CSR" in out
+        assert "%" in out
+
+    def test_rejects_invalid_backend(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--system", "archer2", "--backend", "vulkan"])
+
+
+class TestFeatures:
+    def test_prints_all_ten(self, capsys, mtx_file):
+        assert main(["features", mtx_file]) == 0
+        out = capsys.readouterr().out
+        for name in ("M", "NNZ_avg", "rho", "ND", "NTD"):
+            assert name in out
+
+    def test_values_sane(self, capsys, mtx_file):
+        main(["features", mtx_file])
+        out = capsys.readouterr().out
+        assert "2000" in out  # M == N == 2000
+
+
+class TestTrainPredictTune:
+    def test_train_writes_model(self, model_file):
+        with open(model_file) as fh:
+            assert fh.readline().startswith("# morpheus-oracle model")
+
+    def test_predict(self, capsys, model_file, mtx_file):
+        assert main(["predict", "--model", model_file, mtx_file]) == 0
+        out = capsys.readouterr().out
+        assert "predicted optimal format" in out
+        assert "cirrus/cuda" in out
+
+    def test_tune_report(self, capsys, model_file, mtx_file):
+        assert main(
+            ["tune", "--model", model_file, "--repetitions", "500", mtx_file]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "selected format" in out
+        assert "speedup vs CSR" in out
+        assert "500" in out
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

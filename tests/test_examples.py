@@ -1,0 +1,83 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are deliverables; these tests import each one as a module and
+execute its entry point (with reduced problem sizes where the script
+supports a parameter) so API drift breaks CI rather than users.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "selected format" in out
+    assert "OK" in out
+
+
+def test_pde_solver_conserves_heat(capsys, monkeypatch):
+    mod = load_example("pde_solver")
+    monkeypatch.setattr(mod, "STEPS", 200)
+    monkeypatch.setattr(mod, "NX", 32)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "heat conserved" in out
+    assert "amortised" in out
+
+
+def test_heterogeneous_portability_runs(capsys, monkeypatch):
+    mod = load_example("heterogeneous_portability")
+    # shrink the matrices for CI speed
+    from repro.datasets import noisy_banded, powerlaw, uniform_rows
+
+    monkeypatch.setattr(
+        mod,
+        "MATRICES",
+        {
+            "banded": noisy_banded(4000, half_bandwidth=3, seed=1),
+            "rows": uniform_rows(8000, row_nnz=5, seed=2),
+            "graph": powerlaw(6000, avg_row_nnz=6, seed=3),
+        },
+    )
+    mod.main()
+    out = capsys.readouterr().out
+    assert out.count("distinct optimal formats") == 3
+
+
+def test_train_oracle_models_runs(capsys):
+    load_example("train_oracle_models").main(60)
+    out = capsys.readouterr().out
+    assert "model database written" in out
+    assert "random_forest" in out
+
+
+def test_suitesparse_import_runs(capsys):
+    load_example("suitesparse_import").main()
+    out = capsys.readouterr().out
+    assert "Table-I features" in out
+    assert "tuned format" in out
+
+
+@pytest.mark.slow
+def test_advanced_tuners_runs(capsys):
+    load_example("advanced_tuners").main()
+    out = capsys.readouterr().out
+    assert "confidence-fallback" in out
+    assert "gradient-boosting" in out

@@ -1,0 +1,56 @@
+"""Tests for the deterministic RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, ensure_generator, stable_hash
+
+
+class TestEnsureGenerator:
+    def test_int_seed_reproducible(self):
+        a = ensure_generator(7).random(5)
+        b = ensure_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_generator(1).random(5)
+        b = ensure_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_generator(None), np.random.Generator)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_order_sensitive(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_nonnegative_63bit(self):
+        for parts in (("x",), (1, 2, 3), ("", "")):
+            h = stable_hash(*parts)
+            assert 0 <= h < 2**63
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x", 1) == derive_seed(42, "x", 1)
+
+    def test_children_uncorrelated_vs_sequential(self):
+        seeds = [derive_seed(42, "child", i) for i in range(10)]
+        assert len(set(seeds)) == 10
+        diffs = np.diff(sorted(seeds))
+        assert (diffs > 1).all()  # not consecutive integers
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")

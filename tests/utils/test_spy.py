@@ -1,0 +1,59 @@
+"""Tests for the ASCII spy plot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats import COOMatrix, DynamicMatrix
+from repro.utils.spy import spy
+
+
+def test_diagonal_pattern_renders_diagonal():
+    m = COOMatrix.from_dense(np.eye(40))
+    art = spy(m, width=20, height=20)
+    lines = [ln[1:-1] for ln in art.splitlines()[1:21]]
+    # the densest cells march down the diagonal
+    for i in (0, 10, 19):
+        assert lines[i][i] != " "
+    # far off-diagonal stays empty
+    assert lines[0][19] == " "
+
+
+def test_empty_matrix_blank_grid():
+    m = COOMatrix(10, 10, [], [], [])
+    art = spy(m, width=10, height=4)
+    body = art.splitlines()[1:5]
+    assert all(set(ln[1:-1]) == {" "} for ln in body)
+
+
+def test_metadata_line_present(coo_small):
+    art = spy(coo_small, width=12)
+    assert "nnz=" in art.splitlines()[-1]
+
+
+def test_dynamic_matrix_accepted(coo_small):
+    art = spy(DynamicMatrix(coo_small).switch("CSR"), width=12, height=6)
+    assert art.count("\n") >= 7
+
+
+def test_dimensions_respected(coo_small):
+    art = spy(coo_small, width=30, height=7)
+    lines = art.splitlines()
+    assert len(lines) == 7 + 3  # border x2 + metadata
+    assert all(len(ln) == 32 for ln in lines[:-1])  # width + borders
+
+
+def test_width_validation(coo_small):
+    with pytest.raises(ValidationError):
+        spy(coo_small, width=0)
+    with pytest.raises(ValidationError):
+        spy(coo_small, width=10, height=0)
+
+
+def test_dense_block_saturates():
+    m = COOMatrix.from_dense(np.ones((20, 20)))
+    art = spy(m, width=10, height=5)
+    body = art.splitlines()[1:6]
+    assert all("@" in ln for ln in body)

@@ -1,0 +1,60 @@
+"""Tests for the Timer utility."""
+
+from __future__ import annotations
+
+from repro.utils.timing import Timer, WallClock
+
+
+class FakeClock(WallClock):
+    """Deterministic clock advancing a fixed step per call."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def now(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+class TestTimer:
+    def test_accumulates_elapsed(self):
+        t = Timer(clock=FakeClock(step=1.0))
+        with t:
+            pass
+        assert t.elapsed == 1.0
+        assert t.n_calls == 1
+
+    def test_multiple_intervals_sum(self):
+        t = Timer(clock=FakeClock(step=2.0))
+        with t:
+            pass
+        with t:
+            pass
+        assert t.elapsed == 4.0
+        assert t.n_calls == 2
+
+    def test_mean(self):
+        t = Timer(clock=FakeClock(step=3.0))
+        with t:
+            pass
+        with t:
+            pass
+        assert t.mean == 3.0
+
+    def test_mean_zero_when_unused(self):
+        assert Timer().mean == 0.0
+
+    def test_reset(self):
+        t = Timer(clock=FakeClock())
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.n_calls == 0
+
+    def test_real_clock_nonnegative(self):
+        t = Timer()
+        with t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
