@@ -18,6 +18,9 @@ The package re-creates the paper's full stack in pure Python/NumPy:
 * :mod:`repro.core` — Morpheus-Oracle itself: Table-I feature extraction,
   the three tuners, ``TuneMultiply``, model files and the Sparse.Tree
   offline pipeline.
+* :mod:`repro.runtime` — the serving runtime: the kernel registry every
+  dispatch resolves through, batched multi-vector execution, and the
+  cached :class:`~repro.runtime.engine.WorkloadEngine`.
 
 Quickstart
 ----------
@@ -58,6 +61,7 @@ from repro.core import (
     tune_multiply,
 )
 from repro.datasets import MatrixCollection
+from repro.runtime import WorkloadEngine, batched_spmv
 
 __all__ = [
     "__version__",
@@ -87,4 +91,6 @@ __all__ = [
     "save_model",
     "tune_multiply",
     "MatrixCollection",
+    "WorkloadEngine",
+    "batched_spmv",
 ]

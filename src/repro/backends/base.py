@@ -84,6 +84,44 @@ class ExecutionSpace:
         )
         return SpMVResult(y=y, seconds=seconds, format=concrete.format)
 
+    def run_spmm(
+        self,
+        matrix: MatrixLike,
+        X: np.ndarray,
+        *,
+        matrix_key: str = "",
+        repetitions: int = 1,
+        stats: MatrixStats | None = None,
+    ) -> SpMVResult:
+        """Execute ``Y = A @ X`` for an ``(ncols, k)`` block, batched.
+
+        The kernel runs once through the runtime's batched executor; the
+        modelled time scales the single-SpMV cost by the SpMM traffic
+        factor (matrix traffic paid once across the ``k`` vectors).
+        """
+        from repro.runtime.batch import batched_spmv
+        from repro.spmv.spmm import spmm_time_factor
+
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        Y = batched_spmv(concrete, X)
+        if stats is None:
+            stats = MatrixStats.from_matrix(concrete)
+        seconds = (
+            repetitions
+            * spmm_time_factor(max(1, Y.shape[1] if Y.ndim == 2 else 1))
+            * self.cost_model.spmv_time(
+                stats, concrete.format, self.device, self.backend,
+                matrix_key=matrix_key,
+            )
+        )
+        return SpMVResult(y=Y, seconds=seconds, format=concrete.format)
+
+    def engine(self, tuner=None, **kwargs) -> "object":
+        """A :class:`~repro.runtime.engine.WorkloadEngine` bound to this space."""
+        from repro.runtime.engine import WorkloadEngine
+
+        return WorkloadEngine(self, tuner=tuner, **kwargs)
+
     def time_spmv(
         self, stats: MatrixStats, fmt: str, *, matrix_key: str = ""
     ) -> float:

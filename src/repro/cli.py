@@ -15,6 +15,10 @@ Subcommands mirror the paper's pipeline:
     Online stage: load the model, extract features, print the format.
 ``repro-oracle tune --model model.file --repetitions 1000 matrix.mtx``
     Full TuneMultiply: decision, overhead and speedup report.
+``repro-oracle batch --system cirrus --backend serial -n 12 --requests 60``
+    Serve a synthetic SpMV workload through the cached
+    :class:`~repro.runtime.engine.WorkloadEngine` and report cache hit
+    rates and amortised tuning cost.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ import numpy as np
 from repro.backends import make_space
 from repro.core import (
     RandomForestTuner,
+    RunFirstTuner,
     build_dataset,
     extract_features,
     profile_collection,
@@ -148,6 +153,45 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import time
+
+    space = make_space(args.system, args.backend)
+    collection = MatrixCollection(n_matrices=args.n_matrices, seed=args.seed)
+    specs = collection.specs
+    tuner = RandomForestTuner(args.model) if args.model else RunFirstTuner()
+    engine = space.engine(tuner=tuner)
+    rng = np.random.default_rng(args.seed)
+    matrices: dict = {}
+    t0 = time.perf_counter()
+    for _ in range(args.requests):
+        spec = specs[int(rng.integers(0, len(specs)))]
+        if spec.name not in matrices:
+            matrices[spec.name] = DynamicMatrix(collection.generate(spec))
+        dyn = matrices[spec.name]
+        engine.submit(dyn, rng.standard_normal(dyn.ncols), key=spec.name)
+    results = engine.flush()
+    wall = time.perf_counter() - t0
+    report = engine.summary()
+    counters = report["counters"]
+    seconds = report["seconds"]
+    decisions = counters["decision_misses"]
+    naive_tuning = (
+        seconds["tuning"] * (args.requests / decisions) if decisions else 0.0
+    )
+    print(f"served               {len(results)} requests over "
+          f"{report['unique_matrices']} matrices on {space.name}")
+    print(f"decision cache       {counters['decision_hits']} hits / "
+          f"{decisions} misses "
+          f"(hit rate {100 * report['cache_hit_rate']:.1f}% overall)")
+    print(f"modelled SpMV time   {seconds['spmv']:.6f} s")
+    print(f"tuning overhead      {seconds['tuning']:.6f} s amortised "
+          f"(vs {naive_tuning:.6f} s re-tuning every request)")
+    print(f"conversion overhead  {seconds['conversion']:.6f} s")
+    print(f"wall-clock           {wall:.3f} s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-oracle",
@@ -188,6 +232,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=1000)
     p.add_argument("matrix", help="Matrix Market file")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "batch", help="serve a batched workload through the runtime engine"
+    )
+    _add_target_args(p)
+    p.add_argument(
+        "-n", "--n-matrices", type=int, default=12,
+        help="distinct matrices in the workload corpus",
+    )
+    p.add_argument(
+        "--requests", type=int, default=60,
+        help="SpMV requests to serve (matrices repeat)",
+    )
+    p.add_argument(
+        "--model", default=None,
+        help="Oracle model file (default: run-first tuner)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_batch)
     return parser
 
 

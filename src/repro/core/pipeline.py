@@ -93,6 +93,12 @@ def profile_collection(
     is recorded and the minimum designates the optimum (the paper times
     1000 repetitions; with deterministic per-pair noise the argmin over
     one modelled iteration is equivalent).
+
+    Each matrix's :class:`~repro.machine.stats.MatrixStats` is resolved
+    once through the collection's stats cache and shared across all
+    *spaces* (and later by :func:`build_dataset`), so a profiling run
+    generates every matrix exactly once regardless of how many spaces or
+    pipeline stages consume it.
     """
     if specs is None:
         specs = collection.specs
@@ -116,7 +122,11 @@ def build_dataset(
     profiling: ProfilingResult,
     space_name: str,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Assemble ``(X, y)``: Table-I features and optimal-format labels."""
+    """Assemble ``(X, y)``: Table-I features and optimal-format labels.
+
+    Features come from the collection's cached stats, so a dataset built
+    after :func:`profile_collection` performs zero matrix regeneration.
+    """
     X = np.stack(
         [extract_features_from_stats(collection.stats(s)) for s in specs]
     )
@@ -273,11 +283,21 @@ def train_tuned_model(
 # ----------------------------------------------------------------------
 
 
+#: Separator between the system / backend / algorithm fields of a model
+#: file name.  A double underscore cannot appear inside any field (enforced
+#: by :meth:`ModelDatabase.path_for`), so splitting on it is unambiguous
+#: even for names like ``open_mp`` or ``random_forest`` that contain ``_``.
+_KEY_SEPARATOR = "__"
+
+
 class ModelDatabase:
     """Directory of Oracle model files keyed by (system, backend, algorithm).
 
     The paper ships pre-trained models for its test systems; users point
-    the online tuners at a database path and load by key.
+    the online tuners at a database path and load by key.  Keys are encoded
+    in the file name with a ``__`` field separator; legacy single-``_``
+    files (which parse ambiguously when a field itself contains ``_``) are
+    still listed by :meth:`available` on a best-effort basis.
     """
 
     def __init__(self, root: Union[str, os.PathLike]) -> None:
@@ -286,9 +306,16 @@ class ModelDatabase:
 
     def path_for(self, system: str, backend: str, algorithm: str) -> str:
         """Model-file path for a (system, backend, algorithm) key."""
-        return os.path.join(
-            self.root, f"{system.lower()}_{backend.lower()}_{algorithm}.model"
-        )
+        fields = (system.lower(), backend.lower(), algorithm)
+        for name, value in zip(("system", "backend", "algorithm"), fields):
+            if _KEY_SEPARATOR in value:
+                raise ValidationError(
+                    f"{name} {value!r} must not contain {_KEY_SEPARATOR!r} "
+                    "(reserved as the model-file key separator)"
+                )
+            if not value:
+                raise ValidationError(f"{name} must be non-empty")
+        return os.path.join(self.root, _KEY_SEPARATOR.join(fields) + ".model")
 
     def save(self, model: OracleModel, *, algorithm: str | None = None) -> str:
         """Store *model*; returns the file path."""
@@ -302,10 +329,23 @@ class ModelDatabase:
         save_model(path, model)
         return path
 
+    def _legacy_path_for(self, system: str, backend: str, algorithm: str) -> str:
+        """Pre-separator-fix file location (single ``_`` between fields)."""
+        return os.path.join(
+            self.root, f"{system.lower()}_{backend.lower()}_{algorithm}.model"
+        )
+
     def load(self, system: str, backend: str, algorithm: str) -> OracleModel:
-        """Load the model for a key; raises if absent."""
+        """Load the model for a key; raises if absent.
+
+        Falls back to the legacy single-``_`` file location so databases
+        written before the separator fix keep loading.
+        """
         path = self.path_for(system, backend, algorithm)
         if not os.path.exists(path):
+            legacy = self._legacy_path_for(system, backend, algorithm)
+            if os.path.exists(legacy):
+                return load_model(legacy)
             raise TuningError(
                 f"no model for ({system}, {backend}, {algorithm}) in "
                 f"{self.root}"
@@ -313,15 +353,23 @@ class ModelDatabase:
         return load_model(path)
 
     def available(self) -> List[Tuple[str, str, str]]:
-        """All (system, backend, algorithm) keys present on disk."""
+        """All (system, backend, algorithm) keys present on disk.
+
+        Files written by :meth:`path_for` split unambiguously on the
+        ``__`` separator; older single-``_`` files fall back to the legacy
+        parse (first two fields cannot contain ``_`` there).
+        """
         out = []
         for fname in sorted(os.listdir(self.root)):
             if not fname.endswith(".model"):
                 continue
             stem = fname[: -len(".model")]
-            parts = stem.split("_")
-            if len(parts) >= 3:
-                system, backend = parts[0], parts[1]
-                algorithm = "_".join(parts[2:])
-                out.append((system, backend, algorithm))
+            parts = stem.split(_KEY_SEPARATOR)
+            if len(parts) == 3 and all(parts):
+                out.append((parts[0], parts[1], parts[2]))
+                continue
+            # legacy layout: system_backend_algorithm with single "_"
+            legacy = stem.split("_")
+            if len(legacy) >= 3 and all(legacy):
+                out.append((legacy[0], legacy[1], "_".join(legacy[2:])))
         return out

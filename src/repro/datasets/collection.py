@@ -184,6 +184,8 @@ class MatrixCollection:
         self.n_matrices = int(n_matrices)
         self._specs = self._build_specs()
         self._stats_cache: Dict[str, MatrixStats] = {}
+        self._stats_requests = 0
+        self._stats_computed = 0
 
     # ------------------------------------------------------------------
     def _build_specs(self) -> List[MatrixSpec]:
@@ -245,11 +247,30 @@ class MatrixCollection:
         return spec.generate()
 
     def stats(self, spec: MatrixSpec) -> MatrixStats:
-        """Structural statistics for *spec*, cached after first computation."""
+        """Structural statistics for *spec*, cached after first computation.
+
+        The cache is what keeps a profiling run affordable: every stage
+        (per-space profiling, train/test feature extraction) asks for the
+        same stats, and only the first request per matrix generates it.
+        The :attr:`stats_requests` / :attr:`stats_computed` counters let
+        tests assert that each matrix is materialised exactly once.
+        """
+        self._stats_requests += 1
         if spec.name not in self._stats_cache:
             matrix = self.generate(spec)
             self._stats_cache[spec.name] = MatrixStats.from_matrix(matrix)
+            self._stats_computed += 1
         return self._stats_cache[spec.name]
+
+    @property
+    def stats_requests(self) -> int:
+        """Total :meth:`stats` lookups since construction."""
+        return self._stats_requests
+
+    @property
+    def stats_computed(self) -> int:
+        """Stats computations that actually generated a matrix (cache misses)."""
+        return self._stats_computed
 
     # ------------------------------------------------------------------
     # on-disk stats cache: a full 2200-matrix profiling pass only needs the

@@ -45,6 +45,19 @@ FORMAT_NAMES: Dict[int, str] = {v: k for k, v in FORMAT_IDS.items()}
 
 _REGISTRY: Dict[str, Type["SparseMatrix"]] = {}
 
+#: Lazily resolved kernel dispatcher (import cycle guard: the runtime
+#: registry imports the format modules to know their array layouts).
+_DISPATCH = None
+
+
+def _kernel_dispatch(operation: str, matrix: "SparseMatrix", operand):
+    global _DISPATCH
+    if _DISPATCH is None:
+        from repro.runtime.registry import dispatch
+
+        _DISPATCH = dispatch
+    return _DISPATCH(operation, matrix, operand)
+
 
 def format_id(name: str) -> int:
     """Return the integer id for a format *name* (case-insensitive)."""
@@ -147,9 +160,15 @@ class SparseMatrix(abc.ABC):
     # ------------------------------------------------------------------
     # reference kernel
     # ------------------------------------------------------------------
-    @abc.abstractmethod
     def spmv(self, x: np.ndarray) -> np.ndarray:
-        """Serial reference ``y = A @ x`` used by all backends for values."""
+        """Serial reference ``y = A @ x`` used by all backends for values.
+
+        Validates the operand, then dispatches through the runtime kernel
+        registry (:mod:`repro.runtime.registry`) — the single source of
+        truth for per-format kernels.
+        """
+        vec = self._check_spmv_operand(x)
+        return _kernel_dispatch("spmv", self, vec)
 
     def _check_spmv_operand(self, x: np.ndarray) -> np.ndarray:
         """Validate and coerce the SpMV input vector."""

@@ -103,13 +103,6 @@ class COOMatrix(SparseMatrix):
         )
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """``y = A @ x`` via a scatter-add over the triplets."""
-        vec = self._check_spmv_operand(x)
-        products = self.data * vec[self.col]
-        return np.bincount(self.row, weights=products, minlength=self.nrows)
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         return np.bincount(self.row, minlength=self.nrows).astype(np.int64)
 

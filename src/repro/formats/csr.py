@@ -97,22 +97,6 @@ class CSRMatrix(SparseMatrix):
         return cls(coo.nrows, coo.ncols, row_ptr, coo.col.copy(), coo.data.copy())
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """``y = A @ x`` via prefix sums of the per-entry products.
-
-        The cumulative-sum formulation handles empty rows uniformly (unlike
-        ``np.add.reduceat``) and keeps the kernel fully vectorised.
-        """
-        vec = self._check_spmv_operand(x)
-        if self.nnz == 0:
-            return np.zeros(self.nrows, dtype=np.float64)
-        products = self.data * vec[self.col_idx]
-        prefix = np.empty(self.nnz + 1, dtype=np.float64)
-        prefix[0] = 0.0
-        np.cumsum(products, out=prefix[1:])
-        return prefix[self.row_ptr[1:]] - prefix[self.row_ptr[:-1]]
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         return np.diff(self.row_ptr).astype(np.int64)
 

@@ -140,24 +140,6 @@ class DIAMatrix(SparseMatrix):
         return cls(coo.nrows, coo.ncols, offsets, data)
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """``y = A @ x`` looping over diagonals (each one vectorised).
-
-        The per-diagonal loop mirrors production DIA kernels; ``ndiags`` is
-        small exactly when DIA is the right format.
-        """
-        vec = self._check_spmv_operand(x)
-        y = np.zeros(self.nrows, dtype=np.float64)
-        for k, off in enumerate(self.offsets):
-            j_lo = max(0, int(off))
-            j_hi = min(self.ncols, self.nrows + int(off))
-            if j_hi <= j_lo:
-                continue
-            rows = slice(j_lo - int(off), j_hi - int(off))
-            y[rows] += self.data[k, j_lo:j_hi] * vec[j_lo:j_hi]
-        return y
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         counts = np.zeros(self.nrows, dtype=np.int64)
         for k, off in enumerate(self.offsets):

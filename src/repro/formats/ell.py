@@ -125,15 +125,6 @@ class ELLMatrix(SparseMatrix):
         return cls(coo.nrows, coo.ncols, col_idx, data)
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        """``y = A @ x`` as a masked gather over the fixed-width slots."""
-        vec = self._check_spmv_operand(x)
-        if self.width == 0:
-            return np.zeros(self.nrows, dtype=np.float64)
-        gathered = vec[np.where(self._valid, self.col_idx, 0)]
-        return (self.data * np.where(self._valid, gathered, 0.0)).sum(axis=1)
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         return self._valid.sum(axis=1).astype(np.int64)
 

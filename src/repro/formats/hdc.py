@@ -121,11 +121,6 @@ class HDCMatrix(SparseMatrix):
         return cls(dia, CSRMatrix.from_coo(rest))
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        vec = self._check_spmv_operand(x)
-        return self.dia.spmv(vec) + self.csr.spmv(vec)
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         return self.dia.row_nnz() + self.csr.row_nnz()
 

@@ -135,11 +135,6 @@ class HYBMatrix(SparseMatrix):
         return cls(ell, overflow)
 
     # ------------------------------------------------------------------
-    def spmv(self, x: np.ndarray) -> np.ndarray:
-        vec = self._check_spmv_operand(x)
-        return self.ell.spmv(vec) + self.coo.spmv(vec)
-
-    # ------------------------------------------------------------------
     def row_nnz(self) -> np.ndarray:
         return self.ell.row_nnz() + self.coo.row_nnz()
 

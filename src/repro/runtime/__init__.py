@@ -1,0 +1,67 @@
+"""Unified kernel-dispatch runtime: registry → batch → engine.
+
+The serving layers that turn the per-call reproduction into a workload
+system, bottom-up:
+
+* :mod:`~repro.runtime.registry` — the single ``(operation, format) →
+  kernel`` table every SpMV/SpMM dispatch resolves through; format
+  containers delegate here, composite formats compose registered
+  sub-kernels.
+* :mod:`~repro.runtime.batch` — batched multi-vector (``Y = A @ X``) and
+  multi-matrix execution with cached compiled operators (scipy-backed
+  when available, NumPy fallback); the solvers' hot loops route through
+  :func:`~repro.runtime.batch.matvec`.
+* :mod:`~repro.runtime.engine` — the request-queue
+  :class:`~repro.runtime.engine.WorkloadEngine` that serves many
+  ``(matrix, x)`` requests against an execution space, memoising stats,
+  features, tuner decisions and format conversions per matrix
+  fingerprint, with cache counters and per-space time accounting.
+"""
+
+from repro.runtime.registry import (
+    REGISTRY,
+    KernelRegistry,
+    dispatch,
+    get_kernel,
+    has_kernel,
+    register_kernel,
+    registered_formats,
+    registered_operations,
+)
+from repro.runtime.batch import (
+    BlockOperator,
+    batched_spmv,
+    batched_spmv_many,
+    block_operator,
+    have_accelerator,
+    matvec,
+    spmv_iterations,
+)
+from repro.runtime.engine import (
+    CacheCounters,
+    EngineResult,
+    WorkloadEngine,
+    matrix_fingerprint,
+)
+
+__all__ = [
+    "REGISTRY",
+    "KernelRegistry",
+    "dispatch",
+    "get_kernel",
+    "has_kernel",
+    "register_kernel",
+    "registered_formats",
+    "registered_operations",
+    "BlockOperator",
+    "batched_spmv",
+    "batched_spmv_many",
+    "block_operator",
+    "have_accelerator",
+    "matvec",
+    "spmv_iterations",
+    "CacheCounters",
+    "EngineResult",
+    "WorkloadEngine",
+    "matrix_fingerprint",
+]

@@ -1,0 +1,468 @@
+"""Cached workload engine: serve many SpMV requests against one space.
+
+Runtime layer 3.  The paper's economics — pay the tuning cost once,
+amortise it over thousands of SpMV calls — only materialise if the serving
+path actually reuses the expensive artefacts.  :class:`WorkloadEngine`
+binds an :class:`~repro.backends.base.ExecutionSpace` (and optionally a
+:class:`~repro.core.tuners.base.Tuner`) and memoises, per matrix
+fingerprint:
+
+* the :class:`~repro.machine.stats.MatrixStats` structural summary,
+* the Table-I feature vector,
+* the tuner's format decision (paying ``T_FE + T_PRED`` exactly once),
+* the format-converted container serving the requests.
+
+Every cache records hits and misses (:class:`CacheCounters`) and every
+modelled second is accounted per category (tuning / conversion / spmv), so
+experiments can assert "the second request for a fingerprint recomputes
+nothing" rather than hope for it.  Requests can be served one at a time
+(:meth:`WorkloadEngine.execute`) or queued with
+:meth:`~WorkloadEngine.submit` and served by :meth:`~WorkloadEngine.flush`,
+which groups queued vectors by fingerprint and runs each group as one
+batched multi-vector SpMV through :mod:`repro.runtime.batch`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.convert import convert
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.dynamic import DynamicMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hdc import HDCMatrix
+from repro.formats.hyb import HYBMatrix
+from repro.machine.stats import MatrixStats
+from repro.runtime.batch import batched_spmv, matvec
+from repro.spmv.spmm import check_block, spmm_time_factor
+from repro.utils.validation import check_vector_length
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.base import ExecutionSpace
+    from repro.core.tuners.base import Tuner, TuningReport
+
+__all__ = [
+    "CacheCounters",
+    "EngineResult",
+    "WorkloadEngine",
+    "matrix_fingerprint",
+]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+def _defining_arrays(m: SparseMatrix) -> Tuple[np.ndarray, ...]:
+    """The arrays that, with shape and format, fully determine *m*."""
+    if isinstance(m, COOMatrix):
+        return (m.row, m.col, m.data)
+    if isinstance(m, CSRMatrix):
+        return (m.row_ptr, m.col_idx, m.data)
+    if isinstance(m, DIAMatrix):
+        return (m.offsets, m.data)
+    if isinstance(m, ELLMatrix):
+        return (m.col_idx, m.data)
+    if isinstance(m, HYBMatrix):
+        return _defining_arrays(m.ell) + _defining_arrays(m.coo)
+    if isinstance(m, HDCMatrix):
+        return _defining_arrays(m.dia) + _defining_arrays(m.csr)
+    raise ValidationError(
+        f"cannot fingerprint unknown container type {type(m).__name__}"
+    )
+
+
+def matrix_fingerprint(matrix: MatrixLike) -> str:
+    """Stable content hash of a matrix in its active format.
+
+    Hashes format name, shape and the defining arrays, so two containers
+    holding identical arrays share a fingerprint while any structural or
+    numerical difference separates them.  The same logical matrix stored
+    in two *different* formats hashes differently — callers that want
+    cross-format identity pass their own ``key`` to the engine instead.
+    """
+    m = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"{m.format}:{m.nrows}x{m.ncols}:".encode())
+    for arr in _defining_arrays(m):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss tallies for every memoised artefact of the engine."""
+
+    stats_hits: int = 0
+    stats_misses: int = 0
+    feature_hits: int = 0
+    feature_misses: int = 0
+    decision_hits: int = 0
+    decision_misses: int = 0
+    conversion_hits: int = 0
+    conversion_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits across all categories."""
+        return (
+            self.stats_hits
+            + self.feature_hits
+            + self.decision_hits
+            + self.conversion_hits
+        )
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses across all categories."""
+        return (
+            self.stats_misses
+            + self.feature_misses
+            + self.decision_misses
+            + self.conversion_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 with no lookups)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for reports / serialisation)."""
+        return {
+            "stats_hits": self.stats_hits,
+            "stats_misses": self.stats_misses,
+            "feature_hits": self.feature_hits,
+            "feature_misses": self.feature_misses,
+            "decision_hits": self.decision_hits,
+            "decision_misses": self.decision_misses,
+            "conversion_hits": self.conversion_hits,
+            "conversion_misses": self.conversion_misses,
+        }
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Outcome of one served request.
+
+    ``seconds`` is the modelled device time of the SpMV itself;
+    ``overhead_seconds`` carries the tuning + conversion cost paid by this
+    request (zero whenever the decision came from cache).
+    """
+
+    y: np.ndarray
+    seconds: float
+    overhead_seconds: float
+    format: str
+    fingerprint: str
+    from_cache: bool
+
+
+@dataclass
+class _Pending:
+    """One queued request awaiting :meth:`WorkloadEngine.flush`."""
+
+    matrix: MatrixLike
+    operand: np.ndarray
+    fingerprint: str
+    repetitions: int
+
+
+class WorkloadEngine:
+    """Serve ``(matrix, x)`` SpMV requests with full artefact reuse.
+
+    Parameters
+    ----------
+    space:
+        The execution space requests are priced against.
+    tuner:
+        Optional format tuner; when absent every matrix is served in its
+        active format (decision overhead zero).
+    accelerate:
+        Route kernels through the compiled batch path when available.
+    """
+
+    def __init__(
+        self,
+        space: "ExecutionSpace",
+        tuner: Optional["Tuner"] = None,
+        *,
+        accelerate: bool = True,
+    ) -> None:
+        self.space = space
+        self.tuner = tuner
+        self.accelerate = accelerate
+        self.counters = CacheCounters()
+        #: Modelled seconds spent on this space, by category.
+        self.seconds: Dict[str, float] = {
+            "tuning": 0.0,
+            "conversion": 0.0,
+            "spmv": 0.0,
+        }
+        self.requests_served = 0
+        self._stats: Dict[str, MatrixStats] = {}
+        self._features: Dict[str, np.ndarray] = {}
+        self._reports: Dict[str, "TuningReport"] = {}
+        self._prepared: Dict[str, SparseMatrix] = {}
+        self._queue: List[_Pending] = []
+
+    # ------------------------------------------------------------------
+    # memoised artefacts
+    # ------------------------------------------------------------------
+    def fingerprint(self, matrix: MatrixLike, *, key: Optional[str] = None) -> str:
+        """Cache key for *matrix*: the caller's ``key`` or a content hash."""
+        return key if key is not None else matrix_fingerprint(matrix)
+
+    def stats_for(
+        self, matrix: MatrixLike, *, key: Optional[str] = None
+    ) -> MatrixStats:
+        """Memoised :class:`MatrixStats` for *matrix*."""
+        fp = self.fingerprint(matrix, key=key)
+        if fp in self._stats:
+            self.counters.stats_hits += 1
+            return self._stats[fp]
+        self.counters.stats_misses += 1
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        stats = MatrixStats.from_matrix(concrete)
+        self._stats[fp] = stats
+        return stats
+
+    def features_for(
+        self, matrix: MatrixLike, *, key: Optional[str] = None
+    ) -> np.ndarray:
+        """Memoised Table-I feature vector for *matrix*."""
+        from repro.core.features import extract_features_from_stats
+
+        fp = self.fingerprint(matrix, key=key)
+        if fp in self._features:
+            self.counters.feature_hits += 1
+            return self._features[fp]
+        self.counters.feature_misses += 1
+        vec = extract_features_from_stats(self.stats_for(matrix, key=fp))
+        self._features[fp] = vec
+        return vec
+
+    def decision_for(
+        self, matrix: MatrixLike, *, key: Optional[str] = None
+    ) -> "TuningReport":
+        """Memoised tuner decision; pays ``T_FE + T_PRED`` once per matrix."""
+        fp = self.fingerprint(matrix, key=key)
+        if fp in self._reports:
+            self.counters.decision_hits += 1
+            return self._reports[fp]
+        return self._decide(matrix, fp, self.stats_for(matrix, key=fp))
+
+    def _decide(
+        self, matrix: MatrixLike, fp: str, stats: MatrixStats
+    ) -> "TuningReport":
+        """Decision lookup with *stats* already resolved (one count each)."""
+        from repro.core.tuners.base import TuningReport
+
+        if fp in self._reports:
+            self.counters.decision_hits += 1
+            return self._reports[fp]
+        self.counters.decision_misses += 1
+        if self.tuner is None:
+            concrete = (
+                matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+            )
+            report = TuningReport(format_id=concrete.format_id)
+        else:
+            report = self.tuner.tune(matrix, self.space, stats=stats, matrix_key=fp)
+        self.seconds["tuning"] += report.overhead_seconds
+        self._reports[fp] = report
+        return report
+
+    def _prepared_for(
+        self,
+        matrix: MatrixLike,
+        fp: str,
+        report: "TuningReport",
+        stats: MatrixStats,
+    ) -> SparseMatrix:
+        """Memoised container converted to the decided serving format."""
+        if fp in self._prepared:
+            self.counters.conversion_hits += 1
+            return self._prepared[fp]
+        self.counters.conversion_misses += 1
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        target = report.format_name
+        if concrete.format != target:
+            self.seconds["conversion"] += self.space.time_conversion(
+                stats, concrete.format, target
+            )
+            concrete = convert(concrete, target)
+        self._prepared[fp] = concrete
+        return concrete
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> EngineResult:
+        """Serve one request: tune (cached), convert (cached), run, account.
+
+        ``x`` may be a length-``ncols`` vector or an ``(ncols, k)`` block;
+        ``repetitions`` scales the modelled SpMV seconds (iterative
+        workloads run the same product many times).
+        """
+        fp = self.fingerprint(matrix, key=key)
+        cached = fp in self._reports
+        overhead_before = self.seconds["tuning"] + self.seconds["conversion"]
+        stats = self.stats_for(matrix, key=fp)
+        report = self._decide(matrix, fp, stats)
+        prepared = self._prepared_for(matrix, fp, report, stats)
+        overhead = (self.seconds["tuning"] + self.seconds["conversion"]) - overhead_before
+        operand = np.ascontiguousarray(x, dtype=np.float64)
+        if operand.ndim == 2:
+            y = batched_spmv(prepared, operand, accelerate=self.accelerate)
+            n_vectors = operand.shape[1]
+        else:
+            y = matvec(prepared, operand, accelerate=self.accelerate)
+            n_vectors = 1
+        seconds = (
+            repetitions
+            * spmm_time_factor(max(1, n_vectors))
+            * self.space.time_spmv(stats, prepared.format, matrix_key=fp)
+        )
+        self.seconds["spmv"] += seconds
+        self.requests_served += 1
+        return EngineResult(
+            y=y,
+            seconds=seconds,
+            overhead_seconds=overhead,
+            format=prepared.format,
+            fingerprint=fp,
+            from_cache=cached,
+        )
+
+    # ------------------------------------------------------------------
+    # queued serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> int:
+        """Queue a request; returns its position in the flush results.
+
+        Operands are fully validated here (shape and length against the
+        matrix), so a malformed request is rejected at submission and can
+        never abort a later :meth:`flush` with valid requests queued.
+        """
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        operand = np.ascontiguousarray(x, dtype=np.float64)
+        if operand.ndim == 1:
+            check_vector_length(operand, concrete.ncols, name="x")
+        elif operand.ndim == 2:
+            operand = check_block(concrete, operand)
+        else:
+            raise ValidationError(
+                f"operand must be 1-D or 2-D, got ndim={operand.ndim}"
+            )
+        fp = self.fingerprint(matrix, key=key)
+        self._queue.append(_Pending(matrix, operand, fp, int(repetitions)))
+        return len(self._queue) - 1
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, un-flushed requests."""
+        return len(self._queue)
+
+    def flush(self) -> List[EngineResult]:
+        """Serve the queue; same-matrix vectors run as one batched SpMV.
+
+        Queued 1-D requests sharing a fingerprint are stacked into a
+        single ``(ncols, k)`` block and served by one batched kernel call;
+        results come back in submission order.
+        """
+        queue, self._queue = self._queue, []
+        results: List[Optional[EngineResult]] = [None] * len(queue)
+        groups: Dict[str, List[int]] = {}
+        for idx, pending in enumerate(queue):
+            groups.setdefault(pending.fingerprint, []).append(idx)
+        for fp, indices in groups.items():
+            first = queue[indices[0]]
+            was_cached = fp in self._reports
+            before = self.seconds["tuning"] + self.seconds["conversion"]
+            stats = self.stats_for(first.matrix, key=fp)
+            report = self._decide(first.matrix, fp, stats)
+            prepared = self._prepared_for(first.matrix, fp, report, stats)
+            first_overhead = (
+                self.seconds["tuning"] + self.seconds["conversion"]
+            ) - before
+            t_single = self.space.time_spmv(stats, prepared.format, matrix_key=fp)
+            # one batched kernel call for all stacked single-vector requests
+            singles = [i for i in indices if queue[i].operand.ndim == 1]
+            col_of = {i: c for c, i in enumerate(singles)}
+            if singles:
+                X = np.stack([queue[i].operand for i in singles], axis=1)
+                Y = batched_spmv(prepared, X, accelerate=self.accelerate)
+            for pos, i in enumerate(indices):
+                pending = queue[i]
+                if pos > 0:
+                    # request-level accounting: later group members resolve
+                    # every artefact from the warm caches
+                    member_stats = self.stats_for(pending.matrix, key=fp)
+                    self._decide(pending.matrix, fp, member_stats)
+                    self._prepared_for(pending.matrix, fp, report, member_stats)
+                if pending.operand.ndim == 1:
+                    y = Y[:, col_of[i]]
+                    n_vectors = 1
+                else:
+                    y = batched_spmv(
+                        prepared, pending.operand, accelerate=self.accelerate
+                    )
+                    n_vectors = pending.operand.shape[1]
+                seconds = (
+                    pending.repetitions
+                    * spmm_time_factor(max(1, n_vectors))
+                    * t_single
+                )
+                self.seconds["spmv"] += seconds
+                self.requests_served += 1
+                results[i] = EngineResult(
+                    y=y,
+                    seconds=seconds,
+                    overhead_seconds=first_overhead if pos == 0 else 0.0,
+                    format=prepared.format,
+                    fingerprint=fp,
+                    from_cache=was_cached or pos > 0,
+                )
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Serving report: request counts, cache tallies, time accounting."""
+        return {
+            "space": self.space.name,
+            "requests_served": self.requests_served,
+            "unique_matrices": len(self._reports),
+            "counters": self.counters.as_dict(),
+            "cache_hit_rate": self.counters.hit_rate,
+            "seconds": dict(self.seconds),
+        }
+
+    def reset_accounting(self) -> None:
+        """Zero the counters and time accounting; caches stay warm."""
+        self.counters = CacheCounters()
+        self.seconds = {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0}
+        self.requests_served = 0

@@ -1,0 +1,211 @@
+"""Kernel registry: the single ``(operation, format) → kernel`` table.
+
+Runtime layer 1.  Every sparse kernel the package executes is dispatched
+through :data:`REGISTRY`; the format containers' ``spmv`` methods, the
+format-agnostic :func:`repro.spmv.spmm.spmm` entry point and the batched
+executor (:mod:`repro.runtime.batch`) all resolve their kernel here, so
+there is exactly one implementation per (operation, format) pair — the
+raw-array kernels of :mod:`repro.spmv.kernels`.
+
+Registered kernels take ``(matrix, operand)`` where *matrix* is a concrete
+format container and *operand* is a pre-validated dense vector (``spmv``)
+or ``(ncols, k)`` block (``spmm``).  Composite formats (HYB, HDC) do not
+carry kernels of their own: their entries compose the registered kernels of
+their sub-blocks, so improving e.g. the ELL kernel automatically improves
+HYB.
+
+Third-party formats can join the dispatch path with::
+
+    @register_kernel("spmv", "MYFMT")
+    def my_spmv(matrix, x):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import FORMAT_IDS
+from repro.spmv import kernels as _k
+
+__all__ = [
+    "KernelRegistry",
+    "REGISTRY",
+    "register_kernel",
+    "get_kernel",
+    "has_kernel",
+    "registered_operations",
+    "registered_formats",
+    "dispatch",
+]
+
+#: A kernel takes (concrete container, pre-validated operand) -> ndarray.
+Kernel = Callable[[object, np.ndarray], np.ndarray]
+
+
+class KernelRegistry:
+    """Mutable ``(operation, format) → kernel`` lookup table."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[str, str], Kernel] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, operation: str, fmt: str) -> Callable[[Kernel], Kernel]:
+        """Decorator registering *kernel* under ``(operation, fmt)``.
+
+        Re-registering a pair overwrites the previous kernel, so callers
+        can swap in tuned implementations.
+        """
+        op = operation.lower()
+        name = fmt.upper()
+
+        def _decorator(kernel: Kernel) -> Kernel:
+            self._table[(op, name)] = kernel
+            return kernel
+
+        return _decorator
+
+    def get(self, operation: str, fmt: str) -> Kernel:
+        """The kernel for ``(operation, fmt)``; raises FormatError if absent."""
+        key = (operation.lower(), fmt.upper())
+        try:
+            return self._table[key]
+        except KeyError:
+            raise FormatError(
+                f"no kernel registered for operation {key[0]!r} on format "
+                f"{key[1]!r}; registered: {sorted(self._table)}"
+            ) from None
+
+    def has(self, operation: str, fmt: str) -> bool:
+        """Whether a kernel is registered for ``(operation, fmt)``."""
+        return (operation.lower(), fmt.upper()) in self._table
+
+    def operations(self) -> Tuple[str, ...]:
+        """Sorted distinct operation names with at least one kernel."""
+        return tuple(sorted({op for op, _ in self._table}))
+
+    def formats(self, operation: str) -> Tuple[str, ...]:
+        """Sorted format names registered for *operation*."""
+        op = operation.lower()
+        return tuple(sorted(f for o, f in self._table if o == op))
+
+
+#: The process-wide registry all dispatch goes through.
+REGISTRY = KernelRegistry()
+
+
+def register_kernel(operation: str, fmt: str) -> Callable[[Kernel], Kernel]:
+    """Register a kernel on the global :data:`REGISTRY` (decorator)."""
+    return REGISTRY.register(operation, fmt)
+
+
+def get_kernel(operation: str, fmt: str) -> Kernel:
+    """Look up a kernel on the global :data:`REGISTRY`."""
+    return REGISTRY.get(operation, fmt)
+
+
+def has_kernel(operation: str, fmt: str) -> bool:
+    """Whether the global :data:`REGISTRY` has ``(operation, fmt)``."""
+    return REGISTRY.has(operation, fmt)
+
+
+def registered_operations() -> Tuple[str, ...]:
+    """Operations with registered kernels on the global registry."""
+    return REGISTRY.operations()
+
+
+def registered_formats(operation: str) -> Tuple[str, ...]:
+    """Formats registered for *operation* on the global registry."""
+    return REGISTRY.formats(operation)
+
+
+def dispatch(operation: str, matrix: object, operand: np.ndarray) -> np.ndarray:
+    """Run the registered kernel for *matrix*'s format on *operand*.
+
+    *operand* must already be validated (dtype, shape) — the container
+    entry points and :mod:`repro.runtime.batch` do that before dispatching.
+    """
+    return REGISTRY.get(operation, matrix.format)(matrix, operand)
+
+
+# ----------------------------------------------------------------------
+# default registrations: container adapters over repro.spmv.kernels
+# ----------------------------------------------------------------------
+
+
+@register_kernel("spmv", "COO")
+def _coo_spmv(m, x: np.ndarray) -> np.ndarray:
+    return _k.coo_spmv(m.nrows, m.row, m.col, m.data, x)
+
+
+@register_kernel("spmv", "CSR")
+def _csr_spmv(m, x: np.ndarray) -> np.ndarray:
+    return _k.csr_spmv(m.row_ptr, m.col_idx, m.data, x)
+
+
+@register_kernel("spmv", "DIA")
+def _dia_spmv(m, x: np.ndarray) -> np.ndarray:
+    return _k.dia_spmv(m.nrows, m.ncols, m.offsets, m.data, x)
+
+
+@register_kernel("spmv", "ELL")
+def _ell_spmv(m, x: np.ndarray) -> np.ndarray:
+    return _k.ell_spmv(m.col_idx, m.data, x, valid=m._valid)
+
+
+@register_kernel("spmv", "HYB")
+def _hyb_spmv(m, x: np.ndarray) -> np.ndarray:
+    y = get_kernel("spmv", "ELL")(m.ell, x)
+    if m.coo.nnz:
+        y = y + get_kernel("spmv", "COO")(m.coo, x)
+    return y
+
+
+@register_kernel("spmv", "HDC")
+def _hdc_spmv(m, x: np.ndarray) -> np.ndarray:
+    return get_kernel("spmv", "DIA")(m.dia, x) + get_kernel("spmv", "CSR")(
+        m.csr, x
+    )
+
+
+@register_kernel("spmm", "COO")
+def _coo_spmm(m, X: np.ndarray) -> np.ndarray:
+    return _k.coo_spmm(m.nrows, m.row, m.col, m.data, X)
+
+
+@register_kernel("spmm", "CSR")
+def _csr_spmm(m, X: np.ndarray) -> np.ndarray:
+    return _k.csr_spmm(m.row_ptr, m.col_idx, m.data, X)
+
+
+@register_kernel("spmm", "DIA")
+def _dia_spmm(m, X: np.ndarray) -> np.ndarray:
+    return _k.dia_spmm(m.nrows, m.ncols, m.offsets, m.data, X)
+
+
+@register_kernel("spmm", "ELL")
+def _ell_spmm(m, X: np.ndarray) -> np.ndarray:
+    return _k.ell_spmm(m.col_idx, m.data, X, valid=m._valid)
+
+
+@register_kernel("spmm", "HYB")
+def _hyb_spmm(m, X: np.ndarray) -> np.ndarray:
+    Y = get_kernel("spmm", "ELL")(m.ell, X)
+    if m.coo.nnz:
+        Y = Y + get_kernel("spmm", "COO")(m.coo, X)
+    return Y
+
+
+@register_kernel("spmm", "HDC")
+def _hdc_spmm(m, X: np.ndarray) -> np.ndarray:
+    return get_kernel("spmm", "DIA")(m.dia, X) + get_kernel("spmm", "CSR")(
+        m.csr, X
+    )
+
+
+# every paper format must be servable for both operations
+assert all(REGISTRY.has("spmv", f) for f in FORMAT_IDS)
+assert all(REGISTRY.has("spmm", f) for f in FORMAT_IDS)

@@ -1,4 +1,9 @@
-"""Jacobi iteration for diagonally dominant systems."""
+"""Jacobi iteration for diagonally dominant systems.
+
+Each sweep applies ``A`` once through the runtime's batched executor
+(:func:`repro.runtime.batch.matvec`); an ``(n, k)`` right-hand-side block
+runs all ``k`` solves per sweep with a single batched SpMV.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +15,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.dynamic import DynamicMatrix
+from repro.runtime.batch import matvec
 
 __all__ = ["jacobi", "JacobiResult"]
 
@@ -18,7 +24,11 @@ MatrixLike = Union[SparseMatrix, DynamicMatrix]
 
 @dataclass(frozen=True)
 class JacobiResult:
-    """Solution plus convergence bookkeeping."""
+    """Solution plus convergence bookkeeping.
+
+    For a block right-hand side ``x`` is ``(n, k)``, ``residual_norm`` is
+    the worst column's residual and ``converged`` requires every column.
+    """
 
     x: np.ndarray
     iterations: int
@@ -43,39 +53,61 @@ def jacobi(
     """Solve ``A x = b`` with the (damped-free) Jacobi splitting.
 
     ``x_{k+1} = x_k + D^{-1} (b - A x_k)`` — one SpMV per sweep.
-    Converges for strictly diagonally dominant operators.
+    Converges for strictly diagonally dominant operators.  ``b`` may be a
+    length-``n`` vector or an ``(n, k)`` block of right-hand sides.
     """
     nrows, ncols = A.shape
     if nrows != ncols:
         raise ValidationError(f"Jacobi needs a square operator, got {nrows}x{ncols}")
     b = np.ascontiguousarray(b, dtype=np.float64)
-    if b.shape != (nrows,):
+    block = b.ndim == 2
+    if block:
+        if b.shape[0] != nrows:
+            raise ValidationError(f"b must have shape ({nrows}, k), got {b.shape}")
+    elif b.shape != (nrows,):
         raise ValidationError(f"b must have shape ({nrows},), got {b.shape}")
     diag = _diagonal(A)
     if np.any(diag == 0.0):
         raise ValidationError("Jacobi requires a zero-free diagonal")
     inv_diag = 1.0 / diag
+    if block:
+        inv_diag = inv_diag[:, None]
     x = (
-        np.zeros(nrows)
+        np.zeros(b.shape)
         if x0 is None
         else np.ascontiguousarray(x0, dtype=np.float64).copy()
     )
-    b_norm = float(np.linalg.norm(b)) or 1.0
-    target = tol * b_norm
+    if x.shape != b.shape:
+        raise ValidationError(f"x0 must have shape {b.shape}, got {x.shape}")
+    if block:
+        b_norms = np.linalg.norm(b, axis=0)
+        targets = tol * np.where(b_norms > 0.0, b_norms, 1.0)
+    else:
+        targets = tol * (float(np.linalg.norm(b)) or 1.0)
     spmv_calls = 0
     residual = np.inf
+    col_residuals = np.full(b.shape[1] if block else 0, np.inf)
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        r = b - A.spmv(x)
+        r = b - matvec(A, x)
         spmv_calls += 1
-        residual = float(np.linalg.norm(r))
-        if residual <= target:
-            break
+        if block:
+            col_residuals = np.linalg.norm(r, axis=0)
+            residual = float(col_residuals.max()) if r.shape[1] else 0.0
+            if np.all(col_residuals <= targets):
+                break
+        else:
+            residual = float(np.linalg.norm(r))
+            if residual <= targets:
+                break
         x += inv_diag * r
+    converged = (
+        bool(np.all(col_residuals <= targets)) if block else residual <= targets
+    )
     return JacobiResult(
         x=x,
         iterations=iterations,
         residual_norm=residual,
-        converged=residual <= target,
+        converged=converged,
         spmv_calls=spmv_calls,
     )

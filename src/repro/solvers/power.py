@@ -1,4 +1,9 @@
-"""Power iteration for the dominant eigenpair."""
+"""Power iteration for the dominant eigenpair.
+
+The hot loop routes ``A @ v`` through the runtime's batched executor
+(:func:`repro.runtime.batch.matvec`), reusing the matrix's cached
+compiled operator across iterations.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +15,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.dynamic import DynamicMatrix
+from repro.runtime.batch import matvec
 from repro.utils.rng import ensure_generator
 
 __all__ = ["power_iteration", "PowerIterationResult"]
@@ -53,14 +59,14 @@ def power_iteration(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        w = A.spmv(v)
+        w = matvec(A, v)
         spmv_calls += 1
         norm = float(np.linalg.norm(w))
         if norm == 0.0:
             # v is in the null space; the dominant eigenvalue is 0
             return PowerIterationResult(0.0, v, iterations, True, spmv_calls)
         w /= norm
-        new_eigenvalue = float(w @ A.spmv(w))
+        new_eigenvalue = float(w @ matvec(A, w))
         spmv_calls += 1
         if abs(new_eigenvalue - eigenvalue) <= tol * max(1.0, abs(new_eigenvalue)):
             eigenvalue = new_eigenvalue

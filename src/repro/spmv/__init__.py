@@ -1,12 +1,15 @@
 """SpMV kernels and dispatch.
 
-The container classes own their reference kernels; this subpackage exposes
+The raw-array kernels (:mod:`repro.spmv.kernels`) are the single kernel
+implementation layer; the runtime registry
+(:mod:`repro.runtime.registry`) maps ``(operation, format)`` onto them and
+every container / entry-point dispatch resolves there.  This subpackage
+exposes
 
 * :func:`spmv` — format-agnostic dispatch (works on any container or a
   :class:`~repro.formats.dynamic.DynamicMatrix`);
-* raw-array kernels (:mod:`repro.spmv.kernels`) operating directly on the
-  format arrays, used by the kernel micro-benchmarks and as independent
-  cross-checks of the container methods;
+* :func:`spmm` — the block operation ``Y = A @ X`` (see
+  :mod:`repro.runtime.batch` for the cached, accelerated batch path);
 * :func:`spmv_iterations` — repeated application ``y = A^k x`` used by the
   iterative-solver style workloads in the examples.
 """

@@ -1,4 +1,11 @@
-"""Format-agnostic SpMV entry points."""
+"""Format-agnostic SpMV entry points.
+
+Both entry points resolve their kernels through the runtime layer:
+:func:`spmv` via the container's registry-backed ``spmv`` method, and
+:func:`spmv_iterations` via the batched executor
+(:mod:`repro.runtime.batch`), which serves repeated applications through a
+cached compiled operator when scipy is available.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,6 @@ from typing import Union
 
 import numpy as np
 
-from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.dynamic import DynamicMatrix
 
@@ -27,16 +33,10 @@ def spmv_iterations(
 
     Requires a square matrix; this is the access pattern of the iterative
     solvers that motivate amortising the tuner cost over thousands of
-    SpMV calls (Section VII-E).
+    SpMV calls (Section VII-E).  Delegates to
+    :func:`repro.runtime.batch.spmv_iterations`, so ``x`` may also be an
+    ``(ncols, k)`` block.
     """
-    if iterations < 1:
-        raise ValidationError(f"iterations must be >= 1, got {iterations}")
-    nrows, ncols = matrix.shape
-    if nrows != ncols:
-        raise ValidationError(
-            f"spmv_iterations needs a square matrix, got {nrows}x{ncols}"
-        )
-    y = np.ascontiguousarray(x, dtype=np.float64)
-    for _ in range(iterations):
-        y = matrix.spmv(y)
-    return y
+    from repro.runtime.batch import spmv_iterations as _run
+
+    return _run(matrix, x, iterations=iterations)

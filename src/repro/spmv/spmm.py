@@ -1,13 +1,15 @@
-"""Sparse matrix × dense matrix (SpMM) kernels.
+"""Sparse matrix × dense matrix (SpMM) entry point.
 
 Section VI-B: TuneMultiply is defined for SpMV but "any additional
 operations will follow the same principle".  SpMM (block SpMV over ``k``
 right-hand sides) is the natural second operation: it reuses the format's
 sparsity traversal while amortising the matrix traffic over ``k`` vectors.
 
-Each kernel takes the format container and an ``(ncols, k)`` dense block,
-returning ``(nrows, k)``.  The generic fallback applies the format's SpMV
-column by column; COO/CSR/DIA/ELL have fully vectorised versions.
+The per-format block kernels live in :mod:`repro.spmv.kernels` and are
+resolved through the runtime kernel registry
+(:mod:`repro.runtime.registry`) under the ``"spmm"`` operation; composite
+formats (HYB, HDC) compose their block kernels there.  For the cached,
+scipy-accelerated batch path see :mod:`repro.runtime.batch`.
 """
 
 from __future__ import annotations
@@ -18,15 +20,9 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.formats.base import SparseMatrix
-from repro.formats.coo import COOMatrix
-from repro.formats.csr import CSRMatrix
-from repro.formats.dia import DIAMatrix
 from repro.formats.dynamic import DynamicMatrix
-from repro.formats.ell import ELLMatrix
-from repro.formats.hdc import HDCMatrix
-from repro.formats.hyb import HYBMatrix
 
-__all__ = ["spmm"]
+__all__ = ["spmm", "check_block", "spmm_time_factor", "MATRIX_TRAFFIC_FRACTION"]
 
 MatrixLike = Union[SparseMatrix, DynamicMatrix]
 
@@ -35,7 +31,8 @@ MatrixLike = Union[SparseMatrix, DynamicMatrix]
 MATRIX_TRAFFIC_FRACTION = 0.35
 
 
-def _check_block(matrix: SparseMatrix, X: np.ndarray) -> np.ndarray:
+def check_block(matrix: SparseMatrix, X: np.ndarray) -> np.ndarray:
+    """Validate and coerce an ``(ncols, k)`` dense right-hand-side block."""
     X = np.ascontiguousarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ShapeError(f"SpMM operand must be 2-D, got ndim={X.ndim}")
@@ -46,62 +43,19 @@ def _check_block(matrix: SparseMatrix, X: np.ndarray) -> np.ndarray:
     return X
 
 
-def _coo_spmm(m: COOMatrix, X: np.ndarray) -> np.ndarray:
-    out = np.zeros((m.nrows, X.shape[1]), dtype=np.float64)
-    contrib = m.data[:, None] * X[m.col]
-    # one bincount per column keeps everything vectorised without add.at
-    for j in range(X.shape[1]):
-        out[:, j] = np.bincount(m.row, weights=contrib[:, j], minlength=m.nrows)
-    return out
-
-
-def _csr_spmm(m: CSRMatrix, X: np.ndarray) -> np.ndarray:
-    if m.nnz == 0:
-        return np.zeros((m.nrows, X.shape[1]), dtype=np.float64)
-    products = m.data[:, None] * X[m.col_idx]
-    prefix = np.zeros((m.nnz + 1, X.shape[1]), dtype=np.float64)
-    np.cumsum(products, axis=0, out=prefix[1:])
-    return prefix[m.row_ptr[1:]] - prefix[m.row_ptr[:-1]]
-
-
-def _dia_spmm(m: DIAMatrix, X: np.ndarray) -> np.ndarray:
-    out = np.zeros((m.nrows, X.shape[1]), dtype=np.float64)
-    for kdx, off in enumerate(m.offsets):
-        j_lo = max(0, int(off))
-        j_hi = min(m.ncols, m.nrows + int(off))
-        if j_hi <= j_lo:
-            continue
-        out[j_lo - int(off): j_hi - int(off)] += (
-            m.data[kdx, j_lo:j_hi, None] * X[j_lo:j_hi]
-        )
-    return out
-
-
-def _ell_spmm(m: ELLMatrix, X: np.ndarray) -> np.ndarray:
-    if m.width == 0:
-        return np.zeros((m.nrows, X.shape[1]), dtype=np.float64)
-    valid = m.col_idx >= 0
-    gathered = X[np.where(valid, m.col_idx, 0)]          # (m, w, k)
-    gathered *= np.where(valid, m.data, 0.0)[:, :, None]
-    return gathered.sum(axis=1)
-
-
 def spmm(matrix: MatrixLike, X: np.ndarray) -> np.ndarray:
-    """``Y = A @ X`` for a dense block ``X`` of shape ``(ncols, k)``."""
+    """``Y = A @ X`` for a dense block ``X`` of shape ``(ncols, k)``.
+
+    Dispatches to the registered block kernel; containers without one
+    (third-party formats that only implement ``spmv``) fall back to a
+    per-column loop through their own SpMV.
+    """
+    from repro.runtime.registry import REGISTRY
+
     concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
-    X = _check_block(concrete, X)
-    if isinstance(concrete, COOMatrix):
-        return _coo_spmm(concrete, X)
-    if isinstance(concrete, CSRMatrix):
-        return _csr_spmm(concrete, X)
-    if isinstance(concrete, DIAMatrix):
-        return _dia_spmm(concrete, X)
-    if isinstance(concrete, ELLMatrix):
-        return _ell_spmm(concrete, X)
-    if isinstance(concrete, HYBMatrix):
-        return _ell_spmm(concrete.ell, X) + _coo_spmm(concrete.coo, X)
-    if isinstance(concrete, HDCMatrix):
-        return _dia_spmm(concrete.dia, X) + _csr_spmm(concrete.csr, X)
+    X = check_block(concrete, X)
+    if REGISTRY.has("spmm", concrete.format):
+        return REGISTRY.get("spmm", concrete.format)(concrete, X)
     # unknown container: per-column fallback through its own SpMV
     return np.column_stack(
         [concrete.spmv(X[:, j]) for j in range(X.shape[1])]

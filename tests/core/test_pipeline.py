@@ -144,7 +144,7 @@ class TestModelDatabase:
     def test_save_and_load(self, tmp_path, dataset_model):
         db = ModelDatabase(tmp_path / "models")
         path = db.save(dataset_model)
-        assert path.endswith("p3_cuda_random_forest.model")
+        assert path.endswith("p3__cuda__random_forest.model")
         back = db.load("p3", "cuda", "random_forest")
         assert back.kind == "random_forest"
 
@@ -170,6 +170,72 @@ class TestModelDatabase:
         )
         with pytest.raises(ValidationError):
             db.save(anonymous)
+
+    def test_underscore_names_round_trip(self, tmp_path, dataset_model):
+        """Regression: names containing '_' must survive available().
+
+        The old single-'_' file layout split 'my_sys' + 'open_mp' +
+        'random_forest' into ('my', 'sys', 'open_mp_random_forest').
+        """
+        from repro.core import OracleModel
+
+        db = ModelDatabase(tmp_path / "models")
+        weird = OracleModel(
+            kind=dataset_model.kind,
+            trees=dataset_model.trees,
+            classes=dataset_model.classes,
+            n_features=dataset_model.n_features,
+            system="my_sys",
+            backend="open_mp",
+        )
+        db.save(weird)
+        assert db.available() == [("my_sys", "open_mp", "random_forest")]
+        back = db.load("my_sys", "open_mp", "random_forest")
+        assert back.system == "my_sys"
+        assert back.backend == "open_mp"
+
+    def test_legacy_separator_files_still_listed_and_loadable(
+        self, tmp_path, dataset_model
+    ):
+        db = ModelDatabase(tmp_path / "models")
+        path = db.save(dataset_model)
+        import os
+        import shutil
+
+        legacy = os.path.join(db.root, "p3_cuda_random_forest.model")
+        shutil.move(path, legacy)
+        keys = db.available()
+        assert ("p3", "cuda", "random_forest") in keys
+        # every listed key must load (regression: available/load agreement)
+        for system, backend, algorithm in keys:
+            assert db.load(system, backend, algorithm).kind == algorithm
+
+    def test_malformed_file_names_skipped(self, tmp_path, dataset_model):
+        db = ModelDatabase(tmp_path / "models")
+        (tmp_path / "models" / "x__y.model").write_text("junk")
+        assert db.available() == []
+
+    def test_separator_rejected_inside_key_fields(self, tmp_path):
+        db = ModelDatabase(tmp_path / "models")
+        with pytest.raises(ValidationError):
+            db.path_for("bad__sys", "serial", "random_forest")
+        with pytest.raises(ValidationError):
+            db.path_for("ok", "", "random_forest")
+
+    def test_stats_computed_once_across_pipeline_stages(self):
+        """Regression: profiling + dataset builds generate each matrix once."""
+        from repro.backends import make_space
+        from repro.datasets import MatrixCollection
+
+        coll = MatrixCollection(n_matrices=8, seed=3)
+        spaces = [make_space("cirrus", "serial"), make_space("p3", "cuda")]
+        profiling = profile_collection(coll, spaces)
+        train, test = coll.train_test_split()
+        build_dataset(coll, train, profiling, spaces[0].name)
+        build_dataset(coll, test, profiling, spaces[0].name)
+        build_dataset(coll, train, profiling, spaces[1].name)
+        assert coll.stats_computed == len(coll)
+        assert coll.stats_requests > coll.stats_computed
 
 
 @pytest.fixture(scope="module")

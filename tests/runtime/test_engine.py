@@ -1,0 +1,196 @@
+"""Workload engine: memoisation, accounting and queued serving."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.formats import COOMatrix, DynamicMatrix, convert
+from repro.machine import CostModel
+from repro.runtime.engine import WorkloadEngine, matrix_fingerprint
+
+from tests.conftest import ALL_FORMATS
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial", cost_model=CostModel(noise_sigma=0.0))
+
+
+@pytest.fixture
+def engine(space):
+    return WorkloadEngine(space, tuner=RunFirstTuner())
+
+
+class TestFingerprint:
+    def test_identical_containers_share_fingerprint(self, dense_small):
+        a = COOMatrix.from_dense(dense_small)
+        b = COOMatrix.from_dense(dense_small)
+        assert matrix_fingerprint(a) == matrix_fingerprint(b)
+
+    def test_value_change_separates(self, dense_small):
+        a = COOMatrix.from_dense(dense_small)
+        other = dense_small.copy()
+        other[0, 0] += 1.0
+        b = COOMatrix.from_dense(other)
+        assert matrix_fingerprint(a) != matrix_fingerprint(b)
+
+    @pytest.mark.parametrize("fmt", ALL_FORMATS)
+    def test_every_format_fingerprints(self, fmt, dense_small):
+        m = convert(COOMatrix.from_dense(dense_small), fmt)
+        assert len(matrix_fingerprint(m)) == 32
+
+    def test_formats_hash_differently(self, dense_small):
+        coo = COOMatrix.from_dense(dense_small)
+        assert matrix_fingerprint(coo) != matrix_fingerprint(convert(coo, "CSR"))
+
+
+class TestMemoisation:
+    def test_second_request_recomputes_nothing(self, engine, coo_small, rng):
+        """Acceptance criterion: zero stat/feature/tuner recomputation."""
+        x = rng.standard_normal(12)
+        r1 = engine.execute(coo_small, x)
+        assert not r1.from_cache
+        baseline = engine.counters.as_dict()
+        assert baseline["stats_misses"] == 1
+        assert baseline["decision_misses"] == 1
+        assert baseline["conversion_misses"] == 1
+        r2 = engine.execute(coo_small, rng.standard_normal(12))
+        assert r2.from_cache
+        after = engine.counters.as_dict()
+        # no category recorded a new miss: everything came from cache
+        assert after["stats_misses"] == baseline["stats_misses"]
+        assert after["decision_misses"] == baseline["decision_misses"]
+        assert after["conversion_misses"] == baseline["conversion_misses"]
+        assert after["decision_hits"] == baseline["decision_hits"] + 1
+        assert r2.overhead_seconds == 0.0
+
+    def test_feature_vector_memoised(self, engine, coo_small):
+        v1 = engine.features_for(coo_small)
+        v2 = engine.features_for(coo_small)
+        assert v1 is v2
+        assert engine.counters.feature_misses == 1
+        assert engine.counters.feature_hits == 1
+
+    def test_results_numerically_correct(self, engine, dense_small, rng):
+        m = COOMatrix.from_dense(dense_small)
+        x = rng.standard_normal(12)
+        res = engine.execute(m, x)
+        np.testing.assert_allclose(res.y, dense_small @ x, atol=1e-12)
+
+    def test_tuner_decision_applied(self, engine, coo_small, rng):
+        res = engine.execute(coo_small, rng.standard_normal(12))
+        report = engine.decision_for(coo_small)
+        assert res.format == report.format_name
+
+    def test_explicit_key_skips_hashing(self, engine, coo_small, rng):
+        r1 = engine.execute(coo_small, rng.standard_normal(12), key="mat-a")
+        r2 = engine.execute(coo_small, rng.standard_normal(12), key="mat-a")
+        assert r1.fingerprint == "mat-a"
+        assert r2.from_cache
+
+    def test_engine_without_tuner_serves_active_format(self, space, coo_small, rng):
+        eng = WorkloadEngine(space)
+        res = eng.execute(coo_small, rng.standard_normal(12))
+        assert res.format == "COO"
+        assert eng.seconds["tuning"] == 0.0
+
+
+class TestAccounting:
+    def test_overhead_charged_once(self, engine, coo_small, rng):
+        r1 = engine.execute(coo_small, rng.standard_normal(12))
+        assert r1.overhead_seconds > 0.0
+        tuning_after_first = engine.seconds["tuning"]
+        engine.execute(coo_small, rng.standard_normal(12))
+        assert engine.seconds["tuning"] == tuning_after_first
+
+    def test_spmv_seconds_accumulate(self, engine, coo_small, rng):
+        engine.execute(coo_small, rng.standard_normal(12), repetitions=10)
+        t1 = engine.seconds["spmv"]
+        assert t1 > 0.0
+        engine.execute(coo_small, rng.standard_normal(12), repetitions=10)
+        assert engine.seconds["spmv"] == pytest.approx(2 * t1)
+
+    def test_block_request_scales_by_traffic_factor(self, engine, coo_small, rng):
+        from repro.spmv.spmm import spmm_time_factor
+
+        r1 = engine.execute(coo_small, rng.standard_normal(12))
+        rk = engine.execute(coo_small, rng.standard_normal((12, 8)))
+        assert rk.seconds == pytest.approx(r1.seconds * spmm_time_factor(8))
+
+    def test_summary_and_reset(self, engine, coo_small, rng):
+        engine.execute(coo_small, rng.standard_normal(12))
+        report = engine.summary()
+        assert report["requests_served"] == 1
+        assert report["unique_matrices"] == 1
+        engine.reset_accounting()
+        assert engine.summary()["requests_served"] == 0
+        # caches stay warm after the reset
+        assert engine.execute(coo_small, rng.standard_normal(12)).from_cache
+
+
+class TestQueuedServing:
+    def test_flush_preserves_order_and_values(self, engine, dense_small, rng):
+        m = COOMatrix.from_dense(dense_small)
+        xs = [rng.standard_normal(12) for _ in range(4)]
+        for x in xs:
+            engine.submit(m, x)
+        assert engine.pending == 4
+        results = engine.flush()
+        assert engine.pending == 0
+        assert len(results) == 4
+        for x, res in zip(xs, results):
+            np.testing.assert_allclose(res.y, dense_small @ x, atol=1e-12)
+
+    def test_flush_tunes_once_per_matrix(self, engine, dense_small, dense_medium, rng):
+        a = DynamicMatrix(COOMatrix.from_dense(dense_small))
+        b = DynamicMatrix(COOMatrix.from_dense(dense_medium))
+        for _ in range(3):
+            engine.submit(a, rng.standard_normal(a.ncols), key="a")
+            engine.submit(b, rng.standard_normal(b.ncols), key="b")
+        results = engine.flush()
+        assert engine.counters.decision_misses == 2
+        assert engine.counters.decision_hits == 4
+        assert sum(not r.from_cache for r in results) == 2
+
+    def test_flush_handles_mixed_block_requests(self, engine, dense_small, rng):
+        m = COOMatrix.from_dense(dense_small)
+        x = rng.standard_normal(12)
+        X = rng.standard_normal((12, 3))
+        engine.submit(m, x)
+        engine.submit(m, X)
+        single, block = engine.flush()
+        np.testing.assert_allclose(single.y, dense_small @ x, atol=1e-12)
+        np.testing.assert_allclose(block.y, dense_small @ X, atol=1e-12)
+
+    def test_flush_empty_queue(self, engine):
+        assert engine.flush() == []
+
+    def test_submit_rejects_bad_operand_without_losing_queue(
+        self, engine, dense_small, rng
+    ):
+        """Regression: a malformed request must fail at submit, not flush."""
+        from repro.errors import ValidationError
+
+        m = COOMatrix.from_dense(dense_small)
+        good = rng.standard_normal(12)
+        engine.submit(m, good)
+        with pytest.raises(ValidationError):
+            engine.submit(m, np.ones(13))
+        with pytest.raises(ValidationError):
+            engine.submit(m, np.ones((13, 2)))
+        with pytest.raises(ValidationError):
+            engine.submit(m, np.ones((12, 2, 2)))
+        results = engine.flush()
+        assert len(results) == 1
+        np.testing.assert_allclose(results[0].y, dense_small @ good, atol=1e-12)
+
+    def test_cold_workload_reports_no_false_hits(self, space, dense_small, dense_medium):
+        """Regression: all-miss workloads must show a zero hit rate."""
+        eng = WorkloadEngine(space, tuner=RunFirstTuner())
+        eng.execute(COOMatrix.from_dense(dense_small), np.ones(12))
+        eng.execute(COOMatrix.from_dense(dense_medium), np.ones(60))
+        assert eng.counters.hits == 0
+        assert eng.counters.hit_rate == 0.0

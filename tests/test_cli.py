@@ -97,3 +97,34 @@ class TestTrainPredictTune:
     def test_missing_subcommand_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBatch:
+    def test_serves_workload_and_reports_caching(self, capsys):
+        assert main(
+            [
+                "batch",
+                "--system", "cirrus",
+                "--backend", "serial",
+                "-n", "4",
+                "--requests", "12",
+                "--seed", "7",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served               12 requests" in out
+        assert "decision cache" in out
+        assert "tuning overhead" in out
+
+    def test_requests_exceeding_corpus_reuse_matrices(self, capsys):
+        assert main(
+            [
+                "batch",
+                "--system", "p3",
+                "--backend", "cuda",
+                "-n", "2",
+                "--requests", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "over 2 matrices" in out
