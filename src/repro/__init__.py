@@ -21,6 +21,10 @@ The package re-creates the paper's full stack in pure Python/NumPy:
 * :mod:`repro.runtime` — the serving runtime: the kernel registry every
   dispatch resolves through, batched multi-vector execution, and the
   cached :class:`~repro.runtime.engine.WorkloadEngine`.
+* :mod:`repro.experiments` — declarative scenario suites
+  (:class:`ExperimentSpec`), the on-disk :class:`ArtifactStore`, and the
+  resumable :class:`ExperimentOrchestrator` running the offline pipeline
+  with parallel profiling (``repro run`` / ``repro resume``).
 
 Quickstart
 ----------
@@ -62,6 +66,13 @@ from repro.core import (
 )
 from repro.datasets import MatrixCollection
 from repro.runtime import WorkloadEngine, batched_spmv
+from repro.experiments import (
+    ArtifactStore,
+    CorpusSpec,
+    ExperimentOrchestrator,
+    ExperimentSpec,
+    TargetSpec,
+)
 
 __all__ = [
     "__version__",
@@ -93,4 +104,9 @@ __all__ = [
     "MatrixCollection",
     "WorkloadEngine",
     "batched_spmv",
+    "ArtifactStore",
+    "CorpusSpec",
+    "ExperimentOrchestrator",
+    "ExperimentSpec",
+    "TargetSpec",
 ]

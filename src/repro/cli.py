@@ -19,6 +19,13 @@ Subcommands mirror the paper's pipeline:
     Serve a synthetic SpMV workload through the cached
     :class:`~repro.runtime.engine.WorkloadEngine` and report cache hit
     rates and amortised tuning cost.
+``repro-oracle run suite.json --store ./store --jobs 4``
+    Run a declarative scenario suite through the resumable experiment
+    orchestrator; stage artifacts land in the store, so re-running (or
+    ``resume`` after a kill) serves completed stages from disk.
+``repro-oracle resume --store ./store``
+    Re-run the most recent suite recorded in the store, resuming from
+    its completed stage artifacts.
 """
 
 from __future__ import annotations
@@ -65,6 +72,13 @@ def _add_corpus_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=42)
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for matrix generation during profiling",
+    )
+
+
 def cmd_systems(_args: argparse.Namespace) -> int:
     print(f"{'system':<10}{'backends':<24}devices")
     print("-" * 70)
@@ -80,7 +94,7 @@ def cmd_systems(_args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     space = make_space(args.system, args.backend)
     collection = MatrixCollection(n_matrices=args.n_matrices, seed=args.seed)
-    profiling = profile_collection(collection, [space])
+    profiling = profile_collection(collection, [space], jobs=args.jobs)
     dist = profiling.format_distribution(space.name)
     print(f"optimal-format distribution on {space.name} "
           f"({args.n_matrices} matrices):")
@@ -96,7 +110,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_train(args: argparse.Namespace) -> int:
     space = make_space(args.system, args.backend)
     collection = MatrixCollection(n_matrices=args.n_matrices, seed=args.seed)
-    profiling = profile_collection(collection, [space])
+    profiling = profile_collection(collection, [space], jobs=args.jobs)
     train, test = collection.train_test_split()
     Xtr, ytr = build_dataset(collection, train, profiling, space.name)
     Xte, yte = build_dataset(collection, test, profiling, space.name)
@@ -192,6 +206,51 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_experiment(spec, store, jobs: int, until: str | None) -> int:
+    from repro.experiments import ExperimentOrchestrator
+
+    orchestrator = ExperimentOrchestrator(spec, store, jobs=jobs)
+    result = orchestrator.run(until=until)
+    print(f"experiment           {spec.name} "
+          f"(fingerprint {spec.fingerprint})")
+    print(f"corpus               {spec.corpus.n_matrices} matrices, "
+          f"seed {spec.corpus.seed}")
+    print(f"targets              {', '.join(spec.space_names)}")
+    for outcome in result.outcomes:
+        source = "store" if outcome.cached else "computed"
+        print(f"  {outcome.stage:<10} {source:<9} {outcome.seconds:8.3f} s "
+              f"[{outcome.key}]")
+    gen = orchestrator.collection.stats_computed
+    print(f"matrices generated   {gen}")
+    if result.model_paths:
+        print(f"models exported      {len(result.model_paths)} -> "
+              f"{orchestrator.model_dir}")
+    if result.report is not None:
+        for row in result.report["models"]:
+            acc = 100 * row["test_scores"]["tuned_accuracy"]
+            print(f"  {row['space']:<18} {row['algorithm']:<16} "
+                  f"tuned accuracy {acc:6.2f}%")
+    print(f"stages served from the artifact store: "
+          f"{result.cached_stages}/{result.total_stages}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ArtifactStore, ExperimentSpec
+
+    spec = ExperimentSpec.load(args.spec)
+    store = ArtifactStore(args.store)
+    return _run_experiment(spec, store, args.jobs, args.until)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.experiments import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    spec = store.load_spec(args.fingerprint)
+    return _run_experiment(spec, store, args.jobs, None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-oracle",
@@ -206,11 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile", help="optimal-format distribution")
     _add_target_args(p)
     _add_corpus_args(p)
+    _add_jobs_arg(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("train", help="train + tune a model (offline stage)")
     _add_target_args(p)
     _add_corpus_args(p)
+    _add_jobs_arg(p)
     p.add_argument("-o", "--output", required=True, help="model file path")
     p.add_argument(
         "--algorithm", default="random_forest",
@@ -251,6 +312,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "run", help="run a declarative scenario suite (resumable)"
+    )
+    p.add_argument("spec", help="experiment spec JSON file")
+    p.add_argument(
+        "--store", required=True,
+        help="artifact-store directory (stage outputs, models, spec)",
+    )
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--until", default=None,
+        choices=["profile", "dataset", "train", "export", "evaluate"],
+        help="stop after this stage (resume later with `resume`)",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "resume", help="resume the suite recorded in an artifact store"
+    )
+    p.add_argument(
+        "--store", required=True, help="artifact-store directory"
+    )
+    p.add_argument(
+        "--fingerprint", default=None,
+        help="spec fingerprint (default: the most recently run suite)",
+    )
+    _add_jobs_arg(p)
+    p.set_defaults(func=cmd_resume)
     return parser
 
 

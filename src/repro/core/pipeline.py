@@ -5,13 +5,18 @@ optimal format → **feature extraction** turns matrices into Table-I vectors
 → **training + grid-search tuning** produces baseline and tuned classifiers
 → **model extraction** writes Oracle model files into a
 :class:`ModelDatabase` for the online stage to load.
+
+The stage implementations live in :mod:`repro.experiments.stages`
+(config-driven, parallel, store-resumable); :func:`profile_collection` and
+:func:`train_tuned_model` are kept as thin compatibility wrappers over
+them.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,11 +25,10 @@ from repro.core.features import extract_features_from_stats
 from repro.core.model_io import OracleModel, load_model, save_model
 from repro.datasets.collection import MatrixCollection, MatrixSpec
 from repro.errors import TuningError, ValidationError
-from repro.formats.base import FORMAT_IDS
-from repro.ml.forest import RandomForestClassifier
-from repro.ml.metrics import accuracy_score, balanced_accuracy_score
-from repro.ml.model_selection import GridSearchCV
-from repro.ml.tree.classifier import DecisionTreeClassifier
+from repro.formats.base import FORMAT_IDS, FORMAT_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.store import ArtifactStore
 
 __all__ = [
     "ProfilingResult",
@@ -53,6 +57,8 @@ class ProfilingResult:
 
     times: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
     optimal: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: True when restored from an artifact store rather than computed.
+    from_store: bool = False
 
     def labels(self, space_name: str, names: Sequence[str]) -> np.ndarray:
         """Optimal-format ids for *names* on one space, in order."""
@@ -63,9 +69,8 @@ class ProfilingResult:
         """Fraction of matrices whose optimum is each format (Figure 2)."""
         table = self.optimal[space_name]
         counts = {fmt: 0 for fmt in FORMAT_IDS}
-        inv = {v: k for k, v in FORMAT_IDS.items()}
         for fid in table.values():
-            counts[inv[fid]] += 1
+            counts[FORMAT_NAMES[fid]] += 1
         total = max(1, len(table))
         return {fmt: c / total for fmt, c in counts.items()}
 
@@ -73,11 +78,17 @@ class ProfilingResult:
         """Per-matrix ``T_CSR / T_optimal`` (Figures 3 and 4)."""
         out = []
         for name, fmts in self.times[space_name].items():
-            best_id = self.optimal[space_name][name]
-            best_name = {v: k for k, v in FORMAT_IDS.items()}[best_id]
+            best_name = FORMAT_NAMES[self.optimal[space_name][name]]
             if omit_csr_optimal and best_name == "CSR":
                 continue
-            out.append(fmts["CSR"] / fmts[best_name])
+            best_time = fmts[best_name]
+            if best_time <= 0.0:
+                raise TuningError(
+                    f"degenerate profiling timing for {name!r} on "
+                    f"{space_name}: best format {best_name} has modelled "
+                    f"time {best_time!r}"
+                )
+            out.append(fmts["CSR"] / best_time)
         return np.asarray(out)
 
 
@@ -86,34 +97,32 @@ def profile_collection(
     spaces: Sequence[ExecutionSpace],
     *,
     specs: Sequence[MatrixSpec] | None = None,
+    jobs: int = 1,
+    store: "ArtifactStore | None" = None,
+    store_key: str | None = None,
 ) -> ProfilingResult:
     """Run the profiling stage: label the optimal format everywhere.
 
-    For every matrix and space the modelled runtime of one SpMV per format
-    is recorded and the minimum designates the optimum (the paper times
-    1000 repetitions; with deterministic per-pair noise the argmin over
-    one modelled iteration is equivalent).
+    Compatibility wrapper over
+    :func:`repro.experiments.stages.run_profile_stage`: for every matrix
+    and space the modelled runtime of one SpMV per format is recorded
+    (dispatched through each space's cached
+    :class:`~repro.runtime.engine.WorkloadEngine`) and the minimum
+    designates the optimum.
 
     Each matrix's :class:`~repro.machine.stats.MatrixStats` is resolved
     once through the collection's stats cache and shared across all
     *spaces* (and later by :func:`build_dataset`), so a profiling run
     generates every matrix exactly once regardless of how many spaces or
-    pipeline stages consume it.
+    pipeline stages consume it.  ``jobs`` fans matrix generation across a
+    worker pool; ``store``/``store_key`` make the stage resumable from an
+    :class:`~repro.experiments.store.ArtifactStore`.
     """
-    if specs is None:
-        specs = collection.specs
-    result = ProfilingResult()
-    for space in spaces:
-        result.times[space.name] = {}
-        result.optimal[space.name] = {}
-    for spec in specs:
-        stats = collection.stats(spec)
-        for space in spaces:
-            times = space.time_all_formats(stats, matrix_key=spec.name)
-            result.times[space.name][spec.name] = times
-            best = min(times, key=times.get)  # type: ignore[arg-type]
-            result.optimal[space.name][spec.name] = FORMAT_IDS[best]
-    return result
+    from repro.experiments.stages import run_profile_stage
+
+    return run_profile_stage(
+        collection, spaces, specs=specs, jobs=jobs, store=store, key=store_key
+    )
 
 
 def build_dataset(
@@ -200,18 +209,6 @@ class TrainedModel:
         )
 
 
-def _make_estimator(algorithm: str, seed: int) -> object:
-    if algorithm == "random_forest":
-        # scikit-learn-like defaults: 100 trees, unbounded depth
-        return RandomForestClassifier(n_estimators=100, seed=seed)
-    if algorithm == "decision_tree":
-        return DecisionTreeClassifier(seed=seed)
-    raise ValidationError(
-        f"unknown algorithm {algorithm!r}; expected "
-        "'random_forest' or 'decision_tree'"
-    )
-
-
 def train_tuned_model(
     X_train: np.ndarray,
     y_train: np.ndarray,
@@ -228,53 +225,26 @@ def train_tuned_model(
 ) -> TrainedModel:
     """Train the baseline, grid-search the tuned model, score both.
 
-    Follows Section VII-D: 5-fold CV grid search on the training split,
-    refit on the full training set, report accuracy and balanced accuracy
-    on the untouched test split.
+    Compatibility wrapper over
+    :func:`repro.experiments.stages.train_model`.  Follows Section VII-D:
+    5-fold CV grid search on the training split, refit on the full
+    training set, report accuracy and balanced accuracy on the untouched
+    test split.
     """
-    if np.unique(y_train).shape[0] < 2:
-        raise TuningError(
-            "training labels contain a single class; profiling produced a "
-            "degenerate dataset"
-        )
-    baseline = _make_estimator(algorithm, seed)
-    baseline.fit(X_train, y_train)
+    from repro.experiments.stages import train_model
 
-    search_grid = grid
-    if search_grid is None:
-        search_grid = (
-            DEFAULT_RF_GRID if algorithm == "random_forest" else DEFAULT_DT_GRID
-        )
-    search = GridSearchCV(
-        _make_estimator(algorithm, seed),
-        search_grid,
+    return train_model(
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+        algorithm=algorithm,
+        grid=grid,
         cv=cv,
         scoring=scoring,
         seed=seed,
-    )
-    search.fit(X_train, y_train)
-    tuned = search.best_estimator_
-
-    scores = {
-        "baseline_accuracy": accuracy_score(y_test, baseline.predict(X_test)),
-        "baseline_balanced_accuracy": balanced_accuracy_score(
-            y_test, baseline.predict(X_test)
-        ),
-        "tuned_accuracy": accuracy_score(y_test, tuned.predict(X_test)),
-        "tuned_balanced_accuracy": balanced_accuracy_score(
-            y_test, tuned.predict(X_test)
-        ),
-    }
-    return TrainedModel(
-        algorithm=algorithm,
         system=system,
         backend=backend,
-        baseline=baseline,
-        tuned=tuned,
-        baseline_params=baseline.get_params(),
-        tuned_params=search.best_params_,
-        cv_best_score=search.best_score_,
-        test_scores=scores,
     )
 
 

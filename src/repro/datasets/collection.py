@@ -14,7 +14,7 @@ more diverse on GPUs — the qualitative shape of the paper's Figure 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +24,12 @@ from repro.formats.coo import COOMatrix
 from repro.machine.stats import MatrixStats
 from repro.utils.rng import derive_seed, ensure_generator
 
-__all__ = ["MatrixSpec", "MatrixCollection"]
+__all__ = [
+    "MatrixSpec",
+    "MatrixCollection",
+    "GENERATOR_FAMILIES",
+    "resolve_family_mix",
+]
 
 
 @dataclass(frozen=True)
@@ -157,6 +162,50 @@ def _sample_params(
     raise DatasetError(f"no parameter sampler for family {family!r}")
 
 
+#: Families a collection can draw from (those with a parameter sampler).
+GENERATOR_FAMILIES: Tuple[str, ...] = tuple(fam for fam, _ in _family_mix())
+
+
+def resolve_family_mix(
+    families: Mapping[str, float] | Sequence[Tuple[str, float]] | None,
+    *,
+    error: type = DatasetError,
+) -> Tuple[Tuple[str, float], ...]:
+    """Canonicalise a family -> weight mix; ``None`` means the default mix.
+
+    Accepts a mapping or (family, weight) pairs in any order and returns
+    them in the default-mix order, so equal mixes always canonicalise
+    identically — this single function defines what "the same corpus"
+    means for both :class:`MatrixCollection` and the experiment specs
+    that fingerprint it.  Validation failures raise *error*.
+    """
+    if families is None:
+        return tuple(_family_mix())
+    pairs = families.items() if isinstance(families, Mapping) else families
+    try:
+        entries = [(fam, weight) for fam, weight in pairs]
+    except (TypeError, ValueError) as exc:
+        raise error(
+            "family mix must be a mapping or (family, weight) pairs, "
+            f"got {families!r}"
+        ) from exc
+    mix: Dict[str, float] = {}
+    for fam, weight in entries:
+        if fam not in GENERATOR_FAMILIES:
+            raise error(
+                f"unknown matrix family {fam!r}; expected one of "
+                f"{sorted(GENERATOR_FAMILIES)}"
+            )
+        if fam in mix:
+            raise error(f"duplicate matrix family {fam!r}")
+        if not weight > 0:
+            raise error(f"family weight for {fam!r} must be > 0, got {weight!r}")
+        mix[fam] = float(weight)
+    if not mix:
+        raise error("family mix must not be empty")
+    return tuple((fam, mix[fam]) for fam in GENERATOR_FAMILIES if fam in mix)
+
+
 class MatrixCollection:
     """A reproducible corpus of square sparse matrices.
 
@@ -166,6 +215,12 @@ class MatrixCollection:
         Corpus size; the paper uses ~2200.
     seed:
         Master seed; every spec derives its own generation seed from it.
+    families:
+        Optional family -> weight mapping overriding the default mix, so
+        scenario suites can open structurally biased corpora (all-banded,
+        graph-heavy, ...) without new data files.  Weights are relative;
+        every family must have a parameter sampler
+        (:data:`GENERATOR_FAMILIES`).
 
     Examples
     --------
@@ -177,19 +232,27 @@ class MatrixCollection:
     True
     """
 
-    def __init__(self, n_matrices: int = 2200, seed: int = 42) -> None:
+    def __init__(
+        self,
+        n_matrices: int = 2200,
+        seed: int = 42,
+        *,
+        families: Mapping[str, float] | None = None,
+    ) -> None:
         if n_matrices < 1:
             raise DatasetError("n_matrices must be >= 1")
         self.seed = int(seed)
         self.n_matrices = int(n_matrices)
+        self.families = resolve_family_mix(families)
         self._specs = self._build_specs()
+        self._names = {s.name for s in self._specs}
         self._stats_cache: Dict[str, MatrixStats] = {}
         self._stats_requests = 0
         self._stats_computed = 0
 
     # ------------------------------------------------------------------
     def _build_specs(self) -> List[MatrixSpec]:
-        mix = _family_mix()
+        mix = list(self.families)
         total_w = sum(w for _, w in mix)
         counts = {
             fam: int(round(self.n_matrices * w / total_w)) for fam, w in mix
@@ -261,6 +324,29 @@ class MatrixCollection:
             self._stats_cache[spec.name] = MatrixStats.from_matrix(matrix)
             self._stats_computed += 1
         return self._stats_cache[spec.name]
+
+    def has_stats(self, name: str) -> bool:
+        """True when *name*'s stats are already cached (no generation)."""
+        return name in self._stats_cache
+
+    def prime_stats(
+        self, name: str, stats: MatrixStats, *, computed: bool = True
+    ) -> None:
+        """Adopt externally computed *stats* for matrix *name*.
+
+        Worker pools generate matrices out-of-process and hand the stats
+        back here; ``computed=True`` (default) counts that generation in
+        :attr:`stats_computed` so the accounting stays honest.  Stats
+        restored from an artifact store pass ``computed=False`` — nothing
+        was generated, which is exactly what resume tests assert.
+        """
+        if name not in self._names:
+            raise DatasetError(f"no matrix named {name!r} in the collection")
+        if name in self._stats_cache:
+            return
+        self._stats_cache[name] = stats
+        if computed:
+            self._stats_computed += 1
 
     @property
     def stats_requests(self) -> int:

@@ -12,7 +12,7 @@ from repro.core.pipeline import ProfilingResult
 from repro.core.tune import tune_multiply
 from repro.core.tuners.base import Tuner
 from repro.datasets.collection import MatrixCollection, MatrixSpec
-from repro.formats.base import FORMAT_IDS
+from repro.formats.base import FORMAT_NAMES
 from repro.formats.dynamic import DynamicMatrix
 
 __all__ = [
@@ -161,7 +161,6 @@ def backend_flip_analysis(
     Returns the fraction of matrices whose optimal format differs between
     the two spaces and the most common (a-format -> b-format) transitions.
     """
-    inv = {v: k for k, v in FORMAT_IDS.items()}
     table_a = profiling.optimal[space_a]
     table_b = profiling.optimal[space_b]
     names = sorted(set(table_a) & set(table_b))
@@ -173,7 +172,7 @@ def backend_flip_analysis(
         a, b = table_a[name], table_b[name]
         if a != b:
             flips += 1
-            key = f"{inv[a]}->{inv[b]}"
+            key = f"{FORMAT_NAMES[a]}->{FORMAT_NAMES[b]}"
             transitions[key] = transitions.get(key, 0) + 1
     ordered = dict(
         sorted(transitions.items(), key=lambda kv: -kv[1])
@@ -189,9 +188,9 @@ def confusion_by_format(
     y_true: np.ndarray, y_pred: np.ndarray
 ) -> Dict[str, Dict[str, int]]:
     """Readable confusion counts keyed by format name (diagnostics)."""
-    inv = {v: k for k, v in FORMAT_IDS.items()}
     out: Dict[str, Dict[str, int]] = {}
     for t, p in zip(y_true, y_pred):
-        row = out.setdefault(inv[int(t)], {})
-        row[inv[int(p)]] = row.get(inv[int(p)], 0) + 1
+        row = out.setdefault(FORMAT_NAMES[int(t)], {})
+        pred = FORMAT_NAMES[int(p)]
+        row[pred] = row.get(pred, 0) + 1
     return out

@@ -1,0 +1,54 @@
+"""Resumable, scenario-diverse experiment orchestration.
+
+The experiments layer turns the hard-coded offline pipeline into a
+config-driven engine:
+
+* :mod:`~repro.experiments.spec` — :class:`ExperimentSpec`, a declarative
+  scenario suite (parametric corpus x targets x algorithms x grids) with
+  a stable content fingerprint.
+* :mod:`~repro.experiments.store` — :class:`ArtifactStore`, the on-disk
+  stage-output cache keyed by input fingerprints (the resume mechanism).
+* :mod:`~repro.experiments.stages` — the five pipeline stages; profiling
+  dispatches through the cached :class:`~repro.runtime.engine.WorkloadEngine`
+  and fans matrix generation across a process pool.
+* :mod:`~repro.experiments.orchestrator` —
+  :class:`ExperimentOrchestrator`, the staged DAG runner behind
+  ``repro run`` / ``repro resume``.
+"""
+
+from repro.experiments.orchestrator import (
+    STAGES,
+    ExperimentOrchestrator,
+    ExperimentResult,
+    StageOutcome,
+)
+from repro.experiments.spec import (
+    ALGORITHMS,
+    GRID_PRESETS,
+    CorpusSpec,
+    ExperimentSpec,
+    TargetSpec,
+)
+from repro.experiments.stages import (
+    TrainOutcome,
+    compute_collection_stats,
+    run_profile_stage,
+)
+from repro.experiments.store import ArtifactStore, stage_key
+
+__all__ = [
+    "ALGORITHMS",
+    "GRID_PRESETS",
+    "STAGES",
+    "ArtifactStore",
+    "CorpusSpec",
+    "ExperimentOrchestrator",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "StageOutcome",
+    "TargetSpec",
+    "TrainOutcome",
+    "compute_collection_stats",
+    "run_profile_stage",
+    "stage_key",
+]

@@ -1,0 +1,355 @@
+"""Config-driven, resumable orchestrator for the offline pipeline.
+
+:class:`ExperimentOrchestrator` runs one :class:`ExperimentSpec` through
+the staged DAG ``profile -> dataset -> train -> export -> evaluate``.
+Each stage's store key is a digest of the stage name and its input
+fingerprints (spec content + upstream keys), so
+
+* a killed run re-invoked with the same spec and store resumes from the
+  last completed stage with cache hits,
+* a second identical run performs **zero** matrix generations and is
+  served entirely from the artifact store,
+* two suites sharing a corpus and targets but differing in training axes
+  share the (expensive) profile artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.collection import (
+    MatrixCollection,
+    MatrixSpec,
+    resolve_family_mix,
+)
+from repro.errors import ValidationError
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.stages import (
+    TrainOutcome,
+    export_is_current,
+    run_dataset_stage,
+    run_evaluate_stage,
+    run_export_stage,
+    run_profile_stage,
+    run_train_stage,
+)
+from repro.experiments.store import ArtifactStore, stage_key
+
+__all__ = ["STAGES", "StageOutcome", "ExperimentResult", "ExperimentOrchestrator"]
+
+#: DAG order; ``run(until=...)`` accepts any prefix endpoint.
+STAGES: Tuple[str, ...] = ("profile", "dataset", "train", "export", "evaluate")
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One executed stage: its store key, cache disposition and wall time."""
+
+    stage: str
+    key: str
+    cached: bool
+    seconds: float
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a completed (or truncated) run produced."""
+
+    spec: ExperimentSpec
+    outcomes: List[StageOutcome] = field(default_factory=list)
+    profiling: object = None
+    datasets: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    trained: List[TrainOutcome] = field(default_factory=list)
+    model_paths: List[str] = field(default_factory=list)
+    report: Optional[dict] = None
+
+    @property
+    def cached_stages(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def total_stages(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every executed stage was served from the store."""
+        return bool(self.outcomes) and all(o.cached for o in self.outcomes)
+
+
+class ExperimentOrchestrator:
+    """Run an :class:`ExperimentSpec` through the resumable stage DAG.
+
+    Parameters
+    ----------
+    spec:
+        The declarative scenario suite to run.
+    store:
+        Artifact store for stage outputs; pass ``None`` for a one-shot,
+        non-resumable in-memory run.
+    collection:
+        Pre-built corpus (mainly for tests asserting generation counters);
+        defaults to ``spec.corpus.build()``.
+    jobs:
+        Worker processes for the profiling stage's matrix generation.
+    model_dir:
+        Model-database directory for the export stage; defaults to
+        ``<store root>/models/<spec fingerprint>`` so suites sharing a
+        store cannot overwrite each other's exported models (a store-less
+        run requires an explicit path).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        store: Optional[ArtifactStore] = None,
+        *,
+        collection: Optional[MatrixCollection] = None,
+        jobs: int = 1,
+        model_dir: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValidationError(f"jobs must be >= 1, got {jobs}")
+        if store is None and model_dir is None:
+            raise ValidationError(
+                "a store-less orchestrator needs an explicit model_dir"
+            )
+        self.spec = spec
+        self.store = store
+        self.jobs = int(jobs)
+        if collection is None:
+            collection = spec.corpus.build()
+        else:
+            # a mismatched collection would store artifacts under the
+            # spec's fingerprint while holding a different corpus,
+            # silently poisoning every later run against this store
+            expected = spec.corpus
+            matches = (
+                collection.n_matrices == expected.n_matrices
+                and collection.seed == expected.seed
+                and tuple(collection.families)
+                == resolve_family_mix(expected.families)
+            )
+            if not matches:
+                raise ValidationError(
+                    "collection does not match spec.corpus: expected "
+                    f"n_matrices={expected.n_matrices} seed={expected.seed}"
+                    f" families={expected.families or 'default'}, got "
+                    f"n_matrices={collection.n_matrices} "
+                    f"seed={collection.seed}"
+                )
+        self.collection = collection
+        self.model_dir = (
+            model_dir
+            if model_dir is not None
+            else os.path.join(store.root, "models", spec.fingerprint)
+        )
+        from repro.backends import make_space
+
+        self.spaces = [
+            make_space(t.system, t.backend) for t in spec.targets
+        ]
+        #: Per-space engines the profiling stage dispatches through.
+        self.engines: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # stage keys: digests chaining the spec content through the DAG
+    # ------------------------------------------------------------------
+    def profile_key(self) -> str:
+        # test_fraction does not influence profiling (it keys the dataset
+        # stage), so suites differing only in the split share the artifact
+        corpus = {
+            k: v
+            for k, v in self.spec.corpus.to_dict().items()
+            if k != "test_fraction"
+        }
+        canonical = json.dumps(corpus, sort_keys=True, separators=(",", ":"))
+        return stage_key("profile", canonical, *sorted(self.spec.space_names))
+
+    def dataset_key(self, space_name: str) -> str:
+        return stage_key(
+            "dataset",
+            self.profile_key(),
+            space_name,
+            repr(self.spec.corpus.test_fraction),
+        )
+
+    def train_key(self, space_name: str, algorithm: str) -> str:
+        grid = self.spec.resolve_grid(algorithm)
+        grid_repr = (
+            json.dumps(
+                {k: list(v) for k, v in grid.items()},
+                sort_keys=True,
+                separators=(",", ":"),
+                default=str,
+            )
+            if grid is not None
+            else "default"
+        )
+        return stage_key(
+            "train",
+            self.dataset_key(space_name),
+            algorithm,
+            grid_repr,
+            str(self.spec.cv),
+            str(self.spec.train_seed),
+        )
+
+    def _train_cells(self) -> List[Tuple[str, str, str, str]]:
+        """(system, backend, space_name, algorithm) in deterministic order."""
+        return [
+            (t.system, t.backend, t.space_name, algo)
+            for t in self.spec.targets
+            for algo in self.spec.algorithms
+        ]
+
+    def export_key(self) -> str:
+        keys = [
+            self.train_key(space, algo)
+            for _, _, space, algo in self._train_cells()
+        ]
+        return stage_key("export", self.model_dir, *keys)
+
+    def evaluate_key(self) -> str:
+        keys = [
+            self.train_key(space, algo)
+            for _, _, space, algo in self._train_cells()
+        ]
+        return stage_key("evaluate", self.profile_key(), *keys)
+
+    # ------------------------------------------------------------------
+    def _splits(self) -> Tuple[List[MatrixSpec], List[MatrixSpec]]:
+        return self.collection.train_test_split(
+            test_fraction=self.spec.corpus.test_fraction
+        )
+
+    def run(self, *, until: Optional[str] = None) -> ExperimentResult:
+        """Execute the DAG, resuming from the store where possible.
+
+        ``until`` names the last stage to run (a prefix of :data:`STAGES`)
+        — the hook that lets tests and operators stop a run "mid-flight"
+        and later resume it.
+        """
+        if until is not None and until not in STAGES:
+            raise ValidationError(
+                f"unknown stage {until!r}; expected one of {list(STAGES)}"
+            )
+        if self.store is not None:
+            self.store.save_spec(self.spec)
+        result = ExperimentResult(spec=self.spec)
+        last = STAGES.index(until) if until is not None else len(STAGES) - 1
+
+        # -- profile ----------------------------------------------------
+        key = self.profile_key()
+        t0 = time.perf_counter()
+        result.profiling = run_profile_stage(
+            self.collection,
+            self.spaces,
+            jobs=self.jobs,
+            store=self.store,
+            key=key,
+            engines=self.engines,
+        )
+        # cached only when the artifact was actually adopted — a stale or
+        # mismatched payload falls back to computing
+        result.outcomes.append(
+            StageOutcome(
+                "profile",
+                key,
+                result.profiling.from_store,
+                time.perf_counter() - t0,
+            )
+        )
+        if last < STAGES.index("dataset"):
+            return result
+
+        # -- dataset ----------------------------------------------------
+        train_specs, test_specs = self._splits()
+        for target in self.spec.targets:
+            key = self.dataset_key(target.space_name)
+            cached = self.store is not None and self.store.has("dataset", key)
+            t0 = time.perf_counter()
+            result.datasets[target.space_name] = run_dataset_stage(
+                self.collection,
+                train_specs,
+                test_specs,
+                result.profiling,
+                target.space_name,
+                store=self.store,
+                key=key,
+            )
+            result.outcomes.append(
+                StageOutcome("dataset", key, cached, time.perf_counter() - t0)
+            )
+        if last < STAGES.index("train"):
+            return result
+
+        # -- train ------------------------------------------------------
+        for system, backend, space_name, algorithm in self._train_cells():
+            key = self.train_key(space_name, algorithm)
+            cached = self.store is not None and self.store.has("train", key)
+            t0 = time.perf_counter()
+            result.trained.append(
+                run_train_stage(
+                    result.datasets[space_name],
+                    algorithm=algorithm,
+                    system=system,
+                    backend=backend,
+                    grid=self.spec.resolve_grid(algorithm),
+                    cv=self.spec.cv,
+                    seed=self.spec.train_seed,
+                    store=self.store,
+                    key=key,
+                )
+            )
+            result.outcomes.append(
+                StageOutcome("train", key, cached, time.perf_counter() - t0)
+            )
+        if last < STAGES.index("export"):
+            return result
+
+        # -- export -----------------------------------------------------
+        key = self.export_key()
+        t0 = time.perf_counter()
+        current = (
+            export_is_current(self.store, key)
+            if self.store is not None
+            else None
+        )
+        cached = current is not None
+        result.model_paths = (
+            current
+            if current is not None
+            else run_export_stage(
+                result.trained,
+                self.model_dir,
+                store=self.store,
+                key=key,
+                check_store=False,  # the lookup above already missed
+            )
+        )
+        result.outcomes.append(
+            StageOutcome("export", key, cached, time.perf_counter() - t0)
+        )
+        if last < STAGES.index("evaluate"):
+            return result
+
+        # -- evaluate ---------------------------------------------------
+        key = self.evaluate_key()
+        cached = self.store is not None and self.store.has("evaluate", key)
+        t0 = time.perf_counter()
+        result.report = run_evaluate_stage(
+            result.profiling,
+            result.trained,
+            self.spec.space_names,
+            store=self.store,
+            key=key,
+        )
+        result.outcomes.append(
+            StageOutcome("evaluate", key, cached, time.perf_counter() - t0)
+        )
+        return result

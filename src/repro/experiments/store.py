@@ -1,0 +1,151 @@
+"""On-disk artifact store keyed by stage-input fingerprints.
+
+Every orchestrator stage writes its output here under
+``<root>/<stage>/<key>.json`` where ``key`` is a digest of the stage name,
+the experiment fingerprint and the upstream stage keys.  A killed or
+re-invoked run recomputes the same keys, finds the artifacts, and resumes
+with cache hits instead of regeneration — the store is the whole resume
+mechanism, there is no separate checkpoint format.
+
+Writes are atomic (temp file + ``os.replace``) so a run killed mid-write
+never leaves a truncated artifact that would poison the resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ValidationError
+from repro.experiments.spec import ExperimentSpec
+
+__all__ = ["ArtifactStore", "stage_key"]
+
+PathLike = Union[str, os.PathLike]
+
+_SPEC_DIR = "experiments"
+_LATEST = "LATEST"
+
+
+def stage_key(stage: str, *parts: str) -> str:
+    """Digest of a stage name plus its input fingerprints (store key)."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(stage.encode())
+    for part in parts:
+        h.update(b"\x00")
+        h.update(str(part).encode())
+    return h.hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifact directory with hit/miss accounting."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, stage: str, key: str) -> str:
+        for field_name, value in (("stage", stage), ("key", key)):
+            if (
+                not value
+                or value in (".", "..")
+                or os.sep in value
+                or value != os.path.basename(value)
+            ):
+                raise ValidationError(
+                    f"artifact {field_name} {value!r} must be a bare name"
+                )
+        return os.path.join(self.root, stage, f"{key}.json")
+
+    def has(self, stage: str, key: str) -> bool:
+        """True when an artifact exists (does not count as a lookup)."""
+        return os.path.exists(self._path(stage, key))
+
+    def get(self, stage: str, key: str) -> Optional[dict]:
+        """Load an artifact payload, or ``None`` on a miss."""
+        path = self._path(stage, key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        self.hits += 1
+        return payload
+
+    def put(self, stage: str, key: str, payload: dict) -> str:
+        """Atomically write an artifact; returns its path."""
+        path = self._path(stage, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    # ------------------------------------------------------------------
+    # experiment specs: stored alongside artifacts so `repro resume` can
+    # re-run without the user re-supplying the spec file
+    # ------------------------------------------------------------------
+    def save_spec(self, spec: ExperimentSpec) -> str:
+        """Persist *spec* under its fingerprint and mark it latest."""
+        spec_dir = os.path.join(self.root, _SPEC_DIR)
+        os.makedirs(spec_dir, exist_ok=True)
+        path = os.path.join(spec_dir, f"{spec.fingerprint}.json")
+        spec.save(path)
+        latest_tmp = os.path.join(self.root, f".{_LATEST}.tmp")
+        with open(latest_tmp, "w", encoding="utf-8") as fh:
+            fh.write(spec.fingerprint + "\n")
+        os.replace(latest_tmp, os.path.join(self.root, _LATEST))
+        return path
+
+    def load_spec(self, fingerprint: Optional[str] = None) -> ExperimentSpec:
+        """Load a stored spec; defaults to the most recently saved one."""
+        if fingerprint is None:
+            latest = os.path.join(self.root, _LATEST)
+            if not os.path.exists(latest):
+                raise ValidationError(
+                    f"no experiment spec recorded in {self.root}; run "
+                    "`repro run <spec>` first"
+                )
+            with open(latest, "r", encoding="utf-8") as fh:
+                fingerprint = fh.read().strip()
+        path = os.path.join(self.root, _SPEC_DIR, f"{fingerprint}.json")
+        if not os.path.exists(path):
+            raise ValidationError(
+                f"no spec with fingerprint {fingerprint!r} in {self.root}"
+            )
+        return ExperimentSpec.load(path)
+
+    def list_specs(self) -> List[str]:
+        """Fingerprints of all stored experiment specs."""
+        spec_dir = os.path.join(self.root, _SPEC_DIR)
+        if not os.path.isdir(spec_dir):
+            return []
+        return sorted(
+            f[: -len(".json")]
+            for f in os.listdir(spec_dir)
+            if f.endswith(".json")
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Lookup accounting for reports and smoke assertions."""
+        total = self.hits + self.misses
+        return {
+            "root": self.root,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -12,6 +12,7 @@ the modelled runtime of every format.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -107,6 +108,19 @@ class MatrixStats:
             hyb_ell_nnz=hyb_ell_nnz,
             hyb_coo_nnz=nnz - hyb_ell_nnz,
         )
+
+    # ------------------------------------------------------------------
+    # plain-dict serialisation (artifact stores, worker-pool transfer)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Field dict of plain scalars (JSON-safe, :meth:`from_dict` inverse)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MatrixStats":
+        """Rebuild from a :meth:`to_dict` payload (extra keys ignored)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
     # ------------------------------------------------------------------
     @property

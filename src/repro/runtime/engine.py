@@ -10,7 +10,9 @@ fingerprint:
 * the :class:`~repro.machine.stats.MatrixStats` structural summary,
 * the Table-I feature vector,
 * the tuner's format decision (paying ``T_FE + T_PRED`` exactly once),
-* the format-converted container serving the requests.
+* the format-converted container serving the requests,
+* the per-format profiling timings (:meth:`WorkloadEngine.profile_formats`),
+  which the offline pipeline's profiling stage dispatches through.
 
 Every cache records hits and misses (:class:`CacheCounters`) and every
 modelled second is accounted per category (tuning / conversion / spmv), so
@@ -107,6 +109,8 @@ class CacheCounters:
     decision_misses: int = 0
     conversion_hits: int = 0
     conversion_misses: int = 0
+    profile_hits: int = 0
+    profile_misses: int = 0
 
     @property
     def hits(self) -> int:
@@ -116,6 +120,7 @@ class CacheCounters:
             + self.feature_hits
             + self.decision_hits
             + self.conversion_hits
+            + self.profile_hits
         )
 
     @property
@@ -126,6 +131,7 @@ class CacheCounters:
             + self.feature_misses
             + self.decision_misses
             + self.conversion_misses
+            + self.profile_misses
         )
 
     @property
@@ -145,6 +151,8 @@ class CacheCounters:
             "decision_misses": self.decision_misses,
             "conversion_hits": self.conversion_hits,
             "conversion_misses": self.conversion_misses,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
         }
 
 
@@ -211,6 +219,7 @@ class WorkloadEngine:
         self._features: Dict[str, np.ndarray] = {}
         self._reports: Dict[str, "TuningReport"] = {}
         self._prepared: Dict[str, SparseMatrix] = {}
+        self._format_times: Dict[str, Dict[str, float]] = {}
         self._queue: List[_Pending] = []
 
     # ------------------------------------------------------------------
@@ -248,6 +257,52 @@ class WorkloadEngine:
         vec = extract_features_from_stats(self.stats_for(matrix, key=fp))
         self._features[fp] = vec
         return vec
+
+    def prime_stats(self, key: str, stats: MatrixStats) -> None:
+        """Adopt externally computed *stats* under cache key *key*.
+
+        Lets orchestrators that resolved stats elsewhere (a collection
+        cache, a worker pool, an artifact store) share them with the
+        engine without re-deriving them from a materialised matrix.
+        """
+        self._stats.setdefault(key, stats)
+
+    def profile_formats(
+        self,
+        matrix: Optional[MatrixLike] = None,
+        *,
+        key: Optional[str] = None,
+        stats: Optional[MatrixStats] = None,
+    ) -> Dict[str, float]:
+        """Memoised per-format single-SpMV timings (the profiling probe).
+
+        The offline pipeline's profiling stage asks this once per
+        (matrix, space); re-profiling the same fingerprint — a resumed
+        run, a second suite sharing matrices — is a cache hit.  Accepts
+        either a *matrix*, or ``key`` + ``stats`` when the caller already
+        holds the structural summary (no materialisation needed).
+        """
+        if matrix is None and key is None:
+            raise ValidationError(
+                "profile_formats needs a matrix or an explicit key"
+            )
+        fp = key if matrix is None else self.fingerprint(matrix, key=key)
+        if fp in self._format_times:
+            self.counters.profile_hits += 1
+            return dict(self._format_times[fp])
+        self.counters.profile_misses += 1
+        if stats is not None:
+            self.prime_stats(fp, stats)
+        elif matrix is None:
+            raise ValidationError(
+                "profile_formats with a bare key also needs stats"
+            )
+        times = self.space.time_all_formats(
+            self.stats_for(matrix, key=fp) if stats is None else stats,
+            matrix_key=fp,
+        )
+        self._format_times[fp] = dict(times)
+        return dict(times)
 
     def decision_for(
         self, matrix: MatrixLike, *, key: Optional[str] = None

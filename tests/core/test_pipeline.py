@@ -257,3 +257,22 @@ class TestProfilingResultUnit:
         pr = ProfilingResult()
         assert pr.times == {}
         assert pr.optimal == {}
+
+    def test_zero_best_timing_raises_tuning_error(self):
+        """Regression: degenerate cost-model output must not surface as a
+        ZeroDivisionError."""
+        pr = ProfilingResult(
+            times={"s": {"m": {"CSR": 1.0, "DIA": 0.0}}},
+            optimal={"s": {"m": 2}},  # DIA
+        )
+        with pytest.raises(TuningError):
+            pr.speedup_vs_csr("s")
+
+    def test_zero_csr_timing_on_csr_optimal_matrix_is_omitted(self):
+        pr = ProfilingResult(
+            times={"s": {"m": {"CSR": 0.0, "DIA": 1.0}}},
+            optimal={"s": {"m": 1}},  # CSR: omitted by default
+        )
+        assert pr.speedup_vs_csr("s").size == 0
+        with pytest.raises(TuningError):
+            pr.speedup_vs_csr("s", omit_csr_optimal=False)

@@ -138,3 +138,77 @@ class TestStatsCache:
         fresh = MatrixCollection(n_matrices=60, seed=42)
         fresh.load_stats_cache(path)
         assert spec.name in fresh._stats_cache
+
+
+class TestFamilyMix:
+    def test_custom_mix_restricts_families(self):
+        coll = MatrixCollection(
+            n_matrices=12, seed=3,
+            families={"banded": 2.0, "powerlaw": 1.0},
+        )
+        fams = {s.family for s in coll.specs}
+        assert fams <= {"banded", "powerlaw"}
+        assert len(coll) == 12
+
+    def test_mix_order_does_not_change_corpus(self):
+        a = MatrixCollection(
+            n_matrices=10, seed=3, families={"banded": 1.0, "powerlaw": 2.0}
+        )
+        b = MatrixCollection(
+            n_matrices=10, seed=3, families={"powerlaw": 2.0, "banded": 1.0}
+        )
+        assert a.specs == b.specs
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(DatasetError):
+            MatrixCollection(n_matrices=5, families={"nonesuch": 1.0})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(DatasetError):
+            MatrixCollection(n_matrices=5, families={"banded": 0.0})
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(DatasetError):
+            MatrixCollection(n_matrices=5, families={})
+
+
+class TestPrimeStats:
+    def test_prime_counts_as_computed_and_prevents_generation(self):
+        from repro.machine import MatrixStats
+
+        coll = MatrixCollection(n_matrices=4, seed=1)
+        spec = coll.specs[0]
+        stats = MatrixStats.from_matrix(spec.generate())
+        coll.prime_stats(spec.name, stats)
+        assert coll.has_stats(spec.name)
+        assert coll.stats_computed == 1
+        assert coll.stats(spec) is stats
+        assert coll.stats_computed == 1  # cache hit, no regeneration
+
+    def test_prime_from_store_does_not_count(self):
+        from repro.machine import MatrixStats
+
+        coll = MatrixCollection(n_matrices=4, seed=1)
+        spec = coll.specs[0]
+        stats = MatrixStats.from_matrix(spec.generate())
+        coll.prime_stats(spec.name, stats, computed=False)
+        assert coll.stats_computed == 0
+        assert coll.stats(spec) is stats
+
+    def test_prime_unknown_name_rejected(self):
+        from repro.machine import MatrixStats
+
+        coll = MatrixCollection(n_matrices=4, seed=1)
+        stats = MatrixStats.from_matrix(coll.specs[0].generate())
+        with pytest.raises(DatasetError):
+            coll.prime_stats("nonesuch", stats)
+
+    def test_prime_does_not_overwrite(self):
+        from repro.machine import MatrixStats
+
+        coll = MatrixCollection(n_matrices=4, seed=1)
+        spec = coll.specs[0]
+        first = coll.stats(spec)
+        other = MatrixStats.from_matrix(coll.specs[1].generate())
+        coll.prime_stats(spec.name, other)
+        assert coll.stats(spec) is first

@@ -1,0 +1,181 @@
+"""Tests for declarative experiment specs and their fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import DEFAULT_RF_GRID, SMALL_RF_GRID
+from repro.errors import ValidationError
+from repro.experiments import CorpusSpec, ExperimentSpec, TargetSpec
+
+
+def make_spec(**overrides) -> ExperimentSpec:
+    kwargs = dict(
+        name="suite",
+        corpus=CorpusSpec(n_matrices=24, seed=5),
+        targets=(TargetSpec("cirrus", "serial"), TargetSpec("p3", "cuda")),
+        algorithms=("random_forest",),
+        grid={"n_estimators": [4], "max_depth": [6]},
+        cv=3,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec(**kwargs)
+
+
+class TestCorpusSpec:
+    def test_build_matches_parameters(self):
+        coll = CorpusSpec(n_matrices=12, seed=9).build()
+        assert len(coll) == 12
+        assert coll.seed == 9
+
+    def test_family_mix_override(self):
+        spec = CorpusSpec(
+            n_matrices=10, seed=1, families=(("banded", 1.0), ("powerlaw", 1.0))
+        )
+        coll = spec.build()
+        assert {s.family for s in coll.specs} <= {"banded", "powerlaw"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValidationError):
+            CorpusSpec(families=(("not_a_family", 1.0),))
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            CorpusSpec(n_matrices=0)
+        with pytest.raises(ValidationError):
+            CorpusSpec(test_fraction=1.5)
+
+
+class TestTargetSpec:
+    def test_space_name(self):
+        assert TargetSpec("cirrus", "cuda").space_name == "cirrus/cuda"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValidationError):
+            TargetSpec("nonesuch", "serial")
+
+    def test_unavailable_backend_rejected(self):
+        with pytest.raises(ValidationError):
+            TargetSpec("archer2", "cuda")
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert make_spec().fingerprint == make_spec().fingerprint
+
+    def test_round_trip_preserves_fingerprint(self):
+        spec = make_spec()
+        back = ExperimentSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.fingerprint == spec.fingerprint
+
+    def test_grid_order_does_not_matter(self):
+        a = make_spec(grid={"n_estimators": [4], "max_depth": [6]})
+        b = make_spec(grid={"max_depth": [6], "n_estimators": [4]})
+        assert a.fingerprint == b.fingerprint
+
+    def test_family_order_does_not_matter(self):
+        """Regression: MatrixCollection builds the same corpus for equal
+        mixes in any order — the fingerprint must agree."""
+        a = make_spec(
+            corpus=CorpusSpec(
+                n_matrices=24, seed=5,
+                families=(("banded", 1.0), ("powerlaw", 2.0)),
+            )
+        )
+        b = make_spec(
+            corpus=CorpusSpec(
+                n_matrices=24, seed=5,
+                families=(("powerlaw", 2.0), ("banded", 1.0)),
+            )
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_families_accepts_mapping(self):
+        """Hand-authored JSON naturally writes families as an object."""
+        as_mapping = CorpusSpec(
+            n_matrices=24, seed=5, families={"banded": 1.0, "powerlaw": 2.0}
+        )
+        as_pairs = CorpusSpec(
+            n_matrices=24, seed=5,
+            families=(("banded", 1.0), ("powerlaw", 2.0)),
+        )
+        assert as_mapping == as_pairs
+        loaded = CorpusSpec.from_dict(
+            {"n_matrices": 24, "seed": 5,
+             "families": {"banded": 1.0, "powerlaw": 2.0}}
+        )
+        assert loaded == as_pairs
+
+    def test_malformed_families_rejected(self):
+        with pytest.raises(ValidationError):
+            CorpusSpec(families=("banded", "powerlaw"))
+        with pytest.raises(ValidationError):
+            CorpusSpec(families=(("banded", 1.0), ("banded", 2.0)))
+
+    def test_explicit_empty_families_rejected_also_from_json(self):
+        """Regression: "families": [] must not silently mean the default
+        mix — the constructor and the JSON path must agree."""
+        with pytest.raises(ValidationError):
+            CorpusSpec(families=())
+        with pytest.raises(ValidationError):
+            CorpusSpec.from_dict({"families": []})
+
+    def test_content_changes_change_fingerprint(self):
+        base = make_spec()
+        assert make_spec(cv=4).fingerprint != base.fingerprint
+        assert (
+            make_spec(corpus=CorpusSpec(n_matrices=25, seed=5)).fingerprint
+            != base.fingerprint
+        )
+        assert (
+            make_spec(targets=(TargetSpec("cirrus", "serial"),)).fingerprint
+            != base.fingerprint
+        )
+
+    def test_file_round_trip(self, tmp_path):
+        spec = make_spec()
+        path = tmp_path / "suite.json"
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+
+
+class TestValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValidationError):
+            make_spec(algorithms=("svm",))
+
+    def test_unknown_grid_preset_rejected(self):
+        with pytest.raises(ValidationError):
+            make_spec(grid="huge")
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValidationError):
+            make_spec(
+                targets=(
+                    TargetSpec("cirrus", "serial"),
+                    TargetSpec("cirrus", "serial"),
+                )
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_spec(name="")
+
+
+class TestGridResolution:
+    def test_presets(self):
+        assert (
+            make_spec(grid="small").resolve_grid("random_forest")
+            is SMALL_RF_GRID
+        )
+        assert (
+            make_spec(grid="default").resolve_grid("random_forest")
+            is DEFAULT_RF_GRID
+        )
+        # decision_tree preset entries defer to the algorithm default
+        assert make_spec(grid="small").resolve_grid("decision_tree") is None
+
+    def test_explicit_grid(self):
+        grid = make_spec().resolve_grid("random_forest")
+        assert grid == {"n_estimators": [4], "max_depth": [6]}

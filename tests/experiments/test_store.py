@@ -1,0 +1,90 @@
+"""Tests for the on-disk artifact store."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments import ArtifactStore, CorpusSpec, ExperimentSpec, stage_key
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestStageKey:
+    def test_deterministic(self):
+        assert stage_key("profile", "a", "b") == stage_key("profile", "a", "b")
+
+    def test_sensitive_to_every_part(self):
+        base = stage_key("profile", "a", "b")
+        assert stage_key("train", "a", "b") != base
+        assert stage_key("profile", "a", "c") != base
+        assert stage_key("profile", "ab") != base
+
+
+class TestArtifacts:
+    def test_round_trip(self, store):
+        payload = {"values": [1.5, 2.25], "label": "x"}
+        store.put("profile", "k1", payload)
+        assert store.get("profile", "k1") == payload
+
+    def test_miss_returns_none_and_counts(self, store):
+        assert store.get("profile", "absent") is None
+        store.put("profile", "k", {})
+        store.get("profile", "k")
+        assert store.summary()["hits"] == 1
+        assert store.summary()["misses"] == 1
+
+    def test_has_does_not_count(self, store):
+        store.put("train", "k", {"a": 1})
+        assert store.has("train", "k")
+        assert not store.has("train", "other")
+        assert store.summary()["hits"] == 0
+
+    def test_overwrite_replaces(self, store):
+        store.put("train", "k", {"v": 1})
+        store.put("train", "k", {"v": 2})
+        assert store.get("train", "k") == {"v": 2}
+
+    def test_no_leftover_temp_files(self, store):
+        store.put("profile", "k", {"v": 1})
+        stage_dir = os.path.join(store.root, "profile")
+        assert sorted(os.listdir(stage_dir)) == ["k.json"]
+
+    def test_path_traversal_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.put("..", "k", {})
+        with pytest.raises(ValidationError):
+            store.get("profile", "../escape")
+        with pytest.raises(ValidationError):
+            store.has("profile", "")
+
+
+class TestSpecRegistry:
+    def test_save_load_latest(self, store):
+        spec = ExperimentSpec(name="s1", corpus=CorpusSpec(n_matrices=8))
+        store.save_spec(spec)
+        assert store.load_spec() == spec
+        assert store.load_spec(spec.fingerprint) == spec
+        assert store.list_specs() == [spec.fingerprint]
+
+    def test_latest_tracks_most_recent(self, store):
+        first = ExperimentSpec(name="s1", corpus=CorpusSpec(n_matrices=8))
+        second = ExperimentSpec(name="s2", corpus=CorpusSpec(n_matrices=9))
+        store.save_spec(first)
+        store.save_spec(second)
+        assert store.load_spec() == second
+        assert set(store.list_specs()) == {
+            first.fingerprint,
+            second.fingerprint,
+        }
+
+    def test_missing_spec_raises(self, store):
+        with pytest.raises(ValidationError):
+            store.load_spec()
+        with pytest.raises(ValidationError):
+            store.load_spec("0" * 32)

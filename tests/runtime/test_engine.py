@@ -194,3 +194,50 @@ class TestQueuedServing:
         eng.execute(COOMatrix.from_dense(dense_medium), np.ones(60))
         assert eng.counters.hits == 0
         assert eng.counters.hit_rate == 0.0
+
+
+class TestProfileFormats:
+    """The profiling probe the offline pipeline dispatches through."""
+
+    def test_matches_space_timings(self, engine, space, coo_small):
+        times = engine.profile_formats(coo_small)
+        from repro.machine import MatrixStats
+        from repro.runtime.engine import matrix_fingerprint
+
+        stats = MatrixStats.from_matrix(coo_small)
+        expected = space.time_all_formats(
+            stats, matrix_key=matrix_fingerprint(coo_small)
+        )
+        assert times == expected
+        assert set(times) == set(ALL_FORMATS)
+
+    def test_memoised_per_key(self, engine, coo_small):
+        first = engine.profile_formats(coo_small, key="m")
+        assert engine.counters.profile_misses == 1
+        second = engine.profile_formats(coo_small, key="m")
+        assert second == first
+        assert engine.counters.profile_hits == 1
+        assert engine.counters.profile_misses == 1
+
+    def test_key_plus_stats_needs_no_matrix(self, engine, space, coo_small):
+        from repro.machine import MatrixStats
+
+        stats = MatrixStats.from_matrix(coo_small)
+        times = engine.profile_formats(key="m", stats=stats)
+        assert times == space.time_all_formats(stats, matrix_key="m")
+        # the stats were adopted: a stats lookup for the key is a hit
+        assert engine.stats_for(coo_small, key="m") is stats
+        assert engine.counters.stats_hits == 1
+
+    def test_returned_mapping_is_a_copy(self, engine, coo_small):
+        first = engine.profile_formats(coo_small, key="m")
+        first["CSR"] = -1.0
+        assert engine.profile_formats(coo_small, key="m")["CSR"] != -1.0
+
+    def test_bare_key_without_stats_rejected(self, engine):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            engine.profile_formats(key="m")
+        with pytest.raises(ValidationError):
+            engine.profile_formats()

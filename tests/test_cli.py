@@ -128,3 +128,56 @@ class TestBatch:
         ) == 0
         out = capsys.readouterr().out
         assert "over 2 matrices" in out
+
+
+class TestRunResume:
+    @pytest.fixture(scope="class")
+    def suite(self, tmp_path_factory):
+        from repro.experiments import CorpusSpec, ExperimentSpec, TargetSpec
+
+        root = tmp_path_factory.mktemp("suite")
+        spec = ExperimentSpec(
+            name="cli-suite",
+            corpus=CorpusSpec(n_matrices=16, seed=11),
+            targets=(TargetSpec("cirrus", "serial"),),
+            algorithms=("random_forest",),
+            grid={"n_estimators": [4], "max_depth": [6]},
+            cv=3,
+        )
+        spec_path = root / "suite.json"
+        spec.save(spec_path)
+        return str(spec_path), str(root / "store")
+
+    def test_run_computes_then_resumes_from_store(self, capsys, suite):
+        spec_path, store = suite
+        assert main(["run", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "stages served from the artifact store: 0/5" in out
+        assert "matrices generated   16" in out
+        assert "models exported      1" in out
+        # identical second run: fully served from the store, zero generation
+        assert main(["run", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "stages served from the artifact store: 5/5" in out
+        assert "matrices generated   0" in out
+
+    def test_until_then_resume(self, capsys, suite, tmp_path):
+        spec_path, _ = suite
+        store = str(tmp_path / "store")
+        assert main(
+            ["run", spec_path, "--store", store, "--until", "profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stages served from the artifact store: 0/1" in out
+        # resume picks the recorded spec up and finishes the remaining DAG
+        assert main(["resume", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "profile    store" in out
+        assert "matrices generated   0" in out
+        assert "tuned accuracy" in out
+
+    def test_resume_empty_store_fails_cleanly(self, tmp_path):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["resume", "--store", str(tmp_path / "empty")])

@@ -68,6 +68,16 @@ def test_train_oracle_models_runs(capsys):
     assert "random_forest" in out
 
 
+def test_experiment_suite_runs(capsys, monkeypatch):
+    mod = load_example("experiment_suite")
+    monkeypatch.setattr(mod, "N_MATRICES", 12)
+    mod.main()
+    out = capsys.readouterr().out
+    assert out.count("stages from store   0/7") == 3
+    assert "stages from store   7/7" in out
+    assert "resume OK" in out
+
+
 def test_suitesparse_import_runs(capsys):
     load_example("suitesparse_import").main()
     out = capsys.readouterr().out
