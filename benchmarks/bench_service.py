@@ -1,0 +1,170 @@
+"""Tuning-service benchmarks: coalescing wins and multi-client scaling.
+
+Acceptance properties of the online service layer:
+
+* at 8 concurrent clients hammering a small hot set of matrices, the
+  coalescing service sustains **>= 2x** the throughput of naive
+  one-request-one-SpMV dispatch (``max_batch=1``, same worker pool) —
+  the per-request kernel launches collapse into batched multi-vector
+  calls, which is the service-level restatement of the batched-SpMV win
+  measured in ``bench_kernels.py``;
+* coalesced concurrent results are **byte-identical** to serial
+  dispatch through a plain :class:`~repro.runtime.engine.WorkloadEngine`
+  (the batched CSR kernel accumulates each output element in the same
+  order as the single-vector kernel);
+* throughput scales with the client count (reported, not asserted —
+  wall-clock scaling depends on host cores).
+
+The coalescing win has two components — fewer kernel launches (the
+batched CSR kernel serves 64 vectors for ~1/3 the per-vector cost) and
+fewer dispatch cycles (one worker task + engine round per batch instead
+of per request) — so the benchmark sits in the service's sweet spot of
+small-to-mid matrices where both matter.  Trace operands are
+materialised before the timed window and each configuration takes the
+best of three runs; the whole benchmark stays under a few seconds.
+Results land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends import make_space
+from repro.datasets import MatrixCollection
+from repro.formats.dynamic import DynamicMatrix
+from repro.runtime.batch import block_operator
+from repro.runtime.engine import WorkloadEngine
+from repro.service import Trace, TuningService, replay
+
+from benchmarks.conftest import write_result
+
+CLIENTS = 8
+REQUESTS = 320
+HOT_MATRICES = 2
+SEED = 42
+
+
+def _hot_trace() -> Trace:
+    """A trace over a few hot matrices, operands materialised up front.
+
+    The timed window must measure dispatch, not request generation.
+    """
+    from repro.datasets.generators import uniform_rows
+
+    matrices = {
+        f"hot-{i}": DynamicMatrix(
+            uniform_rows(3_000 + 1_000 * i, row_nnz=16, seed=SEED + i)
+        )
+        for i in range(HOT_MATRICES)
+    }
+    rng = np.random.default_rng(SEED)
+    names = list(matrices)
+    sequence = [names[int(rng.integers(0, len(names)))] for _ in range(REQUESTS)]
+    return Trace(matrices=matrices, sequence=sequence, seed=SEED).materialize()
+
+
+def _service(max_batch: int) -> TuningService:
+    space = make_space("cirrus", "serial")
+    return TuningService(
+        space,
+        tuner=None,
+        workers=CLIENTS,
+        capacity=8,
+        shards=4,
+        max_batch=max_batch,
+    )
+
+
+def _best_replay(max_batch: int, trace: Trace, *, trials: int = 3):
+    """Best-of-N replay of *trace* (scheduler noise goes one way only)."""
+    best = None
+    for _ in range(trials):
+        with _service(max_batch) as service:
+            report = replay(service, trace, clients=CLIENTS)
+        if best is None or report.wall_seconds < best.wall_seconds:
+            best = report
+    return best
+
+
+def test_coalescing_beats_naive_dispatch_at_8_clients():
+    """Acceptance: coalesced throughput >= 2x naive, results bit-exact."""
+    trace = _hot_trace()
+    # warm the compiled-operator cache so neither path pays scipy setup
+    # inside its timed window (operators are cached per container)
+    for matrix in trace.matrices.values():
+        block_operator(matrix)
+
+    naive = _best_replay(1, trace)
+    assert naive.service_stats["coalesced_batches"] == 0
+
+    coalesced = _best_replay(64, trace)
+    stats = coalesced.service_stats
+    assert stats["coalesced_batches"] > 0
+
+    # byte-identical to serial dispatch through a fresh engine
+    engine = WorkloadEngine(make_space("cirrus", "serial"))
+    for i, result in enumerate(coalesced.results):
+        serial = engine.execute(
+            trace.matrices[trace.sequence[i]],
+            trace.operand(i),
+            key=trace.sequence[i],
+        )
+        assert np.array_equal(result.y, serial.y), (
+            f"request {i}: coalesced result differs from serial dispatch"
+        )
+
+    speedup = coalesced.throughput_rps / naive.throughput_rps
+    mean_batch = (
+        stats["coalesced_requests"] / stats["coalesced_batches"]
+        if stats["coalesced_batches"]
+        else 1.0
+    )
+    lines = [
+        f"tuning service, {REQUESTS} requests, {CLIENTS} clients, "
+        f"{HOT_MATRICES} hot matrices (~50-60k nnz each)",
+        "-" * 66,
+        f"{'naive dispatch (max_batch=1)':<38} "
+        f"{naive.throughput_rps:8.0f} req/s  "
+        f"({naive.wall_seconds:6.3f} s)",
+        f"{'coalesced (max_batch=64)':<38} "
+        f"{coalesced.throughput_rps:8.0f} req/s  "
+        f"({coalesced.wall_seconds:6.3f} s)",
+        f"{'throughput speedup':<38} {speedup:8.2f} x",
+        f"{'kernel launches':<38} {stats['batches']:8d} "
+        f"(vs {naive.service_stats['batches']} naive)",
+        f"{'mean coalesced batch size':<38} {mean_batch:8.1f}",
+        "",
+    ]
+    write_result("service_coalescing.txt", "\n".join(lines))
+    assert speedup >= 2.0, (
+        f"coalesced throughput only {speedup:.2f}x naive dispatch "
+        f"({coalesced.throughput_rps:.0f} vs {naive.throughput_rps:.0f} "
+        "req/s) at 8 concurrent clients"
+    )
+
+
+def test_multi_client_throughput_scaling():
+    """Report throughput at 1/2/4/8 clients through the coalescing path."""
+    trace = _hot_trace()
+    for matrix in trace.matrices.values():
+        block_operator(matrix)
+    rows = []
+    baseline = None
+    for clients in (1, 2, 4, 8):
+        with _service(max_batch=64) as service:
+            report = replay(service, trace, clients=clients)
+        assert report.service_stats["requests_served"] == REQUESTS
+        if baseline is None:
+            baseline = report.throughput_rps
+        rows.append(
+            f"{clients:>3} clients {report.throughput_rps:10.0f} req/s  "
+            f"{report.throughput_rps / baseline:6.2f} x   mean latency "
+            f"{1e3 * report.mean_latency:7.2f} ms"
+        )
+    lines = [
+        f"multi-client scaling, {REQUESTS} requests, coalescing on",
+        "-" * 66,
+        *rows,
+        "",
+    ]
+    write_result("service_scaling.txt", "\n".join(lines))

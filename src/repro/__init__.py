@@ -25,6 +25,10 @@ The package re-creates the paper's full stack in pure Python/NumPy:
   (:class:`ExperimentSpec`), the on-disk :class:`ArtifactStore`, and the
   resumable :class:`ExperimentOrchestrator` running the offline pipeline
   with parallel profiling (``repro run`` / ``repro resume``).
+* :mod:`repro.service` — the concurrent online service
+  (:class:`TuningService` / :class:`Session`): a sharded LRU of cached
+  workload engines, coalescing of concurrent same-matrix requests into
+  batched kernels, and a worker pool behind ``repro serve``.
 
 Quickstart
 ----------
@@ -73,6 +77,7 @@ from repro.experiments import (
     ExperimentSpec,
     TargetSpec,
 )
+from repro.service import Session, TuningService
 
 __all__ = [
     "__version__",
@@ -109,4 +114,6 @@ __all__ = [
     "ExperimentOrchestrator",
     "ExperimentSpec",
     "TargetSpec",
+    "Session",
+    "TuningService",
 ]

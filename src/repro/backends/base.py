@@ -31,6 +31,28 @@ class SpMVResult:
 class ExecutionSpace:
     """A (system, backend) pair that can run sparse kernels.
 
+    The central "where does this run" object: kernels execute for real
+    (NumPy/scipy arithmetic) while *time* comes from the space's
+    roofline-style cost model, so performance questions have
+    deterministic answers on any host.  Spaces are cheap, stateless
+    handles — build them with :func:`repro.backends.make_space` and
+    share them freely.
+
+    Two kinds of methods:
+
+    * ``run_*`` (:meth:`run_spmv`, :meth:`run_spmm`) execute a kernel
+      and return the numerical result plus its modelled seconds;
+    * ``time_*`` (:meth:`time_spmv`, :meth:`time_all_formats`,
+      :meth:`time_feature_extraction`, :meth:`time_prediction`,
+      :meth:`time_conversion`) price an operation from
+      :class:`~repro.machine.stats.MatrixStats` alone, without touching
+      a matrix — the tuners and the profiling stage live on these.
+
+    Serving layers sit on top: :meth:`engine` binds a cached
+    :class:`~repro.runtime.engine.WorkloadEngine` to this space, and a
+    :class:`~repro.service.TuningService` serves concurrent traffic
+    against it.
+
     Parameters
     ----------
     system:
@@ -41,6 +63,13 @@ class ExecutionSpace:
     cost_model:
         The timing model; defaults to a fresh :class:`CostModel` with the
         standard noise settings.
+
+    Examples
+    --------
+    >>> from repro.backends import make_space
+    >>> space = make_space("cirrus", "cuda")
+    >>> space.name
+    'cirrus/cuda'
     """
 
     def __init__(

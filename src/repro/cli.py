@@ -26,6 +26,12 @@ Subcommands mirror the paper's pipeline:
 ``repro-oracle resume --store ./store``
     Re-run the most recent suite recorded in the store, resuming from
     its completed stage artifacts.
+``repro-oracle serve --workers 4 --capacity 32 --clients 8``
+    Drive the concurrent :class:`~repro.service.service.TuningService`
+    with a multi-client workload — synthetic by default, or a trace
+    replayed over a stored suite's corpus and exported model with
+    ``--store`` — and report throughput, latency, coalescing and
+    engine-cache counters.
 """
 
 from __future__ import annotations
@@ -186,7 +192,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         engine.submit(dyn, rng.standard_normal(dyn.ncols), key=spec.name)
     results = engine.flush()
     wall = time.perf_counter() - t0
-    report = engine.summary()
+    report = engine.stats()
     counters = report["counters"]
     seconds = report["seconds"]
     decisions = counters["decision_misses"]
@@ -197,12 +203,84 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"{report['unique_matrices']} matrices on {space.name}")
     print(f"decision cache       {counters['decision_hits']} hits / "
           f"{decisions} misses "
-          f"(hit rate {100 * report['cache_hit_rate']:.1f}% overall)")
+          f"(hit rate {100 * report['hit_rate']:.1f}% overall)")
     print(f"modelled SpMV time   {seconds['spmv']:.6f} s")
     print(f"tuning overhead      {seconds['tuning']:.6f} s amortised "
           f"(vs {naive_tuning:.6f} s re-tuning every request)")
     print(f"conversion overhead  {seconds['conversion']:.6f} s")
     print(f"wall-clock           {wall:.3f} s")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        TuningService,
+        replay,
+        service_for_suite,
+        synthetic_trace,
+        trace_from_suite,
+    )
+
+    service_kwargs = dict(
+        workers=args.workers,
+        capacity=args.capacity,
+        shards=args.shards,
+        max_batch=args.max_batch,
+    )
+    if args.store:
+        trace, spec = trace_from_suite(
+            args.store,
+            fingerprint=args.fingerprint,
+            n_matrices=args.n_matrices,
+            requests=args.requests,
+            seed=args.seed,
+        )
+        service = service_for_suite(
+            args.store, fingerprint=args.fingerprint, **service_kwargs
+        )
+        print(f"replaying suite      {spec.name} "
+              f"(fingerprint {spec.fingerprint})")
+    else:
+        if not (args.system and args.backend):
+            print("serve: --system and --backend are required without "
+              "--store", file=sys.stderr)
+            return 2
+        space = make_space(args.system, args.backend)
+        tuner = RandomForestTuner(args.model) if args.model else RunFirstTuner()
+        trace = synthetic_trace(
+            args.n_matrices, args.requests, seed=args.seed
+        )
+        service = TuningService(space, tuner, **service_kwargs)
+    with service:
+        report = replay(service, trace, clients=args.clients)
+    stats = report.service_stats
+    cache = stats["engine_cache"]
+    engines = stats["engines"]
+    latency = stats["latency"]
+    coalesced = stats["coalesced_requests"]
+    mean_batch = (
+        coalesced / stats["coalesced_batches"]
+        if stats["coalesced_batches"]
+        else 1.0
+    )
+    print(f"served               {stats['requests_served']} requests from "
+          f"{report.clients} clients over {len(trace.matrices)} matrices "
+          f"on {stats['space']}")
+    print(f"workers / capacity   {stats['workers']} workers, "
+          f"{cache['capacity']} engines across {cache['shards']} shards")
+    print(f"throughput           {report.throughput_rps:.0f} requests/s "
+          f"({report.wall_seconds:.3f} s wall)")
+    print(f"latency              mean {1e3 * latency['mean_seconds']:.2f} ms, "
+          f"max {1e3 * latency['max_seconds']:.2f} ms")
+    print(f"coalescing           {stats['coalesced_batches']} batched kernel "
+          f"calls covering {coalesced} requests "
+          f"(mean batch {mean_batch:.1f})")
+    print(f"engine cache         {cache['hits']} hits / {cache['misses']} "
+          f"misses, {cache['evictions']} evictions "
+          f"({cache['size']}/{cache['capacity']} live)")
+    print(f"modelled seconds     spmv {engines['seconds']['spmv']:.6f}, "
+          f"tuning {engines['seconds']['tuning']:.6f}, "
+          f"conversion {engines['seconds']['conversion']:.6f}")
     return 0
 
 
@@ -312,6 +390,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_batch)
+
+    p = sub.add_parser(
+        "serve", help="drive the concurrent tuning service with traffic"
+    )
+    p.add_argument("--system", default=None, choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--backend", default=None,
+        choices=["serial", "openmp", "cuda", "hip"],
+    )
+    p.add_argument(
+        "--store", default=None,
+        help="replay a stored suite's corpus and exported model instead "
+             "of a synthetic workload",
+    )
+    p.add_argument(
+        "--fingerprint", default=None,
+        help="suite fingerprint inside --store (default: latest)",
+    )
+    p.add_argument(
+        "--model", default=None,
+        help="Oracle model file for the synthetic workload "
+             "(default: run-first tuner)",
+    )
+    p.add_argument("--workers", type=int, default=4, help="service threads")
+    p.add_argument(
+        "--capacity", type=int, default=32,
+        help="max live per-matrix engines before LRU eviction",
+    )
+    p.add_argument(
+        "--shards", type=int, default=8,
+        help="engine-cache lock shards (clamped to capacity)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=32,
+        help="max requests coalesced into one kernel call (1 = naive)",
+    )
+    p.add_argument("--clients", type=int, default=8, help="client threads")
+    p.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests across all clients",
+    )
+    p.add_argument(
+        "-n", "--n-matrices", type=int, default=8,
+        help="distinct matrices in the workload",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "run", help="run a declarative scenario suite (resumable)"

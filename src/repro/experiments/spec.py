@@ -142,6 +142,36 @@ class ExperimentSpec:
     with the same content have the same :attr:`fingerprint` regardless of
     construction order, which is what makes the artifact store resumable:
     a re-invoked run recomputes the same keys and finds its stages.
+
+    Attributes
+    ----------
+    name:
+        Human-readable suite name; part of the canonical content, so
+        renaming a suite changes its fingerprint.
+    corpus:
+        Parametric generator config (:class:`CorpusSpec`): family mix,
+        size, seed, train/test split.
+    targets:
+        The (system, backend) execution spaces to profile and train for.
+    algorithms:
+        Any of :data:`ALGORITHMS` (``random_forest``,
+        ``decision_tree``); one model is trained per target x algorithm.
+    grid:
+        A :data:`GRID_PRESETS` name (``"small"``, ``"default"``) or an
+        explicit ``{param: [values]}`` mapping, canonicalised so equal
+        grids fingerprint identically.
+    cv / train_seed:
+        The Section VII-D training axes (k-fold count, RNG seed).
+
+    Specs round-trip losslessly through :meth:`save`/:meth:`load` (JSON)
+    and :meth:`to_dict`/:meth:`from_dict`; see
+    ``docs/scenario_suites.md`` for the schema and examples.
+
+    Examples
+    --------
+    >>> spec = ExperimentSpec(name="smoke")
+    >>> spec.fingerprint == ExperimentSpec(name="smoke").fingerprint
+    True
     """
 
     name: str

@@ -41,7 +41,31 @@ def stage_key(stage: str, *parts: str) -> str:
 
 
 class ArtifactStore:
-    """Content-addressed JSON artifact directory with hit/miss accounting."""
+    """Content-addressed JSON artifact directory with hit/miss accounting.
+
+    The resume mechanism of the experiments layer: stage outputs are
+    stored under ``<root>/<stage>/<key>.json`` where *key* is a
+    :func:`stage_key` digest of the stage's inputs, so any run that
+    recomputes the same keys finds its artifacts (:meth:`get` /
+    :meth:`put`, both counted).  Suites' specs are recorded alongside
+    (:meth:`save_spec` / :meth:`load_spec`), which is what lets
+    ``repro resume`` and ``repro serve --store`` operate on a store
+    without the original spec file.  Exported models live under
+    ``<root>/models/<spec fingerprint>/``.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created if absent.  Safe to share between
+        suites — keys are content digests, so different suites never
+        collide and overlapping suites share artifacts.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup tallies (see :meth:`summary`); smoke tests assert
+        "second run is all hits" through these.
+    """
 
     def __init__(self, root: PathLike) -> None:
         self.root = str(root)

@@ -56,9 +56,32 @@ __all__ = [
     "EngineResult",
     "WorkloadEngine",
     "matrix_fingerprint",
+    "validate_operand",
 ]
 
 MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+def validate_operand(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
+    """Validate and coerce a request operand against *matrix*.
+
+    Accepts a length-``ncols`` vector or an ``(ncols, k)`` block and
+    returns it as a contiguous float64 array; anything else raises
+    :class:`ValidationError`.  Shared by every request front end (the
+    engine's queue, the tuning service) so submission-time validation
+    cannot diverge between them.
+    """
+    concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+    operand = np.ascontiguousarray(x, dtype=np.float64)
+    if operand.ndim == 1:
+        check_vector_length(operand, concrete.ncols, name="x")
+    elif operand.ndim == 2:
+        operand = check_block(concrete, operand)
+    else:
+        raise ValidationError(
+            f"operand must be 1-D or 2-D, got ndim={operand.ndim}"
+        )
+    return operand
 
 
 def _defining_arrays(m: SparseMatrix) -> Tuple[np.ndarray, ...]:
@@ -421,16 +444,7 @@ class WorkloadEngine:
         matrix), so a malformed request is rejected at submission and can
         never abort a later :meth:`flush` with valid requests queued.
         """
-        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
-        operand = np.ascontiguousarray(x, dtype=np.float64)
-        if operand.ndim == 1:
-            check_vector_length(operand, concrete.ncols, name="x")
-        elif operand.ndim == 2:
-            operand = check_block(concrete, operand)
-        else:
-            raise ValidationError(
-                f"operand must be 1-D or 2-D, got ndim={operand.ndim}"
-            )
+        operand = validate_operand(matrix, x)
         fp = self.fingerprint(matrix, key=key)
         self._queue.append(_Pending(matrix, operand, fp, int(repetitions)))
         return len(self._queue) - 1
@@ -505,15 +519,44 @@ class WorkloadEngine:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def summary(self) -> Dict[str, object]:
-        """Serving report: request counts, cache tallies, time accounting."""
+    def stats(self) -> Dict[str, object]:
+        """Every engine counter in one dict — the metrics surface.
+
+        Callers (the service's metrics endpoint, the CLI, dashboards)
+        should consume this rather than poking ``counters`` attributes:
+
+        * ``requests_served`` / ``unique_matrices`` / ``pending`` —
+          request-stream tallies;
+        * ``counters`` — the per-cache hit/miss breakdown
+          (:meth:`CacheCounters.as_dict`);
+        * ``hits`` / ``misses`` / ``hit_rate`` — the cross-cache totals;
+        * ``seconds`` — modelled time by category
+          (tuning / conversion / spmv).
+
+        The dict is a snapshot: mutating it never affects the engine.
+        """
         return {
             "space": self.space.name,
             "requests_served": self.requests_served,
             "unique_matrices": len(self._reports),
+            "pending": len(self._queue),
             "counters": self.counters.as_dict(),
-            "cache_hit_rate": self.counters.hit_rate,
+            "hits": self.counters.hits,
+            "misses": self.counters.misses,
+            "hit_rate": self.counters.hit_rate,
             "seconds": dict(self.seconds),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Legacy serving report; prefer :meth:`stats` (superset keys)."""
+        stats = self.stats()
+        return {
+            "space": stats["space"],
+            "requests_served": stats["requests_served"],
+            "unique_matrices": stats["unique_matrices"],
+            "counters": stats["counters"],
+            "cache_hit_rate": stats["hit_rate"],
+            "seconds": stats["seconds"],
         }
 
     def reset_accounting(self) -> None:

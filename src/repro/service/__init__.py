@@ -1,0 +1,47 @@
+"""Concurrent auto-tuning service: the online stack over the runtime.
+
+The offline layers (``repro.core`` for tuning, ``repro.experiments`` for
+training suites) produce models; this package *serves* them under
+concurrent traffic, top-down:
+
+* :mod:`~repro.service.service` — :class:`TuningService`, the concurrent
+  request front end: a worker pool executes decide -> convert -> execute,
+  concurrent requests against the same matrix coalesce into batched
+  multi-vector kernel calls, and everything is accounted through one
+  :meth:`~TuningService.stats` dict.  :class:`Session` is the per-client
+  programmatic API.
+* :mod:`~repro.service.cache` — :class:`ShardedEngineCache`, the sharded
+  capacity-bounded LRU of per-matrix
+  :class:`~repro.runtime.engine.WorkloadEngine` instances (per-shard
+  locks, eviction with accounting hand-off).
+* :mod:`~repro.service.replay` — synthetic and stored-suite request
+  traces plus the multi-client :func:`replay` driver behind
+  ``repro serve``.
+
+See ``docs/service.md`` for the sharding, coalescing and eviction
+semantics.
+"""
+
+from repro.service.cache import ShardedEngineCache
+from repro.service.replay import (
+    ReplayReport,
+    Trace,
+    replay,
+    service_for_suite,
+    synthetic_trace,
+    trace_from_suite,
+)
+from repro.service.service import ServiceResult, Session, TuningService
+
+__all__ = [
+    "ReplayReport",
+    "ServiceResult",
+    "Session",
+    "ShardedEngineCache",
+    "Trace",
+    "TuningService",
+    "replay",
+    "service_for_suite",
+    "synthetic_trace",
+    "trace_from_suite",
+]

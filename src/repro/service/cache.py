@@ -1,0 +1,169 @@
+"""Sharded, capacity-bounded LRU of per-matrix workload engines.
+
+Service layer 1.  The online :class:`~repro.service.service.TuningService`
+cannot hold a :class:`~repro.runtime.engine.WorkloadEngine` for every
+matrix it has ever seen — under heavy traffic the set of live matrices is
+unbounded — so engines live in a :class:`ShardedEngineCache`:
+
+* the key space is split across ``shards`` independent shards, each with
+  its **own** lock and its own LRU list, so requests for unrelated
+  matrices never contend on a global cache lock;
+* total capacity is bounded; when a shard exceeds its slice of the
+  budget the least-recently-used engine is evicted (its cache counters
+  and modelled seconds are first folded into the service-level totals via
+  the ``on_evict`` hook, so accounting survives eviction);
+* :meth:`ShardedEngineCache.lease` hands the caller the engine *while
+  holding the shard lock*, which is what makes serving safe: an engine
+  can only be evicted by another lease on the same shard, and that lease
+  is blocked until the current one releases.
+
+Shard assignment is a stable blake2b hash of the key, so the same matrix
+always lands on the same shard across runs and processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
+
+from repro.errors import ValidationError
+
+__all__ = ["ShardedEngineCache"]
+
+T = TypeVar("T")
+
+
+def _stable_hash(key: str) -> int:
+    """Deterministic (cross-process) integer hash of a cache key."""
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class _Shard:
+    """One lock + LRU list; all mutation happens under :attr:`lock`."""
+
+    __slots__ = ("lock", "entries", "capacity")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: "OrderedDict[str, object]" = OrderedDict()
+        self.capacity = capacity
+
+
+class ShardedEngineCache:
+    """Capacity-bounded LRU of lazily built values, sharded by key hash.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building a fresh value (engine) on a miss.
+    capacity:
+        Total number of values kept alive across all shards (>= 1).
+    shards:
+        Number of independent lock domains; clamped to ``capacity`` so
+        every shard owns at least one slot.  With ``capacity=1`` the
+        cache degenerates to a single shard holding a single engine —
+        the deterministic-eviction configuration the tests use.
+    on_evict:
+        Optional hook called with ``(key, value)`` right after a value
+        leaves the cache (still under the shard lock); the service uses
+        it to fold the evicted engine's accounting into its own totals.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], T],
+        *,
+        capacity: int = 64,
+        shards: int = 8,
+        on_evict: Optional[Callable[[str, T], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self.factory = factory
+        self.capacity = int(capacity)
+        self.n_shards = min(int(shards), self.capacity)
+        # distribute the budget: the first (capacity % shards) shards get
+        # one extra slot, so per-shard capacities always sum to `capacity`
+        base, extra = divmod(self.capacity, self.n_shards)
+        self._shards: List[_Shard] = [
+            _Shard(base + (1 if i < extra else 0)) for i in range(self.n_shards)
+        ]
+        self.on_evict = on_evict
+        self._counter_lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def shard_of(self, key: str) -> int:
+        """Stable shard index for *key* (same key, same shard, any run)."""
+        return _stable_hash(key) % self.n_shards
+
+    def __len__(self) -> int:
+        return sum(len(s.entries) for s in self._shards)
+
+    def __contains__(self, key: str) -> bool:
+        shard = self._shards[self.shard_of(key)]
+        with shard.lock:
+            return key in shard.entries
+
+    @contextmanager
+    def lease(self, key: str) -> Iterator[T]:
+        """Yield the (get-or-created) value for *key* under its shard lock.
+
+        Holding the shard lock for the whole lease serialises work on
+        matrices sharing a shard while leaving every other shard free —
+        and guarantees the leased value cannot be evicted mid-use, since
+        eviction only happens under the same lock.
+        """
+        shard = self._shards[self.shard_of(key)]
+        with shard.lock:
+            value = shard.entries.get(key)
+            if value is not None:
+                shard.entries.move_to_end(key)
+                with self._counter_lock:
+                    self.hits += 1
+            else:
+                with self._counter_lock:
+                    self.misses += 1
+                value = self.factory()
+                shard.entries[key] = value
+                while len(shard.entries) > shard.capacity:
+                    old_key, old_value = shard.entries.popitem(last=False)
+                    with self._counter_lock:
+                        self.evictions += 1
+                    if self.on_evict is not None:
+                        self.on_evict(old_key, old_value)
+            yield value
+
+    def values(self) -> List[T]:
+        """Snapshot of the live values (for stats aggregation)."""
+        out: List[T] = []
+        for shard in self._shards:
+            with shard.lock:
+                out.extend(shard.entries.values())
+        return out
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Lookup/eviction tallies and per-shard occupancy."""
+        with self._counter_lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        sizes = [len(s.entries) for s in self._shards]
+        total = hits + misses
+        return {
+            "capacity": self.capacity,
+            "shards": self.n_shards,
+            "size": sum(sizes),
+            "shard_sizes": sizes,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "evictions": evictions,
+        }

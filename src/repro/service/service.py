@@ -1,0 +1,589 @@
+"""Concurrent auto-tuning service: the online face of the runtime stack.
+
+Service layer 2.  :class:`TuningService` accepts many concurrent SpMV /
+SpMM requests and turns them into as few kernel launches as possible:
+
+* engines live in a :class:`~repro.service.cache.ShardedEngineCache` —
+  one cached :class:`~repro.runtime.engine.WorkloadEngine` per matrix
+  fingerprint, per-shard locks, bounded capacity with LRU eviction (an
+  evicted engine's accounting is folded into the service totals first);
+* concurrent requests against the *same* matrix are **coalesced**: they
+  pile up in a per-fingerprint queue and a single worker drains up to
+  ``max_batch`` of them as one batched multi-vector call through
+  :mod:`repro.runtime.batch` (one kernel launch for *k* requests instead
+  of *k* launches);
+* a ``ThreadPoolExecutor`` worker pool executes the decide -> convert ->
+  execute chain; every request is accounted (enqueue-to-completion wall
+  latency plus the engine's modelled seconds) and the service keeps
+  counters for cache hits, coalesced batches and evictions, all exposed
+  through one :meth:`TuningService.stats` dict.
+
+Requests are validated *at submission* (shape, operand length), so a
+malformed request fails fast in the caller's thread and can never poison
+a coalesced batch.  Results are bitwise identical to serial dispatch:
+the batched CSR kernel accumulates each output element in the same order
+as the single-vector kernel.
+
+Model-driven serving loads deployed models through
+:mod:`repro.core.model_io` — :meth:`TuningService.from_model_database`
+points the service at a :class:`~repro.core.pipeline.ModelDatabase`
+directory (e.g. the ``models/<fingerprint>/`` directory a scenario suite
+exported) and serves predictions from the stored model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.formats.dynamic import DynamicMatrix
+from repro.runtime.engine import (
+    WorkloadEngine,
+    matrix_fingerprint,
+    validate_operand,
+)
+from repro.service.cache import ShardedEngineCache
+
+__all__ = ["ServiceResult", "Session", "TuningService"]
+
+MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Outcome of one served request.
+
+    ``seconds`` / ``overhead_seconds`` / ``format`` / ``from_cache``
+    mirror :class:`~repro.runtime.engine.EngineResult` — for a coalesced
+    batch, ``seconds`` is the request's fair share of the single batched
+    kernel call and the tuning/conversion overhead is attributed to the
+    batch's first request.  On top of those the service records
+    ``batch_size`` (how many requests shared the kernel launch that
+    produced this result) and ``latency_seconds`` (wall-clock time from
+    submission to completion).
+    """
+
+    y: np.ndarray
+    seconds: float
+    overhead_seconds: float
+    format: str
+    fingerprint: str
+    from_cache: bool
+    batch_size: int
+    latency_seconds: float
+
+
+class _FingerprintQueue:
+    """Pending requests for one fingerprint plus its drain-scheduled flag."""
+
+    __slots__ = ("items", "scheduled")
+
+    def __init__(self) -> None:
+        self.items: List["_Request"] = []
+        self.scheduled = False
+
+
+class _Request:
+    """One validated, submitted request awaiting a drain."""
+
+    __slots__ = ("matrix", "operand", "repetitions", "future", "enqueued_at")
+
+    def __init__(
+        self,
+        matrix: MatrixLike,
+        operand: np.ndarray,
+        repetitions: int,
+        future: "Future[ServiceResult]",
+    ) -> None:
+        self.matrix = matrix
+        self.operand = operand
+        self.repetitions = repetitions
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+
+
+class TuningService:
+    """Concurrent SpMV/SpMM auto-tuning service over a worker pool.
+
+    Parameters
+    ----------
+    space:
+        The :class:`~repro.backends.base.ExecutionSpace` requests are
+        served and priced against.
+    tuner:
+        Optional :class:`~repro.core.tuners.base.Tuner` deciding each
+        matrix's serving format (paid once per matrix, then cached by
+        that matrix's engine).  ``None`` serves every matrix in its
+        active format.
+    workers:
+        Thread-pool size executing the decide -> convert -> execute chain.
+    capacity:
+        Maximum live :class:`~repro.runtime.engine.WorkloadEngine`
+        instances (one per matrix fingerprint); least-recently-used
+        engines are evicted beyond it.
+    shards:
+        Lock domains of the engine cache (clamped to ``capacity``);
+        requests for matrices on different shards never contend.
+    max_batch:
+        Upper bound on how many queued requests one drain coalesces into
+        a single batched kernel call; ``1`` disables coalescing (the
+        "naive dispatch" baseline the benchmark compares against).
+    accelerate:
+        Route kernels through the compiled batch path when available.
+
+    Use as a context manager (or call :meth:`close`) to shut the worker
+    pool down; pending requests are drained first.
+    """
+
+    def __init__(
+        self,
+        space,
+        tuner=None,
+        *,
+        workers: int = 4,
+        capacity: int = 64,
+        shards: int = 8,
+        max_batch: int = 32,
+        accelerate: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        self.space = space
+        self.tuner = tuner
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.accelerate = accelerate
+        self.engines = ShardedEngineCache(
+            self._make_engine,
+            capacity=capacity,
+            shards=shards,
+            on_evict=self._retire_engine,
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._queues: Dict[str, _FingerprintQueue] = {}
+        self._queue_lock = threading.Lock()
+        self._metrics_lock = threading.Lock()
+        self._closed = False
+        # service-level counters (engine-level ones live in the engines)
+        self.requests_submitted = 0
+        self.requests_served = 0
+        self.batches = 0
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        self.latency_total = 0.0
+        self.latency_max = 0.0
+        #: accounting folded in from engines evicted by the cache
+        self._retired = {
+            "requests_served": 0,
+            "seconds": {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0},
+            "counters": {},
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _make_engine(self) -> WorkloadEngine:
+        return WorkloadEngine(
+            self.space, tuner=self.tuner, accelerate=self.accelerate
+        )
+
+    @classmethod
+    def from_model_database(
+        cls,
+        model_dir,
+        system: str,
+        backend: str,
+        *,
+        algorithm: str = "random_forest",
+        **kwargs,
+    ) -> "TuningService":
+        """Service driven by a deployed model from a model database.
+
+        Loads the ``(system, backend, algorithm)`` model through
+        :class:`~repro.core.pipeline.ModelDatabase` /
+        :mod:`repro.core.model_io` and binds the matching execution
+        space, so a model exported by the offline pipeline (or a
+        scenario suite's ``models/<fingerprint>/`` directory) serves
+        online predictions.  ``kwargs`` pass through to the constructor.
+        """
+        from repro.backends import make_space
+        from repro.core.pipeline import ModelDatabase
+        from repro.core.tuners.ml import DecisionTreeTuner, RandomForestTuner
+
+        model = ModelDatabase(model_dir).load(system, backend, algorithm)
+        tuner_cls = (
+            DecisionTreeTuner
+            if model.kind == "decision_tree"
+            else RandomForestTuner
+        )
+        return cls(make_space(system, backend), tuner_cls(model), **kwargs)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> "Future[ServiceResult]":
+        """Enqueue one request; returns a future resolving to its result.
+
+        ``x`` may be a length-``ncols`` vector or an ``(ncols, k)``
+        block; validation happens here, in the caller's thread, so a
+        malformed request raises immediately instead of failing a
+        coalesced batch later.  Requests for the same matrix submitted
+        while a worker is busy are coalesced into one batched kernel
+        call when that worker drains the queue.
+        """
+        if self._closed:
+            raise ValidationError("service is closed")
+        operand = validate_operand(matrix, x)
+        fp = key if key is not None else matrix_fingerprint(matrix)
+        future: "Future[ServiceResult]" = Future()
+        request = _Request(matrix, operand, int(repetitions), future)
+        with self._queue_lock:
+            queue = self._queues.get(fp)
+            if queue is None:
+                queue = self._queues[fp] = _FingerprintQueue()
+            queue.items.append(request)
+            schedule = not queue.scheduled
+            if schedule:
+                queue.scheduled = True
+            self.requests_submitted += 1
+        if schedule:
+            self._schedule(fp)
+        return future
+
+    def spmv(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> ServiceResult:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(matrix, x, key=key, repetitions=repetitions).result()
+
+    def _schedule(self, fp: str) -> None:
+        """Hand a drain for *fp* to the worker pool (one in flight per fp).
+
+        If the pool has been shut down (a reschedule racing
+        :meth:`close`), the queue is drained inline in the calling
+        thread instead — a submitted request is never silently dropped.
+        """
+        try:
+            self._executor.submit(self._drain, fp)
+        except RuntimeError:  # executor shut down mid-close
+            while self._drain_once(fp):
+                pass
+
+    def _drain(self, fp: str) -> None:
+        """Worker task: serve one batch, reschedule if more arrived."""
+        if self._drain_once(fp):
+            self._schedule(fp)
+
+    def _drain_once(self, fp: str) -> bool:
+        """Serve up to ``max_batch`` queued requests for one fingerprint.
+
+        Returns ``True`` when requests remain queued for *fp* (the
+        caller must keep the drain alive), ``False`` once the queue is
+        empty and unregistered.
+        """
+        with self._queue_lock:
+            queue = self._queues.get(fp)
+            if queue is None:
+                return False
+            batch = queue.items[: self.max_batch]
+            del queue.items[: self.max_batch]
+        if batch:
+            try:
+                self._serve(fp, batch)
+            except BaseException as exc:  # propagate to every waiting caller
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+        with self._queue_lock:
+            queue = self._queues.get(fp)
+            if queue is None:
+                return False
+            if queue.items:
+                return True  # stayed scheduled: more arrived
+            queue.scheduled = False
+            del self._queues[fp]
+            return False
+
+    def _serve(self, fp: str, batch: List[_Request]) -> None:
+        """Run one coalesced batch through the fingerprint's engine.
+
+        A batch of plain single-vector requests (``repetitions == 1``)
+        takes the fast path: the operands are stacked into one
+        ``(ncols, k)`` block served by a single ``engine.execute`` call
+        — one kernel launch *and* one round of artefact lookups for the
+        whole batch (engine counters tally lookups, the service tallies
+        requests).  Batches containing 2-D operands or repeated
+        workloads fall back to the engine's queued ``submit``/``flush``
+        path, which handles mixed shapes and per-request repetitions.
+        """
+        with self.engines.lease(fp) as engine:
+            if len(batch) > 1 and all(
+                r.operand.ndim == 1 and r.repetitions == 1 for r in batch
+            ):
+                results = self._serve_stacked(fp, engine, batch)
+            else:
+                for request in batch:
+                    engine.submit(
+                        request.matrix,
+                        request.operand,
+                        key=fp,
+                        repetitions=request.repetitions,
+                    )
+                results = engine.flush()
+        done_at = time.perf_counter()
+        latencies = [done_at - r.enqueued_at for r in batch]
+        with self._metrics_lock:
+            self.requests_served += len(batch)
+            self.batches += 1
+            if len(batch) > 1:
+                self.coalesced_batches += 1
+                self.coalesced_requests += len(batch)
+            self.latency_total += sum(latencies)
+            self.latency_max = max(self.latency_max, max(latencies))
+        for request, engine_result, latency in zip(batch, results, latencies):
+            request.future.set_result(
+                ServiceResult(
+                    y=engine_result.y,
+                    seconds=engine_result.seconds,
+                    overhead_seconds=engine_result.overhead_seconds,
+                    format=engine_result.format,
+                    fingerprint=engine_result.fingerprint,
+                    from_cache=engine_result.from_cache,
+                    batch_size=len(batch),
+                    latency_seconds=latency,
+                )
+            )
+
+    def _serve_stacked(self, fp: str, engine, batch: List[_Request]):
+        """Fast path: one stacked block, one ``execute``, one lookup round.
+
+        Returns per-request :class:`~repro.runtime.engine.EngineResult`
+        views into the block result.  Each request's modelled ``seconds``
+        is its fair share of the batched call, so summed request costs
+        match the engine's accounting of the single batched kernel; the
+        tuning/conversion overhead is attributed to the first request,
+        as in :meth:`WorkloadEngine.flush`.  Only called for batches
+        whose requests all have ``repetitions == 1`` (repeated workloads
+        go through ``flush``, which threads repetitions into the
+        per-request accounting).
+        """
+        from repro.runtime.engine import EngineResult
+
+        X = np.stack([r.operand for r in batch], axis=1)
+        block = engine.execute(batch[0].matrix, X, key=fp)
+        share = block.seconds / len(batch)
+        return [
+            EngineResult(
+                y=block.y[:, j],
+                seconds=share,
+                overhead_seconds=block.overhead_seconds if j == 0 else 0.0,
+                format=block.format,
+                fingerprint=block.fingerprint,
+                from_cache=block.from_cache or j > 0,
+            )
+            for j in range(len(batch))
+        ]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _retire_engine(self, key: str, engine: WorkloadEngine) -> None:
+        """Fold an evicted engine's accounting into the service totals."""
+        stats = engine.stats()
+        with self._metrics_lock:
+            self._retired["requests_served"] += stats["requests_served"]
+            for name, value in stats["seconds"].items():
+                self._retired["seconds"][name] = (
+                    self._retired["seconds"].get(name, 0.0) + value
+                )
+            for name, value in stats["counters"].items():
+                self._retired["counters"][name] = (
+                    self._retired["counters"].get(name, 0) + value
+                )
+
+    def stats(self) -> Dict[str, object]:
+        """One dict with every service-level and engine-level counter.
+
+        Keys: request/batch/coalescing tallies, wall-latency aggregates,
+        the engine cache's hit/miss/eviction numbers (``engine_cache``)
+        and the summed :meth:`WorkloadEngine.stats` of every engine the
+        service has ever owned, including evicted ones (``engines``).
+        This is the service's metrics endpoint — callers should consume
+        it rather than poking individual attributes.
+        """
+        with self._metrics_lock:
+            served = self.requests_served
+            snapshot = {
+                "space": self.space.name,
+                "workers": self.workers,
+                "max_batch": self.max_batch,
+                "requests_submitted": self.requests_submitted,
+                "requests_served": served,
+                "batches": self.batches,
+                "coalesced_batches": self.coalesced_batches,
+                "coalesced_requests": self.coalesced_requests,
+                "latency": {
+                    "total_seconds": self.latency_total,
+                    "mean_seconds": (
+                        self.latency_total / served if served else 0.0
+                    ),
+                    "max_seconds": self.latency_max,
+                },
+            }
+            engines_total = {
+                "requests_served": self._retired["requests_served"],
+                "seconds": dict(self._retired["seconds"]),
+                "counters": dict(self._retired["counters"]),
+            }
+        for engine in self.engines.values():
+            stats = engine.stats()
+            engines_total["requests_served"] += stats["requests_served"]
+            for name, value in stats["seconds"].items():
+                engines_total["seconds"][name] = (
+                    engines_total["seconds"].get(name, 0.0) + value
+                )
+            for name, value in stats["counters"].items():
+                engines_total["counters"][name] = (
+                    engines_total["counters"].get(name, 0) + value
+                )
+        snapshot["engine_cache"] = self.engines.stats()
+        snapshot["engines"] = engines_total
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def session(self, name: str = "") -> "Session":
+        """A new client :class:`Session` bound to this service."""
+        return Session(self, name=name)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down.
+
+        With ``wait=True`` (the default) every already-submitted request
+        is served before the method returns — in-flight drains finish on
+        the pool, and any drain whose reschedule raced the shutdown
+        falls back to serving inline (see :meth:`_schedule`); a final
+        sweep here catches queues whose drain task never started.  With
+        ``wait=False`` the pool is told to shut down without waiting and
+        still-queued requests have their futures **cancelled**.
+        """
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+        if wait:
+            for fp in list(self._queues):
+                while self._drain_once(fp):
+                    pass
+        else:
+            with self._queue_lock:
+                leftovers = [
+                    request
+                    for queue in self._queues.values()
+                    for request in queue.items
+                ]
+                self._queues.clear()
+            for request in leftovers:
+                request.future.cancel()
+
+    def __enter__(self) -> "TuningService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Session:
+    """A client handle on a :class:`TuningService`.
+
+    Sessions are the programmatic API a client holds: they forward
+    requests to the shared service (so all coalescing and caching is
+    cross-session) while keeping per-client tallies — requests issued,
+    wall latency observed — that a multi-client driver can report
+    per client.  Sessions are cheap; create one per logical client.
+    """
+
+    def __init__(self, service: TuningService, *, name: str = "") -> None:
+        self.service = service
+        self.name = name
+        #: Requests issued through this session (async and blocking).
+        self.requests = 0
+        #: Blocking requests whose latency was observed (spmv/spmm).
+        self.completed = 0
+        self.latency_total = 0.0
+
+    def submit(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> "Future[ServiceResult]":
+        """Asynchronous request; returns the service future."""
+        self.requests += 1
+        return self.service.submit(matrix, x, key=key, repetitions=repetitions)
+
+    def spmv(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> ServiceResult:
+        """Blocking SpMV: ``y = A @ x`` through the service."""
+        result = self.submit(
+            matrix, x, key=key, repetitions=repetitions
+        ).result()
+        self.completed += 1
+        self.latency_total += result.latency_seconds
+        return result
+
+    def spmm(
+        self,
+        matrix: MatrixLike,
+        X: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> ServiceResult:
+        """Blocking block SpMV: ``Y = A @ X`` for an ``(ncols, k)`` block."""
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValidationError(
+                f"spmm operand must be 2-D, got ndim={X.ndim}"
+            )
+        return self.spmv(matrix, X, key=key, repetitions=repetitions)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean wall latency of this session's blocking requests.
+
+        Async :meth:`submit` futures are not folded in — the session
+        never observes their completion — so the divisor is the count
+        of blocking :meth:`spmv`/:meth:`spmm` calls only.
+        """
+        return self.latency_total / self.completed if self.completed else 0.0

@@ -1,0 +1,125 @@
+"""ShardedEngineCache: sharding, LRU eviction, counters, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.service.cache import ShardedEngineCache
+
+
+def make_cache(**kwargs):
+    counter = {"built": 0}
+
+    def factory():
+        counter["built"] += 1
+        return {"id": counter["built"]}
+
+    cache = ShardedEngineCache(factory, **kwargs)
+    return cache, counter
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            make_cache(capacity=0)
+
+    def test_shards_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            make_cache(capacity=4, shards=0)
+
+    def test_shards_clamped_to_capacity(self):
+        cache, _ = make_cache(capacity=2, shards=16)
+        assert cache.n_shards == 2
+
+    def test_per_shard_capacities_sum_to_total(self):
+        cache, _ = make_cache(capacity=7, shards=3)
+        assert sum(s.capacity for s in cache._shards) == 7
+        assert all(s.capacity >= 1 for s in cache._shards)
+
+
+class TestLeaseAndEviction:
+    def test_lease_builds_once_and_hits_after(self):
+        cache, counter = make_cache(capacity=4, shards=2)
+        with cache.lease("a") as v1:
+            pass
+        with cache.lease("a") as v2:
+            pass
+        assert v1 is v2
+        assert counter["built"] == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_capacity_one_evicts_lru(self):
+        cache, counter = make_cache(capacity=1, shards=4)
+        assert cache.n_shards == 1  # clamped: deterministic eviction
+        evicted = []
+        cache.on_evict = lambda key, value: evicted.append(key)
+        with cache.lease("a"):
+            pass
+        with cache.lease("b"):
+            pass
+        assert evicted == ["a"]
+        assert "a" not in cache and "b" in cache
+        # touching "a" again rebuilds it and evicts "b"
+        with cache.lease("a"):
+            pass
+        assert evicted == ["a", "b"]
+        assert counter["built"] == 3
+        assert cache.stats()["evictions"] == 2
+
+    def test_lru_order_follows_recency(self):
+        cache, _ = make_cache(capacity=2, shards=1)
+        with cache.lease("a"):
+            pass
+        with cache.lease("b"):
+            pass
+        with cache.lease("a"):  # refresh "a"; "b" is now LRU
+            pass
+        with cache.lease("c"):
+            pass
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_shard_assignment_is_stable(self):
+        cache, _ = make_cache(capacity=8, shards=4)
+        other, _ = make_cache(capacity=8, shards=4)
+        for key in ("alpha", "beta", "gamma"):
+            assert cache.shard_of(key) == other.shard_of(key)
+            assert 0 <= cache.shard_of(key) < 4
+
+    def test_values_snapshot(self):
+        cache, _ = make_cache(capacity=4, shards=2)
+        with cache.lease("a"):
+            pass
+        with cache.lease("b"):
+            pass
+        assert len(cache.values()) == 2 == len(cache)
+
+
+class TestConcurrency:
+    def test_concurrent_leases_build_each_key_once(self):
+        # capacity 32 over 4 shards: no shard can overflow with 8 keys
+        cache, counter = make_cache(capacity=32, shards=4)
+        keys = [f"m{i}" for i in range(8)]
+        barrier = threading.Barrier(8)
+
+        def worker(idx: int) -> None:
+            barrier.wait()
+            for step in range(50):
+                with cache.lease(keys[(idx + step) % len(keys)]):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["built"] == len(keys)
+        stats = cache.stats()
+        assert stats["misses"] == len(keys)
+        assert stats["hits"] == 8 * 50 - len(keys)
+        assert stats["evictions"] == 0

@@ -1,0 +1,93 @@
+"""Trace construction and the multi-client replay driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.errors import ValidationError
+from repro.experiments import ArtifactStore, CorpusSpec, ExperimentSpec
+from repro.runtime.engine import WorkloadEngine
+from repro.service import (
+    TuningService,
+    replay,
+    synthetic_trace,
+    trace_from_suite,
+)
+
+
+class TestSyntheticTrace:
+    def test_deterministic_for_a_seed(self):
+        t1 = synthetic_trace(4, 20, seed=9)
+        t2 = synthetic_trace(4, 20, seed=9)
+        assert t1.sequence == t2.sequence
+        assert set(t1.sequence) <= set(t1.matrices)
+        for i in range(len(t1)):
+            assert np.array_equal(t1.operand(i), t2.operand(i))
+
+    def test_different_seeds_differ(self):
+        t1 = synthetic_trace(4, 30, seed=1)
+        t2 = synthetic_trace(4, 30, seed=2)
+        assert t1.sequence != t2.sequence or not np.array_equal(
+            t1.operand(0), t2.operand(0)
+        )
+
+    def test_requests_validated(self):
+        with pytest.raises(ValidationError):
+            synthetic_trace(4, 0)
+
+
+class TestReplay:
+    def test_replay_matches_serial_dispatch(self):
+        space = make_space("cirrus", "serial")
+        trace = synthetic_trace(3, 24, seed=5)
+        with TuningService(space, RunFirstTuner(), workers=3) as service:
+            report = replay(service, trace, clients=4)
+
+        assert report.requests == 24
+        assert len(report.results) == 24
+        assert report.clients == 4
+        assert report.throughput_rps > 0
+        assert report.mean_latency >= 0.0
+        assert report.service_stats["requests_served"] == 24
+
+        engine = WorkloadEngine(space, RunFirstTuner())
+        for i, result in enumerate(report.results):
+            serial = engine.execute(
+                trace.matrices[trace.sequence[i]],
+                trace.operand(i),
+                key=trace.sequence[i],
+            )
+            assert np.array_equal(result.y, serial.y)
+
+    def test_clients_validated(self):
+        space = make_space("cirrus", "serial")
+        trace = synthetic_trace(2, 4, seed=0)
+        with TuningService(space, workers=1) as service:
+            with pytest.raises(ValidationError):
+                replay(service, trace, clients=0)
+
+
+class TestSuiteTrace:
+    def test_trace_from_stored_suite(self, tmp_path):
+        spec = ExperimentSpec(
+            name="replay-suite", corpus=CorpusSpec(n_matrices=6, seed=11)
+        )
+        store = ArtifactStore(tmp_path)
+        store.save_spec(spec)
+
+        trace, loaded = trace_from_suite(
+            tmp_path, n_matrices=4, requests=10, seed=11
+        )
+        assert loaded.fingerprint == spec.fingerprint
+        assert trace.source == "suite:replay-suite"
+        assert len(trace) == 10
+        assert len(trace.matrices) == 4
+        corpus_names = {s.name for s in spec.corpus.build().specs}
+        assert set(trace.matrices) <= corpus_names
+
+    def test_missing_suite_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            trace_from_suite(tmp_path)

@@ -181,3 +181,62 @@ class TestRunResume:
 
         with pytest.raises(ValidationError):
             main(["resume", "--store", str(tmp_path / "empty")])
+
+
+class TestServe:
+    def test_synthetic_workload_reports_service_counters(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--system", "cirrus",
+                "--backend", "serial",
+                "--workers", "2",
+                "--capacity", "4",
+                "--clients", "4",
+                "--requests", "40",
+                "-n", "4",
+                "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served               40 requests from 4 clients" in out
+        assert "throughput" in out
+        assert "coalescing" in out
+        assert "engine cache" in out
+        assert "modelled seconds" in out
+
+    def test_requires_target_without_store(self, capsys):
+        assert main(["serve", "--requests", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "--system and --backend are required" in err
+
+    def test_serve_replays_stored_suite(self, capsys, tmp_path):
+        from repro.experiments import CorpusSpec, ExperimentSpec, TargetSpec
+
+        spec = ExperimentSpec(
+            name="serve-suite",
+            corpus=CorpusSpec(n_matrices=12, seed=5),
+            targets=(TargetSpec("cirrus", "serial"),),
+            algorithms=("random_forest",),
+            grid={"n_estimators": [4], "max_depth": [6]},
+            cv=3,
+        )
+        spec_path = tmp_path / "suite.json"
+        spec.save(spec_path)
+        store = str(tmp_path / "store")
+        assert main(["run", str(spec_path), "--store", store]) == 0
+        capsys.readouterr()
+
+        assert main(
+            [
+                "serve",
+                "--store", store,
+                "--workers", "2",
+                "--clients", "2",
+                "--requests", "20",
+                "-n", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replaying suite      serve-suite" in out
+        assert "served               20 requests from 2 clients" in out

@@ -1,0 +1,84 @@
+"""Documentation health: required pages exist, intra-repo links resolve.
+
+Runs the same checker CI's docs job uses (``tools/check_doc_links.py``),
+so a broken link fails the tier-1 suite locally before it fails CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+REQUIRED_DOCS = (
+    "docs/index.md",
+    "docs/architecture.md",
+    "docs/runtime.md",
+    "docs/service.md",
+    "docs/scenario_suites.md",
+)
+
+
+def load_checker():
+    path = os.path.join(REPO_ROOT, "tools", "check_doc_links.py")
+    spec = importlib.util.spec_from_file_location("check_doc_links", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return load_checker()
+
+
+def test_required_docs_exist():
+    for rel in REQUIRED_DOCS + ("README.md",):
+        assert os.path.exists(os.path.join(REPO_ROOT, rel)), f"missing {rel}"
+
+
+def test_index_links_every_doc_page():
+    with open(os.path.join(REPO_ROOT, "docs", "index.md"), encoding="utf-8") as fh:
+        index = fh.read()
+    for rel in REQUIRED_DOCS:
+        name = os.path.basename(rel)
+        if name != "index.md":
+            assert name in index, f"docs/index.md does not mention {name}"
+
+
+def test_readme_links_docs():
+    with open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8") as fh:
+        readme = fh.read()
+    for name in ("docs/architecture.md", "docs/runtime.md", "docs/service.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_all_intra_repo_links_resolve(checker, capsys):
+    assert checker.main([REPO_ROOT]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("OK:")
+
+
+def test_checker_flags_broken_links(checker, tmp_path, capsys):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "README.md").write_text(
+        "[good](docs/page.md) and [bad](docs/missing.md)\n", encoding="utf-8"
+    )
+    (docs / "page.md").write_text(
+        "[up](../README.md)\n"
+        "```\n[inside a code block](never/checked.md)\n```\n"
+        "[external](https://example.com) [anchor](#section)\n",
+        encoding="utf-8",
+    )
+    assert checker.main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "missing.md" in out
+    assert "never/checked.md" not in out
+
+    (docs / "missing.md").write_text("now it exists\n", encoding="utf-8")
+    assert checker.main([str(tmp_path)]) == 0

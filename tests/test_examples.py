@@ -78,6 +78,20 @@ def test_experiment_suite_runs(capsys, monkeypatch):
     assert "resume OK" in out
 
 
+def test_service_client_runs(capsys, monkeypatch):
+    mod = load_example("service_client")
+    monkeypatch.setattr(mod, "REQUESTS", 40)
+    monkeypatch.setattr(mod, "CLIENTS", 3)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "model(s) exported" in out
+    assert out.count("requests, mean latency") == 3
+    assert "replayed 40 requests from 3 clients" in out
+    assert "coalesced batches" in out
+    assert "engine cache" in out
+    assert "OK" in out
+
+
 def test_suitesparse_import_runs(capsys):
     load_example("suitesparse_import").main()
     out = capsys.readouterr().out

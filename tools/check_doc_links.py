@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Check intra-repo links in the Markdown documentation.
+
+Scans ``docs/**/*.md`` and ``README.md`` for inline Markdown links and
+images (``[text](target)`` / ``![alt](target)``) and verifies that every
+*relative* target resolves to an existing file or directory inside the
+repository.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are skipped; a ``path#fragment`` target is
+checked for the path part only.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed one per line as ``file:line: target``).  CI runs this as the docs
+job; ``tests/test_docs.py`` runs it in the tier-1 suite.
+
+Usage: python tools/check_doc_links.py [repo_root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline Markdown link/image: [text](target) — target without spaces.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files(root: str) -> Iterator[str]:
+    """README.md plus every Markdown file under docs/ (recursive)."""
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        yield readme
+    docs = os.path.join(root, "docs")
+    for dirpath, _dirnames, filenames in os.walk(docs):
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def _is_checkable(target: str) -> bool:
+    if not target or target.startswith("#"):
+        return False
+    return not target.lower().startswith(_EXTERNAL)
+
+
+def check_file(path: str, root: str) -> Tuple[List[Tuple[int, str]], int]:
+    """Check one file's relative links.
+
+    Returns ``(broken, checked)``: the broken links as
+    ``(line_number, target)`` pairs and the number of links actually
+    validated (external links, anchors and code-block content are
+    neither checked nor counted).
+    """
+    broken: List[Tuple[int, str]] = []
+    checked = 0
+    base = os.path.dirname(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        in_code_block = False
+        for lineno, line in enumerate(fh, start=1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+                continue
+            if in_code_block:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not _is_checkable(target):
+                    continue
+                checked += 1
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1)))
+                elif os.path.commonpath(
+                    [os.path.abspath(resolved), os.path.abspath(root)]
+                ) != os.path.abspath(root):
+                    # points outside the repository: treat as broken, the
+                    # docs must be self-contained
+                    broken.append((lineno, match.group(1)))
+    return broken, checked
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    root = os.path.abspath(
+        argv[0]
+        if argv
+        else os.path.join(os.path.dirname(__file__), os.pardir)
+    )
+    files = list(iter_doc_files(root))
+    if not files:
+        print(f"no Markdown files found under {root}", file=sys.stderr)
+        return 1
+    total_checked = 0
+    failures = 0
+    for path in files:
+        broken, checked = check_file(path, root)
+        total_checked += checked
+        rel = os.path.relpath(path, root)
+        for lineno, target in broken:
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s) across {len(files)} file(s)")
+        return 1
+    print(
+        f"OK: {len(files)} file(s), {total_checked} relative link(s) "
+        "checked, all targets resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
