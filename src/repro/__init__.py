@@ -29,6 +29,13 @@ The package re-creates the paper's full stack in pure Python/NumPy:
   (:class:`TuningService` / :class:`Session`): a sharded LRU of cached
   workload engines, coalescing of concurrent same-matrix requests into
   batched kernels, and a worker pool behind ``repro serve``.
+* :mod:`repro.adaptive` — the adaptive tuning loop closing the offline →
+  online gap: per-request telemetry with shadow timings
+  (:class:`TelemetryLog`), drift detection against the training suite's
+  fingerprinted baseline (:class:`DriftMonitor`), background retraining
+  through the experiment stages, and a versioned :class:`ModelRegistry`
+  from which the live service hot-swaps models (``repro adapt`` /
+  ``repro serve --adaptive``).
 
 Quickstart
 ----------
@@ -78,8 +85,18 @@ from repro.experiments import (
     TargetSpec,
 )
 from repro.service import Session, TuningService
+from repro.adaptive import (
+    AdaptiveController,
+    DriftMonitor,
+    ModelRegistry,
+    TelemetryLog,
+)
 
 __all__ = [
+    "AdaptiveController",
+    "DriftMonitor",
+    "ModelRegistry",
+    "TelemetryLog",
     "__version__",
     "COOMatrix",
     "CSRMatrix",

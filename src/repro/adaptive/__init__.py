@@ -1,0 +1,68 @@
+"""Adaptive tuning loop: telemetry → drift → retrain → promote.
+
+The offline pipeline trains format-selection models once; this package
+closes the loop for live traffic whose matrix population drifts away
+from the training corpus, bottom-up:
+
+* :mod:`~repro.adaptive.telemetry` — :class:`TelemetryLog`, the bounded
+  thread-safe (disk-spillable) buffer of per-request
+  :class:`Observation` records fed by the
+  :class:`~repro.service.service.TuningService` observer hook, including
+  periodic shadow timings of rival formats.
+* :mod:`~repro.adaptive.drift` — :class:`BaselineFingerprint` (the
+  training population condensed to feature moments + residual error,
+  stamped with the suite fingerprint) and :class:`DriftMonitor`, the
+  sliding-window detector that emits retrain triggers on feature shift
+  or mispredict degradation.
+* :mod:`~repro.adaptive.retrain` — :class:`Retrainer`, rebuilding the
+  model from telemetry-labelled samples (optionally augmenting the
+  offline dataset) through the same
+  :func:`~repro.experiments.stages.train_model` stage the offline
+  pipeline uses.
+* :mod:`~repro.adaptive.registry` — :class:`ModelRegistry`, versioned
+  on-disk model storage with an atomically replaced ``CURRENT`` pointer
+  (promote / rollback are each one ``os.replace``).
+* :mod:`~repro.adaptive.controller` — :class:`AdaptiveController`,
+  wiring all of the above onto a live service: observe, check, retrain
+  (inline or background), publish, hot-swap.
+* :mod:`~repro.adaptive.workload` — drifting traffic scenarios and the
+  offline :func:`mispredict_rate` ground-truth metric behind
+  ``repro adapt`` and ``benchmarks/bench_adaptive.py``.
+
+See ``docs/adaptive.md`` for the loop's semantics and guarantees.
+"""
+
+from repro.adaptive.controller import AdaptiveController
+from repro.adaptive.drift import BaselineFingerprint, DriftMonitor, DriftReport
+from repro.adaptive.registry import ModelRegistry, RegistryEntry
+from repro.adaptive.retrain import Retrainer, RetrainResult
+from repro.adaptive.telemetry import Observation, TelemetryLog
+from repro.adaptive.workload import (
+    BANDED_FAMILIES,
+    SCALE_FREE_FAMILIES,
+    Bootstrap,
+    DriftScenario,
+    bootstrap,
+    drifting_trace,
+    mispredict_rate,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "BANDED_FAMILIES",
+    "BaselineFingerprint",
+    "Bootstrap",
+    "DriftMonitor",
+    "DriftReport",
+    "DriftScenario",
+    "ModelRegistry",
+    "Observation",
+    "RegistryEntry",
+    "Retrainer",
+    "RetrainResult",
+    "SCALE_FREE_FAMILIES",
+    "TelemetryLog",
+    "bootstrap",
+    "drifting_trace",
+    "mispredict_rate",
+]

@@ -1,0 +1,329 @@
+"""The adaptive controller: close the telemetry → retrain → promote loop.
+
+Adaptive layer 5.  :class:`AdaptiveController` wires the pieces onto a
+live :class:`~repro.service.service.TuningService`:
+
+* :meth:`attach` installs the service observer, so every served batch
+  feeds the :class:`~repro.adaptive.telemetry.TelemetryLog` and the
+  :class:`~repro.adaptive.drift.DriftMonitor`;
+* every ``check_every`` observations the monitor is consulted; a drift
+  trigger hands the recent shadow-probed records to the
+  :class:`~repro.adaptive.retrain.Retrainer` (inline, or on the
+  controller's single background worker thread);
+* the retrained model is published to the
+  :class:`~repro.adaptive.registry.ModelRegistry`, promoted, and
+  hot-swapped into the service via
+  :meth:`~repro.service.service.TuningService.promote_model` — engines
+  re-decide formats under the new model while in-flight batches finish
+  under the old one;
+* :meth:`rollback` walks the registry back one promotion and swaps the
+  earlier model in, the one-call undo for a bad retrain.
+
+The controller never raises into the serving path: retrain failures are
+counted (:meth:`stats`) and serving continues under the current model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.adaptive.drift import DriftMonitor, DriftReport
+from repro.adaptive.registry import ModelRegistry
+from repro.adaptive.retrain import Retrainer, RetrainResult
+from repro.adaptive.telemetry import Observation, TelemetryLog
+from repro.core.model_io import OracleModel
+from repro.errors import AdaptiveError, ReproError
+
+__all__ = ["AdaptiveController"]
+
+
+def _tuner_for(model: OracleModel):
+    from repro.core.tuners.ml import DecisionTreeTuner, RandomForestTuner
+
+    cls = (
+        DecisionTreeTuner if model.kind == "decision_tree" else RandomForestTuner
+    )
+    return cls(model)
+
+
+class AdaptiveController:
+    """Drive one service's adaptive loop.
+
+    Parameters
+    ----------
+    service:
+        The live :class:`~repro.service.service.TuningService`.  Build
+        it with ``shadow_every > 0`` so telemetry carries shadow
+        timings — without them drift can only be detected from feature
+        shift and retraining has nothing to label.
+    registry:
+        The :class:`~repro.adaptive.registry.ModelRegistry` retrained
+        models are published to and promoted from.
+    telemetry / monitor / retrainer:
+        The loop's components; sensible defaults are built when omitted
+        (the default monitor self-baselines from the first live window).
+    baseline_dataset:
+        Optional offline ``{X_train, y_train, X_test, y_test}`` arrays;
+        telemetry samples augment it on every retrain so old knowledge
+        is kept.
+    check_every:
+        Drift checks run every this-many observations.
+    background:
+        ``True`` retrains on the controller's worker thread (serving
+        continues under the old model meanwhile); ``False`` retrains
+        inline on the observer's worker thread (deterministic — the
+        promotion lands before that fingerprint's next batch is
+        served).
+    source:
+        Provenance stamp for published models (typically the training
+        suite's fingerprint).
+    """
+
+    def __init__(
+        self,
+        service,
+        registry: ModelRegistry,
+        *,
+        telemetry: Optional[TelemetryLog] = None,
+        monitor: Optional[DriftMonitor] = None,
+        retrainer: Optional[Retrainer] = None,
+        baseline_dataset=None,
+        check_every: int = 32,
+        background: bool = False,
+        auto_promote: bool = True,
+        max_retrains: Optional[int] = None,
+        source: str = "",
+    ) -> None:
+        if check_every < 1:
+            raise AdaptiveError(
+                f"check_every must be >= 1, got {check_every}"
+            )
+        self.service = service
+        self.registry = registry
+        self.telemetry = telemetry if telemetry is not None else TelemetryLog()
+        self.monitor = monitor if monitor is not None else DriftMonitor()
+        if retrainer is None:
+            system, _, backend = service.space.name.partition("/")
+            retrainer = Retrainer(system=system, backend=backend)
+        self.retrainer = retrainer
+        self.baseline_dataset = baseline_dataset
+        self.check_every = int(check_every)
+        self.background = bool(background)
+        self.auto_promote = bool(auto_promote)
+        self.max_retrains = max_retrains
+        self.source = source
+        self._lock = threading.Lock()
+        self._since_check = 0
+        self._retraining = False
+        self._ingesting = 0
+        self._worker: Optional[threading.Thread] = None
+        self._attached = False
+        self.drift_events = 0
+        self.promotions = 0
+        self.rollbacks = 0
+        self.retrain_failures = 0
+        self.last_report: Optional[DriftReport] = None
+        self.last_trigger: Optional[DriftReport] = None
+        self.last_result: Optional[RetrainResult] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> "AdaptiveController":
+        """Install the service observer; returns ``self`` for chaining."""
+        self.service.set_observer(self._ingest)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove the observer (telemetry already gathered is kept)."""
+        if self._attached:
+            self.service.set_observer(None)
+            self._attached = False
+
+    def close(self) -> None:
+        """Detach and wait out every in-flight ingest and retrain.
+
+        A service worker thread may be anywhere inside :meth:`_ingest`
+        right now — even before ``_retraining`` is set — so this waits
+        for the in-flight ingest count to drain *and* the retrain flag
+        to clear (joining the background worker when one is registered),
+        rather than trusting a single ``_worker`` read.
+        """
+        self.detach()
+        while True:
+            with self._lock:
+                worker = self._worker
+                busy = self._retraining or self._ingesting > 0
+            if worker is not None and worker.is_alive():
+                worker.join()
+            elif busy:
+                # work in flight on a thread we can't join (an observer
+                # call mid-ingest, an inline retrain on a service
+                # worker, or a background thread not yet registered)
+                time.sleep(0.005)
+            else:
+                return
+
+    def __enter__(self) -> "AdaptiveController":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # observation path (runs on service worker threads)
+    # ------------------------------------------------------------------
+    def _ingest(self, observations: Sequence[Dict[str, object]]) -> None:
+        with self._lock:
+            self._ingesting += 1
+        try:
+            for payload in observations:
+                obs = self.telemetry.record(payload)
+                self.monitor.observe(obs)
+            with self._lock:
+                self._since_check += len(observations)
+                due = self._since_check >= self.check_every
+                if due:
+                    self._since_check = 0
+            if due:
+                self.maybe_adapt()
+        finally:
+            with self._lock:
+                self._ingesting -= 1
+
+    # ------------------------------------------------------------------
+    # the loop itself
+    # ------------------------------------------------------------------
+    def maybe_adapt(self) -> Optional[DriftReport]:
+        """Run one drift check; kick a retrain when it triggers.
+
+        Returns the report (``None`` when a retrain is already in
+        flight — checking mid-retrain would re-trigger on the same
+        window).
+        """
+        with self._lock:
+            if self._retraining:
+                return None
+            report = self.monitor.check()
+            self.last_report = report
+            if not report.drifted:
+                return report
+            if (
+                self.max_retrains is not None
+                and self.retrainer.retrains + self.retrain_failures
+                >= self.max_retrains
+            ):
+                return report
+            self.drift_events += 1
+            self.last_trigger = report
+            self._retraining = True
+        records = self.telemetry.shadowed_records()
+        if self.background:
+            worker = threading.Thread(
+                target=self._retrain_and_promote,
+                args=(records, report),
+                name="repro-adaptive-retrain",
+                daemon=True,
+            )
+            with self._lock:
+                self._worker = worker
+            worker.start()
+        else:
+            self._retrain_and_promote(records, report)
+        return report
+
+    def _retrain_and_promote(
+        self, records: List[Observation], report: DriftReport
+    ) -> None:
+        try:
+            result = self.retrainer.retrain(
+                records, baseline_dataset=self.baseline_dataset
+            )
+            self.last_result = result
+            version = self.registry.publish(
+                result.model,
+                metadata={
+                    "source": self.source or report.baseline_source,
+                    "trigger": list(report.reasons),
+                    "n_telemetry": result.n_telemetry,
+                    "n_samples": result.n_samples,
+                    "test_accuracy": result.test_accuracy,
+                },
+            )
+            if self.auto_promote:
+                self.promote(version)
+                # the reference population is now what the new model was
+                # trained on; keeping the old baseline would re-trigger
+                # feature drift forever on perfectly served traffic
+                self.monitor.rebaseline(result.baseline)
+        except ReproError:
+            # a failed retrain must never take serving down; the count
+            # is surfaced through stats() and the old model stays live
+            with self._lock:
+                self.retrain_failures += 1
+        finally:
+            with self._lock:
+                self._retraining = False
+
+    def promote(self, version: str) -> Dict[str, object]:
+        """Promote *version* in the registry and hot-swap it into service."""
+        entry = self.registry.promote(version)
+        model = self.registry.load(version)
+        info = self.service.promote_model(
+            _tuner_for(model),
+            version=version,
+            source=str(entry.metadata.get("source", self.source)),
+            algorithm=model.kind,
+        )
+        self.monitor.reset()
+        with self._lock:
+            self.promotions += 1
+        return info
+
+    def rollback(self) -> Dict[str, object]:
+        """Undo the latest promotion: registry pointer + live service."""
+        entry = self.registry.rollback()
+        model = self.registry.load(entry.version)
+        info = self.service.promote_model(
+            _tuner_for(model),
+            version=entry.version,
+            source=str(entry.metadata.get("source", self.source)),
+            algorithm=model.kind,
+        )
+        self.monitor.reset()
+        with self._lock:
+            self.rollbacks += 1
+        return info
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """One dict over the whole loop: every component + controller."""
+        with self._lock:
+            snapshot = {
+                "check_every": self.check_every,
+                "background": self.background,
+                "attached": self._attached,
+                "drift_events": self.drift_events,
+                "promotions": self.promotions,
+                "rollbacks": self.rollbacks,
+                "retrain_failures": self.retrain_failures,
+                "retraining": self._retraining,
+                "last_drift": (
+                    self.last_report.describe()
+                    if self.last_report is not None
+                    else None
+                ),
+                "last_trigger": (
+                    self.last_trigger.describe()
+                    if self.last_trigger is not None
+                    else None
+                ),
+            }
+        snapshot["telemetry"] = self.telemetry.stats()
+        snapshot["drift"] = self.monitor.stats()
+        snapshot["retrainer"] = self.retrainer.stats()
+        snapshot["registry"] = self.registry.stats()
+        return snapshot

@@ -1,0 +1,349 @@
+"""Drift detection: compare live traffic against a fingerprinted baseline.
+
+Adaptive layer 2.  A model trained offline is only as good as the match
+between its training corpus and the live matrix population.
+:class:`BaselineFingerprint` condenses the training population into a
+comparison-ready summary (per-feature mean/std, label distribution, the
+model's residual mispredict rate on held-out data) stamped with the
+training suite's fingerprint; :class:`DriftMonitor` slides a window over
+the live :class:`~repro.adaptive.telemetry.Observation` stream and
+raises a retrain trigger when either signal degrades:
+
+* **feature drift** — the live feature means move away from the baseline
+  by more than ``shift_threshold`` baseline standard deviations
+  (largest per-feature effect size wins);
+* **mispredict drift** — the shadow-probed mispredict rate exceeds the
+  baseline rate by more than ``mispredict_threshold``.
+
+Without an offline baseline the monitor self-baselines: the first
+``min_observations`` live records become the reference population, so
+``repro serve --adaptive`` works on any traffic source.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.adaptive.telemetry import Observation
+from repro.errors import ValidationError
+from repro.formats.base import FORMAT_NAMES
+
+__all__ = ["BaselineFingerprint", "DriftMonitor", "DriftReport"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BaselineFingerprint:
+    """Condensed summary of a training population.
+
+    ``source`` carries the provenance (typically the training suite's
+    :attr:`~repro.experiments.spec.ExperimentSpec.fingerprint`), so a
+    drift report can always say *which* population the live traffic
+    drifted away from.
+    """
+
+    feature_mean: np.ndarray
+    feature_std: np.ndarray
+    n_samples: int
+    label_distribution: Dict[str, float] = field(default_factory=dict)
+    mispredict_rate: float = 0.0
+    source: str = ""
+
+    @classmethod
+    def from_features(
+        cls,
+        X: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        *,
+        mispredict_rate: float = 0.0,
+        source: str = "",
+    ) -> "BaselineFingerprint":
+        """Fingerprint a feature matrix (rows = matrices, Table-I columns)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 1:
+            raise ValidationError(
+                "baseline features must be a non-empty 2-D array, got "
+                f"shape {X.shape}"
+            )
+        labels: Dict[str, float] = {}
+        if y is not None:
+            y = np.asarray(y)
+            values, counts = np.unique(y, return_counts=True)
+            labels = {
+                FORMAT_NAMES.get(int(v), str(int(v))): c / y.shape[0]
+                for v, c in zip(values, counts)
+            }
+        return cls(
+            feature_mean=X.mean(axis=0),
+            feature_std=X.std(axis=0),
+            n_samples=X.shape[0],
+            label_distribution=labels,
+            mispredict_rate=float(mispredict_rate),
+            source=source,
+        )
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: Mapping[str, np.ndarray],
+        *,
+        mispredict_rate: float = 0.0,
+        source: str = "",
+    ) -> "BaselineFingerprint":
+        """Fingerprint a stage dataset (train + test rows pooled)."""
+        X = np.concatenate(
+            [np.asarray(dataset["X_train"]), np.asarray(dataset["X_test"])]
+        )
+        y = np.concatenate(
+            [np.asarray(dataset["y_train"]), np.asarray(dataset["y_test"])]
+        )
+        return cls.from_features(
+            X, y, mispredict_rate=mispredict_rate, source=source
+        )
+
+    # ------------------------------------------------------------------
+    def shift_of(self, live_mean: np.ndarray) -> np.ndarray:
+        """Per-feature effect size of *live_mean* against this baseline."""
+        return np.abs(np.asarray(live_mean) - self.feature_mean) / (
+            self.feature_std + _EPS
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "feature_mean": [float(v) for v in self.feature_mean],
+            "feature_std": [float(v) for v in self.feature_std],
+            "n_samples": self.n_samples,
+            "label_distribution": dict(self.label_distribution),
+            "mispredict_rate": self.mispredict_rate,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "BaselineFingerprint":
+        return cls(
+            feature_mean=np.asarray(payload["feature_mean"], dtype=np.float64),
+            feature_std=np.asarray(payload["feature_std"], dtype=np.float64),
+            n_samples=int(payload["n_samples"]),
+            label_distribution=dict(payload.get("label_distribution", {})),
+            mispredict_rate=float(payload.get("mispredict_rate", 0.0)),
+            source=str(payload.get("source", "")),
+        )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one drift check."""
+
+    drifted: bool
+    reasons: tuple
+    feature_shift: float
+    mispredict_rate: Optional[float]
+    window_size: int
+    shadowed: int
+    baseline_source: str = ""
+
+    def describe(self) -> str:
+        """One-line human summary (CLI output)."""
+        rate = (
+            "n/a" if self.mispredict_rate is None
+            else f"{100 * self.mispredict_rate:.1f}%"
+        )
+        status = "drift detected" if self.drifted else "no drift"
+        detail = "; ".join(self.reasons) if self.reasons else "all clear"
+        return (
+            f"{status} over {self.window_size} observations "
+            f"(feature shift {self.feature_shift:.2f}, "
+            f"mispredict {rate}): {detail}"
+        )
+
+
+class DriftMonitor:
+    """Sliding-window drift detector over the live observation stream.
+
+    Parameters
+    ----------
+    baseline:
+        The training population's :class:`BaselineFingerprint`.  ``None``
+        self-baselines from the first ``min_observations`` live records.
+    window:
+        Observations kept for the live-side statistics.
+    min_observations:
+        Observations required before a check can trigger (and the
+        self-baseline freeze point when *baseline* is ``None``).
+    shift_threshold:
+        Feature-drift trigger: maximum per-feature effect size (live
+        mean vs baseline mean, in baseline standard deviations).
+    mispredict_threshold:
+        Mispredict-drift trigger: the shadow-probed mispredict rate must
+        exceed ``baseline.mispredict_rate + mispredict_threshold``.
+    min_shadowed:
+        Shadow-probed observations required before the mispredict signal
+        is trusted.
+
+    All methods are thread-safe; service worker threads feed
+    :meth:`observe` concurrently while the controller calls
+    :meth:`check`.
+    """
+
+    def __init__(
+        self,
+        baseline: Optional[BaselineFingerprint] = None,
+        *,
+        window: int = 256,
+        min_observations: int = 48,
+        shift_threshold: float = 2.0,
+        mispredict_threshold: float = 0.25,
+        min_shadowed: int = 8,
+    ) -> None:
+        if window < 2:
+            raise ValidationError(f"window must be >= 2, got {window}")
+        if min_observations < 2:
+            raise ValidationError(
+                f"min_observations must be >= 2, got {min_observations}"
+            )
+        if window < min_observations:
+            # the feature deque holds at most `window` entries, so this
+            # configuration could never reach min_observations: feature
+            # drift and self-baselining would be silently dead
+            raise ValidationError(
+                f"window ({window}) must be >= min_observations "
+                f"({min_observations})"
+            )
+        if shift_threshold <= 0 or mispredict_threshold <= 0:
+            raise ValidationError("drift thresholds must be > 0")
+        self.baseline = baseline
+        self.window = int(window)
+        self.min_observations = int(min_observations)
+        self.shift_threshold = float(shift_threshold)
+        self.mispredict_threshold = float(mispredict_threshold)
+        self.min_shadowed = int(min_shadowed)
+        self._lock = threading.Lock()
+        self._features: Deque[np.ndarray] = deque(maxlen=self.window)
+        self._mispredicts: Deque[bool] = deque(maxlen=self.window)
+        self.observed = 0
+        self.checks = 0
+        self.triggers = 0
+        self.self_baselined = baseline is None
+
+    # ------------------------------------------------------------------
+    def observe(self, observation: Observation) -> None:
+        """Fold one observation into the live window.
+
+        Observations without features still count the mispredict signal
+        (when shadow-probed); the feature window only grows on records
+        that carry a feature vector.
+        """
+        with self._lock:
+            self.observed += 1
+            if observation.features is not None:
+                self._features.append(
+                    np.asarray(observation.features, dtype=np.float64)
+                )
+            flag = observation.mispredicted
+            if flag is not None:
+                self._mispredicts.append(bool(flag))
+            if (
+                self.baseline is None
+                and len(self._features) >= self.min_observations
+            ):
+                # self-baseline: the warm-up window becomes the reference
+                X = np.stack(list(self._features))
+                self.baseline = BaselineFingerprint.from_features(
+                    X, source="self-baseline"
+                )
+                self._features.clear()
+                self._mispredicts.clear()
+
+    def reset(self) -> None:
+        """Clear the live window (called after a promotion)."""
+        with self._lock:
+            self._features.clear()
+            self._mispredicts.clear()
+
+    def rebaseline(self, baseline: BaselineFingerprint) -> None:
+        """Swap the reference population and clear the live window.
+
+        Called after a retrain promotion: the new model was trained on
+        the telemetry-augmented population, so *that* becomes the
+        reference — otherwise the old baseline would re-trigger feature
+        drift forever even while the new model predicts perfectly.
+        """
+        with self._lock:
+            self.baseline = baseline
+            self._features.clear()
+            self._mispredicts.clear()
+
+    # ------------------------------------------------------------------
+    def check(self) -> DriftReport:
+        """Compare the live window against the baseline; count triggers."""
+        with self._lock:
+            self.checks += 1
+            features = list(self._features)
+            flags = list(self._mispredicts)
+            baseline = self.baseline
+        reasons: List[str] = []
+        shift = 0.0
+        rate: Optional[float] = None
+        if len(flags) >= self.min_shadowed:
+            rate = sum(flags) / len(flags)
+        if baseline is not None:
+            if len(features) >= self.min_observations:
+                live_mean = np.stack(features).mean(axis=0)
+                shift = float(baseline.shift_of(live_mean).max())
+                if shift > self.shift_threshold:
+                    reasons.append(
+                        f"feature shift {shift:.2f} > "
+                        f"{self.shift_threshold:.2f}"
+                    )
+            # the mispredict signal has its own gate (min_shadowed), not
+            # the feature window's: featureless shadow-probed records
+            # (e.g. rebuilt from a spill) must still be able to trigger
+            if rate is not None:
+                allowed = baseline.mispredict_rate + self.mispredict_threshold
+                if rate > allowed:
+                    reasons.append(
+                        f"mispredict rate {100 * rate:.1f}% > "
+                        f"{100 * allowed:.1f}% allowed"
+                    )
+        report = DriftReport(
+            drifted=bool(reasons),
+            reasons=tuple(reasons),
+            feature_shift=shift,
+            mispredict_rate=rate,
+            window_size=len(features),
+            shadowed=len(flags),
+            baseline_source=baseline.source if baseline is not None else "",
+        )
+        if report.drifted:
+            with self._lock:
+                self.triggers += 1
+        return report
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Monitor counters + configuration in one dict."""
+        with self._lock:
+            return {
+                "window": self.window,
+                "min_observations": self.min_observations,
+                "shift_threshold": self.shift_threshold,
+                "mispredict_threshold": self.mispredict_threshold,
+                "observed": self.observed,
+                "checks": self.checks,
+                "triggers": self.triggers,
+                "live_window": len(self._features),
+                "baseline_source": (
+                    self.baseline.source if self.baseline is not None else ""
+                ),
+                "baseline_mispredict_rate": (
+                    self.baseline.mispredict_rate
+                    if self.baseline is not None
+                    else None
+                ),
+            }

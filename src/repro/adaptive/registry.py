@@ -1,0 +1,272 @@
+"""Versioned on-disk model registry with atomic promote / rollback.
+
+Adaptive layer 4.  Retrained models have to reach the live service
+without a deploy step and without ever exposing a half-written file:
+
+* every published model lands under ``<root>/versions/vNNNN.model``
+  (Oracle text format, written via temp-file + ``os.replace``) next to a
+  ``vNNNN.json`` metadata sidecar (provenance: source fingerprint,
+  trigger, scores, creation time);
+* the *live* version is a single ``CURRENT`` pointer file, replaced
+  atomically, so a reader never sees a torn pointer — promotion and
+  rollback are both one ``os.replace``;
+* every pointer move is appended to ``HISTORY`` (``<ts> <event>
+  <version>``), which is what :meth:`ModelRegistry.rollback` walks to
+  find the previous live version.
+
+The registry is a directory, so it is shared trivially between the
+retraining worker (writer) and any number of serving processes
+(readers).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.model_io import OracleModel, load_model, save_model
+from repro.errors import AdaptiveError
+
+__all__ = ["ModelRegistry", "RegistryEntry"]
+
+_VERSIONS = "versions"
+_CURRENT = "CURRENT"
+_HISTORY = "HISTORY"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published model version: file paths + metadata."""
+
+    version: str
+    model_path: str
+    metadata: Dict[str, object]
+
+    @property
+    def created_at(self) -> float:
+        return float(self.metadata.get("created_at", 0.0))
+
+
+def _atomic_write(path: str, content: str) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".registry.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(content)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+class ModelRegistry:
+    """Directory of versioned Oracle models with an atomic live pointer.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created if absent.
+
+    Publishing and promotion are separate steps: :meth:`publish` writes
+    a new immutable version, :meth:`promote` moves the ``CURRENT``
+    pointer to it.  :meth:`rollback` moves the pointer back to the
+    previously live version.  All mutation is serialised by an in-process
+    lock; on-disk readers are safe at any time because every file
+    appears via ``os.replace``.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = str(root)
+        os.makedirs(os.path.join(self.root, _VERSIONS), exist_ok=True)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _version_dir(self) -> str:
+        return os.path.join(self.root, _VERSIONS)
+
+    def _model_path(self, version: str) -> str:
+        return os.path.join(self._version_dir(), f"{version}.model")
+
+    def _meta_path(self, version: str) -> str:
+        return os.path.join(self._version_dir(), f"{version}.json")
+
+    def versions(self) -> List[str]:
+        """All published versions, oldest first."""
+        return sorted(
+            name[: -len(".model")]
+            for name in os.listdir(self._version_dir())
+            if name.endswith(".model")
+        )
+
+    def _next_version(self) -> str:
+        existing = self.versions()
+        highest = 0
+        for version in existing:
+            try:
+                highest = max(highest, int(version.lstrip("v")))
+            except ValueError:
+                continue
+        return f"v{highest + 1:04d}"
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        model: OracleModel,
+        *,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Write *model* as a new immutable version; returns its id.
+
+        The version stamp and provenance metadata are embedded in the
+        model file itself (``meta`` line), so a model file copied out of
+        the registry still knows where it came from.
+        """
+        with self._lock:
+            version = self._next_version()
+            meta: Dict[str, object] = {
+                "version": version,
+                "created_at": time.time(),
+                **(metadata or {}),
+            }
+            stamped = OracleModel(
+                kind=model.kind,
+                trees=model.trees,
+                classes=model.classes,
+                n_features=model.n_features,
+                system=model.system,
+                backend=model.backend,
+                metadata={**model.metadata, **meta},
+            )
+            model_path = self._model_path(version)
+            fd, tmp = tempfile.mkstemp(
+                dir=self._version_dir(), prefix=".model.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="ascii") as fh:
+                    save_model(fh, stamped)
+                os.replace(tmp, model_path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            _atomic_write(
+                self._meta_path(version),
+                json.dumps(meta, sort_keys=True, indent=2) + "\n",
+            )
+            return version
+
+    # ------------------------------------------------------------------
+    def current(self) -> Optional[str]:
+        """The live version id, or ``None`` before the first promotion."""
+        path = os.path.join(self.root, _CURRENT)
+        if not os.path.exists(path):
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            version = fh.read().strip()
+        return version or None
+
+    def entry(self, version: Optional[str] = None) -> RegistryEntry:
+        """The :class:`RegistryEntry` for *version* (default: live)."""
+        version = version if version is not None else self.current()
+        if version is None:
+            raise AdaptiveError("registry has no live model (promote first)")
+        model_path = self._model_path(version)
+        if not os.path.exists(model_path):
+            raise AdaptiveError(
+                f"no model version {version!r} in {self.root}"
+            )
+        metadata: Dict[str, object] = {}
+        if os.path.exists(self._meta_path(version)):
+            with open(self._meta_path(version), "r", encoding="utf-8") as fh:
+                metadata = json.load(fh)
+        return RegistryEntry(
+            version=version, model_path=model_path, metadata=metadata
+        )
+
+    def load(self, version: Optional[str] = None) -> OracleModel:
+        """Load a published model (default: the live one)."""
+        return load_model(self.entry(version).model_path)
+
+    # ------------------------------------------------------------------
+    def _append_history(self, event: str, version: str) -> None:
+        with open(
+            os.path.join(self.root, _HISTORY), "a", encoding="utf-8"
+        ) as fh:
+            fh.write(f"{time.time():.6f} {event} {version}\n")
+
+    def history(self) -> List[Dict[str, object]]:
+        """Pointer moves, oldest first: ``{at, event, version}`` dicts."""
+        path = os.path.join(self.root, _HISTORY)
+        if not os.path.exists(path):
+            return []
+        events = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                parts = line.split()
+                if len(parts) == 3:
+                    events.append(
+                        {
+                            "at": float(parts[0]),
+                            "event": parts[1],
+                            "version": parts[2],
+                        }
+                    )
+        return events
+
+    def promote(self, version: str) -> RegistryEntry:
+        """Atomically point ``CURRENT`` at *version*; returns its entry."""
+        with self._lock:
+            entry = self.entry(version)
+            _atomic_write(os.path.join(self.root, _CURRENT), version + "\n")
+            self._append_history("promote", version)
+            return entry
+
+    def _promote_stack(self) -> List[str]:
+        """Replay the history into the stack of still-live promotions.
+
+        Each ``promote`` pushes its version; each ``rollback`` pops the
+        abandoned one, so the stack top is always the current version
+        and repeated rollbacks keep walking further back instead of
+        ping-ponging between the last two versions.
+        """
+        stack: List[str] = []
+        for event in self.history():
+            if event["event"] == "promote":
+                stack.append(str(event["version"]))
+            elif event["event"] == "rollback" and stack:
+                stack.pop()
+        return stack
+
+    def rollback(self) -> RegistryEntry:
+        """Move the live pointer back to the previously live version.
+
+        Raises :class:`~repro.errors.AdaptiveError` when there is no
+        earlier promotion to return to.
+        """
+        with self._lock:
+            stack = self._promote_stack()
+            if len(stack) < 2:
+                raise AdaptiveError(
+                    "no earlier promoted version to roll back to"
+                )
+            previous = stack[-2]
+            entry = self.entry(previous)
+            _atomic_write(os.path.join(self.root, _CURRENT), previous + "\n")
+            self._append_history("rollback", previous)
+            return entry
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Registry summary for metrics endpoints."""
+        history = self.history()
+        return {
+            "root": self.root,
+            "versions": len(self.versions()),
+            "current": self.current(),
+            "promotions": sum(1 for e in history if e["event"] == "promote"),
+            "rollbacks": sum(1 for e in history if e["event"] == "rollback"),
+        }

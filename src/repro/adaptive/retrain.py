@@ -1,0 +1,250 @@
+"""Telemetry-driven retraining through the offline experiment stages.
+
+Adaptive layer 3.  Shadow-probed telemetry records are miniature
+profiling runs: each carries the matrix's Table-I features *and* the
+measured per-format timings, so labelling is just ``argmin``.
+:class:`Retrainer` turns a batch of such records into a dataset, folds
+it into the (optional) offline baseline dataset via
+:func:`repro.experiments.stages.augment_dataset`, and hands the result
+to the *same* :func:`repro.experiments.stages.train_model` the offline
+pipeline uses — the adaptive loop retrains with the full grid-search /
+CV / held-out-scoring machinery, not a shortcut.
+
+Retraining is synchronous here; the
+:class:`~repro.adaptive.controller.AdaptiveController` decides whether
+to run it inline or on its background worker thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adaptive.drift import BaselineFingerprint
+from repro.adaptive.telemetry import Observation
+from repro.core.model_io import OracleModel
+from repro.errors import AdaptiveError
+from repro.experiments.stages import augment_dataset, train_model
+from repro.formats.base import FORMAT_IDS
+
+__all__ = ["Retrainer", "RetrainResult"]
+
+#: Deliberately small default grid: online retraining happens between
+#: serving batches, so it trades a little accuracy headroom for speed.
+#: Callers with slack pass a larger grid (or ``None`` for the offline
+#: default grid).
+FAST_RF_GRID: Dict[str, Sequence[object]] = {
+    "n_estimators": [10],
+    "max_depth": [10],
+}
+
+
+@dataclass(frozen=True)
+class RetrainResult:
+    """One completed retrain: the deployable model + its provenance.
+
+    ``baseline`` fingerprints the population the model was trained on
+    (offline corpus + telemetry) with the model's held-out error — the
+    drift monitor adopts it after the promotion, so future drift is
+    measured against what the *new* model knows.
+    """
+
+    model: OracleModel
+    algorithm: str
+    n_samples: int
+    n_telemetry: int
+    test_scores: Dict[str, float]
+    cv_best_score: float
+    baseline: BaselineFingerprint
+
+    @property
+    def test_accuracy(self) -> float:
+        return float(self.test_scores.get("tuned_accuracy", 0.0))
+
+
+class Retrainer:
+    """Rebuild the format-selection model from telemetry records.
+
+    Parameters
+    ----------
+    system / backend:
+        Stamped into the retrained model (provenance + tuner binding).
+    algorithm:
+        ``"random_forest"`` or ``"decision_tree"``.
+    grid:
+        Hyperparameter grid for the retrain's grid search; defaults to
+        the deliberately small :data:`FAST_RF_GRID`.
+    cv / seed / test_fraction:
+        Training axes, as in the offline train stage.
+    min_samples:
+        Minimum telemetry records (post-dedup) required to attempt a
+        retrain.
+    recency_weight:
+        How many times each *train-side* telemetry sample is replicated
+        when augmenting a baseline dataset (replication happens after
+        the train/test split, so held-out scores stay honest).
+        Telemetry describes the *live* population but is usually
+        outnumbered by the offline corpus; replication shifts the class
+        balance toward what traffic looks like now without discarding
+        the old knowledge.
+    """
+
+    def __init__(
+        self,
+        *,
+        system: str = "",
+        backend: str = "",
+        algorithm: str = "random_forest",
+        grid: Optional[Mapping[str, Sequence[object]]] = None,
+        cv: int = 3,
+        seed: int = 0,
+        test_fraction: float = 0.25,
+        min_samples: int = 4,
+        recency_weight: int = 3,
+    ) -> None:
+        if recency_weight < 1:
+            raise AdaptiveError(
+                f"recency_weight must be >= 1, got {recency_weight}"
+            )
+        self.system = system
+        self.backend = backend
+        self.algorithm = algorithm
+        self.grid = dict(grid) if grid is not None else dict(FAST_RF_GRID)
+        self.cv = int(cv)
+        self.seed = int(seed)
+        self.test_fraction = float(test_fraction)
+        self.min_samples = int(min_samples)
+        self.recency_weight = int(recency_weight)
+        self.retrains = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dataset_from_records(
+        records: Sequence[Observation],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(X, y)`` from shadow-probed records, deduplicated by matrix.
+
+        The label of a record is the *measured*-fastest format from its
+        shadow timings.  Repeated probes of one matrix collapse to the
+        latest record, so hot matrices don't drown out the rest of the
+        drifted population.
+        """
+        latest: Dict[str, Observation] = {}
+        for obs in records:
+            if obs.features is None or not obs.shadow_times:
+                continue
+            latest[obs.fingerprint] = obs
+        if not latest:
+            return np.empty((0, 0)), np.empty((0,), dtype=np.int64)
+        ordered = sorted(latest.values(), key=lambda o: o.sequence)
+        X = np.stack([np.asarray(o.features, dtype=np.float64) for o in ordered])
+        y = np.asarray(
+            [FORMAT_IDS[o.shadow_best] for o in ordered], dtype=np.int64
+        )
+        return X, y
+
+    # ------------------------------------------------------------------
+    def retrain(
+        self,
+        records: Sequence[Observation],
+        *,
+        baseline_dataset: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> RetrainResult:
+        """Train a fresh model from *records* (+ the offline baseline).
+
+        With a *baseline_dataset* (the suite's ``(X, y)`` splits) the
+        telemetry samples augment it — the retrained model keeps what it
+        knew about the old population while learning the new one.
+        Raises :class:`~repro.errors.AdaptiveError` when the records
+        cannot support a retrain (too few samples, or a single label
+        class with no baseline to widen it).
+        """
+        X, y = self.dataset_from_records(records)
+        n_telemetry = X.shape[0]
+        if n_telemetry < self.min_samples:
+            self.failures += 1
+            raise AdaptiveError(
+                f"retrain needs >= {self.min_samples} shadow-probed "
+                f"records, got {n_telemetry}"
+            )
+        if baseline_dataset is not None:
+            # replication is applied train-side only, after the split
+            # (augment_dataset's train_replicas), so duplicated rows can
+            # never leak into the held-out test score
+            dataset = augment_dataset(
+                dict(baseline_dataset),
+                X,
+                y,
+                test_fraction=self.test_fraction,
+                seed=self.seed,
+                train_replicas=self.recency_weight,
+            )
+        else:
+            order = np.random.default_rng(self.seed).permutation(n_telemetry)
+            n_test = max(1, int(round(self.test_fraction * n_telemetry)))
+            test_idx, train_idx = order[:n_test], order[n_test:]
+            dataset = {
+                "X_train": X[train_idx],
+                "y_train": y[train_idx],
+                "X_test": X[test_idx],
+                "y_test": y[test_idx],
+            }
+        if np.unique(dataset["y_train"]).shape[0] < 2:
+            self.failures += 1
+            raise AdaptiveError(
+                "telemetry labels collapse to a single format class; "
+                "augment with a baseline dataset to retrain"
+            )
+        tm = train_model(
+            dataset["X_train"],
+            dataset["y_train"],
+            dataset["X_test"],
+            dataset["y_test"],
+            algorithm=self.algorithm,
+            grid=self.grid,
+            cv=self.cv,
+            seed=self.seed,
+            system=self.system,
+            backend=self.backend,
+        )
+        self.retrains += 1
+        # the monitor's future allowance is the model's residual on its
+        # own (full) training population — the held-out split is kept
+        # for honest reporting but is far too small online to anchor a
+        # drift threshold (a noisy-high test error would make the
+        # monitor tolerate a model that keeps mispredicting live)
+        from repro.ml.metrics import accuracy_score
+
+        X_all = np.concatenate([dataset["X_train"], dataset["X_test"]])
+        y_all = np.concatenate([dataset["y_train"], dataset["y_test"]])
+        fit_rate = 1.0 - float(
+            accuracy_score(y_all, tm.oracle_model.predict(X_all))
+        )
+        return RetrainResult(
+            model=tm.oracle_model,
+            algorithm=self.algorithm,
+            n_samples=int(dataset["X_train"].shape[0])
+            + int(dataset["X_test"].shape[0]),
+            n_telemetry=n_telemetry,
+            test_scores=dict(tm.test_scores),
+            cv_best_score=float(tm.cv_best_score),
+            baseline=BaselineFingerprint.from_dataset(
+                dataset,
+                mispredict_rate=fit_rate,
+                source=f"retrain:{self.retrains}",
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "cv": self.cv,
+            "min_samples": self.min_samples,
+            "retrains": self.retrains,
+            "failures": self.failures,
+        }

@@ -31,7 +31,14 @@ Subcommands mirror the paper's pipeline:
     with a multi-client workload — synthetic by default, or a trace
     replayed over a stored suite's corpus and exported model with
     ``--store`` — and report throughput, latency, coalescing and
-    engine-cache counters.
+    engine-cache counters.  ``--adaptive`` attaches an
+    :class:`~repro.adaptive.controller.AdaptiveController` (telemetry,
+    drift detection, background retraining, hot model reload).
+``repro-oracle adapt --system cirrus --backend cuda --requests 160``
+    End-to-end adaptive-loop demonstration: train an initial model on a
+    banded corpus, serve a workload that drifts to scale-free matrices,
+    watch the drift monitor trigger a retrain, and report how much the
+    promoted model lowers the mispredict rate on the drifted segment.
 """
 
 from __future__ import annotations
@@ -213,6 +220,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+    import time
+
     from repro.service import (
         TuningService,
         replay,
@@ -221,11 +231,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_from_suite,
     )
 
+    shadow_every = args.shadow_every
+    if args.adaptive and shadow_every == 0:
+        shadow_every = 4  # the adaptive loop needs shadow timings
     service_kwargs = dict(
         workers=args.workers,
         capacity=args.capacity,
         shards=args.shards,
         max_batch=args.max_batch,
+        shadow_every=shadow_every,
     )
     if args.store:
         trace, spec = trace_from_suite(
@@ -251,8 +265,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.n_matrices, args.requests, seed=args.seed
         )
         service = TuningService(space, tuner, **service_kwargs)
+    controller = None
+    if args.adaptive:
+        from repro.adaptive import AdaptiveController, ModelRegistry
+
+        registry_dir = args.registry or tempfile.mkdtemp(
+            prefix="repro-registry-"
+        )
+        controller = AdaptiveController(
+            service,
+            ModelRegistry(registry_dir),
+            check_every=args.check_every,
+            background=True,
+        ).attach()
     with service:
         report = replay(service, trace, clients=args.clients)
+        if controller is not None:
+            controller.close()
     stats = report.service_stats
     cache = stats["engine_cache"]
     engines = stats["engines"]
@@ -281,6 +310,125 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"modelled seconds     spmv {engines['seconds']['spmv']:.6f}, "
           f"tuning {engines['seconds']['tuning']:.6f}, "
           f"conversion {engines['seconds']['conversion']:.6f}")
+    model = service.stats()["model"]  # re-read: a late promotion counts
+    promoted_at = model.get("promoted_at")
+    when = (
+        time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(promoted_at))
+        if promoted_at
+        else "never"
+    )
+    print(f"model                {model['version']} "
+          f"(source {model['source'] or '-'}, "
+          f"promotions {model['promotions']}, promoted {when})")
+    if controller is not None:
+        cstats = controller.stats()
+        telemetry = cstats["telemetry"]
+        print(f"adaptive             {cstats['drift_events']} drift events, "
+              f"{cstats['retrainer']['retrains']} retrains, "
+              f"{cstats['promotions']} promotions "
+              f"({telemetry['recorded']} telemetry records, "
+              f"{telemetry['shadowed']} shadow-probed)")
+    return 0
+
+
+def cmd_adapt(args: argparse.Namespace) -> int:
+    """End-to-end adaptive loop over a synthetic drifting workload."""
+    import tempfile
+
+    from repro.adaptive import (
+        AdaptiveController,
+        DriftMonitor,
+        ModelRegistry,
+        Retrainer,
+        bootstrap,
+        drifting_trace,
+        mispredict_rate,
+    )
+    from repro.core.tuners.ml import RandomForestTuner
+    from repro.service import TuningService, replay
+
+    space = make_space(args.system, args.backend)
+    boot = bootstrap(
+        args.system,
+        args.backend,
+        n_matrices=args.train_matrices,
+        seed=args.seed,
+    )
+    scenario = drifting_trace(
+        n_matrices=args.n_matrices, requests=args.requests, seed=args.seed + 1
+    )
+    frozen_mis = mispredict_rate(boot.model, scenario.after_matrices, space)
+
+    registry = ModelRegistry(
+        args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+    )
+    initial = registry.publish(
+        boot.model, metadata={"source": boot.baseline.source}
+    )
+    registry.promote(initial)
+    service = TuningService(
+        space, workers=args.workers, shadow_every=args.shadow_every
+    )
+    service.promote_model(
+        RandomForestTuner(registry.load()),
+        version=initial,
+        source=boot.baseline.source,
+        algorithm="random_forest",
+    )
+    controller = AdaptiveController(
+        service,
+        registry,
+        monitor=DriftMonitor(
+            boot.baseline, window=64, min_observations=24, min_shadowed=6
+        ),
+        retrainer=Retrainer(system=args.system, backend=args.backend),
+        baseline_dataset=boot.dataset,
+        check_every=args.check_every,
+        background=False,
+        source=boot.baseline.source,
+    )
+    # serve the pre-drift phase once, then the drifted phase in waves —
+    # sustained drifted traffic lets the loop probe the whole population,
+    # retrain, and confirm the fix instead of adapting from one snapshot
+    with service, controller:
+        replay(service, scenario.phase_trace("before"), clients=args.clients)
+        post = scenario.phase_trace("after")
+        for _ in range(args.waves):
+            replay(service, post, clients=args.clients)
+    stats = controller.stats()
+
+    print(f"bootstrap            {initial} trained on "
+          f"{args.train_matrices} banded-mix matrices "
+          f"(test accuracy {100 * boot.test_scores['tuned_accuracy']:.1f}%)")
+    requests_served = service.stats()["requests_served"]
+    print(f"workload             {requests_served} requests over "
+          f"2x{args.n_matrices} matrices on {space.name}, population "
+          f"shift at request {scenario.shift_index} "
+          f"({args.waves} drifted waves)")
+    print(f"telemetry            {stats['telemetry']['recorded']} records, "
+          f"{stats['telemetry']['shadowed']} shadow-probed, "
+          f"{stats['telemetry']['mispredicts']} mispredicts observed")
+    print(f"drift                "
+          f"{stats['last_trigger'] or stats['last_drift'] or 'no check ran'}")
+    print(f"retrain              {stats['retrainer']['retrains']} retrains "
+          f"({stats['retrain_failures']} failures), "
+          f"{controller.promotions} promotions")
+    if controller.promotions == 0:
+        print("adaptive loop never promoted a model; nothing to compare",
+              file=sys.stderr)
+        return 1
+    adapted = registry.load()
+    adapted_mis = mispredict_rate(adapted, scenario.after_matrices, space)
+    version = registry.current()
+    reduction = (
+        100.0 * (frozen_mis - adapted_mis) / frozen_mis if frozen_mis else 0.0
+    )
+    print(f"promoted             {version} "
+          f"(registry {registry.stats()['versions']} versions, "
+          f"current {version})")
+    print(f"mispredict rate      frozen {100 * frozen_mis:.1f}% -> "
+          f"adaptive {100 * adapted_mis:.1f}% on the drifted segment "
+          f"({reduction:.1f}% lower)")
     return 0
 
 
@@ -436,7 +584,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="distinct matrices in the workload",
     )
     p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="attach the adaptive loop (telemetry, drift detection, "
+             "background retraining, hot model reload)",
+    )
+    p.add_argument(
+        "--registry", default=None,
+        help="model-registry directory for --adaptive (default: temp dir)",
+    )
+    p.add_argument(
+        "--shadow-every", type=int, default=0,
+        help="shadow-profile every Nth batch per matrix (0 = off; "
+             "--adaptive defaults to 4)",
+    )
+    p.add_argument(
+        "--check-every", type=int, default=32,
+        help="drift-check cadence in observations (with --adaptive)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "adapt",
+        help="demonstrate the adaptive loop on a drifting workload",
+    )
+    p.add_argument("--system", default="cirrus", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--backend", default="cuda",
+        choices=["serial", "openmp", "cuda", "hip"],
+    )
+    p.add_argument(
+        "--train-matrices", type=int, default=24,
+        help="bootstrap training-corpus size (banded family mix)",
+    )
+    p.add_argument(
+        "-n", "--n-matrices", type=int, default=6,
+        help="matrices per workload phase (before/after the shift)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=160,
+        help="total requests; the population shifts halfway",
+    )
+    p.add_argument("--workers", type=int, default=4, help="service threads")
+    p.add_argument("--clients", type=int, default=4, help="client threads")
+    p.add_argument(
+        "--shadow-every", type=int, default=2,
+        help="shadow-profile every Nth batch per matrix",
+    )
+    p.add_argument(
+        "--check-every", type=int, default=16,
+        help="drift-check cadence in observations",
+    )
+    p.add_argument(
+        "--waves", type=int, default=3,
+        help="replays of the drifted phase (sustained drifted traffic)",
+    )
+    p.add_argument(
+        "--registry", default=None,
+        help="model-registry directory (default: temp dir)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_adapt)
 
     p = sub.add_parser(
         "run", help="run a declarative scenario suite (resumable)"

@@ -12,17 +12,24 @@ format here is a line-oriented text serialisation:
     backend cuda
     n_features 10
     classes 0 1 2 3 4 5
+    meta {"version": "v0002", "source": "<suite fingerprint>"}
     n_trees 40
     tree 0 <n_nodes>
     <feature> <threshold> <left> <right> <count_0> ... <count_k>
     ...
 
-Feature lines use ``repr`` floats so round-trips are bit-exact.  The loader
-reconstructs an :class:`OracleModel`, which both ML tuners consume.
+Feature lines use ``repr`` floats so round-trips are bit-exact.  The
+``meta`` line is optional (written only when the model carries metadata,
+so pre-existing files stay byte-identical) and holds a single JSON
+object — the provenance the adaptive
+:class:`~repro.adaptive.registry.ModelRegistry` stamps on every
+published version.  The loader reconstructs an :class:`OracleModel`,
+which both ML tuners consume.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import IO, List, Union
@@ -150,6 +157,12 @@ def _write(fh: IO[str], model: OracleModel) -> None:
     fh.write(f"backend {model.backend or '-'}\n")
     fh.write(f"n_features {model.n_features}\n")
     fh.write("classes " + " ".join(str(int(c)) for c in model.classes) + "\n")
+    if model.metadata:
+        fh.write(
+            "meta "
+            + json.dumps(model.metadata, sort_keys=True, separators=(",", ":"))
+            + "\n"
+        )
     fh.write(f"n_trees {len(model.trees)}\n")
     for t_idx, tree in enumerate(model.trees):
         fh.write(f"tree {t_idx} {tree.n_nodes}\n")
@@ -186,7 +199,21 @@ def _read(fh: IO[str]) -> OracleModel:
     backend = _expect(fh, "backend")[0]
     n_features = int(_expect(fh, "n_features")[0])
     classes = np.asarray([int(t) for t in _expect(fh, "classes")], dtype=np.int64)
-    n_trees = int(_expect(fh, "n_trees")[0])
+    # optional metadata line (absent in files written before it existed)
+    line = fh.readline().strip()
+    metadata: dict = {}
+    if line.startswith("meta "):
+        try:
+            metadata = json.loads(line[len("meta "):])
+        except json.JSONDecodeError as exc:
+            raise ModelIOError(f"malformed meta line: {line!r}") from exc
+        if not isinstance(metadata, dict):
+            raise ModelIOError("meta line must hold a JSON object")
+        line = fh.readline().strip()
+    parts = line.split()
+    if not parts or parts[0] != "n_trees":
+        raise ModelIOError(f"expected 'n_trees' line, got {line!r}")
+    n_trees = int(parts[1])
     trees: List[Tree] = []
     for t_idx in range(n_trees):
         header = _expect(fh, "tree")
@@ -222,4 +249,5 @@ def _read(fh: IO[str]) -> OracleModel:
         n_features=n_features,
         system="" if system == "-" else system,
         backend="" if backend == "-" else backend,
+        metadata=metadata,
     )

@@ -62,6 +62,27 @@ class MLTuner(Tuner):
         """Trees traversed per prediction."""
         return self.model.n_estimators
 
+    @property
+    def model_version(self) -> str:
+        """The deployed model's version stamp ("" for unversioned models).
+
+        Models published through the adaptive
+        :class:`~repro.adaptive.registry.ModelRegistry` carry their
+        registry version in ``metadata["version"]``; the serving layer
+        surfaces it in ``stats()["model"]``.
+        """
+        return str(self.model.metadata.get("version", ""))
+
+    def describe(self) -> dict:
+        """Provenance summary for metrics endpoints and audit logs."""
+        return {
+            "kind": self.model.kind,
+            "n_estimators": self.model.n_estimators,
+            "system": self.model.system,
+            "backend": self.model.backend,
+            "metadata": dict(self.model.metadata),
+        }
+
     def tune(
         self,
         matrix: MatrixLike,

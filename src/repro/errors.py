@@ -8,6 +8,7 @@ while still being able to discriminate on the precise failure class.
 from __future__ import annotations
 
 __all__ = [
+    "AdaptiveError",
     "ReproError",
     "FormatError",
     "ConversionError",
@@ -64,3 +65,7 @@ class ModelIOError(ModelError):
 
 class TuningError(ReproError):
     """The auto-tuner could not produce a format decision."""
+
+
+class AdaptiveError(ReproError):
+    """The adaptive loop (telemetry, drift, retrain, registry) failed."""

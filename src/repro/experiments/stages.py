@@ -43,6 +43,7 @@ __all__ = [
     "compute_collection_stats",
     "run_profile_stage",
     "run_dataset_stage",
+    "augment_dataset",
     "train_model",
     "run_train_stage",
     "run_export_stage",
@@ -252,6 +253,63 @@ def run_dataset_stage(
             {name: arr.tolist() for name, arr in dataset.items()},
         )
     return dataset
+
+
+def augment_dataset(
+    dataset: Dict[str, np.ndarray],
+    X_extra: np.ndarray,
+    y_extra: np.ndarray,
+    *,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    train_replicas: int = 1,
+) -> Dict[str, np.ndarray]:
+    """Fold extra labelled samples into a stage dataset's train/test split.
+
+    The adaptive retrain loop augments the offline suite's dataset with
+    telemetry-derived samples (features + shadow-measured optimal
+    format).  Extras are shuffled deterministically by *seed* and split
+    ``test_fraction`` into the test arrays, the rest into train, so the
+    retrained model is still scored on held-out samples from the new
+    population.  ``train_replicas`` replicates the *train-side* extras
+    after the split (recency weighting) — replication happens strictly
+    post-split so no row can appear in both train and test and inflate
+    the held-out scores.  Returns a new dataset dict; the input is not
+    mutated.
+    """
+    X_extra = np.asarray(X_extra, dtype=np.float64)
+    y_extra = np.asarray(y_extra)
+    if X_extra.shape[0] != y_extra.shape[0]:
+        raise ValidationError(
+            f"X_extra has {X_extra.shape[0]} rows but y_extra has "
+            f"{y_extra.shape[0]}"
+        )
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValidationError("test_fraction must be in [0, 1)")
+    if train_replicas < 1:
+        raise ValidationError(
+            f"train_replicas must be >= 1, got {train_replicas}"
+        )
+    out = {name: np.asarray(dataset[name]) for name in
+           ("X_train", "y_train", "X_test", "y_test")}
+    if X_extra.shape[0] == 0:
+        return out
+    order = np.random.default_rng(seed).permutation(X_extra.shape[0])
+    n_test = int(round(test_fraction * X_extra.shape[0]))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size:
+        out["X_train"] = np.concatenate(
+            [out["X_train"]]
+            + [X_extra[train_idx]] * int(train_replicas)
+        )
+        out["y_train"] = np.concatenate(
+            [out["y_train"]]
+            + [y_extra[train_idx]] * int(train_replicas)
+        )
+    if test_idx.size:
+        out["X_test"] = np.concatenate([out["X_test"], X_extra[test_idx]])
+        out["y_test"] = np.concatenate([out["y_test"], y_extra[test_idx]])
+    return out
 
 
 # ----------------------------------------------------------------------

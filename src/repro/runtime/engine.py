@@ -230,6 +230,11 @@ class WorkloadEngine:
         self.space = space
         self.tuner = tuner
         self.accelerate = accelerate
+        #: Version stamp of the deployed model driving decisions ("-"
+        #: when untracked); kept in lock-step with the tuner by
+        #: :meth:`set_tuner` so results can attribute themselves to the
+        #: exact model that decided their format.
+        self.model_version = "-"
         self.counters = CacheCounters()
         #: Modelled seconds spent on this space, by category.
         self.seconds: Dict[str, float] = {
@@ -280,6 +285,37 @@ class WorkloadEngine:
         vec = extract_features_from_stats(self.stats_for(matrix, key=fp))
         self._features[fp] = vec
         return vec
+
+    def set_tuner(
+        self, tuner: Optional["Tuner"], *, version: Optional[str] = None
+    ) -> None:
+        """Hot-swap the tuner; future requests re-decide, artefacts stay warm.
+
+        Replaces the format tuner (and its :attr:`model_version` stamp)
+        and invalidates the artefacts that depend on it — the memoised
+        decisions and the format-converted containers — while keeping
+        everything model-independent (stats, features, per-format
+        profile timings) cached.  The caller is responsible for
+        serialising the swap against concurrent serving (the tuning
+        service swaps under its engine-cache shard locks, so an
+        in-flight batch always finishes under one model and is stamped
+        with that model's version).
+        """
+        self.tuner = tuner
+        if version is not None:
+            self.model_version = str(version)
+        self._reports.clear()
+        self._prepared.clear()
+
+    def profile_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Copy of every memoised per-format timing table, keyed by matrix.
+
+        The adaptive telemetry layer treats these timings as the
+        shadow-profiling baseline; the service folds this snapshot into
+        its totals when an engine is evicted so the baseline survives
+        the engine itself.
+        """
+        return {fp: dict(times) for fp, times in self._format_times.items()}
 
     def prime_stats(self, key: str, stats: MatrixStats) -> None:
         """Adopt externally computed *stats* under cache key *key*.

@@ -150,6 +150,24 @@ class ShardedEngineCache:
                 out.extend(shard.entries.values())
         return out
 
+    def apply(self, fn: Callable[[str, T], None]) -> int:
+        """Run *fn(key, value)* on every live entry under its shard lock.
+
+        Shards are visited one at a time, so *fn* never races a lease on
+        the same entry: a drain serving a batch holds its shard lock and
+        the apply waits for it.  This is what makes a model hot-swap
+        atomic per engine — an in-flight batch finishes under the old
+        model, everything after the apply sees the new one.  Returns the
+        number of entries visited.
+        """
+        visited = 0
+        for shard in self._shards:
+            with shard.lock:
+                for key, value in shard.entries.items():
+                    fn(key, value)
+                    visited += 1
+        return visited
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Lookup/eviction tallies and per-shard occupancy."""

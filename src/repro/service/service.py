@@ -29,6 +29,15 @@ Model-driven serving loads deployed models through
 points the service at a :class:`~repro.core.pipeline.ModelDatabase`
 directory (e.g. the ``models/<fingerprint>/`` directory a scenario suite
 exported) and serves predictions from the stored model.
+
+The service is also the sensor and actuator of the adaptive loop
+(:mod:`repro.adaptive`): an optional *observer* callback receives one
+plain-dict observation per served request (features, chosen format,
+latency, and — every ``shadow_every``-th batch per matrix — the rival
+per-format shadow timings), and :meth:`TuningService.promote_model`
+hot-swaps the serving model under the engine-cache shard locks, so an
+in-flight batch always completes under a single model and no request is
+ever dropped or served from a torn state.
 """
 
 from __future__ import annotations
@@ -66,8 +75,9 @@ class ServiceResult:
     kernel call and the tuning/conversion overhead is attributed to the
     batch's first request.  On top of those the service records
     ``batch_size`` (how many requests shared the kernel launch that
-    produced this result) and ``latency_seconds`` (wall-clock time from
-    submission to completion).
+    produced this result), ``latency_seconds`` (wall-clock time from
+    submission to completion) and ``model_version`` (which deployed
+    model the serving batch ran under — the hot-swap audit trail).
     """
 
     y: np.ndarray
@@ -78,6 +88,7 @@ class ServiceResult:
     from_cache: bool
     batch_size: int
     latency_seconds: float
+    model_version: str = ""
 
 
 class _FingerprintQueue:
@@ -137,6 +148,13 @@ class TuningService:
         "naive dispatch" baseline the benchmark compares against).
     accelerate:
         Route kernels through the compiled batch path when available.
+    shadow_every:
+        Shadow-profiling cadence for the telemetry feed: every
+        ``shadow_every``-th batch per matrix (starting with the first)
+        also resolves the rival per-format timings through the engine's
+        memoised :meth:`~repro.runtime.engine.WorkloadEngine.profile_formats`
+        and attaches them to that batch's first observation.  ``0``
+        (default) disables shadow profiling.
 
     Use as a context manager (or call :meth:`close`) to shut the worker
     pool down; pending requests are drained first.
@@ -152,16 +170,22 @@ class TuningService:
         shards: int = 8,
         max_batch: int = 32,
         accelerate: bool = True,
+        shadow_every: int = 0,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
         if max_batch < 1:
             raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if shadow_every < 0:
+            raise ValidationError(
+                f"shadow_every must be >= 0, got {shadow_every}"
+            )
         self.space = space
         self.tuner = tuner
         self.workers = int(workers)
         self.max_batch = int(max_batch)
         self.accelerate = accelerate
+        self.shadow_every = int(shadow_every)
         self.engines = ShardedEngineCache(
             self._make_engine,
             capacity=capacity,
@@ -174,6 +198,7 @@ class TuningService:
         self._queues: Dict[str, _FingerprintQueue] = {}
         self._queue_lock = threading.Lock()
         self._metrics_lock = threading.Lock()
+        self._model_lock = threading.Lock()
         self._closed = False
         # service-level counters (engine-level ones live in the engines)
         self.requests_submitted = 0
@@ -188,15 +213,36 @@ class TuningService:
             "requests_served": 0,
             "seconds": {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0},
             "counters": {},
+            "profile_times": {},
         }
+        #: deployed-model provenance, replaced atomically by promote_model
+        self.model_info: Dict[str, object] = {
+            "version": "-",
+            "source": "",
+            "algorithm": type(tuner).__name__ if tuner is not None else "",
+            "promoted_at": None,
+        }
+        # the authoritative (tuner, info) pair: read in one attribute
+        # access by the engine factory so a freshly built engine can
+        # never pair a new tuner with an old version stamp (or vice
+        # versa) mid-promotion
+        self._deployed = (tuner, self.model_info)
+        self.promotions = 0
+        self._observer = None
+        self._observer_errors = 0
+        self._shadow_counts: Dict[str, int] = {}
+        self.shadow_probes = 0
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
     def _make_engine(self) -> WorkloadEngine:
-        return WorkloadEngine(
-            self.space, tuner=self.tuner, accelerate=self.accelerate
+        tuner, info = self._deployed  # one read: tuner/version stay paired
+        engine = WorkloadEngine(
+            self.space, tuner=tuner, accelerate=self.accelerate
         )
+        engine.model_version = str(info.get("version", "-"))
+        return engine
 
     @classmethod
     def from_model_database(
@@ -227,7 +273,128 @@ class TuningService:
             if model.kind == "decision_tree"
             else RandomForestTuner
         )
-        return cls(make_space(system, backend), tuner_cls(model), **kwargs)
+        service = cls(make_space(system, backend), tuner_cls(model), **kwargs)
+        service.set_model_info(
+            version=str(model.metadata.get("version", "deployed")),
+            source=str(model.metadata.get("source", model_dir)),
+            algorithm=algorithm,
+        )
+        return service
+
+    # ------------------------------------------------------------------
+    # adaptive loop: hot swap + telemetry feed
+    # ------------------------------------------------------------------
+    def set_model_info(
+        self,
+        *,
+        version: str,
+        source: str = "",
+        algorithm: str = "",
+    ) -> None:
+        """Stamp the *currently deployed* tuner's provenance (no swap).
+
+        For services whose initial tuner was handed to the constructor:
+        records where it came from so ``stats()["model"]`` and
+        per-result ``model_version`` stamps are meaningful from the
+        first request.  Use :meth:`promote_model` to actually change
+        models.
+        """
+        with self._model_lock:
+            info: Dict[str, object] = {
+                "version": str(version),
+                "source": source,
+                "algorithm": algorithm or type(self.tuner).__name__,
+                "promoted_at": None,
+            }
+            self._deployed = (self.tuner, info)
+            self.model_info = info
+            self.engines.apply(
+                lambda _key, engine: engine.set_tuner(
+                    self.tuner, version=str(version)
+                )
+            )
+
+    def set_observer(self, observer) -> None:
+        """Install (or clear, with ``None``) the telemetry observer.
+
+        The observer is called once per served batch with a list of
+        plain-dict observations (one per request): ``fingerprint``,
+        ``format``, ``seconds``, ``latency_seconds``, ``batch_size``,
+        ``model_version``, the matrix's cached ``features`` vector, and
+        ``shadow_times`` (per-format rival timings) on shadow-probed
+        batches.  It runs on the worker thread *after* the batch's
+        futures resolve and the engine lease is released, so a slow
+        observer (a synchronous retrain) delays only that fingerprint's
+        next drain, never a result.  Observer exceptions are counted
+        (``stats()["observer_errors"]``) and swallowed — telemetry must
+        not break serving.
+        """
+        self._observer = observer
+
+    def promote_model(
+        self,
+        tuner,
+        *,
+        version: str,
+        source: str = "",
+        algorithm: str = "",
+    ) -> Dict[str, object]:
+        """Hot-swap the serving model; returns the new model-info block.
+
+        Atomicity contract: the swap walks every live engine under its
+        cache shard lock (:meth:`ShardedEngineCache.apply`), updating
+        tuner and version stamp together, so a drain serving a batch
+        finishes under the old model before its engine is swapped, and
+        any request after the swap is decided by — and stamped with —
+        the new one.  Requests are never dropped and never see a torn
+        state.  Each engine keeps its model-independent artefacts
+        (stats, features, profile timings) and re-decides formats on
+        demand; rollback is just another promotion with an earlier
+        model's tuner.
+        """
+        with self._model_lock:
+            info: Dict[str, object] = {
+                "version": str(version),
+                "source": source,
+                "algorithm": algorithm or type(tuner).__name__,
+                "promoted_at": time.time(),
+            }
+            # publish the pair first: engines built during the walk below
+            # already get the new (tuner, version); the walk then fixes
+            # every engine that predates it
+            self._deployed = (tuner, info)
+            self.tuner = tuner
+            self.model_info = info
+            self.engines.apply(
+                lambda _key, engine: engine.set_tuner(
+                    tuner, version=str(version)
+                )
+            )
+            with self._metrics_lock:
+                self.promotions += 1
+            return dict(info)
+
+    def profile_times(self) -> Dict[str, Dict[str, float]]:
+        """Per-matrix per-format shadow timings, live *and* evicted.
+
+        Merges every live engine's
+        :meth:`~repro.runtime.engine.WorkloadEngine.profile_snapshot`
+        with the snapshots folded in at eviction, so the telemetry
+        baseline for a matrix survives its engine's eviction.  Live
+        snapshots are taken under each engine's shard lock
+        (:meth:`ShardedEngineCache.apply`) — a concurrent drain's first
+        shadow probe inserts into the engine's timing table, and an
+        unlocked iteration could see the dict change size mid-walk.
+        """
+        with self._metrics_lock:
+            merged = {
+                fp: dict(times)
+                for fp, times in self._retired["profile_times"].items()
+            }
+        self.engines.apply(
+            lambda _key, engine: merged.update(engine.profile_snapshot())
+        )
+        return merged
 
     # ------------------------------------------------------------------
     # request path
@@ -289,30 +456,48 @@ class TuningService:
         try:
             self._executor.submit(self._drain, fp)
         except RuntimeError:  # executor shut down mid-close
-            while self._drain_once(fp):
-                pass
+            self._drain_inline(fp)
+
+    def _drain_inline(self, fp: str) -> None:
+        """Serve a fingerprint's whole queue in the calling thread."""
+        while True:
+            more, observations = self._drain_once(fp)
+            self._notify(observations)
+            if not more:
+                return
 
     def _drain(self, fp: str) -> None:
-        """Worker task: serve one batch, reschedule if more arrived."""
-        if self._drain_once(fp):
-            self._schedule(fp)
+        """Worker task: serve one batch, reschedule if more arrived.
 
-    def _drain_once(self, fp: str) -> bool:
+        The next drain is rescheduled *before* the telemetry observer
+        runs, so a slow observer (or a synchronous retrain) overlaps
+        with serving on the pool instead of stalling the fingerprint's
+        queue.
+        """
+        more, observations = self._drain_once(fp)
+        if more:
+            self._schedule(fp)
+        self._notify(observations)
+
+    def _drain_once(self, fp: str):
         """Serve up to ``max_batch`` queued requests for one fingerprint.
 
-        Returns ``True`` when requests remain queued for *fp* (the
-        caller must keep the drain alive), ``False`` once the queue is
-        empty and unregistered.
+        Returns ``(more, observations)``: *more* is ``True`` when
+        requests remain queued for *fp* (the caller must keep the drain
+        alive), and *observations* is the served batch's telemetry (for
+        the caller to hand to :meth:`_notify` once the drain is
+        rescheduled).
         """
+        observations: List[dict] = []
         with self._queue_lock:
             queue = self._queues.get(fp)
             if queue is None:
-                return False
+                return False, observations
             batch = queue.items[: self.max_batch]
             del queue.items[: self.max_batch]
         if batch:
             try:
-                self._serve(fp, batch)
+                observations = self._serve(fp, batch)
             except BaseException as exc:  # propagate to every waiting caller
                 for request in batch:
                     if not request.future.done():
@@ -320,15 +505,36 @@ class TuningService:
         with self._queue_lock:
             queue = self._queues.get(fp)
             if queue is None:
-                return False
+                return False, observations
             if queue.items:
-                return True  # stayed scheduled: more arrived
+                return True, observations  # stayed scheduled: more arrived
             queue.scheduled = False
             del self._queues[fp]
-            return False
+            return False, observations
 
-    def _serve(self, fp: str, batch: List[_Request]) -> None:
+    def _notify(self, observations: List[dict]) -> None:
+        """Hand a served batch's observations to the observer, if any.
+
+        Exceptions are counted and swallowed — telemetry must never
+        break serving.
+        """
+        if not observations:
+            return
+        observer = self._observer
+        if observer is None:
+            return
+        try:
+            observer(observations)
+        except Exception:
+            with self._metrics_lock:
+                self._observer_errors += 1
+
+    def _serve(self, fp: str, batch: List[_Request]) -> List[dict]:
         """Run one coalesced batch through the fingerprint's engine.
+
+        Returns the batch's telemetry observations (empty without an
+        observer); the caller delivers them via :meth:`_notify` after
+        rescheduling the drain.
 
         A batch of plain single-vector requests (``repetitions == 1``)
         takes the fast path: the operands are stacked into one
@@ -339,7 +545,13 @@ class TuningService:
         workloads fall back to the engine's queued ``submit``/``flush``
         path, which handles mixed shapes and per-request repetitions.
         """
+        observer = self._observer
+        features = shadow = None
         with self.engines.lease(fp) as engine:
+            # the engine's stamp moves with its tuner (same shard lock),
+            # so the recorded version is exactly the model that decides
+            # this batch's format
+            model_version = engine.model_version
             if len(batch) > 1 and all(
                 r.operand.ndim == 1 and r.repetitions == 1 for r in batch
             ):
@@ -353,6 +565,21 @@ class TuningService:
                         repetitions=request.repetitions,
                     )
                 results = engine.flush()
+            # telemetry artefacts are resolved while the engine is leased:
+            # features come from the (warm) per-matrix cache, and every
+            # shadow_every-th batch per matrix also resolves the rival
+            # per-format timings (memoised, so repeat probes are free)
+            if observer is not None:
+                features = engine.features_for(batch[0].matrix, key=fp)
+            if self.shadow_every > 0:
+                # per-fp counters need no lock: same-fp drains are already
+                # serialised by the shard lock held through this lease
+                count = self._shadow_counts.get(fp, 0)
+                self._shadow_counts[fp] = count + 1
+                if count % self.shadow_every == 0:
+                    shadow = engine.profile_formats(batch[0].matrix, key=fp)
+                    with self._metrics_lock:
+                        self.shadow_probes += 1
         done_at = time.perf_counter()
         latencies = [done_at - r.enqueued_at for r in batch]
         with self._metrics_lock:
@@ -374,8 +601,27 @@ class TuningService:
                     from_cache=engine_result.from_cache,
                     batch_size=len(batch),
                     latency_seconds=latency,
+                    model_version=model_version,
                 )
             )
+        if observer is None:
+            return []
+        return [
+            {
+                "fingerprint": fp,
+                "format": engine_result.format,
+                "seconds": engine_result.seconds,
+                "latency_seconds": latency,
+                "batch_size": len(batch),
+                "model_version": model_version,
+                "features": features,
+                # rival timings ride the probed batch's first request
+                "shadow_times": shadow if i == 0 else None,
+            }
+            for i, (engine_result, latency) in enumerate(
+                zip(results, latencies)
+            )
+        ]
 
     def _serve_stacked(self, fp: str, engine, batch: List[_Request]):
         """Fast path: one stacked block, one ``execute``, one lookup round.
@@ -411,9 +657,23 @@ class TuningService:
     # accounting
     # ------------------------------------------------------------------
     def _retire_engine(self, key: str, engine: WorkloadEngine) -> None:
-        """Fold an evicted engine's accounting into the service totals."""
+        """Fold an evicted engine's accounting into the service totals.
+
+        Besides the hit/miss counters and modelled seconds, the engine's
+        per-format profile timings are kept (:meth:`profile_times`), so
+        a telemetry baseline built from shadow probes survives the
+        eviction of the engine that measured it.  The retired map and
+        the per-matrix shadow-cadence counters are bounded: an unbounded
+        stream of distinct matrices must not leak memory in exactly the
+        long-lived serving scenario the adaptive loop targets.
+        """
         stats = engine.stats()
+        profile = engine.profile_snapshot()
+        # oldest-first cap on retired timings; 4x the engine capacity
+        # keeps every plausibly-hot matrix while bounding the map
+        cap = max(256, 4 * self.engines.capacity)
         with self._metrics_lock:
+            self._shadow_counts.pop(key, None)  # re-probed on return
             self._retired["requests_served"] += stats["requests_served"]
             for name, value in stats["seconds"].items():
                 self._retired["seconds"][name] = (
@@ -423,6 +683,11 @@ class TuningService:
                 self._retired["counters"][name] = (
                     self._retired["counters"].get(name, 0) + value
                 )
+            retired_profiles = self._retired["profile_times"]
+            for fp, times in profile.items():
+                retired_profiles.setdefault(fp, dict(times))
+            while len(retired_profiles) > cap:
+                retired_profiles.pop(next(iter(retired_profiles)))
 
     def stats(self) -> Dict[str, object]:
         """One dict with every service-level and engine-level counter.
@@ -445,6 +710,9 @@ class TuningService:
                 "batches": self.batches,
                 "coalesced_batches": self.coalesced_batches,
                 "coalesced_requests": self.coalesced_requests,
+                "shadow_probes": self.shadow_probes,
+                "observer_errors": self._observer_errors,
+                "model": {**self.model_info, "promotions": self.promotions},
                 "latency": {
                     "total_seconds": self.latency_total,
                     "mean_seconds": (
@@ -458,6 +726,7 @@ class TuningService:
                 "seconds": dict(self._retired["seconds"]),
                 "counters": dict(self._retired["counters"]),
             }
+        snapshot["profiled_matrices"] = len(self.profile_times())
         for engine in self.engines.values():
             stats = engine.stats()
             engines_total["requests_served"] += stats["requests_served"]
@@ -495,8 +764,7 @@ class TuningService:
         self._executor.shutdown(wait=wait)
         if wait:
             for fp in list(self._queues):
-                while self._drain_once(fp):
-                    pass
+                self._drain_inline(fp)
         else:
             with self._queue_lock:
                 leftovers = [

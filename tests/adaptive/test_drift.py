@@ -1,0 +1,194 @@
+"""BaselineFingerprint + DriftMonitor: shift detection and triggers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.drift import BaselineFingerprint, DriftMonitor
+from repro.adaptive.telemetry import Observation
+from repro.errors import ValidationError
+
+
+def features_around(rng, center, n=40, scale=1.0):
+    return center + scale * rng.standard_normal((n, len(center)))
+
+
+def obs(features=None, shadow=None, fmt="CSR"):
+    return Observation(
+        fingerprint="m",
+        format=fmt,
+        seconds=0.0,
+        latency_seconds=0.0,
+        batch_size=1,
+        features=None if features is None else np.asarray(features),
+        shadow_times=shadow,
+    )
+
+
+@pytest.fixture
+def center():
+    return np.array([10.0, 10.0, 100.0, 5.0, 0.1, 9.0, 1.0, 2.0, 7.0, 3.0])
+
+
+@pytest.fixture
+def baseline(rng, center):
+    return BaselineFingerprint.from_features(
+        features_around(rng, center), mispredict_rate=0.1, source="suite-abc"
+    )
+
+
+class TestBaselineFingerprint:
+    def test_from_features_moments(self, rng, center):
+        X = features_around(rng, center)
+        base = BaselineFingerprint.from_features(X, source="s")
+        assert np.allclose(base.feature_mean, X.mean(axis=0))
+        assert np.allclose(base.feature_std, X.std(axis=0))
+        assert base.n_samples == X.shape[0]
+
+    def test_label_distribution_uses_format_names(self, rng, center):
+        X = features_around(rng, center, n=4)
+        base = BaselineFingerprint.from_features(X, y=np.array([1, 1, 2, 3]))
+        assert base.label_distribution["CSR"] == 0.5  # format id 1
+        assert set(base.label_distribution) == {"CSR", "DIA", "ELL"}
+
+    def test_from_dataset_pools_splits(self, rng, center):
+        X = features_around(rng, center, n=10)
+        dataset = {
+            "X_train": X[:8], "y_train": np.ones(8),
+            "X_test": X[8:], "y_test": np.ones(2),
+        }
+        base = BaselineFingerprint.from_dataset(dataset, source="s")
+        assert base.n_samples == 10
+
+    def test_dict_roundtrip(self, baseline):
+        again = BaselineFingerprint.from_dict(baseline.to_dict())
+        assert np.allclose(again.feature_mean, baseline.feature_mean)
+        assert again.mispredict_rate == baseline.mispredict_rate
+        assert again.source == baseline.source
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            BaselineFingerprint.from_features(np.empty((0, 10)))
+
+
+class TestDriftMonitor:
+    def test_no_drift_on_same_population(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=16)
+        for row in features_around(rng, center, n=32):
+            monitor.observe(obs(features=row))
+        report = monitor.check()
+        assert not report.drifted
+        assert report.feature_shift < 2.0
+        assert report.baseline_source == "suite-abc"
+
+    def test_feature_shift_triggers(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=16)
+        for row in features_around(rng, center * 8.0, n=32):
+            monitor.observe(obs(features=row))
+        report = monitor.check()
+        assert report.drifted
+        assert any("feature shift" in r for r in report.reasons)
+        assert monitor.triggers == 1
+
+    def test_warmup_window_never_triggers(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=48)
+        for row in features_around(rng, center * 8.0, n=16):
+            monitor.observe(obs(features=row))
+        assert not monitor.check().drifted
+
+    def test_mispredict_rate_triggers(self, rng, center, baseline):
+        monitor = DriftMonitor(
+            baseline, min_observations=16, min_shadowed=8,
+            mispredict_threshold=0.2, shift_threshold=1e9,
+        )
+        # live features match the baseline, but the model keeps losing
+        for row in features_around(rng, center, n=32):
+            monitor.observe(
+                obs(features=row, shadow={"CSR": 0.9, "DIA": 0.1})
+            )
+        report = monitor.check()
+        assert report.drifted
+        assert report.mispredict_rate == 1.0
+        assert any("mispredict" in r for r in report.reasons)
+
+    def test_featureless_mispredicts_still_trigger(self, rng, center, baseline):
+        """Shadow-probed records without feature vectors (e.g. rebuilt
+        from a spill) must be able to trigger on their own gate."""
+        monitor = DriftMonitor(baseline, min_observations=16, min_shadowed=8)
+        for _ in range(12):
+            monitor.observe(obs(shadow={"CSR": 0.9, "DIA": 0.1}))
+        report = monitor.check()
+        assert report.window_size == 0  # feature window never filled
+        assert report.mispredict_rate == 1.0
+        assert report.drifted
+        assert any("mispredict" in r for r in report.reasons)
+
+    def test_few_shadow_flags_are_not_trusted(self, rng, center, baseline):
+        monitor = DriftMonitor(
+            baseline, min_observations=16, min_shadowed=8, shift_threshold=1e9
+        )
+        rows = features_around(rng, center, n=32)
+        for i, row in enumerate(rows):
+            shadow = {"CSR": 0.9, "DIA": 0.1} if i < 4 else None
+            monitor.observe(obs(features=row, shadow=shadow))
+        report = monitor.check()
+        assert report.mispredict_rate is None
+        assert not report.drifted
+
+    def test_self_baseline_freezes_from_warmup(self, rng, center):
+        monitor = DriftMonitor(None, min_observations=16)
+        assert monitor.baseline is None
+        for row in features_around(rng, center, n=16):
+            monitor.observe(obs(features=row))
+        assert monitor.baseline is not None
+        assert monitor.baseline.source == "self-baseline"
+        # same population: no drift
+        for row in features_around(rng, center, n=16):
+            monitor.observe(obs(features=row))
+        assert not monitor.check().drifted
+        # shifted population: drift against the frozen self-baseline
+        for row in features_around(rng, center * 8.0, n=32):
+            monitor.observe(obs(features=row))
+        assert monitor.check().drifted
+
+    def test_reset_clears_live_window(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=16)
+        for row in features_around(rng, center * 8.0, n=32):
+            monitor.observe(obs(features=row))
+        monitor.reset()
+        assert not monitor.check().drifted
+
+    def test_rebaseline_swaps_reference(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=16)
+        shifted = center * 8.0
+        new_base = BaselineFingerprint.from_features(
+            features_around(rng, shifted), source="retrain:1"
+        )
+        monitor.rebaseline(new_base)
+        for row in features_around(rng, shifted, n=32):
+            monitor.observe(obs(features=row))
+        report = monitor.check()
+        assert not report.drifted
+        assert report.baseline_source == "retrain:1"
+
+    def test_stats_counters(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, min_observations=16)
+        for row in features_around(rng, center, n=20):
+            monitor.observe(obs(features=row))
+        monitor.check()
+        stats = monitor.stats()
+        assert stats["observed"] == 20
+        assert stats["checks"] == 1
+        assert stats["triggers"] == 0
+        assert stats["baseline_mispredict_rate"] == 0.1
+
+    def test_constructor_validation(self, baseline):
+        with pytest.raises(ValidationError):
+            DriftMonitor(baseline, window=1)
+        with pytest.raises(ValidationError):
+            DriftMonitor(baseline, shift_threshold=0.0)
+        # a feature window smaller than min_observations could never
+        # fill: feature drift and self-baselining would be silently dead
+        with pytest.raises(ValidationError):
+            DriftMonitor(baseline, window=32, min_observations=48)

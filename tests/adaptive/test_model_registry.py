@@ -1,0 +1,164 @@
+"""ModelRegistry: versioning, atomic promote/rollback, metadata."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adaptive.registry import ModelRegistry
+from repro.core.model_io import OracleModel, load_model
+from repro.errors import AdaptiveError
+from repro.ml.tree.classifier import DecisionTreeClassifier
+
+
+def make_model(marker: float) -> OracleModel:
+    """A tiny distinguishable model (marker encoded in the features)."""
+    rng = np.random.default_rng(int(marker))
+    X = rng.random((20, 10)) * marker
+    y = np.array([1, 2] * 10)
+    clf = DecisionTreeClassifier(seed=0).fit(X, y)
+    return OracleModel.from_estimator(clf, system="cirrus", backend="serial")
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_versions_are_sequential(self, registry):
+        assert registry.publish(make_model(1)) == "v0001"
+        assert registry.publish(make_model(2)) == "v0002"
+        assert registry.versions() == ["v0001", "v0002"]
+
+    def test_published_model_carries_provenance(self, registry):
+        version = registry.publish(
+            make_model(1), metadata={"source": "suite-abc"}
+        )
+        model = registry.load(version)
+        assert model.metadata["version"] == version
+        assert model.metadata["source"] == "suite-abc"
+        assert model.metadata["created_at"] > 0
+        # the stamp lives in the model file itself, not just the sidecar
+        reloaded = load_model(registry.entry(version).model_path)
+        assert reloaded.metadata["version"] == version
+
+    def test_publish_does_not_promote(self, registry):
+        registry.publish(make_model(1))
+        assert registry.current() is None
+        with pytest.raises(AdaptiveError):
+            registry.load()
+
+
+class TestPromoteRollback:
+    def test_promote_moves_current(self, registry):
+        v1 = registry.publish(make_model(1))
+        v2 = registry.publish(make_model(2))
+        registry.promote(v1)
+        assert registry.current() == v1
+        registry.promote(v2)
+        assert registry.current() == v2
+        assert [e["event"] for e in registry.history()] == [
+            "promote", "promote",
+        ]
+
+    def test_promote_unknown_version_raises(self, registry):
+        with pytest.raises(AdaptiveError):
+            registry.promote("v9999")
+
+    def test_rollback_returns_to_previous(self, registry):
+        v1 = registry.publish(make_model(1))
+        v2 = registry.publish(make_model(2))
+        registry.promote(v1)
+        registry.promote(v2)
+        entry = registry.rollback()
+        assert entry.version == v1
+        assert registry.current() == v1
+
+    def test_repeated_rollbacks_walk_further_back(self, registry):
+        versions = [registry.publish(make_model(m)) for m in (1, 2, 3)]
+        for v in versions:
+            registry.promote(v)
+        assert registry.rollback().version == versions[1]
+        assert registry.rollback().version == versions[0]
+        with pytest.raises(AdaptiveError):
+            registry.rollback()
+
+    def test_rollback_then_promote_resumes_from_there(self, registry):
+        v1 = registry.publish(make_model(1))
+        v2 = registry.publish(make_model(2))
+        registry.promote(v1)
+        registry.promote(v2)
+        registry.rollback()
+        v3 = registry.publish(make_model(3))
+        registry.promote(v3)
+        assert registry.current() == v3
+        assert registry.rollback().version == v1
+
+    def test_rollback_without_history_raises(self, registry):
+        with pytest.raises(AdaptiveError):
+            registry.rollback()
+
+    def test_current_pointer_is_a_plain_file(self, registry):
+        v1 = registry.publish(make_model(1))
+        registry.promote(v1)
+        with open(os.path.join(registry.root, "CURRENT")) as fh:
+            assert fh.read().strip() == v1
+
+
+class TestLoadAndStats:
+    def test_load_current_and_specific(self, registry):
+        v1 = registry.publish(make_model(1))
+        v2 = registry.publish(make_model(2))
+        registry.promote(v2)
+        assert registry.load().metadata["version"] == v2
+        assert registry.load(v1).metadata["version"] == v1
+
+    def test_entry_missing_version_raises(self, registry):
+        with pytest.raises(AdaptiveError):
+            registry.entry("v0042")
+
+    def test_stats(self, registry):
+        v1 = registry.publish(make_model(1))
+        v2 = registry.publish(make_model(2))
+        registry.promote(v1)
+        registry.promote(v2)
+        registry.rollback()
+        stats = registry.stats()
+        assert stats["versions"] == 2
+        assert stats["current"] == v1
+        assert stats["promotions"] == 2
+        assert stats["rollbacks"] == 1
+
+    def test_reopened_registry_sees_everything(self, registry, tmp_path):
+        v1 = registry.publish(make_model(1))
+        registry.promote(v1)
+        again = ModelRegistry(registry.root)
+        assert again.current() == v1
+        assert again.versions() == [v1]
+        assert again.load().metadata["version"] == v1
+
+
+class TestConcurrency:
+    def test_concurrent_publishes_never_collide(self, registry):
+        versions, errors = [], []
+
+        def publish(m):
+            try:
+                versions.append(registry.publish(make_model(m)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=publish, args=(m,)) for m in range(1, 9)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sorted(versions) == registry.versions()
+        assert len(set(versions)) == 8

@@ -1,0 +1,137 @@
+"""Retrainer: telemetry -> dataset -> train_model, with augmentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adaptive.retrain import Retrainer
+from repro.adaptive.telemetry import Observation
+from repro.errors import AdaptiveError
+from repro.formats.base import FORMAT_IDS
+
+
+def record(fp, features, shadow, seq=0):
+    return Observation(
+        fingerprint=fp,
+        format="CSR",
+        seconds=0.0,
+        latency_seconds=0.0,
+        batch_size=1,
+        features=np.asarray(features, dtype=np.float64),
+        shadow_times=shadow,
+        sequence=seq,
+    )
+
+
+def synthetic_records(n=16):
+    """Half the matrices are fastest in CSR, half in DIA, separable."""
+    rng = np.random.default_rng(0)
+    records = []
+    for i in range(n):
+        dia_ish = i % 2 == 0
+        base = 100.0 if dia_ish else 5.0
+        features = base + rng.random(10)
+        shadow = (
+            {"CSR": 0.5, "DIA": 0.1} if dia_ish else {"CSR": 0.1, "DIA": 0.5}
+        )
+        records.append(record(f"m{i}", features, shadow, seq=i))
+    return records
+
+
+class TestDatasetFromRecords:
+    def test_labels_are_shadow_best(self):
+        X, y = Retrainer.dataset_from_records(synthetic_records(4))
+        assert X.shape == (4, 10)
+        assert list(y) == [
+            FORMAT_IDS["DIA"], FORMAT_IDS["CSR"],
+            FORMAT_IDS["DIA"], FORMAT_IDS["CSR"],
+        ]
+
+    def test_deduplicates_by_fingerprint_keeping_latest(self):
+        records = [
+            record("m0", [1.0] * 10, {"CSR": 0.1, "DIA": 0.5}, seq=0),
+            record("m0", [2.0] * 10, {"CSR": 0.5, "DIA": 0.1}, seq=1),
+        ]
+        X, y = Retrainer.dataset_from_records(records)
+        assert X.shape == (1, 10)
+        assert X[0, 0] == 2.0
+        assert y[0] == FORMAT_IDS["DIA"]
+
+    def test_skips_records_without_features_or_shadow(self):
+        records = [
+            record("m0", [1.0] * 10, None),
+            Observation(
+                fingerprint="m1", format="CSR", seconds=0.0,
+                latency_seconds=0.0, batch_size=1,
+                features=None, shadow_times={"CSR": 0.1},
+            ),
+        ]
+        X, y = Retrainer.dataset_from_records(records)
+        assert X.shape[0] == 0
+
+
+class TestRetrain:
+    def test_pure_telemetry_retrain(self):
+        retrainer = Retrainer(
+            system="cirrus", backend="serial", cv=2, min_samples=8
+        )
+        result = retrainer.retrain(synthetic_records(24))
+        assert result.n_telemetry == 24
+        assert result.model.kind == "random_forest"
+        assert result.model.system == "cirrus"
+        assert result.test_accuracy >= 0.5
+        assert retrainer.retrains == 1
+        # the new baseline describes the telemetry population
+        assert result.baseline.source == "retrain:1"
+        assert result.baseline.n_samples == result.n_samples
+
+    def test_baseline_augmentation_replicates_telemetry(self):
+        rng = np.random.default_rng(1)
+        baseline = {
+            "X_train": 5.0 + rng.random((16, 10)),
+            "y_train": np.full(16, FORMAT_IDS["CSR"]),
+            "X_test": 5.0 + rng.random((4, 10)),
+            "y_test": np.full(4, FORMAT_IDS["CSR"]),
+        }
+        retrainer = Retrainer(cv=2, min_samples=4, recency_weight=3)
+        records = [
+            record(f"m{i}", [200.0 + i] * 10, {"CSR": 0.5, "DIA": 0.1}, seq=i)
+            for i in range(6)
+        ]
+        result = retrainer.retrain(records, baseline_dataset=baseline)
+        # 20 baseline + 4 train-side telemetry * recency_weight 3 +
+        # 2 held-out telemetry (replicated train-side only: duplicates
+        # must never leak into the test split and inflate its score)
+        assert result.n_samples == 20 + 4 * 3 + 2
+        assert result.n_telemetry == 6
+        # the model knows both populations
+        assert result.model.predict_one(np.full(10, 5.5)) == FORMAT_IDS["CSR"]
+        assert result.model.predict_one(np.full(10, 203.0)) == FORMAT_IDS["DIA"]
+
+    def test_too_few_records_raises(self):
+        retrainer = Retrainer(min_samples=8)
+        with pytest.raises(AdaptiveError):
+            retrainer.retrain(synthetic_records(4))
+        assert retrainer.failures == 1
+
+    def test_single_class_without_baseline_raises(self):
+        records = [
+            record(f"m{i}", [float(i)] * 10, {"CSR": 0.1, "DIA": 0.5}, seq=i)
+            for i in range(12)
+        ]
+        retrainer = Retrainer(min_samples=4, cv=2)
+        with pytest.raises(AdaptiveError):
+            retrainer.retrain(records)
+
+    def test_rejects_bad_recency_weight(self):
+        with pytest.raises(AdaptiveError):
+            Retrainer(recency_weight=0)
+
+    def test_stats(self):
+        retrainer = Retrainer(cv=2, min_samples=8)
+        retrainer.retrain(synthetic_records(24))
+        stats = retrainer.stats()
+        assert stats["retrains"] == 1
+        assert stats["failures"] == 0
+        assert stats["algorithm"] == "random_forest"

@@ -1,0 +1,137 @@
+"""TelemetryLog: bounding, spill, counters, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adaptive.telemetry import Observation, TelemetryLog
+from repro.errors import ValidationError
+
+
+def obs_dict(i: int, *, shadow=None, features=True) -> dict:
+    return {
+        "fingerprint": f"m{i}",
+        "format": "CSR",
+        "seconds": 0.001 * i,
+        "latency_seconds": 0.01,
+        "batch_size": 1,
+        "model_version": "v0001",
+        "features": [float(i)] * 10 if features else None,
+        "shadow_times": shadow,
+    }
+
+
+class TestObservation:
+    def test_shadow_best_and_mispredict(self):
+        obs = Observation.from_dict(
+            obs_dict(0, shadow={"CSR": 0.5, "DIA": 0.1, "ELL": 0.9})
+        )
+        assert obs.shadow_best == "DIA"
+        assert obs.mispredicted is True
+
+    def test_correct_prediction_is_not_mispredict(self):
+        obs = Observation.from_dict(obs_dict(0, shadow={"CSR": 0.1, "DIA": 0.5}))
+        assert obs.mispredicted is False
+
+    def test_without_shadow_times_unknown(self):
+        obs = Observation.from_dict(obs_dict(0))
+        assert obs.shadow_best is None
+        assert obs.mispredicted is None
+
+    def test_roundtrips_through_dict(self):
+        obs = Observation.from_dict(obs_dict(3, shadow={"CSR": 0.1}))
+        again = Observation.from_dict(obs.to_dict())
+        assert again.fingerprint == obs.fingerprint
+        assert np.array_equal(again.features, obs.features)
+        assert again.shadow_times == obs.shadow_times
+
+
+class TestTelemetryLog:
+    def test_capacity_bounds_buffer(self):
+        log = TelemetryLog(capacity=3)
+        for i in range(10):
+            log.record(obs_dict(i))
+        assert len(log) == 3
+        assert log.recorded == 10
+        assert log.dropped == 7
+        # the survivors are the newest
+        assert [o.fingerprint for o in log.snapshot()] == ["m7", "m8", "m9"]
+
+    def test_sequence_stamps_are_monotonic(self):
+        log = TelemetryLog(capacity=8)
+        stamped = [log.record(obs_dict(i)) for i in range(5)]
+        assert [o.sequence for o in stamped] == [0, 1, 2, 3, 4]
+
+    def test_record_never_mutates_the_caller_observation(self):
+        log = TelemetryLog()
+        original = Observation.from_dict(obs_dict(0))
+        first = log.record(original)
+        second = log.record(original)  # e.g. re-ingesting a spilled record
+        assert original.sequence == -1  # frozen contract upheld
+        assert (first.sequence, second.sequence) == (0, 1)
+        assert first is not second
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValidationError):
+            TelemetryLog(capacity=0)
+
+    def test_spill_to_disk_and_read_back(self, tmp_path):
+        spill = tmp_path / "telemetry.jsonl"
+        log = TelemetryLog(capacity=2, spill_path=spill)
+        for i in range(6):
+            log.record(obs_dict(i, shadow={"CSR": 0.1, "DIA": 0.2}))
+        assert log.spilled == 4
+        assert log.dropped == 0
+        spilled = list(log.iter_spilled())
+        assert [o.fingerprint for o in spilled] == ["m0", "m1", "m2", "m3"]
+        # spilled records keep their payload intact
+        assert spilled[0].shadow_times == {"CSR": 0.1, "DIA": 0.2}
+        assert spilled[0].mispredicted is False
+
+    def test_shadow_and_mispredict_counters(self):
+        log = TelemetryLog()
+        log.record(obs_dict(0, shadow={"CSR": 0.1, "DIA": 0.5}))  # correct
+        log.record(obs_dict(1, shadow={"CSR": 0.5, "DIA": 0.1}))  # mispredict
+        log.record(obs_dict(2))  # no shadow
+        stats = log.stats()
+        assert stats["shadowed"] == 2
+        assert stats["mispredicts"] == 1
+        assert stats["mispredict_rate"] == 0.5
+
+    def test_shadowed_records_filters_and_limits(self):
+        log = TelemetryLog()
+        for i in range(6):
+            shadow = {"CSR": 0.1} if i % 2 == 0 else None
+            log.record(obs_dict(i, shadow=shadow))
+        records = log.shadowed_records()
+        assert [o.fingerprint for o in records] == ["m0", "m2", "m4"]
+        assert [o.fingerprint for o in log.shadowed_records(2)] == ["m2", "m4"]
+
+    def test_window_and_clear(self):
+        log = TelemetryLog()
+        for i in range(5):
+            log.record(obs_dict(i))
+        assert [o.fingerprint for o in log.window(2)] == ["m3", "m4"]
+        assert log.clear() == 5
+        assert len(log) == 0
+
+    def test_concurrent_recording_loses_nothing(self):
+        log = TelemetryLog(capacity=10_000)
+        threads = [
+            threading.Thread(
+                target=lambda: [log.record(obs_dict(i)) for i in range(200)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert log.recorded == 1600
+        assert len(log) == 1600
+        # sequence stamps are unique even under contention
+        sequences = [o.sequence for o in log.snapshot()]
+        assert len(set(sequences)) == 1600

@@ -139,3 +139,57 @@ class TestValidation:
         om = OracleModel.from_estimator(dt)
         out = om.predict_one(X[0])
         assert isinstance(out, int)
+
+
+class TestMetadataLine:
+    def test_metadata_roundtrips(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(
+            dt,
+            system="cirrus",
+            backend="serial",
+            metadata={"version": "v0007", "source": "suite-abc", "n": 3},
+        )
+        buf = io.StringIO()
+        save_model(buf, om)
+        assert "\nmeta " in buf.getvalue()
+        again = load_model(io.StringIO(buf.getvalue()))
+        assert again.metadata == {"version": "v0007", "source": "suite-abc", "n": 3}
+
+    def test_empty_metadata_writes_no_meta_line(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        buf = io.StringIO()
+        save_model(buf, om)
+        assert "\nmeta " not in buf.getvalue()
+        assert load_model(io.StringIO(buf.getvalue())).metadata == {}
+
+    def test_pre_metadata_files_still_load(self, fitted_pair):
+        """Files written before the meta line existed parse unchanged."""
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt)
+        buf = io.StringIO()
+        save_model(buf, om)
+        text = buf.getvalue()
+        assert "meta" not in text.splitlines()[6]
+        again = load_model(io.StringIO(text))
+        assert again.metadata == {}
+        assert again.n_features == om.n_features
+
+    def test_malformed_meta_line_raises(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt, metadata={"version": "v1"})
+        buf = io.StringIO()
+        save_model(buf, om)
+        text = buf.getvalue().replace('meta {"version":"v1"}', "meta {broken")
+        with pytest.raises(ModelIOError):
+            load_model(io.StringIO(text))
+
+    def test_non_object_meta_raises(self, fitted_pair):
+        _, _, dt, _ = fitted_pair
+        om = OracleModel.from_estimator(dt, metadata={"version": "v1"})
+        buf = io.StringIO()
+        save_model(buf, om)
+        text = buf.getvalue().replace('meta {"version":"v1"}', "meta [1,2]")
+        with pytest.raises(ModelIOError):
+            load_model(io.StringIO(text))

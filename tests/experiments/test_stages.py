@@ -1,0 +1,91 @@
+"""Direct stage-function tests (augmentation; the DAG is covered by
+test_orchestrator.py)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.experiments.stages import augment_dataset
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return {
+        "X_train": rng.random((8, 10)),
+        "y_train": np.arange(8),
+        "X_test": rng.random((2, 10)),
+        "y_test": np.arange(2),
+    }
+
+
+class TestAugmentDataset:
+    def test_extras_split_across_train_and_test(self, dataset):
+        X_extra = np.full((10, 10), 7.0)
+        y_extra = np.full(10, 3)
+        out = augment_dataset(dataset, X_extra, y_extra, test_fraction=0.2)
+        assert out["X_train"].shape[0] == 8 + 8
+        assert out["X_test"].shape[0] == 2 + 2
+        # every extra row landed somewhere, none duplicated
+        extras_in_train = (out["X_train"] == 7.0).all(axis=1).sum()
+        extras_in_test = (out["X_test"] == 7.0).all(axis=1).sum()
+        assert extras_in_train + extras_in_test == 10
+
+    def test_input_not_mutated(self, dataset):
+        before = dataset["X_train"].copy()
+        augment_dataset(dataset, np.ones((4, 10)), np.ones(4))
+        assert np.array_equal(dataset["X_train"], before)
+        assert dataset["X_train"].shape[0] == 8
+
+    def test_deterministic_in_seed(self, dataset):
+        X_extra = np.random.default_rng(1).random((6, 10))
+        y_extra = np.arange(6)
+        a = augment_dataset(dataset, X_extra, y_extra, seed=5)
+        b = augment_dataset(dataset, X_extra, y_extra, seed=5)
+        assert np.array_equal(a["X_train"], b["X_train"])
+        assert np.array_equal(a["y_test"], b["y_test"])
+
+    def test_empty_extras_copy_through(self, dataset):
+        out = augment_dataset(dataset, np.empty((0, 10)), np.empty((0,)))
+        assert np.array_equal(out["X_train"], dataset["X_train"])
+
+    def test_zero_test_fraction_keeps_all_in_train(self, dataset):
+        out = augment_dataset(
+            dataset, np.ones((5, 10)), np.ones(5), test_fraction=0.0
+        )
+        assert out["X_train"].shape[0] == 13
+        assert out["X_test"].shape[0] == 2
+
+    def test_train_replicas_replicate_train_side_only(self, dataset):
+        # row i is all (100 + i): every extra is identifiable
+        X_extra = 100.0 + np.arange(10)[:, None] * np.ones((10, 10))
+        y_extra = np.full(10, 3)
+        out = augment_dataset(
+            dataset, X_extra, y_extra, test_fraction=0.2, train_replicas=3
+        )
+        # 8 train-side extras x3, 2 test-side extras x1
+        assert out["X_train"].shape[0] == 8 + 24
+        assert out["X_test"].shape[0] == 2 + 2
+        # leak-free held-out set: no extra appears on both sides
+        train_ids = {row[0] for row in out["X_train"] if row[0] >= 100.0}
+        test_ids = {row[0] for row in out["X_test"] if row[0] >= 100.0}
+        assert len(test_ids) == 2
+        assert not train_ids & test_ids
+
+    def test_bad_train_replicas_raises(self, dataset):
+        with pytest.raises(ValidationError):
+            augment_dataset(
+                dataset, np.ones((3, 10)), np.ones(3), train_replicas=0
+            )
+
+    def test_mismatched_rows_raise(self, dataset):
+        with pytest.raises(ValidationError):
+            augment_dataset(dataset, np.ones((3, 10)), np.ones(4))
+
+    def test_bad_test_fraction_raises(self, dataset):
+        with pytest.raises(ValidationError):
+            augment_dataset(
+                dataset, np.ones((3, 10)), np.ones(3), test_fraction=1.0
+            )

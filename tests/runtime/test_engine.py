@@ -241,3 +241,36 @@ class TestProfileFormats:
             engine.profile_formats(key="m")
         with pytest.raises(ValidationError):
             engine.profile_formats()
+
+
+class TestHotSwap:
+    def test_set_tuner_clears_decisions_keeps_artefacts(
+        self, engine, dense_small, rng
+    ):
+        dyn = DynamicMatrix(COOMatrix.from_dense(dense_small))
+        x = rng.standard_normal(dyn.ncols)
+        engine.execute(dyn, x, key="m")
+        assert engine.counters.decision_misses == 1
+        engine.profile_formats(dyn, key="m")
+        engine.set_tuner(RunFirstTuner(), version="v2")
+        assert engine.model_version == "v2"
+        engine.execute(dyn, x, key="m")
+        # decision + conversion re-derived, stats/features/profile warm
+        assert engine.counters.decision_misses == 2
+        assert engine.counters.stats_misses == 1
+        assert engine.profile_formats(dyn, key="m") is not None
+        assert engine.counters.profile_hits == 1
+
+    def test_set_tuner_without_version_keeps_stamp(self, engine):
+        engine.model_version = "v9"
+        engine.set_tuner(None)
+        assert engine.model_version == "v9"
+        assert engine.tuner is None
+
+    def test_profile_snapshot_is_a_copy(self, engine, dense_small):
+        dyn = DynamicMatrix(COOMatrix.from_dense(dense_small))
+        times = engine.profile_formats(dyn, key="m")
+        snapshot = engine.profile_snapshot()
+        assert snapshot == {"m": times}
+        snapshot["m"]["CSR"] = -1.0
+        assert engine.profile_formats(dyn, key="m")["CSR"] == times["CSR"]

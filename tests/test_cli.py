@@ -240,3 +240,71 @@ class TestServe:
         out = capsys.readouterr().out
         assert "replaying suite      serve-suite" in out
         assert "served               20 requests from 2 clients" in out
+
+
+class TestAdapt:
+    def test_adaptive_loop_end_to_end(self, capsys, tmp_path):
+        assert main(
+            [
+                "adapt",
+                "--system", "cirrus",
+                "--backend", "cuda",
+                "--train-matrices", "16",
+                "-n", "4",
+                "--requests", "96",
+                "--waves", "3",
+                "--registry", str(tmp_path / "registry"),
+                "--seed", "42",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap            v0001" in out
+        assert "drift                drift detected" in out
+        assert "retrain" in out
+        assert "promoted             v" in out
+        assert "mispredict rate      frozen" in out
+        assert "lower" in out
+        # the registry directory is a real, reusable artifact
+        from repro.adaptive import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        assert registry.current() is not None
+        assert registry.current() != "v0001"
+        assert len(registry.versions()) >= 2
+
+
+class TestServeAdaptive:
+    def test_serve_prints_model_block(self, capsys):
+        assert main(
+            [
+                "serve",
+                "--system", "cirrus",
+                "--backend", "serial",
+                "--workers", "2",
+                "--clients", "2",
+                "--requests", "20",
+                "-n", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "model                -" in out
+        assert "promotions 0" in out
+
+    def test_serve_adaptive_reports_loop_counters(self, capsys, tmp_path):
+        assert main(
+            [
+                "serve",
+                "--system", "cirrus",
+                "--backend", "serial",
+                "--workers", "2",
+                "--clients", "2",
+                "--requests", "30",
+                "-n", "3",
+                "--adaptive",
+                "--registry", str(tmp_path / "registry"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adaptive             " in out
+        assert "telemetry records" in out
+        assert "shadow-probed" in out

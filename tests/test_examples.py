@@ -105,3 +105,16 @@ def test_advanced_tuners_runs(capsys):
     out = capsys.readouterr().out
     assert "confidence-fallback" in out
     assert "gradient-boosting" in out
+
+
+def test_adaptive_drift_recovers(capsys, monkeypatch):
+    mod = load_example("adaptive_drift")
+    monkeypatch.setattr(mod, "TRAIN_MATRICES", 16)
+    monkeypatch.setattr(mod, "TRACE_MATRICES", 4)
+    monkeypatch.setattr(mod, "REQUESTS", 96)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "drift:" in out
+    assert "adapted:   mispredict" in out
+    assert "rollback:  live model back to" in out
+    assert "OK" in out
