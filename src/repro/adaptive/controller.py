@@ -181,6 +181,13 @@ class AdaptiveController:
             self._ingesting += 1
         try:
             for payload in observations:
+                if payload.get("kind") == "update":
+                    # mutation requests carry no features or timings —
+                    # they feed the matrix-evolution velocity signal
+                    self.monitor.observe_update(
+                        float(payload.get("stat_drift", 0.0))
+                    )
+                    continue
                 obs = self.telemetry.record(payload)
                 self.monitor.observe(obs)
             with self._lock:

@@ -13,7 +13,12 @@ raises a retrain trigger when either signal degrades:
   by more than ``shift_threshold`` baseline standard deviations
   (largest per-feature effect size wins);
 * **mispredict drift** — the shadow-probed mispredict rate exceeds the
-  baseline rate by more than ``mispredict_threshold``.
+  baseline rate by more than ``mispredict_threshold``;
+* **matrix evolution** — mutation requests (epoch advances) report their
+  measured stat drift through :meth:`DriftMonitor.observe_update`; when
+  the summed evolution velocity over the live window exceeds
+  ``evolution_threshold`` the population is being *rewritten in place*
+  and the model deserves a fresh look even before mispredicts surface.
 
 Without an offline baseline the monitor self-baselines: the first
 ``min_observations`` live records become the reference population, so
@@ -147,6 +152,8 @@ class DriftReport:
     window_size: int
     shadowed: int
     baseline_source: str = ""
+    #: Summed matrix-evolution drift over the live update window.
+    evolution: float = 0.0
 
     def describe(self) -> str:
         """One-line human summary (CLI output)."""
@@ -185,10 +192,15 @@ class DriftMonitor:
     min_shadowed:
         Shadow-probed observations required before the mispredict signal
         is trusted.
+    evolution_threshold:
+        Matrix-evolution trigger: the per-update stat drifts reported by
+        :meth:`observe_update` are summed over the live window; crossing
+        this total means the matrices themselves are being rewritten
+        fast enough to invalidate the training population.
 
     All methods are thread-safe; service worker threads feed
-    :meth:`observe` concurrently while the controller calls
-    :meth:`check`.
+    :meth:`observe` / :meth:`observe_update` concurrently while the
+    controller calls :meth:`check`.
     """
 
     def __init__(
@@ -200,6 +212,7 @@ class DriftMonitor:
         shift_threshold: float = 2.0,
         mispredict_threshold: float = 0.25,
         min_shadowed: int = 8,
+        evolution_threshold: float = 4.0,
     ) -> None:
         if window < 2:
             raise ValidationError(f"window must be >= 2, got {window}")
@@ -215,7 +228,11 @@ class DriftMonitor:
                 f"window ({window}) must be >= min_observations "
                 f"({min_observations})"
             )
-        if shift_threshold <= 0 or mispredict_threshold <= 0:
+        if (
+            shift_threshold <= 0
+            or mispredict_threshold <= 0
+            or evolution_threshold <= 0
+        ):
             raise ValidationError("drift thresholds must be > 0")
         self.baseline = baseline
         self.window = int(window)
@@ -223,10 +240,13 @@ class DriftMonitor:
         self.shift_threshold = float(shift_threshold)
         self.mispredict_threshold = float(mispredict_threshold)
         self.min_shadowed = int(min_shadowed)
+        self.evolution_threshold = float(evolution_threshold)
         self._lock = threading.Lock()
         self._features: Deque[np.ndarray] = deque(maxlen=self.window)
         self._mispredicts: Deque[bool] = deque(maxlen=self.window)
+        self._evolution: Deque[float] = deque(maxlen=self.window)
         self.observed = 0
+        self.updates_observed = 0
         self.checks = 0
         self.triggers = 0
         self.self_baselined = baseline is None
@@ -260,11 +280,25 @@ class DriftMonitor:
                 self._features.clear()
                 self._mispredicts.clear()
 
+    def observe_update(self, stat_drift: float) -> None:
+        """Record one mutation request's measured stat drift.
+
+        The tuning service reports every epoch advance here (via the
+        controller); the summed drift over the live window is the
+        *matrix-evolution velocity* — how fast the population is being
+        rewritten in place, as opposed to replaced (which feature shift
+        catches).
+        """
+        with self._lock:
+            self.updates_observed += 1
+            self._evolution.append(max(0.0, float(stat_drift)))
+
     def reset(self) -> None:
         """Clear the live window (called after a promotion)."""
         with self._lock:
             self._features.clear()
             self._mispredicts.clear()
+            self._evolution.clear()
 
     def rebaseline(self, baseline: BaselineFingerprint) -> None:
         """Swap the reference population and clear the live window.
@@ -278,6 +312,7 @@ class DriftMonitor:
             self.baseline = baseline
             self._features.clear()
             self._mispredicts.clear()
+            self._evolution.clear()
 
     # ------------------------------------------------------------------
     def check(self) -> DriftReport:
@@ -286,12 +321,20 @@ class DriftMonitor:
             self.checks += 1
             features = list(self._features)
             flags = list(self._mispredicts)
+            evolution = float(sum(self._evolution))
             baseline = self.baseline
         reasons: List[str] = []
         shift = 0.0
         rate: Optional[float] = None
         if len(flags) >= self.min_shadowed:
             rate = sum(flags) / len(flags)
+        # matrix evolution needs no reference population: it measures
+        # in-place rewriting of the live matrices themselves
+        if evolution > self.evolution_threshold:
+            reasons.append(
+                f"matrix evolution velocity {evolution:.2f} > "
+                f"{self.evolution_threshold:.2f}"
+            )
         if baseline is not None:
             if len(features) >= self.min_observations:
                 live_mean = np.stack(features).mean(axis=0)
@@ -319,6 +362,7 @@ class DriftMonitor:
             window_size=len(features),
             shadowed=len(flags),
             baseline_source=baseline.source if baseline is not None else "",
+            evolution=evolution,
         )
         if report.drifted:
             with self._lock:
@@ -334,7 +378,10 @@ class DriftMonitor:
                 "min_observations": self.min_observations,
                 "shift_threshold": self.shift_threshold,
                 "mispredict_threshold": self.mispredict_threshold,
+                "evolution_threshold": self.evolution_threshold,
                 "observed": self.observed,
+                "updates_observed": self.updates_observed,
+                "live_evolution": float(sum(self._evolution)),
                 "checks": self.checks,
                 "triggers": self.triggers,
                 "live_window": len(self._features),

@@ -34,6 +34,12 @@ Subcommands mirror the paper's pipeline:
     engine-cache counters.  ``--adaptive`` attaches an
     :class:`~repro.adaptive.controller.AdaptiveController` (telemetry,
     drift detection, background retraining, hot model reload).
+``repro-oracle stream --family growing_rmat --epochs 12``
+    Drive an evolving matrix through the streaming mutation path:
+    :class:`~repro.service.service.Session` update requests advance the
+    epoch, the engine maintains statistics incrementally and carries
+    format decisions forward, and every served result is verified
+    bitwise against a from-scratch engine on the compacted matrix.
 ``repro-oracle adapt --system cirrus --backend cuda --requests 160``
     End-to-end adaptive-loop demonstration: train an initial model on a
     banded corpus, serve a workload that drifts to scale-free matrices,
@@ -310,6 +316,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"modelled seconds     spmv {engines['seconds']['spmv']:.6f}, "
           f"tuning {engines['seconds']['tuning']:.6f}, "
           f"conversion {engines['seconds']['conversion']:.6f}")
+    inv = stats["invalidations"]
+    print(f"invalidations        epoch advances {inv['epoch_advances']}, "
+          f"carried forward {inv['carried_forward']}, "
+          f"forced re-tunes {inv['forced_retunes']}")
     model = service.stats()["model"]  # re-read: a late promotion counts
     promoted_at = model.get("promoted_at")
     when = (
@@ -329,6 +339,130 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"({telemetry['recorded']} telemetry records, "
               f"{telemetry['shadowed']} shadow-probed)")
     return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Serve an evolving matrix through the streaming mutation path."""
+    import time
+
+    from repro.datasets.evolving import generate_evolving
+    from repro.formats import convert
+    from repro.formats.coo import COOMatrix
+    from repro.runtime.engine import WorkloadEngine
+    from repro.runtime.epoch import RedecisionPolicy
+    from repro.service import TuningService
+
+    space = make_space(args.system, args.backend)
+    workload = generate_evolving(
+        args.family, epochs=args.epochs, seed=args.seed
+    )
+    mats = workload.compacted()
+    policy = RedecisionPolicy(threshold=args.threshold)
+    tuner = RunFirstTuner()
+    key = workload.name
+    matrix = DynamicMatrix(workload.initial)
+    rng = np.random.default_rng(args.seed)
+    service = TuningService(
+        space, tuner, workers=args.workers, redecision=policy
+    )
+    verified = mismatched = epoch_mismatches = 0
+    epochs_reached = 0
+    updates = []
+    with service:
+        session = service.session("stream")
+        for epoch in range(workload.epochs + 1):
+            if epoch > 0:
+                upd = session.update(
+                    matrix, workload.deltas[epoch - 1], key=key
+                )
+                updates.append(upd)
+                epochs_reached = upd.epoch
+            fresh = references = None
+            for _ in range(args.requests_per_epoch):
+                x = rng.standard_normal(mats[epoch].ncols)
+                res = session.spmv(matrix, x, key=key)
+                if res.epoch != epoch:
+                    epoch_mismatches += 1
+                    continue
+                if not args.no_verify:
+                    # one reference engine per epoch: all its requests
+                    # verify against the same converted container
+                    if fresh is None:
+                        fresh = WorkloadEngine(space)
+                        references = {}
+                    if res.format not in references:
+                        references[res.format] = convert(
+                            mats[epoch], res.format
+                        )
+                    ref = fresh.execute(
+                        references[res.format], x, key=res.format
+                    )
+                    if np.array_equal(res.y, ref.y):
+                        verified += 1
+                    else:
+                        mismatched += 1
+    stats = service.stats()
+    inv = stats["invalidations"]
+    carried = sum(1 for u in updates if u.carried_forward)
+    retuned = sum(1 for u in updates if u.retuned)
+
+    # engine-level timing: the incremental path (delta merge + stat
+    # maintenance + carried-forward decisions) vs rebuilding the engine
+    # entry from scratch each epoch (re-canonicalise, re-hash, re-stat,
+    # re-tune, re-convert) — same requests, same tuner
+    operands = [
+        [rng.standard_normal(m.ncols) for _ in range(args.requests_per_epoch)]
+        for m in mats
+    ]
+    t0 = time.perf_counter()
+    inc_engine = WorkloadEngine(space, tuner, redecision=policy)
+    inc_engine.track(workload.initial, key=key)
+    for epoch in range(workload.epochs + 1):
+        if epoch > 0:
+            inc_engine.update(key, workload.deltas[epoch - 1])
+        for x in operands[epoch]:
+            inc_engine.execute(matrix, x, key=key)
+    incremental_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for epoch in range(workload.epochs + 1):
+        m = mats[epoch]
+        rebuilt = COOMatrix(m.nrows, m.ncols, m.row, m.col, m.data)
+        engine = WorkloadEngine(space, tuner)
+        for x in operands[epoch]:
+            engine.execute(rebuilt, x)
+    scratch_wall = time.perf_counter() - t0
+    speedup = scratch_wall / incremental_wall if incremental_wall else 0.0
+
+    total_checks = verified + mismatched
+    print(f"stream               {workload.name}: {workload.epochs} epochs, "
+          f"{args.requests_per_epoch} requests/epoch on {space.name}")
+    print(f"epochs               {epochs_reached} advanced "
+          f"(nnz {mats[0].nnz} -> {mats[-1].nnz})")
+    print(f"decisions            {carried} carried forward, {retuned} forced "
+          f"re-tunes (drift threshold {policy.threshold})")
+    print(f"invalidations        epoch_advances={inv['epoch_advances']} "
+          f"carried_forward={inv['carried_forward']} "
+          f"forced_retunes={inv['forced_retunes']}")
+    if args.no_verify:
+        print("identity             skipped (--no-verify)")
+    elif mismatched:
+        print(f"identity             MISMATCH: {mismatched}/{total_checks} "
+              f"results differ from a from-scratch engine")
+    else:
+        print(f"identity             {verified}/{total_checks} results "
+              f"bitwise-identical to a from-scratch engine")
+    print(f"speedup              incremental serving {speedup:.1f}x vs "
+          f"from-scratch rebuild per epoch")
+    failed = False
+    if epoch_mismatches:
+        print(f"stream: {epoch_mismatches} results stamped with an "
+              f"unexpected epoch", file=sys.stderr)
+        failed = True
+    if epochs_reached != workload.epochs:
+        print(f"stream: expected epoch {workload.epochs}, reached "
+              f"{epochs_reached}", file=sys.stderr)
+        failed = True
+    return 1 if (failed or mismatched) else 0
 
 
 def cmd_adapt(args: argparse.Namespace) -> int:
@@ -603,6 +737,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="drift-check cadence in observations (with --adaptive)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="serve an evolving matrix through the mutation path",
+    )
+    from repro.datasets.evolving import EVOLVING_FAMILIES
+
+    p.add_argument(
+        "--family", default="growing_rmat",
+        choices=sorted(EVOLVING_FAMILIES),
+        help="evolving-workload generator family",
+    )
+    p.add_argument("--system", default="cirrus", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--backend", default="serial",
+        choices=["serial", "openmp", "cuda", "hip"],
+    )
+    p.add_argument(
+        "--epochs", type=int, default=12,
+        help="number of epoch advances (deltas) to stream",
+    )
+    p.add_argument(
+        "--requests-per-epoch", type=int, default=3,
+        help="SpMV requests served at each epoch",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="re-decision drift threshold (stat drift above it re-tunes)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="service threads")
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the bitwise identity check against from-scratch engines",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
         "adapt",

@@ -27,10 +27,24 @@ from repro.datasets.generators import (
     uniform_rows,
 )
 from repro.datasets.collection import MatrixCollection, MatrixSpec
+from repro.datasets.evolving import (
+    EVOLVING_FAMILIES,
+    EvolvingWorkload,
+    decaying_stencil,
+    generate_evolving,
+    growing_rmat,
+    widening_band,
+)
 from repro.datasets.matrixmarket import read_matrix_market, write_matrix_market
 
 __all__ = [
+    "EVOLVING_FAMILIES",
+    "EvolvingWorkload",
     "FAMILIES",
+    "decaying_stencil",
+    "generate_evolving",
+    "growing_rmat",
+    "widening_band",
     "banded",
     "block_diagonal",
     "diagonal_dominant",

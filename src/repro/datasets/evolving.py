@@ -1,0 +1,263 @@
+"""Evolving workloads: matrices that change epoch by epoch.
+
+Streaming graphs, time-stepping simulations and incremental assembly all
+share the same shape — an initial matrix plus a sequence of deltas — so
+this module generates exactly that: an :class:`EvolvingWorkload` holding
+the epoch-0 :class:`~repro.formats.coo.COOMatrix` and one
+:class:`~repro.formats.delta.MatrixDelta` per epoch.  Every generator is
+deterministic given its ``seed``.
+
+==================  ==================================================
+Family              Evolution
+==================  ==================================================
+growing_rmat        R-MAT graph gaining power-law edges every epoch
+                    (streaming social / web graph ingestion)
+widening_band       banded system whose bandwidth widens one diagonal
+                    pair per epoch (adaptive mesh refinement)
+decaying_stencil    FD stencil whose off-diagonal couplings decay and
+                    are eventually deleted — rows thin out and some
+                    empty entirely (diffusion dying down)
+==================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List
+
+import numpy as np
+
+from repro.datasets.generators import banded, rmat, stencil_2d
+from repro.errors import DatasetError
+from repro.formats.coo import COOMatrix
+from repro.formats.delta import DeltaOverlay, MatrixDelta, apply_delta
+from repro.utils.rng import ensure_generator
+
+__all__ = [
+    "EVOLVING_FAMILIES",
+    "EvolvingWorkload",
+    "decaying_stencil",
+    "generate_evolving",
+    "growing_rmat",
+    "widening_band",
+]
+
+
+@dataclass
+class EvolvingWorkload:
+    """An initial matrix plus one delta per epoch.
+
+    ``deltas[e]`` advances the matrix from epoch ``e`` to ``e + 1``;
+    :meth:`compacted` materialises every epoch's full content (the
+    from-scratch reference the streaming benchmarks compare against).
+    """
+
+    family: str
+    name: str
+    initial: COOMatrix
+    deltas: List[MatrixDelta] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of epoch advances (``len(deltas)``)."""
+        return len(self.deltas)
+
+    def replay(self) -> Iterator[COOMatrix]:
+        """Yield the compacted matrix at every epoch, 0 first."""
+        current = self.initial
+        yield current
+        for delta in self.deltas:
+            current, _ = apply_delta(current, delta)
+            yield current
+
+    def compacted(self) -> List[COOMatrix]:
+        """All ``epochs + 1`` compacted matrices as a list."""
+        return list(self.replay())
+
+
+# ----------------------------------------------------------------------
+# families
+# ----------------------------------------------------------------------
+
+def growing_rmat(
+    *,
+    scale: int = 8,
+    epochs: int = 16,
+    edges_per_node: float = 4.0,
+    edges_per_epoch: int | None = None,
+    probs: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> EvolvingWorkload:
+    """A streaming R-MAT graph: every epoch ingests a batch of new edges.
+
+    The initial matrix is :func:`~repro.datasets.generators.rmat`; each
+    epoch samples ``edges_per_epoch`` fresh edges from the same
+    recursive-quadrant distribution and adds them as ``ADD`` ops
+    (repeat edges accumulate weight, exactly as the canonical COO
+    builder sums duplicates).
+    """
+    if epochs < 1:
+        raise DatasetError(f"epochs must be >= 1, got {epochs}")
+    initial = rmat(scale, edges_per_node=edges_per_node, probs=probs, seed=seed)
+    n = initial.nrows
+    if edges_per_epoch is None:
+        edges_per_epoch = max(8, n // 8)
+    rng = ensure_generator(seed + 1)
+    a, b, c, _ = probs
+    deltas: List[MatrixDelta] = []
+    for _ in range(epochs):
+        row = np.zeros(edges_per_epoch, dtype=np.int64)
+        col = np.zeros(edges_per_epoch, dtype=np.int64)
+        for level in range(scale):
+            u = rng.random(edges_per_epoch)
+            right = (u >= a) & (u < a + b)
+            down = (u >= a + b) & (u < a + b + c)
+            both = u >= a + b + c
+            bit = np.int64(1) << (scale - 1 - level)
+            row += bit * (down | both)
+            col += bit * (right | both)
+        values = rng.standard_normal(edges_per_epoch)
+        values += np.sign(values) * 0.1 + (values == 0.0)
+        deltas.append(MatrixDelta.adds(row, col, values).canonical(n))
+    return EvolvingWorkload(
+        family="growing_rmat",
+        name=f"growing_rmat-s{scale}-seed{seed}",
+        initial=initial,
+        deltas=deltas,
+    )
+
+
+def widening_band(
+    *,
+    n: int = 256,
+    epochs: int = 16,
+    half_bandwidth: int = 2,
+    fill: float = 1.0,
+    seed: int = 0,
+) -> EvolvingWorkload:
+    """A banded system whose band widens one diagonal pair per epoch.
+
+    Epoch ``e`` inserts the ``±(half_bandwidth + e + 1)`` diagonals as
+    ``SET`` ops (with a small ``ADD`` perturbation of the main diagonal
+    so deltas stay non-trivial once the band hits the matrix edge).
+    """
+    if epochs < 1:
+        raise DatasetError(f"epochs must be >= 1, got {epochs}")
+    initial = banded(n, half_bandwidth=half_bandwidth, fill=fill, seed=seed)
+    rng = ensure_generator(seed + 1)
+    deltas: List[MatrixDelta] = []
+    for e in range(epochs):
+        overlay = DeltaOverlay()
+        offset = half_bandwidth + e + 1
+        if offset < n:
+            for off in (offset, -offset):
+                r = np.arange(max(0, -off), min(n, n - off), dtype=np.int64)
+                overlay.set_many(r, r + off, rng.standard_normal(r.shape[0]))
+        else:  # band saturated: keep evolving by nudging the diagonal
+            k = max(1, n // 16)
+            r = rng.choice(n, size=k, replace=False).astype(np.int64)
+            overlay.add_many(r, r, 0.1 * rng.standard_normal(k))
+        deltas.append(overlay.to_delta())
+    return EvolvingWorkload(
+        family="widening_band",
+        name=f"widening_band-n{n}-seed{seed}",
+        initial=initial,
+        deltas=deltas,
+    )
+
+
+def decaying_stencil(
+    *,
+    nx: int = 16,
+    epochs: int = 16,
+    points: int = 5,
+    decay: float = 0.5,
+    tol: float = 0.05,
+    seed: int = 0,
+) -> EvolvingWorkload:
+    """An FD stencil whose off-diagonal couplings decay away.
+
+    Each epoch multiplies a sampled half of the surviving off-diagonal
+    entries by *decay* (``SET`` ops); entries falling below *tol* are
+    deleted instead, and once a row has lost every off-diagonal
+    coupling its diagonal is deleted too — producing the all-zero rows
+    that stress ELL/DIA round-trips.  When everything has decayed the
+    remaining epochs re-seed a few couplings so the stream never goes
+    silent.
+    """
+    if epochs < 1:
+        raise DatasetError(f"epochs must be >= 1, got {epochs}")
+    initial = stencil_2d(nx, points=points, seed=seed)
+    n = initial.nrows
+    rng = ensure_generator(seed + 1)
+    off_mask = initial.row != initial.col
+    rows = initial.row[off_mask].copy()
+    cols = initial.col[off_mask].copy()
+    vals = initial.data[off_mask].copy()
+    diag_alive = np.zeros(n, dtype=bool)
+    diag_alive[initial.row[~off_mask]] = True
+    deltas: List[MatrixDelta] = []
+    for _ in range(epochs):
+        overlay = DeltaOverlay()
+        if rows.size:
+            picked = rng.random(rows.shape[0]) < 0.5
+            if not picked.any():
+                picked[int(rng.integers(0, rows.shape[0]))] = True
+            new_vals = vals[picked] * decay
+            dying = np.abs(new_vals) < tol
+            surviving = ~dying
+            overlay.set_many(
+                rows[picked][surviving],
+                cols[picked][surviving],
+                new_vals[surviving],
+            )
+            overlay.delete_many(rows[picked][dying], cols[picked][dying])
+            vals[np.flatnonzero(picked)[surviving]] = new_vals[surviving]
+            keep = np.ones(rows.shape[0], dtype=bool)
+            keep[np.flatnonzero(picked)[dying]] = False
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+            # rows with no coupling left lose their diagonal: empty rows
+            still_coupled = np.zeros(n, dtype=bool)
+            still_coupled[rows] = True
+            emptied = diag_alive & ~still_coupled
+            if emptied.any():
+                r = np.flatnonzero(emptied).astype(np.int64)
+                overlay.delete_many(r, r)
+                diag_alive[emptied] = False
+        else:  # fully decayed: re-seed a few couplings
+            k = max(1, n // 32)
+            r = rng.integers(0, n, size=k).astype(np.int64)
+            c = np.minimum(r + 1, n - 1)
+            v = np.ones(k, dtype=np.float64)
+            overlay.set_many(r, c, v)
+            rows = np.concatenate([rows, r])
+            cols = np.concatenate([cols, c])
+            vals = np.concatenate([vals, v])
+        deltas.append(overlay.to_delta())
+    return EvolvingWorkload(
+        family="decaying_stencil",
+        name=f"decaying_stencil-nx{nx}-seed{seed}",
+        initial=initial,
+        deltas=deltas,
+    )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+EVOLVING_FAMILIES: Dict[str, Callable[..., EvolvingWorkload]] = {
+    "growing_rmat": growing_rmat,
+    "widening_band": widening_band,
+    "decaying_stencil": decaying_stencil,
+}
+
+
+def generate_evolving(family: str, **params: object) -> EvolvingWorkload:
+    """Dispatch to an evolving-family generator by name."""
+    if family not in EVOLVING_FAMILIES:
+        raise DatasetError(
+            f"unknown evolving family {family!r}; expected one of "
+            f"{sorted(EVOLVING_FAMILIES)}"
+        )
+    return EVOLVING_FAMILIES[family](**params)  # type: ignore[arg-type]

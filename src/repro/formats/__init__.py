@@ -32,6 +32,12 @@ from repro.formats.ell import ELLMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.formats.hdc import HDCMatrix
 from repro.formats.convert import convert, convert_cost_weight
+from repro.formats.delta import (
+    DeltaEffect,
+    DeltaOverlay,
+    MatrixDelta,
+    apply_delta,
+)
 from repro.formats.dynamic import DynamicMatrix
 
 __all__ = [
@@ -48,5 +54,9 @@ __all__ = [
     "HDCMatrix",
     "convert",
     "convert_cost_weight",
+    "DeltaEffect",
+    "DeltaOverlay",
     "DynamicMatrix",
+    "MatrixDelta",
+    "apply_delta",
 ]

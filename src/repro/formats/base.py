@@ -10,7 +10,8 @@ statistics the Oracle feature extractor needs *without* leaving the format
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, Type
+import itertools
+from typing import TYPE_CHECKING, Dict, Optional, Type
 
 import numpy as np
 
@@ -19,6 +20,11 @@ from repro.utils.validation import check_vector_length
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.formats.coo import COOMatrix
+    from repro.formats.delta import MatrixDelta
+
+#: Process-wide source of stable matrix identities (see
+#: :attr:`SparseMatrix.stable_id`).
+_STABLE_IDS = itertools.count()
 
 __all__ = [
     "FORMAT_IDS",
@@ -109,6 +115,12 @@ class SparseMatrix(abc.ABC):
             raise ShapeError(f"matrix shape must be non-negative, got {nrows}x{ncols}")
         self._nrows = int(nrows)
         self._ncols = int(ncols)
+        # epoch identity: assigned lazily (stable_id) or inherited from a
+        # predecessor by with_updates(); plain containers stay unstamped
+        # so content-hash caching keeps working unchanged for them
+        self._stable_id: Optional[str] = None
+        self._epoch = 0
+        self._successors = 0
 
     # ------------------------------------------------------------------
     # shape / metadata
@@ -132,6 +144,70 @@ class SparseMatrix(abc.ABC):
     def format_id(self) -> int:
         """Integer id of this container's format."""
         return FORMAT_IDS[self.format]
+
+    # ------------------------------------------------------------------
+    # epoch identity (streaming workloads, see repro.runtime.epoch)
+    # ------------------------------------------------------------------
+    @property
+    def has_identity(self) -> bool:
+        """Has a stable id been assigned (explicitly or via mutation)?"""
+        return self._stable_id is not None
+
+    @property
+    def stable_id(self) -> str:
+        """Process-stable identity shared by every epoch of this matrix.
+
+        Assigned lazily on first access; :meth:`with_updates` successors
+        inherit it, so ``(stable_id, epoch)`` identifies one version of
+        one logical matrix — the cache key the runtime layer uses in
+        place of content fingerprints for mutating matrices.
+        """
+        if self._stable_id is None:
+            self._stable_id = f"mx{next(_STABLE_IDS):08d}"
+        return self._stable_id
+
+    @property
+    def epoch(self) -> int:
+        """Mutation generation: 0 at construction, +1 per ``with_updates``."""
+        return self._epoch
+
+    def with_updates(
+        self, delta: "MatrixDelta", *, format: Optional[str] = None
+    ) -> "SparseMatrix":
+        """Apply *delta* and return an epoch-stamped successor container.
+
+        The receiver is untouched (containers stay immutable): the delta
+        is merged into the canonical COO view, converted to *format*
+        (default: the receiver's own format) and the fresh container is
+        stamped with the same :attr:`stable_id` and ``epoch + 1``.
+
+        Mutation histories may *branch*: only the receiver's first
+        successor inherits the stable id unchanged; every further
+        successor forks it (``<id>/b1``, ``<id>/b2``, ...), so two
+        different successors of one base can never share an epoch cache
+        key.
+        """
+        from repro.formats.convert import convert
+        from repro.formats.delta import apply_delta
+
+        merged, _ = apply_delta(self.to_coo(), delta)
+        successor = convert(merged, format or self.format)
+        if successor is self:  # empty delta on a COO base: copy, don't alias
+            from repro.formats.coo import COOMatrix
+
+            successor = COOMatrix(
+                self.nrows, self.ncols,
+                merged.row, merged.col, merged.data,
+                canonical=True,
+            )
+        branch = self._successors
+        self._successors += 1
+        successor._stable_id = (  # assigns ours if unset
+            self.stable_id if branch == 0
+            else f"{self.stable_id}/b{branch}"
+        )
+        successor._epoch = self._epoch + 1
+        return successor
 
     @property
     @abc.abstractmethod

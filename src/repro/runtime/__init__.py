@@ -16,6 +16,12 @@ system, bottom-up:
   ``(matrix, x)`` requests against an execution space, memoising stats,
   features, tuner decisions and format conversions per matrix
   fingerprint, with cache counters and per-space time accounting.
+* :mod:`~repro.runtime.epoch` — epoch-versioned identity for mutable
+  matrices: :class:`~repro.runtime.epoch.MatrixEpoch` ``(stable_id,
+  epoch)`` cache keys, :class:`~repro.runtime.epoch.IncrementalStats`
+  maintained from deltas, and the
+  :class:`~repro.runtime.epoch.RedecisionPolicy` that decides when an
+  evolving matrix deserves a fresh tuner decision.
 """
 
 from repro.runtime.registry import (
@@ -40,8 +46,16 @@ from repro.runtime.batch import (
 from repro.runtime.engine import (
     CacheCounters,
     EngineResult,
+    InvalidationCounters,
     WorkloadEngine,
     matrix_fingerprint,
+)
+from repro.runtime.epoch import (
+    IncrementalStats,
+    MatrixEpoch,
+    RedecisionPolicy,
+    StreamUpdate,
+    matrix_epoch,
 )
 
 __all__ = [
@@ -62,6 +76,12 @@ __all__ = [
     "spmv_iterations",
     "CacheCounters",
     "EngineResult",
+    "IncrementalStats",
+    "InvalidationCounters",
+    "MatrixEpoch",
+    "RedecisionPolicy",
+    "StreamUpdate",
     "WorkloadEngine",
     "matrix_fingerprint",
+    "matrix_epoch",
 ]

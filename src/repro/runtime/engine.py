@@ -37,6 +37,7 @@ from repro.formats.base import SparseMatrix
 from repro.formats.convert import convert
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
+from repro.formats.delta import MatrixDelta
 from repro.formats.dia import DIAMatrix
 from repro.formats.dynamic import DynamicMatrix
 from repro.formats.ell import ELLMatrix
@@ -44,6 +45,12 @@ from repro.formats.hdc import HDCMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.machine.stats import MatrixStats
 from repro.runtime.batch import batched_spmv, matvec
+from repro.runtime.epoch import (
+    RedecisionPolicy,
+    StreamState,
+    StreamUpdate,
+    matrix_epoch,
+)
 from repro.spmv.spmm import check_block, spmm_time_factor
 from repro.utils.validation import check_vector_length
 
@@ -54,8 +61,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CacheCounters",
     "EngineResult",
+    "InvalidationCounters",
     "WorkloadEngine",
     "matrix_fingerprint",
+    "request_key",
     "validate_operand",
 ]
 
@@ -120,6 +129,20 @@ def matrix_fingerprint(matrix: MatrixLike) -> str:
     return h.hexdigest()
 
 
+def request_key(matrix: MatrixLike) -> str:
+    """Default cache key for a request: epoch identity, else content hash.
+
+    Epoch-stamped matrices are keyed by ``stable_id@epoch`` — version
+    identity, no ``O(nnz)`` hashing — while plain containers fall back
+    to :func:`matrix_fingerprint`.  Shared by the engine and the tuning
+    service so a key derived in one layer always matches the other.
+    """
+    identity = matrix_epoch(matrix)
+    if identity is not None:
+        return identity.key
+    return matrix_fingerprint(matrix)
+
+
 @dataclass
 class CacheCounters:
     """Hit/miss tallies for every memoised artefact of the engine."""
@@ -179,13 +202,40 @@ class CacheCounters:
         }
 
 
+@dataclass
+class InvalidationCounters:
+    """Epoch bookkeeping: what did matrix mutations cost (and save)?
+
+    ``epoch_advances`` counts successful :meth:`WorkloadEngine.update`
+    calls; each one either *carried forward* the prior format decision
+    (and its converted container) or *forced a re-tune* because the
+    incrementally maintained statistics drifted past the re-decision
+    threshold.  Surfaced through ``WorkloadEngine.stats()`` and
+    aggregated by ``TuningService.stats()``.
+    """
+
+    epoch_advances: int = 0
+    carried_forward: int = 0
+    forced_retunes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for reports / serialisation)."""
+        return {
+            "epoch_advances": self.epoch_advances,
+            "carried_forward": self.carried_forward,
+            "forced_retunes": self.forced_retunes,
+        }
+
+
 @dataclass(frozen=True)
 class EngineResult:
     """Outcome of one served request.
 
     ``seconds`` is the modelled device time of the SpMV itself;
     ``overhead_seconds`` carries the tuning + conversion cost paid by this
-    request (zero whenever the decision came from cache).
+    request (zero whenever the decision came from cache).  ``epoch`` is
+    the matrix version that served the request — 0 for matrices that
+    never mutated.
     """
 
     y: np.ndarray
@@ -194,6 +244,7 @@ class EngineResult:
     format: str
     fingerprint: str
     from_cache: bool
+    epoch: int = 0
 
 
 @dataclass
@@ -226,10 +277,15 @@ class WorkloadEngine:
         tuner: Optional["Tuner"] = None,
         *,
         accelerate: bool = True,
+        redecision: Optional[RedecisionPolicy] = None,
     ) -> None:
         self.space = space
         self.tuner = tuner
         self.accelerate = accelerate
+        #: Policy deciding when an epoch advance forces a re-tune
+        #: (:meth:`update`); below its threshold the prior decision is
+        #: carried forward.
+        self.redecision = redecision if redecision is not None else RedecisionPolicy()
         #: Version stamp of the deployed model driving decisions ("-"
         #: when untracked); kept in lock-step with the tuner by
         #: :meth:`set_tuner` so results can attribute themselves to the
@@ -249,13 +305,25 @@ class WorkloadEngine:
         self._prepared: Dict[str, SparseMatrix] = {}
         self._format_times: Dict[str, Dict[str, float]] = {}
         self._queue: List[_Pending] = []
+        self._streams: Dict[str, StreamState] = {}
+        self.invalidations = InvalidationCounters()
 
     # ------------------------------------------------------------------
     # memoised artefacts
     # ------------------------------------------------------------------
     def fingerprint(self, matrix: MatrixLike, *, key: Optional[str] = None) -> str:
-        """Cache key for *matrix*: the caller's ``key`` or a content hash."""
-        return key if key is not None else matrix_fingerprint(matrix)
+        """Cache key for *matrix*: caller ``key``, epoch identity, or hash.
+
+        Epoch-stamped matrices (anything that went through
+        :meth:`~repro.formats.base.SparseMatrix.with_updates`, or whose
+        :attr:`~repro.formats.base.SparseMatrix.stable_id` was touched)
+        are keyed by their :class:`~repro.runtime.epoch.MatrixEpoch` —
+        ``stable_id@epoch`` — instead of hashing the defining arrays:
+        version identity replaces content identity, so a mutation is a
+        new key without an ``O(nnz)`` hash, and two epochs of one matrix
+        can never collide in the cache.
+        """
+        return key if key is not None else request_key(matrix)
 
     def stats_for(
         self, matrix: MatrixLike, *, key: Optional[str] = None
@@ -266,6 +334,7 @@ class WorkloadEngine:
             self.counters.stats_hits += 1
             return self._stats[fp]
         self.counters.stats_misses += 1
+        matrix = self._resolve(matrix, fp)
         concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
         stats = MatrixStats.from_matrix(concrete)
         self._stats[fp] = stats
@@ -306,6 +375,11 @@ class WorkloadEngine:
             self.model_version = str(version)
         self._reports.clear()
         self._prepared.clear()
+        # stream drift anchors pointed at old-model decisions; clearing
+        # them re-anchors each stream at the new model's first decision
+        # (the next update adopts the then-current stats snapshot)
+        for state in self._streams.values():
+            state.decided_stats = None
 
     def profile_snapshot(self) -> Dict[str, Dict[str, float]]:
         """Copy of every memoised per-format timing table, keyed by matrix.
@@ -371,6 +445,7 @@ class WorkloadEngine:
         if fp in self._reports:
             self.counters.decision_hits += 1
             return self._reports[fp]
+        matrix = self._resolve(matrix, fp)
         return self._decide(matrix, fp, self.stats_for(matrix, key=fp))
 
     def _decide(
@@ -416,6 +491,165 @@ class WorkloadEngine:
         self._prepared[fp] = concrete
         return concrete
 
+    def prepare(self, matrix: MatrixLike, *, key: Optional[str] = None) -> SparseMatrix:
+        """Resolve the serving container for *matrix*: decide + convert.
+
+        Pays the full first-request artefact chain — fingerprint, stats,
+        features, tuner decision, format conversion — and memoises every
+        step, so a subsequent :meth:`execute` only runs the kernel.  The
+        warm-up entry point for latency-sensitive callers (and the
+        from-scratch baseline the streaming benchmark times).
+        """
+        fp = self.fingerprint(matrix, key=key)
+        stats = self.stats_for(matrix, key=fp)
+        report = self._decide(matrix, fp, stats)
+        return self._prepared_for(matrix, fp, report, stats)
+
+    # ------------------------------------------------------------------
+    # streaming: epoch advances without rebuilding the world
+    # ------------------------------------------------------------------
+    def track(self, matrix: MatrixLike, *, key: Optional[str] = None) -> str:
+        """Register *matrix* as a mutable stream; returns its cache key.
+
+        Tracking seeds the incremental statistics (row histogram +
+        diagonal census) from the matrix's canonical COO view and pins
+        that view as the authoritative content — every subsequent
+        :meth:`update` merges its delta into it.  Idempotent per key.
+        """
+        concrete = matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        fp = key if key is not None else concrete.stable_id
+        if fp in self._streams:
+            return fp
+        state = StreamState(fp, concrete.epoch, concrete.to_coo())
+        self._streams[fp] = state
+        self._stats.setdefault(fp, state.inc.to_stats())
+        return fp
+
+    def epoch_of(self, key: str) -> int:
+        """Current epoch of a tracked stream (0 for untracked keys)."""
+        state = self._streams.get(key)
+        return state.epoch if state is not None else 0
+
+    def update(
+        self,
+        key: str,
+        delta: MatrixDelta,
+        *,
+        matrix: Optional[MatrixLike] = None,
+    ) -> StreamUpdate:
+        """Advance a tracked matrix one epoch; keep the caches warm.
+
+        The delta is merged into the stream's canonical base in
+        ``O(nnz + k)`` (no re-canonicalisation, no content re-hash) and
+        the incremental statistics absorb its structural effect in
+        ``O(k)``.  The :attr:`redecision` policy then measures how far
+        the refreshed statistics drifted from those the live decision
+        was made against:
+
+        * **below threshold** — the decision is *carried forward*: no
+          features, no tuner, no modelled tuning/conversion charge; the
+          serving container is re-materialised from the merged base in
+          the already-decided format, and the per-format profile
+          timings survive (they remain the shadow baseline);
+        * **above threshold** — a *forced re-tune*: the decision,
+          serving container and profile timings are invalidated and the
+          tuner re-runs against the incrementally maintained stats
+          (still no ``O(nnz)`` recompute).
+
+        ``matrix`` is only needed on the first update of an untracked
+        key (it starts the stream).  Callers must serialise updates with
+        concurrent serving per key — the tuning service does so under
+        its engine-cache shard lock.
+        """
+        state = self._streams.get(key)
+        if state is None:
+            if matrix is None:
+                raise ValidationError(
+                    f"unknown stream {key!r}: pass matrix= on the first "
+                    "update to start tracking"
+                )
+            self.track(matrix, key=key)
+            state = self._streams[key]
+        prev_stats = self._stats.get(key)
+        state.merge(delta)
+        self.invalidations.epoch_advances += 1
+        new_stats = state.inc.to_stats()
+        self._stats[key] = new_stats
+        # features derive from stats in O(1): drop the stale vector and
+        # let the next request rebuild it from the maintained stats
+        self._features.pop(key, None)
+        report = self._reports.get(key)
+        if report is None:
+            # no decision yet: the next request pays the usual first-time
+            # cost against the (incrementally maintained) stats
+            self._prepared.pop(key, None)
+            return StreamUpdate(
+                key=key,
+                epoch=state.epoch,
+                carried_forward=False,
+                retuned=False,
+                format=None,
+                drift=0.0,
+                nnz=state.inc.nnz,
+                delta_size=len(delta),
+                bandwidth=state.inc.bandwidth,
+            )
+        if state.decided_stats is None:
+            # the live decision predates stream bookkeeping: its
+            # reference population is the last pre-update snapshot
+            state.decided_stats = prev_stats
+        drift = self.redecision.drift(state.decided_stats, new_stats)
+        retuned = self.redecision.should_retune(drift)
+        if retuned:
+            self._reports.pop(key, None)
+            self._prepared.pop(key, None)
+            self._format_times.pop(key, None)
+            self.invalidations.forced_retunes += 1
+            content = state.content()
+            report = self._decide(content, key, new_stats)
+            state.decided_stats = new_stats
+            prepared = self._prepared_for(content, key, report, new_stats)
+        else:
+            self.invalidations.carried_forward += 1
+            # decision, profile timings and modelled charges all carry
+            # forward; only the serving container re-materialises so it
+            # reflects the merged content — CSR straight from the keyed
+            # arrays, other formats through the COO view
+            target = report.format_name
+            if target == "CSR":
+                prepared = state.prepared_csr()
+            elif target == "COO":
+                prepared = state.content()
+            else:
+                prepared = convert(state.content(), target)
+            self._prepared[key] = prepared
+        return StreamUpdate(
+            key=key,
+            epoch=state.epoch,
+            carried_forward=not retuned,
+            retuned=retuned,
+            format=prepared.format,
+            drift=drift,
+            nnz=state.inc.nnz,
+            delta_size=len(delta),
+            bandwidth=state.inc.bandwidth,
+        )
+
+    def stream_base(self, key: str) -> Optional[COOMatrix]:
+        """The authoritative canonical-COO content of a tracked stream."""
+        state = self._streams.get(key)
+        return state.content() if state is not None else None
+
+    def _resolve(self, matrix: MatrixLike, fp: str) -> MatrixLike:
+        """Swap a request's matrix for the stream content when tracked.
+
+        Once a key has been mutated, the caller's container is a stale
+        epoch; every artefact rebuild must come from the stream's merged
+        base or a post-update cache miss would silently serve old data.
+        """
+        state = self._streams.get(fp)
+        return state.content() if state is not None else matrix
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
@@ -434,6 +668,7 @@ class WorkloadEngine:
         workloads run the same product many times).
         """
         fp = self.fingerprint(matrix, key=key)
+        matrix = self._resolve(matrix, fp)
         cached = fp in self._reports
         overhead_before = self.seconds["tuning"] + self.seconds["conversion"]
         stats = self.stats_for(matrix, key=fp)
@@ -461,6 +696,7 @@ class WorkloadEngine:
             format=prepared.format,
             fingerprint=fp,
             from_cache=cached,
+            epoch=self.epoch_of(fp),
         )
 
     # ------------------------------------------------------------------
@@ -504,11 +740,12 @@ class WorkloadEngine:
             groups.setdefault(pending.fingerprint, []).append(idx)
         for fp, indices in groups.items():
             first = queue[indices[0]]
+            first_matrix = self._resolve(first.matrix, fp)
             was_cached = fp in self._reports
             before = self.seconds["tuning"] + self.seconds["conversion"]
-            stats = self.stats_for(first.matrix, key=fp)
-            report = self._decide(first.matrix, fp, stats)
-            prepared = self._prepared_for(first.matrix, fp, report, stats)
+            stats = self.stats_for(first_matrix, key=fp)
+            report = self._decide(first_matrix, fp, stats)
+            prepared = self._prepared_for(first_matrix, fp, report, stats)
             first_overhead = (
                 self.seconds["tuning"] + self.seconds["conversion"]
             ) - before
@@ -549,6 +786,7 @@ class WorkloadEngine:
                     format=prepared.format,
                     fingerprint=fp,
                     from_cache=was_cached or pos > 0,
+                    epoch=self.epoch_of(fp),
                 )
         return [r for r in results if r is not None]
 
@@ -567,7 +805,11 @@ class WorkloadEngine:
           (:meth:`CacheCounters.as_dict`);
         * ``hits`` / ``misses`` / ``hit_rate`` — the cross-cache totals;
         * ``seconds`` — modelled time by category
-          (tuning / conversion / spmv).
+          (tuning / conversion / spmv);
+        * ``invalidations`` — epoch bookkeeping for mutable matrices
+          (epoch advances, carried-forward decisions, forced re-tunes;
+          :meth:`InvalidationCounters.as_dict`) plus the number of live
+          ``streams``.
 
         The dict is a snapshot: mutating it never affects the engine.
         """
@@ -581,6 +823,8 @@ class WorkloadEngine:
             "misses": self.counters.misses,
             "hit_rate": self.counters.hit_rate,
             "seconds": dict(self.seconds),
+            "invalidations": self.invalidations.as_dict(),
+            "streams": len(self._streams),
         }
 
     def summary(self) -> Dict[str, object]:

@@ -31,7 +31,12 @@ from repro.service.replay import (
     synthetic_trace,
     trace_from_suite,
 )
-from repro.service.service import ServiceResult, Session, TuningService
+from repro.service.service import (
+    ServiceResult,
+    Session,
+    TuningService,
+    UpdateResult,
+)
 
 __all__ = [
     "ReplayReport",
@@ -40,6 +45,7 @@ __all__ = [
     "ShardedEngineCache",
     "Trace",
     "TuningService",
+    "UpdateResult",
     "replay",
     "service_for_suite",
     "synthetic_trace",

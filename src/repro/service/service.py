@@ -30,6 +30,14 @@ points the service at a :class:`~repro.core.pipeline.ModelDatabase`
 directory (e.g. the ``models/<fingerprint>/`` directory a scenario suite
 exported) and serves predictions from the stored model.
 
+Matrices are allowed to *evolve*: a :meth:`Session.update` mutation
+request carries a :class:`~repro.formats.delta.MatrixDelta` through the
+same per-fingerprint queue as the SpMVs (it acts as a barrier — never
+coalesced, never reordered) and advances the matrix's epoch under the
+engine-cache shard lock, invalidating only decision-dependent artefacts
+(see :meth:`~repro.runtime.engine.WorkloadEngine.update`).  Every
+:class:`ServiceResult` is stamped with the epoch that served it.
+
 The service is also the sensor and actuator of the adaptive loop
 (:mod:`repro.adaptive`): an optional *observer* callback receives one
 plain-dict observation per served request (features, chosen format,
@@ -52,15 +60,16 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
+from repro.formats.delta import MatrixDelta
 from repro.formats.dynamic import DynamicMatrix
 from repro.runtime.engine import (
     WorkloadEngine,
-    matrix_fingerprint,
+    request_key,
     validate_operand,
 )
 from repro.service.cache import ShardedEngineCache
 
-__all__ = ["ServiceResult", "Session", "TuningService"]
+__all__ = ["ServiceResult", "Session", "TuningService", "UpdateResult"]
 
 MatrixLike = Union[SparseMatrix, DynamicMatrix]
 
@@ -89,6 +98,28 @@ class ServiceResult:
     batch_size: int
     latency_seconds: float
     model_version: str = ""
+    #: Matrix version that served this request (0 = never mutated).
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one :meth:`Session.update` mutation request.
+
+    Mirrors the engine's :class:`~repro.runtime.epoch.StreamUpdate` —
+    which epoch the matrix advanced to, whether the format decision was
+    carried forward or re-tuned (and at what measured stat ``drift``) —
+    plus the request's wall ``latency_seconds``.
+    """
+
+    fingerprint: str
+    epoch: int
+    carried_forward: bool
+    retuned: bool
+    format: Optional[str]
+    drift: float
+    nnz: int
+    latency_seconds: float
 
 
 class _FingerprintQueue:
@@ -102,21 +133,40 @@ class _FingerprintQueue:
 
 
 class _Request:
-    """One validated, submitted request awaiting a drain."""
+    """One validated, submitted request awaiting a drain.
 
-    __slots__ = ("matrix", "operand", "repetitions", "future", "enqueued_at")
+    ``kind`` is ``"spmv"`` for compute requests and ``"update"`` for
+    mutation requests (which carry a ``delta`` instead of an operand and
+    act as a barrier in the fingerprint's queue: never coalesced, never
+    reordered against surrounding SpMVs).
+    """
+
+    __slots__ = (
+        "matrix",
+        "operand",
+        "repetitions",
+        "future",
+        "enqueued_at",
+        "kind",
+        "delta",
+    )
 
     def __init__(
         self,
         matrix: MatrixLike,
-        operand: np.ndarray,
+        operand: Optional[np.ndarray],
         repetitions: int,
-        future: "Future[ServiceResult]",
+        future: "Future",
+        *,
+        kind: str = "spmv",
+        delta: Optional[MatrixDelta] = None,
     ) -> None:
         self.matrix = matrix
         self.operand = operand
         self.repetitions = repetitions
         self.future = future
+        self.kind = kind
+        self.delta = delta
         self.enqueued_at = time.perf_counter()
 
 
@@ -155,6 +205,11 @@ class TuningService:
         memoised :meth:`~repro.runtime.engine.WorkloadEngine.profile_formats`
         and attaches them to that batch's first observation.  ``0``
         (default) disables shadow profiling.
+    redecision:
+        Optional :class:`~repro.runtime.epoch.RedecisionPolicy` handed
+        to every engine the cache builds — how far the incrementally
+        maintained statistics may drift across epochs before a mutation
+        forces a re-tune.  ``None`` uses the engine default.
 
     Use as a context manager (or call :meth:`close`) to shut the worker
     pool down; pending requests are drained first.
@@ -171,6 +226,7 @@ class TuningService:
         max_batch: int = 32,
         accelerate: bool = True,
         shadow_every: int = 0,
+        redecision=None,
     ) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
@@ -186,6 +242,9 @@ class TuningService:
         self.max_batch = int(max_batch)
         self.accelerate = accelerate
         self.shadow_every = int(shadow_every)
+        #: Optional :class:`~repro.runtime.epoch.RedecisionPolicy` every
+        #: engine is built with (None = the engine default).
+        self.redecision = redecision
         self.engines = ShardedEngineCache(
             self._make_engine,
             capacity=capacity,
@@ -203,6 +262,7 @@ class TuningService:
         # service-level counters (engine-level ones live in the engines)
         self.requests_submitted = 0
         self.requests_served = 0
+        self.updates_served = 0
         self.batches = 0
         self.coalesced_batches = 0
         self.coalesced_requests = 0
@@ -213,6 +273,7 @@ class TuningService:
             "requests_served": 0,
             "seconds": {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0},
             "counters": {},
+            "invalidations": {},
             "profile_times": {},
         }
         #: deployed-model provenance, replaced atomically by promote_model
@@ -239,7 +300,10 @@ class TuningService:
     def _make_engine(self) -> WorkloadEngine:
         tuner, info = self._deployed  # one read: tuner/version stay paired
         engine = WorkloadEngine(
-            self.space, tuner=tuner, accelerate=self.accelerate
+            self.space,
+            tuner=tuner,
+            accelerate=self.accelerate,
+            redecision=self.redecision,
         )
         engine.model_version = str(info.get("version", "-"))
         return engine
@@ -419,9 +483,58 @@ class TuningService:
         if self._closed:
             raise ValidationError("service is closed")
         operand = validate_operand(matrix, x)
-        fp = key if key is not None else matrix_fingerprint(matrix)
+        fp = key if key is not None else request_key(matrix)
         future: "Future[ServiceResult]" = Future()
         request = _Request(matrix, operand, int(repetitions), future)
+        self._enqueue(fp, request)
+        return future
+
+    def submit_update(
+        self,
+        matrix: MatrixLike,
+        delta: MatrixDelta,
+        *,
+        key: Optional[str] = None,
+    ) -> "Future[UpdateResult]":
+        """Enqueue a mutation: advance the matrix one epoch under its key.
+
+        The delta is validated here (bounds against the matrix shape)
+        and queued behind any already-submitted requests for the same
+        fingerprint; it acts as a barrier — SpMVs submitted before it
+        are served against the old epoch, SpMVs after it against the
+        new one — and is applied under the engine-cache shard lock, so
+        it can never interleave with a batch in flight.
+        """
+        if self._closed:
+            raise ValidationError("service is closed")
+        if not isinstance(delta, MatrixDelta):
+            raise ValidationError(
+                f"update needs a MatrixDelta, got {type(delta).__name__}"
+            )
+        concrete = (
+            matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        )
+        delta.check_bounds(concrete.nrows, concrete.ncols)
+        fp = key if key is not None else request_key(matrix)
+        future: "Future[UpdateResult]" = Future()
+        request = _Request(
+            matrix, None, 1, future, kind="update", delta=delta
+        )
+        self._enqueue(fp, request)
+        return future
+
+    def update(
+        self,
+        matrix: MatrixLike,
+        delta: MatrixDelta,
+        *,
+        key: Optional[str] = None,
+    ) -> UpdateResult:
+        """Blocking convenience wrapper around :meth:`submit_update`."""
+        return self.submit_update(matrix, delta, key=key).result()
+
+    def _enqueue(self, fp: str, request: _Request) -> None:
+        """Append one request to its fingerprint queue; schedule a drain."""
         with self._queue_lock:
             queue = self._queues.get(fp)
             if queue is None:
@@ -433,7 +546,6 @@ class TuningService:
             self.requests_submitted += 1
         if schedule:
             self._schedule(fp)
-        return future
 
     def spmv(
         self,
@@ -493,11 +605,23 @@ class TuningService:
             queue = self._queues.get(fp)
             if queue is None:
                 return False, observations
-            batch = queue.items[: self.max_batch]
-            del queue.items[: self.max_batch]
+            items = queue.items
+            if items and items[0].kind == "update":
+                # a mutation is a barrier: applied alone, in queue order
+                batch = [items.pop(0)]
+            else:
+                end = 0
+                limit = min(len(items), self.max_batch)
+                while end < limit and items[end].kind == "spmv":
+                    end += 1
+                batch = items[:end]
+                del items[:end]
         if batch:
             try:
-                observations = self._serve(fp, batch)
+                if batch[0].kind == "update":
+                    observations = self._serve_update(fp, batch[0])
+                else:
+                    observations = self._serve(fp, batch)
             except BaseException as exc:  # propagate to every waiting caller
                 for request in batch:
                     if not request.future.done():
@@ -552,6 +676,9 @@ class TuningService:
             # so the recorded version is exactly the model that decides
             # this batch's format
             model_version = engine.model_version
+            # likewise the epoch: updates advance it under this same
+            # shard lock, so the whole batch serves one matrix version
+            epoch = engine.epoch_of(fp)
             if len(batch) > 1 and all(
                 r.operand.ndim == 1 and r.repetitions == 1 for r in batch
             ):
@@ -602,6 +729,7 @@ class TuningService:
                     batch_size=len(batch),
                     latency_seconds=latency,
                     model_version=model_version,
+                    epoch=epoch,
                 )
             )
         if observer is None:
@@ -614,6 +742,7 @@ class TuningService:
                 "latency_seconds": latency,
                 "batch_size": len(batch),
                 "model_version": model_version,
+                "epoch": epoch,
                 "features": features,
                 # rival timings ride the probed batch's first request
                 "shadow_times": shadow if i == 0 else None,
@@ -621,6 +750,49 @@ class TuningService:
             for i, (engine_result, latency) in enumerate(
                 zip(results, latencies)
             )
+        ]
+
+    def _serve_update(self, fp: str, request: _Request) -> List[dict]:
+        """Apply one mutation request under the engine's shard lock.
+
+        Returns the update's telemetry observation (``kind: "update"``,
+        carrying the measured stat drift — the adaptive layer's
+        matrix-evolution velocity signal) when an observer is installed.
+        """
+        with self.engines.lease(fp) as engine:
+            upd = engine.update(fp, request.delta, matrix=request.matrix)
+        latency = time.perf_counter() - request.enqueued_at
+        with self._metrics_lock:
+            self.requests_served += 1
+            self.updates_served += 1
+            self.batches += 1
+            self.latency_total += latency
+            self.latency_max = max(self.latency_max, latency)
+        request.future.set_result(
+            UpdateResult(
+                fingerprint=fp,
+                epoch=upd.epoch,
+                carried_forward=upd.carried_forward,
+                retuned=upd.retuned,
+                format=upd.format,
+                drift=upd.drift,
+                nnz=upd.nnz,
+                latency_seconds=latency,
+            )
+        )
+        if self._observer is None:
+            return []
+        return [
+            {
+                "kind": "update",
+                "fingerprint": fp,
+                "epoch": upd.epoch,
+                "stat_drift": upd.drift,
+                "retuned": upd.retuned,
+                "carried_forward": upd.carried_forward,
+                "nnz": upd.nnz,
+                "latency_seconds": latency,
+            }
         ]
 
     def _serve_stacked(self, fp: str, engine, batch: List[_Request]):
@@ -683,6 +855,10 @@ class TuningService:
                 self._retired["counters"][name] = (
                     self._retired["counters"].get(name, 0) + value
                 )
+            for name, value in stats["invalidations"].items():
+                self._retired["invalidations"][name] = (
+                    self._retired["invalidations"].get(name, 0) + value
+                )
             retired_profiles = self._retired["profile_times"]
             for fp, times in profile.items():
                 retired_profiles.setdefault(fp, dict(times))
@@ -707,6 +883,7 @@ class TuningService:
                 "max_batch": self.max_batch,
                 "requests_submitted": self.requests_submitted,
                 "requests_served": served,
+                "updates_served": self.updates_served,
                 "batches": self.batches,
                 "coalesced_batches": self.coalesced_batches,
                 "coalesced_requests": self.coalesced_requests,
@@ -725,6 +902,7 @@ class TuningService:
                 "requests_served": self._retired["requests_served"],
                 "seconds": dict(self._retired["seconds"]),
                 "counters": dict(self._retired["counters"]),
+                "invalidations": dict(self._retired["invalidations"]),
             }
         snapshot["profiled_matrices"] = len(self.profile_times())
         for engine in self.engines.values():
@@ -738,8 +916,19 @@ class TuningService:
                 engines_total["counters"][name] = (
                     engines_total["counters"].get(name, 0) + value
                 )
+            for name, value in stats["invalidations"].items():
+                engines_total["invalidations"][name] = (
+                    engines_total["invalidations"].get(name, 0) + value
+                )
         snapshot["engine_cache"] = self.engines.stats()
         snapshot["engines"] = engines_total
+        # every engine the service ever owned, in one place: the
+        # epoch-advance / carry-forward / forced-re-tune tallies the
+        # streaming CLI and dashboards report
+        snapshot["invalidations"] = {
+            name: engines_total["invalidations"].get(name, 0)
+            for name in ("epoch_advances", "carried_forward", "forced_retunes")
+        }
         return snapshot
 
     # ------------------------------------------------------------------
@@ -798,6 +987,8 @@ class Session:
         self.name = name
         #: Requests issued through this session (async and blocking).
         self.requests = 0
+        #: Mutation requests issued through this session.
+        self.updates = 0
         #: Blocking requests whose latency was observed (spmv/spmm).
         self.completed = 0
         self.latency_total = 0.0
@@ -829,6 +1020,24 @@ class Session:
         self.completed += 1
         self.latency_total += result.latency_seconds
         return result
+
+    def update(
+        self,
+        matrix: MatrixLike,
+        delta: MatrixDelta,
+        *,
+        key: Optional[str] = None,
+    ) -> UpdateResult:
+        """Blocking mutation: advance the matrix one epoch.
+
+        The delta queues behind this key's already-submitted requests
+        and is applied under the engine-cache shard lock, so SpMVs
+        submitted before it serve the old epoch and SpMVs after it the
+        new one; the returned :class:`UpdateResult` reports the epoch
+        reached and whether the format decision was carried forward.
+        """
+        self.updates += 1
+        return self.service.update(matrix, delta, key=key)
 
     def spmm(
         self,

@@ -204,3 +204,48 @@ class TestRollback:
         assert controller.rollbacks == 1
         # the rolled-back-from version is still published, not deleted
         assert promoted in registry.versions()
+
+
+class TestUpdateObservations:
+    """Mutation telemetry: the matrix-evolution drift channel."""
+
+    def test_ingest_routes_updates_to_monitor_not_telemetry(
+        self, boot, tmp_path, space
+    ):
+        service, registry, controller = make_loop(
+            boot, tmp_path, space, check_every=1000
+        )
+        with service, controller:
+            controller._ingest(
+                [
+                    {"kind": "update", "fingerprint": "m",
+                     "epoch": 1, "stat_drift": 0.75},
+                    {"kind": "update", "fingerprint": "m",
+                     "epoch": 2, "stat_drift": 0.25},
+                ]
+            )
+        stats = controller.monitor.stats()
+        assert stats["updates_observed"] == 2
+        assert stats["live_evolution"] == pytest.approx(1.0)
+        # mutation records carry no features/timings: telemetry skips them
+        assert controller.telemetry.stats()["recorded"] == 0
+
+    def test_service_updates_flow_through_the_observer(
+        self, boot, tmp_path, space
+    ):
+        from repro.formats import COOMatrix
+        from repro.formats.delta import MatrixDelta
+
+        service, registry, controller = make_loop(
+            boot, tmp_path, space, check_every=1000
+        )
+        rng = np.random.default_rng(0)
+        dense = (rng.random((12, 12)) < 0.4) * rng.standard_normal((12, 12))
+        matrix = COOMatrix.from_dense(dense)
+        with service, controller:
+            session = service.session("c")
+            session.spmv(matrix, np.ones(12), key="m")
+            session.update(
+                matrix, MatrixDelta.sets([0], [1], [3.0]), key="m"
+            )
+        assert controller.monitor.stats()["updates_observed"] == 1

@@ -192,3 +192,56 @@ class TestDriftMonitor:
         # fill: feature drift and self-baselining would be silently dead
         with pytest.raises(ValidationError):
             DriftMonitor(baseline, window=32, min_observations=48)
+
+
+class TestEvolutionVelocity:
+    """Matrix mutations feed the monitor as an independent drift signal."""
+
+    def test_updates_alone_can_trigger(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, evolution_threshold=1.0)
+        for _ in range(4):
+            monitor.observe_update(0.4)
+        report = monitor.check()
+        assert report.drifted
+        assert report.evolution == pytest.approx(1.6)
+        assert any("evolution" in reason for reason in report.reasons)
+
+    def test_triggers_without_any_baseline(self):
+        # evolution measures in-place rewriting: no reference needed
+        monitor = DriftMonitor(None, evolution_threshold=0.5)
+        monitor.observe_update(1.0)
+        assert monitor.check().drifted
+
+    def test_slow_evolution_stays_quiet(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, evolution_threshold=4.0)
+        for _ in range(10):
+            monitor.observe_update(0.01)
+        report = monitor.check()
+        assert not report.drifted
+        assert report.evolution == pytest.approx(0.1)
+
+    def test_reset_and_rebaseline_clear_the_window(self, rng, center, baseline):
+        monitor = DriftMonitor(baseline, evolution_threshold=1.0)
+        monitor.observe_update(5.0)
+        monitor.reset()
+        assert not monitor.check().drifted
+        monitor.observe_update(5.0)
+        monitor.rebaseline(baseline)
+        assert not monitor.check().drifted
+
+    def test_negative_drift_clamped(self, baseline):
+        monitor = DriftMonitor(baseline, evolution_threshold=1.0)
+        monitor.observe_update(-3.0)
+        assert monitor.check().evolution == 0.0
+
+    def test_stats_expose_velocity(self, baseline):
+        monitor = DriftMonitor(baseline)
+        monitor.observe_update(0.25)
+        stats = monitor.stats()
+        assert stats["updates_observed"] == 1
+        assert stats["live_evolution"] == pytest.approx(0.25)
+        assert stats["evolution_threshold"] == 4.0
+
+    def test_threshold_validated(self, baseline):
+        with pytest.raises(ValidationError):
+            DriftMonitor(baseline, evolution_threshold=0.0)

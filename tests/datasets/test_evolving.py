@@ -1,0 +1,96 @@
+"""Evolving-workload generators: determinism, structure, clean errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_family
+from repro.datasets.evolving import (
+    EVOLVING_FAMILIES,
+    decaying_stencil,
+    generate_evolving,
+    growing_rmat,
+    widening_band,
+)
+from repro.errors import DatasetError
+from repro.formats.delta import apply_delta
+
+
+@pytest.mark.parametrize("family", sorted(EVOLVING_FAMILIES))
+class TestEveryFamily:
+    def test_deterministic_given_seed(self, family):
+        a = generate_evolving(family, epochs=6, seed=11)
+        b = generate_evolving(family, epochs=6, seed=11)
+        assert a.epochs == b.epochs == 6
+        for ma, mb in zip(a.replay(), b.replay()):
+            np.testing.assert_array_equal(ma.row, mb.row)
+            np.testing.assert_array_equal(ma.col, mb.col)
+            assert np.array_equal(ma.data, mb.data)
+
+    def test_seed_changes_content(self, family):
+        a = generate_evolving(family, epochs=4, seed=1)
+        b = generate_evolving(family, epochs=4, seed=2)
+        assert not (
+            a.initial.nnz == b.initial.nnz
+            and np.array_equal(a.initial.data, b.initial.data)
+        )
+
+    def test_every_delta_applies_cleanly(self, family):
+        workload = generate_evolving(family, epochs=8, seed=4)
+        assert len(workload.deltas) == 8
+        current = workload.initial
+        for delta in workload.deltas:
+            assert len(delta) > 0, "deltas must never be empty"
+            delta.check_bounds(current.nrows, current.ncols)
+            current, _ = apply_delta(current, delta)
+        assert workload.compacted()[-1].nnz == current.nnz
+
+    def test_epochs_validated(self, family):
+        with pytest.raises(DatasetError):
+            generate_evolving(family, epochs=0)
+
+
+class TestFamilyShapes:
+    def test_growing_rmat_grows(self):
+        workload = growing_rmat(scale=6, epochs=8, seed=2)
+        mats = workload.compacted()
+        assert mats[-1].nnz > mats[0].nnz
+        assert workload.family == "growing_rmat"
+
+    def test_widening_band_widens(self):
+        workload = widening_band(n=64, epochs=6, half_bandwidth=1, seed=2)
+        mats = workload.compacted()
+        first = np.abs(mats[0].col - mats[0].row).max()
+        last = np.abs(mats[-1].col - mats[-1].row).max()
+        assert last > first
+
+    def test_widening_band_saturates_gracefully(self):
+        # epochs far beyond the matrix edge: deltas switch to diagonal
+        # perturbations instead of going empty
+        workload = widening_band(n=8, epochs=12, half_bandwidth=1, seed=2)
+        assert all(len(d) > 0 for d in workload.deltas)
+
+    def test_decaying_stencil_decays_and_empties_rows(self):
+        workload = decaying_stencil(nx=8, epochs=12, decay=0.3, seed=2)
+        mats = workload.compacted()
+        assert mats[-1].nnz < mats[0].nnz
+        # sustained decay must eventually empty whole rows
+        assert int((mats[-1].row_nnz() == 0).sum()) > 0
+
+
+class TestUnknownFamilies:
+    def test_generate_evolving_unknown_family(self):
+        with pytest.raises(DatasetError) as excinfo:
+            generate_evolving("no_such_family")
+        message = str(excinfo.value)
+        for name in EVOLVING_FAMILIES:
+            assert name in message
+
+    def test_generate_family_unknown_family_lists_names(self):
+        """The static registry errors cleanly too (not a bare KeyError)."""
+        with pytest.raises(DatasetError) as excinfo:
+            generate_family("no_such_family", n=8)
+        message = str(excinfo.value)
+        assert "unknown family" in message
+        assert "banded" in message and "rmat" in message

@@ -1,0 +1,134 @@
+"""Property-style round-trips through every registered format.
+
+Every registered container must survive ``from_coo -> to_coo`` on
+adversarial content: empty matrices, empty rows (leading, trailing,
+interior), duplicate COO input triplets, single entries in corners, and
+— the streaming case — rows emptied *after* construction by deleting
+their entries through a delta-overlay compaction.  The round trip must
+reproduce the canonical COO arrays exactly (not approximately): indices
+identical, values bitwise equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, DeltaOverlay, convert
+from repro.formats.base import FORMAT_IDS, format_class
+
+ALL_FORMATS = sorted(FORMAT_IDS)
+
+
+def _adversarial_cases():
+    rng = np.random.default_rng(1234)
+    cases = {}
+
+    cases["empty_matrix"] = COOMatrix.from_dense(np.zeros((4, 5)))
+    cases["single_entry_corner"] = COOMatrix(
+        3, 3, np.array([2]), np.array([2]), np.array([4.5])
+    )
+    cases["single_entry_origin"] = COOMatrix(
+        3, 4, np.array([0]), np.array([0]), np.array([-1.0])
+    )
+
+    # empty rows: leading, interior and trailing all at once
+    dense = np.zeros((6, 6))
+    dense[1, [0, 3]] = [1.0, 2.0]
+    dense[3, 5] = 3.0
+    cases["empty_rows_everywhere"] = COOMatrix.from_dense(dense)
+
+    # duplicate COO entries in the input triplets: must be summed
+    cases["duplicate_triplets"] = COOMatrix(
+        4,
+        4,
+        np.array([0, 0, 2, 2, 2, 3]),
+        np.array([1, 1, 0, 0, 0, 3]),
+        np.array([1.0, 2.0, 0.5, 0.25, 0.25, 7.0]),
+    )
+
+    # a dense-ish random matrix for good measure
+    blob = (rng.random((8, 8)) < 0.45) * rng.standard_normal((8, 8))
+    cases["random_blob"] = COOMatrix.from_dense(blob)
+
+    # wide and tall rectangles
+    wide = (rng.random((3, 9)) < 0.3) * rng.standard_normal((3, 9))
+    tall = (rng.random((9, 3)) < 0.3) * rng.standard_normal((9, 3))
+    cases["wide"] = COOMatrix.from_dense(wide)
+    cases["tall"] = COOMatrix.from_dense(tall)
+
+    # the streaming case: a banded matrix whose middle rows were emptied
+    # by deleting every entry through an overlay compaction
+    band = np.zeros((6, 6))
+    for i in range(6):
+        for j in range(max(0, i - 1), min(6, i + 2)):
+            band[i, j] = i + j + 1.0
+    banded = COOMatrix.from_dense(band)
+    overlay = DeltaOverlay()
+    for i in (2, 3):
+        for j in range(max(0, i - 1), min(6, i + 2)):
+            overlay.delete(i, j)
+    emptied = overlay.compact(banded)
+    assert (emptied.to_coo().row_nnz()[2:4] == 0).all()
+    cases["rows_emptied_via_overlay"] = emptied.to_coo()
+    return cases
+
+
+CASES = _adversarial_cases()
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_roundtrip_exact(fmt, case):
+    """COO -> fmt -> COO reproduces the canonical arrays bitwise."""
+    coo = CASES[case]
+    container = format_class(fmt).from_coo(coo)
+    assert container.format == fmt
+    back = container.to_coo()
+    assert back.shape == coo.shape
+    np.testing.assert_array_equal(back.row, coo.row)
+    np.testing.assert_array_equal(back.col, coo.col)
+    assert np.array_equal(back.data, coo.data), (
+        f"{fmt} round-trip changed values on case {case!r}"
+    )
+    assert back.nnz == coo.nnz
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_roundtrip_preserves_structure_stats(fmt, case):
+    """Row and diagonal censuses survive the round trip in any format."""
+    coo = CASES[case]
+    container = convert(coo, fmt)
+    np.testing.assert_array_equal(container.row_nnz(), coo.row_nnz())
+    np.testing.assert_array_equal(
+        np.sort(container.diagonal_nnz()), np.sort(coo.diagonal_nnz())
+    )
+
+
+@pytest.mark.parametrize("fmt", ALL_FORMATS)
+def test_cancelled_duplicates_agree_as_matrices(fmt):
+    """Duplicates summing to zero: every format agrees on the *values*.
+
+    Canonical COO keeps the explicit zero entry; dense-padded formats
+    (DIA, HDC's DIA block) cannot distinguish a stored zero from
+    padding, so exact storage round-trips are not required here — but
+    the represented matrix must be identical everywhere.
+    """
+    coo = COOMatrix(
+        3, 3, np.array([1, 1]), np.array([1, 1]), np.array([2.0, -2.0])
+    )
+    container = convert(coo, fmt)
+    np.testing.assert_array_equal(container.to_dense(), np.zeros((3, 3)))
+
+
+@pytest.mark.parametrize("src", ALL_FORMATS)
+@pytest.mark.parametrize("dst", ALL_FORMATS)
+def test_every_conversion_pair_on_emptied_rows(src, dst):
+    """Every src -> dst pair survives the overlay-emptied-rows case."""
+    coo = CASES["rows_emptied_via_overlay"]
+    there = convert(coo, src)
+    and_back = convert(there, dst).to_coo()
+    np.testing.assert_array_equal(and_back.row, coo.row)
+    np.testing.assert_array_equal(and_back.col, coo.col)
+    assert np.array_equal(and_back.data, coo.data)

@@ -1,0 +1,266 @@
+"""Streaming mutations through the tuning service.
+
+The load-bearing assertion is the 8-thread hammer: worker threads
+interleave ``Session.update`` mutation requests with SpMV/SpMM compute
+requests against the same matrix, and
+
+* **zero requests are dropped** — every future resolves;
+* every :class:`~repro.service.service.ServiceResult` is stamped with a
+  **valid epoch** (one the updater actually reached);
+* every result is **identical to a serial replay** under the recorded
+  epoch sequence — replaying request *i*'s operand against the compacted
+  matrix of the epoch that served it, in the same format, reproduces
+  ``y`` bitwise.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core.tuners.base import Tuner, TuningReport
+from repro.formats import COOMatrix, convert
+from repro.formats.base import FORMAT_IDS
+from repro.formats.delta import DeltaOverlay, MatrixDelta, apply_delta
+from repro.runtime.engine import WorkloadEngine
+from repro.runtime.epoch import RedecisionPolicy
+from repro.service import TuningService, UpdateResult
+
+
+class FixedTuner(Tuner):
+    """Deterministic format choice keeps the replay reference simple."""
+
+    def __init__(self, format_name: str = "CSR") -> None:
+        self.format_name = format_name
+
+    def tune(self, matrix, space, *, stats=None, matrix_key=""):
+        return TuningReport(format_id=FORMAT_IDS[self.format_name])
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial")
+
+
+def _matrix(n: int = 24, seed: int = 0) -> COOMatrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) < 0.3) * rng.standard_normal((n, n))
+    np.fill_diagonal(dense, 1.0)
+    return COOMatrix.from_dense(dense)
+
+
+def _deltas(matrix: COOMatrix, count: int, seed: int) -> list:
+    rng = np.random.default_rng(seed)
+    n = matrix.nrows
+    deltas = []
+    for _ in range(count):
+        overlay = DeltaOverlay()
+        k = int(rng.integers(2, 8))
+        overlay.set_many(
+            rng.integers(0, n, k), rng.integers(0, n, k),
+            rng.standard_normal(k),
+        )
+        if rng.random() < 0.4:
+            overlay.delete(int(rng.integers(0, n)), int(rng.integers(0, n)))
+        deltas.append(overlay.to_delta())
+    return deltas
+
+
+class TestServiceUpdates:
+    def test_update_result_fields(self, space):
+        matrix = _matrix()
+        with TuningService(space, FixedTuner(), workers=2) as service:
+            session = service.session("c")
+            x = np.ones(matrix.ncols)
+            r0 = session.spmv(matrix, x, key="m")
+            assert r0.epoch == 0
+            upd = session.update(
+                matrix, MatrixDelta.sets([0], [1], [2.0]), key="m"
+            )
+            assert isinstance(upd, UpdateResult)
+            assert upd.epoch == 1
+            assert upd.carried_forward and not upd.retuned
+            assert upd.format == "CSR"
+            assert upd.latency_seconds >= 0.0
+            r1 = session.spmv(matrix, x, key="m")
+            assert r1.epoch == 1
+            assert session.updates == 1
+
+    def test_update_validates_delta(self, space):
+        matrix = _matrix()
+        with TuningService(space, FixedTuner(), workers=1) as service:
+            with pytest.raises(Exception):
+                service.update(matrix, "not a delta", key="m")
+            with pytest.raises(Exception):
+                service.update(
+                    matrix, MatrixDelta.sets([99], [0], [1.0]), key="m"
+                )
+
+    def test_update_is_a_barrier_in_queue_order(self, space):
+        """SpMVs before the update serve the old epoch, after it the new."""
+        matrix = _matrix()
+        delta = MatrixDelta.sets([0], [1], [5.0])
+        with TuningService(space, FixedTuner(), workers=1) as service:
+            session = service.session("c")
+            x = np.ones(matrix.ncols)
+            before = session.submit(matrix, x, key="m")
+            upd = service.submit_update(matrix, delta, key="m")
+            after = session.submit(matrix, x, key="m")
+            assert before.result().epoch == 0
+            assert upd.result().epoch == 1
+            assert after.result().epoch == 1
+            assert not np.array_equal(
+                before.result().y, after.result().y
+            )
+
+    def test_invalidations_surfaced_in_stats(self, space):
+        matrix = _matrix()
+        with TuningService(space, FixedTuner(), workers=2) as service:
+            session = service.session("c")
+            session.spmv(matrix, np.ones(matrix.ncols), key="m")
+            for delta in _deltas(matrix, 3, seed=5):
+                session.update(matrix, delta, key="m")
+            stats = service.stats()
+            assert stats["updates_served"] == 3
+            assert stats["invalidations"]["epoch_advances"] == 3
+            total = (
+                stats["invalidations"]["carried_forward"]
+                + stats["invalidations"]["forced_retunes"]
+            )
+            assert total == 3
+
+    def test_invalidations_survive_eviction(self, space):
+        matrix_a = _matrix(seed=1)
+        matrix_b = _matrix(seed=2)
+        with TuningService(
+            space, FixedTuner(), workers=1, capacity=1, shards=1
+        ) as service:
+            session = service.session("c")
+            session.spmv(matrix_a, np.ones(matrix_a.ncols), key="a")
+            session.update(
+                matrix_a, MatrixDelta.sets([0], [1], [1.0]), key="a"
+            )
+            # b evicts a's engine; a's epoch bookkeeping must survive in
+            # the service totals
+            session.spmv(matrix_b, np.ones(matrix_b.ncols), key="b")
+            assert service.stats()["invalidations"]["epoch_advances"] == 1
+
+
+class TestStreamingHammer:
+    @pytest.mark.parametrize("use_spmm", [False, True])
+    def test_8_threads_interleaving_updates_and_compute(
+        self, space, use_spmm
+    ):
+        """Zero drops, valid epochs, bitwise-identical to serial replay."""
+        matrix = _matrix(n=32, seed=3)
+        epochs = 24
+        deltas = _deltas(matrix, epochs, seed=9)
+        # precompute the compacted matrix at every epoch (the replay
+        # reference is maintained independently of the engine under test)
+        compacted = [matrix]
+        for delta in deltas:
+            nxt, _ = apply_delta(compacted[-1], delta)
+            compacted.append(nxt)
+
+        requests_per_thread = 40
+        compute_threads = 7
+        service = TuningService(
+            space,
+            FixedTuner(),
+            workers=8,
+            redecision=RedecisionPolicy(threshold=0.5),
+        )
+        results: dict = {}
+        update_results: list = []
+        errors: list = []
+        barrier = threading.Barrier(compute_threads + 1)
+
+        def updater():
+            session = service.session("updater")
+            barrier.wait()
+            for delta in deltas:
+                update_results.append(
+                    session.update(matrix, delta, key="m")
+                )
+
+        def compute(tid: int):
+            rng = np.random.default_rng(100 + tid)
+            session = service.session(f"compute-{tid}")
+            barrier.wait()
+            try:
+                for i in range(requests_per_thread):
+                    if use_spmm and i % 3 == 0:
+                        x = rng.standard_normal((matrix.ncols, 3))
+                        results[(tid, i)] = (
+                            x, session.spmm(matrix, x, key="m")
+                        )
+                    else:
+                        x = rng.standard_normal(matrix.ncols)
+                        results[(tid, i)] = (
+                            x, session.spmv(matrix, x, key="m")
+                        )
+            except BaseException as exc:  # pragma: no cover - must not happen
+                errors.append(exc)
+
+        threads = [threading.Thread(target=updater)] + [
+            threading.Thread(target=compute, args=(t,))
+            for t in range(compute_threads)
+        ]
+        with service:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert not errors
+        # zero dropped requests: every submission produced a result
+        assert len(results) == compute_threads * requests_per_thread
+        # the updater saw every epoch, in order
+        assert [u.epoch for u in update_results] == list(
+            range(1, epochs + 1)
+        )
+        for u in update_results:
+            # pre-decision updates (racing ahead of the first compute
+            # request) carry nothing; all others either carried or retuned
+            assert u.carried_forward or u.retuned or u.format is None
+
+        # serial replay under the recorded epoch sequence: request i was
+        # served at epoch e -> a fresh engine on compacted[e], in the
+        # recorded format, must reproduce y bitwise
+        reference_engines: dict = {}
+        for (tid, i), (x, result) in sorted(results.items()):
+            assert 0 <= result.epoch <= epochs, (
+                f"request ({tid},{i}) stamped with invalid epoch "
+                f"{result.epoch}"
+            )
+            cache_key = (result.epoch, result.format)
+            if cache_key not in reference_engines:
+                reference_engines[cache_key] = (
+                    WorkloadEngine(space),
+                    convert(compacted[result.epoch], result.format),
+                )
+            engine, prepared = reference_engines[cache_key]
+            expected = engine.execute(prepared, x, key=str(cache_key))
+            assert np.array_equal(result.y, expected.y), (
+                f"request ({tid},{i}) at epoch {result.epoch} differs "
+                "from the serial replay"
+            )
+
+    def test_concurrent_streams_stay_isolated(self, space):
+        """Updates to one stream never leak into another fingerprint."""
+        matrix_a = _matrix(n=16, seed=21)
+        matrix_b = _matrix(n=16, seed=22)
+        deltas_a = _deltas(matrix_a, 8, seed=31)
+        with TuningService(space, FixedTuner(), workers=4) as service:
+            session = service.session("c")
+            x = np.ones(16)
+            baseline_b = session.spmv(matrix_b, x, key="b").y
+            for delta in deltas_a:
+                session.update(matrix_a, delta, key="a")
+            after_b = session.spmv(matrix_b, x, key="b")
+            assert after_b.epoch == 0
+            assert np.array_equal(after_b.y, baseline_b)
+            assert session.spmv(matrix_a, x, key="a").epoch == 8

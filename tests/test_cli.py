@@ -242,6 +242,53 @@ class TestServe:
         assert "served               20 requests from 2 clients" in out
 
 
+class TestStream:
+    def test_streams_an_evolving_rmat_trace(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--family", "growing_rmat",
+                "--epochs", "6",
+                "--requests-per-epoch", "2",
+                "--workers", "2",
+                "--seed", "11",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stream               growing_rmat" in out
+        assert "epochs               6 advanced" in out
+        assert "carried forward" in out
+        assert "bitwise-identical to a from-scratch engine" in out
+        assert "MISMATCH" not in out
+        assert "invalidations        epoch_advances=6" in out
+
+    def test_every_family_streams(self, capsys):
+        for family in ("widening_band", "decaying_stencil"):
+            assert main(
+                [
+                    "stream",
+                    "--family", family,
+                    "--epochs", "4",
+                    "--requests-per-epoch", "1",
+                    "--workers", "2",
+                ]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "epochs               4 advanced" in out
+            assert "MISMATCH" not in out
+
+    def test_no_verify_skips_identity(self, capsys):
+        assert main(
+            ["stream", "--epochs", "3", "--no-verify", "--workers", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "identity             skipped (--no-verify)" in out
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--family", "nope"])
+
+
 class TestAdapt:
     def test_adaptive_loop_end_to_end(self, capsys, tmp_path):
         assert main(
