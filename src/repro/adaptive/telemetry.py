@@ -40,6 +40,9 @@ class Observation:
     ``features`` is the Table-I feature vector of the served matrix (the
     engine's cached copy); ``shadow_times`` carries the rival per-format
     timings on shadow-probed batches and is ``None`` otherwise.
+    ``backend`` is the kernel backend (:mod:`repro.kernels`) that
+    actually executed the request — per-backend latency attribution for
+    the adaptive layer.
     """
 
     fingerprint: str
@@ -48,6 +51,7 @@ class Observation:
     latency_seconds: float
     batch_size: int
     model_version: str = ""
+    backend: str = "numpy"
     features: Optional[np.ndarray] = None
     shadow_times: Optional[Dict[str, float]] = None
     sequence: int = field(default=-1, compare=False)
@@ -66,6 +70,7 @@ class Observation:
             latency_seconds=float(payload.get("latency_seconds", 0.0)),
             batch_size=int(payload.get("batch_size", 1)),
             model_version=str(payload.get("model_version", "")),
+            backend=str(payload.get("backend", "numpy")),
             features=features,
             shadow_times=dict(shadow) if shadow is not None else None,
             sequence=int(payload.get("sequence", -1)),
@@ -80,6 +85,7 @@ class Observation:
             "latency_seconds": self.latency_seconds,
             "batch_size": self.batch_size,
             "model_version": self.model_version,
+            "backend": self.backend,
             "features": (
                 None if self.features is None else
                 [float(v) for v in self.features]

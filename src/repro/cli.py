@@ -4,6 +4,10 @@ Subcommands mirror the paper's pipeline:
 
 ``repro-oracle systems``
     List the simulated systems and their backends (Table II).
+``repro-oracle backends``
+    List the real kernel backends (:mod:`repro.kernels`): probe results,
+    generation, compiled/JIT kind, and the resolution order requests
+    fall through.
 ``repro-oracle profile --system cirrus --backend cuda [-n 300]``
     Profiling runs on the synthetic corpus; prints the optimal-format
     distribution (Figure 2 column).
@@ -107,6 +111,35 @@ def cmd_systems(_args: argparse.Namespace) -> int:
             sorted({d.name for d in system.devices.values()})
         )
         print(f"{name:<10}{', '.join(system.backends):<24}{devices}")
+    return 0
+
+
+def cmd_backends(_args: argparse.Namespace) -> int:
+    from repro.kernels import (
+        PREFERENCE,
+        available_backends,
+        backend_info,
+        default_backend,
+        modelled_warmup_seconds,
+    )
+
+    print(f"{'backend':<9}{'gen':<5}{'available':<11}{'kind':<11}"
+          f"{'warmup':<9}detail")
+    print("-" * 78)
+    for name in PREFERENCE:
+        info = backend_info(name)
+        kind = (
+            "jit" if info.jit
+            else "compiled" if info.compiled
+            else "reference"
+        )
+        warm = modelled_warmup_seconds(name)
+        print(f"{name:<9}{info.generation:<5}"
+              f"{'yes' if info.available else 'no':<11}{kind:<11}"
+              f"{warm:<9.1f}{info.detail}")
+    avail = available_backends()
+    print(f"resolution order     {' > '.join(avail)}")
+    print(f"default backend      {default_backend()}")
     return 0
 
 
@@ -246,6 +279,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_batch=args.max_batch,
         shadow_every=shadow_every,
+        kernel_backend=args.kernel_backend,
     )
     if args.store:
         trace, spec = trace_from_suite(
@@ -316,6 +350,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"modelled seconds     spmv {engines['seconds']['spmv']:.6f}, "
           f"tuning {engines['seconds']['tuning']:.6f}, "
           f"conversion {engines['seconds']['conversion']:.6f}")
+    backends = stats.get("backends", {})
+    if backends:
+        parts = ", ".join(
+            f"{kb} {v['requests']} requests "
+            f"({v['seconds']:.6f} s)"
+            for kb, v in sorted(backends.items())
+        )
+        warmups = engines.get("warmups", 0)
+        warmup_s = engines["seconds"].get("warmup", 0.0)
+        print(f"kernel backends      {parts}; {warmups} warm-ups "
+              f"({warmup_s:.3f} s wall)")
     inv = stats["invalidations"]
     print(f"invalidations        epoch advances {inv['epoch_advances']}, "
           f"carried forward {inv['carried_forward']}, "
@@ -622,6 +667,10 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_systems
     )
 
+    sub.add_parser(
+        "backends", help="list real kernel backends and probe results"
+    ).set_defaults(func=cmd_backends)
+
     p = sub.add_parser("profile", help="optimal-format distribution")
     _add_target_args(p)
     _add_corpus_args(p)
@@ -735,6 +784,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check-every", type=int, default=32,
         help="drift-check cadence in observations (with --adaptive)",
+    )
+    p.add_argument(
+        "--kernel-backend", default=None,
+        choices=["numpy", "numba", "native", "auto"],
+        help="pin the real kernel backend for every request "
+             "(default: follow each matrix's tuner decision; "
+             "'auto' = best available tier)",
     )
     p.set_defaults(func=cmd_serve)
 

@@ -1,0 +1,325 @@
+"""Kernel backends: side-by-side generations behind a capability probe.
+
+This package holds every kernel implementation the dispatch layer
+(:mod:`repro.runtime.registry`) can route to, one sub-package per
+*kernel backend*:
+
+========  ==========  =====================================================
+backend   generation  implementation
+========  ==========  =====================================================
+numpy     1           vectorised NumPy — the always-available reference
+native    2           ahead-of-time C via the system compiler + ctypes
+numba     2           Numba ``@njit`` row loops, JIT on first touch
+========  ==========  =====================================================
+
+A *kernel backend* is a real implementation tier executing on this host.
+It is deliberately distinct from the **modelled** backend axis of
+:class:`repro.backends.base.ExecutionSpace` (``serial``/``openmp``/
+``cuda``/``hip``), which simulates the paper's hardware zoo through the
+roofline cost model.  The two axes compose: a space models *where* the
+paper ran, the kernel backend decides *which code path* produces the
+numbers here.
+
+Capability probing
+------------------
+:func:`probe_backends` discovers, once per process, which compiled tiers
+actually work — Numba importable, a C compiler present and the library
+building — and :func:`available_backends` lists the usable ones in
+preference order (``numba``, ``native``, ``numpy``).  Unavailable or
+masked backends are never registered as *default* choices; dispatch falls
+back down the preference order and always lands on ``numpy``.
+
+Masking
+-------
+Two knobs restrict the compiled tiers without uninstalling anything, for
+tests and CI fallback drills:
+
+* ``REPRO_KERNEL_BACKENDS=numpy,native`` — environment allowlist, read at
+  every query;
+* :func:`set_enabled_backends` / :func:`only_backends` — in-process
+  override with the same semantics.
+
+The ``numpy`` reference tier can never be masked.
+
+Adding a generation
+-------------------
+Drop a sub-package ``repro/kernels/<name>/`` exposing ``BACKEND``,
+``GENERATION`` and ``register(registry)``, add its probe to
+:func:`probe_backends` and its name to :data:`PREFERENCE`; see
+``docs/backends.md`` for the walk-through.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import importlib.util
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import BackendError
+
+__all__ = [
+    "PREFERENCE",
+    "ENV_ALLOWLIST",
+    "KernelBackendInfo",
+    "probe_backends",
+    "backend_info",
+    "available_backends",
+    "default_backend",
+    "is_available",
+    "check_kernel_backend",
+    "require_backend",
+    "set_enabled_backends",
+    "enabled_backends",
+    "only_backends",
+    "modelled_speedup",
+    "modelled_warmup_seconds",
+    "register_default_backends",
+    "delta_kernels",
+]
+
+#: Resolution preference, best first.  ``numpy`` is the terminal fallback.
+PREFERENCE: Tuple[str, ...] = ("numba", "native", "numpy")
+
+#: Environment allowlist variable (comma-separated backend names).
+ENV_ALLOWLIST = "REPRO_KERNEL_BACKENDS"
+
+
+@dataclass(frozen=True)
+class KernelBackendInfo:
+    """Probe outcome for one kernel backend."""
+
+    name: str
+    generation: int
+    available: bool
+    compiled: bool
+    jit: bool
+    detail: str
+
+
+_probed: Optional[Dict[str, KernelBackendInfo]] = None
+_enabled_override: Optional[Tuple[str, ...]] = None
+
+
+def _probe_numba() -> KernelBackendInfo:
+    spec = importlib.util.find_spec("numba")
+    if spec is None:
+        return KernelBackendInfo(
+            "numba", 2, False, True, True, "numba is not installed"
+        )
+    try:
+        numba = importlib.import_module("numba")
+    except Exception as exc:  # pragma: no cover - broken install
+        return KernelBackendInfo(
+            "numba", 2, False, True, True, f"numba import failed: {exc}"
+        )
+    version = getattr(numba, "__version__", "unknown")
+    return KernelBackendInfo(
+        "numba", 2, True, True, True, f"numba {version}, JIT on first touch"
+    )
+
+
+def _probe_native() -> KernelBackendInfo:
+    from repro.kernels.native import builder
+
+    try:
+        builder.load()
+    except BackendError as exc:
+        return KernelBackendInfo("native", 2, False, True, False, str(exc))
+    return KernelBackendInfo(
+        "native", 2, True, True, False, builder.build_detail()
+    )
+
+
+def probe_backends(*, refresh: bool = False) -> Dict[str, KernelBackendInfo]:
+    """Probe every known backend once per process (``refresh`` re-probes)."""
+    global _probed
+    if _probed is None or refresh:
+        _probed = {
+            "numpy": KernelBackendInfo(
+                "numpy", 1, True, False, False,
+                "vectorised NumPy reference (always available)",
+            ),
+            "native": _probe_native(),
+            "numba": _probe_numba(),
+        }
+    return dict(_probed)
+
+
+def backend_info(name: str) -> KernelBackendInfo:
+    """Probe outcome for one backend; raises on unknown names."""
+    return probe_backends()[check_kernel_backend(name)]
+
+
+def check_kernel_backend(name: str) -> str:
+    """Normalise a kernel-backend name, raising on unknown ones."""
+    normalised = str(name).strip().lower()
+    if normalised not in PREFERENCE:
+        raise BackendError(
+            f"unknown kernel backend {name!r}; known: {sorted(PREFERENCE)}"
+        )
+    return normalised
+
+
+def _env_allowlist() -> Optional[Tuple[str, ...]]:
+    raw = os.environ.get(ENV_ALLOWLIST)
+    if raw is None or not raw.strip():
+        return None
+    names = tuple(
+        part.strip().lower() for part in raw.split(",") if part.strip()
+    )
+    return tuple(n for n in names if n in PREFERENCE)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Usable kernel backends in preference order; ``numpy`` always last.
+
+    A backend is usable when its probe succeeded *and* neither the
+    :data:`ENV_ALLOWLIST` variable nor :func:`set_enabled_backends`
+    masks it.  ``numpy`` cannot be masked.
+    """
+    probed = probe_backends()
+    allow_env = _env_allowlist()
+    allow_run = _enabled_override
+    out = []
+    for name in PREFERENCE:
+        if not probed[name].available:
+            continue
+        if name != "numpy":
+            if allow_env is not None and name not in allow_env:
+                continue
+            if allow_run is not None and name not in allow_run:
+                continue
+        out.append(name)
+    return tuple(out)
+
+
+def default_backend() -> str:
+    """The best available backend (what ``kernel_backend="auto"`` picks)."""
+    return available_backends()[0]
+
+
+def is_available(name: str) -> bool:
+    """Whether *name* is a usable (probed + unmasked) backend."""
+    return check_kernel_backend(name) in available_backends()
+
+
+def require_backend(name: str) -> str:
+    """Normalise *name* and raise unless it is currently usable."""
+    normalised = check_kernel_backend(name)
+    if normalised not in available_backends():
+        raise BackendError(
+            f"kernel backend {normalised!r} is not available: "
+            f"{probe_backends()[normalised].detail}"
+        )
+    return normalised
+
+
+def set_enabled_backends(names: Optional[Iterable[str]]) -> None:
+    """Mask compiled backends in-process (``None`` clears the mask).
+
+    Same semantics as the :data:`ENV_ALLOWLIST` variable: only listed
+    compiled backends stay usable; ``numpy`` is always usable.
+    """
+    global _enabled_override
+    if names is None:
+        _enabled_override = None
+        return
+    _enabled_override = tuple(check_kernel_backend(n) for n in names)
+
+
+def enabled_backends() -> Optional[Tuple[str, ...]]:
+    """The current in-process mask, or ``None`` when unmasked."""
+    return _enabled_override
+
+
+@contextlib.contextmanager
+def only_backends(*names: str):
+    """Context manager scoping :func:`set_enabled_backends`."""
+    previous = _enabled_override
+    set_enabled_backends(names)
+    try:
+        yield
+    finally:
+        set_enabled_backends(previous)
+
+
+# ----------------------------------------------------------------------
+# modelled costs: how the simulated-clock cost model sees the backends
+# ----------------------------------------------------------------------
+
+#: Modelled per-format speedup over the numpy reference tier on CPU
+#: archetypes.  Calibrated from the bench_kernels backend table: row-loop
+#: compiled kernels help most where the reference pays for masked gathers
+#: and temporaries (ELL/HYB), least where NumPy already calls into C
+#: (COO's bincount).
+_MODELLED_SPEEDUP: Dict[str, Dict[str, float]] = {
+    "numba": {
+        "COO": 3.0, "CSR": 6.0, "DIA": 4.0,
+        "ELL": 7.0, "HYB": 6.0, "HDC": 5.0,
+    },
+    "native": {
+        "COO": 2.5, "CSR": 5.0, "DIA": 3.0,
+        "ELL": 6.0, "HYB": 5.0, "HDC": 4.0,
+    },
+}
+
+#: Modelled first-touch warm-up per (operation, format), seconds.
+_MODELLED_WARMUP = {"numpy": 0.0, "native": 0.0, "numba": 1.2}
+
+
+def modelled_speedup(backend: str, fmt: str) -> float:
+    """Modelled speedup of *backend* over numpy for *fmt* (CPU archetypes)."""
+    normalised = check_kernel_backend(backend)
+    return _MODELLED_SPEEDUP.get(normalised, {}).get(str(fmt).upper(), 1.0)
+
+
+def modelled_warmup_seconds(backend: str) -> float:
+    """Modelled per-kernel warm-up cost of *backend* in seconds."""
+    return _MODELLED_WARMUP[check_kernel_backend(backend)]
+
+
+# ----------------------------------------------------------------------
+# registration and compiled helpers
+# ----------------------------------------------------------------------
+
+
+def register_default_backends(registry) -> None:
+    """Register every *probe-available* backend's kernels on *registry*.
+
+    Masked-but-available backends are still registered — masking is a
+    resolution-time filter (:func:`available_backends`), so lifting a
+    mask mid-process does not require re-registration.
+    """
+    from repro.kernels import numpy as numpy_backend
+
+    numpy_backend.register(registry)
+    probed = probe_backends()
+    for name in ("native", "numba"):
+        if not probed[name].available:
+            continue
+        module = importlib.import_module(f"repro.kernels.{name}")
+        try:
+            module.register(registry)
+        except Exception as exc:  # pragma: no cover - late build breakage
+            global _probed
+            assert _probed is not None
+            _probed[name] = KernelBackendInfo(
+                name, 2, False, True, name == "numba",
+                f"registration failed: {exc}",
+            )
+
+
+def delta_kernels():
+    """The compiled delta-merge kernels, or ``None`` without Numba.
+
+    Consulted by :mod:`repro.formats.delta` on every merge, so masking
+    the numba backend also routes delta folding back to the NumPy path.
+    """
+    if "numba" not in available_backends():
+        return None
+    from repro.kernels import numba as numba_backend
+
+    return numba_backend.delta_kernels()

@@ -1,0 +1,107 @@
+"""The ``numba`` kernel backend — generation 2, JIT-compiled row loops.
+
+Probed at runtime: this package's ``__init__`` is import-safe without
+Numba installed, but :func:`register` (and the kernel modules it pulls in)
+require it.  Gate every use behind
+:func:`repro.kernels.probe_backends` / :func:`repro.kernels.available_backends`.
+
+Unlike the ahead-of-time ``native`` backend, Numba compiles each kernel on
+first touch — a per-process warm-up cost of roughly a second per
+``(operation, format)`` that :meth:`KernelRegistry.warmup` measures and the
+engine amortises and reports in its stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BACKEND", "GENERATION", "register", "delta_kernels"]
+
+#: Backend identifier used in the dispatch table.
+BACKEND = "numba"
+
+#: Kernel generation (2 = compiled tiers).
+GENERATION = 2
+
+
+def delta_kernels():
+    """The compiled delta-merge kernel module (imports numba)."""
+    from repro.kernels.numba import delta
+
+    return delta
+
+
+def register(registry) -> None:
+    """Register the Numba container adapters on *registry*.
+
+    Importing :mod:`repro.kernels.numba.kernels` (and therefore Numba)
+    happens here, not at package import — callers must have probed the
+    backend first.
+    """
+    from repro.kernels.numba import kernels as k
+
+    @registry.register("spmv", "COO", BACKEND)
+    def _coo_spmv(m, x: np.ndarray) -> np.ndarray:
+        return k.coo_spmv(m.nrows, m.row, m.col, m.data, np.ascontiguousarray(x))
+
+    @registry.register("spmv", "CSR", BACKEND)
+    def _csr_spmv(m, x: np.ndarray) -> np.ndarray:
+        return k.csr_spmv(m.row_ptr, m.col_idx, m.data, np.ascontiguousarray(x))
+
+    @registry.register("spmv", "DIA", BACKEND)
+    def _dia_spmv(m, x: np.ndarray) -> np.ndarray:
+        return k.dia_spmv(
+            m.nrows, m.ncols, m.offsets, m.data, np.ascontiguousarray(x)
+        )
+
+    @registry.register("spmv", "ELL", BACKEND)
+    def _ell_spmv(m, x: np.ndarray) -> np.ndarray:
+        return k.ell_spmv(m.col_idx, m.data, np.ascontiguousarray(x))
+
+    @registry.register("spmv", "HYB", BACKEND)
+    def _hyb_spmv(m, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        y = k.ell_spmv(m.ell.col_idx, m.ell.data, x)
+        if m.coo.nnz:
+            y = y + k.coo_spmv(m.nrows, m.coo.row, m.coo.col, m.coo.data, x)
+        return y
+
+    @registry.register("spmv", "HDC", BACKEND)
+    def _hdc_spmv(m, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x)
+        return k.dia_spmv(
+            m.nrows, m.ncols, m.dia.offsets, m.dia.data, x
+        ) + k.csr_spmv(m.csr.row_ptr, m.csr.col_idx, m.csr.data, x)
+
+    @registry.register("spmm", "COO", BACKEND)
+    def _coo_spmm(m, X: np.ndarray) -> np.ndarray:
+        return k.coo_spmm(m.nrows, m.row, m.col, m.data, np.ascontiguousarray(X))
+
+    @registry.register("spmm", "CSR", BACKEND)
+    def _csr_spmm(m, X: np.ndarray) -> np.ndarray:
+        return k.csr_spmm(m.row_ptr, m.col_idx, m.data, np.ascontiguousarray(X))
+
+    @registry.register("spmm", "DIA", BACKEND)
+    def _dia_spmm(m, X: np.ndarray) -> np.ndarray:
+        return k.dia_spmm(
+            m.nrows, m.ncols, m.offsets, m.data, np.ascontiguousarray(X)
+        )
+
+    @registry.register("spmm", "ELL", BACKEND)
+    def _ell_spmm(m, X: np.ndarray) -> np.ndarray:
+        return k.ell_spmm(m.col_idx, m.data, np.ascontiguousarray(X))
+
+    @registry.register("spmm", "HYB", BACKEND)
+    def _hyb_spmm(m, X: np.ndarray) -> np.ndarray:
+        X = np.ascontiguousarray(X)
+        Y = k.ell_spmm(m.ell.col_idx, m.ell.data, X)
+        if m.coo.nnz:
+            Y = Y + k.coo_spmm(m.nrows, m.coo.row, m.coo.col, m.coo.data, X)
+        return Y
+
+    @registry.register("spmm", "HDC", BACKEND)
+    def _hdc_spmm(m, X: np.ndarray) -> np.ndarray:
+        X = np.ascontiguousarray(X)
+        return k.dia_spmm(
+            m.nrows, m.ncols, m.dia.offsets, m.dia.data, X
+        ) + k.csr_spmm(m.csr.row_ptr, m.csr.col_idx, m.csr.data, X)

@@ -1,0 +1,100 @@
+"""Numba kernels for the delta-overlay hot paths.
+
+Two loops in :mod:`repro.formats.delta` stay scalar in the NumPy tier:
+
+* the duplicate-run fold inside :meth:`MatrixDelta.canonical` (sequential
+  op semantics over each duplicated coordinate), and
+* the structural rebuild at the tail of :func:`merge_keyed` / overlay
+  compaction (interleaving kept base entries with inserts while skipping
+  deletes).
+
+Both are order-sensitive merges, so their compiled twins perform the exact
+same arithmetic in the exact same order as the NumPy formulation — the
+outputs are bitwise identical, not merely close.  Like
+:mod:`repro.kernels.numba.kernels` this module imports :mod:`numba` at
+module level; only import it behind the capability probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["fold_duplicate_runs", "merge_rebuild"]
+
+# op codes mirrored from repro.formats.delta (cannot import it here:
+# delta.py is what dispatches *into* this module)
+_OP_SET, _OP_ADD, _OP_DEL = 0, 1, 2
+
+
+@njit(cache=True)
+def fold_duplicate_runs(op, value, starts, ends):
+    """Fold each duplicate-coordinate run ``[s, e)`` onto its first slot.
+
+    In-place twin of the Python loop in ``MatrixDelta.canonical``: a later
+    SET/DEL supersedes, ADD accumulates onto SET/ADD and re-creates after
+    DEL.  ``op`` and ``value`` must be writable copies.
+    """
+    for r in range(starts.shape[0]):
+        s = starts[r]
+        e = ends[r]
+        if e - s == 1:
+            continue
+        mode = int(op[s])
+        val = value[s]
+        for i in range(s + 1, e):
+            o = int(op[i])
+            v = value[i]
+            if o == _OP_SET or o == _OP_DEL:
+                mode = o
+                val = v
+            elif mode == _OP_DEL:
+                mode = _OP_SET
+                val = v
+            else:
+                val = val + v
+        op[s] = mode
+        value[s] = val
+
+
+@njit(cache=True)
+def merge_rebuild(key, col, data, del_pos, ins_key, ins_col, ins_val):
+    """Single-pass structural merge: drop ``del_pos``, weave in inserts.
+
+    ``key`` is strictly increasing, ``del_pos`` is a sorted list of base
+    indices to drop, and ``ins_key`` (sorted, disjoint from ``key``) /
+    ``ins_col`` / ``ins_val`` are the entries to insert in key order.
+    Returns the merged ``(key, col, data)`` in canonical order — the same
+    arrays the two-scatter NumPy formulation produces, bitwise.
+    """
+    n = key.shape[0]
+    nd = del_pos.shape[0]
+    ni = ins_key.shape[0]
+    out_n = n - nd + ni
+    out_key = np.empty(out_n, dtype=np.int64)
+    out_col = np.empty(out_n, dtype=np.int64)
+    out_data = np.empty(out_n, dtype=np.float64)
+    di = 0
+    ii = 0
+    w = 0
+    for p in range(n):
+        while ii < ni and ins_key[ii] < key[p]:
+            out_key[w] = ins_key[ii]
+            out_col[w] = ins_col[ii]
+            out_data[w] = ins_val[ii]
+            ii += 1
+            w += 1
+        if di < nd and del_pos[di] == p:
+            di += 1
+            continue
+        out_key[w] = key[p]
+        out_col[w] = col[p]
+        out_data[w] = data[p]
+        w += 1
+    while ii < ni:
+        out_key[w] = ins_key[ii]
+        out_col[w] = ins_col[ii]
+        out_data[w] = ins_val[ii]
+        ii += 1
+        w += 1
+    return out_key, out_col, out_data

@@ -1,0 +1,159 @@
+"""Numba-JIT SpMV / SpMM kernels — generation 2, row-loop formulation.
+
+Each kernel mirrors the traversal semantics of its NumPy reference twin
+(:mod:`repro.kernels.numpy.kernels`) but as explicit row loops, the shape
+Numba compiles to tight machine code.  Summation *order* within a row can
+differ from the vectorised reference (sequential vs. prefix-sum), so
+bitwise equality against the reference is only guaranteed on
+integer-valued float64 data where every partial sum is exact; for general
+floats the backends agree to an ``allclose`` tolerance.
+
+This module imports :mod:`numba` at module level — only import it after the
+capability probe (:func:`repro.kernels.probe_backends`) says the backend is
+available.  ``REPRO_NUMBA_PARALLEL=1`` switches the row loops to
+``prange`` multi-threading; the default is single-threaded so benchmark
+speedups are per-core, matching the paper's serial-backend comparisons.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from numba import njit, prange
+
+_PARALLEL = os.environ.get("REPRO_NUMBA_PARALLEL", "").strip().lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
+
+__all__ = [
+    "PARALLEL",
+    "coo_spmv",
+    "csr_spmv",
+    "dia_spmv",
+    "ell_spmv",
+    "coo_spmm",
+    "csr_spmm",
+    "dia_spmm",
+    "ell_spmm",
+]
+
+#: Whether the row loops were compiled with ``parallel=True``.
+PARALLEL = _PARALLEL
+
+
+# ----------------------------------------------------------------------
+# single-vector kernels: y = A @ x
+# ----------------------------------------------------------------------
+
+
+@njit(cache=True, parallel=_PARALLEL)
+def csr_spmv(row_ptr, col_idx, data, x):
+    nrows = row_ptr.shape[0] - 1
+    y = np.zeros(nrows, dtype=np.float64)
+    for i in prange(nrows):
+        acc = 0.0
+        for p in range(row_ptr[i], row_ptr[i + 1]):
+            acc += data[p] * x[col_idx[p]]
+        y[i] = acc
+    return y
+
+
+@njit(cache=True)
+def coo_spmv(nrows, row, col, data, x):
+    # scatter-add: inherently sequential (write conflicts across entries)
+    y = np.zeros(nrows, dtype=np.float64)
+    for p in range(row.shape[0]):
+        y[row[p]] += data[p] * x[col[p]]
+    return y
+
+
+@njit(cache=True, parallel=_PARALLEL)
+def ell_spmv(col_idx, ell_data, x):
+    nrows, width = ell_data.shape
+    y = np.zeros(nrows, dtype=np.float64)
+    for i in prange(nrows):
+        acc = 0.0
+        for s in range(width):
+            c = col_idx[i, s]
+            if c >= 0:
+                acc += ell_data[i, s] * x[c]
+        y[i] = acc
+    return y
+
+
+@njit(cache=True)
+def dia_spmv(nrows, ncols, offsets, dia_data, x):
+    y = np.zeros(nrows, dtype=np.float64)
+    for k in range(offsets.shape[0]):
+        off = offsets[k]
+        j_lo = off if off > 0 else 0
+        j_hi = min(ncols, nrows + off)
+        for j in range(j_lo, j_hi):
+            y[j - off] += dia_data[k, j] * x[j]
+    return y
+
+
+# ----------------------------------------------------------------------
+# block kernels: Y = A @ X for an (ncols, k) dense block
+# ----------------------------------------------------------------------
+
+
+@njit(cache=True, parallel=_PARALLEL)
+def csr_spmm(row_ptr, col_idx, data, X):
+    nrows = row_ptr.shape[0] - 1
+    k = X.shape[1]
+    Y = np.zeros((nrows, k), dtype=np.float64)
+    for i in prange(nrows):
+        for p in range(row_ptr[i], row_ptr[i + 1]):
+            c = col_idx[p]
+            v = data[p]
+            for j in range(k):
+                Y[i, j] += v * X[c, j]
+    return Y
+
+
+@njit(cache=True)
+def coo_spmm(nrows, row, col, data, X):
+    k = X.shape[1]
+    Y = np.zeros((nrows, k), dtype=np.float64)
+    for p in range(row.shape[0]):
+        r = row[p]
+        c = col[p]
+        v = data[p]
+        for j in range(k):
+            Y[r, j] += v * X[c, j]
+    return Y
+
+
+@njit(cache=True, parallel=_PARALLEL)
+def ell_spmm(col_idx, ell_data, X):
+    nrows, width = ell_data.shape
+    k = X.shape[1]
+    Y = np.zeros((nrows, k), dtype=np.float64)
+    for i in prange(nrows):
+        for s in range(width):
+            c = col_idx[i, s]
+            if c >= 0:
+                v = ell_data[i, s]
+                for j in range(k):
+                    Y[i, j] += v * X[c, j]
+    return Y
+
+
+@njit(cache=True)
+def dia_spmm(nrows, ncols, offsets, dia_data, X):
+    k = X.shape[1]
+    Y = np.zeros((nrows, k), dtype=np.float64)
+    for d in range(offsets.shape[0]):
+        off = offsets[d]
+        j_lo = off if off > 0 else 0
+        j_hi = min(ncols, nrows + off)
+        for j in range(j_lo, j_hi):
+            v = dia_data[d, j]
+            for c in range(k):
+                Y[j - off, c] += v * X[j, c]
+    return Y

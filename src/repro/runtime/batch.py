@@ -29,7 +29,7 @@ simply maps to a new concrete container and therefore a new operator.
 from __future__ import annotations
 
 import weakref
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -120,16 +120,29 @@ def block_operator(matrix: MatrixLike) -> BlockOperator:
 
 
 def batched_spmv(
-    matrix: MatrixLike, X: np.ndarray, *, accelerate: bool = True
+    matrix: MatrixLike,
+    X: np.ndarray,
+    *,
+    accelerate: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """``Y = A @ X`` for a dense block ``X`` of shape ``(ncols, k)``.
 
-    One call serves all ``k`` right-hand sides; with ``accelerate`` (and
-    scipy present) it runs through the cached compiled operator, otherwise
-    through the registry's vectorised NumPy block kernel.
+    One call serves all ``k`` right-hand sides.  On the default
+    (``numpy``) tier with ``accelerate`` and scipy present, it runs
+    through the cached compiled operator, otherwise through the
+    registry's vectorised NumPy block kernel.  A compiled *backend*
+    (:mod:`repro.kernels`) routes through that backend's registered
+    ``spmm`` kernel instead — with clean fallback down the preference
+    order when the backend cannot serve the format.
     """
     m = _concrete(matrix)
     X = check_block(m, X)
+    if backend is not None and backend != "numpy":
+        from repro.runtime.registry import REGISTRY
+
+        kernel, _ = REGISTRY.resolve("spmm", m.format, backend)
+        return kernel(m, X)
     if accelerate and _scipy_sparse is not None:
         return block_operator(m).apply(X)
     from repro.spmv.spmm import spmm
@@ -138,18 +151,33 @@ def batched_spmv(
 
 
 def matvec(
-    matrix: MatrixLike, x: np.ndarray, *, accelerate: bool = True
+    matrix: MatrixLike,
+    x: np.ndarray,
+    *,
+    accelerate: bool = True,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """``y = A @ x`` for a 1-D vector or ``(ncols, k)`` block operand.
 
     The single entry point the iterative solvers route their hot loop
     through: repeated calls on the same container reuse its cached
     compiled operator, so a thousand-iteration solve pays the setup once.
+    A compiled *backend* routes through the kernel registry's ``spmv``
+    entry for that backend (fallback semantics as in
+    :func:`batched_spmv`).
     """
     arr = np.ascontiguousarray(x, dtype=np.float64)
     if arr.ndim == 2:
-        return batched_spmv(matrix, arr, accelerate=accelerate)
+        return batched_spmv(matrix, arr, accelerate=accelerate, backend=backend)
     m = _concrete(matrix)
+    if backend is not None and backend != "numpy":
+        from repro.runtime.registry import REGISTRY
+
+        if arr.ndim != 1:
+            raise ValidationError(f"operand must be 1-D or 2-D, got ndim={arr.ndim}")
+        check_vector_length(arr, m.ncols, name="x")
+        kernel, _ = REGISTRY.resolve("spmv", m.format, backend)
+        return kernel(m, arr)
     if accelerate and _scipy_sparse is not None:
         if arr.ndim != 1:
             raise ValidationError(f"operand must be 1-D or 2-D, got ndim={arr.ndim}")

@@ -43,8 +43,10 @@ from repro.formats.dynamic import DynamicMatrix
 from repro.formats.ell import ELLMatrix
 from repro.formats.hdc import HDCMatrix
 from repro.formats.hyb import HYBMatrix
+from repro.kernels import check_kernel_backend, default_backend
 from repro.machine.stats import MatrixStats
 from repro.runtime.batch import batched_spmv, matvec
+from repro.runtime.registry import REGISTRY
 from repro.runtime.epoch import (
     RedecisionPolicy,
     StreamState,
@@ -235,7 +237,9 @@ class EngineResult:
     ``overhead_seconds`` carries the tuning + conversion cost paid by this
     request (zero whenever the decision came from cache).  ``epoch`` is
     the matrix version that served the request — 0 for matrices that
-    never mutated.
+    never mutated.  ``backend`` is the kernel backend that actually ran
+    the request (after any fallback), so per-backend latency can be
+    attributed downstream.
     """
 
     y: np.ndarray
@@ -245,6 +249,7 @@ class EngineResult:
     fingerprint: str
     from_cache: bool
     epoch: int = 0
+    backend: str = "numpy"
 
 
 @dataclass
@@ -269,6 +274,13 @@ class WorkloadEngine:
         active format (decision overhead zero).
     accelerate:
         Route kernels through the compiled batch path when available.
+    kernel_backend:
+        Kernel-backend policy for serving.  ``None`` (default) follows
+        the decision chain — the tuner's per-matrix ``report.backend``
+        stamp, which itself defaults to the space's configured backend.
+        An explicit :mod:`repro.kernels` name pins every request to that
+        backend (with clean fallback when unavailable); ``"auto"``
+        re-resolves the best available tier per request.
     """
 
     def __init__(
@@ -278,10 +290,17 @@ class WorkloadEngine:
         *,
         accelerate: bool = True,
         redecision: Optional[RedecisionPolicy] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         self.space = space
         self.tuner = tuner
         self.accelerate = accelerate
+        if kernel_backend is not None:
+            kernel_backend = str(kernel_backend).strip().lower()
+            if kernel_backend != "auto":
+                kernel_backend = check_kernel_backend(kernel_backend)
+        #: Engine-level kernel-backend pin (``None`` follows the tuner).
+        self.kernel_backend = kernel_backend
         #: Policy deciding when an epoch advance forces a re-tune
         #: (:meth:`update`); below its threshold the prior decision is
         #: carried forward.
@@ -292,18 +311,27 @@ class WorkloadEngine:
         #: exact model that decided their format.
         self.model_version = "-"
         self.counters = CacheCounters()
-        #: Modelled seconds spent on this space, by category.
+        #: Modelled seconds spent on this space, by category.  ``warmup``
+        #: is real wall time: the per-process first-touch compilation /
+        #: load cost of compiled kernel backends (:meth:`KernelRegistry
+        #: .warmup`), paid at most once per (operation, format, backend).
         self.seconds: Dict[str, float] = {
             "tuning": 0.0,
             "conversion": 0.0,
             "spmv": 0.0,
+            "warmup": 0.0,
         }
         self.requests_served = 0
+        #: Number of first-touch kernel warm-ups this engine triggered.
+        self.warmups = 0
+        #: Per-kernel-backend request counts and modelled SpMV seconds.
+        self.backend_seconds: Dict[str, Dict[str, float]] = {}
         self._stats: Dict[str, MatrixStats] = {}
         self._features: Dict[str, np.ndarray] = {}
         self._reports: Dict[str, "TuningReport"] = {}
         self._prepared: Dict[str, SparseMatrix] = {}
         self._format_times: Dict[str, Dict[str, float]] = {}
+        self._backend_times: Dict[str, Dict[str, Dict[str, float]]] = {}
         self._queue: List[_Pending] = []
         self._streams: Dict[str, StreamState] = {}
         self.invalidations = InvalidationCounters()
@@ -437,6 +465,43 @@ class WorkloadEngine:
         self._format_times[fp] = dict(times)
         return dict(times)
 
+    def profile_backends(
+        self,
+        matrix: Optional[MatrixLike] = None,
+        *,
+        key: Optional[str] = None,
+        stats: Optional[MatrixStats] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Memoised ``{kernel_backend: {format: seconds}}`` timing surface.
+
+        The backend-aware sibling of :meth:`profile_formats`: one probe
+        per (matrix, space) covering every kernel backend this space
+        would trial (:meth:`~repro.backends.base.ExecutionSpace
+        .kernel_backend_candidates`).  Shares the profile hit/miss
+        counters with the per-format probe.
+        """
+        if matrix is None and key is None:
+            raise ValidationError(
+                "profile_backends needs a matrix or an explicit key"
+            )
+        fp = key if matrix is None else self.fingerprint(matrix, key=key)
+        if fp in self._backend_times:
+            self.counters.profile_hits += 1
+            return {kb: dict(t) for kb, t in self._backend_times[fp].items()}
+        self.counters.profile_misses += 1
+        if stats is not None:
+            self.prime_stats(fp, stats)
+        elif matrix is None:
+            raise ValidationError(
+                "profile_backends with a bare key also needs stats"
+            )
+        grid = self.space.time_format_backends(
+            self.stats_for(matrix, key=fp) if stats is None else stats,
+            matrix_key=fp,
+        )
+        self._backend_times[fp] = {kb: dict(t) for kb, t in grid.items()}
+        return {kb: dict(t) for kb, t in grid.items()}
+
     def decision_for(
         self, matrix: MatrixLike, *, key: Optional[str] = None
     ) -> "TuningReport":
@@ -462,7 +527,10 @@ class WorkloadEngine:
             concrete = (
                 matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
             )
-            report = TuningReport(format_id=concrete.format_id)
+            report = TuningReport(
+                format_id=concrete.format_id,
+                backend=self.space.kernel_backend,
+            )
         else:
             report = self.tuner.tune(matrix, self.space, stats=stats, matrix_key=fp)
         self.seconds["tuning"] += report.overhead_seconds
@@ -604,6 +672,7 @@ class WorkloadEngine:
             self._reports.pop(key, None)
             self._prepared.pop(key, None)
             self._format_times.pop(key, None)
+            self._backend_times.pop(key, None)
             self.invalidations.forced_retunes += 1
             content = state.content()
             report = self._decide(content, key, new_stats)
@@ -653,6 +722,38 @@ class WorkloadEngine:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
+    def _serving_backend(self, report: "TuningReport", fmt: str) -> str:
+        """The kernel backend that will serve a request in format *fmt*.
+
+        Precedence: the engine-level pin, then the tuner's per-matrix
+        decision stamp.  ``"auto"`` re-resolves the best available tier;
+        compiled requests resolve through the registry (clean fallback
+        when masked or unavailable) and charge their per-process
+        first-touch warm-up to ``seconds["warmup"]`` as real wall time.
+        """
+        requested = (
+            self.kernel_backend
+            if self.kernel_backend is not None
+            else report.backend
+        )
+        if requested == "auto":
+            requested = default_backend()
+        if requested == "numpy":
+            return "numpy"
+        _, actual = REGISTRY.resolve("spmv", fmt, requested)
+        if actual != "numpy" and not REGISTRY.is_warm("spmv", fmt, actual):
+            self.seconds["warmup"] += REGISTRY.warmup("spmv", fmt, actual)
+            self.warmups += 1
+        return actual
+
+    def _account_backend(self, backend: str, seconds: float) -> None:
+        """Fold one served request into the per-backend attribution."""
+        entry = self.backend_seconds.setdefault(
+            backend, {"requests": 0, "seconds": 0.0}
+        )
+        entry["requests"] += 1
+        entry["seconds"] += seconds
+
     def execute(
         self,
         matrix: MatrixLike,
@@ -675,20 +776,27 @@ class WorkloadEngine:
         report = self._decide(matrix, fp, stats)
         prepared = self._prepared_for(matrix, fp, report, stats)
         overhead = (self.seconds["tuning"] + self.seconds["conversion"]) - overhead_before
+        backend = self._serving_backend(report, prepared.format)
+        kb = None if backend == "numpy" else backend
         operand = np.ascontiguousarray(x, dtype=np.float64)
         if operand.ndim == 2:
-            y = batched_spmv(prepared, operand, accelerate=self.accelerate)
+            y = batched_spmv(
+                prepared, operand, accelerate=self.accelerate, backend=kb
+            )
             n_vectors = operand.shape[1]
         else:
-            y = matvec(prepared, operand, accelerate=self.accelerate)
+            y = matvec(prepared, operand, accelerate=self.accelerate, backend=kb)
             n_vectors = 1
         seconds = (
             repetitions
             * spmm_time_factor(max(1, n_vectors))
-            * self.space.time_spmv(stats, prepared.format, matrix_key=fp)
+            * self.space.time_spmv(
+                stats, prepared.format, matrix_key=fp, kernel_backend=backend
+            )
         )
         self.seconds["spmv"] += seconds
         self.requests_served += 1
+        self._account_backend(backend, seconds)
         return EngineResult(
             y=y,
             seconds=seconds,
@@ -697,6 +805,7 @@ class WorkloadEngine:
             fingerprint=fp,
             from_cache=cached,
             epoch=self.epoch_of(fp),
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -749,13 +858,19 @@ class WorkloadEngine:
             first_overhead = (
                 self.seconds["tuning"] + self.seconds["conversion"]
             ) - before
-            t_single = self.space.time_spmv(stats, prepared.format, matrix_key=fp)
+            backend = self._serving_backend(report, prepared.format)
+            kb = None if backend == "numpy" else backend
+            t_single = self.space.time_spmv(
+                stats, prepared.format, matrix_key=fp, kernel_backend=backend
+            )
             # one batched kernel call for all stacked single-vector requests
             singles = [i for i in indices if queue[i].operand.ndim == 1]
             col_of = {i: c for c, i in enumerate(singles)}
             if singles:
                 X = np.stack([queue[i].operand for i in singles], axis=1)
-                Y = batched_spmv(prepared, X, accelerate=self.accelerate)
+                Y = batched_spmv(
+                    prepared, X, accelerate=self.accelerate, backend=kb
+                )
             for pos, i in enumerate(indices):
                 pending = queue[i]
                 if pos > 0:
@@ -769,7 +884,10 @@ class WorkloadEngine:
                     n_vectors = 1
                 else:
                     y = batched_spmv(
-                        prepared, pending.operand, accelerate=self.accelerate
+                        prepared,
+                        pending.operand,
+                        accelerate=self.accelerate,
+                        backend=kb,
                     )
                     n_vectors = pending.operand.shape[1]
                 seconds = (
@@ -779,6 +897,7 @@ class WorkloadEngine:
                 )
                 self.seconds["spmv"] += seconds
                 self.requests_served += 1
+                self._account_backend(backend, seconds)
                 results[i] = EngineResult(
                     y=y,
                     seconds=seconds,
@@ -787,6 +906,7 @@ class WorkloadEngine:
                     fingerprint=fp,
                     from_cache=was_cached or pos > 0,
                     epoch=self.epoch_of(fp),
+                    backend=backend,
                 )
         return [r for r in results if r is not None]
 
@@ -805,7 +925,11 @@ class WorkloadEngine:
           (:meth:`CacheCounters.as_dict`);
         * ``hits`` / ``misses`` / ``hit_rate`` — the cross-cache totals;
         * ``seconds`` — modelled time by category
-          (tuning / conversion / spmv);
+          (tuning / conversion / spmv / warmup, the last being real
+          wall time spent on compiled-kernel first-touch);
+        * ``backends`` — per-kernel-backend request counts and modelled
+          SpMV seconds, plus ``warmups`` (first-touch compilations this
+          engine triggered);
         * ``invalidations`` — epoch bookkeeping for mutable matrices
           (epoch advances, carried-forward decisions, forced re-tunes;
           :meth:`InvalidationCounters.as_dict`) plus the number of live
@@ -823,6 +947,8 @@ class WorkloadEngine:
             "misses": self.counters.misses,
             "hit_rate": self.counters.hit_rate,
             "seconds": dict(self.seconds),
+            "backends": {kb: dict(v) for kb, v in self.backend_seconds.items()},
+            "warmups": self.warmups,
             "invalidations": self.invalidations.as_dict(),
             "streams": len(self._streams),
         }
@@ -842,5 +968,12 @@ class WorkloadEngine:
     def reset_accounting(self) -> None:
         """Zero the counters and time accounting; caches stay warm."""
         self.counters = CacheCounters()
-        self.seconds = {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0}
+        self.seconds = {
+            "tuning": 0.0,
+            "conversion": 0.0,
+            "spmv": 0.0,
+            "warmup": 0.0,
+        }
         self.requests_served = 0
+        self.warmups = 0
+        self.backend_seconds = {}

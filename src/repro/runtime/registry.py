@@ -1,35 +1,63 @@
-"""Kernel registry: the single ``(operation, format) → kernel`` table.
+"""Kernel registry: the ``(operation, format, backend) → kernel`` table.
 
 Runtime layer 1.  Every sparse kernel the package executes is dispatched
 through :data:`REGISTRY`; the format containers' ``spmv`` methods, the
 format-agnostic :func:`repro.spmv.spmm.spmm` entry point and the batched
-executor (:mod:`repro.runtime.batch`) all resolve their kernel here, so
-there is exactly one implementation per (operation, format) pair — the
-raw-array kernels of :mod:`repro.spmv.kernels`.
+executor (:mod:`repro.runtime.batch`) all resolve their kernel here.  The
+table is three-dimensional: each ``(operation, format)`` pair can carry
+one kernel per *kernel backend* — the implementation generations of
+:mod:`repro.kernels` (``numpy`` reference, ``numba`` JIT, ``native`` C).
+
+Resolution and fallback
+-----------------------
+``get(op, fmt)`` with no backend resolves the *best available* backend in
+preference order, so existing two-argument callers transparently keep the
+reference tier semantics (``numpy`` is the terminal fallback and always
+registered).  ``resolve(op, fmt, backend)`` returns both the kernel and
+the backend it actually came from: a requested backend that is masked,
+unavailable, or missing that particular ``(op, fmt)`` entry falls down the
+preference chain instead of raising — compiled tiers degrade cleanly to
+NumPy rather than taking the serving path down.
+
+Warm-up
+-------
+JIT backends compile on first touch.  ``warmup(op, fmt, backend)`` runs
+the kernel once on a tiny container and reports the wall seconds the
+compile cost, tracked per-process so each key only ever pays once; the
+engine folds those seconds into its stats.
 
 Registered kernels take ``(matrix, operand)`` where *matrix* is a concrete
 format container and *operand* is a pre-validated dense vector (``spmv``)
 or ``(ncols, k)`` block (``spmm``).  Composite formats (HYB, HDC) do not
-carry kernels of their own: their entries compose the registered kernels of
-their sub-blocks, so improving e.g. the ELL kernel automatically improves
-HYB.
+carry standalone traversal logic: their entries compose their sub-block
+kernels within the same backend.
 
 Third-party formats can join the dispatch path with::
 
-    @register_kernel("spmv", "MYFMT")
+    @register_kernel("spmv", "MYFMT")            # numpy tier
     def my_spmv(matrix, x):
+        ...
+
+    @register_kernel("spmv", "MYFMT", "numba")   # compiled tier
+    def my_spmv_jit(matrix, x):
         ...
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+import time
+from typing import Callable, Dict, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import FormatError
 from repro.formats.base import FORMAT_IDS
-from repro.spmv import kernels as _k
+from repro.kernels import (
+    PREFERENCE,
+    available_backends,
+    check_kernel_backend,
+    register_default_backends,
+)
 
 __all__ = [
     "KernelRegistry",
@@ -37,79 +65,235 @@ __all__ = [
     "register_kernel",
     "get_kernel",
     "has_kernel",
+    "resolve_kernel",
+    "kernel_backends",
     "registered_operations",
     "registered_formats",
     "dispatch",
+    "warmup_kernel",
 ]
 
 #: A kernel takes (concrete container, pre-validated operand) -> ndarray.
 Kernel = Callable[[object, np.ndarray], np.ndarray]
 
+#: The backend two-argument callers get: the reference tier.
+DEFAULT_BACKEND = "numpy"
+
 
 class KernelRegistry:
-    """Mutable ``(operation, format) → kernel`` lookup table."""
+    """Mutable ``(operation, format, backend) → kernel`` lookup table."""
 
     def __init__(self) -> None:
-        self._table: Dict[Tuple[str, str], Kernel] = {}
+        self._table: Dict[Tuple[str, str, str], Kernel] = {}
+        self._warmed: Set[Tuple[str, str, str]] = set()
 
     # ------------------------------------------------------------------
-    def register(self, operation: str, fmt: str) -> Callable[[Kernel], Kernel]:
-        """Decorator registering *kernel* under ``(operation, fmt)``.
+    @staticmethod
+    def _key(operation: str, fmt: str, backend: str) -> Tuple[str, str, str]:
+        return (
+            operation.lower(),
+            fmt.upper(),
+            check_kernel_backend(backend),
+        )
 
-        Re-registering a pair overwrites the previous kernel, so callers
+    def register(
+        self, operation: str, fmt: str, backend: str = DEFAULT_BACKEND
+    ) -> Callable[[Kernel], Kernel]:
+        """Decorator registering *kernel* under ``(operation, fmt, backend)``.
+
+        Re-registering a triple overwrites the previous kernel, so callers
         can swap in tuned implementations.
         """
-        op = operation.lower()
-        name = fmt.upper()
+        key = self._key(operation, fmt, backend)
 
         def _decorator(kernel: Kernel) -> Kernel:
-            self._table[(op, name)] = kernel
+            self._table[key] = kernel
             return kernel
 
         return _decorator
 
-    def get(self, operation: str, fmt: str) -> Kernel:
-        """The kernel for ``(operation, fmt)``; raises FormatError if absent."""
-        key = (operation.lower(), fmt.upper())
-        try:
-            return self._table[key]
-        except KeyError:
-            raise FormatError(
-                f"no kernel registered for operation {key[0]!r} on format "
-                f"{key[1]!r}; registered: {sorted(self._table)}"
-            ) from None
+    def get(
+        self, operation: str, fmt: str, backend: Optional[str] = None
+    ) -> Kernel:
+        """The kernel for ``(operation, fmt)`` on *backend*.
 
-    def has(self, operation: str, fmt: str) -> bool:
-        """Whether a kernel is registered for ``(operation, fmt)``."""
-        return (operation.lower(), fmt.upper()) in self._table
+        ``backend=None`` keeps the historical two-argument semantics: the
+        ``numpy`` reference tier serves the pair (other available
+        backends are only consulted for pairs the reference tier does
+        not carry, e.g. third-party compiled-only registrations).
+        Raises :class:`FormatError` when no backend carries the pair,
+        and when an explicitly named backend does not carry it
+        (explicit lookups never fall back — use :meth:`resolve` for
+        fallback semantics).
+        """
+        op = operation.lower()
+        name = fmt.upper()
+        if backend is not None:
+            key = (op, name, check_kernel_backend(backend))
+            try:
+                return self._table[key]
+            except KeyError:
+                raise FormatError(
+                    f"no kernel registered for operation {op!r} on format "
+                    f"{name!r} under backend {key[2]!r}; registered "
+                    f"backends for the pair: {self.backends(op, name)}"
+                ) from None
+        candidates = (DEFAULT_BACKEND,) + tuple(
+            b for b in available_backends() if b != DEFAULT_BACKEND
+        )
+        for candidate in candidates:
+            kernel = self._table.get((op, name, candidate))
+            if kernel is not None:
+                return kernel
+        raise FormatError(
+            f"no kernel registered for operation {op!r} on format {name!r}; "
+            f"registered: {sorted(set(self._table))}"
+        )
+
+    def resolve(
+        self, operation: str, fmt: str, backend: Optional[str] = None
+    ) -> Tuple[Kernel, str]:
+        """``(kernel, actual_backend)`` with clean fallback.
+
+        The requested backend is tried first; if it is masked,
+        unavailable, or has no entry for the pair, resolution falls down
+        the preference order over the *available* backends (ending on
+        the reference tier).  ``backend=None`` behaves like :meth:`get`:
+        the reference tier first.  The second element reports which
+        backend actually serves the call — callers stamp it into
+        results so degradation is observable, not silent.
+        """
+        op = operation.lower()
+        name = fmt.upper()
+        if backend is None:
+            candidates = [DEFAULT_BACKEND] + [
+                b for b in available_backends() if b != DEFAULT_BACKEND
+            ]
+        else:
+            candidates = list(available_backends())
+            # promote the requested backend to the front when usable;
+            # masked/unavailable requests fall straight to the others
+            requested = check_kernel_backend(backend)
+            if requested in candidates:
+                candidates.remove(requested)
+                candidates.insert(0, requested)
+        for candidate in candidates:
+            kernel = self._table.get((op, name, candidate))
+            if kernel is not None:
+                return kernel, candidate
+        raise FormatError(
+            f"no kernel registered for operation {op!r} on format {name!r} "
+            f"under any available backend {tuple(candidates)}"
+        )
+
+    def has(
+        self, operation: str, fmt: str, backend: Optional[str] = None
+    ) -> bool:
+        """Whether a kernel is registered for the pair (any/one backend)."""
+        op = operation.lower()
+        name = fmt.upper()
+        if backend is not None:
+            return (op, name, check_kernel_backend(backend)) in self._table
+        return any((op, name, b) in self._table for b in PREFERENCE)
+
+    def backends(self, operation: str, fmt: str) -> Tuple[str, ...]:
+        """Backends registered for the pair, in preference order."""
+        op = operation.lower()
+        name = fmt.upper()
+        return tuple(
+            b for b in PREFERENCE if (op, name, b) in self._table
+        )
 
     def operations(self) -> Tuple[str, ...]:
         """Sorted distinct operation names with at least one kernel."""
-        return tuple(sorted({op for op, _ in self._table}))
+        return tuple(sorted({op for op, _, _ in self._table}))
 
     def formats(self, operation: str) -> Tuple[str, ...]:
-        """Sorted format names registered for *operation*."""
+        """Sorted distinct format names registered for *operation*."""
         op = operation.lower()
-        return tuple(sorted(f for o, f in self._table if o == op))
+        return tuple(sorted({f for o, f, _ in self._table if o == op}))
+
+    # ------------------------------------------------------------------
+    def is_warm(self, operation: str, fmt: str, backend: str) -> bool:
+        """Whether ``warmup`` already ran for the triple in this process."""
+        return self._key(operation, fmt, backend) in self._warmed
+
+    def warmup(self, operation: str, fmt: str, backend: str) -> float:
+        """First-touch compile of one kernel; returns the wall seconds.
+
+        Runs the registered kernel once on a tiny container so a JIT
+        backend pays its compilation here rather than inside a timed
+        request.  Idempotent per process: later calls return ``0.0``.
+        Triples without a registered kernel also return ``0.0`` — the
+        caller is about to fall back anyway.
+        """
+        key = self._key(operation, fmt, backend)
+        if key in self._warmed:
+            return 0.0
+        kernel = self._table.get(key)
+        self._warmed.add(key)
+        if kernel is None:
+            return 0.0
+        matrix = _tiny_matrix(key[1])
+        operand = (
+            np.ones(matrix.ncols, dtype=np.float64)
+            if key[0] != "spmm"
+            else np.ones((matrix.ncols, 2), dtype=np.float64)
+        )
+        start = time.perf_counter()
+        kernel(matrix, operand)
+        return time.perf_counter() - start
+
+
+def _tiny_matrix(fmt: str):
+    """A minimal container of *fmt* for warm-up calls (has an empty row)."""
+    from repro.formats import COOMatrix, convert
+
+    coo = COOMatrix(
+        4,
+        4,
+        np.array([0, 0, 2, 3], dtype=np.int64),
+        np.array([0, 2, 1, 3], dtype=np.int64),
+        np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float64),
+    )
+    return convert(coo, fmt)
 
 
 #: The process-wide registry all dispatch goes through.
 REGISTRY = KernelRegistry()
 
 
-def register_kernel(operation: str, fmt: str) -> Callable[[Kernel], Kernel]:
+def register_kernel(
+    operation: str, fmt: str, backend: str = DEFAULT_BACKEND
+) -> Callable[[Kernel], Kernel]:
     """Register a kernel on the global :data:`REGISTRY` (decorator)."""
-    return REGISTRY.register(operation, fmt)
+    return REGISTRY.register(operation, fmt, backend)
 
 
-def get_kernel(operation: str, fmt: str) -> Kernel:
+def get_kernel(
+    operation: str, fmt: str, backend: Optional[str] = None
+) -> Kernel:
     """Look up a kernel on the global :data:`REGISTRY`."""
-    return REGISTRY.get(operation, fmt)
+    return REGISTRY.get(operation, fmt, backend)
 
 
-def has_kernel(operation: str, fmt: str) -> bool:
-    """Whether the global :data:`REGISTRY` has ``(operation, fmt)``."""
-    return REGISTRY.has(operation, fmt)
+def has_kernel(
+    operation: str, fmt: str, backend: Optional[str] = None
+) -> bool:
+    """Whether the global :data:`REGISTRY` has the pair (any/one backend)."""
+    return REGISTRY.has(operation, fmt, backend)
+
+
+def resolve_kernel(
+    operation: str, fmt: str, backend: Optional[str] = None
+) -> Tuple[Kernel, str]:
+    """Fallback-aware lookup on the global :data:`REGISTRY`."""
+    return REGISTRY.resolve(operation, fmt, backend)
+
+
+def kernel_backends(operation: str, fmt: str) -> Tuple[str, ...]:
+    """Backends registered for the pair on the global :data:`REGISTRY`."""
+    return REGISTRY.backends(operation, fmt)
 
 
 def registered_operations() -> Tuple[str, ...]:
@@ -122,90 +306,38 @@ def registered_formats(operation: str) -> Tuple[str, ...]:
     return REGISTRY.formats(operation)
 
 
-def dispatch(operation: str, matrix: object, operand: np.ndarray) -> np.ndarray:
+def warmup_kernel(operation: str, fmt: str, backend: str) -> float:
+    """First-touch warm-up on the global :data:`REGISTRY`."""
+    return REGISTRY.warmup(operation, fmt, backend)
+
+
+def dispatch(
+    operation: str,
+    matrix: object,
+    operand: np.ndarray,
+    backend: Optional[str] = None,
+) -> np.ndarray:
     """Run the registered kernel for *matrix*'s format on *operand*.
 
     *operand* must already be validated (dtype, shape) — the container
-    entry points and :mod:`repro.runtime.batch` do that before dispatching.
+    entry points and :mod:`repro.runtime.batch` do that before
+    dispatching.  With a *backend*, resolution falls back cleanly when
+    that backend cannot serve the format.
     """
-    return REGISTRY.get(operation, matrix.format)(matrix, operand)
+    if backend is None:
+        return REGISTRY.get(operation, matrix.format)(matrix, operand)
+    kernel, _ = REGISTRY.resolve(operation, matrix.format, backend)
+    return kernel(matrix, operand)
 
 
 # ----------------------------------------------------------------------
-# default registrations: container adapters over repro.spmv.kernels
+# default registrations: every probe-available generation of
+# repro.kernels, container-adapted
 # ----------------------------------------------------------------------
 
+register_default_backends(REGISTRY)
 
-@register_kernel("spmv", "COO")
-def _coo_spmv(m, x: np.ndarray) -> np.ndarray:
-    return _k.coo_spmv(m.nrows, m.row, m.col, m.data, x)
-
-
-@register_kernel("spmv", "CSR")
-def _csr_spmv(m, x: np.ndarray) -> np.ndarray:
-    return _k.csr_spmv(m.row_ptr, m.col_idx, m.data, x)
-
-
-@register_kernel("spmv", "DIA")
-def _dia_spmv(m, x: np.ndarray) -> np.ndarray:
-    return _k.dia_spmv(m.nrows, m.ncols, m.offsets, m.data, x)
-
-
-@register_kernel("spmv", "ELL")
-def _ell_spmv(m, x: np.ndarray) -> np.ndarray:
-    return _k.ell_spmv(m.col_idx, m.data, x, valid=m._valid)
-
-
-@register_kernel("spmv", "HYB")
-def _hyb_spmv(m, x: np.ndarray) -> np.ndarray:
-    y = get_kernel("spmv", "ELL")(m.ell, x)
-    if m.coo.nnz:
-        y = y + get_kernel("spmv", "COO")(m.coo, x)
-    return y
-
-
-@register_kernel("spmv", "HDC")
-def _hdc_spmv(m, x: np.ndarray) -> np.ndarray:
-    return get_kernel("spmv", "DIA")(m.dia, x) + get_kernel("spmv", "CSR")(
-        m.csr, x
-    )
-
-
-@register_kernel("spmm", "COO")
-def _coo_spmm(m, X: np.ndarray) -> np.ndarray:
-    return _k.coo_spmm(m.nrows, m.row, m.col, m.data, X)
-
-
-@register_kernel("spmm", "CSR")
-def _csr_spmm(m, X: np.ndarray) -> np.ndarray:
-    return _k.csr_spmm(m.row_ptr, m.col_idx, m.data, X)
-
-
-@register_kernel("spmm", "DIA")
-def _dia_spmm(m, X: np.ndarray) -> np.ndarray:
-    return _k.dia_spmm(m.nrows, m.ncols, m.offsets, m.data, X)
-
-
-@register_kernel("spmm", "ELL")
-def _ell_spmm(m, X: np.ndarray) -> np.ndarray:
-    return _k.ell_spmm(m.col_idx, m.data, X, valid=m._valid)
-
-
-@register_kernel("spmm", "HYB")
-def _hyb_spmm(m, X: np.ndarray) -> np.ndarray:
-    Y = get_kernel("spmm", "ELL")(m.ell, X)
-    if m.coo.nnz:
-        Y = Y + get_kernel("spmm", "COO")(m.coo, X)
-    return Y
-
-
-@register_kernel("spmm", "HDC")
-def _hdc_spmm(m, X: np.ndarray) -> np.ndarray:
-    return get_kernel("spmm", "DIA")(m.dia, X) + get_kernel("spmm", "CSR")(
-        m.csr, X
-    )
-
-
-# every paper format must be servable for both operations
-assert all(REGISTRY.has("spmv", f) for f in FORMAT_IDS)
-assert all(REGISTRY.has("spmm", f) for f in FORMAT_IDS)
+# every paper format must be servable for both operations on the
+# always-available reference tier
+assert all(REGISTRY.has("spmv", f, "numpy") for f in FORMAT_IDS)
+assert all(REGISTRY.has("spmm", f, "numpy") for f in FORMAT_IDS)

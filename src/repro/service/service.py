@@ -87,6 +87,8 @@ class ServiceResult:
     produced this result), ``latency_seconds`` (wall-clock time from
     submission to completion) and ``model_version`` (which deployed
     model the serving batch ran under — the hot-swap audit trail).
+    ``backend`` is the kernel backend that actually ran the batch
+    (:mod:`repro.kernels`), after any fallback.
     """
 
     y: np.ndarray
@@ -100,6 +102,8 @@ class ServiceResult:
     model_version: str = ""
     #: Matrix version that served this request (0 = never mutated).
     epoch: int = 0
+    #: Kernel backend that executed the serving kernel.
+    backend: str = "numpy"
 
 
 @dataclass(frozen=True)
@@ -198,6 +202,12 @@ class TuningService:
         "naive dispatch" baseline the benchmark compares against).
     accelerate:
         Route kernels through the compiled batch path when available.
+    kernel_backend:
+        Kernel-backend policy handed to every engine the cache builds
+        (see :class:`~repro.runtime.engine.WorkloadEngine`): ``None``
+        (default) follows each matrix's tuner decision, an explicit
+        :mod:`repro.kernels` name pins every request, ``"auto"``
+        re-resolves the best available tier.
     shadow_every:
         Shadow-profiling cadence for the telemetry feed: every
         ``shadow_every``-th batch per matrix (starting with the first)
@@ -225,6 +235,7 @@ class TuningService:
         shards: int = 8,
         max_batch: int = 32,
         accelerate: bool = True,
+        kernel_backend: Optional[str] = None,
         shadow_every: int = 0,
         redecision=None,
     ) -> None:
@@ -241,6 +252,8 @@ class TuningService:
         self.workers = int(workers)
         self.max_batch = int(max_batch)
         self.accelerate = accelerate
+        #: Kernel-backend policy for the engines (None follows tuners).
+        self.kernel_backend = kernel_backend
         self.shadow_every = int(shadow_every)
         #: Optional :class:`~repro.runtime.epoch.RedecisionPolicy` every
         #: engine is built with (None = the engine default).
@@ -271,9 +284,16 @@ class TuningService:
         #: accounting folded in from engines evicted by the cache
         self._retired = {
             "requests_served": 0,
-            "seconds": {"tuning": 0.0, "conversion": 0.0, "spmv": 0.0},
+            "seconds": {
+                "tuning": 0.0,
+                "conversion": 0.0,
+                "spmv": 0.0,
+                "warmup": 0.0,
+            },
             "counters": {},
             "invalidations": {},
+            "backends": {},
+            "warmups": 0,
             "profile_times": {},
         }
         #: deployed-model provenance, replaced atomically by promote_model
@@ -304,6 +324,7 @@ class TuningService:
             tuner=tuner,
             accelerate=self.accelerate,
             redecision=self.redecision,
+            kernel_backend=self.kernel_backend,
         )
         engine.model_version = str(info.get("version", "-"))
         return engine
@@ -730,6 +751,7 @@ class TuningService:
                     latency_seconds=latency,
                     model_version=model_version,
                     epoch=epoch,
+                    backend=engine_result.backend,
                 )
             )
         if observer is None:
@@ -738,6 +760,7 @@ class TuningService:
             {
                 "fingerprint": fp,
                 "format": engine_result.format,
+                "backend": engine_result.backend,
                 "seconds": engine_result.seconds,
                 "latency_seconds": latency,
                 "batch_size": len(batch),
@@ -821,6 +844,7 @@ class TuningService:
                 format=block.format,
                 fingerprint=block.fingerprint,
                 from_cache=block.from_cache or j > 0,
+                backend=block.backend,
             )
             for j in range(len(batch))
         ]
@@ -859,6 +883,13 @@ class TuningService:
                 self._retired["invalidations"][name] = (
                     self._retired["invalidations"].get(name, 0) + value
                 )
+            for kb, entry in stats["backends"].items():
+                slot = self._retired["backends"].setdefault(
+                    kb, {"requests": 0, "seconds": 0.0}
+                )
+                slot["requests"] += entry["requests"]
+                slot["seconds"] += entry["seconds"]
+            self._retired["warmups"] += stats["warmups"]
             retired_profiles = self._retired["profile_times"]
             for fp, times in profile.items():
                 retired_profiles.setdefault(fp, dict(times))
@@ -903,6 +934,11 @@ class TuningService:
                 "seconds": dict(self._retired["seconds"]),
                 "counters": dict(self._retired["counters"]),
                 "invalidations": dict(self._retired["invalidations"]),
+                "backends": {
+                    kb: dict(v)
+                    for kb, v in self._retired["backends"].items()
+                },
+                "warmups": self._retired["warmups"],
             }
         snapshot["profiled_matrices"] = len(self.profile_times())
         for engine in self.engines.values():
@@ -920,8 +956,21 @@ class TuningService:
                 engines_total["invalidations"][name] = (
                     engines_total["invalidations"].get(name, 0) + value
                 )
+            for kb, entry in stats["backends"].items():
+                slot = engines_total["backends"].setdefault(
+                    kb, {"requests": 0, "seconds": 0.0}
+                )
+                slot["requests"] += entry["requests"]
+                slot["seconds"] += entry["seconds"]
+            engines_total["warmups"] += stats["warmups"]
         snapshot["engine_cache"] = self.engines.stats()
         snapshot["engines"] = engines_total
+        # per-kernel-backend request counts and modelled seconds across
+        # every engine the service ever owned — the backend-attribution
+        # surface dashboards and the CLI report
+        snapshot["backends"] = {
+            kb: dict(v) for kb, v in engines_total["backends"].items()
+        }
         # every engine the service ever owned, in one place: the
         # epoch-advance / carry-forward / forced-re-tune tallies the
         # streaming CLI and dashboards report
