@@ -1,0 +1,38 @@
+"""Machine-readable benchmark artefacts: ``BENCH_<name>.json``.
+
+The human-readable tables land in ``benchmarks/results/*.txt`` via
+:func:`benchmarks.conftest.write_result`; this helper writes the same
+runs' headline numbers as stable JSON so the perf trajectory can be
+diffed across PRs (CI archives the files).  Schema::
+
+    {
+      "bench":   "<name>",          # matches the BENCH_<name>.json filename
+      "config":  {...},             # workload knobs the numbers depend on
+      "metrics": {...}              # throughput / speedup / wall numbers
+    }
+
+Keys are sorted and floats written as-is, so two runs of the same code
+on the same host produce byte-stable files apart from timing jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["emit"]
+
+
+def emit(name: str, *, config: Dict, metrics: Dict) -> str:
+    """Write ``benchmarks/results/BENCH_<name>.json`` and return its path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    payload = {"bench": name, "config": config, "metrics": metrics}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench] wrote {os.path.relpath(path)}")
+    return path

@@ -16,6 +16,7 @@ from repro.formats import COOMatrix, convert
 from repro.kernels import available_backends, backend_info
 from repro.runtime.registry import REGISTRY
 
+from benchmarks._emit import emit
 from tests.conftest import ALL_FORMATS
 
 N = 60_000
@@ -133,6 +134,15 @@ def test_batched_speedup_over_sequential_csr(random_matrix):
     speedup = t_seq / t_bat
     print(f"\nbatched k={k} CSR speedup over sequential: {speedup:.1f}x "
           f"({t_seq * 1e3:.1f} ms -> {t_bat * 1e3:.1f} ms)")
+    emit(
+        "kernels",
+        config={"nrows": m.nrows, "nnz": m.nnz, "k": k, "format": "CSR"},
+        metrics={
+            "sequential_seconds": t_seq,
+            "batched_seconds": t_bat,
+            "speedup": speedup,
+        },
+    )
     assert speedup >= 5.0, (
         f"batched SpMV only {speedup:.1f}x faster than {k} sequential calls"
     )

@@ -36,6 +36,7 @@ from repro.runtime.batch import block_operator
 from repro.runtime.engine import WorkloadEngine
 from repro.service import Trace, TuningService, replay
 
+from benchmarks._emit import emit
 from benchmarks.conftest import write_result
 
 CLIENTS = 8
@@ -136,6 +137,22 @@ def test_coalescing_beats_naive_dispatch_at_8_clients():
         "",
     ]
     write_result("service_coalescing.txt", "\n".join(lines))
+    emit(
+        "service",
+        config={
+            "requests": REQUESTS,
+            "clients": CLIENTS,
+            "hot_matrices": HOT_MATRICES,
+            "max_batch": 64,
+        },
+        metrics={
+            "naive_rps": naive.throughput_rps,
+            "coalesced_rps": coalesced.throughput_rps,
+            "speedup": speedup,
+            "kernel_launches": stats["batches"],
+            "mean_batch": mean_batch,
+        },
+    )
     assert speedup >= 2.0, (
         f"coalesced throughput only {speedup:.2f}x naive dispatch "
         f"({coalesced.throughput_rps:.0f} vs {naive.throughput_rps:.0f} "

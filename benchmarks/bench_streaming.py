@@ -32,6 +32,7 @@ from repro.datasets.evolving import growing_rmat
 from repro.formats.coo import COOMatrix
 from repro.runtime.engine import WorkloadEngine
 
+from benchmarks._emit import emit
 from benchmarks.conftest import write_result
 
 SCALE = 14            # 2**14 = 16384 nodes
@@ -161,6 +162,22 @@ def test_incremental_epochs_beat_full_rebuilds_5x():
         "",
     ]
     write_result("streaming_epochs.txt", "\n".join(lines))
+    emit(
+        "streaming",
+        config={
+            "scale": SCALE,
+            "epochs": EPOCHS,
+            "edges_per_epoch": EDGES_PER_EPOCH,
+            "trials": TRIALS,
+        },
+        metrics={
+            "incremental_seconds": t_inc,
+            "from_scratch_seconds": t_scr,
+            "speedup": speedup,
+            "carried_forward": inv["carried_forward"],
+            "forced_retunes": inv["forced_retunes"],
+        },
+    )
     assert speedup >= 5.0, (
         f"incremental epoch throughput only {speedup:.2f}x the "
         "from-scratch rebuild (acceptance floor: 5x)"

@@ -273,6 +273,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     shadow_every = args.shadow_every
     if args.adaptive and shadow_every == 0:
         shadow_every = 4  # the adaptive loop needs shadow timings
+    distributed = getattr(args, "distributed", False)
+    kill_after = getattr(args, "kill_after", 0)
+    verify_identity = getattr(args, "verify_identity", False)
+    if (kill_after or verify_identity) and not distributed:
+        print("serve: --kill-after/--verify-identity require --distributed",
+              file=sys.stderr)
+        return 2
+    service_cls = TuningService
+    if distributed:
+        from repro.distributed import DistributedService
+
+        service_cls = DistributedService
     service_kwargs = dict(
         workers=args.workers,
         capacity=args.capacity,
@@ -290,7 +302,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         service = service_for_suite(
-            args.store, fingerprint=args.fingerprint, **service_kwargs
+            args.store,
+            fingerprint=args.fingerprint,
+            service_cls=service_cls,
+            **service_kwargs,
         )
         print(f"replaying suite      {spec.name} "
               f"(fingerprint {spec.fingerprint})")
@@ -304,7 +319,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace = synthetic_trace(
             args.n_matrices, args.requests, seed=args.seed
         )
-        service = TuningService(space, tuner, **service_kwargs)
+        service = service_cls(space, tuner, **service_kwargs)
     controller = None
     if args.adaptive:
         from repro.adaptive import AdaptiveController, ModelRegistry
@@ -318,8 +333,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
             check_every=args.check_every,
             background=True,
         ).attach()
+    killer = None
+    if kill_after:
+        import threading
+
+        def kill_one_worker_mid_replay():
+            # wait until the replay is genuinely in flight, then SIGKILL
+            # the worker owning the trace's first matrix — the recovery
+            # drill CI greps for
+            while service.requests_served < kill_after:
+                if service.requests_served >= args.requests:
+                    return
+                time.sleep(0.005)
+            victim = service.worker_of(trace.sequence[0])
+            pid = service.kill_worker(victim)
+            if pid is not None:
+                print(f"kill drill           SIGKILLed worker {victim} "
+                      f"(pid {pid}) after "
+                      f"{kill_after} requests")
+
+        killer = threading.Thread(
+            target=kill_one_worker_mid_replay, name="serve-kill-drill"
+        )
     with service:
+        if killer is not None:
+            killer.start()
         report = replay(service, trace, clients=args.clients)
+        if killer is not None:
+            killer.join()
         if controller is not None:
             controller.close()
     stats = report.service_stats
@@ -383,7 +424,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{cstats['promotions']} promotions "
               f"({telemetry['recorded']} telemetry records, "
               f"{telemetry['shadowed']} shadow-probed)")
+    if distributed:
+        dist = stats["distributed"]
+        sup = dist["supervisor"]
+        lost = args.requests - len(report.results)
+        print(f"distributed          {sup['workers']} worker processes, "
+              f"{dist['fingerprints']} routed fingerprints, "
+              f"shm pool {dist['shm']['slots']}x"
+              f"{dist['shm']['slot_bytes']} B "
+              f"({dist['shm']['overflows']} overflows)")
+        print(f"worker respawns      {sup['respawns']} "
+              f"({dist['retried_requests']} requests retried, "
+              f"{lost} lost)")
+        if kill_after and lost == 0:
+            print("kill recovery        OK: every request on the killed "
+                  "shard was replayed and served")
+        if verify_identity:
+            mismatches = _verify_distributed_identity(
+                args, trace, report, service_kwargs
+            )
+            if mismatches:
+                print(f"bitwise identity     FAILED: {mismatches} of "
+                      f"{len(report.results)} results differ from the "
+                      f"single-process service", file=sys.stderr)
+                return 1
+            print(f"bitwise identity     OK: {len(report.results)} "
+                  f"results identical to the single-process service")
     return 0
+
+
+def _verify_distributed_identity(args, trace, report, service_kwargs):
+    """Replay *trace* on a single-process service; count differing bits."""
+    from repro.service import TuningService, replay, service_for_suite
+
+    if args.store:
+        single = service_for_suite(
+            args.store, fingerprint=args.fingerprint, **service_kwargs
+        )
+    else:
+        space = make_space(args.system, args.backend)
+        tuner = (
+            RandomForestTuner(args.model) if args.model else RunFirstTuner()
+        )
+        single = TuningService(space, tuner, **service_kwargs)
+    with single:
+        reference = replay(single, trace, clients=args.clients)
+    return sum(
+        1
+        for got, want in zip(report.results, reference.results)
+        if not np.array_equal(got.y, want.y)
+    )
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
@@ -744,7 +834,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="Oracle model file for the synthetic workload "
              "(default: run-first tuner)",
     )
-    p.add_argument("--workers", type=int, default=4, help="service threads")
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="service threads (worker processes with --distributed); "
+             "default: derived from the host's core count",
+    )
+    p.add_argument(
+        "--distributed", action="store_true",
+        help="serve through the multi-process tier: worker processes "
+             "with per-process engine caches, vectors over shared memory",
+    )
+    p.add_argument(
+        "--kill-after", type=int, default=0,
+        help="recovery drill (with --distributed): SIGKILL the worker "
+             "owning the trace's first matrix after N served requests",
+    )
+    p.add_argument(
+        "--verify-identity", action="store_true",
+        help="after a --distributed replay, re-run the trace on a "
+             "single-process service and require bitwise-identical "
+             "results (exit 1 otherwise)",
+    )
     p.add_argument(
         "--capacity", type=int, default=32,
         help="max live per-matrix engines before LRU eviction",

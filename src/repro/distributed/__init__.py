@@ -1,0 +1,35 @@
+"""Multi-process distributed serving tier.
+
+The in-process :class:`~repro.service.service.TuningService` is capped
+by the GIL: concurrent numpy-tier SpMV requests serialize on one
+interpreter, and one crash takes down every session.  This package
+splits the service into a front-end **gateway** and N supervised
+**worker processes**:
+
+* :mod:`repro.distributed.gateway` —
+  :class:`~repro.distributed.gateway.DistributedService`, the
+  drop-in-compatible front end: validates and coalesces requests
+  (reusing :mod:`repro.service.coalesce`), routes each matrix
+  fingerprint to the worker that owns it, aggregates fleet-wide
+  ``stats()`` and forwards worker telemetry to the adaptive loop;
+* :mod:`repro.distributed.worker` — the single-threaded worker loop:
+  each process hosts its own :class:`~repro.service.cache
+  .ShardedEngineCache` slice and per-process kernel-backend warm-up,
+  and mirrors the service's serving arithmetic exactly so distributed
+  results are bitwise-identical to single-process serve;
+* :mod:`repro.distributed.shm` — the zero-copy vector transport:
+  request/response vectors cross the process boundary through
+  ``multiprocessing.shared_memory`` slots (pickling only for control
+  messages), recycled when the client drops the result;
+* :mod:`repro.distributed.supervisor` — process lifecycle: heartbeats,
+  pipe-sentinel death detection, respawn + re-warm + state replay
+  without disturbing in-flight requests on surviving workers.
+
+See ``docs/distributed.md`` for the architecture, the shared-memory
+protocol, and the failure model.
+"""
+
+from repro.distributed.gateway import DistributedService
+from repro.distributed.shm import ShmRef, ShmVectorPool
+
+__all__ = ["DistributedService", "ShmRef", "ShmVectorPool"]

@@ -1,0 +1,967 @@
+"""The distributed tier's front end: validate, coalesce, route, survive.
+
+:class:`DistributedService` is API-compatible with the in-process
+:class:`~repro.service.service.TuningService` (``submit`` /
+``submit_update`` / ``spmv`` / ``update`` / ``session`` / ``stats`` /
+``promote_model`` / ``set_observer`` / ``close``), so sessions, the
+replay driver, and the adaptive controller work against either tier
+unchanged.  Behind the API:
+
+* requests are validated in the caller's thread and coalesced per
+  fingerprint through the same :mod:`repro.service.coalesce` machinery
+  the in-process service uses;
+* each fingerprint is **owned** by exactly one worker process —
+  ``worker_of(fp)`` is the same stable blake2b hash the engine cache
+  shards by — so one worker holds the only live engine for a matrix and
+  barrier semantics reduce to FIFO order on that worker's control pipe;
+* vectors cross the process boundary through a
+  :class:`~repro.distributed.shm.ShmVectorPool` (zero-copy views, slot
+  recycling); only control tuples are pickled;
+* workers are supervised (:mod:`repro.distributed.supervisor`): a dead
+  worker's last-heartbeat accounting is folded into the gateway totals
+  exactly as cache eviction folds an evicted engine, its shard slice is
+  respawned and re-warmed, its matrices are re-shipped with their acked
+  mutation logs replayed, and its in-flight requests are re-sent in
+  submission order — zero requests lost, other workers undisturbed.
+
+Exactly-once mutation semantics on the death path: the gateway's
+per-fingerprint delta log contains only **acknowledged** updates.  A
+respawned worker rebuilds matrix state by replaying that log, so
+re-sending an unacknowledged in-flight update applies it exactly once
+on the rebuilt state; SpMV re-sends are idempotent by nature.  Rebuilt
+epoch stamps reproduce exactly because every delta application is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.formats.delta import MatrixDelta
+from repro.formats.dynamic import DynamicMatrix
+from repro.runtime.engine import request_key, validate_operand
+from repro.service.accounting import (
+    empty_engine_totals,
+    merge_engine_totals,
+)
+from repro.service.cache import _stable_hash
+from repro.service.coalesce import FingerprintQueues, PendingRequest
+from repro.service.service import (
+    ServiceResult,
+    Session,
+    TuningService,
+    UpdateResult,
+)
+from repro.distributed.shm import ShmVectorPool
+from repro.distributed.supervisor import Supervisor
+from repro.distributed.worker import WorkerConfig
+from repro.utils.concurrency import default_process_workers
+
+__all__ = ["DistributedService"]
+
+
+class _Inflight:
+    """One message awaiting a worker reply (and its resend material)."""
+
+    __slots__ = (
+        "msg_id",
+        "kind",
+        "worker",
+        "fp",
+        "batch",
+        "x_ref",
+        "out_ref",
+        "message",
+        "event",
+        "reply",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        kind: str,
+        worker: int,
+        *,
+        fp: Optional[str] = None,
+        batch: Optional[List[PendingRequest]] = None,
+        x_ref=None,
+        out_ref=None,
+        message=None,
+    ) -> None:
+        self.msg_id = msg_id
+        self.kind = kind
+        self.worker = worker
+        self.fp = fp
+        self.batch = batch
+        self.x_ref = x_ref
+        self.out_ref = out_ref
+        self.message = message
+        self.event = threading.Event()
+        self.reply = None
+
+
+class DistributedService:
+    """Multi-process serving gateway; a drop-in ``TuningService`` twin.
+
+    Parameters mirror :class:`~repro.service.service.TuningService`
+    (``capacity`` is the *fleet-wide* engine budget, sliced evenly
+    across workers), plus:
+
+    workers:
+        Number of worker processes.  ``None`` derives from the host's
+        core count (:func:`repro.utils.concurrency
+        .default_process_workers`).
+    shm_slot_bytes / shm_slots:
+        Geometry of the shared-memory vector pool; payloads that do not
+        fit fall back to dedicated segments (see
+        ``stats()["distributed"]["shm"]``).
+    heartbeat_interval / heartbeat_timeout:
+        Worker beat cadence and the staleness bound after which a
+        silent worker is declared hung and killed.
+    """
+
+    def __init__(
+        self,
+        space,
+        tuner=None,
+        *,
+        workers: Optional[int] = None,
+        capacity: int = 64,
+        shards: int = 8,
+        max_batch: int = 32,
+        accelerate: bool = True,
+        kernel_backend: Optional[str] = None,
+        shadow_every: int = 0,
+        redecision=None,
+        shm_slot_bytes: int = 1 << 18,
+        shm_slots: int = 128,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 10.0,
+    ) -> None:
+        if workers is None:
+            workers = default_process_workers()
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        self.space = space
+        self.tuner = tuner
+        self.workers = int(workers)
+        self.capacity = int(capacity)
+        self.shards = int(shards)
+        self.max_batch = int(max_batch)
+        self.accelerate = accelerate
+        self.kernel_backend = kernel_backend
+        self.shadow_every = int(shadow_every)
+        self.redecision = redecision
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.model_info: Dict[str, object] = {
+            "version": "-",
+            "source": "",
+            "algorithm": type(tuner).__name__ if tuner is not None else "",
+            "promoted_at": None,
+        }
+        self._deployed = (tuner, self.model_info)
+        self.promotions = 0
+        self._closed = False
+        self._observer = None
+        self._observer_errors = 0
+        # request plumbing
+        self._pending = FingerprintQueues()
+        self._msg_ids = itertools.count(1)
+        self._inflight: Dict[int, _Inflight] = {}
+        self._inflight_lock = threading.Lock()
+        self._inflight_drained = threading.Condition(self._inflight_lock)
+        self._matrices: Dict[str, object] = {}
+        self._delta_log: Dict[str, List[MatrixDelta]] = {}
+        self._matrix_synced: Dict[str, int] = {}
+        self._state_lock = threading.Lock()
+        # per-worker send serialisation + death gates (closed while a
+        # dead worker's replacement is being replayed)
+        self._worker_locks = [threading.Lock() for _ in range(self.workers)]
+        self._worker_gates = [threading.Event() for _ in range(self.workers)]
+        for gate in self._worker_gates:
+            gate.set()
+        # metrics
+        self._metrics_lock = threading.Lock()
+        self._dispatching = 0
+        self.requests_submitted = 0
+        self.requests_served = 0
+        self.updates_served = 0
+        self.batches = 0
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        self.latency_total = 0.0
+        self.latency_max = 0.0
+        self.retried_requests = 0
+        self.dead_workers = 0
+        self._retired_workers = empty_engine_totals()
+        self._retired_counters = {
+            "requests_served": 0,
+            "updates_served": 0,
+            "batches": 0,
+            "shadow_probes": 0,
+            "profiled_matrices": 0,
+            "engine_cache": {"hits": 0, "misses": 0, "evictions": 0},
+        }
+        # transport + fleet
+        self.pool = ShmVectorPool(slot_bytes=shm_slot_bytes, slots=shm_slots)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, self.workers),
+            thread_name_prefix="repro-gateway",
+        )
+        self.supervisor = Supervisor(
+            self._make_config,
+            on_message=self._on_message,
+            on_death=self._on_death,
+            on_respawn=self._on_respawn,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+        self.supervisor.start(self.workers)
+
+    # ------------------------------------------------------------------
+    # fleet construction
+    # ------------------------------------------------------------------
+    def _make_config(self, index: int) -> WorkerConfig:
+        """Build one worker's config; reads the *current* deployed model,
+        so a respawned worker boots straight onto the promoted tuner."""
+        tuner, info = self._deployed
+        slice_capacity = max(1, self.capacity // self.workers)
+        return WorkerConfig(
+            index=index,
+            space=self.space,
+            tuner=tuner,
+            model_info=dict(info),
+            capacity=slice_capacity,
+            shards=max(1, min(self.shards, slice_capacity)),
+            accelerate=self.accelerate,
+            kernel_backend=self.kernel_backend,
+            shadow_every=self.shadow_every,
+            redecision=self.redecision,
+            heartbeat_interval=self.heartbeat_interval,
+        )
+
+    from_model_database = classmethod(
+        TuningService.from_model_database.__func__
+    )
+
+    def worker_of(self, fp: str) -> int:
+        """The worker that owns *fp* — same stable hash the cache shards
+        by, so routing is reproducible across runs and processes."""
+        return _stable_hash(fp) % self.workers
+
+    # ------------------------------------------------------------------
+    # request path (mirrors TuningService submission semantics)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> "Future[ServiceResult]":
+        """Enqueue one request; returns a future resolving to its result."""
+        if self._closed:
+            raise ValidationError("service is closed")
+        operand = validate_operand(matrix, x)
+        fp = key if key is not None else request_key(matrix)
+        self._remember_matrix(fp, matrix)
+        future: "Future[ServiceResult]" = Future()
+        request = PendingRequest(matrix, operand, int(repetitions), future)
+        self._enqueue(fp, request)
+        return future
+
+    def submit_update(
+        self,
+        matrix,
+        delta: MatrixDelta,
+        *,
+        key: Optional[str] = None,
+    ) -> "Future[UpdateResult]":
+        """Enqueue a mutation; a barrier on its fingerprint's queue."""
+        if self._closed:
+            raise ValidationError("service is closed")
+        if not isinstance(delta, MatrixDelta):
+            raise ValidationError(
+                f"update needs a MatrixDelta, got {type(delta).__name__}"
+            )
+        concrete = (
+            matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        )
+        delta.check_bounds(concrete.nrows, concrete.ncols)
+        fp = key if key is not None else request_key(matrix)
+        self._remember_matrix(fp, matrix)
+        future: "Future[UpdateResult]" = Future()
+        request = PendingRequest(
+            matrix, None, 1, future, kind="update", delta=delta
+        )
+        self._enqueue(fp, request)
+        return future
+
+    def spmv(
+        self,
+        matrix,
+        x: np.ndarray,
+        *,
+        key: Optional[str] = None,
+        repetitions: int = 1,
+    ) -> ServiceResult:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        return self.submit(matrix, x, key=key, repetitions=repetitions).result()
+
+    def update(
+        self,
+        matrix,
+        delta: MatrixDelta,
+        *,
+        key: Optional[str] = None,
+    ) -> UpdateResult:
+        """Blocking convenience wrapper around :meth:`submit_update`."""
+        return self.submit_update(matrix, delta, key=key).result()
+
+    def session(self, name: str = "") -> Session:
+        """A new client :class:`~repro.service.service.Session`."""
+        return Session(self, name=name)
+
+    def _remember_matrix(self, fp: str, matrix) -> None:
+        """Pin the matrix object a fingerprint is replayed from.
+
+        Only the *first* sighting is kept: the worker-side engine owns
+        the matrix's evolution (the delta log replays on top of this
+        base object), so a later submission's object must not replace
+        the epoch-0 base.
+        """
+        with self._state_lock:
+            self._matrices.setdefault(fp, matrix)
+
+    def _enqueue(self, fp: str, request: PendingRequest) -> None:
+        schedule = self._pending.push(fp, request)
+        with self._metrics_lock:
+            self.requests_submitted += 1
+        if schedule:
+            self._schedule(fp)
+
+    def _schedule(self, fp: str) -> None:
+        try:
+            self._executor.submit(self._drain, fp)
+        except RuntimeError:  # executor shut down mid-close
+            self._drain(fp)
+
+    def _drain(self, fp: str) -> None:
+        """Dispatch the fingerprint's next batch; keep the drain alive.
+
+        Unlike the in-process service the drain does not wait for
+        serving: batches pipeline into the owning worker's pipe (which
+        preserves barrier order), and the reply path resolves futures.
+        """
+        with self._metrics_lock:
+            self._dispatching += 1  # close(wait=True) waits this out
+        try:
+            batch = self._pending.take_batch(
+                fp, self.max_batch, stackable_only=True
+            )
+            if batch:
+                try:
+                    if batch[0].kind == "update":
+                        self._dispatch_update(fp, batch[0])
+                    else:
+                        self._dispatch_batch(fp, batch)
+                except BaseException as exc:
+                    for request in batch:
+                        if not request.future.done():
+                            request.future.set_exception(exc)
+        finally:
+            with self._metrics_lock:
+                self._dispatching -= 1
+        if self._pending.finish(fp):
+            self._schedule(fp)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_batch(self, fp: str, batch: List[PendingRequest]) -> None:
+        worker = self.worker_of(fp)
+        matrix = batch[0].matrix
+        concrete = (
+            matrix.concrete if isinstance(matrix, DynamicMatrix) else matrix
+        )
+        nrows, ncols = concrete.nrows, concrete.ncols
+        stacked = len(batch) > 1  # take_batch(stackable_only) guarantees
+        if stacked:  # every member is a plain 1-D rep-1 request
+            x_ref = self.pool.reserve((ncols, len(batch)), np.float64)
+            view = self.pool.view(x_ref)
+            for j, request in enumerate(batch):
+                view[:, j] = request.operand
+            del view
+            out_ref = self.pool.reserve((nrows, len(batch)), np.float64)
+            reps = [1] * len(batch)
+        else:
+            operand = batch[0].operand
+            x_ref = self.pool.place(operand)
+            out_shape = (
+                (nrows,) if operand.ndim == 1 else (nrows, operand.shape[1])
+            )
+            out_ref = self.pool.reserve(out_shape, np.float64)
+            reps = [batch[0].repetitions]
+        spec = {
+            "x": x_ref,
+            "out": out_ref,
+            "reps": reps,
+            "stacked": stacked,
+            "telemetry": self._observer is not None,
+        }
+        msg_id = next(self._msg_ids)
+        entry = _Inflight(
+            msg_id,
+            "batch",
+            worker,
+            fp=fp,
+            batch=batch,
+            x_ref=x_ref,
+            out_ref=out_ref,
+            message=("batch", msg_id, fp, spec),
+        )
+        self._register_and_send(entry)
+
+    def _dispatch_update(self, fp: str, request: PendingRequest) -> None:
+        worker = self.worker_of(fp)
+        msg_id = next(self._msg_ids)
+        entry = _Inflight(
+            msg_id,
+            "update",
+            worker,
+            fp=fp,
+            batch=[request],
+            message=("update", msg_id, fp, request.delta),
+        )
+        self._register_and_send(entry)
+
+    def _register_and_send(self, entry: _Inflight) -> None:
+        with self._inflight_lock:
+            self._inflight[entry.msg_id] = entry
+        self._send_entry(entry)
+
+    def _send_entry(self, entry: _Inflight) -> None:
+        """Ship one inflight message, syncing matrix state first.
+
+        The worker's gate is closed between a death and the completed
+        replay of its replacement, so new sends can never overtake the
+        re-sent backlog; the per-worker lock serialises the
+        matrix-sync + send pair against concurrent drains.  A send that
+        fails (worker just died) is deliberately left inflight — the
+        respawn path re-sends it.
+        """
+        gate = self._worker_gates[entry.worker]
+        if not gate.wait(timeout=60.0) and not self._closed:
+            return  # respawn is wedged; the entry stays queued for it
+        with self._worker_locks[entry.worker]:
+            if not gate.is_set():
+                # The worker died after we passed the gate.  The entry
+                # was registered inflight before the death was handled,
+                # so the respawn replay owns it now — sending here too
+                # would deliver it twice to the replacement.
+                return
+            self._send_entry_locked(entry)
+
+    def _send_entry_locked(self, entry: _Inflight) -> None:
+        incarnation = self.supervisor.handle(entry.worker).incarnation
+        if entry.fp is not None:
+            self._sync_matrix(entry.worker, entry.fp, incarnation)
+        self.supervisor.send(entry.worker, entry.message, expect=incarnation)
+
+    def _sync_matrix(self, worker: int, fp: str, incarnation: int) -> None:
+        """Ship matrix + acked delta log once per worker incarnation.
+
+        ``incarnation`` pins both the dedupe check and the send to the
+        incarnation the caller is about to address, so a replacement
+        spawned mid-send can never be skipped (it would miss the
+        matrix) or half-served (matrix delivered to one incarnation,
+        the batch to the next).
+        """
+        with self._state_lock:
+            if self._matrix_synced.get(fp) == incarnation:
+                return
+            matrix = self._matrices.get(fp)
+            deltas = list(self._delta_log.get(fp, ()))
+        if matrix is None:
+            return
+        if self.supervisor.send(
+            worker, ("matrix", fp, matrix, deltas), expect=incarnation
+        ):
+            with self._state_lock:
+                self._matrix_synced[fp] = incarnation
+
+    # ------------------------------------------------------------------
+    # worker replies
+    # ------------------------------------------------------------------
+    def _on_message(self, index: int, incarnation: int, message) -> None:
+        kind = message[0]
+        if kind == "done":
+            self._on_done(message)
+        elif kind == "update_done":
+            self._on_update_done(message)
+        elif kind == "error":
+            self._on_error(message)
+        elif kind in ("promoted", "stats_reply"):
+            msg_id = message[1]
+            entry = self._take_inflight(msg_id)
+            if entry is not None:
+                entry.reply = message[2] if len(message) > 2 else None
+                entry.event.set()
+        # "ready" needs no action here: supervisor tracks readiness and
+        # the respawn path owns state replay
+
+    def _take_inflight(self, msg_id: int) -> Optional[_Inflight]:
+        with self._inflight_lock:
+            entry = self._inflight.pop(msg_id, None)
+            if entry is not None and not self._inflight:
+                self._inflight_drained.notify_all()
+            return entry
+
+    def _on_done(self, message) -> None:
+        _, msg_id, fp, metas, observations = message
+        entry = self._take_inflight(msg_id)
+        if entry is None:
+            return  # duplicate reply after a resend race
+        batch = entry.batch
+        base = self.pool.view(entry.out_ref, release_with_view=True)
+        self.pool.release(entry.x_ref)
+        done_at = time.perf_counter()
+        latencies = [done_at - r.enqueued_at for r in batch]
+        with self._metrics_lock:
+            self.requests_served += len(batch)
+            self.batches += 1
+            if len(batch) > 1:
+                self.coalesced_batches += 1
+                self.coalesced_requests += len(batch)
+            self.latency_total += sum(latencies)
+            self.latency_max = max(self.latency_max, max(latencies))
+        stacked = len(batch) > 1
+        for j, (request, meta, latency) in enumerate(
+            zip(batch, metas, latencies)
+        ):
+            y = base[:, j] if stacked else base
+            if not request.future.done():
+                request.future.set_result(
+                    ServiceResult(
+                        y=y,
+                        seconds=meta["seconds"],
+                        overhead_seconds=meta["overhead_seconds"],
+                        format=meta["format"],
+                        fingerprint=meta["fingerprint"],
+                        from_cache=meta["from_cache"],
+                        batch_size=len(batch),
+                        latency_seconds=latency,
+                        model_version=meta["model_version"],
+                        epoch=meta["epoch"],
+                        backend=meta["backend"],
+                    )
+                )
+        if observations:
+            for obs, latency in zip(observations, latencies):
+                obs["latency_seconds"] = latency
+            self._notify(observations)
+
+    def _on_update_done(self, message) -> None:
+        _, msg_id, fp, meta = message
+        entry = self._take_inflight(msg_id)
+        if entry is None:
+            return
+        request = entry.batch[0]
+        with self._state_lock:
+            # the log holds *acknowledged* deltas only: replay on a
+            # respawn rebuilds exactly the state this worker confirmed
+            self._delta_log.setdefault(fp, []).append(request.delta)
+        latency = time.perf_counter() - request.enqueued_at
+        with self._metrics_lock:
+            self.requests_served += 1
+            self.updates_served += 1
+            self.batches += 1
+            self.latency_total += latency
+            self.latency_max = max(self.latency_max, latency)
+        if not request.future.done():
+            request.future.set_result(
+                UpdateResult(
+                    fingerprint=fp,
+                    epoch=meta["epoch"],
+                    carried_forward=meta["carried_forward"],
+                    retuned=meta["retuned"],
+                    format=meta["format"],
+                    drift=meta["drift"],
+                    nnz=meta["nnz"],
+                    latency_seconds=latency,
+                )
+            )
+        if self._observer is not None:
+            self._notify(
+                [
+                    {
+                        "kind": "update",
+                        "fingerprint": fp,
+                        "epoch": meta["epoch"],
+                        "stat_drift": meta["drift"],
+                        "retuned": meta["retuned"],
+                        "carried_forward": meta["carried_forward"],
+                        "nnz": meta["nnz"],
+                        "latency_seconds": latency,
+                    }
+                ]
+            )
+
+    def _on_error(self, message) -> None:
+        _, msg_id, kind, text = message
+        entry = self._take_inflight(msg_id)
+        if entry is None:
+            return
+        if entry.x_ref is not None:
+            self.pool.release(entry.x_ref)
+        if entry.out_ref is not None:
+            self.pool.release(entry.out_ref)
+        exc = RuntimeError(f"worker {kind} failed: {text}")
+        for request in entry.batch or ():
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+    def _notify(self, observations: List[dict]) -> None:
+        observer = self._observer
+        if observer is None or not observations:
+            return
+        try:
+            observer(observations)
+        except Exception:
+            with self._metrics_lock:
+                self._observer_errors += 1
+
+    # ------------------------------------------------------------------
+    # death + recovery
+    # ------------------------------------------------------------------
+    def _on_death(self, index: int, snapshot: Dict[str, object]) -> None:
+        """Fold the dead incarnation's accounting; close its gate."""
+        self._worker_gates[index].clear()
+        with self._metrics_lock:
+            self.dead_workers += 1
+            if snapshot:
+                merge_engine_totals(
+                    self._retired_workers, snapshot.get("engines", {}) or
+                    empty_engine_totals()
+                )
+                folded = self._retired_counters
+                for name in (
+                    "requests_served",
+                    "updates_served",
+                    "batches",
+                    "shadow_probes",
+                    "profiled_matrices",
+                ):
+                    folded[name] += int(snapshot.get(name, 0))
+                cache = snapshot.get("engine_cache") or {}
+                for name in ("hits", "misses", "evictions"):
+                    folded["engine_cache"][name] += int(cache.get(name, 0))
+        # fail any stats poll aimed at the dead incarnation
+        with self._inflight_lock:
+            stale = [
+                e
+                for e in self._inflight.values()
+                if e.worker == index and e.kind == "stats"
+            ]
+        for entry in stale:
+            entry.reply = None
+            entry.event.set()
+            self._take_inflight(entry.msg_id)
+
+    def _on_respawn(self, index: int) -> None:
+        """Replay the dead worker's backlog, then reopen its gate.
+
+        Pending batches and updates re-send in original submission
+        order (message ids are monotonic); each fingerprint's matrix is
+        re-shipped with its acked delta log first, so the replacement
+        rebuilds the exact acknowledged state before any retried
+        request touches it.
+        """
+        with self._inflight_lock:
+            backlog = sorted(
+                (
+                    e
+                    for e in self._inflight.values()
+                    if e.worker == index and e.kind != "stats"
+                ),
+                key=lambda e: e.msg_id,
+            )
+        with self._worker_locks[index]:
+            for entry in backlog:
+                self._send_entry_locked(entry)
+        with self._metrics_lock:
+            self.retried_requests += sum(
+                len(e.batch or ()) for e in backlog
+            )
+        self._worker_gates[index].set()
+
+    def kill_worker(self, index: int) -> Optional[int]:
+        """Failure-injection hook: SIGKILL one worker (tests, drills)."""
+        return self.supervisor.kill(index)
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+    def set_observer(self, observer) -> None:
+        """Install (or clear) the telemetry observer.
+
+        Observations arrive from worker processes with the same schema
+        the in-process service emits (features and shadow timings
+        included), with wall latency filled in by the gateway.
+        """
+        self._observer = observer
+
+    def set_model_info(
+        self, *, version: str, source: str = "", algorithm: str = ""
+    ) -> None:
+        """Stamp the currently deployed tuner's provenance (no swap)."""
+        info: Dict[str, object] = {
+            "version": str(version),
+            "source": source,
+            "algorithm": algorithm or type(self.tuner).__name__,
+            "promoted_at": None,
+        }
+        self._broadcast_model(self.tuner, info)
+
+    def promote_model(
+        self, tuner, *, version: str, source: str = "", algorithm: str = ""
+    ) -> Dict[str, object]:
+        """Hot-swap the serving model fleet-wide; returns the info block.
+
+        The promotion is broadcast to every worker and applied there
+        under each engine-cache shard lock (same atomicity contract as
+        the in-process service); a worker that dies mid-broadcast
+        respawns onto the new model anyway, because respawned configs
+        read the already-updated deployed pair.
+        """
+        info: Dict[str, object] = {
+            "version": str(version),
+            "source": source,
+            "algorithm": algorithm or type(tuner).__name__,
+            "promoted_at": time.time(),
+        }
+        self._broadcast_model(tuner, info)
+        with self._metrics_lock:
+            self.promotions += 1
+        return dict(info)
+
+    def _broadcast_model(
+        self, tuner, info: Dict[str, object], *, timeout: float = 30.0
+    ) -> None:
+        # publish first: respawns during the broadcast boot onto the
+        # new pair already
+        self._deployed = (tuner, info)
+        self.tuner = tuner
+        self.model_info = info
+        entries = []
+        for index in range(self.workers):
+            msg_id = next(self._msg_ids)
+            entry = _Inflight(
+                msg_id,
+                "promote",
+                index,
+                message=("promote", msg_id, tuner, dict(info)),
+            )
+            with self._inflight_lock:
+                self._inflight[msg_id] = entry
+            entries.append(entry)
+            self._send_entry(entry)
+        deadline = time.monotonic() + timeout
+        for entry in entries:
+            entry.event.wait(max(0.0, deadline - time.monotonic()))
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _poll_workers(self, *, timeout: float = 5.0):
+        """Round-trip a stats request to every live worker.
+
+        Falls back to the last heartbeat snapshot for workers that are
+        down or slow — stats() degrades, it never blocks serving.
+        """
+        entries = []
+        for index in range(self.workers):
+            msg_id = next(self._msg_ids)
+            entry = _Inflight(
+                msg_id, "stats", index, message=("stats", msg_id)
+            )
+            with self._inflight_lock:
+                self._inflight[msg_id] = entry
+            entries.append(entry)
+            if not self.supervisor.send(index, entry.message):
+                entry.event.set()
+                self._take_inflight(msg_id)
+        deadline = time.monotonic() + timeout
+        snapshots = []
+        for index, entry in enumerate(entries):
+            entry.event.wait(max(0.0, deadline - time.monotonic()))
+            self._take_inflight(entry.msg_id)
+            snapshot = entry.reply
+            if not snapshot:
+                snapshot = dict(
+                    self.supervisor.handle(index).last_snapshot
+                )
+            snapshots.append(snapshot)
+        return snapshots
+
+    def stats(self) -> Dict[str, object]:
+        """The :meth:`TuningService.stats` schema, fleet-aggregated.
+
+        ``engines`` folds live remote engines (polled from every
+        worker), engines retired by worker-local cache eviction, and
+        the last-heartbeat accounting of dead worker incarnations — the
+        same every-engine-ever-owned contract as single-process mode,
+        with identical keys (locked by
+        ``tests/distributed/test_stats_schema.py``).  The extra
+        ``distributed`` block carries fleet health: per-worker liveness,
+        respawn/retry counters, and shared-memory pool usage.
+        """
+        snapshots = self._poll_workers()
+        with self._metrics_lock:
+            served = self.requests_served
+            snapshot = {
+                "space": self.space.name,
+                "workers": self.workers,
+                "max_batch": self.max_batch,
+                "requests_submitted": self.requests_submitted,
+                "requests_served": served,
+                "updates_served": self.updates_served,
+                "batches": self.batches,
+                "coalesced_batches": self.coalesced_batches,
+                "coalesced_requests": self.coalesced_requests,
+                "observer_errors": self._observer_errors,
+                "model": {**self.model_info, "promotions": self.promotions},
+                "latency": {
+                    "total_seconds": self.latency_total,
+                    "mean_seconds": (
+                        self.latency_total / served if served else 0.0
+                    ),
+                    "max_seconds": self.latency_max,
+                },
+            }
+            engines_total = empty_engine_totals()
+            merge_engine_totals(engines_total, self._retired_workers)
+            shadow_probes = self._retired_counters["shadow_probes"]
+            profiled = self._retired_counters["profiled_matrices"]
+            cache_total = {
+                "capacity": 0,
+                "shards": 0,
+                "size": 0,
+                "shard_sizes": [],
+                "hits": self._retired_counters["engine_cache"]["hits"],
+                "misses": self._retired_counters["engine_cache"]["misses"],
+                "hit_rate": 0.0,
+                "evictions": (
+                    self._retired_counters["engine_cache"]["evictions"]
+                ),
+            }
+            retried = self.retried_requests
+            dead = self.dead_workers
+        for worker_snapshot in snapshots:
+            if not worker_snapshot:
+                continue
+            merge_engine_totals(
+                engines_total,
+                worker_snapshot.get("engines") or empty_engine_totals(),
+            )
+            shadow_probes += int(worker_snapshot.get("shadow_probes", 0))
+            profiled += int(worker_snapshot.get("profiled_matrices", 0))
+            cache = worker_snapshot.get("engine_cache") or {}
+            cache_total["capacity"] += int(cache.get("capacity", 0))
+            cache_total["shards"] += int(cache.get("shards", 0))
+            cache_total["size"] += int(cache.get("size", 0))
+            cache_total["shard_sizes"].extend(cache.get("shard_sizes", ()))
+            for name in ("hits", "misses", "evictions"):
+                cache_total[name] += int(cache.get(name, 0))
+        lookups = cache_total["hits"] + cache_total["misses"]
+        cache_total["hit_rate"] = (
+            cache_total["hits"] / lookups if lookups else 0.0
+        )
+        snapshot["shadow_probes"] = shadow_probes
+        snapshot["profiled_matrices"] = profiled
+        snapshot["engine_cache"] = cache_total
+        snapshot["engines"] = engines_total
+        snapshot["backends"] = {
+            kb: dict(v) for kb, v in engines_total["backends"].items()
+        }
+        snapshot["invalidations"] = {
+            name: engines_total["invalidations"].get(name, 0)
+            for name in ("epoch_advances", "carried_forward", "forced_retunes")
+        }
+        snapshot["distributed"] = {
+            "fingerprints": len(self._matrices),
+            "retried_requests": retried,
+            "dead_workers": dead,
+            "supervisor": self.supervisor.stats(),
+            "shm": self.pool.stats(),
+            "worker_backends": [
+                list(self.supervisor.handle(i).backends.get("backends", ()))
+                for i in range(self.workers)
+            ],
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, *, wait: bool = True, timeout: float = 60.0) -> None:
+        """Stop accepting requests and tear the fleet down.
+
+        With ``wait=True`` every already-submitted request is served
+        first (queued drains run, in-flight replies are awaited).  The
+        shared-memory pool is closed last: every segment is unlinked,
+        and segments backing still-alive client result arrays unmap
+        when those arrays are garbage collected.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if wait:
+            deadline = time.monotonic() + timeout
+            # let queued drains dispatch...
+            while time.monotonic() < deadline:
+                with self._metrics_lock:
+                    dispatching = self._dispatching
+                if not len(self._pending) and not dispatching:
+                    break
+                time.sleep(0.01)
+            # ...then wait for the workers' replies to land
+            with self._inflight_drained:
+                while (
+                    any(
+                        e.kind in ("batch", "update")
+                        for e in self._inflight.values()
+                    )
+                    and time.monotonic() < deadline
+                ):
+                    self._inflight_drained.wait(0.1)
+        else:
+            for request in self._pending.pop_all():
+                request.future.cancel()
+            with self._inflight_lock:
+                leftovers = list(self._inflight.values())
+                self._inflight.clear()
+            for entry in leftovers:
+                for request in entry.batch or ():
+                    request.future.cancel()
+                entry.event.set()
+        for gate in self._worker_gates:
+            gate.set()  # unblock any sender wedged on a dead worker
+        self._executor.shutdown(wait=wait)
+        self.supervisor.shutdown()
+        self.pool.close()
+
+    def __enter__(self) -> "DistributedService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

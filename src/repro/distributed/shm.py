@@ -1,0 +1,489 @@
+"""Zero-copy shared-memory vector transport for the distributed tier.
+
+Request and response vectors never cross the gateway/worker boundary as
+pickles: the gateway copies each payload into a
+``multiprocessing.shared_memory`` slot and ships only a tiny picklable
+:class:`ShmRef` descriptor over the control pipe; the worker maps the
+same segment and reads (or writes) a numpy view in place.  The client's
+result array is itself a view into shared memory — the only per-request
+copies are the submit-side copy into the request slot and the worker's
+write of the output, exactly the two ends of the wire.
+
+:class:`ShmVectorPool` is the **gateway-owned** allocator: one segment
+carved into fixed-size slots, recycled through a free-list, plus
+dedicated one-off segments for payloads larger than a slot (counted in
+:meth:`ShmVectorPool.stats` — a workload that overflows constantly
+should be configured with bigger slots).  Owning both request *and*
+response slots on the gateway keeps allocation single-process: workers
+never allocate, they only map segments named in the message.
+
+Hygiene contract (pinned by ``tests/distributed/test_hygiene.py``):
+every segment the pool ever created is **unlinked** by
+:meth:`ShmVectorPool.close` — immediately removing its ``/dev/shm``
+entry even while live views keep the mapping alive — and **closed** as
+soon as the last outstanding view is dropped.  The deferral is driven
+entirely by the pool's own view counter: numpy arrays built over a
+segment's buffer do *not* hold a PEP-3118 export open, so nothing stops
+an unmap at the OS level — released segments with outstanding views are
+therefore kept strongly referenced by the pool until their count drains
+(otherwise ``SharedMemory.__del__`` would unmap under a live result
+array).  Attachers (workers) unregister from the
+``resource_tracker`` on attach: only the creating process may unlink,
+and a tracker that believes it owns an already-unlinked segment prints
+the leak warnings the hygiene test greps for.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SegmentCache",
+    "ShmRef",
+    "ShmVectorPool",
+    "attach_segment",
+]
+
+#: Every segment the tier creates carries this name prefix, so the
+#: hygiene test (and an operator inspecting ``/dev/shm``) can attribute
+#: segments to this package.
+SEGMENT_PREFIX = "repro_shm_"
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Picklable descriptor of one vector payload in shared memory.
+
+    ``slot`` is the pool slot index for pooled payloads and ``None`` for
+    payloads in a dedicated (oversize) segment — dedicated segments are
+    single-use and torn down when their payload is released.
+    """
+
+    segment: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str
+    slot: Optional[int] = None
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+#: Decided on the first attach: does this process share its resource
+#: tracker with the segment creator (fork-started worker), or own a
+#: private one (spawned/exec'd process)?
+_TRACKER_SHARED: Optional[bool] = None
+
+
+def _tracker_is_shared() -> bool:
+    """Whether this process inherited the creator's resource tracker.
+
+    A fork-started worker inherits the gateway's already-running
+    tracker: its registry is shared, registrations deduplicate in a
+    set, and the creator's eventual ``unlink()`` performs the single
+    unregister — an attach-side unregister would strip the creator's
+    entry (and make the unlink's unregister fail noisily).  A spawned
+    or exec'd attacher starts its *own* tracker, which would try to
+    destroy the "leaked" segment at exit unless the attach is
+    unregistered.  Decided once, before the first attach can lazily
+    start a private tracker and confuse the probe.
+    """
+    global _TRACKER_SHARED
+    if _TRACKER_SHARED is None:
+        import multiprocessing
+
+        fd = getattr(resource_tracker._resource_tracker, "_fd", None)
+        # The creator's own process trivially "shares" its tracker (its
+        # single registration covers attach and create alike); a child
+        # shares it only when fork handed down a running tracker's fd.
+        # Only a child with a private tracker must unregister.
+        _TRACKER_SHARED = (
+            multiprocessing.parent_process() is None or fd is not None
+        )
+    return _TRACKER_SHARED
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment by name, without taking tracker ownership.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the mapping
+    with the ``resource_tracker`` even though the attacher does not own
+    the segment.  3.13+ has ``track=False`` for exactly this; older
+    interpreters need an explicit unregister — but only in processes
+    with a *private* tracker (see :func:`_tracker_is_shared`).
+    """
+    shared = _tracker_is_shared()
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        shm = shared_memory.SharedMemory(name=name)
+        if not shared:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass  # tracker bookkeeping must never fail the data path
+        return shm
+
+
+class _Segment:
+    """One owned segment plus its outstanding-view accounting."""
+
+    __slots__ = ("shm", "views", "unlinked", "closed")
+
+    def __init__(self, shm: shared_memory.SharedMemory) -> None:
+        self.shm = shm
+        self.views = 0
+        self.unlinked = False
+        self.closed = False
+
+
+class ShmVectorPool:
+    """Gateway-side allocator of shared-memory vector slots.
+
+    Parameters
+    ----------
+    slot_bytes:
+        Payload capacity of one pooled slot.  Size it for the common
+        request/response vector (``nrows * 8`` for float64); larger
+        payloads transparently fall back to dedicated segments.
+    slots:
+        Number of pooled slots.  Size it for the expected number of
+        simultaneously in-flight payloads (requests not yet served plus
+        responses not yet dropped by clients); exhaustion also falls
+        back to dedicated segments, so it degrades, never deadlocks.
+    """
+
+    def __init__(self, *, slot_bytes: int = 1 << 20, slots: int = 64) -> None:
+        if slot_bytes < 8:
+            raise ValidationError(
+                f"slot_bytes must be >= 8, got {slot_bytes}"
+            )
+        if slots < 1:
+            raise ValidationError(f"slots must be >= 1, got {slots}")
+        self.slot_bytes = int(slot_bytes)
+        self.slots = int(slots)
+        # Fork copies this object — and any view finalizers — into
+        # worker processes; only the creating process may mutate the
+        # pool or unlink segments (see the guards below).
+        self._owner_pid = os.getpid()
+        name = f"{SEGMENT_PREFIX}{os.getpid():x}_{uuid.uuid4().hex[:12]}"
+        self._lock = threading.Lock()
+        self._pool = _Segment(
+            shared_memory.SharedMemory(
+                create=True, size=self.slot_bytes * self.slots, name=name
+            )
+        )
+        self._free: List[int] = list(range(self.slots - 1, -1, -1))
+        self._dedicated: Dict[str, _Segment] = {}
+        # Released dedicated segments whose mapping must outlive the
+        # release because views are still outstanding.  Dropping the
+        # last reference to a _Segment runs SharedMemory.__del__ →
+        # close(), and that munmap succeeds even with live numpy views
+        # (ndarrays don't hold a PEP-3118 export open on the
+        # memoryview), so an unreferenced segment would yank the memory
+        # out from under client-held result arrays.
+        self._lingering: Dict[str, _Segment] = {}
+        self._closed = False
+        # counters (exposed via stats())
+        self._placements = 0
+        self._overflows = 0
+        self._dedicated_created = 0
+
+    @property
+    def name(self) -> str:
+        """Name of the pooled segment (workers map it once and cache it)."""
+        return self._pool.shm.name
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def place(self, array: np.ndarray) -> ShmRef:
+        """Copy *array* into shared memory; returns its :class:`ShmRef`."""
+        array = np.ascontiguousarray(array)
+        ref = self.reserve(array.shape, array.dtype)
+        view, segment = self._map(ref)
+        view[...] = array
+        del view
+        self._drop_view(segment)
+        return ref
+
+    def reserve(self, shape: Tuple[int, ...], dtype) -> ShmRef:
+        """Allocate an uninitialised payload (the response-slot path).
+
+        The gateway reserves the response block before dispatching a
+        batch; the worker writes straight into it, so the result never
+        exists anywhere *but* shared memory.
+        """
+        if self._closed:
+            raise ValidationError("shared-memory pool is closed")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        with self._lock:
+            self._placements += 1
+            if nbytes <= self.slot_bytes and self._free:
+                slot = self._free.pop()
+                return ShmRef(
+                    segment=self._pool.shm.name,
+                    offset=slot * self.slot_bytes,
+                    shape=tuple(int(d) for d in shape),
+                    dtype=dtype.str,
+                    slot=slot,
+                )
+            # oversize payload or pool exhausted: dedicated segment
+            self._overflows += 1
+            self._dedicated_created += 1
+            name = (
+                f"{SEGMENT_PREFIX}{os.getpid():x}_{uuid.uuid4().hex[:12]}"
+            )
+            segment = _Segment(
+                shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 1), name=name
+                )
+            )
+            self._dedicated[name] = segment
+            return ShmRef(
+                segment=name,
+                offset=0,
+                shape=tuple(int(d) for d in shape),
+                dtype=dtype.str,
+                slot=None,
+            )
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def _segment_of(self, ref: ShmRef) -> _Segment:
+        if ref.slot is not None:
+            return self._pool
+        with self._lock:
+            segment = self._dedicated.get(ref.segment)
+        if segment is None:
+            raise ValidationError(
+                f"unknown shared-memory segment {ref.segment!r}"
+            )
+        return segment
+
+    def _map(self, ref: ShmRef) -> Tuple[np.ndarray, _Segment]:
+        segment = self._segment_of(ref)
+        with self._lock:
+            segment.views += 1
+        view = np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=segment.shm.buf,
+            offset=ref.offset,
+        )
+        return view, segment
+
+    def view(self, ref: ShmRef, *, release_with_view: bool = False):
+        """A numpy view of *ref*'s payload in this (owning) process.
+
+        With ``release_with_view=True`` the payload is recycled when the
+        returned array (and every slice sharing its base) is garbage
+        collected — this is how client-held response arrays return their
+        slot to the free-list with no explicit release call.
+        """
+        import weakref
+
+        view, segment = self._map(ref)
+        if release_with_view:
+            weakref.finalize(view, self.release, ref, _mapped=True)
+        else:
+            weakref.finalize(view, self._drop_view_safe, segment)
+        return view
+
+    def _drop_view(self, segment: _Segment) -> None:
+        if os.getpid() != self._owner_pid:
+            return  # forked copy: the gateway's accounting is not ours
+        with self._lock:
+            segment.views -= 1
+            close_now = (
+                segment.views == 0 and segment.unlinked and not segment.closed
+            )
+            if close_now:
+                segment.closed = True
+        if close_now:
+            self._close_segment(segment)
+
+    def _close_segment(self, segment: _Segment) -> None:
+        try:
+            segment.shm.close()
+        except BufferError:  # a straggler view raced us; its
+            segment.closed = False  # finalizer retries the close
+            return
+        except Exception:
+            pass
+        with self._lock:
+            self._lingering.pop(segment.shm.name, None)
+
+    def _drop_view_safe(self, segment: _Segment) -> None:
+        try:
+            self._drop_view(segment)
+        except Exception:
+            pass  # finalizers must never raise
+
+    # ------------------------------------------------------------------
+    # recycling
+    # ------------------------------------------------------------------
+    def release(self, ref: ShmRef, *, _mapped: bool = False) -> None:
+        """Return *ref*'s payload: slot to the free-list, dedicated
+        segment unlinked.  Idempotent — the worker-death retry path can
+        release a response ref it already released."""
+        if os.getpid() != self._owner_pid:
+            # A forked worker inherited this pool object (and, worse,
+            # the weakref finalizers of any view alive at fork time,
+            # which run at the child's exit).  Unlinking or recycling
+            # from the child would tear down segments the gateway still
+            # owns and double-unregister them with the shared resource
+            # tracker.
+            return
+        if ref.slot is not None:
+            with self._lock:
+                if not self._closed and ref.slot not in self._free:
+                    self._free.append(ref.slot)
+            if _mapped:
+                self._drop_view_safe(self._pool)
+            return
+        with self._lock:
+            segment = self._dedicated.pop(ref.segment, None)
+            if segment is not None:
+                # Park before dropping the lock: a concurrent second
+                # release (explicit release racing the view finalizer)
+                # must find the segment in one of the two maps or its
+                # view-drop is lost and the mapping leaks.
+                self._lingering[ref.segment] = segment
+            else:
+                segment = self._lingering.get(ref.segment)
+        if segment is None:
+            return
+        self._unlink(segment)
+        if _mapped:
+            self._drop_view_safe(segment)
+        else:
+            self._maybe_close(segment)
+        with self._lock:
+            if segment.closed or segment.views <= 0:
+                self._lingering.pop(ref.segment, None)
+
+    def _unlink(self, segment: _Segment) -> None:
+        if segment.unlinked:
+            return
+        segment.unlinked = True
+        try:
+            segment.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _maybe_close(self, segment: _Segment) -> None:
+        with self._lock:
+            close_now = (
+                segment.views == 0 and segment.unlinked and not segment.closed
+            )
+            if close_now:
+                segment.closed = True
+        if close_now:
+            self._close_segment(segment)
+
+    # ------------------------------------------------------------------
+    # lifecycle / stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "slot_bytes": self.slot_bytes,
+                "slots": self.slots,
+                "slots_free": len(self._free),
+                "placements": self._placements,
+                "overflows": self._overflows,
+                "dedicated_live": len(self._dedicated),
+            }
+
+    def close(self) -> None:
+        """Unlink every segment; unmap as the last views drain.
+
+        After this call no ``/dev/shm`` entry created by the pool
+        remains (unlink removes the name immediately), and each mapping
+        is released the moment its outstanding-view count reaches zero
+        — including client-held response arrays still alive, whose
+        finalizers perform the deferred ``close()``.
+        """
+        if os.getpid() != self._owner_pid:
+            return  # forked copy must not unlink the gateway's segments
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._free.clear()
+            dedicated = list(self._dedicated.values())
+            self._dedicated.clear()
+            for segment in dedicated:
+                if segment.views > 0:
+                    self._lingering[segment.shm.name] = segment
+        for segment in dedicated:
+            self._unlink(segment)
+            self._maybe_close(segment)
+        self._unlink(self._pool)
+        self._maybe_close(self._pool)
+
+    def __enter__(self) -> "ShmVectorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SegmentCache:
+    """Worker-side map of attached segments, keyed by name.
+
+    The pooled segment is mapped once and kept for the worker's
+    lifetime; dedicated (oversize) segments are mapped on demand and
+    dropped with :meth:`forget` once their batch is served, so a
+    long-lived worker's fd table does not grow with traffic.  All
+    attachments go through :func:`attach_segment`, so none of them is
+    ever registered with (or warned about by) the resource tracker.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, ref: ShmRef) -> np.ndarray:
+        """A numpy view of *ref*'s payload in this (attached) process."""
+        shm = self._segments.get(ref.segment)
+        if shm is None:
+            shm = self._segments[ref.segment] = attach_segment(ref.segment)
+        return np.ndarray(
+            ref.shape,
+            dtype=np.dtype(ref.dtype),
+            buffer=shm.buf,
+            offset=ref.offset,
+        )
+
+    def forget(self, name: str) -> None:
+        """Unmap one dedicated segment (views must be dropped first)."""
+        shm = self._segments.pop(name, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            self._segments[name] = shm  # views still alive: keep mapped
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        for name in list(self._segments):
+            self.forget(name)

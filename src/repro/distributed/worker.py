@@ -1,0 +1,374 @@
+"""The distributed tier's worker process: one shard slice, one loop.
+
+Each worker is a single-threaded interpreter that owns a disjoint slice
+of the fingerprint space: the gateway routes every request for a given
+matrix to the same worker, so the worker's private
+:class:`~repro.service.cache.ShardedEngineCache` slice holds the only
+live engine for each of its matrices and no cross-process cache
+coherence is ever needed.
+
+Bitwise-identity contract: the worker mirrors
+:meth:`~repro.service.service.TuningService._serve` exactly — a batch
+of plain single-vector requests is served as one stacked
+``engine.execute`` call and fanned out through
+:func:`~repro.service.coalesce.split_stacked`; anything else is served
+solo.  The batched CSR kernel accumulates each output element in the
+same order as the single-vector kernel, so distributed results are
+bitwise-identical to single-process serve (and to serial dispatch) by
+construction, not by tolerance.
+
+Protocol (all control messages are small picklable tuples; vectors ride
+shared memory, see :mod:`repro.distributed.shm`):
+
+====================================  ================================
+gateway -> worker                     worker -> gateway
+====================================  ================================
+``("matrix", fp, matrix, deltas)``    —  (state transfer; the delta
+                                      list replays acked mutations on
+                                      respawn)
+``("batch", id, fp, spec)``           ``("done", id, fp, metas, obs)``
+``("update", id, fp, delta)``         ``("update_done", id, fp, meta)``
+``("promote", id, tuner, info)``      ``("promoted", id)``
+``("stats", id)``                     ``("stats_reply", id, snapshot)``
+``("shutdown",)``                     —
+—                                     ``("ready", index, backends)``
+—                                     ``("heartbeat", n, snapshot)``
+—                                     ``("error", id, kind, text)``
+====================================  ================================
+
+A batch ``spec`` dict carries only shared-memory references and scalar
+metadata: ``x`` (operand :class:`~repro.distributed.shm.ShmRef` —
+``(ncols, k)`` for a stacked batch), ``out`` (response ref the worker
+writes into), ``reps`` (per-request repetitions), ``stacked`` (bool).
+The worker answers every message even when serving fails — an
+``("error", ...)`` reply carries the exception text so the gateway can
+fail exactly the affected futures instead of the whole worker.
+
+Heartbeats double as accounting transport: every beat carries the
+worker's current stats snapshot, so when a worker dies the gateway
+folds the *last heartbeat's* snapshot into its retired totals — at most
+one beat interval of that worker's tail accounting is lost, and no
+request accounting is (requests on a dead worker are retried and
+recounted on the respawn).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.formats.base import FORMAT_IDS
+from repro.kernels import available_backends, probe_backends
+from repro.runtime.engine import WorkloadEngine
+from repro.runtime.registry import REGISTRY
+from repro.service.cache import ShardedEngineCache
+from repro.service.coalesce import split_stacked
+from repro.distributed.shm import SegmentCache, ShmRef
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass
+class WorkerConfig:
+    """Everything one worker process needs to build its serving slice.
+
+    With the ``fork`` start method the config (tuner and execution-space
+    objects included) is inherited by copy-on-write; nothing here needs
+    to be picklable unless the platform forces ``spawn``.
+    """
+
+    index: int
+    space: object
+    tuner: object = None
+    model_info: Dict[str, object] = field(default_factory=dict)
+    capacity: int = 16
+    shards: int = 4
+    accelerate: bool = True
+    kernel_backend: Optional[str] = None
+    shadow_every: int = 0
+    redecision: object = None
+    heartbeat_interval: float = 0.25
+    #: kernel triples to compile at boot, before "ready" is sent — a
+    #: respawned worker pays JIT warm-up here, not inside a request
+    warm_ops: tuple = ("spmv",)
+
+
+class _WorkerState:
+    """Mutable serving state of one worker incarnation."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.deployed = (config.tuner, dict(config.model_info))
+        self.engines = ShardedEngineCache(
+            self._make_engine,
+            capacity=max(1, config.capacity),
+            shards=max(1, config.shards),
+            on_evict=self._retire_engine,
+        )
+        self.segments = SegmentCache()
+        self.matrices: Dict[str, object] = {}
+        self.shadow_counts: Dict[str, int] = {}
+        self.shadow_probes = 0
+        self.requests_served = 0
+        self.updates_served = 0
+        self.batches = 0
+        from repro.service.accounting import empty_engine_totals
+
+        self.retired = empty_engine_totals()
+
+    def _make_engine(self) -> WorkloadEngine:
+        tuner, info = self.deployed
+        config = self.config
+        engine = WorkloadEngine(
+            config.space,
+            tuner=tuner,
+            accelerate=config.accelerate,
+            redecision=config.redecision,
+            kernel_backend=config.kernel_backend,
+        )
+        engine.model_version = str(info.get("version", "-"))
+        return engine
+
+    def _retire_engine(self, key: str, engine: WorkloadEngine) -> None:
+        from repro.service.accounting import fold_engine_stats
+
+        self.shadow_counts.pop(key, None)
+        fold_engine_stats(self.retired, engine.stats())
+
+    # ------------------------------------------------------------------
+    # serving (mirrors TuningService._serve / _serve_update)
+    # ------------------------------------------------------------------
+    def serve_batch(self, fp: str, spec: Dict[str, object]):
+        """Serve one batch spec; returns ``(metas, observations)``.
+
+        Outputs are written straight into the response ref — the reply
+        message carries accounting metadata only.
+        """
+        matrix = self.matrices[fp]
+        x_ref: ShmRef = spec["x"]
+        out_ref: ShmRef = spec["out"]
+        reps: List[int] = list(spec["reps"])
+        stacked: bool = bool(spec["stacked"])
+        X = self.segments.view(x_ref)
+        out = self.segments.view(out_ref)
+        collect = bool(spec.get("telemetry", True))
+        with self.engines.lease(fp) as engine:
+            model_version = engine.model_version
+            epoch = engine.epoch_of(fp)
+            if stacked:
+                n = X.shape[1]
+                block = engine.execute(matrix, X, key=fp)
+                out[...] = block.y
+                results = split_stacked(block, n)
+            else:
+                n = 1
+                result = engine.execute(
+                    matrix, X, key=fp, repetitions=reps[0]
+                )
+                out[...] = result.y
+                results = [result]
+            features = shadow = None
+            if collect:
+                features = engine.features_for(matrix, key=fp)
+            if self.config.shadow_every > 0:
+                count = self.shadow_counts.get(fp, 0)
+                self.shadow_counts[fp] = count + 1
+                if count % self.config.shadow_every == 0:
+                    shadow = engine.profile_formats(matrix, key=fp)
+                    self.shadow_probes += 1
+        del X, out  # release the shm views before forgetting segments
+        for ref in (x_ref, out_ref):
+            if ref.slot is None:
+                self.segments.forget(ref.segment)
+        self.requests_served += n
+        self.batches += 1
+        metas = [
+            {
+                "seconds": r.seconds,
+                "overhead_seconds": r.overhead_seconds,
+                "format": r.format,
+                "fingerprint": r.fingerprint,
+                "from_cache": r.from_cache,
+                "model_version": model_version,
+                "epoch": epoch,
+                "backend": r.backend,
+            }
+            for r in results
+        ]
+        observations = (
+            [
+                {
+                    "fingerprint": fp,
+                    "format": r.format,
+                    "backend": r.backend,
+                    "seconds": r.seconds,
+                    "batch_size": n,
+                    "model_version": model_version,
+                    "epoch": epoch,
+                    "features": features,
+                    "shadow_times": shadow if i == 0 else None,
+                }
+                for i, r in enumerate(results)
+            ]
+            if collect
+            else []
+        )
+        return metas, observations
+
+    def serve_update(self, fp: str, delta) -> Dict[str, object]:
+        """Apply one mutation under the shard lock; returns its meta."""
+        matrix = self.matrices[fp]
+        with self.engines.lease(fp) as engine:
+            upd = engine.update(fp, delta, matrix=matrix)
+        self.requests_served += 1
+        self.updates_served += 1
+        self.batches += 1
+        return {
+            "epoch": upd.epoch,
+            "carried_forward": upd.carried_forward,
+            "retuned": upd.retuned,
+            "format": upd.format,
+            "drift": upd.drift,
+            "nnz": upd.nnz,
+        }
+
+    def install_matrix(self, fp: str, matrix, deltas) -> None:
+        """Adopt one matrix, replaying its acked mutation log in order.
+
+        On a fresh worker the log is empty; on a respawn it rebuilds the
+        exact epoch the dead worker had acknowledged — each delta is a
+        deterministic transformation, so the rebuilt matrix state and
+        its epoch stamps reproduce bitwise.
+        """
+        self.matrices[fp] = matrix
+        for delta in deltas:
+            with self.engines.lease(fp) as engine:
+                engine.update(fp, delta, matrix=matrix)
+
+    def promote(self, tuner, info: Dict[str, object]) -> None:
+        """Adopt a promoted model for current and future engines."""
+        self.deployed = (tuner, dict(info))
+        version = str(info.get("version", "-"))
+        self.engines.apply(
+            lambda _key, engine: engine.set_tuner(tuner, version=version)
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Accounting snapshot shipped with heartbeats and stats replies."""
+        from repro.service.accounting import (
+            empty_engine_totals,
+            fold_engine_stats,
+        )
+
+        engines_total = empty_engine_totals()
+        fold_engine_stats(engines_total, self.retired)
+        profiled = set()
+        for engine in self.engines.values():
+            fold_engine_stats(engines_total, engine.stats())
+            profiled.update(engine.profile_snapshot())
+        return {
+            "profiled_matrices": len(profiled),
+            "index": self.config.index,
+            "requests_served": self.requests_served,
+            "updates_served": self.updates_served,
+            "batches": self.batches,
+            "shadow_probes": self.shadow_probes,
+            "matrices": len(self.matrices),
+            "engines": engines_total,
+            "engine_cache": self.engines.stats(),
+        }
+
+
+def _boot_warmup(config: WorkerConfig) -> Dict[str, float]:
+    """Per-process backend probe + kernel warm-up; returns warm seconds.
+
+    Compiled backends (numba JIT, native loads) are per-process state:
+    a forked or respawned worker starts cold, so the full
+    format x backend surface of each configured operation is compiled
+    here, before the worker reports ready, keeping JIT pauses out of
+    served requests.
+    """
+    probe_backends()
+    warm: Dict[str, float] = {}
+    for backend in available_backends():
+        for op in config.warm_ops:
+            for fmt in FORMAT_IDS:
+                seconds = REGISTRY.warmup(op, fmt, backend)
+                if seconds:
+                    warm[f"{op}/{fmt}/{backend}"] = seconds
+    return warm
+
+
+def worker_main(config: WorkerConfig, conn) -> None:
+    """Entry point of one worker process; loops until shutdown.
+
+    *conn* is the worker end of the duplex control pipe.  The loop
+    alternates between serving queued messages and heartbeating: while
+    idle it polls with ``config.heartbeat_interval`` and every timeout
+    emits a heartbeat carrying the current accounting snapshot.
+    """
+    state = _WorkerState(config)
+    warm = _boot_warmup(config)
+    beat = 0
+    try:
+        conn.send(
+            ("ready", config.index, {
+                "backends": list(available_backends()),
+                "warm_seconds": warm,
+            })
+        )
+        while True:
+            if not conn.poll(config.heartbeat_interval):
+                beat += 1
+                conn.send(("heartbeat", beat, state.snapshot()))
+                continue
+            message = conn.recv()
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "matrix":
+                _, fp, matrix, deltas = message
+                state.install_matrix(fp, matrix, deltas)
+            elif kind == "batch":
+                _, batch_id, fp, spec = message
+                try:
+                    metas, obs = state.serve_batch(fp, spec)
+                except Exception as exc:
+                    conn.send(
+                        ("error", batch_id, "batch",
+                         f"{exc!r}\n{traceback.format_exc()}")
+                    )
+                else:
+                    conn.send(("done", batch_id, fp, metas, obs))
+            elif kind == "update":
+                _, update_id, fp, delta = message
+                try:
+                    meta = state.serve_update(fp, delta)
+                except Exception as exc:
+                    conn.send(
+                        ("error", update_id, "update",
+                         f"{exc!r}\n{traceback.format_exc()}")
+                    )
+                else:
+                    conn.send(("update_done", update_id, fp, meta))
+            elif kind == "promote":
+                _, promote_id, tuner, info = message
+                state.promote(tuner, info)
+                conn.send(("promoted", promote_id))
+            elif kind == "stats":
+                _, req_id = message
+                conn.send(("stats_reply", req_id, state.snapshot()))
+            # unknown kinds are ignored: a newer gateway may speak a
+            # superset of this protocol
+    except (EOFError, KeyboardInterrupt, BrokenPipeError):
+        pass  # gateway went away: nothing left to serve
+    finally:
+        state.segments.close()
+        try:
+            conn.close()
+        except Exception:
+            pass

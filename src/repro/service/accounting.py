@@ -1,0 +1,84 @@
+"""Engine-accounting folding shared by the serving tiers.
+
+Both the in-process :class:`~repro.service.service.TuningService` and the
+multi-process :class:`~repro.distributed.gateway.DistributedService`
+present one ``stats()["engines"]`` block that aggregates every
+:meth:`~repro.runtime.engine.WorkloadEngine.stats` dict the tier has ever
+owned — live engines, engines evicted from a cache, and (in distributed
+mode) engines hosted by remote or since-dead worker processes.  The
+folding arithmetic lives here so the two tiers can never drift apart on
+the schema: the keys of :func:`empty_engine_totals` are the locked
+contract (``tests/distributed/test_stats_schema.py`` pins it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "ENGINE_TOTAL_KEYS",
+    "empty_engine_totals",
+    "fold_engine_stats",
+    "merge_engine_totals",
+]
+
+#: The locked key set of an aggregated ``stats()["engines"]`` block.
+ENGINE_TOTAL_KEYS = (
+    "requests_served",
+    "seconds",
+    "counters",
+    "invalidations",
+    "backends",
+    "warmups",
+)
+
+
+def empty_engine_totals() -> Dict[str, object]:
+    """A zeroed aggregation block with the locked key schema."""
+    return {
+        "requests_served": 0,
+        "seconds": {
+            "tuning": 0.0,
+            "conversion": 0.0,
+            "spmv": 0.0,
+            "warmup": 0.0,
+        },
+        "counters": {},
+        "invalidations": {},
+        "backends": {},
+        "warmups": 0,
+    }
+
+
+def fold_engine_stats(totals: Dict[str, object], stats: Dict[str, object]) -> None:
+    """Fold one :meth:`WorkloadEngine.stats` dict into *totals* in place."""
+    totals["requests_served"] += stats["requests_served"]
+    seconds = totals["seconds"]
+    for name, value in stats["seconds"].items():
+        seconds[name] = seconds.get(name, 0.0) + value
+    counters = totals["counters"]
+    for name, value in stats["counters"].items():
+        counters[name] = counters.get(name, 0) + value
+    invalidations = totals["invalidations"]
+    for name, value in stats["invalidations"].items():
+        invalidations[name] = invalidations.get(name, 0) + value
+    backends = totals["backends"]
+    for kb, entry in stats["backends"].items():
+        slot = backends.setdefault(kb, {"requests": 0, "seconds": 0.0})
+        slot["requests"] += entry["requests"]
+        slot["seconds"] += entry["seconds"]
+    totals["warmups"] += stats["warmups"]
+
+
+def merge_engine_totals(
+    totals: Dict[str, object], other: Dict[str, object]
+) -> None:
+    """Fold one aggregation block into another in place.
+
+    *other* must carry the :data:`ENGINE_TOTAL_KEYS` schema — this is how
+    the distributed gateway folds each worker's already-aggregated block
+    (and the last snapshot of a dead worker) into the fleet total.
+    """
+    # an aggregated block is shaped exactly like one engine's stats dict
+    # for every key the fold touches
+    fold_engine_stats(totals, other)

@@ -1,0 +1,219 @@
+"""Per-fingerprint request coalescing, shared by the serving tiers.
+
+The coalescing discipline of the in-process
+:class:`~repro.service.service.TuningService` — pile concurrent requests
+for the same matrix into a per-fingerprint queue, drain up to
+``max_batch`` of them as one batched kernel call, treat mutation
+requests as barriers that are never coalesced and never reordered — is
+exactly what the multi-process gateway
+(:class:`~repro.distributed.gateway.DistributedService`) needs at the
+process boundary too.  This module holds that machinery once:
+
+* :class:`PendingRequest` — one validated, submitted request (compute or
+  mutation) awaiting a drain;
+* :class:`FingerprintQueues` — the lock-protected map of per-fingerprint
+  queues with the scheduled-flag discipline (at most one drain loop in
+  flight per fingerprint) and barrier-aware batch extraction;
+* :func:`split_stacked` — fan a batched ``(nrows, k)`` engine result out
+  into per-request results with fair-share accounting (the service's
+  stacked fast path and the worker process use the same arithmetic, so
+  the two tiers can never diverge on what a coalesced request reports).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FingerprintQueues", "PendingRequest", "split_stacked"]
+
+
+class PendingRequest:
+    """One validated, submitted request awaiting a drain.
+
+    ``kind`` is ``"spmv"`` for compute requests and ``"update"`` for
+    mutation requests (which carry a ``delta`` instead of an operand and
+    act as a barrier in the fingerprint's queue: never coalesced, never
+    reordered against surrounding SpMVs).
+    """
+
+    __slots__ = (
+        "matrix",
+        "operand",
+        "repetitions",
+        "future",
+        "enqueued_at",
+        "kind",
+        "delta",
+    )
+
+    def __init__(
+        self,
+        matrix,
+        operand: Optional[np.ndarray],
+        repetitions: int,
+        future: "Future",
+        *,
+        kind: str = "spmv",
+        delta=None,
+    ) -> None:
+        self.matrix = matrix
+        self.operand = operand
+        self.repetitions = repetitions
+        self.future = future
+        self.kind = kind
+        self.delta = delta
+        self.enqueued_at = time.perf_counter()
+
+    @property
+    def stackable(self) -> bool:
+        """Whether this request can share a stacked single-kernel batch."""
+        return (
+            self.kind == "spmv"
+            and self.repetitions == 1
+            and self.operand is not None
+            and self.operand.ndim == 1
+        )
+
+
+class _Queue:
+    """Pending requests for one fingerprint plus its drain-scheduled flag."""
+
+    __slots__ = ("items", "scheduled")
+
+    def __init__(self) -> None:
+        self.items: List[PendingRequest] = []
+        self.scheduled = False
+
+
+class FingerprintQueues:
+    """Map of per-fingerprint request queues with drain scheduling.
+
+    The discipline both serving tiers rely on:
+
+    * :meth:`push` appends a request and reports whether the caller must
+      schedule a drain (at most one drain is in flight per fingerprint —
+      the ``scheduled`` flag stays set until :meth:`finish` observes an
+      empty queue);
+    * :meth:`take_batch` extracts the next batch under barrier rules: a
+      leading mutation request is returned alone, otherwise up to
+      ``max_batch`` compute requests up to (never across) the next
+      mutation.  With ``stackable_only=True`` a batch additionally never
+      mixes plain single-vector requests with block or repeated
+      requests — the distributed tier ships a batch as one contiguous
+      shared-memory block, so every member must be one column of it;
+    * :meth:`finish` re-checks the queue after a drain: ``True`` means
+      more requests arrived and the caller must keep the drain alive.
+    """
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, _Queue] = {}
+        self._lock = threading.Lock()
+
+    def push(self, fp: str, request: PendingRequest) -> bool:
+        """Append *request* under *fp*; ``True`` = caller schedules a drain."""
+        with self._lock:
+            queue = self._queues.get(fp)
+            if queue is None:
+                queue = self._queues[fp] = _Queue()
+            queue.items.append(request)
+            if queue.scheduled:
+                return False
+            queue.scheduled = True
+            return True
+
+    def take_batch(
+        self, fp: str, max_batch: int, *, stackable_only: bool = False
+    ) -> List[PendingRequest]:
+        """Extract the next barrier-respecting batch for *fp* (may be [])."""
+        with self._lock:
+            queue = self._queues.get(fp)
+            if queue is None or not queue.items:
+                return []
+            items = queue.items
+            if items[0].kind == "update":
+                # a mutation is a barrier: applied alone, in queue order
+                return [items.pop(0)]
+            if stackable_only and not items[0].stackable:
+                # block / repeated requests ship alone: their operand is
+                # its own shared-memory payload, not a stacked column
+                return [items.pop(0)]
+            end = 0
+            limit = min(len(items), int(max_batch))
+            while end < limit and items[end].kind == "spmv":
+                if stackable_only and not items[end].stackable:
+                    break
+                end += 1
+            batch = items[:end]
+            del items[:end]
+            return batch
+
+    def finish(self, fp: str) -> bool:
+        """Post-drain check: ``True`` when requests remain queued for *fp*.
+
+        When the queue is empty its entry is dropped and the scheduled
+        flag cleared, so the next :meth:`push` schedules a fresh drain.
+        """
+        with self._lock:
+            queue = self._queues.get(fp)
+            if queue is None:
+                return False
+            if queue.items:
+                return True  # stayed scheduled: more arrived
+            queue.scheduled = False
+            del self._queues[fp]
+            return False
+
+    def keys(self) -> List[str]:
+        """Snapshot of fingerprints with queued requests."""
+        with self._lock:
+            return list(self._queues)
+
+    def pop_all(self) -> List[PendingRequest]:
+        """Remove and return every queued request (shutdown without wait)."""
+        with self._lock:
+            leftovers = [
+                request
+                for queue in self._queues.values()
+                for request in queue.items
+            ]
+            self._queues.clear()
+            return leftovers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(q.items) for q in self._queues.values())
+
+
+def split_stacked(block, n: int) -> List:
+    """Per-request results for a batched ``(nrows, k)`` engine result.
+
+    Each request's modelled ``seconds`` is its fair share of the single
+    batched kernel call, so summed request costs match the engine's
+    accounting; the tuning/conversion overhead is attributed to the
+    batch's first request, and every member after the first reports
+    ``from_cache`` (its artefacts were resolved by the first).  Both the
+    in-process stacked fast path and the distributed worker fan batches
+    out through this helper, which is what keeps a coalesced request's
+    accounting bitwise-stable across tiers.
+    """
+    from repro.runtime.engine import EngineResult
+
+    share = block.seconds / n
+    return [
+        EngineResult(
+            y=block.y[:, j],
+            seconds=share,
+            overhead_seconds=block.overhead_seconds if j == 0 else 0.0,
+            format=block.format,
+            fingerprint=block.fingerprint,
+            from_cache=block.from_cache or j > 0,
+            epoch=block.epoch,
+            backend=block.backend,
+        )
+        for j in range(n)
+    ]

@@ -194,6 +194,7 @@ def service_for_suite(
     fingerprint: Optional[str] = None,
     algorithm: Optional[str] = None,
     target: int = 0,
+    service_cls: Optional[type] = None,
     **kwargs,
 ) -> TuningService:
     """A service serving predictions from a stored suite's exported model.
@@ -201,7 +202,10 @@ def service_for_suite(
     The suite's spec names its targets and algorithms; the service binds
     target *target* (default: the first) and loads that cell's exported
     model from ``<store>/models/<spec fingerprint>/`` through the model
-    database.  ``kwargs`` pass through to :class:`TuningService`.
+    database.  ``kwargs`` pass through to the service constructor.
+    *service_cls* selects the serving tier — :class:`TuningService`
+    (default) or :class:`repro.distributed.DistributedService`; both
+    expose the same ``from_model_database`` entry point.
     """
     import os
 
@@ -215,7 +219,8 @@ def service_for_suite(
             f"no index {target}"
         )
     t = spec.targets[target]
-    return TuningService.from_model_database(
+    cls = service_cls or TuningService
+    return cls.from_model_database(
         os.path.join(store.root, "models", spec.fingerprint),
         t.system,
         t.backend,

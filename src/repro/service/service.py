@@ -67,7 +67,14 @@ from repro.runtime.engine import (
     request_key,
     validate_operand,
 )
+from repro.service.accounting import empty_engine_totals, fold_engine_stats
 from repro.service.cache import ShardedEngineCache
+from repro.service.coalesce import (
+    FingerprintQueues,
+    PendingRequest,
+    split_stacked,
+)
+from repro.utils.concurrency import default_thread_workers
 
 __all__ = ["ServiceResult", "Session", "TuningService", "UpdateResult"]
 
@@ -126,54 +133,6 @@ class UpdateResult:
     latency_seconds: float
 
 
-class _FingerprintQueue:
-    """Pending requests for one fingerprint plus its drain-scheduled flag."""
-
-    __slots__ = ("items", "scheduled")
-
-    def __init__(self) -> None:
-        self.items: List["_Request"] = []
-        self.scheduled = False
-
-
-class _Request:
-    """One validated, submitted request awaiting a drain.
-
-    ``kind`` is ``"spmv"`` for compute requests and ``"update"`` for
-    mutation requests (which carry a ``delta`` instead of an operand and
-    act as a barrier in the fingerprint's queue: never coalesced, never
-    reordered against surrounding SpMVs).
-    """
-
-    __slots__ = (
-        "matrix",
-        "operand",
-        "repetitions",
-        "future",
-        "enqueued_at",
-        "kind",
-        "delta",
-    )
-
-    def __init__(
-        self,
-        matrix: MatrixLike,
-        operand: Optional[np.ndarray],
-        repetitions: int,
-        future: "Future",
-        *,
-        kind: str = "spmv",
-        delta: Optional[MatrixDelta] = None,
-    ) -> None:
-        self.matrix = matrix
-        self.operand = operand
-        self.repetitions = repetitions
-        self.future = future
-        self.kind = kind
-        self.delta = delta
-        self.enqueued_at = time.perf_counter()
-
-
 class TuningService:
     """Concurrent SpMV/SpMM auto-tuning service over a worker pool.
 
@@ -189,6 +148,8 @@ class TuningService:
         active format.
     workers:
         Thread-pool size executing the decide -> convert -> execute chain.
+        ``None`` (default) derives the size from the host's core count
+        (see :func:`repro.utils.concurrency.default_thread_workers`).
     capacity:
         Maximum live :class:`~repro.runtime.engine.WorkloadEngine`
         instances (one per matrix fingerprint); least-recently-used
@@ -230,7 +191,7 @@ class TuningService:
         space,
         tuner=None,
         *,
-        workers: int = 4,
+        workers: Optional[int] = None,
         capacity: int = 64,
         shards: int = 8,
         max_batch: int = 32,
@@ -239,6 +200,8 @@ class TuningService:
         shadow_every: int = 0,
         redecision=None,
     ) -> None:
+        if workers is None:
+            workers = default_thread_workers()
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
         if max_batch < 1:
@@ -267,8 +230,7 @@ class TuningService:
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-service"
         )
-        self._queues: Dict[str, _FingerprintQueue] = {}
-        self._queue_lock = threading.Lock()
+        self._pending = FingerprintQueues()
         self._metrics_lock = threading.Lock()
         self._model_lock = threading.Lock()
         self._closed = False
@@ -282,20 +244,8 @@ class TuningService:
         self.latency_total = 0.0
         self.latency_max = 0.0
         #: accounting folded in from engines evicted by the cache
-        self._retired = {
-            "requests_served": 0,
-            "seconds": {
-                "tuning": 0.0,
-                "conversion": 0.0,
-                "spmv": 0.0,
-                "warmup": 0.0,
-            },
-            "counters": {},
-            "invalidations": {},
-            "backends": {},
-            "warmups": 0,
-            "profile_times": {},
-        }
+        self._retired = empty_engine_totals()
+        self._retired["profile_times"] = {}
         #: deployed-model provenance, replaced atomically by promote_model
         self.model_info: Dict[str, object] = {
             "version": "-",
@@ -506,7 +456,7 @@ class TuningService:
         operand = validate_operand(matrix, x)
         fp = key if key is not None else request_key(matrix)
         future: "Future[ServiceResult]" = Future()
-        request = _Request(matrix, operand, int(repetitions), future)
+        request = PendingRequest(matrix, operand, int(repetitions), future)
         self._enqueue(fp, request)
         return future
 
@@ -538,7 +488,7 @@ class TuningService:
         delta.check_bounds(concrete.nrows, concrete.ncols)
         fp = key if key is not None else request_key(matrix)
         future: "Future[UpdateResult]" = Future()
-        request = _Request(
+        request = PendingRequest(
             matrix, None, 1, future, kind="update", delta=delta
         )
         self._enqueue(fp, request)
@@ -554,16 +504,10 @@ class TuningService:
         """Blocking convenience wrapper around :meth:`submit_update`."""
         return self.submit_update(matrix, delta, key=key).result()
 
-    def _enqueue(self, fp: str, request: _Request) -> None:
+    def _enqueue(self, fp: str, request: PendingRequest) -> None:
         """Append one request to its fingerprint queue; schedule a drain."""
-        with self._queue_lock:
-            queue = self._queues.get(fp)
-            if queue is None:
-                queue = self._queues[fp] = _FingerprintQueue()
-            queue.items.append(request)
-            schedule = not queue.scheduled
-            if schedule:
-                queue.scheduled = True
+        schedule = self._pending.push(fp, request)
+        with self._metrics_lock:
             self.requests_submitted += 1
         if schedule:
             self._schedule(fp)
@@ -622,21 +566,7 @@ class TuningService:
         rescheduled).
         """
         observations: List[dict] = []
-        with self._queue_lock:
-            queue = self._queues.get(fp)
-            if queue is None:
-                return False, observations
-            items = queue.items
-            if items and items[0].kind == "update":
-                # a mutation is a barrier: applied alone, in queue order
-                batch = [items.pop(0)]
-            else:
-                end = 0
-                limit = min(len(items), self.max_batch)
-                while end < limit and items[end].kind == "spmv":
-                    end += 1
-                batch = items[:end]
-                del items[:end]
+        batch = self._pending.take_batch(fp, self.max_batch)
         if batch:
             try:
                 if batch[0].kind == "update":
@@ -647,15 +577,7 @@ class TuningService:
                 for request in batch:
                     if not request.future.done():
                         request.future.set_exception(exc)
-        with self._queue_lock:
-            queue = self._queues.get(fp)
-            if queue is None:
-                return False, observations
-            if queue.items:
-                return True, observations  # stayed scheduled: more arrived
-            queue.scheduled = False
-            del self._queues[fp]
-            return False, observations
+        return self._pending.finish(fp), observations
 
     def _notify(self, observations: List[dict]) -> None:
         """Hand a served batch's observations to the observer, if any.
@@ -674,7 +596,7 @@ class TuningService:
             with self._metrics_lock:
                 self._observer_errors += 1
 
-    def _serve(self, fp: str, batch: List[_Request]) -> List[dict]:
+    def _serve(self, fp: str, batch: List[PendingRequest]) -> List[dict]:
         """Run one coalesced batch through the fingerprint's engine.
 
         Returns the batch's telemetry observations (empty without an
@@ -700,9 +622,7 @@ class TuningService:
             # likewise the epoch: updates advance it under this same
             # shard lock, so the whole batch serves one matrix version
             epoch = engine.epoch_of(fp)
-            if len(batch) > 1 and all(
-                r.operand.ndim == 1 and r.repetitions == 1 for r in batch
-            ):
+            if len(batch) > 1 and all(r.stackable for r in batch):
                 results = self._serve_stacked(fp, engine, batch)
             else:
                 for request in batch:
@@ -775,7 +695,7 @@ class TuningService:
             )
         ]
 
-    def _serve_update(self, fp: str, request: _Request) -> List[dict]:
+    def _serve_update(self, fp: str, request: PendingRequest) -> List[dict]:
         """Apply one mutation request under the engine's shard lock.
 
         Returns the update's telemetry observation (``kind: "update"``,
@@ -818,36 +738,24 @@ class TuningService:
             }
         ]
 
-    def _serve_stacked(self, fp: str, engine, batch: List[_Request]):
+    def _serve_stacked(self, fp: str, engine, batch: List[PendingRequest]):
         """Fast path: one stacked block, one ``execute``, one lookup round.
 
         Returns per-request :class:`~repro.runtime.engine.EngineResult`
-        views into the block result.  Each request's modelled ``seconds``
-        is its fair share of the batched call, so summed request costs
-        match the engine's accounting of the single batched kernel; the
-        tuning/conversion overhead is attributed to the first request,
-        as in :meth:`WorkloadEngine.flush`.  Only called for batches
-        whose requests all have ``repetitions == 1`` (repeated workloads
-        go through ``flush``, which threads repetitions into the
+        views into the block result, fanned out through
+        :func:`~repro.service.coalesce.split_stacked` (shared with the
+        distributed worker so the two tiers' per-request accounting can
+        never diverge): each request's modelled ``seconds`` is its fair
+        share of the batched call and the tuning/conversion overhead is
+        attributed to the first request, as in
+        :meth:`WorkloadEngine.flush`.  Only called for batches whose
+        requests all have ``repetitions == 1`` (repeated workloads go
+        through ``flush``, which threads repetitions into the
         per-request accounting).
         """
-        from repro.runtime.engine import EngineResult
-
         X = np.stack([r.operand for r in batch], axis=1)
         block = engine.execute(batch[0].matrix, X, key=fp)
-        share = block.seconds / len(batch)
-        return [
-            EngineResult(
-                y=block.y[:, j],
-                seconds=share,
-                overhead_seconds=block.overhead_seconds if j == 0 else 0.0,
-                format=block.format,
-                fingerprint=block.fingerprint,
-                from_cache=block.from_cache or j > 0,
-                backend=block.backend,
-            )
-            for j in range(len(batch))
-        ]
+        return split_stacked(block, len(batch))
 
     # ------------------------------------------------------------------
     # accounting
@@ -870,26 +778,7 @@ class TuningService:
         cap = max(256, 4 * self.engines.capacity)
         with self._metrics_lock:
             self._shadow_counts.pop(key, None)  # re-probed on return
-            self._retired["requests_served"] += stats["requests_served"]
-            for name, value in stats["seconds"].items():
-                self._retired["seconds"][name] = (
-                    self._retired["seconds"].get(name, 0.0) + value
-                )
-            for name, value in stats["counters"].items():
-                self._retired["counters"][name] = (
-                    self._retired["counters"].get(name, 0) + value
-                )
-            for name, value in stats["invalidations"].items():
-                self._retired["invalidations"][name] = (
-                    self._retired["invalidations"].get(name, 0) + value
-                )
-            for kb, entry in stats["backends"].items():
-                slot = self._retired["backends"].setdefault(
-                    kb, {"requests": 0, "seconds": 0.0}
-                )
-                slot["requests"] += entry["requests"]
-                slot["seconds"] += entry["seconds"]
-            self._retired["warmups"] += stats["warmups"]
+            fold_engine_stats(self._retired, stats)
             retired_profiles = self._retired["profile_times"]
             for fp, times in profile.items():
                 retired_profiles.setdefault(fp, dict(times))
@@ -929,40 +818,12 @@ class TuningService:
                     "max_seconds": self.latency_max,
                 },
             }
-            engines_total = {
-                "requests_served": self._retired["requests_served"],
-                "seconds": dict(self._retired["seconds"]),
-                "counters": dict(self._retired["counters"]),
-                "invalidations": dict(self._retired["invalidations"]),
-                "backends": {
-                    kb: dict(v)
-                    for kb, v in self._retired["backends"].items()
-                },
-                "warmups": self._retired["warmups"],
-            }
+            engines_total = empty_engine_totals()
+            # extra retired-only keys (profile_times) are ignored by the fold
+            fold_engine_stats(engines_total, self._retired)
         snapshot["profiled_matrices"] = len(self.profile_times())
         for engine in self.engines.values():
-            stats = engine.stats()
-            engines_total["requests_served"] += stats["requests_served"]
-            for name, value in stats["seconds"].items():
-                engines_total["seconds"][name] = (
-                    engines_total["seconds"].get(name, 0.0) + value
-                )
-            for name, value in stats["counters"].items():
-                engines_total["counters"][name] = (
-                    engines_total["counters"].get(name, 0) + value
-                )
-            for name, value in stats["invalidations"].items():
-                engines_total["invalidations"][name] = (
-                    engines_total["invalidations"].get(name, 0) + value
-                )
-            for kb, entry in stats["backends"].items():
-                slot = engines_total["backends"].setdefault(
-                    kb, {"requests": 0, "seconds": 0.0}
-                )
-                slot["requests"] += entry["requests"]
-                slot["seconds"] += entry["seconds"]
-            engines_total["warmups"] += stats["warmups"]
+            fold_engine_stats(engines_total, engine.stats())
         snapshot["engine_cache"] = self.engines.stats()
         snapshot["engines"] = engines_total
         # per-kernel-backend request counts and modelled seconds across
@@ -1001,17 +862,10 @@ class TuningService:
         self._closed = True
         self._executor.shutdown(wait=wait)
         if wait:
-            for fp in list(self._queues):
+            for fp in self._pending.keys():
                 self._drain_inline(fp)
         else:
-            with self._queue_lock:
-                leftovers = [
-                    request
-                    for queue in self._queues.values()
-                    for request in queue.items
-                ]
-                self._queues.clear()
-            for request in leftovers:
+            for request in self._pending.pop_all():
                 request.future.cancel()
 
     def __enter__(self) -> "TuningService":

@@ -1,0 +1,58 @@
+"""Derived concurrency defaults: size pools from the host, not a constant.
+
+Both serving tiers used to hard-code their parallelism (``workers=4``),
+which under-uses large hosts and over-subscribes small containers.  The
+defaults now derive from :func:`os.cpu_count` with documented floors and
+caps:
+
+* :func:`default_thread_workers` — the :class:`~repro.service.service
+  .TuningService` thread pool.  Threads are cheap and mostly wait on the
+  engine-cache shard locks, so the default is one per core with a
+  **floor of 2** (coalescing needs at least one drain overlapping one
+  submit even on a single-core container) and a **cap of 32** (beyond
+  that the GIL, not the pool, is the limit).
+* :func:`default_process_workers` — the :mod:`repro.distributed` worker
+  processes.  Each worker is a full interpreter with its own engine
+  cache, so the default is one per core with a **floor of 1** and a
+  **cap of 8** (matching the largest scaling point the distributed
+  benchmark measures; more workers than cores only adds IPC overhead).
+
+``os.cpu_count()`` can return ``None`` in exotic environments; both
+helpers then fall back to their floor.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "THREAD_FLOOR",
+    "THREAD_CAP",
+    "PROCESS_FLOOR",
+    "PROCESS_CAP",
+    "default_thread_workers",
+    "default_process_workers",
+]
+
+#: Thread-pool floor/cap (see module docstring for the rationale).
+THREAD_FLOOR = 2
+THREAD_CAP = 32
+
+#: Worker-process floor/cap (see module docstring for the rationale).
+PROCESS_FLOOR = 1
+PROCESS_CAP = 8
+
+
+def _cpus() -> int:
+    count = os.cpu_count()
+    return int(count) if count else 0
+
+
+def default_thread_workers() -> int:
+    """Thread-pool size derived from the host: ``clamp(cpus, 2, 32)``."""
+    return max(THREAD_FLOOR, min(THREAD_CAP, _cpus() or THREAD_FLOOR))
+
+
+def default_process_workers() -> int:
+    """Worker-process count derived from the host: ``clamp(cpus, 1, 8)``."""
+    return max(PROCESS_FLOOR, min(PROCESS_CAP, _cpus() or PROCESS_FLOOR))

@@ -1,0 +1,63 @@
+"""Fixtures for the distributed serving tier tests.
+
+Gateways are built with 2 workers and a fast heartbeat so death
+detection and recovery complete quickly even on one core; every test
+gets a fresh fleet (fork makes worker boot cheap) to keep process
+state, shared memory, and supervision fully isolated between tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.distributed import DistributedService
+from repro.formats import COOMatrix
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial")
+
+
+@pytest.fixture
+def matrix_a(dense_small):
+    return COOMatrix.from_dense(dense_small)
+
+
+@pytest.fixture
+def matrix_b(dense_medium):
+    return COOMatrix.from_dense(dense_medium)
+
+
+@pytest.fixture
+def gateway(space):
+    service = DistributedService(
+        space,
+        RunFirstTuner(),
+        workers=2,
+        heartbeat_interval=0.05,
+        shm_slot_bytes=1 << 14,
+        shm_slots=32,
+    )
+    yield service
+    service.close()
+
+
+def _wait_until(predicate, *, timeout: float = 30.0, interval: float = 0.02):
+    """Poll *predicate* until truthy; fail the test on timeout."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+@pytest.fixture
+def wait_until():
+    return _wait_until

@@ -1,0 +1,209 @@
+"""DistributedService: identity, coalescing, barriers, model management.
+
+The load-bearing assertion of the whole tier: every distributed result
+is **bitwise identical** to what the single-process service (and serial
+dispatch) produces for the same request — the worker mirrors the
+service's serving arithmetic, and the batched CSR kernel accumulates in
+the same order as the single-vector kernel, so equality is exact, not
+approximate.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import RunFirstTuner
+from repro.errors import ValidationError
+from repro.formats.delta import MatrixDelta
+from repro.service import TuningService
+
+
+class TestBitwiseIdentity:
+    def test_matches_single_process_service(
+        self, gateway, space, matrix_a, matrix_b, rng
+    ):
+        with TuningService(space, RunFirstTuner(), workers=2) as single:
+            for matrix, key in ((matrix_a, "A"), (matrix_b, "B")):
+                for _ in range(4):
+                    x = rng.random(matrix.ncols)
+                    expected = single.spmv(matrix, x, key=key)
+                    got = gateway.spmv(matrix, x, key=key)
+                    assert np.array_equal(got.y, expected.y)
+                    assert got.format == expected.format
+                    assert got.epoch == expected.epoch
+
+    def test_matches_serial_dispatch_under_concurrency(
+        self, gateway, matrix_a, rng
+    ):
+        xs = [rng.random(matrix_a.ncols) for _ in range(24)]
+        expected = [matrix_a.spmv(x) for x in xs]
+        futures = [gateway.submit(matrix_a, x, key="A") for x in xs]
+        for future, want in zip(futures, expected):
+            assert np.array_equal(future.result(timeout=60).y, want)
+
+    def test_block_spmm_matches(self, gateway, matrix_b, rng):
+        X = rng.random((matrix_b.ncols, 3))
+        result = gateway.spmv(matrix_b, X, key="B")
+        expected = np.column_stack(
+            [matrix_b.spmv(X[:, j]) for j in range(X.shape[1])]
+        )
+        assert np.array_equal(result.y, expected)
+
+    def test_repeated_request_matches(self, gateway, matrix_a, rng):
+        x = rng.random(matrix_a.ncols)
+        result = gateway.spmv(matrix_a, x, key="A", repetitions=3)
+        assert np.array_equal(result.y, matrix_a.spmv(x))
+
+
+class TestRoutingAndCoalescing:
+    def test_routing_is_stable(self, gateway):
+        for fp in ("A", "B", "matrix-17", ""):
+            assert gateway.worker_of(fp) == gateway.worker_of(fp)
+            assert 0 <= gateway.worker_of(fp) < gateway.workers
+
+    def test_concurrent_same_matrix_requests_coalesce(
+        self, gateway, matrix_a, rng
+    ):
+        xs = [rng.random(matrix_a.ncols) for _ in range(32)]
+        futures = [gateway.submit(matrix_a, x, key="A") for x in xs]
+        results = [f.result(timeout=60) for f in futures]
+        for result, x in zip(results, xs):
+            assert np.array_equal(result.y, matrix_a.spmv(x))
+        stats = gateway.stats()
+        assert stats["requests_served"] == 32
+        # the queue depth guarantees at least one multi-request batch
+        assert stats["coalesced_batches"] >= 1
+        assert any(r.batch_size > 1 for r in results)
+
+    def test_multi_client_threads(self, gateway, matrix_a, matrix_b, rng):
+        errors = []
+
+        def client(matrix, key):
+            try:
+                session = gateway.session(name=key)
+                for _ in range(6):
+                    x = rng.random(matrix.ncols)
+                    result = session.spmv(matrix, x, key=key)
+                    assert np.array_equal(result.y, matrix.spmv(x))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(m, k))
+            for m, k in (
+                (matrix_a, "A"), (matrix_b, "B"), (matrix_a, "A2"),
+            )
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert gateway.stats()["requests_served"] == 18
+
+
+class TestMutationBarriers:
+    def test_update_advances_epoch_and_results(
+        self, gateway, space, matrix_a, rng
+    ):
+        delta = MatrixDelta.sets([0, 3], [1, 2], [5.0, -1.0])
+        with TuningService(space, RunFirstTuner(), workers=2) as single:
+            upd_single = single.update(matrix_a, delta, key="A")
+            upd_dist = gateway.update(matrix_a, delta, key="A")
+            assert upd_dist.epoch == upd_single.epoch == 1
+            assert upd_dist.carried_forward == upd_single.carried_forward
+            x = rng.random(matrix_a.ncols)
+            expected = single.spmv(matrix_a, x, key="A")
+            got = gateway.spmv(matrix_a, x, key="A")
+            assert np.array_equal(got.y, expected.y)
+            assert got.epoch == 1
+
+    def test_interleaved_updates_keep_barrier_order(
+        self, gateway, matrix_a, rng
+    ):
+        """SpMVs before a queued update serve the old epoch, after it the
+        new one — across the process boundary."""
+        x = rng.random(matrix_a.ncols)
+        before = gateway.submit(matrix_a, x, key="A")
+        update = gateway.submit_update(
+            matrix_a, MatrixDelta.sets([1], [1], [9.0]), key="A"
+        )
+        after = gateway.submit(matrix_a, x, key="A")
+        assert update.result(timeout=60).epoch == 1
+        assert after.result(timeout=60).epoch == 1
+        assert before.result(timeout=60).epoch in (0, 1)
+
+    def test_update_validation_fails_fast(self, gateway, matrix_a):
+        with pytest.raises(ValidationError):
+            gateway.submit_update(matrix_a, "not a delta", key="A")
+        bad = MatrixDelta.sets([10_000], [0], [1.0])
+        with pytest.raises(ValidationError):
+            gateway.submit_update(matrix_a, bad, key="A")
+
+
+class TestModelManagement:
+    def test_promote_model_restamps_results(self, gateway, matrix_a, rng):
+        x = rng.random(matrix_a.ncols)
+        gateway.spmv(matrix_a, x, key="A")
+        info = gateway.promote_model(RunFirstTuner(), version="v2")
+        assert info["version"] == "v2"
+        result = gateway.spmv(matrix_a, x, key="A")
+        assert result.model_version == "v2"
+        assert gateway.stats()["model"]["version"] == "v2"
+        assert gateway.stats()["model"]["promotions"] == 1
+
+    def test_observer_receives_worker_telemetry(
+        self, gateway, matrix_a, rng
+    ):
+        batches = []
+        gateway.set_observer(batches.append)
+        gateway.spmv(matrix_a, rng.random(matrix_a.ncols), key="A")
+        assert batches, "observer never called"
+        obs = batches[0][0]
+        assert obs["fingerprint"] == "A"
+        assert obs["features"] is not None
+        assert obs["latency_seconds"] > 0.0
+        assert obs["model_version"] == gateway.model_info["version"]
+
+    def test_update_observation_carries_drift(self, gateway, matrix_a):
+        batches = []
+        gateway.set_observer(batches.append)
+        gateway.update(
+            matrix_a, MatrixDelta.sets([0], [0], [2.0]), key="A"
+        )
+        updates = [
+            o
+            for batch in batches
+            for o in batch
+            if o.get("kind") == "update"
+        ]
+        assert updates and updates[0]["epoch"] == 1
+
+
+class TestLifecycle:
+    def test_validation_errors_raise_in_caller(self, gateway, matrix_a):
+        with pytest.raises(ValidationError):
+            gateway.submit(matrix_a, np.ones(matrix_a.ncols + 1), key="A")
+
+    def test_closed_gateway_rejects_requests(self, space, matrix_a):
+        from repro.distributed import DistributedService
+
+        service = DistributedService(space, workers=2)
+        service.close()
+        with pytest.raises(ValidationError):
+            service.submit(matrix_a, np.ones(matrix_a.ncols))
+
+    def test_close_waits_for_inflight(self, space, matrix_a, rng):
+        from repro.distributed import DistributedService
+
+        service = DistributedService(space, workers=2)
+        xs = [rng.random(matrix_a.ncols) for _ in range(8)]
+        futures = [service.submit(matrix_a, x, key="A") for x in xs]
+        service.close(wait=True)
+        for future, x in zip(futures, xs):
+            assert np.array_equal(
+                future.result(timeout=1).y, matrix_a.spmv(x)
+            )

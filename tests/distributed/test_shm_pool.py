@@ -1,0 +1,236 @@
+"""ShmVectorPool: placement, views, recycling, overflow, hygiene."""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed.shm import (
+    SEGMENT_PREFIX,
+    SegmentCache,
+    ShmRef,
+    ShmVectorPool,
+)
+from repro.errors import ValidationError
+
+
+def shm_entries() -> set:
+    return {
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith(SEGMENT_PREFIX)
+    }
+
+
+class TestPlacement:
+    def test_round_trip_through_pool(self):
+        with ShmVectorPool(slot_bytes=256, slots=4) as pool:
+            payload = np.arange(16, dtype=np.float64)
+            ref = pool.place(payload)
+            assert ref.slot is not None
+            assert np.array_equal(pool.view(ref), payload)
+
+    def test_ref_is_plain_metadata(self):
+        import pickle
+
+        with ShmVectorPool(slot_bytes=256, slots=4) as pool:
+            ref = pool.place(np.ones(4))
+            clone = pickle.loads(pickle.dumps(ref))
+            assert clone == ref
+            assert clone.nbytes == 4 * 8
+
+    def test_two_payloads_use_distinct_slots(self):
+        with ShmVectorPool(slot_bytes=256, slots=4) as pool:
+            a = pool.place(np.full(8, 1.0))
+            b = pool.place(np.full(8, 2.0))
+            assert a.slot != b.slot
+            assert np.array_equal(pool.view(a), np.full(8, 1.0))
+            assert np.array_equal(pool.view(b), np.full(8, 2.0))
+
+    def test_reserve_then_remote_write(self):
+        """The response path: gateway reserves, an attacher writes."""
+        with ShmVectorPool(slot_bytes=256, slots=4) as pool:
+            ref = pool.reserve((8,), np.float64)
+            cache = SegmentCache()
+            view = cache.view(ref)
+            view[:] = np.arange(8, dtype=np.float64)
+            del view
+            assert np.array_equal(
+                pool.view(ref), np.arange(8, dtype=np.float64)
+            )
+            cache.close()
+
+    def test_non_contiguous_payload_is_copied_correctly(self):
+        with ShmVectorPool(slot_bytes=4096, slots=4) as pool:
+            base = np.arange(64, dtype=np.float64).reshape(8, 8)
+            ref = pool.place(base.T)  # Fortran-ordered view
+            assert np.array_equal(pool.view(ref), base.T)
+
+
+class TestOverflow:
+    def test_oversize_payload_gets_dedicated_segment(self):
+        with ShmVectorPool(slot_bytes=64, slots=2) as pool:
+            big = np.arange(100, dtype=np.float64)
+            ref = pool.place(big)
+            assert ref.slot is None
+            assert ref.segment != pool.name
+            assert np.array_equal(pool.view(ref), big)
+            assert pool.stats()["overflows"] == 1
+
+    def test_exhausted_pool_falls_back_to_dedicated(self):
+        with ShmVectorPool(slot_bytes=256, slots=1) as pool:
+            first = pool.place(np.ones(4))
+            second = pool.place(np.ones(4))
+            assert first.slot is not None
+            assert second.slot is None  # degraded, not deadlocked
+
+    def test_release_recycles_slot(self):
+        with ShmVectorPool(slot_bytes=256, slots=1) as pool:
+            first = pool.place(np.ones(4))
+            pool.release(first)
+            second = pool.place(np.ones(4))
+            assert second.slot == first.slot
+
+    def test_release_is_idempotent(self):
+        with ShmVectorPool(slot_bytes=256, slots=2) as pool:
+            ref = pool.place(np.ones(4))
+            pool.release(ref)
+            pool.release(ref)  # the death-retry path releases twice
+            assert pool.stats()["slots_free"] == 2
+
+    def test_dedicated_release_removes_dev_shm_entry(self):
+        before = shm_entries()
+        with ShmVectorPool(slot_bytes=64, slots=1) as pool:
+            ref = pool.place(np.arange(100, dtype=np.float64))
+            assert len(shm_entries() - before) == 2  # pool + dedicated
+            pool.release(ref)
+            assert len(shm_entries() - before) == 1  # pool only
+
+
+class TestRecycling:
+    def test_view_release_with_gc_returns_slot(self):
+        pool = ShmVectorPool(slot_bytes=256, slots=1)
+        try:
+            ref = pool.place(np.ones(4))
+            result = pool.view(ref, release_with_view=True)
+            assert pool.stats()["slots_free"] == 0
+            del result
+            gc.collect()
+            assert pool.stats()["slots_free"] == 1
+        finally:
+            pool.close()
+
+    def test_column_views_keep_slot_alive(self):
+        pool = ShmVectorPool(slot_bytes=4096, slots=1)
+        try:
+            ref = pool.reserve((8, 4), np.float64)
+            base = pool.view(ref, release_with_view=True)
+            base[...] = 1.0
+            column = base[:, 2]
+            del base
+            gc.collect()
+            # the column still references the slot's buffer
+            assert pool.stats()["slots_free"] == 0
+            assert np.array_equal(column, np.ones(8))
+            del column
+            gc.collect()
+            assert pool.stats()["slots_free"] == 1
+        finally:
+            pool.close()
+
+
+class TestHygiene:
+    def test_close_unlinks_every_segment(self):
+        before = shm_entries()
+        pool = ShmVectorPool(slot_bytes=64, slots=2)
+        pool.place(np.ones(4))
+        pool.place(np.arange(100, dtype=np.float64))  # dedicated
+        assert shm_entries() - before
+        pool.close()
+        assert shm_entries() == before
+
+    def test_close_is_idempotent(self):
+        pool = ShmVectorPool(slot_bytes=64, slots=2)
+        pool.close()
+        pool.close()
+
+    def test_close_with_live_view_defers_unmap_not_unlink(self):
+        before = shm_entries()
+        pool = ShmVectorPool(slot_bytes=256, slots=1)
+        ref = pool.place(np.arange(4, dtype=np.float64))
+        held = pool.view(ref, release_with_view=True)
+        pool.close()
+        # the name is gone immediately even though the view is alive...
+        assert shm_entries() == before
+        # ...and the data stays readable until the view is dropped
+        assert np.array_equal(held, np.arange(4, dtype=np.float64))
+        del held
+        gc.collect()
+
+    def test_dedicated_view_survives_close(self):
+        """A held result backed by a dedicated segment must stay mapped.
+
+        ``close()`` evicts dedicated segments from the pool's bookkeeping;
+        if the ``_Segment`` loses its last reference while a client still
+        holds a (column) view, ``SharedMemory.__del__`` unmaps the memory
+        under the live array — numpy buffers give no protection against
+        the munmap.  The pool must keep released-but-viewed segments
+        alive until their view count drains.
+        """
+        before = shm_entries()
+        pool = ShmVectorPool(slot_bytes=64, slots=2)
+        ref = pool.reserve((100, 3), np.float64)  # oversize → dedicated
+        assert ref.slot is None
+        base = pool.view(ref, release_with_view=True)
+        base[...] = 7.0
+        column = base[:, 1]
+        del base
+        gc.collect()
+        pool.close()
+        gc.collect()
+        # name gone, data still readable through the surviving view
+        assert shm_entries() == before
+        assert np.array_equal(column, np.full(100, 7.0))
+        del column
+        gc.collect()
+        assert not pool._lingering  # mapping dropped with the last view
+
+    def test_explicit_release_then_close_with_live_view(self):
+        """Same lifetime guarantee on the explicit-release path."""
+        pool = ShmVectorPool(slot_bytes=64, slots=2)
+        ref = pool.reserve((100,), np.float64)
+        held = pool.view(ref, release_with_view=True)
+        held[...] = 3.0
+        pool.release(ref)  # death-retry path: release while viewed
+        pool.close()
+        gc.collect()
+        assert np.array_equal(held, np.full(100, 3.0))
+        del held
+        gc.collect()
+        assert not pool._lingering
+
+    def test_reserve_after_close_rejected(self):
+        pool = ShmVectorPool(slot_bytes=64, slots=1)
+        pool.close()
+        with pytest.raises(ValidationError):
+            pool.reserve((4,), np.float64)
+
+
+class TestValidation:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValidationError):
+            ShmVectorPool(slot_bytes=4, slots=1)
+        with pytest.raises(ValidationError):
+            ShmVectorPool(slot_bytes=64, slots=0)
+
+    def test_unknown_dedicated_segment_rejected(self):
+        with ShmVectorPool(slot_bytes=64, slots=1) as pool:
+            bogus = ShmRef(
+                segment="repro_shm_nonexistent", offset=0,
+                shape=(4,), dtype="<f8", slot=None,
+            )
+            with pytest.raises(ValidationError):
+                pool.view(bogus)

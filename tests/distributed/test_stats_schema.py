@@ -1,0 +1,122 @@
+"""Satellite S6: the distributed stats schema matches single-process.
+
+Dashboards built against ``TuningService.stats()`` must work unchanged
+against the gateway: every single-process key exists with the same
+shape, engine totals aggregate live + retired + remote-worker engines
+under the exact single-process key set, and the only addition is the
+``"distributed"`` block.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RunFirstTuner
+from repro.formats.delta import MatrixDelta
+from repro.service import TuningService
+from repro.service.accounting import ENGINE_TOTAL_KEYS
+
+
+@pytest.fixture
+def traffic(rng):
+    def drive(service, matrix, key):
+        for _ in range(4):
+            service.spmv(matrix, rng.random(matrix.ncols), key=key)
+        service.update(
+            matrix, MatrixDelta.sets([0], [0], [2.0]), key=key
+        )
+        service.spmv(matrix, rng.random(matrix.ncols), key=key)
+
+    return drive
+
+
+def single_process_stats(space, matrix, traffic):
+    with TuningService(space, RunFirstTuner(), workers=2) as service:
+        traffic(service, matrix, "S")
+        return service.stats()
+
+
+class TestSchemaParity:
+    def test_top_level_keys_are_superset_by_distributed_only(
+        self, gateway, space, matrix_a, traffic
+    ):
+        reference = single_process_stats(space, matrix_a, traffic)
+        traffic(gateway, matrix_a, "S")
+        stats = gateway.stats()
+        assert set(stats) - set(reference) == {"distributed"}
+        assert set(reference) <= set(stats)
+
+    def test_engines_block_has_exact_single_process_keys(
+        self, gateway, space, matrix_a, traffic
+    ):
+        reference = single_process_stats(space, matrix_a, traffic)
+        traffic(gateway, matrix_a, "S")
+        engines = gateway.stats()["engines"]
+        assert set(engines) == set(reference["engines"])
+        assert set(ENGINE_TOTAL_KEYS) <= set(engines)
+
+    def test_engine_cache_block_matches(
+        self, gateway, space, matrix_a, traffic
+    ):
+        reference = single_process_stats(space, matrix_a, traffic)
+        traffic(gateway, matrix_a, "S")
+        cache = gateway.stats()["engine_cache"]
+        assert set(cache) == set(reference["engine_cache"])
+
+    def test_nested_blocks_match(self, gateway, space, matrix_a, traffic):
+        reference = single_process_stats(space, matrix_a, traffic)
+        traffic(gateway, matrix_a, "S")
+        stats = gateway.stats()
+        for block in ("latency", "model", "invalidations"):
+            assert set(stats[block]) == set(reference[block]), block
+
+    def test_counters_match_single_process_semantics(
+        self, gateway, space, matrix_a, traffic
+    ):
+        reference = single_process_stats(space, matrix_a, traffic)
+        traffic(gateway, matrix_a, "S")
+        stats = gateway.stats()
+        for counter in (
+            "requests_served",
+            "updates_served",
+            "profiled_matrices",
+        ):
+            assert stats[counter] == reference[counter], counter
+        assert stats["engines"]["requests_served"] >= 5
+
+    def test_distributed_block_contents(self, gateway, matrix_a, traffic):
+        traffic(gateway, matrix_a, "S")
+        stats = gateway.stats()
+        block = stats["distributed"]
+        for key in (
+            "fingerprints",
+            "retried_requests",
+            "dead_workers",
+            "supervisor",
+            "shm",
+            "worker_backends",
+        ):
+            assert key in block, key
+        assert stats["workers"] == gateway.workers
+        assert block["supervisor"]["workers"] == gateway.workers
+        assert block["fingerprints"] >= 1
+
+
+class TestAggregationAcrossIncarnations:
+    def test_engine_totals_survive_respawn(
+        self, gateway, matrix_a, rng, wait_until
+    ):
+        target = gateway.worker_of("S")
+        for _ in range(5):
+            gateway.spmv(matrix_a, rng.random(matrix_a.ncols), key="S")
+        served_before = gateway.stats()["engines"]["requests_served"]
+        # the death fold uses the last heartbeat snapshot, so wait for a
+        # heartbeat that has seen all five requests before killing
+        wait_until(
+            lambda: gateway.supervisor.handle(target)
+            .last_snapshot.get("requests_served", 0) >= 5
+        )
+        gateway.kill_worker(target)
+        gateway.spmv(matrix_a, rng.random(matrix_a.ncols), key="S")
+        served_after = gateway.stats()["engines"]["requests_served"]
+        assert served_after >= served_before

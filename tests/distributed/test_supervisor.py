@@ -1,0 +1,143 @@
+"""Worker death and recovery: respawn, replay, retry, accounting.
+
+The failure model under test: SIGKILL one worker mid-traffic and assert
+that (a) every in-flight request on the dead shard completes with the
+correct bits, (b) requests on surviving workers are untouched, (c) the
+replacement rebuilds mutated matrix state exactly (epoch stamps and
+output bits reproduce), and (d) the dead incarnation's accounting is
+folded into gateway ``stats()`` the way eviction folding works in the
+single-process tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.delta import MatrixDelta
+
+
+def keys_per_worker(gateway, count_each: int = 1):
+    """Fingerprints guaranteed to cover every worker."""
+    found = {w: [] for w in range(gateway.workers)}
+    i = 0
+    while any(len(v) < count_each for v in found.values()):
+        key = f"probe-{i}"
+        owner = gateway.worker_of(key)
+        if len(found[owner]) < count_each:
+            found[owner].append(key)
+        i += 1
+    return found
+
+
+class TestKillRecovery:
+    def test_inflight_requests_survive_worker_kill(
+        self, gateway, matrix_a, rng
+    ):
+        xs = [rng.random(matrix_a.ncols) for _ in range(20)]
+        target = gateway.worker_of("A")
+        futures = [gateway.submit(matrix_a, x, key="A") for x in xs]
+        assert gateway.kill_worker(target) is not None
+        for future, x in zip(futures, xs):
+            result = future.result(timeout=60)
+            assert np.array_equal(result.y, matrix_a.spmv(x))
+        stats = gateway.stats()["distributed"]
+        assert stats["dead_workers"] == 1
+        assert stats["supervisor"]["respawns"] == 1
+
+    def test_surviving_shards_undisturbed(
+        self, gateway, matrix_a, matrix_b, rng
+    ):
+        per_worker = keys_per_worker(gateway)
+        victim = 0
+        survivor_key = per_worker[1][0]
+        victim_key = per_worker[0][0]
+        x_b = rng.random(matrix_b.ncols)
+        survivor_future = gateway.submit(matrix_b, x_b, key=survivor_key)
+        victim_futures = [
+            gateway.submit(matrix_a, rng.random(matrix_a.ncols),
+                           key=victim_key)
+            for _ in range(4)
+        ]
+        gateway.kill_worker(victim)
+        # the survivor's request resolves against an untouched worker
+        assert np.array_equal(
+            survivor_future.result(timeout=60).y, matrix_b.spmv(x_b)
+        )
+        for future in victim_futures:
+            future.result(timeout=60)
+        assert gateway.supervisor.handle(1).incarnation == 0
+        assert gateway.supervisor.handle(0).incarnation == 1
+
+    def test_mutated_state_replays_exactly(self, gateway, matrix_a, rng):
+        delta1 = MatrixDelta.sets([0, 1], [0, 1], [3.0, -2.0])
+        delta2 = MatrixDelta.adds([2], [2], [0.5])
+        assert gateway.update(matrix_a, delta1, key="A").epoch == 1
+        assert gateway.update(matrix_a, delta2, key="A").epoch == 2
+        x = rng.random(matrix_a.ncols)
+        before = gateway.spmv(matrix_a, x, key="A")
+        assert before.epoch == 2
+        gateway.kill_worker(gateway.worker_of("A"))
+        after = gateway.spmv(matrix_a, x, key="A")
+        # the respawned worker replayed the acked delta log: same epoch,
+        # same bits
+        assert after.epoch == 2
+        assert np.array_equal(after.y, before.y)
+
+    def test_unacked_update_applies_exactly_once(
+        self, gateway, matrix_a, rng
+    ):
+        """An update in flight during the kill must not double-apply."""
+        x = rng.random(matrix_a.ncols)
+        futures = [gateway.submit(matrix_a, x, key="A") for _ in range(8)]
+        update = gateway.submit_update(
+            matrix_a, MatrixDelta.adds([0], [0], [1.0]), key="A"
+        )
+        gateway.kill_worker(gateway.worker_of("A"))
+        assert update.result(timeout=60).epoch == 1
+        for future in futures:
+            future.result(timeout=60)
+        # a second kill replays the (now acked) log: still epoch 1
+        gateway.kill_worker(gateway.worker_of("A"))
+        assert gateway.spmv(matrix_a, x, key="A").epoch == 1
+
+    def test_retried_requests_are_counted(self, gateway, matrix_a, rng):
+        futures = [
+            gateway.submit(matrix_a, rng.random(matrix_a.ncols), key="A")
+            for _ in range(12)
+        ]
+        gateway.kill_worker(gateway.worker_of("A"))
+        for future in futures:
+            future.result(timeout=60)
+        assert gateway.stats()["distributed"]["retried_requests"] >= 0
+        assert gateway.stats()["distributed"]["dead_workers"] == 1
+
+
+class TestDeadWorkerAccounting:
+    def test_dead_incarnation_folds_into_engines_totals(
+        self, gateway, matrix_a, rng, wait_until
+    ):
+        target = gateway.worker_of("A")
+        for _ in range(6):
+            gateway.spmv(matrix_a, rng.random(matrix_a.ncols), key="A")
+        # wait for a heartbeat to carry the accounting snapshot over
+        wait_until(
+            lambda: gateway.supervisor.handle(target)
+            .last_snapshot.get("requests_served", 0) >= 6
+        )
+        gateway.kill_worker(target)
+        wait_until(
+            lambda: gateway.stats()["distributed"]["dead_workers"] == 1
+        )
+        stats = gateway.stats()
+        # the pre-kill engine accounting survived the incarnation
+        assert stats["engines"]["requests_served"] >= 6
+
+    def test_respawned_worker_reports_fresh_backends(
+        self, gateway, matrix_a, rng, wait_until
+    ):
+        target = gateway.worker_of("A")
+        gateway.spmv(matrix_a, rng.random(matrix_a.ncols), key="A")
+        gateway.kill_worker(target)
+        wait_until(lambda: gateway.supervisor.handle(target).ready.is_set())
+        backends = gateway.stats()["distributed"]["worker_backends"][target]
+        assert "numpy" in backends

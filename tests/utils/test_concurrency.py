@@ -1,0 +1,61 @@
+"""Satellite S2: pool sizes derive from the host's core count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils import concurrency
+from repro.utils.concurrency import (
+    PROCESS_CAP,
+    PROCESS_FLOOR,
+    THREAD_CAP,
+    THREAD_FLOOR,
+    default_process_workers,
+    default_thread_workers,
+)
+
+
+@pytest.mark.parametrize(
+    "cpus, threads, processes",
+    [
+        (None, THREAD_FLOOR, PROCESS_FLOOR),  # cpu_count unavailable
+        (1, THREAD_FLOOR, 1),
+        (2, 2, 2),
+        (8, 8, 8),
+        (16, 16, PROCESS_CAP),
+        (128, THREAD_CAP, PROCESS_CAP),
+    ],
+)
+def test_clamp_table(monkeypatch, cpus, threads, processes):
+    monkeypatch.setattr(concurrency.os, "cpu_count", lambda: cpus)
+    assert default_thread_workers() == threads
+    assert default_process_workers() == processes
+
+
+def test_floors_and_caps_are_ordered():
+    assert THREAD_FLOOR <= THREAD_CAP
+    assert PROCESS_FLOOR <= PROCESS_CAP
+
+
+def test_tuning_service_derives_thread_pool(monkeypatch):
+    from repro.backends import make_space
+    from repro.core import RunFirstTuner
+    from repro.service import TuningService
+
+    monkeypatch.setattr(concurrency.os, "cpu_count", lambda: 6)
+    with TuningService(
+        make_space("cirrus", "serial"), RunFirstTuner()
+    ) as service:
+        assert service.workers == 6
+
+
+def test_explicit_workers_still_wins(monkeypatch):
+    from repro.backends import make_space
+    from repro.core import RunFirstTuner
+    from repro.service import TuningService
+
+    monkeypatch.setattr(concurrency.os, "cpu_count", lambda: 6)
+    with TuningService(
+        make_space("cirrus", "serial"), RunFirstTuner(), workers=3
+    ) as service:
+        assert service.workers == 3
