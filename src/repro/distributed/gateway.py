@@ -30,7 +30,11 @@ respawned worker rebuilds matrix state by replaying that log, so
 re-sending an unacknowledged in-flight update applies it exactly once
 on the rebuilt state; SpMV re-sends are idempotent by nature.  Rebuilt
 epoch stamps reproduce exactly because every delta application is
-deterministic.
+deterministic.  Delivery itself is also exactly-once per incarnation:
+each in-flight entry records the incarnation it was last sent to, so a
+sender that parked on a death gate while the respawn replay re-sent
+the backlog cannot deliver its message a second time when the gate
+reopens.
 """
 
 from __future__ import annotations
@@ -81,6 +85,7 @@ class _Inflight:
         "message",
         "event",
         "reply",
+        "sent_to",
     )
 
     def __init__(
@@ -105,6 +110,12 @@ class _Inflight:
         self.message = message
         self.event = threading.Event()
         self.reply = None
+        #: Worker incarnation this entry was last delivered to, or
+        #: ``None`` before the first successful send.  Sends dedupe on
+        #: it: the respawn replay and a sender that was parked on the
+        #: death gate both target the same replacement incarnation, and
+        #: only one of them may actually deliver.
+        self.sent_to: Optional[int] = None
 
 
 class DistributedService:
@@ -472,10 +483,26 @@ class DistributedService:
             self._send_entry_locked(entry)
 
     def _send_entry_locked(self, entry: _Inflight) -> None:
+        """Deliver *entry* to its worker's current incarnation, once.
+
+        ``sent_to`` makes the delivery exactly-once per incarnation: a
+        sender that registered its entry and then parked on the death
+        gate wakes *after* the respawn replay already re-sent the whole
+        backlog to the replacement — without the dedupe it would send
+        the same message a second time (double-applying an update's
+        delta, or re-serving a batch whose shm slots the first ``done``
+        reply already recycled).  A failed send leaves ``sent_to``
+        untouched, so the next respawn's replay still re-delivers.
+        """
         incarnation = self.supervisor.handle(entry.worker).incarnation
+        if entry.sent_to == incarnation:
+            return  # already delivered to this incarnation
         if entry.fp is not None:
             self._sync_matrix(entry.worker, entry.fp, incarnation)
-        self.supervisor.send(entry.worker, entry.message, expect=incarnation)
+        if self.supervisor.send(
+            entry.worker, entry.message, expect=incarnation
+        ):
+            entry.sent_to = incarnation
 
     def _sync_matrix(self, worker: int, fp: str, incarnation: int) -> None:
         """Ship matrix + acked delta log once per worker incarnation.

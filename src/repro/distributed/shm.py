@@ -67,6 +67,10 @@ class ShmRef:
     ``slot`` is the pool slot index for pooled payloads and ``None`` for
     payloads in a dedicated (oversize) segment — dedicated segments are
     single-use and torn down when their payload is released.
+    ``generation`` stamps which allocation of the slot this ref belongs
+    to: releases are generation-checked, so a stale duplicate release
+    (the worker-death retry path) can never free a slot out from under
+    the ref it has since been recycled to.
     """
 
     segment: str
@@ -74,6 +78,7 @@ class ShmRef:
     shape: Tuple[int, ...]
     dtype: str
     slot: Optional[int] = None
+    generation: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -188,6 +193,10 @@ class ShmVectorPool:
             )
         )
         self._free: List[int] = list(range(self.slots - 1, -1, -1))
+        # Per-slot allocation generation: reserve() stamps the current
+        # generation into the ShmRef, release() bumps it — so a ref can
+        # free its slot exactly once, and only while it still owns it.
+        self._generations: List[int] = [0] * self.slots
         self._dedicated: Dict[str, _Segment] = {}
         # Released dedicated segments whose mapping must outlive the
         # release because views are still outstanding.  Dropping the
@@ -242,6 +251,7 @@ class ShmVectorPool:
                     shape=tuple(int(d) for d in shape),
                     dtype=dtype.str,
                     slot=slot,
+                    generation=self._generations[slot],
                 )
             # oversize payload or pool exhausted: dedicated segment
             self._overflows += 1
@@ -342,7 +352,12 @@ class ShmVectorPool:
     def release(self, ref: ShmRef, *, _mapped: bool = False) -> None:
         """Return *ref*'s payload: slot to the free-list, dedicated
         segment unlinked.  Idempotent — the worker-death retry path can
-        release a response ref it already released."""
+        release a response ref it already released.  Pooled releases
+        are generation-checked: a duplicate release whose slot has
+        since been recycled to a *new* ref carries a stale generation
+        and is ignored, instead of freeing memory the in-flight ref
+        still owns (two requests handed the same slot would silently
+        corrupt each other)."""
         if os.getpid() != self._owner_pid:
             # A forked worker inherited this pool object (and, worse,
             # the weakref finalizers of any view alive at fork time,
@@ -353,9 +368,18 @@ class ShmVectorPool:
             return
         if ref.slot is not None:
             with self._lock:
-                if not self._closed and ref.slot not in self._free:
+                if (
+                    not self._closed
+                    and self._generations[ref.slot] == ref.generation
+                ):
+                    # bump before freeing: any later duplicate release
+                    # of this ref now mismatches, even after the slot
+                    # has been handed to a new ref
+                    self._generations[ref.slot] += 1
                     self._free.append(ref.slot)
             if _mapped:
+                # the mapping count is per-view, not per-slot: drop it
+                # even when the slot release itself was stale
                 self._drop_view_safe(self._pool)
             return
         with self._lock:

@@ -44,16 +44,25 @@ The worker answers every message even when serving fails — an
 ``("error", ...)`` reply carries the exception text so the gateway can
 fail exactly the affected futures instead of the whole worker.
 
+Heartbeats are emitted by a dedicated daemon thread, not the serve
+loop, so a worker busy on one long operation (a large batch, a shadow
+profile, a respawned worker replaying a long delta log — none of which
+reply until done) keeps beating and is never mistaken for hung and
+killed mid-work.  The beat thread shares the control pipe with the
+serve loop through a lock (``Connection.send`` is not thread-safe).
+
 Heartbeats double as accounting transport: every beat carries the
-worker's current stats snapshot, so when a worker dies the gateway
-folds the *last heartbeat's* snapshot into its retired totals — at most
-one beat interval of that worker's tail accounting is lost, and no
+worker's most recent stats snapshot (refreshed by the serve loop after
+every served message and while idle), so when a worker dies the
+gateway folds the *last heartbeat's* snapshot into its retired totals
+— at most the accounting tail since the last refresh is lost, and no
 request accounting is (requests on a dead worker are retried and
 recounted on the respawn).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -242,12 +251,17 @@ class _WorkerState:
         On a fresh worker the log is empty; on a respawn it rebuilds the
         exact epoch the dead worker had acknowledged — each delta is a
         deterministic transformation, so the rebuilt matrix state and
-        its epoch stamps reproduce bitwise.
+        its epoch stamps reproduce bitwise.  The replay runs with
+        ``replay=True`` so the rebuilt engine does not count the
+        applications again: the dead incarnation already counted them,
+        and its last-heartbeat snapshot folded them into the gateway's
+        retired totals — recounting would make fleet ``stats()``
+        diverge from single-process accounting after every respawn.
         """
         self.matrices[fp] = matrix
         for delta in deltas:
             with self.engines.lease(fp) as engine:
-                engine.update(fp, delta, matrix=matrix)
+                engine.update(fp, delta, matrix=matrix, replay=True)
 
     def promote(self, tuner, info: Dict[str, object]) -> None:
         """Adopt a promoted model for current and future engines."""
@@ -303,28 +317,77 @@ def _boot_warmup(config: WorkerConfig) -> Dict[str, float]:
     return warm
 
 
+class _PipeSender:
+    """Lock-serialised sender for the worker's control pipe.
+
+    ``Connection.send`` is not thread-safe; the serve loop (replies)
+    and the heartbeat thread (beats) share the pipe through this lock.
+    Reading stays lock-free — only the serve loop ever receives.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, message) -> None:
+        with self._lock:
+            self._conn.send(message)
+
+
+def _heartbeat_loop(sender, snapshot_box, interval: float, stop) -> None:
+    """Beat every *interval* seconds until *stop* is set or the pipe dies.
+
+    Runs in its own daemon thread so liveness is decoupled from the
+    serve loop: a worker busy on one long operation (which replies only
+    when done, or — for a respawn's matrix install — not at all) keeps
+    beating instead of going heartbeat-stale and being killed mid-work,
+    which would respawn it into replaying the same long work forever.
+    Each beat ships the latest snapshot the serve loop published.
+    """
+    beat = 0
+    while not stop.wait(interval):
+        beat += 1
+        try:
+            sender.send(("heartbeat", beat, snapshot_box["snapshot"]))
+        except (OSError, ValueError, BrokenPipeError):
+            return  # pipe gone: the gateway is tearing us down
+
+
 def worker_main(config: WorkerConfig, conn) -> None:
     """Entry point of one worker process; loops until shutdown.
 
     *conn* is the worker end of the duplex control pipe.  The loop
-    alternates between serving queued messages and heartbeating: while
-    idle it polls with ``config.heartbeat_interval`` and every timeout
-    emits a heartbeat carrying the current accounting snapshot.
+    serves queued messages and refreshes the accounting snapshot the
+    heartbeat thread ships (after every served message, and on every
+    ``config.heartbeat_interval`` poll timeout while idle).
     """
     state = _WorkerState(config)
     warm = _boot_warmup(config)
-    beat = 0
+    sender = _PipeSender(conn)
+    snapshot_box = {"snapshot": state.snapshot()}
+    stop_beating = threading.Event()
+    beat_thread = threading.Thread(
+        target=_heartbeat_loop,
+        args=(
+            sender,
+            snapshot_box,
+            config.heartbeat_interval,
+            stop_beating,
+        ),
+        name=f"repro-worker-{config.index}-heartbeat",
+        daemon=True,
+    )
     try:
-        conn.send(
+        sender.send(
             ("ready", config.index, {
                 "backends": list(available_backends()),
                 "warm_seconds": warm,
             })
         )
+        beat_thread.start()
         while True:
             if not conn.poll(config.heartbeat_interval):
-                beat += 1
-                conn.send(("heartbeat", beat, state.snapshot()))
+                snapshot_box["snapshot"] = state.snapshot()
                 continue
             message = conn.recv()
             kind = message[0]
@@ -338,35 +401,37 @@ def worker_main(config: WorkerConfig, conn) -> None:
                 try:
                     metas, obs = state.serve_batch(fp, spec)
                 except Exception as exc:
-                    conn.send(
+                    sender.send(
                         ("error", batch_id, "batch",
                          f"{exc!r}\n{traceback.format_exc()}")
                     )
                 else:
-                    conn.send(("done", batch_id, fp, metas, obs))
+                    sender.send(("done", batch_id, fp, metas, obs))
             elif kind == "update":
                 _, update_id, fp, delta = message
                 try:
                     meta = state.serve_update(fp, delta)
                 except Exception as exc:
-                    conn.send(
+                    sender.send(
                         ("error", update_id, "update",
                          f"{exc!r}\n{traceback.format_exc()}")
                     )
                 else:
-                    conn.send(("update_done", update_id, fp, meta))
+                    sender.send(("update_done", update_id, fp, meta))
             elif kind == "promote":
                 _, promote_id, tuner, info = message
                 state.promote(tuner, info)
-                conn.send(("promoted", promote_id))
+                sender.send(("promoted", promote_id))
             elif kind == "stats":
                 _, req_id = message
-                conn.send(("stats_reply", req_id, state.snapshot()))
+                sender.send(("stats_reply", req_id, state.snapshot()))
             # unknown kinds are ignored: a newer gateway may speak a
             # superset of this protocol
+            snapshot_box["snapshot"] = state.snapshot()
     except (EOFError, KeyboardInterrupt, BrokenPipeError):
         pass  # gateway went away: nothing left to serve
     finally:
+        stop_beating.set()
         state.segments.close()
         try:
             conn.close()

@@ -26,6 +26,7 @@ batched multi-vector SpMV through :mod:`repro.runtime.batch`.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
@@ -604,6 +605,7 @@ class WorkloadEngine:
         delta: MatrixDelta,
         *,
         matrix: Optional[MatrixLike] = None,
+        replay: bool = False,
     ) -> StreamUpdate:
         """Advance a tracked matrix one epoch; keep the caches warm.
 
@@ -628,7 +630,26 @@ class WorkloadEngine:
         key (it starts the stream).  Callers must serialise updates with
         concurrent serving per key — the tuning service does so under
         its engine-cache shard lock.
+
+        ``replay=True`` applies the delta with full state effect but
+        **no accounting effect**: cache counters, modelled seconds, and
+        invalidation tallies are restored afterwards.  The distributed
+        tier's respawn path replays a matrix's acknowledged mutation log
+        through this flag — the dead incarnation already counted those
+        applications (and its last-heartbeat snapshot folded them into
+        the retired totals), so counting them again on the rebuilt
+        engine would over-count fleet stats after every respawn.
         """
+        if replay:
+            counters = copy.copy(self.counters)
+            seconds = dict(self.seconds)
+            invalidations = copy.copy(self.invalidations)
+            try:
+                return self.update(key, delta, matrix=matrix)
+            finally:
+                self.counters = counters
+                self.seconds = seconds
+                self.invalidations = invalidations
         state = self._streams.get(key)
         if state is None:
             if matrix is None:

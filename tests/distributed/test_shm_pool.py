@@ -101,6 +101,26 @@ class TestOverflow:
             pool.release(ref)  # the death-retry path releases twice
             assert pool.stats()["slots_free"] == 2
 
+    def test_stale_release_after_recycle_is_ignored(self):
+        """A late duplicate release must not free a recycled slot.
+
+        The worker-death retry path can release a ref twice; if the
+        slot was re-allocated to a new ref in between, the stale
+        release must be ignored — freeing it would hand the same
+        memory to two in-flight requests (silent corruption).
+        """
+        with ShmVectorPool(slot_bytes=256, slots=1) as pool:
+            first = pool.place(np.ones(4))
+            pool.release(first)
+            second = pool.place(np.full(4, 2.0))
+            assert second.slot == first.slot
+            assert second.generation != first.generation
+            pool.release(first)  # stale: the slot now belongs to second
+            assert pool.stats()["slots_free"] == 0
+            assert np.array_equal(pool.view(second), np.full(4, 2.0))
+            pool.release(second)
+            assert pool.stats()["slots_free"] == 1
+
     def test_dedicated_release_removes_dev_shm_entry(self):
         before = shm_entries()
         with ShmVectorPool(slot_bytes=64, slots=1) as pool:

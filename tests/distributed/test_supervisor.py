@@ -11,9 +11,25 @@ single-process tier.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.core import RunFirstTuner
 from repro.formats.delta import MatrixDelta
+
+
+class _SlowTuner(RunFirstTuner):
+    """Tuner whose decision outlasts the test's heartbeat timeout.
+
+    Runs worker-side only (the gateway never tunes), so the first
+    request for a fingerprint pins that worker in one long operation —
+    the busy-worker shape the heartbeat thread must survive.
+    """
+
+    def tune(self, matrix, space, **kwargs):
+        time.sleep(1.2)
+        return super().tune(matrix, space, **kwargs)
 
 
 def keys_per_worker(gateway, count_each: int = 1):
@@ -100,6 +116,44 @@ class TestKillRecovery:
         gateway.kill_worker(gateway.worker_of("A"))
         assert gateway.spmv(matrix_a, x, key="A").epoch == 1
 
+    def test_parked_sender_cannot_double_deliver(
+        self, gateway, matrix_a, rng
+    ):
+        """An entry the respawn replay delivered must dedupe on retry.
+
+        Simulates the death-gate race: a sender that registered its
+        entry, parked on the closed gate, and woke after the respawn
+        replay already re-sent the backlog calls ``_send_entry`` again
+        on an entry marked sent to the current incarnation — the second
+        send must be a no-op, or an update's delta applies twice.
+        """
+        from concurrent.futures import Future
+
+        from repro.distributed.gateway import _Inflight
+        from repro.service.coalesce import PendingRequest
+
+        x = rng.random(matrix_a.ncols)
+        assert gateway.spmv(matrix_a, x, key="A").epoch == 0
+        target = gateway.worker_of("A")
+        delta = MatrixDelta.adds([0], [0], [1.0])
+        future = Future()
+        request = PendingRequest(
+            matrix_a, None, 1, future, kind="update", delta=delta
+        )
+        msg_id = next(gateway._msg_ids)
+        entry = _Inflight(
+            msg_id, "update", target, fp="A", batch=[request],
+            message=("update", msg_id, "A", delta),
+        )
+        with gateway._inflight_lock:
+            gateway._inflight[msg_id] = entry
+        gateway._send_entry(entry)  # the replay's delivery
+        assert future.result(timeout=60).epoch == 1
+        gateway._send_entry(entry)  # the parked sender waking up
+        # FIFO order on the worker pipe: had the duplicate been sent,
+        # this SpMV would observe epoch 2
+        assert gateway.spmv(matrix_a, x, key="A").epoch == 1
+
     def test_retried_requests_are_counted(self, gateway, matrix_a, rng):
         futures = [
             gateway.submit(matrix_a, rng.random(matrix_a.ncols), key="A")
@@ -141,3 +195,70 @@ class TestDeadWorkerAccounting:
         wait_until(lambda: gateway.supervisor.handle(target).ready.is_set())
         backends = gateway.stats()["distributed"]["worker_backends"][target]
         assert "numpy" in backends
+
+    def test_respawn_replay_does_not_double_count_invalidations(
+        self, gateway, matrix_a, rng, wait_until
+    ):
+        """Replayed deltas must not recount already-folded accounting.
+
+        The dead incarnation counted the original applications and its
+        last-heartbeat snapshot folded them into retired totals; the
+        replacement's replay runs with ``replay=True``, so fleet
+        ``stats()`` keeps matching single-process accounting.
+        """
+        target = gateway.worker_of("A")
+        for _ in range(3):
+            gateway.update(
+                matrix_a, MatrixDelta.adds([0], [0], [1.0]), key="A"
+            )
+        # wait for a heartbeat to carry the 3 applications over
+        wait_until(
+            lambda: gateway.supervisor.handle(target)
+            .last_snapshot.get("engines", {})
+            .get("invalidations", {})
+            .get("epoch_advances", 0) >= 3
+        )
+        gateway.kill_worker(target)
+        wait_until(
+            lambda: gateway.stats()["distributed"]["dead_workers"] == 1
+        )
+        # the replacement replayed the acked log: same epoch...
+        x = rng.random(matrix_a.ncols)
+        assert gateway.spmv(matrix_a, x, key="A").epoch == 3
+        # ...but the replayed applications are counted exactly once
+        assert gateway.stats()["invalidations"]["epoch_advances"] == 3
+
+
+class TestBusyWorkerLiveness:
+    def test_long_operation_outlasting_timeout_is_not_killed(
+        self, space, matrix_a, rng
+    ):
+        """A busy worker must keep heartbeating, not get SIGKILLed.
+
+        The first request's tune takes longer than the heartbeat
+        timeout and produces no intermediate reply; the worker's
+        dedicated heartbeat thread keeps it alive.  Without it the
+        monitor kills the healthy worker, the respawn replays the same
+        long operation, and the fleet livelocks on kill/respawn.
+        """
+        from repro.distributed import DistributedService
+
+        service = DistributedService(
+            space,
+            _SlowTuner(),
+            workers=2,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.5,
+            shm_slot_bytes=1 << 14,
+            shm_slots=32,
+        )
+        try:
+            x = rng.random(matrix_a.ncols)
+            result = service.spmv(matrix_a, x, key="A")
+            assert np.array_equal(result.y, matrix_a.spmv(x))
+            stats = service.stats()["distributed"]
+            assert stats["dead_workers"] == 0
+            assert stats["supervisor"]["kills"] == 0
+            assert stats["supervisor"]["respawns"] == 0
+        finally:
+            service.close()

@@ -262,6 +262,39 @@ class TestEngineStreaming:
         inv = engine.stats()["invalidations"]
         assert inv["forced_retunes"] == 1
 
+    def test_replay_update_has_state_effect_but_no_accounting(
+        self, space, matrix
+    ):
+        """``replay=True`` rebuilds state without recounting it.
+
+        The distributed respawn path replays acked mutation logs whose
+        applications the dead incarnation already counted (and whose
+        counts were folded into retired totals), so a replayed update
+        must advance the stream exactly like a normal one while leaving
+        counters, seconds, and invalidation tallies untouched.
+        """
+        tuner = FixedTuner("CSR")
+        engine = WorkloadEngine(space, tuner)
+        x = np.ones(matrix.ncols)
+        engine.execute(matrix, x, key="k")
+        before = engine.stats()
+        delta = MatrixDelta.sets([0], [1], [0.5])
+        upd = engine.update("k", delta, matrix=matrix, replay=True)
+        assert upd.epoch == 1
+        assert upd.carried_forward
+        after = engine.stats()
+        assert after["invalidations"] == before["invalidations"]
+        assert after["seconds"] == before["seconds"]
+        assert after["counters"] == before["counters"]
+        # the state effect is identical to a counted application
+        twin = WorkloadEngine(space, FixedTuner("CSR"))
+        twin.execute(matrix, x, key="k")
+        twin.update("k", delta, matrix=matrix)
+        result = engine.execute(matrix, x, key="k")
+        expected = twin.execute(matrix, x, key="k")
+        assert result.epoch == expected.epoch == 1
+        assert np.array_equal(result.y, expected.y)
+
     def test_profile_times_survive_carried_forward(self, space, matrix):
         engine = WorkloadEngine(space, RunFirstTuner())
         engine.execute(matrix, np.ones(matrix.ncols), key="k")
