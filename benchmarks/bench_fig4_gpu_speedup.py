@@ -9,13 +9,26 @@ device under-utilised.
 This regenerator prints the distribution statistics for the three GPU
 pairs and asserts: GPU averages far above CPU averages, HIP above CUDA,
 and a heavy tail reaching orders of magnitude.
+
+The figure's claims are about *device* behaviour, so the whole module
+skips on hosts where no GPU kernel backend is registered (no CuPy) —
+the statistics below would otherwise be asserted against purely
+modelled timings and reported as if a device had produced them.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
+
+from repro.kernels import gpu_backend_available
 
 from benchmarks.conftest import write_result
+
+pytestmark = pytest.mark.skipif(
+    not gpu_backend_available(),
+    reason="no GPU backend registered (CuPy is not installed)",
+)
 
 
 def gpu_pairs(spaces):

@@ -42,7 +42,10 @@ class Observation:
     timings on shadow-probed batches and is ``None`` otherwise.
     ``backend`` is the kernel backend (:mod:`repro.kernels`) that
     actually executed the request — per-backend latency attribution for
-    the adaptive layer.
+    the adaptive layer.  ``epoch`` is the matrix version the request was
+    served against (0 = never mutated) — trace-grade provenance, so a
+    replayed observation stream can be aligned against the update
+    barriers of the trace that produced it.
     """
 
     fingerprint: str
@@ -52,6 +55,7 @@ class Observation:
     batch_size: int
     model_version: str = ""
     backend: str = "numpy"
+    epoch: int = 0
     features: Optional[np.ndarray] = None
     shadow_times: Optional[Dict[str, float]] = None
     sequence: int = field(default=-1, compare=False)
@@ -71,6 +75,7 @@ class Observation:
             batch_size=int(payload.get("batch_size", 1)),
             model_version=str(payload.get("model_version", "")),
             backend=str(payload.get("backend", "numpy")),
+            epoch=int(payload.get("epoch", 0)),
             features=features,
             shadow_times=dict(shadow) if shadow is not None else None,
             sequence=int(payload.get("sequence", -1)),
@@ -86,6 +91,7 @@ class Observation:
             "batch_size": self.batch_size,
             "model_version": self.model_version,
             "backend": self.backend,
+            "epoch": self.epoch,
             "features": (
                 None if self.features is None else
                 [float(v) for v in self.features]

@@ -600,6 +600,152 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 1 if (failed or mismatched) else 0
 
 
+def cmd_record(args: argparse.Namespace) -> int:
+    """Capture a seeded live workload into a replayable trace directory."""
+    from repro.trace import record_workload
+
+    if args.service == "inproc" and (args.kill_at or args.kill_with_update):
+        print("record: kill drills need --service distributed",
+              file=sys.stderr)
+        return 2
+    space = make_space(args.system, args.backend)
+    tuner = RunFirstTuner()
+    if args.service == "distributed":
+        from repro.distributed import DistributedService
+
+        service = DistributedService(
+            space, tuner, workers=args.workers or 4
+        )
+    else:
+        from repro.service import TuningService
+
+        service = TuningService(space, tuner, workers=args.workers or 2)
+    with service:
+        trace = record_workload(
+            service,
+            args.out,
+            name=args.name,
+            requests=args.requests,
+            sessions=args.sessions,
+            n_matrices=args.n_matrices,
+            seed=args.seed,
+            family=args.family,
+            updates=args.updates,
+            spmm_every=args.spmm_every,
+            promote_at=args.promote_at,
+            kill_at=args.kill_at,
+            kill_with_update=args.kill_with_update,
+        )
+    counts = trace.counts
+    print(f"recorded             {counts['requests']} requests, "
+          f"{counts['updates']} updates from "
+          f"{len(trace.header.get('sessions', []))} sessions")
+    print(f"events               {counts['events']} "
+          f"({counts['kills']} kills, {counts['promotions']} promotions)")
+    print(f"matrices             {len(trace.matrix_keys())} over "
+          f"{trace.space.get('system')}/{trace.space.get('backend')} "
+          f"({trace.header.get('service', {}).get('kind')} tier)")
+    print(f"trace                {trace.path} "
+          f"(fingerprint {trace.fingerprint})")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-drive a recorded trace; verify bitwise."""
+    import json
+    import tempfile
+
+    from repro.trace import (
+        load_trace,
+        replay_trace,
+        service_for_trace,
+        validate_trace,
+    )
+
+    problems = validate_trace(args.trace)
+    if problems:
+        for problem in problems:
+            print(f"replay: {args.trace}: {problem}", file=sys.stderr)
+        return 2
+    trace = load_trace(args.trace)
+    counts = trace.counts
+    print(f"trace                {trace.name} "
+          f"(fingerprint {trace.fingerprint})")
+    print(f"events               {counts['events']} "
+          f"({counts['requests']} requests, {counts['updates']} updates, "
+          f"{counts['kills']} kills, {counts['promotions']} promotions)")
+
+    kind = "inproc" if args.service == "adaptive" else args.service
+    service = service_for_trace(trace, kind, workers=args.workers)
+    controller = None
+    if args.service == "adaptive":
+        from repro.adaptive import AdaptiveController, ModelRegistry
+
+        service.shadow_every = 4
+        registry_dir = args.registry or tempfile.mkdtemp(
+            prefix="repro-registry-"
+        )
+        controller = AdaptiveController(
+            service, ModelRegistry(registry_dir), background=True
+        ).attach()
+    print(f"service              {args.service}, "
+          f"{service.workers} workers on "
+          f"{trace.space.get('system')}/{trace.space.get('backend')}")
+    print(f"speed                {args.speed}")
+    with service:
+        report = replay_trace(
+            service,
+            trace,
+            speed=args.speed,
+            verify=not args.no_verify,
+        )
+        if controller is not None:
+            controller.close()
+    print(f"replayed             {report.requests} requests, "
+          f"{report.updates} updates in {report.wall_seconds:.2f}s "
+          f"({report.throughput_rps:.1f} rps)")
+    if report.kills_injected or report.kills_skipped:
+        print(f"kills                {report.kills_injected} injected, "
+              f"{report.kills_skipped} skipped (tier has no kill hook)")
+    if report.promotions_applied or report.promotions_skipped:
+        print(f"promotions           {report.promotions_applied} re-stamped")
+    print(f"latency              {report.mean_latency_seconds * 1e3:.3f}ms "
+          f"mean vs {report.recorded_mean_latency_seconds * 1e3:.3f}ms "
+          f"recorded")
+    if args.no_verify:
+        print("verification         skipped (--no-verify)")
+    elif report.mismatches or report.lost:
+        print(f"verification         MISMATCH: "
+              f"{len(report.mismatches)} fields differ, "
+              f"{report.lost} requests lost")
+        for mismatch in report.mismatches[:10]:
+            print(f"  seq {mismatch['seq']} {mismatch['key']} "
+                  f"{mismatch['field']}: recorded {mismatch['recorded']!r} "
+                  f"!= replayed {mismatch['replayed']!r}", file=sys.stderr)
+    else:
+        print(f"verification         {report.verified}/{report.verified} "
+              f"bitwise-identical, {report.lost} lost")
+    print(f"results digest       {report.results_digest}")
+    if args.bench_out:
+        payload = {
+            "benchmark": "replay",
+            "config": {
+                "trace": str(args.trace),
+                "service": args.service,
+                "speed": args.speed,
+                "workers": service.workers,
+            },
+            "metrics": report.to_dict(),
+        }
+        with open(args.bench_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"bench                wrote {args.bench_out}")
+    ok = args.no_verify or report.ok
+    print(f"replay               {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def cmd_adapt(args: argparse.Namespace) -> int:
     """End-to-end adaptive loop over a synthetic drifting workload."""
     import tempfile
@@ -939,6 +1085,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=42)
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "record",
+        help="capture a seeded live workload into a replayable trace",
+    )
+    p.add_argument("--out", required=True, help="trace directory to write")
+    p.add_argument("--name", default="trace", help="trace name (header)")
+    p.add_argument(
+        "--service", default="inproc", choices=["inproc", "distributed"],
+        help="serving tier to record from",
+    )
+    p.add_argument("--system", default="cirrus", choices=sorted(SYSTEMS))
+    p.add_argument(
+        "--backend", default="serial",
+        choices=["serial", "openmp", "cuda", "hip"],
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="service threads (worker processes with --service distributed)",
+    )
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument(
+        "--sessions", type=int, default=2,
+        help="client sessions the requests round-robin across",
+    )
+    p.add_argument(
+        "-n", "--n-matrices", type=int, default=4,
+        help="distinct matrices in the workload corpus",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--family", default=None, choices=sorted(EVOLVING_FAMILIES),
+        help="add one evolving matrix from this family to the corpus",
+    )
+    p.add_argument(
+        "--updates", type=int, default=0,
+        help="evolving-matrix update barriers to interleave (needs --family)",
+    )
+    p.add_argument(
+        "--spmm-every", type=int, default=0,
+        help="every Nth request is a 4-column block SpMM (0 = vectors only)",
+    )
+    p.add_argument(
+        "--promote-at", type=int, default=0,
+        help="promote a fresh model after N requests (recorded event)",
+    )
+    p.add_argument(
+        "--kill-at", type=int, default=0,
+        help="SIGKILL a worker after N requests (--service distributed)",
+    )
+    p.add_argument(
+        "--kill-with-update", action="store_true",
+        help="fire the kill immediately after an update barrier is "
+             "submitted, so it lands mid-barrier (--service distributed)",
+    )
+    p.add_argument(
+        "--compact", action="store_true",
+        help="small fixed corpus (hundreds of rows) instead of sampled "
+             "collection sizes — keeps the trace directory tiny",
+    )
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically re-drive a recorded trace, verify bitwise",
+    )
+    p.add_argument("--trace", required=True, help="trace directory to replay")
+    p.add_argument(
+        "--speed", default="max", choices=["1x", "10x", "100x", "max"],
+        help="virtual-clock pacing of recorded arrival times",
+    )
+    p.add_argument(
+        "--service", default="inproc",
+        choices=["inproc", "distributed", "adaptive"],
+        help="serving tier to replay against",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="service threads / worker processes (defaults per tier)",
+    )
+    p.add_argument(
+        "--registry", default=None,
+        help="model-registry directory for --service adaptive",
+    )
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip bitwise verification against the recorded digests",
+    )
+    p.add_argument(
+        "--bench-out", default="BENCH_replay.json",
+        help="write the replay report here as JSON ('' = skip)",
+    )
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "adapt",

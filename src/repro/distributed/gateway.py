@@ -43,7 +43,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -183,6 +183,7 @@ class DistributedService:
         self.promotions = 0
         self._closed = False
         self._observer = None
+        self._kill_listener = None
         self._observer_errors = 0
         # request plumbing
         self._pending = FingerprintQueues()
@@ -191,7 +192,11 @@ class DistributedService:
         self._inflight_lock = threading.Lock()
         self._inflight_drained = threading.Condition(self._inflight_lock)
         self._matrices: Dict[str, object] = {}
-        self._delta_log: Dict[str, List[MatrixDelta]] = {}
+        # acked (delta, had_decision-at-apply) pairs per fingerprint
+        self._delta_log: Dict[str, List[Tuple[MatrixDelta, bool]]] = {}
+        # fingerprints with at least one acked SpMV: serving derives a
+        # tuner decision, so a respawn must re-derive it too
+        self._served: set = set()
         self._matrix_synced: Dict[str, int] = {}
         self._state_lock = threading.Lock()
         # per-worker send serialisation + death gates (closed while a
@@ -518,10 +523,11 @@ class DistributedService:
                 return
             matrix = self._matrices.get(fp)
             deltas = list(self._delta_log.get(fp, ()))
+            served = fp in self._served
         if matrix is None:
             return
         if self.supervisor.send(
-            worker, ("matrix", fp, matrix, deltas), expect=incarnation
+            worker, ("matrix", fp, matrix, deltas, served), expect=incarnation
         ):
             with self._state_lock:
                 self._matrix_synced[fp] = incarnation
@@ -559,6 +565,12 @@ class DistributedService:
         if entry is None:
             return  # duplicate reply after a resend race
         batch = entry.batch
+        with self._state_lock:
+            # an acked SpMV means the worker holds a serving decision
+            # for this fingerprint — a respawn must re-derive it or its
+            # next update anchors drift differently than the dead
+            # worker's would have
+            self._served.add(fp)
         base = self.pool.view(entry.out_ref, release_with_view=True)
         self.pool.release(entry.x_ref)
         done_at = time.perf_counter()
@@ -605,8 +617,12 @@ class DistributedService:
         request = entry.batch[0]
         with self._state_lock:
             # the log holds *acknowledged* deltas only: replay on a
-            # respawn rebuilds exactly the state this worker confirmed
-            self._delta_log.setdefault(fp, []).append(request.delta)
+            # respawn rebuilds exactly the state this worker confirmed.
+            # had_decision rides along so the replay re-derives the
+            # serving decision before deltas that were applied under one
+            self._delta_log.setdefault(fp, []).append(
+                (request.delta, bool(meta.get("had_decision", False)))
+            )
         latency = time.perf_counter() - request.enqueued_at
         with self._metrics_lock:
             self.requests_served += 1
@@ -732,8 +748,30 @@ class DistributedService:
         self._worker_gates[index].set()
 
     def kill_worker(self, index: int) -> Optional[int]:
-        """Failure-injection hook: SIGKILL one worker (tests, drills)."""
-        return self.supervisor.kill(index)
+        """Failure-injection hook: SIGKILL one worker (tests, drills).
+
+        A registered kill listener (:meth:`set_kill_listener`) is told
+        about every injected kill — how trace capture records fault
+        drills as replayable events.  Listener errors are swallowed:
+        observation must not break the drill.
+        """
+        pid = self.supervisor.kill(index)
+        listener = self._kill_listener
+        if listener is not None:
+            try:
+                listener(int(index), pid)
+            except Exception:
+                pass
+        return pid
+
+    def set_kill_listener(self, listener) -> None:
+        """Install (or clear, with ``None``) the injected-kill listener.
+
+        Called as ``listener(index, pid)`` after each
+        :meth:`kill_worker`; the trace recorder uses this to capture
+        kill events alongside the requests they interleave with.
+        """
+        self._kill_listener = listener
 
     # ------------------------------------------------------------------
     # model management

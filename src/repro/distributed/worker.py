@@ -23,9 +23,10 @@ shared memory, see :mod:`repro.distributed.shm`):
 ====================================  ================================
 gateway -> worker                     worker -> gateway
 ====================================  ================================
-``("matrix", fp, matrix, deltas)``    —  (state transfer; the delta
-                                      list replays acked mutations on
-                                      respawn)
+``("matrix", fp, matrix, deltas,``    —  (state transfer; the delta
+``served)``                           list replays acked mutations on
+                                      respawn; ``served`` primes the
+                                      serving decision first)
 ``("batch", id, fp, spec)``           ``("done", id, fp, metas, obs)``
 ``("update", id, fp, delta)``         ``("update_done", id, fp, meta)``
 ``("promote", id, tuner, info)``      ``("promoted", id)``
@@ -117,6 +118,10 @@ class _WorkerState:
             capacity=max(1, config.capacity),
             shards=max(1, config.shards),
             on_evict=self._retire_engine,
+            # mutated stream content lives only in its engine; evicting
+            # one would silently lose acknowledged updates (the gateway
+            # delta log replays only on respawn, not on cache misses)
+            pinned=lambda _key, engine: engine.has_mutated_streams(),
         )
         self.segments = SegmentCache()
         self.matrices: Dict[str, object] = {}
@@ -232,6 +237,10 @@ class _WorkerState:
         """Apply one mutation under the shard lock; returns its meta."""
         matrix = self.matrices[fp]
         with self.engines.lease(fp) as engine:
+            # recorded alongside the acked delta: a respawn replaying
+            # the log must re-derive the decision before this delta iff
+            # one existed now, or the rebuilt drift anchors diverge
+            had_decision = engine.has_decision(fp)
             upd = engine.update(fp, delta, matrix=matrix)
         self.requests_served += 1
         self.updates_served += 1
@@ -243,25 +252,44 @@ class _WorkerState:
             "format": upd.format,
             "drift": upd.drift,
             "nnz": upd.nnz,
+            "had_decision": had_decision,
         }
 
-    def install_matrix(self, fp: str, matrix, deltas) -> None:
+    def install_matrix(self, fp: str, matrix, deltas, served=False) -> None:
         """Adopt one matrix, replaying its acked mutation log in order.
 
         On a fresh worker the log is empty; on a respawn it rebuilds the
         exact epoch the dead worker had acknowledged — each delta is a
         deterministic transformation, so the rebuilt matrix state and
-        its epoch stamps reproduce bitwise.  The replay runs with
-        ``replay=True`` so the rebuilt engine does not count the
-        applications again: the dead incarnation already counted them,
-        and its last-heartbeat snapshot folded them into the gateway's
-        retired totals — recounting would make fleet ``stats()``
-        diverge from single-process accounting after every respawn.
+        its epoch stamps reproduce bitwise.  ``served`` means the dead
+        worker acknowledged at least one SpMV for this fingerprint, so a
+        serving decision existed there; log entries additionally carry
+        the ``had_decision`` flag the dead worker observed when it
+        applied each delta.  Either way the decision is re-derived (it
+        is deterministic) before the affected updates replay, so the
+        stream's drift anchors rebuild exactly — without this, the
+        replayed (or resent) updates take the no-decision early path and
+        the next live update computes drift against the wrong anchor.
+        The replay runs with ``replay=True`` so the rebuilt engine does
+        not count the applications again: the dead incarnation already
+        counted them, and its last-heartbeat snapshot folded them into
+        the gateway's retired totals — recounting would make fleet
+        ``stats()`` diverge from single-process accounting after every
+        respawn.
         """
         self.matrices[fp] = matrix
-        for delta in deltas:
+        for delta, had_decision in deltas:
             with self.engines.lease(fp) as engine:
+                if had_decision:
+                    engine.prime_decision(fp, matrix=matrix)
                 engine.update(fp, delta, matrix=matrix, replay=True)
+        if served:
+            # An SpMV acked between two logged deltas is already primed
+            # at the right point by the later delta's flag; priming here
+            # covers an SpMV acked after the last logged delta (or with
+            # an empty log), from the same stream content it saw live.
+            with self.engines.lease(fp) as engine:
+                engine.prime_decision(fp, matrix=matrix)
 
     def promote(self, tuner, info: Dict[str, object]) -> None:
         """Adopt a promoted model for current and future engines."""
@@ -394,8 +422,8 @@ def worker_main(config: WorkerConfig, conn) -> None:
             if kind == "shutdown":
                 break
             if kind == "matrix":
-                _, fp, matrix, deltas = message
-                state.install_matrix(fp, matrix, deltas)
+                _, fp, matrix, deltas, served = message
+                state.install_matrix(fp, matrix, deltas, served=served)
             elif kind == "batch":
                 _, batch_id, fp, spec = message
                 try:

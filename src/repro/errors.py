@@ -18,6 +18,7 @@ __all__ = [
     "ModelError",
     "ModelIOError",
     "NotFittedError",
+    "TraceError",
     "TuningError",
     "ValidationError",
 ]
@@ -69,3 +70,7 @@ class TuningError(ReproError):
 
 class AdaptiveError(ReproError):
     """The adaptive loop (telemetry, drift, retrain, registry) failed."""
+
+
+class TraceError(ReproError):
+    """A recorded trace is malformed, missing, or failed to capture/replay."""

@@ -74,6 +74,7 @@ __all__ = [
     "set_enabled_backends",
     "enabled_backends",
     "only_backends",
+    "gpu_backend_available",
     "modelled_speedup",
     "modelled_warmup_seconds",
     "register_default_backends",
@@ -146,6 +147,18 @@ def probe_backends(*, refresh: bool = False) -> Dict[str, KernelBackendInfo]:
             "numba": _probe_numba(),
         }
     return dict(_probed)
+
+
+def gpu_backend_available() -> bool:
+    """True when a device-resident GPU kernel backend can be registered.
+
+    The registry currently carries CPU generations only; the GPU
+    execution spaces (cuda/hip) are *modelled* through the cost model,
+    not executed on a device.  A real GPU tier needs CuPy, so this
+    probes for an importable ``cupy`` — benchmarks asserting on-device
+    behaviour call it to skip cleanly on CPU-only hosts.
+    """
+    return importlib.util.find_spec("cupy") is not None
 
 
 def backend_info(name: str) -> KernelBackendInfo:

@@ -599,6 +599,66 @@ class WorkloadEngine:
         state = self._streams.get(key)
         return state.epoch if state is not None else 0
 
+    def has_decision(self, key: str) -> bool:
+        """True when a memoised tuner decision exists for *key*."""
+        return key in self._reports
+
+    def prime_decision(
+        self, key: str, matrix: Optional[MatrixLike] = None
+    ) -> None:
+        """Recreate the tuner decision for *key*, with no accounting effect.
+
+        The distributed tier's respawn path uses this while replaying a
+        matrix's acknowledged mutation log: a delta that was applied
+        while a serving decision existed must replay against one too,
+        otherwise the rebuilt stream skips the drift bookkeeping (the
+        no-decision early path in :meth:`update`) and its anchors
+        diverge from the state the dead worker acknowledged.  The tuner
+        is deterministic on the modelled spaces, so re-deriving the
+        decision reproduces it.  No-op when a decision already exists;
+        *matrix* is only needed for keys not yet tracked as streams.
+        """
+        if key in self._reports:
+            return
+        counters = copy.copy(self.counters)
+        seconds = dict(self.seconds)
+        invalidations = copy.copy(self.invalidations)
+        try:
+            state = self._streams.get(key)
+            if state is not None:
+                content = state.content()
+                stats = self._stats.get(key)
+                if stats is None:
+                    stats = state.inc.to_stats()
+            elif matrix is not None:
+                content = (
+                    matrix.concrete
+                    if isinstance(matrix, DynamicMatrix)
+                    else matrix
+                )
+                stats = self.stats_for(content, key=key)
+            else:
+                raise ValidationError(
+                    f"unknown stream {key!r}: pass matrix= to prime a "
+                    "decision for an untracked key"
+                )
+            self._decide(content, key, stats)
+        finally:
+            self.counters = counters
+            self.seconds = seconds
+            self.invalidations = invalidations
+
+    def has_mutated_streams(self) -> bool:
+        """True when any tracked stream has absorbed updates.
+
+        Merged stream content exists nowhere but this engine — the
+        caller's matrix is still the pre-update epoch — so an engine
+        with mutated streams cannot be dropped and rebuilt without
+        silently losing acknowledged mutations.  Engine caches use this
+        to exempt such engines from eviction.
+        """
+        return any(state.updates > 0 for state in self._streams.values())
+
     def update(
         self,
         key: str,

@@ -29,6 +29,7 @@ from repro.service.replay import (
     replay,
     service_for_suite,
     synthetic_trace,
+    trace_from_recorded,
     trace_from_suite,
 )
 from repro.service.service import (
@@ -49,5 +50,6 @@ __all__ = [
     "replay",
     "service_for_suite",
     "synthetic_trace",
+    "trace_from_recorded",
     "trace_from_suite",
 ]

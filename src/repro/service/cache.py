@@ -71,6 +71,15 @@ class ShardedEngineCache:
         Optional hook called with ``(key, value)`` right after a value
         leaves the cache (still under the shard lock); the service uses
         it to fold the evicted engine's accounting into its own totals.
+    pinned:
+        Optional predicate ``(key, value) -> bool``; entries it returns
+        ``True`` for are exempt from eviction.  The LRU walk skips them
+        and evicts the oldest unpinned entry instead; when *every*
+        entry in an over-budget shard is pinned, the shard is allowed
+        to overflow its slice rather than discard a pinned value.  The
+        service pins engines holding mutated streams — their merged
+        content exists nowhere else, so evicting one would silently
+        lose acknowledged matrix updates.
     """
 
     def __init__(
@@ -80,6 +89,7 @@ class ShardedEngineCache:
         capacity: int = 64,
         shards: int = 8,
         on_evict: Optional[Callable[[str, T], None]] = None,
+        pinned: Optional[Callable[[str, T], bool]] = None,
     ) -> None:
         if capacity < 1:
             raise ValidationError(f"capacity must be >= 1, got {capacity}")
@@ -95,6 +105,7 @@ class ShardedEngineCache:
             _Shard(base + (1 if i < extra else 0)) for i in range(self.n_shards)
         ]
         self.on_evict = on_evict
+        self.pinned = pinned
         self._counter_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -135,7 +146,22 @@ class ShardedEngineCache:
                 value = self.factory()
                 shard.entries[key] = value
                 while len(shard.entries) > shard.capacity:
-                    old_key, old_value = shard.entries.popitem(last=False)
+                    victim = None
+                    for old_key, old_value in shard.entries.items():
+                        if old_key is key:
+                            continue  # never evict the entry being leased
+                        if self.pinned is not None and self.pinned(
+                            old_key, old_value
+                        ):
+                            continue
+                        victim = (old_key, old_value)
+                        break
+                    if victim is None:
+                        # every candidate is pinned: overflow the shard
+                        # rather than lose un-reconstructable state
+                        break
+                    old_key, old_value = victim
+                    del shard.entries[old_key]
                     with self._counter_lock:
                         self.evictions += 1
                     if self.on_evict is not None:

@@ -16,6 +16,13 @@ concurrent client threads:
   whose tuner is a model the suite exported (loaded through
   :mod:`repro.core.model_io` via the suite's ``models/<fingerprint>/``
   model database);
+* :func:`trace_from_recorded` — adapt a **recorded** trace directory
+  (:mod:`repro.trace`) into this module's :class:`Trace`: the captured
+  matrices and operand contents become a throughput-driver workload, so
+  the multi-client :func:`replay` can hammer a service with real
+  recorded traffic (the *deterministic* re-execution of a recording —
+  order, barriers, bitwise verification — lives in
+  :func:`repro.trace.replay.replay_trace`);
 * :func:`replay` — drive a service with N concurrent client sessions and
   report wall throughput, latency and the service's own counters.
 
@@ -33,7 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.collection import MatrixCollection
-from repro.errors import ValidationError
+from repro.errors import TuningError, ValidationError
 from repro.formats.dynamic import DynamicMatrix
 from repro.service.service import ServiceResult, TuningService
 
@@ -41,6 +48,7 @@ __all__ = [
     "Trace",
     "ReplayReport",
     "synthetic_trace",
+    "trace_from_recorded",
     "trace_from_suite",
     "service_for_suite",
     "replay",
@@ -188,6 +196,41 @@ def trace_from_suite(
     return trace, spec
 
 
+def trace_from_recorded(trace) -> Trace:
+    """Adapt a recorded trace (:mod:`repro.trace`) into a driver Trace.
+
+    *trace* is a :class:`~repro.trace.format.RecordedTrace` or a trace
+    directory path.  The captured matrices become the corpus and the
+    recorded ``spmv`` events (in submission order) become the request
+    sequence, with the *exact recorded operand contents* attached — so
+    two replays of the adapted trace issue bitwise-identical requests,
+    same as a synthetic trace.  Updates, kills and promotions are not
+    representable in this flat driver view; use
+    :func:`repro.trace.replay.replay_trace` to re-execute those
+    faithfully.
+    """
+    from repro.trace.format import RecordedTrace
+
+    if not isinstance(trace, RecordedTrace):
+        trace = RecordedTrace.load(trace)
+    matrices = {
+        key: DynamicMatrix(coo) for key, coo in trace.matrices().items()
+    }
+    spmv_events = sorted(
+        (e for e in trace.events if e["kind"] == "spmv"),
+        key=lambda e: e["seq"],
+    )
+    sequence = [str(e["key"]) for e in spmv_events]
+    operands = {i: trace.operand(e) for i, e in enumerate(spmv_events)}
+    return Trace(
+        matrices=matrices,
+        sequence=sequence,
+        seed=trace.seed,
+        source=f"recorded:{trace.name}",
+        _operands=operands,
+    )
+
+
 def service_for_suite(
     store_root,
     *,
@@ -219,9 +262,17 @@ def service_for_suite(
             f"no index {target}"
         )
     t = spec.targets[target]
+    model_dir = os.path.join(store.root, "models", spec.fingerprint)
+    if not os.path.isdir(model_dir):
+        # fail before any service/worker construction: a suite that was
+        # never exported must not leave a half-built service behind
+        raise TuningError(
+            f"suite {spec.name!r} has no exported model database at "
+            f"{model_dir}; run its export stage first"
+        )
     cls = service_cls or TuningService
     return cls.from_model_database(
-        os.path.join(store.root, "models", spec.fingerprint),
+        model_dir,
         t.system,
         t.backend,
         algorithm=algorithm or spec.algorithms[0],

@@ -226,6 +226,9 @@ class TuningService:
             capacity=capacity,
             shards=shards,
             on_evict=self._retire_engine,
+            # mutated stream content lives only in its engine; evicting
+            # one would silently lose acknowledged updates
+            pinned=lambda _key, engine: engine.has_mutated_streams(),
         )
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-service"

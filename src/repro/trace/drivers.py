@@ -1,0 +1,247 @@
+"""Canonical recorded workloads: the traffic generators behind capture.
+
+Trace layer 0 (the traffic side).  :func:`record_workload` drives a live
+service with a seeded, mixed-session workload — a
+:class:`~repro.datasets.collection.MatrixCollection` corpus with
+hot/cold reuse, optionally an evolving matrix from one of the
+:data:`~repro.datasets.evolving.EVOLVING_FAMILIES` whose deltas are
+interleaved as update barriers, optionally a mid-run model promotion
+and/or an injected worker kill — while a
+:class:`~repro.trace.recorder.TraceRecorder` captures everything.  The
+CLI ``record`` subcommand, the golden-trace generator
+(``tools/make_golden_traces.py``) and the property tests all call this
+one function, so "a recorded trace" means the same thing everywhere.
+
+:func:`service_for_trace` is the inverse helper: build a service
+matching a trace header's space/tuner for replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.tuners.run_first import RunFirstTuner
+from repro.datasets.collection import MatrixCollection
+from repro.datasets.evolving import generate_evolving
+from repro.errors import ValidationError
+from repro.formats.dynamic import DynamicMatrix
+from repro.trace.format import RecordedTrace
+from repro.trace.recorder import TraceRecorder
+
+__all__ = ["record_workload", "service_for_trace"]
+
+#: Compact evolving-family parameters for recorded traces (the stock
+#: defaults build matrices too large to commit as golden fixtures).
+_FAMILY_PARAMS: Dict[str, Dict[str, object]] = {
+    "growing_rmat": {"scale": 6, "edges_per_epoch": 48},
+    "widening_band": {"n": 96},
+    "decaying_stencil": {"nx": 10},
+}
+
+#: The ``compact=True`` corpus: small fixed generator calls spanning the
+#: structural spectrum (banded / stencil / power-law / uniform), a few
+#: hundred rows each, so a committed golden trace stays tens of KiB.
+_COMPACT_CORPUS = (
+    ("banded", {"n": 192, "half_bandwidth": 3}),
+    ("stencil_2d", {"nx": 14, "points": 5}),
+    ("powerlaw", {"n": 160, "avg_row_nnz": 6.0}),
+    ("uniform_random", {"n": 128, "avg_row_nnz": 8.0}),
+    ("block_diagonal", {"n": 144, "block": 12}),
+    ("hypersparse", {"n": 200, "density": 0.15}),
+)
+
+
+def _compact_matrices(n_matrices: int, seed: int) -> Dict[str, DynamicMatrix]:
+    from repro.datasets.generators import generate_family
+
+    matrices: Dict[str, DynamicMatrix] = {}
+    for i in range(n_matrices):
+        family, params = _COMPACT_CORPUS[i % len(_COMPACT_CORPUS)]
+        name = f"{family}_{i}"
+        matrices[name] = DynamicMatrix(
+            generate_family(family, seed=seed + i, **params)
+        )
+    return matrices
+
+
+def record_workload(
+    service,
+    out,
+    *,
+    name: str = "trace",
+    source: str = "synthetic",
+    requests: int = 32,
+    sessions: int = 2,
+    n_matrices: int = 4,
+    seed: int = 42,
+    family: Optional[str] = None,
+    updates: int = 0,
+    spmm_every: int = 0,
+    promote_at: int = 0,
+    kill_at: int = 0,
+    kill_with_update: bool = False,
+    compact: bool = False,
+    timeout: float = 120.0,
+) -> RecordedTrace:
+    """Drive *service* with a seeded mixed workload and record it to *out*.
+
+    Parameters
+    ----------
+    requests:
+        SpMV/SpMM requests to issue (updates/kills/promotions are extra
+        events on top).
+    sessions:
+        Client sessions the requests round-robin across.
+    n_matrices:
+        Corpus size; traffic is hot/cold skewed across it.
+    family / updates:
+        With a *family*, one evolving matrix joins the corpus and its
+        first *updates* deltas are interleaved as update barriers,
+        evenly spaced through the request stream.
+    spmm_every:
+        Every ``spmm_every``-th request is a 4-column block SpMM
+        (``0`` = vectors only).
+    promote_at:
+        After that many requests, promote a fresh tuner under version
+        ``"v2-replay"`` (captured as a ``promote`` event).
+    kill_at / kill_with_update:
+        After ``kill_at`` requests, kill the worker owning the evolving
+        (or first) matrix — immediately after submitting an update
+        barrier for it when *kill_with_update* is set, so the kill lands
+        while the barrier is in flight.  Ignored on services without
+        ``kill_worker``.
+    compact:
+        Draw the corpus from a fixed set of small generator calls
+        (hundreds of rows) instead of a sampled
+        :class:`MatrixCollection` — committed golden traces use this so
+        the on-disk corpus stays tens of KiB.
+    """
+    if requests < 1:
+        raise ValidationError(f"requests must be >= 1, got {requests}")
+    if sessions < 1:
+        raise ValidationError(f"sessions must be >= 1, got {sessions}")
+    if updates and not family:
+        raise ValidationError("updates need an evolving family")
+
+    if compact:
+        matrices = _compact_matrices(n_matrices, seed)
+    else:
+        collection = MatrixCollection(n_matrices=n_matrices, seed=seed)
+        matrices = {
+            s.name: DynamicMatrix(collection.generate(s))
+            for s in collection.subset(n_matrices)
+        }
+    names = list(matrices)
+
+    deltas = []
+    evolving_key = None
+    if family is not None:
+        params = dict(_FAMILY_PARAMS.get(family, {}))
+        params["epochs"] = max(updates, 1)
+        workload = generate_evolving(family, seed=seed, **params)
+        evolving_key = f"evolving:{workload.name}"
+        matrices[evolving_key] = DynamicMatrix(workload.initial)
+        names.append(evolving_key)
+        deltas = list(workload.deltas[:updates])
+
+    recorder = TraceRecorder(service, name=name, source=source, seed=seed)
+    clients = [recorder.session(f"s{i}") for i in range(sessions)]
+    rng = np.random.default_rng(seed)
+    hot = names[: max(1, len(names) // 2)]
+    update_every = requests // (len(deltas) + 1) if deltas else 0
+    kill_key = evolving_key or names[0]
+    can_kill = hasattr(service, "kill_worker") and hasattr(
+        service, "worker_of"
+    )
+
+    issued = 0
+    next_delta = 0
+    killed = False
+    for i in range(requests):
+        if (
+            update_every
+            and next_delta < len(deltas)
+            and i > 0
+            and i % update_every == 0
+        ):
+            fut = clients[i % sessions].submit_update(
+                matrices[evolving_key], deltas[next_delta], key=evolving_key
+            )
+            next_delta += 1
+            if kill_with_update and can_kill and not killed:
+                service.kill_worker(service.worker_of(evolving_key))
+                killed = True
+            fut.result()  # keep the barrier a barrier for the driver too
+        pool = hot if rng.random() < 0.8 else names
+        key = pool[int(rng.integers(0, len(pool)))]
+        session = clients[i % sessions]
+        ncols = matrices[key].ncols
+        if spmm_every and (i + 1) % spmm_every == 0:
+            operand = rng.standard_normal((ncols, 4))
+        else:
+            operand = rng.standard_normal(ncols)
+        session.submit(matrices[key], operand, key=key)
+        issued += 1
+        if promote_at and issued == promote_at:
+            service.promote_model(
+                RunFirstTuner(), version="v2-replay", source="record_workload"
+            )
+        if kill_at and issued == kill_at and can_kill and not killed:
+            service.kill_worker(service.worker_of(kill_key))
+            killed = True
+    # drain any deltas the spacing left over, as trailing barriers
+    while next_delta < len(deltas):
+        clients[0].update(
+            matrices[evolving_key], deltas[next_delta], key=evolving_key
+        )
+        next_delta += 1
+    return recorder.finish(out, timeout=timeout)
+
+
+def service_for_trace(
+    trace: RecordedTrace,
+    kind: str = "inproc",
+    *,
+    workers: Optional[int] = None,
+    tuner=None,
+    **kwargs,
+):
+    """A service matching *trace*'s recorded space, ready for replay.
+
+    *trace* may be a :class:`RecordedTrace` or a trace directory path.
+    ``kind`` selects the tier: ``"inproc"`` builds a
+    :class:`~repro.service.service.TuningService`, ``"distributed"`` a
+    :class:`~repro.distributed.gateway.DistributedService` (default 4
+    workers).  The tuner defaults to a fresh
+    :class:`~repro.core.tuners.run_first.RunFirstTuner` — deterministic
+    on the modelled spaces, which is what recorded traces are captured
+    with; pass *tuner* to replay under a different model.
+    """
+    from repro.backends import make_space
+
+    if not isinstance(trace, RecordedTrace):
+        trace = RecordedTrace.load(trace)
+    space_info = trace.space
+    space = make_space(
+        space_info.get("system", "cirrus"),
+        space_info.get("backend", "serial"),
+    )
+    if tuner is None:
+        tuner = RunFirstTuner()
+    if kind == "inproc":
+        from repro.service.service import TuningService
+
+        return TuningService(
+            space, tuner, workers=workers or 2, **kwargs
+        )
+    if kind == "distributed":
+        from repro.distributed.gateway import DistributedService
+
+        return DistributedService(
+            space, tuner, workers=workers or 4, **kwargs
+        )
+    raise ValidationError(
+        f"unknown service kind {kind!r}; expected 'inproc' or 'distributed'"
+    )

@@ -1,0 +1,312 @@
+"""Deterministic replay of recorded traces against any service tier.
+
+Trace layer 3.  :func:`replay_trace` re-drives a
+:class:`~repro.trace.format.RecordedTrace` against a live service:
+
+* **Deterministic scheduling** — one dispatcher thread submits every
+  event asynchronously in recorded global order (``seq``).  The
+  services' per-fingerprint queues are FIFO, so per-matrix request
+  order, update barriers and epoch attribution replay exactly as
+  recorded, while the worker pool still overlaps and coalesces requests
+  across fingerprints exactly as live traffic would.
+* **Virtual-clock pacing** — at speed ``1x``/``10x``/``100x`` the
+  dispatcher sleeps until each event's recorded arrival offset (scaled)
+  before submitting; ``max`` submits as fast as the services accept.
+  Pacing shifts wall time only: the submission *order* (and therefore
+  every result) is identical at every speed.
+* **Bitwise verification** — every replayed result is digested with the
+  same :func:`~repro.trace.format.array_digest` the recorder used and
+  compared against the recorded ``y_digest`` (plus epoch and format);
+  mismatches are itemised in the report.
+* **Fault re-injection** — recorded ``kill`` events re-kill the worker
+  owning the recorded *anchor* key (stable under any fleet size);
+  recorded promotions re-stamp the deployed model version.  Both are
+  skipped (and counted as skipped) on tiers without the hook.
+
+The :class:`TraceReplayReport`'s :meth:`~TraceReplayReport.deterministic`
+block — per-request digests, epochs, formats — is the replay oracle: two
+replays of the same trace must produce byte-identical blocks, whatever
+the tier, worker count or speed.  Wall timings live outside the block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import TraceError, ValidationError
+from repro.formats.dynamic import DynamicMatrix
+from repro.trace.format import RecordedTrace, array_digest, load_trace
+
+__all__ = ["SPEEDS", "TraceReplayReport", "replay_trace"]
+
+#: CLI speed names -> arrival-time scale factor (``None`` = no pacing).
+SPEEDS: Dict[str, Optional[float]] = {
+    "1x": 1.0,
+    "10x": 10.0,
+    "100x": 100.0,
+    "max": None,
+}
+
+#: spmv-result fields compared (and reported) per replayed request.
+_SPMV_FIELDS = ("y_digest", "epoch", "format")
+_UPDATE_FIELDS = ("epoch", "carried_forward", "retuned", "format", "drift")
+
+
+@dataclass
+class TraceReplayReport:
+    """Outcome of one trace replay.
+
+    Everything derived from result *content* lives in
+    :meth:`deterministic`; wall-clock numbers (``wall_seconds``,
+    latencies, ``service_stats``) sit alongside for reporting and are
+    excluded from :attr:`results_digest`.
+    """
+
+    trace_name: str
+    trace_fingerprint: str
+    speed: str
+    requests: int = 0
+    updates: int = 0
+    verified: int = 0
+    mismatches: List[Dict[str, object]] = field(default_factory=list)
+    lost: int = 0
+    kills_injected: int = 0
+    kills_skipped: int = 0
+    promotions_applied: int = 0
+    promotions_skipped: int = 0
+    records: List[Dict[str, object]] = field(default_factory=list, repr=False)
+    wall_seconds: float = 0.0
+    mean_latency_seconds: float = 0.0
+    recorded_wall_seconds: float = 0.0
+    recorded_mean_latency_seconds: float = 0.0
+    service_stats: Dict[str, object] = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        """Did every verified result match and every request complete?"""
+        return not self.mismatches and self.lost == 0
+
+    def deterministic(self) -> Dict[str, object]:
+        """The content-only view: identical across conforming replays."""
+        return {
+            "trace_fingerprint": self.trace_fingerprint,
+            "requests": self.requests,
+            "updates": self.updates,
+            "records": self.records,
+        }
+
+    @property
+    def results_digest(self) -> str:
+        """Digest of :meth:`deterministic` — the one-line replay oracle."""
+        payload = json.dumps(
+            self.deterministic(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON view (the CLI's ``BENCH_replay.json`` payload)."""
+        return {
+            "trace": self.trace_name,
+            "trace_fingerprint": self.trace_fingerprint,
+            "speed": self.speed,
+            "requests": self.requests,
+            "updates": self.updates,
+            "verified": self.verified,
+            "mismatches": self.mismatches,
+            "lost": self.lost,
+            "kills_injected": self.kills_injected,
+            "kills_skipped": self.kills_skipped,
+            "promotions_applied": self.promotions_applied,
+            "promotions_skipped": self.promotions_skipped,
+            "ok": self.ok,
+            "results_digest": self.results_digest,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "recorded_wall_seconds": self.recorded_wall_seconds,
+            "recorded_mean_latency_seconds": self.recorded_mean_latency_seconds,
+        }
+
+
+def _resolve_speed(speed: Union[str, float, None]) -> Optional[float]:
+    if speed is None:
+        return None
+    if isinstance(speed, str):
+        if speed not in SPEEDS:
+            raise ValidationError(
+                f"unknown replay speed {speed!r}; expected one of "
+                f"{sorted(SPEEDS)}"
+            )
+        return SPEEDS[speed]
+    factor = float(speed)
+    if factor <= 0:
+        raise ValidationError(f"replay speed must be > 0, got {factor}")
+    return factor
+
+
+def replay_trace(
+    service,
+    trace: Union[RecordedTrace, str],
+    *,
+    speed: Union[str, float, None] = "max",
+    verify: bool = True,
+    inject_kills: bool = True,
+    apply_promotions: bool = True,
+    timeout: float = 300.0,
+) -> TraceReplayReport:
+    """Re-drive *trace* against *service*; verify results bitwise.
+
+    *service* may be any tier exposing the session/submit surface
+    (:class:`~repro.service.service.TuningService`,
+    :class:`~repro.distributed.gateway.DistributedService`, or an
+    adaptive-wrapped service).  Matrices are rebuilt fresh from the
+    trace, so the service starts from the recorded epoch-0 state.
+    """
+    if isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+        trace = load_trace(trace)
+    factor = _resolve_speed(speed)
+    speed_label = speed if isinstance(speed, str) else f"{factor}x"
+
+    matrices = {
+        key: DynamicMatrix(coo) for key, coo in trace.matrices().items()
+    }
+    events = sorted(trace.events, key=lambda e: e["seq"])
+    sessions: Dict[str, object] = {}
+    pending: List[tuple] = []
+
+    report = TraceReplayReport(
+        trace_name=trace.name,
+        trace_fingerprint=trace.fingerprint,
+        speed=str(speed_label),
+    )
+    recorded = trace.header.get("recorded", {})
+    report.recorded_wall_seconds = float(recorded.get("wall_seconds", 0.0))
+    report.recorded_mean_latency_seconds = float(
+        recorded.get("mean_latency_seconds", 0.0)
+    )
+
+    t_base = float(events[0]["t"]) if events else 0.0
+    t0 = time.perf_counter()
+    for event in events:
+        if factor is not None:
+            target = (float(event["t"]) - t_base) / factor
+            delay = target - (time.perf_counter() - t0)
+            if delay > 1e-4:
+                time.sleep(delay)
+        kind = event["kind"]
+        if kind == "spmv":
+            name = str(event.get("session", ""))
+            session = sessions.get(name)
+            if session is None:
+                session = sessions[name] = service.session(name)
+            key = str(event["key"])
+            future = session.submit(
+                matrices[key],
+                trace.operand(event),
+                key=key,
+                repetitions=int(event.get("repetitions", 1)),
+            )
+            pending.append((event, future))
+        elif kind == "update":
+            key = str(event["key"])
+            future = service.submit_update(
+                matrices[key], trace.delta(event), key=key
+            )
+            pending.append((event, future))
+        elif kind == "kill":
+            anchor = event.get("anchor")
+            if (
+                inject_kills
+                and anchor
+                and hasattr(service, "kill_worker")
+                and hasattr(service, "worker_of")
+            ):
+                service.kill_worker(service.worker_of(str(anchor)))
+                report.kills_injected += 1
+            else:
+                report.kills_skipped += 1
+        elif kind == "promote":
+            if apply_promotions and hasattr(service, "set_model_info"):
+                # A promotion is a barrier, like an update: the live swap
+                # reset every engine's stream drift anchor after earlier
+                # events had drained (update barriers serialise the
+                # driver), so replay must quiesce before re-stamping —
+                # otherwise queued pre-promote events re-anchor streams
+                # after the reset and later updates see phantom drift.
+                for _evt, in_flight in pending:
+                    try:
+                        in_flight.result(timeout=timeout)
+                    except Exception:
+                        pass  # counted as lost when results are collected
+                service.set_model_info(
+                    version=str(event.get("version", "")),
+                    algorithm=str(event.get("algorithm", "")),
+                )
+                report.promotions_applied += 1
+            else:
+                report.promotions_skipped += 1
+        else:  # pragma: no cover - load_trace already rejects these
+            raise TraceError(f"unknown event kind {kind!r}")
+
+    deadline = time.monotonic() + timeout
+    latencies: List[float] = []
+    for event, future in pending:
+        kind = event["kind"]
+        remaining = max(0.0, deadline - time.monotonic())
+        record: Dict[str, object] = {
+            "seq": int(event["seq"]),
+            "kind": kind,
+            "key": str(event["key"]),
+        }
+        try:
+            result = future.result(timeout=remaining)
+        except Exception as exc:
+            report.lost += 1
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            report.records.append(record)
+            continue
+        if kind == "spmv":
+            report.requests += 1
+            latencies.append(float(result.latency_seconds))
+            record["y_digest"] = array_digest(result.y)
+            record["epoch"] = int(result.epoch)
+            record["format"] = result.format
+        else:
+            report.updates += 1
+            record["epoch"] = int(result.epoch)
+            record["carried_forward"] = bool(result.carried_forward)
+            record["retuned"] = bool(result.retuned)
+            record["format"] = result.format
+            record["drift"] = float(result.drift)
+        report.records.append(record)
+        if verify and event.get("ok"):
+            fields = _SPMV_FIELDS if kind == "spmv" else _UPDATE_FIELDS
+            compared = False
+            for field_name in fields:
+                if field_name not in event:
+                    continue
+                compared = True
+                if record.get(field_name) != event[field_name]:
+                    report.mismatches.append({
+                        "seq": int(event["seq"]),
+                        "key": str(event["key"]),
+                        "field": field_name,
+                        "recorded": event[field_name],
+                        "replayed": record.get(field_name),
+                    })
+            if compared:
+                report.verified += 1
+    report.wall_seconds = time.perf_counter() - t0
+    report.mean_latency_seconds = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    report.service_stats = service.stats()
+    return report

@@ -99,6 +99,53 @@ class TestKillRecovery:
         assert after.epoch == 2
         assert np.array_equal(after.y, before.y)
 
+    def test_replayed_log_rebuilds_drift_anchors(self, rng, wait_until):
+        """Post-respawn updates must see the same drift chain as no-kill.
+
+        A delta acked while a serving decision existed carries
+        ``had_decision`` in the gateway log; the respawn replay primes
+        the (deterministic) decision before applying it, so the rebuilt
+        stream's drift anchor matches the dead worker's.  Without that,
+        the replayed update takes the no-decision early path and the
+        next live update reports drift 0.0 / carried_forward False
+        instead of the recorded chain — the trace-replay golden
+        ``kill-during-update`` flakes on exactly this.
+        """
+        from repro.backends import make_space
+        from repro.distributed import DistributedService
+        from repro.formats import COOMatrix
+        from repro.formats.dynamic import DynamicMatrix
+
+        dense = np.eye(32) + (rng.random((32, 32)) < 0.15)
+        delta1 = MatrixDelta.sets(
+            [0, 9, 17], [31, 4, 22], [2.0, -1.0, 3.0]
+        )
+        delta2 = MatrixDelta.sets(
+            [5, 11, 29, 2], [8, 30, 1, 19], [1.5, 2.5, -2.0, 4.0]
+        )
+
+        def chain(kill):
+            matrix = DynamicMatrix(COOMatrix.from_dense(dense))
+            with DistributedService(
+                make_space("cirrus", "serial"), RunFirstTuner(), workers=2
+            ) as service:
+                service.spmv(matrix, np.ones(32), key="evolving")
+                u1 = service.update(matrix, delta1, key="evolving")
+                if kill:
+                    service.kill_worker(service.worker_of("evolving"))
+                    wait_until(
+                        lambda: service.supervisor.handle(
+                            service.worker_of("evolving")
+                        ).incarnation == 1
+                    )
+                u2 = service.update(matrix, delta2, key="evolving")
+                return [
+                    (u.epoch, u.drift, u.carried_forward, u.retuned)
+                    for u in (u1, u2)
+                ]
+
+        assert chain(kill=True) == chain(kill=False)
+
     def test_unacked_update_applies_exactly_once(
         self, gateway, matrix_a, rng
     ):

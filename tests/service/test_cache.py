@@ -98,6 +98,73 @@ class TestLeaseAndEviction:
         assert len(cache.values()) == 2 == len(cache)
 
 
+class TestPinnedEntries:
+    """Pinned entries survive eviction; unpinned neighbours go instead."""
+
+    def test_pinned_entry_skipped_oldest_unpinned_evicted(self):
+        cache, _ = make_cache(capacity=2, shards=1)
+        pins = set()
+        cache.pinned = lambda key, value: key in pins
+        evicted = []
+        cache.on_evict = lambda key, value: evicted.append(key)
+        with cache.lease("a"):
+            pass
+        pins.add("a")
+        with cache.lease("b"):
+            pass
+        with cache.lease("c"):
+            pass
+        # "a" is the LRU but pinned; "b" takes the eviction instead
+        assert evicted == ["b"]
+        assert "a" in cache and "c" in cache
+
+    def test_all_pinned_shard_overflows_instead_of_evicting(self):
+        cache, _ = make_cache(capacity=1, shards=1)
+        cache.pinned = lambda key, value: True
+        evicted = []
+        cache.on_evict = lambda key, value: evicted.append(key)
+        for key in ("a", "b", "c"):
+            with cache.lease(key):
+                pass
+        assert evicted == []
+        assert len(cache) == 3  # over budget, but nothing lost
+        assert cache.stats()["evictions"] == 0
+
+    def test_mutated_stream_engine_survives_eviction_pressure(self):
+        """The service-level contract behind the pin: acknowledged
+        matrix updates must survive any amount of cache churn."""
+        import numpy as np
+
+        from repro.backends import make_space
+        from repro.core import RunFirstTuner
+        from repro.formats import COOMatrix
+        from repro.formats.delta import MatrixDelta
+        from repro.formats.dynamic import DynamicMatrix
+        from repro.service import TuningService
+
+        rng = np.random.default_rng(0)
+        dense = np.eye(8) + (rng.random((8, 8)) < 0.2)
+        evolving = DynamicMatrix(COOMatrix.from_dense(dense))
+        delta = MatrixDelta.sets(
+            np.array([0, 5]), np.array([7, 2]), np.array([3.0, -1.0])
+        )
+        # capacity 1: every other key would evict the evolving engine
+        with TuningService(
+            make_space("cirrus", "serial"), RunFirstTuner(),
+            workers=1, capacity=1,
+        ) as service:
+            first = service.update(evolving, delta, key="evolving")
+            assert first.epoch == 1
+            for i in range(4):
+                other = DynamicMatrix(
+                    COOMatrix.from_dense(np.eye(6) * (i + 1.0))
+                )
+                service.spmv(other, np.ones(6), key=f"churn-{i}")
+            second = service.update(evolving, delta, key="evolving")
+        # without pinning the churn resets the stream: epoch 1 again
+        assert second.epoch == 2
+
+
 class TestConcurrency:
     def test_concurrent_leases_build_each_key_once(self):
         # capacity 32 over 4 shards: no shard can overflow with 8 keys

@@ -7,13 +7,16 @@ import pytest
 
 from repro.backends import make_space
 from repro.core import RunFirstTuner
-from repro.errors import ValidationError
+from repro.errors import TuningError, ValidationError
 from repro.experiments import ArtifactStore, CorpusSpec, ExperimentSpec
 from repro.runtime.engine import WorkloadEngine
 from repro.service import (
+    Trace,
     TuningService,
     replay,
+    service_for_suite,
     synthetic_trace,
+    trace_from_recorded,
     trace_from_suite,
 )
 
@@ -91,3 +94,88 @@ class TestSuiteTrace:
     def test_missing_suite_raises(self, tmp_path):
         with pytest.raises(ValidationError):
             trace_from_suite(tmp_path)
+
+    def test_unexported_suite_fails_before_service_construction(
+        self, tmp_path
+    ):
+        """A spec without its export artifact must not build a partial
+        service — the error names the missing model database."""
+        spec = ExperimentSpec(
+            name="never-exported", corpus=CorpusSpec(n_matrices=4, seed=3)
+        )
+        store = ArtifactStore(tmp_path)
+        store.save_spec(spec)
+        with pytest.raises(TuningError, match="no exported model database"):
+            service_for_suite(tmp_path)
+
+
+class TestReplayEdgeCases:
+    def test_empty_trace(self):
+        space = make_space("cirrus", "serial")
+        trace = Trace(matrices={}, sequence=[])
+        assert len(trace) == 0
+        with TuningService(space, RunFirstTuner(), workers=1) as service:
+            report = replay(service, trace, clients=2)
+        assert report.requests == 0
+        assert report.results == []
+        assert report.throughput_rps == 0.0
+        assert report.mean_latency == 0.0
+        assert report.service_stats["requests_served"] == 0
+
+    def test_single_client_matches_many(self):
+        space = make_space("cirrus", "serial")
+        trace = synthetic_trace(3, 12, seed=8)
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            solo = replay(service, trace, clients=1)
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            many = replay(service, trace, clients=3)
+        assert solo.requests == many.requests == 12
+        for a, b in zip(solo.results, many.results):
+            assert np.array_equal(a.y, b.y)
+
+
+class TestRecordedTraceAdapter:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        from repro.trace import record_workload
+
+        out = tmp_path_factory.mktemp("recorded") / "t"
+        space = make_space("cirrus", "serial")
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            return record_workload(
+                service, out, name="adapted", source="test",
+                requests=8, sessions=2, n_matrices=3, seed=21, compact=True,
+            )
+
+    def test_adapter_preserves_sequence_and_operands(self, recorded):
+        trace = trace_from_recorded(recorded)
+        spmv = sorted(
+            (e for e in recorded.events if e["kind"] == "spmv"),
+            key=lambda e: e["seq"],
+        )
+        assert trace.source == "recorded:adapted"
+        assert trace.sequence == [e["key"] for e in spmv]
+        assert set(trace.sequence) <= set(trace.matrices)
+        for i, event in enumerate(spmv):
+            assert np.array_equal(trace.operand(i), recorded.operand(event))
+
+    def test_adapter_accepts_a_path(self, recorded):
+        by_path = trace_from_recorded(recorded.path)
+        by_object = trace_from_recorded(recorded)
+        assert by_path.sequence == by_object.sequence
+
+    def test_adapted_trace_drives_replay(self, recorded):
+        trace = trace_from_recorded(recorded)
+        space = make_space("cirrus", "serial")
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            report = replay(service, trace, clients=2)
+        assert report.requests == len(trace)
+        # operands come from the recording, so results are reproducible
+        engine = WorkloadEngine(space, RunFirstTuner())
+        for i, result in enumerate(report.results):
+            serial = engine.execute(
+                trace.matrices[trace.sequence[i]],
+                trace.operand(i),
+                key=trace.sequence[i],
+            )
+            assert np.array_equal(result.y, serial.y)

@@ -1,0 +1,52 @@
+"""Fixtures for the trace capture/replay suite.
+
+Recording is the expensive part (it drives a live service), so the
+shared small trace is captured once per session and replayed read-only
+by many tests — replays rebuild matrices fresh from the trace, so they
+never mutate the recorded directory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.service import TuningService
+from repro.trace import record_workload
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial")
+
+
+def record_small(out, **kwargs):
+    """Record a compact in-process workload to *out*."""
+    defaults = dict(
+        name="small",
+        source="test",
+        requests=10,
+        sessions=2,
+        n_matrices=3,
+        seed=7,
+        compact=True,
+    )
+    defaults.update(kwargs)
+    with TuningService(
+        make_space("cirrus", "serial"), RunFirstTuner(), workers=2
+    ) as service:
+        return record_workload(service, out, **defaults)
+
+
+@pytest.fixture(scope="session")
+def small_trace(tmp_path_factory):
+    """A session-shared compact trace: requests, updates, a promotion."""
+    out = tmp_path_factory.mktemp("trace") / "small"
+    return record_small(
+        out,
+        requests=12,
+        family="widening_band",
+        updates=2,
+        promote_at=6,
+    )

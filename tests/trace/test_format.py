@@ -1,0 +1,291 @@
+"""On-disk trace format: roundtrip, digests, versioning, validation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.formats.coo import COOMatrix
+from repro.formats.delta import MatrixDelta
+from repro.trace import (
+    TRACE_VERSION,
+    RecordedTrace,
+    TraceWriter,
+    array_digest,
+    load_trace,
+    trace_fingerprint,
+    validate_trace,
+)
+from repro.trace.format import ARRAYS_FILE, EVENTS_FILE, HEADER_FILE
+
+
+def small_coo() -> COOMatrix:
+    dense = np.zeros((4, 4))
+    dense[0, 0] = 1.0
+    dense[1, 2] = -2.5
+    dense[3, 1] = 0.75
+    return COOMatrix.from_dense(dense)
+
+
+def write_sample(path) -> str:
+    """A hand-built two-event trace (one spmv, one update)."""
+    writer = TraceWriter(
+        name="sample",
+        source="unit",
+        space={"system": "cirrus", "backend": "serial"},
+        tuner="RunFirstTuner",
+        service={"kind": "inproc", "workers": 2},
+        seed=3,
+    )
+    writer.add_session("s0")
+    writer.add_matrix("A", small_coo())
+    x = np.arange(4, dtype=np.float64)
+    writer.add_event({
+        "seq": 0,
+        "t": 0.0,
+        "kind": "spmv",
+        "session": "s0",
+        "key": "A",
+        "x": writer.add_operand(0, x),
+        "x_digest": array_digest(x),
+        "shape": [4],
+        "repetitions": 1,
+        "ok": True,
+        "y_digest": "0" * 32,
+        "epoch": 0,
+        "format": "CSR",
+    })
+    delta = MatrixDelta.sets(
+        np.array([0]), np.array([3]), np.array([9.0])
+    )
+    writer.add_event({
+        "seq": 1,
+        "t": 0.5,
+        "kind": "update",
+        "session": "s0",
+        "key": "A",
+        "delta": writer.add_delta(1, delta),
+        "ops": 1,
+        "ok": True,
+    })
+    return writer.write(path)
+
+
+class TestArrayDigest:
+    def test_stable_for_equal_content(self):
+        a = np.arange(6, dtype=np.float64)
+        assert array_digest(a) == array_digest(a.copy())
+
+    def test_sensitive_to_content_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.float64)
+        b = a.copy()
+        b[0] += 1e-300
+        assert array_digest(a) != array_digest(b)
+        assert array_digest(a) != array_digest(a.astype(np.float32))
+        assert array_digest(a) != array_digest(a.reshape(2, 3))
+
+    def test_non_contiguous_matches_contiguous(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert array_digest(a[:, ::2]) == array_digest(
+            np.ascontiguousarray(a[:, ::2])
+        )
+
+
+class TestRoundtrip:
+    def test_writer_reader_roundtrip(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        trace = load_trace(path)
+        assert trace.name == "sample"
+        assert trace.seed == 3
+        assert trace.matrix_keys() == ["A"]
+        assert len(trace) == 2
+        assert trace.counts == {
+            "events": 2, "requests": 1, "updates": 1,
+            "kills": 0, "promotions": 0,
+        }
+        coo = trace.matrix("A")
+        want = small_coo()
+        assert coo.nrows == want.nrows and coo.ncols == want.ncols
+        assert np.array_equal(coo.to_dense(), want.to_dense())
+
+        spmv, update = sorted(trace.events, key=lambda e: e["seq"])
+        assert np.array_equal(
+            trace.operand(spmv), np.arange(4, dtype=np.float64)
+        )
+        delta = trace.delta(update)
+        assert len(delta) == 1
+        assert int(delta.row[0]) == 0 and int(delta.col[0]) == 3
+
+    def test_matrices_never_alias_the_loaded_arrays(self, tmp_path):
+        trace = load_trace(write_sample(tmp_path / "t"))
+        a1 = trace.matrix("A")
+        a2 = trace.matrix("A")
+        for arr in (trace.arrays["m0_data"], a2.data):
+            assert not np.shares_memory(a1.data, arr)
+
+    def test_fingerprint_matches_content(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        trace = load_trace(path)
+        with open(os.path.join(path, EVENTS_FILE), "rb") as fh:
+            events_bytes = fh.read()
+        assert trace.fingerprint == trace_fingerprint(
+            events_bytes, trace.arrays
+        )
+
+    def test_validate_clean_trace(self, tmp_path):
+        assert validate_trace(write_sample(tmp_path / "t")) == []
+
+
+class TestLoadErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(TraceError, match="not a trace directory"):
+            load_trace(tmp_path / "nope")
+
+    def test_other_version_rejected(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        header_path = os.path.join(path, HEADER_FILE)
+        with open(header_path) as fh:
+            header = json.load(fh)
+        header["version"] = TRACE_VERSION + 1
+        with open(header_path, "w") as fh:
+            json.dump(header, fh)
+        with pytest.raises(TraceError, match="format version"):
+            load_trace(path)
+
+    def test_missing_matrix_key(self, tmp_path):
+        trace = load_trace(write_sample(tmp_path / "t"))
+        with pytest.raises(TraceError, match="no matrix"):
+            trace.matrix("B")
+
+    def test_missing_operand_array(self, tmp_path):
+        trace = load_trace(write_sample(tmp_path / "t"))
+        with pytest.raises(TraceError, match="missing operand"):
+            trace.operand({"seq": 0, "x": "x999"})
+
+    def test_missing_delta_arrays(self, tmp_path):
+        trace = load_trace(write_sample(tmp_path / "t"))
+        with pytest.raises(TraceError, match="missing delta"):
+            trace.delta({"seq": 1, "delta": "d999"})
+
+    def test_unknown_event_kind_rejected_at_write(self):
+        writer = TraceWriter()
+        with pytest.raises(TraceError, match="unknown trace event kind"):
+            writer.add_event({"seq": 0, "t": 0.0, "kind": "teleport"})
+
+
+class TestValidateDefects:
+    """validate_trace itemises tampering instead of raising."""
+
+    def test_missing_files(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        os.remove(os.path.join(path, ARRAYS_FILE))
+        problems = validate_trace(path)
+        assert problems == [f"missing file: {ARRAYS_FILE}"]
+
+    def test_tampered_events_breaks_fingerprint(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        events_path = os.path.join(path, EVENTS_FILE)
+        with open(events_path) as fh:
+            lines = fh.readlines()
+        lines[0] = lines[0].replace('"epoch":0', '"epoch":7')
+        with open(events_path, "w") as fh:
+            fh.writelines(lines)
+        problems = validate_trace(path)
+        assert any("fingerprint mismatch" in p for p in problems)
+
+    def test_wrong_version_reported(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        header_path = os.path.join(path, HEADER_FILE)
+        with open(header_path) as fh:
+            header = json.load(fh)
+        header["version"] = 99
+        with open(header_path, "w") as fh:
+            json.dump(header, fh)
+        assert any(
+            "version 99" in p for p in validate_trace(path)
+        )
+
+    def test_missing_required_event_field(self, tmp_path):
+        path = tmp_path / "t"
+        writer = TraceWriter(name="bad")
+        writer.add_matrix("A", small_coo())
+        # an spmv event with no operand reference at all
+        writer.add_event({
+            "seq": 0, "t": 0.0, "kind": "spmv", "session": "s0", "key": "A",
+        })
+        writer.write(path)
+        problems = validate_trace(path)
+        assert any("missing field 'x'" in p for p in problems)
+
+    def test_non_increasing_seq_and_unknown_key(self, tmp_path):
+        path = tmp_path / "t"
+        writer = TraceWriter(name="bad")
+        writer.add_matrix("A", small_coo())
+        x = np.ones(4)
+        for seq in (0, 0):  # duplicate seq
+            writer.events.append({
+                "seq": seq, "t": 0.0, "kind": "spmv", "session": "s0",
+                "key": "ghost",
+                "x": writer.add_operand(seq, x),
+                "x_digest": array_digest(np.ascontiguousarray(x)),
+                "shape": [4], "repetitions": 1,
+            })
+        writer.write(path)
+        problems = validate_trace(path)
+        assert any("not strictly increasing" in p for p in problems)
+        assert any("'ghost' not in the header matrix table" in p
+                   for p in problems)
+
+    def test_orphan_array_reported(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        trace = load_trace(path)
+        arrays = dict(trace.arrays)
+        arrays["stray"] = np.zeros(3)
+        with open(os.path.join(path, ARRAYS_FILE), "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        # re-stamp the fingerprint so only the orphan is reported
+        with open(os.path.join(path, EVENTS_FILE), "rb") as fh:
+            events_bytes = fh.read()
+        header_path = os.path.join(path, HEADER_FILE)
+        with open(header_path) as fh:
+            header = json.load(fh)
+        header["fingerprint"] = trace_fingerprint(events_bytes, arrays)
+        with open(header_path, "w") as fh:
+            json.dump(header, fh)
+        problems = validate_trace(path)
+        assert problems == [f"{ARRAYS_FILE}: unreferenced arrays ['stray']"]
+
+    def test_count_mismatch_reported(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        header_path = os.path.join(path, HEADER_FILE)
+        with open(header_path) as fh:
+            header = json.load(fh)
+        header["counts"]["requests"] = 5
+        with open(header_path, "w") as fh:
+            json.dump(header, fh)
+        assert any(
+            "counts['requests']=5" in p for p in validate_trace(path)
+        )
+
+    def test_operand_digest_mismatch(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        trace = load_trace(path)
+        arrays = dict(trace.arrays)
+        arrays["x0"] = arrays["x0"] + 1.0
+        with open(os.path.join(path, ARRAYS_FILE), "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        problems = validate_trace(path)
+        assert any("operand digest mismatch" in p for p in problems)
+
+
+class TestRecordedTraceLoadedByBothPaths:
+    def test_load_trace_equals_classmethod(self, tmp_path):
+        path = write_sample(tmp_path / "t")
+        a = load_trace(path)
+        b = RecordedTrace.load(path)
+        assert a.header == b.header
+        assert a.events == b.events

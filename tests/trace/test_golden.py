@@ -1,0 +1,108 @@
+"""The golden-trace regression corpus (S2).
+
+Three committed traces under ``tests/trace/golden/`` pin the serving
+stack's replay behaviour:
+
+* ``steady-state`` — mixed-session hot/cold traffic, in-process tier;
+* ``adaptive-drift`` — update barriers interleaved with traffic plus a
+  mid-run model promotion;
+* ``kill-during-update`` — recorded on a 4-worker distributed fleet
+  with a worker SIGKILLed while an update barrier is in flight.
+
+Every golden must validate (schema + fingerprint), replay cleanly on
+the in-process tier, and produce the *same* deterministic block on the
+distributed tier — including the kill trace, which must replay with the
+kill re-injected and zero lost requests.  Regenerate the corpus with
+``tools/make_golden_traces.py`` when the schema or workloads change.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.trace import load_trace, replay_trace, service_for_trace
+from repro.trace import validate_trace
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDENS = ("steady-state", "adaptive-drift", "kill-during-update")
+
+
+def golden_path(name: str) -> str:
+    path = os.path.join(GOLDEN_DIR, name)
+    if not os.path.isdir(path):
+        pytest.fail(
+            f"golden trace {name!r} missing from {GOLDEN_DIR}; "
+            f"regenerate with tools/make_golden_traces.py"
+        )
+    return path
+
+
+def test_corpus_is_complete():
+    committed = sorted(
+        entry for entry in os.listdir(GOLDEN_DIR)
+        if os.path.isdir(os.path.join(GOLDEN_DIR, entry))
+    )
+    assert committed == sorted(GOLDENS)
+
+
+@pytest.mark.parametrize("name", GOLDENS)
+def test_golden_validates(name):
+    assert validate_trace(golden_path(name)) == []
+
+
+@pytest.mark.parametrize("name", GOLDENS)
+def test_golden_replays_on_inproc(name):
+    trace = load_trace(golden_path(name))
+    with service_for_trace(trace, "inproc") as service:
+        report = replay_trace(service, trace)
+    assert report.ok, (report.mismatches, report.lost)
+    assert report.lost == 0
+    assert report.requests == trace.counts["requests"]
+    assert report.updates == trace.counts["updates"]
+    assert report.verified == report.requests + report.updates
+    assert report.promotions_applied == trace.counts["promotions"]
+    # the kill is distributed-only machinery: skipped here, counted
+    assert report.kills_skipped == trace.counts["kills"]
+
+
+@pytest.mark.parametrize("name", GOLDENS)
+def test_golden_replays_identically_on_distributed(name):
+    trace = load_trace(golden_path(name))
+    with service_for_trace(trace, "inproc") as service:
+        inproc = replay_trace(service, trace)
+    with service_for_trace(trace, "distributed", workers=4) as service:
+        distributed = replay_trace(service, trace)
+    assert distributed.ok, (distributed.mismatches, distributed.lost)
+    assert distributed.lost == 0
+    assert distributed.deterministic() == inproc.deterministic()
+    assert distributed.results_digest == inproc.results_digest
+    # on the tier that has kill_worker, recorded kills are re-injected
+    assert distributed.kills_injected == trace.counts["kills"]
+    assert distributed.kills_skipped == 0
+
+
+def test_kill_during_update_golden_loses_nothing():
+    """The acceptance invariant, stated on its own: a worker death in
+    the middle of an update barrier costs zero requests on replay."""
+    trace = load_trace(golden_path("kill-during-update"))
+    assert trace.counts["kills"] == 1
+    assert trace.counts["updates"] >= 1
+    (kill,) = [e for e in trace.events if e["kind"] == "kill"]
+    assert kill["anchor"] in trace.matrix_keys()
+    with service_for_trace(trace, "distributed", workers=4) as service:
+        report = replay_trace(service, trace)
+    assert report.kills_injected == 1
+    assert report.lost == 0
+    assert report.mismatches == []
+
+
+@pytest.mark.parametrize("name", GOLDENS)
+def test_golden_headers_carry_provenance(name):
+    trace = load_trace(golden_path(name))
+    assert trace.name == name
+    assert trace.header["source"] == "golden"
+    assert trace.header["tuner"] == "RunFirstTuner"
+    assert trace.fingerprint
+    assert trace.counts["requests"] > 0

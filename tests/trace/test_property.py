@@ -1,0 +1,89 @@
+"""Property: any captured workload replays bitwise-identically (S1).
+
+The capture→replay contract under test: for *any* seeded mixed workload
+— multiple sessions, hot/cold traffic, optionally an evolving matrix
+with update barriers — recording it and replaying the trace twice yields
+byte-identical deterministic report blocks, and replaying it on the
+distributed tier yields the same block as the in-process tier.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.service import TuningService
+from repro.trace import (
+    record_workload,
+    replay_trace,
+    service_for_trace,
+    validate_trace,
+)
+
+# each example records a live run and replays it twice, so examples are
+# few and tiny; the workload mix (sessions, barriers, spmm blocks) is
+# what varies
+workloads = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=10_000),
+    "requests": st.integers(min_value=5, max_value=12),
+    "sessions": st.integers(min_value=1, max_value=3),
+    "n_matrices": st.integers(min_value=1, max_value=4),
+    "spmm_every": st.sampled_from([0, 3]),
+    "evolving": st.booleans(),
+})
+
+
+@settings(max_examples=6, deadline=None)
+@given(workload=workloads)
+def test_capture_replay_roundtrip_is_deterministic(workload):
+    evolving = workload.pop("evolving")
+    if evolving:
+        workload["family"] = "widening_band"
+        workload["updates"] = 2
+    with tempfile.TemporaryDirectory() as tmp:
+        out = f"{tmp}/trace"
+        with TuningService(
+            make_space("cirrus", "serial"), RunFirstTuner(), workers=2
+        ) as service:
+            trace = record_workload(
+                service, out, name="prop", source="property",
+                compact=True, **workload,
+            )
+        assert validate_trace(out) == []
+        assert trace.counts["requests"] == workload["requests"]
+
+        reports = []
+        for _ in range(2):
+            with service_for_trace(trace, "inproc") as replay_service:
+                reports.append(replay_trace(replay_service, trace))
+        first, second = reports
+        assert first.ok, first.mismatches or first.lost
+        assert second.ok
+        assert first.deterministic() == second.deterministic()
+        assert first.results_digest == second.results_digest
+        assert first.verified == first.requests + first.updates
+
+
+def test_distributed_replay_matches_inproc(tmp_path):
+    """Cross-tier determinism: same trace, same digests, any tier."""
+    with TuningService(
+        make_space("cirrus", "serial"), RunFirstTuner(), workers=2
+    ) as service:
+        trace = record_workload(
+            service, tmp_path / "xtier",
+            name="xtier", source="property",
+            requests=10, sessions=2, n_matrices=3,
+            family="widening_band", updates=2,
+            seed=19, compact=True,
+        )
+    with service_for_trace(trace, "inproc") as service:
+        inproc = replay_trace(service, trace)
+    with service_for_trace(trace, "distributed", workers=4) as service:
+        distributed = replay_trace(service, trace)
+    assert inproc.ok and distributed.ok
+    assert inproc.deterministic() == distributed.deterministic()
+    assert inproc.results_digest == distributed.results_digest

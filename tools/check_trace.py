@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Validate recorded trace directories: schema + content fingerprint.
+
+Runs :func:`repro.trace.format.validate_trace` over each argument (or,
+with no arguments, over every trace committed under
+``tests/trace/golden/``): file presence, header schema, format version,
+event ordering and required fields, operand/delta array references and
+digests, unreferenced arrays, declared counts, and the blake2b content
+fingerprint — so a malformed or tampered committed trace fails fast in
+CI instead of surfacing as a confusing replay mismatch.
+
+Exit status: 0 when every trace validates, 1 otherwise (problems are
+listed one per line as ``trace: problem``).  CI runs this in the
+replay-smoke job; ``tests/trace/test_golden.py`` runs the same checks
+in the tier-1 suite.
+
+Usage: python tools/check_trace.py [trace_dir ...]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+GOLDEN_DIR = os.path.join(_REPO_ROOT, "tests", "trace", "golden")
+
+
+def default_traces() -> List[str]:
+    """Every committed golden trace (directories under tests/trace/golden)."""
+    if not os.path.isdir(GOLDEN_DIR):
+        return []
+    return sorted(
+        os.path.join(GOLDEN_DIR, name)
+        for name in os.listdir(GOLDEN_DIR)
+        if os.path.isdir(os.path.join(GOLDEN_DIR, name))
+    )
+
+
+def main(argv: List[str] | None = None) -> int:
+    from repro.trace.format import validate_trace
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    traces = argv or default_traces()
+    if not traces:
+        print(f"no trace directories given and none under {GOLDEN_DIR}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for trace in traces:
+        rel = os.path.relpath(trace, _REPO_ROOT)
+        problems = validate_trace(trace)
+        for problem in problems:
+            print(f"{rel}: {problem}")
+        failures += len(problems)
+    if failures:
+        print(f"{failures} problem(s) across {len(traces)} trace(s)")
+        return 1
+    print(f"OK: {len(traces)} trace(s) validated, fingerprints intact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
