@@ -64,7 +64,9 @@ def _hot_trace() -> Trace:
     return Trace(matrices=matrices, sequence=sequence, seed=SEED).materialize()
 
 
-def _service(max_batch: int) -> TuningService:
+def _service(
+    max_batch: int, *, observability: bool = True
+) -> TuningService:
     space = make_space("cirrus", "serial")
     return TuningService(
         space,
@@ -73,6 +75,7 @@ def _service(max_batch: int) -> TuningService:
         capacity=8,
         shards=4,
         max_batch=max_batch,
+        observability=observability,
     )
 
 
@@ -157,6 +160,66 @@ def test_coalescing_beats_naive_dispatch_at_8_clients():
         f"coalesced throughput only {speedup:.2f}x naive dispatch "
         f"({coalesced.throughput_rps:.0f} vs {naive.throughput_rps:.0f} "
         "req/s) at 8 concurrent clients"
+    )
+
+
+def test_observability_overhead_gate():
+    """Acceptance: spans + events on cost <= 3% p50 latency vs off.
+
+    ``observability=False`` keeps the counters and histograms live
+    (they are the service's accounting) but turns span and event
+    recording into no-ops — so the gate isolates exactly the per-request
+    cost the observability layer added: trace-ID minting, stage
+    timestamps, span dict construction, and the ring append.  Medians
+    are taken per replay and the best of N kept per configuration, so
+    scheduler noise moves both sides the same way.
+    """
+    trace = _hot_trace()
+    for matrix in trace.matrices.values():
+        block_operator(matrix)
+
+    def best_p50(observability: bool, trials: int = 4):
+        best, stats = None, None
+        for _ in range(trials):
+            with _service(64, observability=observability) as service:
+                report = replay(service, trace, clients=CLIENTS)
+            latencies = sorted(r.latency_seconds for r in report.results)
+            p50 = latencies[len(latencies) // 2]
+            if best is None or p50 < best:
+                best, stats = p50, report.service_stats
+        return best, stats
+
+    off_p50, off_stats = best_p50(False)
+    on_p50, on_stats = best_p50(True)
+    # the instrumented side must actually have recorded spans — a gate
+    # that accidentally measured two disabled runs proves nothing
+    assert on_stats["observability"]["spans_recorded"] == REQUESTS
+    assert off_stats["observability"]["spans_recorded"] == 0
+
+    overhead = on_p50 / off_p50 - 1.0
+    lines = [
+        f"observability overhead, {REQUESTS} requests, {CLIENTS} clients",
+        "-" * 66,
+        f"{'p50 latency, spans+events off':<38} {1e3 * off_p50:8.3f} ms",
+        f"{'p50 latency, spans+events on':<38} {1e3 * on_p50:8.3f} ms",
+        f"{'overhead':<38} {100 * overhead:+8.2f} %",
+        "",
+    ]
+    write_result("service_observability_overhead.txt", "\n".join(lines))
+    emit(
+        "service_observability",
+        config={"requests": REQUESTS, "clients": CLIENTS},
+        metrics={
+            "p50_off_seconds": off_p50,
+            "p50_on_seconds": on_p50,
+            "overhead_fraction": overhead,
+        },
+    )
+    # 3% relative plus a timer-granularity guard for sub-ms medians
+    assert on_p50 <= off_p50 * 1.03 + 2.5e-4, (
+        f"observability overhead {100 * overhead:.2f}% exceeds the 3% "
+        f"p50 gate ({1e3 * on_p50:.3f} ms on vs {1e3 * off_p50:.3f} ms "
+        "off)"
     )
 
 

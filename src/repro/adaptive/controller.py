@@ -35,6 +35,7 @@ from repro.adaptive.retrain import Retrainer, RetrainResult
 from repro.adaptive.telemetry import Observation, TelemetryLog
 from repro.core.model_io import OracleModel
 from repro.errors import AdaptiveError, ReproError
+from repro.obs import MetricsRegistry, mint_trace_id
 
 __all__ = ["AdaptiveController"]
 
@@ -120,13 +121,64 @@ class AdaptiveController:
         self._ingesting = 0
         self._worker: Optional[threading.Thread] = None
         self._attached = False
-        self.drift_events = 0
-        self.promotions = 0
-        self.rollbacks = 0
-        self.retrain_failures = 0
+        # adaptive-loop instruments live in the *service's* registry
+        # when the service has one, so a single exposition / spill
+        # covers serving and adaptation side by side; retrain spans and
+        # drift events ride the service's rings the same way
+        self._service_obs = getattr(service, "obs", None)
+        registry = (
+            self._service_obs.registry
+            if self._service_obs is not None
+            else MetricsRegistry()
+        )
+        labels = {"tier": "adaptive"}
+        self._drift_events = registry.counter(
+            "drift_events", labels=labels,
+            help="Drift checks that triggered a retrain",
+        )
+        self._retrains = registry.counter(
+            "retrains", labels=labels,
+            help="Retrains completed and published",
+        )
+        self._retrain_failures = registry.counter(
+            "retrain_failures", labels=labels,
+            help="Retrains that raised (old model stayed live)",
+        )
+        self._promotions = registry.counter(
+            "model_promotions", labels=labels,
+            help="Models hot-swapped into the service by the controller",
+        )
+        self._rollbacks = registry.counter(
+            "rollbacks", labels=labels,
+            help="Promotions undone via rollback()",
+        )
         self.last_report: Optional[DriftReport] = None
         self.last_trigger: Optional[DriftReport] = None
         self.last_result: Optional[RetrainResult] = None
+
+    # ------------------------------------------------------------------
+    # read-compat counter views (the instruments are the truth)
+    # ------------------------------------------------------------------
+    @property
+    def drift_events(self) -> int:
+        return self._drift_events.value
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions.value
+
+    @property
+    def rollbacks(self) -> int:
+        return self._rollbacks.value
+
+    @property
+    def retrain_failures(self) -> int:
+        return self._retrain_failures.value
+
+    def _event(self, kind: str, **fields) -> None:
+        obs = self._service_obs
+        if obs is not None:
+            obs.event(kind, **fields)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -224,9 +276,14 @@ class AdaptiveController:
                 >= self.max_retrains
             ):
                 return report
-            self.drift_events += 1
             self.last_trigger = report
             self._retraining = True
+        self._drift_events.inc()
+        self._event(
+            "drift_detected",
+            reasons=list(report.reasons),
+            window_size=report.window_size,
+        )
         records = self.telemetry.shadowed_records()
         if self.background:
             worker = threading.Thread(
@@ -245,11 +302,15 @@ class AdaptiveController:
     def _retrain_and_promote(
         self, records: List[Observation], report: DriftReport
     ) -> None:
+        trace_id = mint_trace_id()
+        retrain_start = time.perf_counter()
         try:
             result = self.retrainer.retrain(
                 records, baseline_dataset=self.baseline_dataset
             )
+            retrain_seconds = time.perf_counter() - retrain_start
             self.last_result = result
+            publish_start = time.perf_counter()
             version = self.registry.publish(
                 result.model,
                 metadata={
@@ -260,17 +321,40 @@ class AdaptiveController:
                     "test_accuracy": result.test_accuracy,
                 },
             )
+            publish_seconds = time.perf_counter() - publish_start
+            promote_start = time.perf_counter()
             if self.auto_promote:
                 self.promote(version)
                 # the reference population is now what the new model was
                 # trained on; keeping the old baseline would re-trigger
                 # feature drift forever on perfectly served traffic
                 self.monitor.rebaseline(result.baseline)
-        except ReproError:
+            self._retrains.inc()
+            obs = self._service_obs
+            if obs is not None and obs.enabled:
+                obs.spans.record(
+                    trace_id,
+                    kind="retrain",
+                    tier="adaptive",
+                    fingerprint=version,
+                    batch_size=result.n_samples,
+                    promoted=self.auto_promote,
+                    stages={
+                        "retrain": retrain_seconds,
+                        "publish": publish_seconds,
+                        "promote": time.perf_counter() - promote_start,
+                    },
+                )
+        except ReproError as exc:
             # a failed retrain must never take serving down; the count
             # is surfaced through stats() and the old model stays live
-            with self._lock:
-                self.retrain_failures += 1
+            self._retrain_failures.inc()
+            self._event(
+                "retrain_failed",
+                error=type(exc).__name__,
+                message=str(exc)[:200],
+                records=len(records),
+            )
         finally:
             with self._lock:
                 self._retraining = False
@@ -286,8 +370,7 @@ class AdaptiveController:
             algorithm=model.kind,
         )
         self.monitor.reset()
-        with self._lock:
-            self.promotions += 1
+        self._promotions.inc()
         return info
 
     def rollback(self) -> Dict[str, object]:
@@ -301,8 +384,8 @@ class AdaptiveController:
             algorithm=model.kind,
         )
         self.monitor.reset()
-        with self._lock:
-            self.rollbacks += 1
+        self._rollbacks.inc()
+        self._event("model_rollback", version=entry.version)
         return info
 
     # ------------------------------------------------------------------

@@ -333,6 +333,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             check_every=args.check_every,
             background=True,
         ).attach()
+    spiller = None
+    metrics_dir = getattr(args, "metrics_dir", None)
+    if metrics_dir:
+        from repro.obs.spill import MetricsSpiller
+
+        spiller = MetricsSpiller(
+            metrics_dir,
+            service.obs,
+            interval=getattr(args, "metrics_interval", 1.0),
+        ).start()
     killer = None
     if kill_after:
         import threading
@@ -363,6 +373,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             killer.join()
         if controller is not None:
             controller.close()
+        if spiller is not None:
+            spiller.stop()  # final flush while the fleet is still up
     stats = report.service_stats
     cache = stats["engine_cache"]
     engines = stats["engines"]
@@ -416,6 +428,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"model                {model['version']} "
           f"(source {model['source'] or '-'}, "
           f"promotions {model['promotions']}, promoted {when})")
+    if spiller is not None:
+        obs_block = stats.get("observability", {})
+        print(f"observability        spilled to {metrics_dir} "
+              f"({obs_block.get('spans_recorded', 0)} spans, "
+              f"{obs_block.get('spans_dropped', 0)} dropped); "
+              f"inspect with 'repro top {metrics_dir} --once'")
     if controller is not None:
         cstats = controller.stats()
         telemetry = cstats["telemetry"]
@@ -876,6 +894,43 @@ def _run_experiment(spec, store, jobs: int, until: str | None) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Expose a serve's spilled metrics: Prometheus text or JSONL.
+
+    Both formats render the *same* snapshot records (the last line of
+    ``metrics.jsonl``), so their values are identical by construction —
+    the invariant ``tests/obs`` locks.
+    """
+    import json as _json
+
+    from repro.obs.dashboard import read_snapshots
+    from repro.obs.metrics import render_prometheus
+
+    snap = read_snapshots(args.directory, last=1)
+    if not snap["metrics"]:
+        print(f"metrics: no metrics.jsonl under {args.directory} "
+              "(run serve with --metrics-dir)", file=sys.stderr)
+        return 2
+    line = snap["metrics"][-1]
+    if args.format == "json":
+        print(_json.dumps(line, separators=(",", ":"), default=str))
+    else:
+        sys.stdout.write(render_prometheus(line["metrics"]))
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a serve's ``--metrics-dir`` spill directory."""
+    from repro.obs.dashboard import run_top
+
+    run_top(
+        args.directory,
+        interval=args.interval,
+        iterations=1 if args.once else args.iterations,
+    )
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import ArtifactStore, ExperimentSpec
 
@@ -1048,7 +1103,47 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: follow each matrix's tuner decision; "
              "'auto' = best available tier)",
     )
+    p.add_argument(
+        "--metrics-dir", default=None,
+        help="spill metrics/spans/events to this directory while "
+             "serving (metrics.prom, metrics.jsonl, spans.jsonl, "
+             "events.jsonl; watch live with 'repro top DIR')",
+    )
+    p.add_argument(
+        "--metrics-interval", type=float, default=0.5,
+        help="spill cadence in seconds (with --metrics-dir)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "metrics",
+        help="expose a serve's spilled metrics (Prometheus text or JSON)",
+    )
+    p.add_argument("directory", help="a serve's --metrics-dir directory")
+    p.add_argument(
+        "--format", default="prom", choices=["prom", "json"],
+        help="exposition format; both render the same snapshot records",
+    )
+    p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a serve's --metrics-dir spill directory",
+    )
+    p.add_argument("directory", help="a serve's --metrics-dir directory")
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh cadence in seconds",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (CI / scripting mode)",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=None,
+        help="render N frames then exit (default: follow until Ctrl-C)",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "stream",
@@ -1255,7 +1350,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout piped into a pager/head that closed early — the Unix
+        # convention is a silent exit, not a traceback
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

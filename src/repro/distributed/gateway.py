@@ -50,6 +50,9 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.formats.delta import MatrixDelta
 from repro.formats.dynamic import DynamicMatrix
+from repro.obs import Observability
+from repro.obs.spans import merge_worker_stages
+from repro.obs.views import build_service_stats
 from repro.runtime.engine import request_key, validate_operand
 from repro.service.accounting import (
     empty_engine_totals,
@@ -86,6 +89,9 @@ class _Inflight:
         "event",
         "reply",
         "sent_to",
+        "dispatched_at",
+        "deliveries",
+        "shm_put_seconds",
     )
 
     def __init__(
@@ -116,6 +122,15 @@ class _Inflight:
         #: death gate both target the same replacement incarnation, and
         #: only one of them may actually deliver.
         self.sent_to: Optional[int] = None
+        #: Span material: perf_counter stamp taken when the entry left
+        #: the dispatch path (after shm placement), seconds spent
+        #: copying operands into shared memory, and how many successful
+        #: deliveries the entry took (``deliveries - 1`` = retries
+        #: caused by worker deaths — the respawn replay re-sends under
+        #: the same trace IDs).
+        self.dispatched_at: Optional[float] = None
+        self.deliveries = 0
+        self.shm_put_seconds = 0.0
 
 
 class DistributedService:
@@ -155,6 +170,7 @@ class DistributedService:
         shm_slots: int = 128,
         heartbeat_interval: float = 0.25,
         heartbeat_timeout: float = 10.0,
+        observability: bool = True,
     ) -> None:
         if workers is None:
             workers = default_process_workers()
@@ -180,11 +196,9 @@ class DistributedService:
             "promoted_at": None,
         }
         self._deployed = (tuner, self.model_info)
-        self.promotions = 0
         self._closed = False
         self._observer = None
         self._kill_listener = None
-        self._observer_errors = 0
         # request plumbing
         self._pending = FingerprintQueues()
         self._msg_ids = itertools.count(1)
@@ -205,19 +219,23 @@ class DistributedService:
         self._worker_gates = [threading.Event() for _ in range(self.workers)]
         for gate in self._worker_gates:
             gate.set()
-        # metrics
+        # observability: request-path counters and the latency histogram
+        # live in the registry (the stats() view renders from them);
+        # _metrics_lock now guards only the dispatch counter and the
+        # retired-worker accounting folds
+        self.obs = Observability(tier="distributed", enabled=observability)
+        self.obs.registry.register_collector(self._collect_gauges)
+        labels = {"tier": self.obs.tier}
+        self._retried_requests = self.obs.registry.counter(
+            "retried_requests", labels=labels,
+            help="Requests re-sent to a respawned worker after a death",
+        )
+        self._dead_workers = self.obs.registry.counter(
+            "worker_deaths", labels=labels,
+            help="Worker incarnations that died (crash, kill, hang)",
+        )
         self._metrics_lock = threading.Lock()
         self._dispatching = 0
-        self.requests_submitted = 0
-        self.requests_served = 0
-        self.updates_served = 0
-        self.batches = 0
-        self.coalesced_batches = 0
-        self.coalesced_requests = 0
-        self.latency_total = 0.0
-        self.latency_max = 0.0
-        self.retried_requests = 0
-        self.dead_workers = 0
         self._retired_workers = empty_engine_totals()
         self._retired_counters = {
             "requests_served": 0,
@@ -274,6 +292,53 @@ class DistributedService:
         return _stable_hash(fp) % self.workers
 
     # ------------------------------------------------------------------
+    # read-compat counter views (the instruments are the truth)
+    # ------------------------------------------------------------------
+    @property
+    def requests_submitted(self) -> int:
+        return self.obs.requests_submitted.value
+
+    @property
+    def requests_served(self) -> int:
+        return self.obs.requests_served.value
+
+    @property
+    def updates_served(self) -> int:
+        return self.obs.updates_served.value
+
+    @property
+    def batches(self) -> int:
+        return self.obs.batches.value
+
+    @property
+    def coalesced_batches(self) -> int:
+        return self.obs.coalesced_batches.value
+
+    @property
+    def coalesced_requests(self) -> int:
+        return self.obs.coalesced_requests.value
+
+    @property
+    def promotions(self) -> int:
+        return self.obs.promotions.value
+
+    @property
+    def latency_total(self) -> float:
+        return self.obs.latency.sum
+
+    @property
+    def latency_max(self) -> float:
+        return self.obs.latency.max_value
+
+    @property
+    def retried_requests(self) -> int:
+        return self._retried_requests.value
+
+    @property
+    def dead_workers(self) -> int:
+        return self._dead_workers.value
+
+    # ------------------------------------------------------------------
     # request path (mirrors TuningService submission semantics)
     # ------------------------------------------------------------------
     def submit(
@@ -287,11 +352,19 @@ class DistributedService:
         """Enqueue one request; returns a future resolving to its result."""
         if self._closed:
             raise ValidationError("service is closed")
+        submitted_at = time.perf_counter()
         operand = validate_operand(matrix, x)
         fp = key if key is not None else request_key(matrix)
         self._remember_matrix(fp, matrix)
         future: "Future[ServiceResult]" = Future()
-        request = PendingRequest(matrix, operand, int(repetitions), future)
+        request = PendingRequest(
+            matrix,
+            operand,
+            int(repetitions),
+            future,
+            trace_id=self.obs.mint(),
+            validate_seconds=time.perf_counter() - submitted_at,
+        )
         self._enqueue(fp, request)
         return future
 
@@ -305,6 +378,7 @@ class DistributedService:
         """Enqueue a mutation; a barrier on its fingerprint's queue."""
         if self._closed:
             raise ValidationError("service is closed")
+        submitted_at = time.perf_counter()
         if not isinstance(delta, MatrixDelta):
             raise ValidationError(
                 f"update needs a MatrixDelta, got {type(delta).__name__}"
@@ -317,7 +391,14 @@ class DistributedService:
         self._remember_matrix(fp, matrix)
         future: "Future[UpdateResult]" = Future()
         request = PendingRequest(
-            matrix, None, 1, future, kind="update", delta=delta
+            matrix,
+            None,
+            1,
+            future,
+            kind="update",
+            delta=delta,
+            trace_id=self.obs.mint(),
+            validate_seconds=time.perf_counter() - submitted_at,
         )
         self._enqueue(fp, request)
         return future
@@ -360,8 +441,7 @@ class DistributedService:
 
     def _enqueue(self, fp: str, request: PendingRequest) -> None:
         schedule = self._pending.push(fp, request)
-        with self._metrics_lock:
-            self.requests_submitted += 1
+        self.obs.requests_submitted.inc()
         if schedule:
             self._schedule(fp)
 
@@ -411,6 +491,7 @@ class DistributedService:
         )
         nrows, ncols = concrete.nrows, concrete.ncols
         stacked = len(batch) > 1  # take_batch(stackable_only) guarantees
+        shm_start = time.perf_counter()
         if stacked:  # every member is a plain 1-D rep-1 request
             x_ref = self.pool.reserve((ncols, len(batch)), np.float64)
             view = self.pool.view(x_ref)
@@ -445,6 +526,8 @@ class DistributedService:
             out_ref=out_ref,
             message=("batch", msg_id, fp, spec),
         )
+        entry.dispatched_at = time.perf_counter()
+        entry.shm_put_seconds = entry.dispatched_at - shm_start
         self._register_and_send(entry)
 
     def _dispatch_update(self, fp: str, request: PendingRequest) -> None:
@@ -458,6 +541,7 @@ class DistributedService:
             batch=[request],
             message=("update", msg_id, fp, request.delta),
         )
+        entry.dispatched_at = time.perf_counter()
         self._register_and_send(entry)
 
     def _register_and_send(self, entry: _Inflight) -> None:
@@ -508,6 +592,7 @@ class DistributedService:
             entry.worker, entry.message, expect=incarnation
         ):
             entry.sent_to = incarnation
+            entry.deliveries += 1
 
     def _sync_matrix(self, worker: int, fp: str, incarnation: int) -> None:
         """Ship matrix + acked delta log once per worker incarnation.
@@ -575,14 +660,14 @@ class DistributedService:
         self.pool.release(entry.x_ref)
         done_at = time.perf_counter()
         latencies = [done_at - r.enqueued_at for r in batch]
-        with self._metrics_lock:
-            self.requests_served += len(batch)
-            self.batches += 1
-            if len(batch) > 1:
-                self.coalesced_batches += 1
-                self.coalesced_requests += len(batch)
-            self.latency_total += sum(latencies)
-            self.latency_max = max(self.latency_max, max(latencies))
+        o = self.obs
+        o.requests_served.inc(len(batch))
+        o.batches.inc()
+        if len(batch) > 1:
+            o.coalesced_batches.inc()
+            o.coalesced_requests.inc(len(batch))
+        for latency in latencies:
+            o.latency.observe(latency)
         stacked = len(batch) > 1
         for j, (request, meta, latency) in enumerate(
             zip(batch, metas, latencies)
@@ -602,12 +687,43 @@ class DistributedService:
                         model_version=meta["model_version"],
                         epoch=meta["epoch"],
                         backend=meta["backend"],
+                        trace_id=request.trace_id,
                     )
                 )
+        observer_start = time.perf_counter()
         if observations:
             for obs, latency in zip(observations, latencies):
                 obs["latency_seconds"] = latency
-            self._notify(observations)
+            self._notify(observations, fp=fp, batch_size=len(batch))
+        if o.enabled:
+            # one span per request, all sharing the batch's RPC stages;
+            # the worker-side timings arrive in each reply meta and are
+            # merged under the trace ID minted at submit()
+            observer_seconds = time.perf_counter() - observer_start
+            dispatched = entry.dispatched_at or done_at
+            for request, meta in zip(batch, metas):
+                stages = {
+                    "validate": request.validate_seconds,
+                    "queue": (
+                        dispatched
+                        - entry.shm_put_seconds
+                        - request.enqueued_at
+                    ),
+                    "shm_put": entry.shm_put_seconds,
+                    "rpc": done_at - dispatched,
+                    "observer": observer_seconds,
+                }
+                merge_worker_stages(stages, meta.get("stages"))
+                o.span(
+                    request.trace_id,
+                    kind="spmv",
+                    fingerprint=fp,
+                    batch_size=len(batch),
+                    backend=meta["backend"],
+                    worker=entry.worker,
+                    retries=max(0, entry.deliveries - 1),
+                    stages=stages,
+                )
 
     def _on_update_done(self, message) -> None:
         _, msg_id, fp, meta = message
@@ -623,13 +739,13 @@ class DistributedService:
             self._delta_log.setdefault(fp, []).append(
                 (request.delta, bool(meta.get("had_decision", False)))
             )
-        latency = time.perf_counter() - request.enqueued_at
-        with self._metrics_lock:
-            self.requests_served += 1
-            self.updates_served += 1
-            self.batches += 1
-            self.latency_total += latency
-            self.latency_max = max(self.latency_max, latency)
+        done_at = time.perf_counter()
+        latency = done_at - request.enqueued_at
+        o = self.obs
+        o.requests_served.inc()
+        o.updates_served.inc()
+        o.batches.inc()
+        o.latency.observe(latency)
         if not request.future.done():
             request.future.set_result(
                 UpdateResult(
@@ -641,8 +757,10 @@ class DistributedService:
                     drift=meta["drift"],
                     nnz=meta["nnz"],
                     latency_seconds=latency,
+                    trace_id=request.trace_id,
                 )
             )
+        observer_start = time.perf_counter()
         if self._observer is not None:
             self._notify(
                 [
@@ -656,7 +774,29 @@ class DistributedService:
                         "nnz": meta["nnz"],
                         "latency_seconds": latency,
                     }
-                ]
+                ],
+                fp=fp,
+                batch_size=1,
+            )
+        if o.enabled:
+            dispatched = entry.dispatched_at or done_at
+            stages = {
+                "validate": request.validate_seconds,
+                "queue": dispatched - request.enqueued_at,
+                "rpc": done_at - dispatched,
+                "observer": time.perf_counter() - observer_start,
+            }
+            merge_worker_stages(stages, meta.get("stages"))
+            o.span(
+                request.trace_id,
+                kind="update",
+                fingerprint=fp,
+                batch_size=1,
+                epoch=meta["epoch"],
+                retuned=meta["retuned"],
+                worker=entry.worker,
+                retries=max(0, entry.deliveries - 1),
+                stages=stages,
             )
 
     def _on_error(self, message) -> None:
@@ -668,20 +808,41 @@ class DistributedService:
             self.pool.release(entry.x_ref)
         if entry.out_ref is not None:
             self.pool.release(entry.out_ref)
+        self.obs.event(
+            "serve_error",
+            error=str(kind),
+            message=str(text)[:200],
+            fingerprint=entry.fp,
+            batch_size=len(entry.batch or ()),
+            worker=entry.worker,
+        )
         exc = RuntimeError(f"worker {kind} failed: {text}")
         for request in entry.batch or ():
             if not request.future.done():
                 request.future.set_exception(exc)
 
-    def _notify(self, observations: List[dict]) -> None:
+    def _notify(
+        self,
+        observations: List[dict],
+        *,
+        fp: Optional[str] = None,
+        batch_size: int = 0,
+    ) -> None:
         observer = self._observer
         if observer is None or not observations:
             return
         try:
             observer(observations)
-        except Exception:
-            with self._metrics_lock:
-                self._observer_errors += 1
+        except Exception as exc:
+            self.obs.observer_errors.inc()
+            self.obs.event(
+                "observer_error",
+                error=type(exc).__name__,
+                message=str(exc)[:200],
+                fingerprint=fp,
+                batch_size=batch_size,
+                observations=len(observations),
+            )
 
     # ------------------------------------------------------------------
     # death + recovery
@@ -689,8 +850,16 @@ class DistributedService:
     def _on_death(self, index: int, snapshot: Dict[str, object]) -> None:
         """Fold the dead incarnation's accounting; close its gate."""
         self._worker_gates[index].clear()
+        self._dead_workers.inc()
+        self.obs.event(
+            "worker_death",
+            worker=int(index),
+            had_snapshot=bool(snapshot),
+            requests_served=int(snapshot.get("requests_served", 0))
+            if snapshot
+            else 0,
+        )
         with self._metrics_lock:
-            self.dead_workers += 1
             if snapshot:
                 merge_engine_totals(
                     self._retired_workers, snapshot.get("engines", {}) or
@@ -741,10 +910,12 @@ class DistributedService:
         with self._worker_locks[index]:
             for entry in backlog:
                 self._send_entry_locked(entry)
-        with self._metrics_lock:
-            self.retried_requests += sum(
-                len(e.batch or ()) for e in backlog
-            )
+        retried = sum(len(e.batch or ()) for e in backlog)
+        if retried:
+            self._retried_requests.inc(retried)
+        self.obs.event(
+            "worker_respawn", worker=int(index), retried_requests=retried
+        )
         self._worker_gates[index].set()
 
     def kill_worker(self, index: int) -> Optional[int]:
@@ -815,8 +986,12 @@ class DistributedService:
             "promoted_at": time.time(),
         }
         self._broadcast_model(tuner, info)
-        with self._metrics_lock:
-            self.promotions += 1
+        self.obs.promotions.inc()
+        self.obs.event(
+            "model_promoted",
+            version=info["version"],
+            algorithm=info["algorithm"],
+        )
         return dict(info)
 
     def _broadcast_model(
@@ -878,41 +1053,14 @@ class DistributedService:
             snapshots.append(snapshot)
         return snapshots
 
-    def stats(self) -> Dict[str, object]:
-        """The :meth:`TuningService.stats` schema, fleet-aggregated.
+    def _aggregate_snapshots(self, snapshots) -> Dict[str, object]:
+        """Fold worker snapshots + retired accounting into fleet totals.
 
-        ``engines`` folds live remote engines (polled from every
-        worker), engines retired by worker-local cache eviction, and
-        the last-heartbeat accounting of dead worker incarnations — the
-        same every-engine-ever-owned contract as single-process mode,
-        with identical keys (locked by
-        ``tests/distributed/test_stats_schema.py``).  The extra
-        ``distributed`` block carries fleet health: per-worker liveness,
-        respawn/retry counters, and shared-memory pool usage.
+        Shared by :meth:`stats` (which polls live workers) and the
+        metrics collector (which reads last-heartbeat snapshots so a
+        registry dump never does IPC).
         """
-        snapshots = self._poll_workers()
         with self._metrics_lock:
-            served = self.requests_served
-            snapshot = {
-                "space": self.space.name,
-                "workers": self.workers,
-                "max_batch": self.max_batch,
-                "requests_submitted": self.requests_submitted,
-                "requests_served": served,
-                "updates_served": self.updates_served,
-                "batches": self.batches,
-                "coalesced_batches": self.coalesced_batches,
-                "coalesced_requests": self.coalesced_requests,
-                "observer_errors": self._observer_errors,
-                "model": {**self.model_info, "promotions": self.promotions},
-                "latency": {
-                    "total_seconds": self.latency_total,
-                    "mean_seconds": (
-                        self.latency_total / served if served else 0.0
-                    ),
-                    "max_seconds": self.latency_max,
-                },
-            }
             engines_total = empty_engine_totals()
             merge_engine_totals(engines_total, self._retired_workers)
             shadow_probes = self._retired_counters["shadow_probes"]
@@ -929,8 +1077,6 @@ class DistributedService:
                     self._retired_counters["engine_cache"]["evictions"]
                 ),
             }
-            retried = self.retried_requests
-            dead = self.dead_workers
         for worker_snapshot in snapshots:
             if not worker_snapshot:
                 continue
@@ -951,27 +1097,133 @@ class DistributedService:
         cache_total["hit_rate"] = (
             cache_total["hits"] / lookups if lookups else 0.0
         )
-        snapshot["shadow_probes"] = shadow_probes
-        snapshot["profiled_matrices"] = profiled
-        snapshot["engine_cache"] = cache_total
-        snapshot["engines"] = engines_total
-        snapshot["backends"] = {
-            kb: dict(v) for kb, v in engines_total["backends"].items()
+        return {
+            "engines": engines_total,
+            "engine_cache": cache_total,
+            "shadow_probes": shadow_probes,
+            "profiled_matrices": profiled,
         }
-        snapshot["invalidations"] = {
-            name: engines_total["invalidations"].get(name, 0)
-            for name in ("epoch_advances", "carried_forward", "forced_retunes")
-        }
+
+    def _snapshot_ages(self) -> List[Optional[float]]:
+        """Per-worker heartbeat-snapshot age in seconds (None = never).
+
+        Workers stamp snapshots with ``captured_monotonic``; on Linux
+        ``CLOCK_MONOTONIC`` is machine-wide, so the gateway can age a
+        worker-side stamp against its own clock.  The age tells a live
+        snapshot from a stale one (a busy worker stops heartbeating, a
+        dead worker's last snapshot freezes).
+        """
+        now = time.monotonic()
+        ages: List[Optional[float]] = []
+        for index in range(self.workers):
+            snapshot = self.supervisor.handle(index).last_snapshot
+            captured = (snapshot or {}).get("captured_monotonic")
+            ages.append(
+                max(0.0, now - float(captured))
+                if captured is not None
+                else None
+            )
+        return ages
+
+    def _heartbeat_snapshots(self) -> List[Dict[str, object]]:
+        return [
+            dict(self.supervisor.handle(index).last_snapshot or {})
+            for index in range(self.workers)
+        ]
+
+    def _collect_gauges(self, registry) -> None:
+        """Dump-time collector: fleet gauges from heartbeat snapshots.
+
+        Runs on registry dumps only (exposition, spiller ticks) and
+        reads last-heartbeat state exclusively — a metrics scrape never
+        round-trips to worker processes or touches the request path.
+        """
+        labels = {"tier": self.obs.tier}
+        totals = self._aggregate_snapshots(self._heartbeat_snapshots())
+        cache = totals["engine_cache"]
+        registry.gauge("engine_cache_hits", labels=labels).set(cache["hits"])
+        registry.gauge("engine_cache_misses", labels=labels).set(
+            cache["misses"]
+        )
+        registry.gauge("engine_cache_evictions", labels=labels).set(
+            cache["evictions"]
+        )
+        registry.gauge("engine_cache_size", labels=labels).set(cache["size"])
+        registry.gauge("engine_cache_capacity", labels=labels).set(
+            cache["capacity"]
+        )
+        engines = totals["engines"]
+        registry.gauge("engine_requests", labels=labels).set(
+            engines["requests_served"]
+        )
+        for backend, usage in engines["backends"].items():
+            backend_labels = {"tier": self.obs.tier, "backend": backend}
+            registry.gauge("backend_requests", labels=backend_labels).set(
+                usage.get("requests", 0)
+            )
+            registry.gauge("backend_seconds", labels=backend_labels).set(
+                usage.get("seconds", 0.0)
+            )
+        for reason, count in engines["invalidations"].items():
+            registry.gauge(
+                "invalidations",
+                labels={"tier": self.obs.tier, "reason": reason},
+            ).set(count)
+        registry.gauge("profiled_matrices", labels=labels).set(
+            totals["profiled_matrices"]
+        )
+        supervisor = self.supervisor.stats()
+        registry.gauge("workers_alive", labels=labels).set(
+            supervisor.get("alive", 0)
+        )
+        registry.gauge("worker_respawns", labels=labels).set(
+            supervisor.get("respawns", 0)
+        )
+        for index, age in enumerate(self._snapshot_ages()):
+            if age is not None:
+                registry.gauge(
+                    "worker_snapshot_age_seconds",
+                    labels={"tier": self.obs.tier, "worker": str(index)},
+                ).set(age)
+
+    def stats(self) -> Dict[str, object]:
+        """The :meth:`TuningService.stats` schema, fleet-aggregated.
+
+        The common view is rendered by the same
+        :func:`~repro.obs.views.build_service_stats` generator every
+        tier uses (schema parity by construction — locked by the
+        cross-tier suite in ``tests/obs/test_stats_parity.py``).
+        ``engines`` folds live remote engines (polled from every
+        worker), engines retired by worker-local cache eviction, and
+        the last-heartbeat accounting of dead worker incarnations — the
+        same every-engine-ever-owned contract as single-process mode.
+        The extra ``distributed`` block carries fleet health:
+        per-worker liveness, heartbeat-snapshot ages, respawn/retry
+        counters, and shared-memory pool usage.
+        """
+        totals = self._aggregate_snapshots(self._poll_workers())
+        snapshot = build_service_stats(
+            self.obs,
+            space=self.space.name,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            model_info=self.model_info,
+            engines_total=totals["engines"],
+            engine_cache=totals["engine_cache"],
+            profiled_matrices=totals["profiled_matrices"],
+            shadow_probes=totals["shadow_probes"],
+        )
         snapshot["distributed"] = {
             "fingerprints": len(self._matrices),
-            "retried_requests": retried,
-            "dead_workers": dead,
+            "retried_requests": self._retried_requests.value,
+            "dead_workers": self._dead_workers.value,
             "supervisor": self.supervisor.stats(),
             "shm": self.pool.stats(),
             "worker_backends": [
                 list(self.supervisor.handle(i).backends.get("backends", ()))
                 for i in range(self.workers)
             ],
+            "worker_snapshot_age_seconds": self._snapshot_ages(),
         }
         return snapshot
 

@@ -45,6 +45,13 @@ The worker answers every message even when serving fails — an
 ``("error", ...)`` reply carries the exception text so the gateway can
 fail exactly the affected futures instead of the whole worker.
 
+Observability rides the existing messages instead of adding new ones:
+every reply meta carries the worker-side span ``stages`` (``shm_attach``
+/ ``kernel`` / ``shm_write``), which the gateway merges into the
+request's span under its original trace ID, and every stats/heartbeat
+snapshot is stamped with ``captured_monotonic`` so the gateway can tell
+a stale busy-worker snapshot from a live one.
+
 Heartbeats are emitted by a dedicated daemon thread, not the serve
 loop, so a worker busy on one long operation (a large batch, a shadow
 profile, a respawned worker replaying a long delta log — none of which
@@ -160,30 +167,41 @@ class _WorkerState:
         """Serve one batch spec; returns ``(metas, observations)``.
 
         Outputs are written straight into the response ref — the reply
-        message carries accounting metadata only.
+        message carries accounting metadata only.  Each meta includes
+        the worker-side span stage timings (``shm_attach`` /
+        ``kernel`` / ``shm_write``), which the gateway merges into the
+        request's span under its original trace ID — one span covering
+        both sides of the process boundary.
         """
         matrix = self.matrices[fp]
         x_ref: ShmRef = spec["x"]
         out_ref: ShmRef = spec["out"]
         reps: List[int] = list(spec["reps"])
         stacked: bool = bool(spec["stacked"])
+        attach_start = time.perf_counter()
         X = self.segments.view(x_ref)
         out = self.segments.view(out_ref)
+        attach_seconds = time.perf_counter() - attach_start
         collect = bool(spec.get("telemetry", True))
         with self.engines.lease(fp) as engine:
             model_version = engine.model_version
             epoch = engine.epoch_of(fp)
+            kernel_start = time.perf_counter()
             if stacked:
                 n = X.shape[1]
                 block = engine.execute(matrix, X, key=fp)
+                write_start = time.perf_counter()
                 out[...] = block.y
+                write_done = time.perf_counter()
                 results = split_stacked(block, n)
             else:
                 n = 1
                 result = engine.execute(
                     matrix, X, key=fp, repetitions=reps[0]
                 )
+                write_start = time.perf_counter()
                 out[...] = result.y
+                write_done = time.perf_counter()
                 results = [result]
             features = shadow = None
             if collect:
@@ -200,6 +218,13 @@ class _WorkerState:
                 self.segments.forget(ref.segment)
         self.requests_served += n
         self.batches += 1
+        # one shared stage dict per batch: the whole batch rode one
+        # kernel launch, so its members share the worker-side timings
+        stages = {
+            "shm_attach": attach_seconds,
+            "kernel": write_start - kernel_start,
+            "shm_write": write_done - write_start,
+        }
         metas = [
             {
                 "seconds": r.seconds,
@@ -210,6 +235,7 @@ class _WorkerState:
                 "model_version": model_version,
                 "epoch": epoch,
                 "backend": r.backend,
+                "stages": stages,
             }
             for r in results
         ]
@@ -236,12 +262,14 @@ class _WorkerState:
     def serve_update(self, fp: str, delta) -> Dict[str, object]:
         """Apply one mutation under the shard lock; returns its meta."""
         matrix = self.matrices[fp]
+        kernel_start = time.perf_counter()
         with self.engines.lease(fp) as engine:
             # recorded alongside the acked delta: a respawn replaying
             # the log must re-derive the decision before this delta iff
             # one existed now, or the rebuilt drift anchors diverge
             had_decision = engine.has_decision(fp)
             upd = engine.update(fp, delta, matrix=matrix)
+        kernel_seconds = time.perf_counter() - kernel_start
         self.requests_served += 1
         self.updates_served += 1
         self.batches += 1
@@ -253,6 +281,7 @@ class _WorkerState:
             "drift": upd.drift,
             "nnz": upd.nnz,
             "had_decision": had_decision,
+            "stages": {"kernel": kernel_seconds},
         }
 
     def install_matrix(self, fp: str, matrix, deltas, served=False) -> None:
@@ -322,6 +351,11 @@ class _WorkerState:
             "matrices": len(self.matrices),
             "engines": engines_total,
             "engine_cache": self.engines.stats(),
+            # CLOCK_MONOTONIC is machine-wide on Linux, so the gateway
+            # can age this snapshot against its own clock: a stale
+            # (busy-worker) heartbeat snapshot is distinguishable from
+            # a fresh stats reply
+            "captured_monotonic": time.monotonic(),
         }
 
 

@@ -1,0 +1,284 @@
+"""``repro top`` — render a serve's spill directory as a live dashboard.
+
+Reads only the files :class:`~repro.obs.spill.MetricsSpiller` writes
+(``metrics.jsonl``, ``spans.jsonl``, ``events.jsonl``, ``meta.json``) —
+never the serving process itself — so it can watch any running serve,
+follow a finished one post-mortem, or run in CI with ``--once``.
+
+Throughput is the requests-served delta between the last two metric
+snapshots; p50/p99 are re-derived from the spilled histogram buckets
+with the same :func:`~repro.obs.metrics.bucket_quantile` the live
+histograms use, so the dashboard and ``stats()`` always agree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import bucket_quantile
+
+__all__ = ["read_snapshots", "render_top", "run_top"]
+
+_TAIL_BYTES = 1 << 20  # read at most the last 1 MiB of a jsonl file
+
+
+def _read_jsonl_tail(path: str, limit: int) -> List[Dict[str, object]]:
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            if size > _TAIL_BYTES:
+                fh.seek(size - _TAIL_BYTES)
+                fh.readline()  # drop the partial first line
+            raw = fh.read().decode("utf-8", "replace")
+    except OSError:
+        return []
+    records = []
+    for line in raw.splitlines()[-limit:]:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a line mid-append; the next tick completes it
+    return records
+
+
+def read_snapshots(directory: str, *, last: int = 2):
+    """The spill directory's tail: meta, metric snapshots, spans, events."""
+    meta: Dict[str, object] = {}
+    try:
+        with open(os.path.join(directory, "meta.json")) as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        pass
+    return {
+        "meta": meta,
+        "metrics": _read_jsonl_tail(
+            os.path.join(directory, "metrics.jsonl"), last
+        ),
+        "spans": _read_jsonl_tail(os.path.join(directory, "spans.jsonl"), 12),
+        "events": _read_jsonl_tail(
+            os.path.join(directory, "events.jsonl"), 6
+        ),
+    }
+
+
+def _by_name(records) -> Dict[str, List[Dict[str, object]]]:
+    table: Dict[str, List[Dict[str, object]]] = {}
+    for record in records:
+        table.setdefault(str(record.get("name")), []).append(record)
+    return table
+
+
+def _value(table, name: str, **labels) -> Optional[float]:
+    for record in table.get(name, ()):
+        record_labels = record.get("labels", {})
+        if all(record_labels.get(k) == v for k, v in labels.items()):
+            return record.get("value")
+    return None
+
+
+def _sum_values(table, name: str) -> float:
+    return sum(
+        float(r.get("value", 0) or 0) for r in table.get(name, ())
+    )
+
+
+def _fmt_seconds(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_top(directory: str, *, now: Optional[float] = None) -> str:
+    """One full dashboard frame as text (the ``repro top`` body)."""
+    snap = read_snapshots(directory)
+    now = time.time() if now is None else now
+    lines: List[str] = []
+    meta = snap["meta"]
+    metric_lines = snap["metrics"]
+    if not metric_lines:
+        return (
+            f"repro top — {directory}\n"
+            "  no metrics.jsonl yet (is the serve running with "
+            "--metrics-dir?)\n"
+        )
+    latest = metric_lines[-1]
+    table = _by_name(latest["metrics"])
+    age = now - float(latest.get("ts", now))
+    uptime = now - float(meta.get("started_at", now))
+    lines.append(
+        f"repro top — {meta.get('tier', '?')} tier, "
+        f"pid {meta.get('pid', '?')}, up {uptime:.0f}s, "
+        f"snapshot {age:.1f}s old"
+    )
+    lines.append("")
+
+    # -- throughput + latency per tier ---------------------------------
+    previous_table = (
+        _by_name(metric_lines[-2]["metrics"])
+        if len(metric_lines) > 1
+        else None
+    )
+    lines.append(
+        f"{'tier':<14}{'served':>10}{'req/s':>10}{'p50':>10}"
+        f"{'p99':>10}{'max':>10}"
+    )
+    for record in table.get("requests_served", ()):
+        tier = record.get("labels", {}).get("tier", "?")
+        served = float(record.get("value", 0))
+        rate = "-"
+        if previous_table is not None:
+            prev = _value(previous_table, "requests_served", tier=tier)
+            dt = float(latest["ts"]) - float(metric_lines[-2]["ts"])
+            if prev is not None and dt > 0:
+                rate = f"{(served - float(prev)) / dt:.1f}"
+        p50 = p99 = hist_max = None
+        for hist in table.get("request_latency_seconds", ()):
+            if hist.get("labels", {}).get("tier") == tier:
+                counts = list(hist.get("counts", ()))
+                bounds = list(hist.get("bounds", ()))
+                hist_max = float(hist.get("max", 0.0))
+                p50 = bucket_quantile(bounds, counts, hist_max, 0.50)
+                p99 = bucket_quantile(bounds, counts, hist_max, 0.99)
+        lines.append(
+            f"{tier:<14}{served:>10.0f}{rate:>10}"
+            f"{_fmt_seconds(p50):>10}{_fmt_seconds(p99):>10}"
+            f"{_fmt_seconds(hist_max):>10}"
+        )
+    lines.append("")
+
+    # -- cache + coalescing --------------------------------------------
+    hits = _sum_values(table, "engine_cache_hits")
+    misses = _sum_values(table, "engine_cache_misses")
+    lookups = hits + misses
+    hit_rate = f"{hits / lookups:.1%}" if lookups else "-"
+    lines.append(
+        "cache          "
+        f"hits {hits:.0f}  misses {misses:.0f}  hit-rate {hit_rate}  "
+        f"evictions {_sum_values(table, 'engine_cache_evictions'):.0f}"
+    )
+    lines.append(
+        "coalescing     "
+        f"batches {_sum_values(table, 'batches'):.0f}  "
+        f"coalesced {_sum_values(table, 'coalesced_requests'):.0f} req in "
+        f"{_sum_values(table, 'coalesced_batches'):.0f} batches"
+    )
+
+    # -- backend attribution -------------------------------------------
+    backends = table.get("backend_requests", ())
+    if backends:
+        parts = []
+        for record in sorted(
+            backends, key=lambda r: -float(r.get("value", 0))
+        ):
+            backend = record.get("labels", {}).get("backend", "?")
+            parts.append(f"{backend} {float(record.get('value', 0)):.0f}")
+        lines.append("backends       " + "  ".join(parts))
+
+    # -- worker liveness (distributed tier only) -----------------------
+    alive = _value(table, "workers_alive")
+    if alive is not None:
+        ages = [
+            (
+                r.get("labels", {}).get("worker", "?"),
+                float(r.get("value", 0)),
+            )
+            for r in table.get("worker_snapshot_age_seconds", ())
+        ]
+        age_text = "  ".join(
+            f"w{worker}:{age:.1f}s" for worker, age in sorted(ages)
+        )
+        lines.append(
+            f"workers        {alive:.0f} alive  "
+            f"respawns {_sum_values(table, 'worker_respawns'):.0f}  "
+            f"retried {_sum_values(table, 'retried_requests'):.0f}  "
+            f"snapshot-age {age_text or '-'}"
+        )
+
+    # -- drift state (adaptive tier only) ------------------------------
+    drift = _value(table, "drift_events")
+    if drift is not None:
+        lines.append(
+            f"adaptive       drift-events {drift:.0f}  "
+            f"retrains {_sum_values(table, 'retrains'):.0f}  "
+            f"promotions {_sum_values(table, 'model_promotions'):.0f}  "
+            f"rollbacks {_sum_values(table, 'rollbacks'):.0f}"
+        )
+    lines.append("")
+
+    # -- recent spans ---------------------------------------------------
+    spans = snap["spans"]
+    if spans:
+        lines.append(
+            f"{'trace':<20}{'kind':<8}{'tier':<10}{'batch':>6}"
+            f"{'total':>10}  slowest stage"
+        )
+        for span in spans[-8:]:
+            stages = span.get("stages", {}) or {}
+            total = sum(float(v) for v in stages.values())
+            slowest = (
+                max(stages.items(), key=lambda kv: float(kv[1]))
+                if stages
+                else ("-", 0.0)
+            )
+            lines.append(
+                f"{str(span.get('trace', '?')):<20}"
+                f"{str(span.get('kind', '?')):<8}"
+                f"{str(span.get('tier', '?')):<10}"
+                f"{int(span.get('batch_size', 1)):>6}"
+                f"{_fmt_seconds(total):>10}  "
+                f"{slowest[0]} {_fmt_seconds(float(slowest[1]))}"
+            )
+    events = snap["events"]
+    if events:
+        lines.append("")
+        lines.append("recent events")
+        for event in events:
+            fields = {
+                k: v
+                for k, v in event.items()
+                if k not in ("kind", "ts", "seq")
+            }
+            summary = "  ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"  {event.get('kind', '?'):<18} {summary}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    directory: str,
+    *,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    stream=None,
+    clear: bool = True,
+) -> None:
+    """Render the dashboard every *interval* seconds.
+
+    ``iterations=None`` follows forever (Ctrl-C to stop); an explicit
+    count renders that many frames and returns — the CI / test mode.
+    """
+    stream = stream if stream is not None else sys.stdout
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            frame = render_top(directory)
+            if clear and iterations is None:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame)
+            stream.flush()
+            count += 1
+            if iterations is not None and count >= iterations:
+                break
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass

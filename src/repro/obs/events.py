@@ -1,0 +1,60 @@
+"""Structured event ring: diagnosable incidents, not just counters.
+
+The serving tiers used to reduce every incident to a counter bump — an
+observer raising emitted ``observer_errors += 1`` and the exception
+vanished.  :class:`EventRing` is the shared sink for **structured**
+incident records: each event carries a kind, a wall timestamp, a
+monotonically increasing ``seq``, and whatever diagnostic fields the
+emitter attaches (exception type, fingerprint, batch size, worker
+index).  Like the span ring it is bounded and drained incrementally to
+``events.jsonl`` by the spiller; per-kind tallies survive ring eviction
+so ``counts()`` is always the full history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List
+
+__all__ = ["EventRing"]
+
+
+class EventRing:
+    """Bounded ring of structured events with per-kind lifetime counts."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = int(capacity)
+        self._ring: "deque[Dict[str, object]]" = deque(maxlen=self.capacity)
+        self._counts: Dict[str, int] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields) -> Dict[str, object]:
+        event: Dict[str, object] = {"kind": kind, "ts": time.time()}
+        event.update(fields)
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._ring.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+        return event
+
+    def tail(self, n: int = 50) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._ring)[-int(n):]
+
+    def drain_since(self, seq: int) -> List[Dict[str, object]]:
+        """Events emitted after *seq*, oldest first (for the spiller)."""
+        with self._lock:
+            return [e for e in self._ring if e["seq"] > seq]
+
+    def counts(self) -> Dict[str, int]:
+        """Lifetime per-kind tallies (survive ring eviction)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -1,0 +1,414 @@
+"""Typed metrics registry: counters, gauges, log-bucket histograms.
+
+The runtime stack's accounting used to live in hand-assembled per-tier
+``stats()`` dicts — every tier re-built the same schema by hand and the
+only latency aggregates were total/mean/max.  This module is the one
+place metrics now live:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — typed,
+  thread-safe instruments.  Histograms use **fixed log-scale buckets**
+  (factor-2 bounds, microseconds to tens of seconds by default), so
+  p50/p99 come out of plain integer bucket counts with no dependency
+  and no per-observation allocation;
+* :class:`MetricsRegistry` — the named instrument table every layer
+  (service, gateway, workers-via-fold, adaptive controller) registers
+  into, plus *collector* callbacks that refresh gauges from live
+  structures (engine caches, supervisors) at dump time only — render
+  cost never rides the request path;
+* exposition: :meth:`MetricsRegistry.dump` is the single source dump;
+  :func:`render_prometheus` and the JSONL spiller both serialise that
+  same dump, so the two formats can never disagree on a value.
+
+Label support is deliberately small: an instrument is keyed by
+``(name, labels)`` where *labels* is a frozen item tuple — enough for
+per-backend / per-worker attribution without a cardinality footgun.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "bucket_quantile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "render_prometheus",
+]
+
+#: Factor-2 log-scale bucket upper bounds: 1 µs .. ~16.8 s (25 buckets
+#: plus the implicit overflow bucket).  Wide enough for every latency
+#: this stack measures, fixed so histograms merge across processes.
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 2**i for i in range(25))
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Optional[Dict[str, str]]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value (ints or float seconds)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "help", "_value", "_lock")
+
+    def __init__(
+        self, name: str, labels: LabelItems = (), help: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def dump(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value; :meth:`set_max` keeps a running maximum."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "help", "_value", "_lock")
+
+    def __init__(
+        self, name: str, labels: LabelItems = (), help: str = ""
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set_max(self, value) -> None:
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def dump(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed log-scale bucket histogram; quantiles from bucket counts.
+
+    ``bounds`` are *upper* bucket bounds; observations above the last
+    bound land in an implicit overflow bucket whose quantile estimate is
+    the observed maximum.  :meth:`quantile` interpolates linearly inside
+    the winning bucket — with factor-2 bounds the estimate is within 2x
+    of the true value, which is what a latency dashboard needs.
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name",
+        "labels",
+        "help",
+        "bounds",
+        "_counts",
+        "_count",
+        "_sum",
+        "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        help: str = "",
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.bounds = tuple(bounds) if bounds is not None else LATENCY_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram {name} bounds must be sorted")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def max_value(self) -> float:
+        with self._lock:
+            return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``0 < q <= 1``) from the buckets."""
+        with self._lock:
+            counts = list(self._counts)
+            observed_max = self._max
+        return bucket_quantile(self.bounds, counts, observed_max, q)
+
+    def dump(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            total_sum = self._sum
+            observed_max = self._max
+        return {
+            "count": total,
+            "sum": total_sum,
+            "max": observed_max,
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "p50": bucket_quantile(self.bounds, counts, observed_max, 0.50),
+            "p99": bucket_quantile(self.bounds, counts, observed_max, 0.99),
+        }
+
+
+def bucket_quantile(bounds, counts, observed_max: float, q: float) -> float:
+    """The *q*-quantile of a bucketed distribution, interpolated.
+
+    Shared by live :class:`Histogram` instances and the dashboard (which
+    re-derives quantiles from spilled dumps) so both report the same
+    number for the same buckets.
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= target:
+            lo = bounds[index - 1] if index > 0 else 0.0
+            hi = bounds[index] if index < len(bounds) else observed_max
+            fraction = (target - cumulative) / bucket_count
+            estimate = lo + fraction * (max(hi, lo) - lo)
+            # the winning bucket's upper bound can exceed the largest
+            # value actually observed; a quantile must not
+            if observed_max > 0:
+                estimate = min(estimate, observed_max)
+            return estimate
+        cumulative += bucket_count
+    return observed_max
+
+
+class MetricsRegistry:
+    """Named instrument table plus dump-time collectors.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    for an existing ``(name, labels)`` pair returns the existing
+    instrument (asking with a different type raises).  Collectors are
+    callables invoked with the registry at :meth:`dump` time — the hook
+    live structures (engine cache, supervisor, shm pool) use to publish
+    gauges without paying anything on the request path.
+    """
+
+    def __init__(self, *, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, cls, name, labels, help, **kwargs):
+        key = (name, _freeze_labels(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], help=help, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        help: str = "",
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels, help)
+
+    def gauge(
+        self,
+        name: str,
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        help: str = "",
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        labels: Optional[Dict[str, str]] = None,
+        help: str = "",
+        bounds: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels, help, bounds=bounds
+        )
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Run *collector(registry)* before every dump (gauge refresh)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- exposition ----------------------------------------------------
+    def dump(self) -> List[Dict[str, object]]:
+        """One JSON-serialisable record per instrument, sorted by name.
+
+        This is the **single** source both exposition formats render
+        from: :func:`render_prometheus` and the JSONL spiller serialise
+        the same dump, so their values are identical by construction.
+        """
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            try:
+                collector(self)
+            except Exception:
+                pass  # a broken collector must not break exposition
+        with self._lock:
+            metrics = list(self._metrics.values())
+        records = [
+            {
+                "name": metric.name,
+                "type": metric.kind,
+                "help": metric.help,
+                "labels": dict(metric.labels),
+                **metric.dump(),
+            }
+            for metric in metrics
+        ]
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.dump(), namespace=self.namespace)
+
+    def snapshot_line(self, *, timestamp: float) -> str:
+        """One JSONL line carrying the full dump (the spill format)."""
+        return json.dumps(
+            {"ts": timestamp, "metrics": self.dump()},
+            separators=(",", ":"),
+            default=str,
+        )
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    cleaned = name.replace(".", "_").replace("-", "_")
+    if namespace and not cleaned.startswith(namespace + "_"):
+        cleaned = f"{namespace}_{cleaned}"
+    return cleaned
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(
+    records: List[Dict[str, object]], *, namespace: str = "repro"
+) -> str:
+    """Prometheus text exposition of a :meth:`MetricsRegistry.dump`.
+
+    Rendering from the dump (not the live registry) is what pins the
+    text and JSONL formats to identical values: callers dump once and
+    feed both serialisers the same records.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+    for record in records:
+        name = _prom_name(namespace, str(record["name"]))
+        kind = record["type"]
+        labels = dict(record.get("labels", {}))
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if record.get("help"):
+                lines.append(f"# HELP {name} {record['help']}")
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            bounds = list(record["bounds"])
+            counts = list(record["counts"])
+            for bound, count in zip(bounds, counts[:-1]):
+                cumulative += count
+                le = _prom_labels(labels, f'le="{bound:.6g}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            cumulative += counts[-1]
+            le = _prom_labels(labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{le} {cumulative}")
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)} {record['sum']:.9g}"
+            )
+            lines.append(f"{name}_count{_prom_labels(labels)} {cumulative}")
+        else:
+            suffix = "_total" if kind == "counter" else ""
+            value = record["value"]
+            rendered = f"{value:.9g}" if isinstance(value, float) else value
+            lines.append(
+                f"{name}{suffix}{_prom_labels(labels)} {rendered}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""Periodic spill of the observability state to a directory.
+
+``repro serve --metrics-dir DIR`` attaches a :class:`MetricsSpiller` to
+the serving process; every ``interval`` seconds it writes:
+
+* ``metrics.prom`` — Prometheus-style text exposition, written to a
+  temp file and atomically replaced, so a scraper (or ``repro top``)
+  never reads a torn file;
+* ``metrics.jsonl`` — one appended line per tick carrying the **same**
+  registry dump the text file was rendered from (identical values by
+  construction; the dashboard diffs consecutive lines for throughput);
+* ``spans.jsonl`` / ``events.jsonl`` — incremental drains of the span
+  and event rings (each record appended exactly once);
+* ``meta.json`` — written once: pid, tier, start time, interval.
+
+The spiller is read-only with respect to serving: it runs on its own
+daemon thread, touches only the registry/ring snapshots, and a crash in
+one tick is swallowed (spilling must never take the service down).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+from repro.obs import Observability
+from repro.obs.metrics import render_prometheus
+
+__all__ = ["MetricsSpiller"]
+
+
+class MetricsSpiller:
+    """Spill one :class:`~repro.obs.Observability` bundle to *directory*."""
+
+    def __init__(
+        self,
+        directory: str,
+        obs: Observability,
+        *,
+        interval: float = 1.0,
+    ) -> None:
+        self.directory = str(directory)
+        self.obs = obs
+        self.interval = float(interval)
+        self._span_seq = 0
+        self._event_seq = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        os.makedirs(self.directory, exist_ok=True)
+        self._write_meta()
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    def _write_meta(self) -> None:
+        meta = {
+            "pid": os.getpid(),
+            "tier": self.obs.tier,
+            "started_at": time.time(),
+            "interval_seconds": self.interval,
+        }
+        with open(self._path("meta.json"), "w") as fh:
+            json.dump(meta, fh, indent=2)
+            fh.write("\n")
+
+    # -- one tick ------------------------------------------------------
+    def write_once(self) -> None:
+        """Write one complete spill tick (also the final flush on stop)."""
+        records = self.obs.registry.dump()
+        now = time.time()
+        # prom text and the JSONL line render the SAME dump: the two
+        # exposition formats cannot disagree on a value
+        text = render_prometheus(
+            records, namespace=self.obs.registry.namespace
+        )
+        tmp = self._path("metrics.prom.tmp")
+        with open(tmp, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, self._path("metrics.prom"))
+        line = json.dumps(
+            {"ts": now, "metrics": records},
+            separators=(",", ":"),
+            default=str,
+        )
+        with open(self._path("metrics.jsonl"), "a") as fh:
+            fh.write(line + "\n")
+        self._append_ring(
+            "spans.jsonl", self.obs.spans.drain_since(self._span_seq)
+        )
+        self._append_ring(
+            "events.jsonl", self.obs.events.drain_since(self._event_seq)
+        )
+
+    def _append_ring(self, name: str, records) -> None:
+        if not records:
+            return
+        with open(self._path(name), "a") as fh:
+            for record in records:
+                fh.write(
+                    json.dumps(record, separators=(",", ":"), default=str)
+                    + "\n"
+                )
+        if name == "spans.jsonl":
+            self._span_seq = records[-1]["seq"]
+        else:
+            self._event_seq = records[-1]["seq"]
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "MetricsSpiller":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-metrics-spiller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.write_once()
+            except Exception:
+                pass  # spilling must never take the service down
+
+    def stop(self) -> None:
+        """Stop the thread and flush one final complete tick."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.write_once()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "MetricsSpiller":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -49,6 +49,8 @@ class PendingRequest:
         "enqueued_at",
         "kind",
         "delta",
+        "trace_id",
+        "validate_seconds",
     )
 
     def __init__(
@@ -60,6 +62,8 @@ class PendingRequest:
         *,
         kind: str = "spmv",
         delta=None,
+        trace_id: str = "",
+        validate_seconds: float = 0.0,
     ) -> None:
         self.matrix = matrix
         self.operand = operand
@@ -67,6 +71,11 @@ class PendingRequest:
         self.future = future
         self.kind = kind
         self.delta = delta
+        #: Observability trace ID minted at submit(); rides the request
+        #: through coalescing, control messages, and respawn replays.
+        self.trace_id = trace_id
+        #: Seconds spent validating in the caller's thread (span stage).
+        self.validate_seconds = validate_seconds
         self.enqueued_at = time.perf_counter()
 
     @property

@@ -62,6 +62,8 @@ from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.delta import MatrixDelta
 from repro.formats.dynamic import DynamicMatrix
+from repro.obs import Observability
+from repro.obs.views import build_service_stats
 from repro.runtime.engine import (
     WorkloadEngine,
     request_key,
@@ -111,6 +113,9 @@ class ServiceResult:
     epoch: int = 0
     #: Kernel backend that executed the serving kernel.
     backend: str = "numpy"
+    #: Observability trace ID minted at submit() — correlates this
+    #: result with its span timeline and trace-replay events.
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -131,6 +136,8 @@ class UpdateResult:
     drift: float
     nnz: int
     latency_seconds: float
+    #: Observability trace ID minted at submit_update().
+    trace_id: str = ""
 
 
 class TuningService:
@@ -199,6 +206,7 @@ class TuningService:
         kernel_backend: Optional[str] = None,
         shadow_every: int = 0,
         redecision=None,
+        observability: bool = True,
     ) -> None:
         if workers is None:
             workers = default_thread_workers()
@@ -237,15 +245,12 @@ class TuningService:
         self._metrics_lock = threading.Lock()
         self._model_lock = threading.Lock()
         self._closed = False
-        # service-level counters (engine-level ones live in the engines)
-        self.requests_submitted = 0
-        self.requests_served = 0
-        self.updates_served = 0
-        self.batches = 0
-        self.coalesced_batches = 0
-        self.coalesced_requests = 0
-        self.latency_total = 0.0
-        self.latency_max = 0.0
+        # service-level instruments live in the observability registry
+        # (engine-level accounting stays in the engines and is folded at
+        # view time); ``observability=False`` keeps the instruments —
+        # they ARE the accounting — but turns span/event recording off
+        self.obs = Observability(tier="inproc", enabled=observability)
+        self.obs.registry.register_collector(self._collect_gauges)
         #: accounting folded in from engines evicted by the cache
         self._retired = empty_engine_totals()
         self._retired["profile_times"] = {}
@@ -261,11 +266,51 @@ class TuningService:
         # never pair a new tuner with an old version stamp (or vice
         # versa) mid-promotion
         self._deployed = (tuner, self.model_info)
-        self.promotions = 0
         self._observer = None
-        self._observer_errors = 0
         self._shadow_counts: Dict[str, int] = {}
-        self.shadow_probes = 0
+
+    # ------------------------------------------------------------------
+    # registry-backed counters (read-compat attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def requests_submitted(self) -> int:
+        return self.obs.requests_submitted.value
+
+    @property
+    def requests_served(self) -> int:
+        return self.obs.requests_served.value
+
+    @property
+    def updates_served(self) -> int:
+        return self.obs.updates_served.value
+
+    @property
+    def batches(self) -> int:
+        return self.obs.batches.value
+
+    @property
+    def coalesced_batches(self) -> int:
+        return self.obs.coalesced_batches.value
+
+    @property
+    def coalesced_requests(self) -> int:
+        return self.obs.coalesced_requests.value
+
+    @property
+    def shadow_probes(self) -> int:
+        return self.obs.shadow_probes.value
+
+    @property
+    def promotions(self) -> int:
+        return self.obs.promotions.value
+
+    @property
+    def latency_total(self) -> float:
+        return self.obs.latency.sum
+
+    @property
+    def latency_max(self) -> float:
+        return self.obs.latency.max_value
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -408,8 +453,12 @@ class TuningService:
                     tuner, version=str(version)
                 )
             )
-            with self._metrics_lock:
-                self.promotions += 1
+            self.obs.promotions.inc()
+            self.obs.event(
+                "model_promoted",
+                version=str(version),
+                algorithm=info["algorithm"],
+            )
             return dict(info)
 
     def profile_times(self) -> Dict[str, Dict[str, float]]:
@@ -456,10 +505,18 @@ class TuningService:
         """
         if self._closed:
             raise ValidationError("service is closed")
+        submitted_at = time.perf_counter()
         operand = validate_operand(matrix, x)
         fp = key if key is not None else request_key(matrix)
         future: "Future[ServiceResult]" = Future()
-        request = PendingRequest(matrix, operand, int(repetitions), future)
+        request = PendingRequest(
+            matrix,
+            operand,
+            int(repetitions),
+            future,
+            trace_id=self.obs.mint(),
+            validate_seconds=time.perf_counter() - submitted_at,
+        )
         self._enqueue(fp, request)
         return future
 
@@ -481,6 +538,7 @@ class TuningService:
         """
         if self._closed:
             raise ValidationError("service is closed")
+        submitted_at = time.perf_counter()
         if not isinstance(delta, MatrixDelta):
             raise ValidationError(
                 f"update needs a MatrixDelta, got {type(delta).__name__}"
@@ -492,7 +550,14 @@ class TuningService:
         fp = key if key is not None else request_key(matrix)
         future: "Future[UpdateResult]" = Future()
         request = PendingRequest(
-            matrix, None, 1, future, kind="update", delta=delta
+            matrix,
+            None,
+            1,
+            future,
+            kind="update",
+            delta=delta,
+            trace_id=self.obs.mint(),
+            validate_seconds=time.perf_counter() - submitted_at,
         )
         self._enqueue(fp, request)
         return future
@@ -510,8 +575,7 @@ class TuningService:
     def _enqueue(self, fp: str, request: PendingRequest) -> None:
         """Append one request to its fingerprint queue; schedule a drain."""
         schedule = self._pending.push(fp, request)
-        with self._metrics_lock:
-            self.requests_submitted += 1
+        self.obs.requests_submitted.inc()
         if schedule:
             self._schedule(fp)
 
@@ -541,8 +605,8 @@ class TuningService:
     def _drain_inline(self, fp: str) -> None:
         """Serve a fingerprint's whole queue in the calling thread."""
         while True:
-            more, observations = self._drain_once(fp)
-            self._notify(observations)
+            more, observations, spans = self._drain_once(fp)
+            self._deliver_telemetry(observations, spans)
             if not more:
                 return
 
@@ -554,39 +618,65 @@ class TuningService:
         with serving on the pool instead of stalling the fingerprint's
         queue.
         """
-        more, observations = self._drain_once(fp)
+        more, observations, spans = self._drain_once(fp)
         if more:
             self._schedule(fp)
-        self._notify(observations)
+        self._deliver_telemetry(observations, spans)
 
     def _drain_once(self, fp: str):
         """Serve up to ``max_batch`` queued requests for one fingerprint.
 
-        Returns ``(more, observations)``: *more* is ``True`` when
-        requests remain queued for *fp* (the caller must keep the drain
-        alive), and *observations* is the served batch's telemetry (for
-        the caller to hand to :meth:`_notify` once the drain is
-        rescheduled).
+        Returns ``(more, observations, spans)``: *more* is ``True``
+        when requests remain queued for *fp* (the caller must keep the
+        drain alive); *observations* is the served batch's telemetry and
+        *spans* its partially-timed span records — the caller hands both
+        to :meth:`_deliver_telemetry` once the drain is rescheduled, so
+        observer time lands in each span as its final stage.
         """
         observations: List[dict] = []
+        spans: List[dict] = []
         batch = self._pending.take_batch(fp, self.max_batch)
         if batch:
             try:
                 if batch[0].kind == "update":
-                    observations = self._serve_update(fp, batch[0])
+                    observations, spans = self._serve_update(fp, batch[0])
                 else:
-                    observations = self._serve(fp, batch)
+                    observations, spans = self._serve(fp, batch)
             except BaseException as exc:  # propagate to every waiting caller
+                self.obs.event(
+                    "serve_error",
+                    error=type(exc).__name__,
+                    message=str(exc)[:200],
+                    fingerprint=fp,
+                    batch_size=len(batch),
+                    kind=batch[0].kind,
+                )
                 for request in batch:
                     if not request.future.done():
                         request.future.set_exception(exc)
-        return self._pending.finish(fp), observations
+        return self._pending.finish(fp), observations, spans
+
+    def _deliver_telemetry(
+        self, observations: List[dict], spans: List[dict]
+    ) -> None:
+        """Run the observer, then record spans with observer time filled."""
+        observer_seconds = 0.0
+        if observations and self._observer is not None:
+            started = time.perf_counter()
+            self._notify(observations)
+            observer_seconds = time.perf_counter() - started
+        for span in spans:
+            span["stages"]["observer"] = observer_seconds
+            self.obs.span(span.pop("trace"), **span)
 
     def _notify(self, observations: List[dict]) -> None:
         """Hand a served batch's observations to the observer, if any.
 
-        Exceptions are counted and swallowed — telemetry must never
-        break serving.
+        A raising observer is no longer reduced to a bare counter bump:
+        the counter still moves (``stats()["observer_errors"]``) but a
+        structured event with the exception type and the dropped batch's
+        identity goes through the event ring, so telemetry drops are
+        diagnosable after the fact.
         """
         if not observations:
             return
@@ -595,16 +685,25 @@ class TuningService:
             return
         try:
             observer(observations)
-        except Exception:
-            with self._metrics_lock:
-                self._observer_errors += 1
+        except Exception as exc:
+            self.obs.observer_errors.inc()
+            first = observations[0]
+            self.obs.event(
+                "observer_error",
+                error=type(exc).__name__,
+                message=str(exc)[:200],
+                fingerprint=str(first.get("fingerprint", "")),
+                batch_size=int(first.get("batch_size", len(observations))),
+                observations=len(observations),
+            )
 
-    def _serve(self, fp: str, batch: List[PendingRequest]) -> List[dict]:
+    def _serve(self, fp: str, batch: List[PendingRequest]):
         """Run one coalesced batch through the fingerprint's engine.
 
-        Returns the batch's telemetry observations (empty without an
-        observer); the caller delivers them via :meth:`_notify` after
-        rescheduling the drain.
+        Returns ``(observations, spans)`` — the batch's telemetry
+        observations (empty without an observer) and its span records
+        (empty with observability disabled); the caller delivers both
+        via :meth:`_deliver_telemetry` after rescheduling the drain.
 
         A batch of plain single-vector requests (``repetitions == 1``)
         takes the fast path: the operands are stacked into one
@@ -617,6 +716,7 @@ class TuningService:
         """
         observer = self._observer
         features = shadow = None
+        serve_start = time.perf_counter()
         with self.engines.lease(fp) as engine:
             # the engine's stamp moves with its tuner (same shard lock),
             # so the recorded version is exactly the model that decides
@@ -625,6 +725,7 @@ class TuningService:
             # likewise the epoch: updates advance it under this same
             # shard lock, so the whole batch serves one matrix version
             epoch = engine.epoch_of(fp)
+            kernel_start = time.perf_counter()
             if len(batch) > 1 and all(r.stackable for r in batch):
                 results = self._serve_stacked(fp, engine, batch)
             else:
@@ -636,6 +737,7 @@ class TuningService:
                         repetitions=request.repetitions,
                     )
                 results = engine.flush()
+            kernel_seconds = time.perf_counter() - kernel_start
             # telemetry artefacts are resolved while the engine is leased:
             # features come from the (warm) per-matrix cache, and every
             # shadow_every-th batch per matrix also resolves the rival
@@ -649,18 +751,17 @@ class TuningService:
                 self._shadow_counts[fp] = count + 1
                 if count % self.shadow_every == 0:
                     shadow = engine.profile_formats(batch[0].matrix, key=fp)
-                    with self._metrics_lock:
-                        self.shadow_probes += 1
+                    self.obs.shadow_probes.inc()
         done_at = time.perf_counter()
         latencies = [done_at - r.enqueued_at for r in batch]
-        with self._metrics_lock:
-            self.requests_served += len(batch)
-            self.batches += 1
-            if len(batch) > 1:
-                self.coalesced_batches += 1
-                self.coalesced_requests += len(batch)
-            self.latency_total += sum(latencies)
-            self.latency_max = max(self.latency_max, max(latencies))
+        o = self.obs
+        o.requests_served.inc(len(batch))
+        o.batches.inc()
+        if len(batch) > 1:
+            o.coalesced_batches.inc()
+            o.coalesced_requests.inc(len(batch))
+        for latency in latencies:
+            o.latency.observe(latency)
         for request, engine_result, latency in zip(batch, results, latencies):
             request.future.set_result(
                 ServiceResult(
@@ -675,11 +776,33 @@ class TuningService:
                     model_version=model_version,
                     epoch=epoch,
                     backend=engine_result.backend,
+                    trace_id=request.trace_id,
                 )
             )
+        spans = (
+            [
+                {
+                    "trace": request.trace_id,
+                    "kind": "spmv",
+                    "fingerprint": fp,
+                    "batch_size": len(batch),
+                    "backend": engine_result.backend,
+                    "stages": {
+                        "validate": request.validate_seconds,
+                        "queue": serve_start - request.enqueued_at,
+                        # lease wait + batch assembly ahead of the kernel
+                        "coalesce": kernel_start - serve_start,
+                        "kernel": kernel_seconds,
+                    },
+                }
+                for request, engine_result in zip(batch, results)
+            ]
+            if o.enabled
+            else []
+        )
         if observer is None:
-            return []
-        return [
+            return [], spans
+        observations = [
             {
                 "fingerprint": fp,
                 "format": engine_result.format,
@@ -697,23 +820,27 @@ class TuningService:
                 zip(results, latencies)
             )
         ]
+        return observations, spans
 
-    def _serve_update(self, fp: str, request: PendingRequest) -> List[dict]:
+    def _serve_update(self, fp: str, request: PendingRequest):
         """Apply one mutation request under the engine's shard lock.
 
-        Returns the update's telemetry observation (``kind: "update"``,
-        carrying the measured stat drift — the adaptive layer's
-        matrix-evolution velocity signal) when an observer is installed.
+        Returns ``(observations, spans)`` — the update's telemetry
+        observation (``kind: "update"``, carrying the measured stat
+        drift — the adaptive layer's matrix-evolution velocity signal)
+        when an observer is installed, plus its span record.
         """
+        serve_start = time.perf_counter()
         with self.engines.lease(fp) as engine:
+            kernel_start = time.perf_counter()
             upd = engine.update(fp, request.delta, matrix=request.matrix)
-        latency = time.perf_counter() - request.enqueued_at
-        with self._metrics_lock:
-            self.requests_served += 1
-            self.updates_served += 1
-            self.batches += 1
-            self.latency_total += latency
-            self.latency_max = max(self.latency_max, latency)
+        done_at = time.perf_counter()
+        latency = done_at - request.enqueued_at
+        o = self.obs
+        o.requests_served.inc()
+        o.updates_served.inc()
+        o.batches.inc()
+        o.latency.observe(latency)
         request.future.set_result(
             UpdateResult(
                 fingerprint=fp,
@@ -724,11 +851,32 @@ class TuningService:
                 drift=upd.drift,
                 nnz=upd.nnz,
                 latency_seconds=latency,
+                trace_id=request.trace_id,
             )
         )
+        spans = (
+            [
+                {
+                    "trace": request.trace_id,
+                    "kind": "update",
+                    "fingerprint": fp,
+                    "batch_size": 1,
+                    "stages": {
+                        "validate": request.validate_seconds,
+                        "queue": serve_start - request.enqueued_at,
+                        "coalesce": kernel_start - serve_start,
+                        "kernel": done_at - kernel_start,
+                    },
+                    "epoch": upd.epoch,
+                    "retuned": upd.retuned,
+                }
+            ]
+            if o.enabled
+            else []
+        )
         if self._observer is None:
-            return []
-        return [
+            return [], spans
+        observations = [
             {
                 "kind": "update",
                 "fingerprint": fp,
@@ -740,6 +888,7 @@ class TuningService:
                 "latency_seconds": latency,
             }
         ]
+        return observations, spans
 
     def _serve_stacked(self, fp: str, engine, batch: List[PendingRequest]):
         """Fast path: one stacked block, one ``execute``, one lookup round.
@@ -788,61 +937,74 @@ class TuningService:
             while len(retired_profiles) > cap:
                 retired_profiles.pop(next(iter(retired_profiles)))
 
+    def _engines_total(self) -> Dict[str, object]:
+        """Aggregate every engine ever owned: retired folds + live walks."""
+        engines_total = empty_engine_totals()
+        with self._metrics_lock:
+            # extra retired-only keys (profile_times) are ignored by the fold
+            fold_engine_stats(engines_total, self._retired)
+        for engine in self.engines.values():
+            fold_engine_stats(engines_total, engine.stats())
+        return engines_total
+
+    def _collect_gauges(self, registry) -> None:
+        """Dump-time collector: publish engine/cache/backend gauges.
+
+        This is how the :class:`WorkloadEngine` fleet and the
+        :class:`ShardedEngineCache` register into the metrics registry
+        without paying anything on the request path — the fold runs
+        only when the registry is dumped (spiller tick, ``repro
+        metrics``), never per request.
+        """
+        labels = {"tier": self.obs.tier}
+        cache = self.engines.stats()
+        for name in ("hits", "misses", "evictions", "size", "capacity"):
+            registry.gauge(f"engine_cache_{name}", labels=labels).set(
+                cache.get(name, 0)
+            )
+        engines_total = self._engines_total()
+        registry.gauge("engine_requests", labels=labels).set(
+            engines_total["requests_served"]
+        )
+        for kb, entry in engines_total["backends"].items():
+            backend_labels = {**labels, "backend": kb}
+            registry.gauge("backend_requests", labels=backend_labels).set(
+                entry["requests"]
+            )
+            registry.gauge("backend_seconds", labels=backend_labels).set(
+                entry["seconds"]
+            )
+        for name in ("epoch_advances", "carried_forward", "forced_retunes"):
+            registry.gauge(
+                "invalidations", labels={**labels, "reason": name}
+            ).set(engines_total["invalidations"].get(name, 0))
+        registry.gauge("profiled_matrices", labels=labels).set(
+            len(self.profile_times())
+        )
+
     def stats(self) -> Dict[str, object]:
         """One dict with every service-level and engine-level counter.
 
-        Keys: request/batch/coalescing tallies, wall-latency aggregates,
-        the engine cache's hit/miss/eviction numbers (``engine_cache``)
-        and the summed :meth:`WorkloadEngine.stats` of every engine the
-        service has ever owned, including evicted ones (``engines``).
-        This is the service's metrics endpoint — callers should consume
-        it rather than poking individual attributes.
+        The common schema — request/batch/coalescing tallies,
+        wall-latency aggregates (now with log-bucket p50/p99), the
+        engine cache's hit/miss/eviction numbers (``engine_cache``) and
+        the summed :meth:`WorkloadEngine.stats` of every engine the
+        service has ever owned (``engines``) — is rendered by
+        :func:`repro.obs.views.build_service_stats`, the same generator
+        every serving tier uses, so the schema cannot drift between
+        tiers.  This is the service's metrics endpoint — callers should
+        consume it rather than poking individual attributes.
         """
-        with self._metrics_lock:
-            served = self.requests_served
-            snapshot = {
-                "space": self.space.name,
-                "workers": self.workers,
-                "max_batch": self.max_batch,
-                "requests_submitted": self.requests_submitted,
-                "requests_served": served,
-                "updates_served": self.updates_served,
-                "batches": self.batches,
-                "coalesced_batches": self.coalesced_batches,
-                "coalesced_requests": self.coalesced_requests,
-                "shadow_probes": self.shadow_probes,
-                "observer_errors": self._observer_errors,
-                "model": {**self.model_info, "promotions": self.promotions},
-                "latency": {
-                    "total_seconds": self.latency_total,
-                    "mean_seconds": (
-                        self.latency_total / served if served else 0.0
-                    ),
-                    "max_seconds": self.latency_max,
-                },
-            }
-            engines_total = empty_engine_totals()
-            # extra retired-only keys (profile_times) are ignored by the fold
-            fold_engine_stats(engines_total, self._retired)
-        snapshot["profiled_matrices"] = len(self.profile_times())
-        for engine in self.engines.values():
-            fold_engine_stats(engines_total, engine.stats())
-        snapshot["engine_cache"] = self.engines.stats()
-        snapshot["engines"] = engines_total
-        # per-kernel-backend request counts and modelled seconds across
-        # every engine the service ever owned — the backend-attribution
-        # surface dashboards and the CLI report
-        snapshot["backends"] = {
-            kb: dict(v) for kb, v in engines_total["backends"].items()
-        }
-        # every engine the service ever owned, in one place: the
-        # epoch-advance / carry-forward / forced-re-tune tallies the
-        # streaming CLI and dashboards report
-        snapshot["invalidations"] = {
-            name: engines_total["invalidations"].get(name, 0)
-            for name in ("epoch_advances", "carried_forward", "forced_retunes")
-        }
-        return snapshot
+        return build_service_stats(
+            self.obs,
+            space=self.space.name,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            model_info=self.model_info,
+            engines_total=self._engines_total(),
+            engine_cache=self.engines.stats(),
+            profiled_matrices=len(self.profile_times()),
+        )
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -234,6 +234,11 @@ class TraceRecorder:
         event["batch_size"] = int(result.batch_size)
         event["latency_seconds"] = float(result.latency_seconds)
         event["model_version"] = result.model_version
+        if result.trace_id:
+            # observability span ID — correlates a replayed event with
+            # the original run's span timeline (optional field, absent
+            # on traces captured before spans existed)
+            event["trace_id"] = result.trace_id
 
     def _complete_update(self, event: Dict[str, object], future) -> None:
         exc = future.exception()
@@ -250,6 +255,8 @@ class TraceRecorder:
         event["drift"] = float(result.drift)
         event["nnz"] = int(result.nnz)
         event["latency_seconds"] = float(result.latency_seconds)
+        if result.trace_id:
+            event["trace_id"] = result.trace_id
 
     # ------------------------------------------------------------------
     # capture: promotions, kills, batch telemetry

@@ -1,0 +1,110 @@
+"""Fixtures for the observability suite.
+
+The cross-tier fixtures build a serving tier by name so parity and
+span-propagation tests parametrise over in-process, distributed, and
+adaptive serving with one body.  Distributed fleets are kept small
+(2 workers, fast heartbeat) so the whole suite stays quick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.formats import COOMatrix
+from repro.formats.delta import MatrixDelta
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial")
+
+
+@pytest.fixture
+def matrix(dense_small):
+    return COOMatrix.from_dense(dense_small)
+
+
+def build_tier(tier: str, space, tmp_path):
+    """A (service, controller) pair for *tier*; controller may be None."""
+    if tier == "distributed":
+        from repro.distributed import DistributedService
+
+        return (
+            DistributedService(
+                space,
+                RunFirstTuner(),
+                workers=2,
+                heartbeat_interval=0.05,
+                shm_slot_bytes=1 << 14,
+                shm_slots=32,
+            ),
+            None,
+        )
+    from repro.service import TuningService
+
+    if tier == "adaptive":
+        from repro.adaptive import AdaptiveController, ModelRegistry
+
+        service = TuningService(
+            space, RunFirstTuner(), workers=2, shadow_every=2
+        )
+        controller = AdaptiveController(
+            service,
+            ModelRegistry(str(tmp_path / "registry")),
+            check_every=10_000,  # never triggers during a parity run
+        ).attach()
+        return service, controller
+    return TuningService(space, RunFirstTuner(), workers=2), None
+
+
+@pytest.fixture(name="build_tier")
+def build_tier_fixture():
+    return build_tier
+
+
+@pytest.fixture(params=["inproc", "distributed", "adaptive"])
+def tier_service(request, space, tmp_path):
+    service, controller = build_tier(request.param, space, tmp_path)
+    yield request.param, service
+    if controller is not None:
+        controller.close()
+    service.close()
+
+
+@pytest.fixture
+def gateway(space, tmp_path):
+    service, _ = build_tier("distributed", space, tmp_path)
+    yield service
+    service.close()
+
+
+def _wait_until(predicate, *, timeout: float = 30.0, interval: float = 0.02):
+    """Poll *predicate* until truthy; fail the test on timeout."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s")
+
+
+@pytest.fixture
+def wait_until():
+    return _wait_until
+
+
+@pytest.fixture
+def traffic(rng):
+    """Mixed traffic: SpMVs around an update barrier (both request kinds)."""
+
+    def drive(service, matrix, key):
+        for _ in range(4):
+            service.spmv(matrix, rng.random(matrix.ncols), key=key)
+        service.update(matrix, MatrixDelta.sets([0], [0], [2.0]), key=key)
+        service.spmv(matrix, rng.random(matrix.ncols), key=key)
+
+    return drive

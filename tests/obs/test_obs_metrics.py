@@ -1,0 +1,160 @@
+"""Unit tests for the metrics registry, instruments, and exposition."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_quantile,
+    render_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_and_running_max(self):
+        g = Gauge("inflight")
+        g.set(3)
+        g.inc(2)
+        assert g.value == 5
+        g.set_max(4)
+        assert g.value == 5  # set_max never lowers
+        g.set_max(9)
+        assert g.value == 9
+
+    def test_histogram_counts_sum_and_max(self):
+        h = Histogram("latency")
+        for value in (1e-6, 1e-3, 1e-3, 0.5):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == pytest.approx(1e-6 + 2e-3 + 0.5)
+        assert h.max_value == 0.5
+
+    def test_histogram_overflow_bucket_uses_observed_max_as_ceiling(self):
+        h = Histogram("latency", bounds=(0.001, 0.01))
+        h.observe(5.0)  # above the last bound
+        # the overflow bucket interpolates between the last bound and
+        # the observed max (there is no upper bound to interpolate to)
+        assert 0.01 < h.quantile(0.5) < 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 0.5))
+
+    def test_quantile_never_exceeds_observed_max(self):
+        h = Histogram("latency")
+        for _ in range(100):
+            h.observe(0.010)  # bucket upper bound is ~0.0164
+        assert h.quantile(0.99) <= 0.010
+
+    def test_bucket_quantile_empty_is_zero(self):
+        assert bucket_quantile(LATENCY_BUCKETS, [0] * 26, 0.0, 0.5) == 0.0
+
+    def test_bucket_quantile_interpolates_within_bucket(self):
+        # 100 observations all in the (0.5, 1.0] bucket of bounds (.5, 1)
+        q25 = bucket_quantile((0.5, 1.0), [0, 100, 0], 1.0, 0.25)
+        q75 = bucket_quantile((0.5, 1.0), [0, 100, 0], 1.0, 0.75)
+        assert 0.5 < q25 < q75 <= 1.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        a = r.counter("served", labels={"tier": "inproc"})
+        b = r.counter("served", labels={"tier": "inproc"})
+        assert a is b
+        other = r.counter("served", labels={"tier": "distributed"})
+        assert other is not a  # different labels, different instrument
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("served")
+        with pytest.raises(TypeError):
+            r.gauge("served")
+
+    def test_collector_runs_at_dump_time_and_errors_are_swallowed(self):
+        r = MetricsRegistry()
+        calls = []
+
+        def collector(registry):
+            calls.append(1)
+            registry.gauge("live").set(7)
+
+        def broken(registry):
+            raise RuntimeError("boom")
+
+        r.register_collector(collector)
+        r.register_collector(broken)
+        records = r.dump()
+        assert calls == [1]
+        (gauge,) = [x for x in records if x["name"] == "live"]
+        assert gauge["value"] == 7
+
+    def test_dump_is_sorted_and_json_serialisable(self):
+        r = MetricsRegistry()
+        r.counter("zeta").inc()
+        r.histogram("alpha").observe(0.01)
+        records = r.dump()
+        assert [x["name"] for x in records] == ["alpha", "zeta"]
+        json.dumps(records)  # must not raise
+
+
+class TestExposition:
+    def test_prometheus_and_jsonl_render_identical_values(self):
+        """The invariant: both formats serialise the same dump."""
+        r = MetricsRegistry()
+        r.counter("served", labels={"tier": "inproc"}).inc(42)
+        h = r.histogram("latency", labels={"tier": "inproc"})
+        for value in (1e-4, 2e-4, 5e-2):
+            h.observe(value)
+        records = r.dump()
+        text = render_prometheus(records)
+        line = json.loads(r.snapshot_line(timestamp=123.0))
+        # counter value identical in both
+        (counter,) = [x for x in line["metrics"] if x["name"] == "served"]
+        assert counter["value"] == 42
+        assert 'repro_served_total{tier="inproc"} 42' in text
+        # histogram count identical in both
+        (hist,) = [x for x in line["metrics"] if x["name"] == "latency"]
+        assert hist["count"] == 3
+        assert 'repro_latency_count{tier="inproc"} 3' in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=(0.001, 0.01))
+        for value in (0.0005, 0.005, 5.0):
+            h.observe(value)
+        text = r.render_prometheus()
+        assert 'repro_lat_bucket{le="0.001"} 1' in text
+        assert 'repro_lat_bucket{le="0.01"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+
+    def test_names_are_namespaced_and_sanitised(self):
+        text = render_prometheus(
+            [
+                {
+                    "name": "engine.cache-hits",
+                    "type": "counter",
+                    "help": "",
+                    "labels": {},
+                    "value": 1,
+                }
+            ]
+        )
+        assert "repro_engine_cache_hits_total 1" in text

@@ -1,0 +1,98 @@
+"""Unit tests for trace IDs, the span ring, and the event ring."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.events import EventRing
+from repro.obs.spans import SpanRecorder, merge_worker_stages, mint_trace_id
+
+
+class TestTraceIds:
+    def test_ids_are_unique_and_ordered(self):
+        ids = [mint_trace_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        assert ids == sorted(ids)  # hex counter sorts by mint order
+
+    def test_ids_carry_the_pid(self):
+        assert f"-{os.getpid():x}-" in mint_trace_id()
+
+
+class TestSpanRecorder:
+    def test_record_and_find(self):
+        r = SpanRecorder(capacity=8)
+        r.record(
+            "t-1", kind="spmv", tier="inproc", fingerprint="A",
+            stages={"kernel": 0.01},
+        )
+        (span,) = r.find("t-1")
+        assert span["tier"] == "inproc"
+        assert span["stages"]["kernel"] == 0.01
+        assert span["seq"] == 1
+        assert r.recorded == 1
+
+    def test_drain_since_is_incremental(self):
+        r = SpanRecorder(capacity=8)
+        for i in range(3):
+            r.record(
+                f"t-{i}", kind="spmv", tier="inproc", fingerprint="A",
+                stages={},
+            )
+        first = r.drain_since(0)
+        assert [s["trace"] for s in first] == ["t-0", "t-1", "t-2"]
+        r.record("t-3", kind="spmv", tier="inproc", fingerprint="A", stages={})
+        fresh = r.drain_since(first[-1]["seq"])
+        assert [s["trace"] for s in fresh] == ["t-3"]
+
+    def test_displaced_spans_count_dropped_only_if_never_drained(self):
+        r = SpanRecorder(capacity=2)
+        for i in range(3):
+            r.record(
+                f"t-{i}", kind="spmv", tier="inproc", fingerprint="A",
+                stages={},
+            )
+        assert r.dropped == 1  # t-0 fell off before any drain
+        r.drain_since(0)  # t-1, t-2 now spilled
+        r.record("t-3", kind="spmv", tier="inproc", fingerprint="A", stages={})
+        r.record("t-4", kind="spmv", tier="inproc", fingerprint="A", stages={})
+        assert r.dropped == 1  # displaced t-1/t-2 were already drained
+
+
+class TestMergeWorkerStages:
+    def test_worker_stages_are_prefixed(self):
+        stages = {"queue": 0.1}
+        merged = merge_worker_stages(
+            stages, {"kernel": 0.2, "shm_write": 0.01}
+        )
+        assert merged is stages
+        assert merged == {
+            "queue": 0.1,
+            "worker_kernel": 0.2,
+            "worker_shm_write": 0.01,
+        }
+
+    def test_missing_worker_stages_is_a_noop(self):
+        assert merge_worker_stages({"queue": 0.1}, None) == {"queue": 0.1}
+
+
+class TestEventRing:
+    def test_emit_tail_and_lifetime_counts(self):
+        ring = EventRing(capacity=2)
+        for i in range(3):
+            ring.emit("observer_error", error="ValueError", n=i)
+        ring.emit("worker_death", worker=1)
+        assert len(ring) == 2  # bounded
+        kinds = [e["kind"] for e in ring.tail(10)]
+        assert kinds == ["observer_error", "worker_death"]
+        # lifetime counts survive ring eviction
+        assert ring.counts() == {"observer_error": 3, "worker_death": 1}
+
+    def test_drain_since_is_incremental(self):
+        ring = EventRing(capacity=8)
+        ring.emit("a")
+        drained = ring.drain_since(0)
+        assert [e["kind"] for e in drained] == ["a"]
+        ring.emit("b")
+        assert [
+            e["kind"] for e in ring.drain_since(drained[-1]["seq"])
+        ] == ["b"]

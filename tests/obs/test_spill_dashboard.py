@@ -1,0 +1,140 @@
+"""Spill directory round-trip: spiller -> files -> dashboard/CLI readers.
+
+The invariants under test: the Prometheus text and the JSONL snapshot
+render the same registry dump (identical values), ring spills are
+incremental (no duplicate span/event lines across ticks), and the
+``repro top`` renderer reconstructs a frame purely from the directory.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.core import RunFirstTuner
+from repro.formats.delta import MatrixDelta
+from repro.obs.dashboard import read_snapshots, render_top, run_top
+from repro.obs.spill import MetricsSpiller
+from repro.service import TuningService
+
+
+@pytest.fixture
+def spilled(space, matrix, traffic, tmp_path):
+    """A spill directory after 6 served requests and two ticks."""
+    directory = tmp_path / "metrics"
+    with TuningService(space, RunFirstTuner(), workers=2) as service:
+        spiller = MetricsSpiller(str(directory), service.obs, interval=999.0)
+        traffic(service, matrix, "S")
+        spiller.write_once()
+        spiller.write_once()  # second tick: rings must not re-spill
+        stats = service.stats()
+    return directory, stats
+
+
+class TestSpiller:
+    def test_prom_and_jsonl_agree_on_every_value(self, spilled):
+        directory, stats = spilled
+        prom = (directory / "metrics.prom").read_text()
+        last = [
+            json.loads(line)
+            for line in (directory / "metrics.jsonl").read_text().splitlines()
+        ][-1]
+        (served,) = [
+            m for m in last["metrics"]
+            if m["name"] == "requests_served"
+            and m["labels"].get("tier") == "inproc"
+        ]
+        assert served["value"] == stats["requests_served"] == 6
+        assert 'repro_requests_served_total{tier="inproc"} 6' in prom
+        (latency,) = [
+            m for m in last["metrics"]
+            if m["name"] == "request_latency_seconds"
+            and m["labels"].get("tier") == "inproc"
+        ]
+        assert latency["count"] == 6
+        assert 'repro_request_latency_seconds_count{tier="inproc"} 6' in prom
+
+    def test_ring_spills_are_incremental(self, spilled):
+        directory, _ = spilled
+        span_lines = (directory / "spans.jsonl").read_text().splitlines()
+        assert len(span_lines) == 6  # two ticks, six spans, zero duplicates
+        traces = [json.loads(line)["trace"] for line in span_lines]
+        assert len(set(traces)) == 6
+
+    def test_meta_records_the_spilling_process(self, spilled):
+        directory, _ = spilled
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["pid"] == os.getpid()
+        assert meta["tier"] == "inproc"
+
+    def test_thread_lifecycle_flushes_on_stop(
+        self, space, matrix, rng, tmp_path
+    ):
+        directory = tmp_path / "m"
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            with MetricsSpiller(
+                str(directory), service.obs, interval=999.0
+            ):  # interval never fires: stop() must still flush
+                service.spmv(matrix, rng.random(matrix.ncols), key="S")
+        snap = read_snapshots(str(directory))
+        assert len(snap["metrics"]) == 1
+        assert len(snap["spans"]) == 1
+
+
+class TestDashboard:
+    def test_read_snapshots_tails_the_directory(self, spilled):
+        directory, _ = spilled
+        snap = read_snapshots(str(directory))
+        assert snap["meta"]["tier"] == "inproc"
+        assert len(snap["metrics"]) == 2  # two ticks kept for rate diffs
+        assert len(snap["spans"]) == 6
+        kinds = {s["kind"] for s in snap["spans"]}
+        assert kinds == {"spmv", "update"}
+
+    def test_render_top_builds_a_frame_from_files_alone(self, spilled):
+        directory, _ = spilled
+        frame = render_top(str(directory))
+        assert "inproc" in frame
+        assert "served" in frame and "req/s" in frame
+        # the span table shows real trace IDs from the spill
+        assert any(s in frame for s in ("spmv", "update"))
+
+    def test_render_top_without_data_says_so(self, tmp_path):
+        frame = render_top(str(tmp_path / "empty"))
+        assert "no metrics" in frame.lower()
+
+    def test_run_top_once_writes_one_frame(self, spilled):
+        directory, _ = spilled
+        stream = io.StringIO()
+        run_top(str(directory), iterations=1, stream=stream, clear=False)
+        assert "inproc" in stream.getvalue()
+
+
+class TestTraceRecorderCorrelation:
+    def test_recorded_events_carry_the_span_trace_id(
+        self, space, matrix, rng, tmp_path
+    ):
+        """Replayable trace events and live spans share one trace ID, so
+        a replayed request can be correlated back to its original span."""
+        from repro.trace.recorder import TraceRecorder
+
+        with TuningService(space, RunFirstTuner(), workers=2) as service:
+            recorder = TraceRecorder(service, name="obs", seed=3)
+            session = recorder.session("c0")
+            result = session.submit(
+                matrix, rng.random(matrix.ncols), key="S"
+            ).result(timeout=60)
+            update = session.update(
+                matrix, MatrixDelta.sets([0], [0], [4.0]), key="S"
+            )
+            trace = recorder.finish(tmp_path / "t")
+
+        (spmv_event,) = [e for e in trace.events if e["kind"] == "spmv"]
+        assert spmv_event["trace_id"] == result.trace_id
+        (update_event,) = [e for e in trace.events if e["kind"] == "update"]
+        assert update_event["trace_id"] == update.trace_id
+        # and the live side recorded a span under that same ID
+        assert len(service.obs.spans.find(result.trace_id)) == 1

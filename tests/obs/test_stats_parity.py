@@ -1,0 +1,155 @@
+"""Cross-tier ``stats()`` parity, generated-schema edition.
+
+Subsumes the old ``tests/distributed/test_stats_schema.py`` convention
+suite: every serving tier now renders its common ``stats()`` view
+through :func:`repro.obs.views.build_service_stats`, so parity is by
+construction — these tests lock the contract that the generator is
+actually what every tier uses (same key sets, same counter semantics),
+parametrised over in-process, distributed, and adaptive serving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RunFirstTuner
+from repro.service import TuningService
+from repro.service.accounting import ENGINE_TOTAL_KEYS
+
+
+@pytest.fixture
+def reference(space, matrix, traffic):
+    """The in-process schema every other tier must match."""
+    with TuningService(space, RunFirstTuner(), workers=2) as service:
+        traffic(service, matrix, "S")
+        return service.stats()
+
+
+EXTRA_BLOCKS = {"inproc": set(), "adaptive": set(), "distributed": {"distributed"}}
+
+
+class TestSchemaParity:
+    def test_top_level_keys_match_modulo_tier_block(
+        self, tier_service, matrix, traffic, reference
+    ):
+        tier, service = tier_service
+        traffic(service, matrix, "S")
+        stats = service.stats()
+        assert set(stats) - set(reference) == EXTRA_BLOCKS[tier]
+        assert set(reference) <= set(stats)
+
+    def test_nested_blocks_have_identical_keys(
+        self, tier_service, matrix, traffic, reference
+    ):
+        _, service = tier_service
+        traffic(service, matrix, "S")
+        stats = service.stats()
+        for block in (
+            "latency",
+            "model",
+            "invalidations",
+            "engine_cache",
+            "engines",
+            "observability",
+        ):
+            assert set(stats[block]) == set(reference[block]), block
+        assert set(ENGINE_TOTAL_KEYS) <= set(stats["engines"])
+
+    def test_counters_match_single_process_semantics(
+        self, tier_service, matrix, traffic, reference
+    ):
+        tier, service = tier_service
+        traffic(service, matrix, "S")
+        stats = service.stats()
+        for counter in (
+            "requests_submitted",
+            "requests_served",
+            "updates_served",
+        ):
+            assert stats[counter] == reference[counter], counter
+        if tier == "adaptive":
+            # shadow probing profiles matrices as a side effect
+            assert stats["profiled_matrices"] >= reference["profiled_matrices"]
+        else:
+            assert stats["profiled_matrices"] == reference["profiled_matrices"]
+        assert stats["engines"]["requests_served"] >= 5
+
+    def test_latency_quantiles_come_from_the_histogram(
+        self, tier_service, matrix, traffic
+    ):
+        _, service = tier_service
+        traffic(service, matrix, "S")
+        latency = service.stats()["latency"]
+        assert latency["total_seconds"] > 0
+        assert 0 < latency["p50_seconds"] <= latency["max_seconds"]
+        assert latency["p50_seconds"] <= latency["p99_seconds"]
+        # view values and instrument values agree: same histogram
+        assert latency["total_seconds"] == pytest.approx(
+            service.obs.latency.sum
+        )
+        assert latency["max_seconds"] == service.obs.latency.max_value
+
+    def test_observability_block_counts_spans(
+        self, tier_service, matrix, traffic
+    ):
+        _, service = tier_service
+        traffic(service, matrix, "S")
+        block = service.stats()["observability"]
+        assert block["spans_recorded"] == 6  # 5 spmv + 1 update
+        assert block["spans_dropped"] == 0
+
+
+class TestDistributedBlock:
+    def test_distributed_block_contents(self, gateway, matrix, traffic):
+        traffic(gateway, matrix, "S")
+        stats = gateway.stats()
+        block = stats["distributed"]
+        for key in (
+            "fingerprints",
+            "retried_requests",
+            "dead_workers",
+            "supervisor",
+            "shm",
+            "worker_backends",
+            "worker_snapshot_age_seconds",
+        ):
+            assert key in block, key
+        assert stats["workers"] == gateway.workers
+        assert block["supervisor"]["workers"] == gateway.workers
+        assert block["fingerprints"] >= 1
+
+    def test_worker_snapshot_ages_are_fresh_heartbeats(
+        self, gateway, matrix, rng, wait_until
+    ):
+        """Satellite: snapshots are stamped worker-side and aged here."""
+        gateway.spmv(matrix, rng.random(matrix.ncols), key="S")
+        wait_until(
+            lambda: all(
+                "captured_monotonic"
+                in (gateway.supervisor.handle(i).last_snapshot or {})
+                for i in range(gateway.workers)
+            )
+        )
+        ages = gateway.stats()["distributed"]["worker_snapshot_age_seconds"]
+        assert len(ages) == gateway.workers
+        for age in ages:
+            assert age is not None
+            assert 0.0 <= age < 30.0
+
+    def test_engine_totals_survive_respawn(
+        self, gateway, matrix, rng, wait_until
+    ):
+        target = gateway.worker_of("S")
+        for _ in range(5):
+            gateway.spmv(matrix, rng.random(matrix.ncols), key="S")
+        served_before = gateway.stats()["engines"]["requests_served"]
+        # the death fold uses the last heartbeat snapshot, so wait for a
+        # heartbeat that has seen all five requests before killing
+        wait_until(
+            lambda: gateway.supervisor.handle(target)
+            .last_snapshot.get("requests_served", 0) >= 5
+        )
+        gateway.kill_worker(target)
+        gateway.spmv(matrix, rng.random(matrix.ncols), key="S")
+        served_after = gateway.stats()["engines"]["requests_served"]
+        assert served_after >= served_before
