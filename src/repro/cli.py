@@ -276,9 +276,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     distributed = getattr(args, "distributed", False)
     kill_after = getattr(args, "kill_after", 0)
     verify_identity = getattr(args, "verify_identity", False)
-    if (kill_after or verify_identity) and not distributed:
-        print("serve: --kill-after/--verify-identity require --distributed",
+    if kill_after and not distributed:
+        print("serve: --kill-after requires --distributed",
               file=sys.stderr)
+        return 2
+    storage_dir = getattr(args, "storage_dir", None)
+    if storage_dir and distributed:
+        print("serve: --storage-dir applies to the in-process tier "
+              "(workers own per-process engines)", file=sys.stderr)
         return 2
     service_cls = TuningService
     if distributed:
@@ -293,6 +298,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shadow_every=shadow_every,
         kernel_backend=args.kernel_backend,
     )
+    # the reference replay for --verify-identity runs without the disk
+    # tier: identical results prove demote/promote/streaming change
+    # nothing about the math
+    reference_kwargs = dict(service_kwargs)
+    if storage_dir:
+        service_kwargs.update(
+            storage_dir=storage_dir,
+            storage_capacity_bytes=getattr(
+                args, "storage_capacity_bytes", None
+            ),
+        )
+    stream_threshold = getattr(args, "stream_threshold_bytes", None)
+    if stream_threshold is not None and not distributed:
+        # 0 streams every mmap-backed CSR; negative disables streaming
+        service_kwargs["stream_threshold_bytes"] = (
+            None if stream_threshold < 0 else stream_threshold
+        )
     if args.store:
         trace, spec = trace_from_suite(
             args.store,
@@ -342,6 +364,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             metrics_dir,
             service.obs,
             interval=getattr(args, "metrics_interval", 1.0),
+            retention_bytes=getattr(args, "metrics_retention_bytes", None),
+            retention_segments=getattr(
+                args, "metrics_retention_segments", 4
+            ),
         ).start()
     killer = None
     if kill_after:
@@ -418,6 +444,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"invalidations        epoch advances {inv['epoch_advances']}, "
           f"carried forward {inv['carried_forward']}, "
           f"forced re-tunes {inv['forced_retunes']}")
+    storage = stats.get("storage")
+    if storage is not None:
+        streaming = engines.get("streaming", {})
+        print(f"storage tier         {storage['demotions']} demotions / "
+              f"{storage['promotions']} promotions "
+              f"({storage['promote_misses']} misses, "
+              f"{storage['tier_evictions']} tier evictions), "
+              f"{storage['entries']} entries, "
+              f"{storage['resident_bytes']} B resident")
+        print(f"streaming            {streaming.get('requests', 0)} requests "
+              f"over {streaming.get('blocks', 0)} row blocks "
+              f"({streaming.get('seconds', 0.0):.6f} s)")
     model = service.stats()["model"]  # re-read: a late promotion counts
     promoted_at = model.get("promoted_at")
     when = (
@@ -458,8 +496,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("kill recovery        OK: every request on the killed "
                   "shard was replayed and served")
         if verify_identity:
-            mismatches = _verify_distributed_identity(
-                args, trace, report, service_kwargs
+            mismatches = _verify_reference_identity(
+                args, trace, report, reference_kwargs
             )
             if mismatches:
                 print(f"bitwise identity     FAILED: {mismatches} of "
@@ -468,11 +506,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 return 1
             print(f"bitwise identity     OK: {len(report.results)} "
                   f"results identical to the single-process service")
+    elif verify_identity:
+        # without --distributed the reference is a storage-free in-RAM
+        # service: identical results prove tiering changes no math
+        mismatches = _verify_reference_identity(
+            args, trace, report, reference_kwargs
+        )
+        if mismatches:
+            print(f"bitwise identity     FAILED: {mismatches} of "
+                  f"{len(report.results)} results differ from the "
+                  f"in-RAM reference service", file=sys.stderr)
+            return 1
+        print(f"bitwise identity     OK: {len(report.results)} "
+              f"results identical to the in-RAM reference service")
     return 0
 
 
-def _verify_distributed_identity(args, trace, report, service_kwargs):
-    """Replay *trace* on a single-process service; count differing bits."""
+def _verify_reference_identity(args, trace, report, service_kwargs):
+    """Replay *trace* on a plain in-process service; count differing bits.
+
+    The reference kwargs deliberately exclude the storage tier and any
+    streaming override, so this doubles as the bitwise oracle for both
+    the distributed tier and a tiered (``--storage-dir``) serve.
+    """
     from repro.service import TuningService, replay, service_for_suite
 
     if args.store:
@@ -931,6 +987,36 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_storage(args: argparse.Namespace) -> int:
+    """Inspect a serve's ``--storage-dir`` disk tier."""
+    import time
+
+    from repro.storage.tier import StorageTier
+
+    tier = StorageTier(args.directory)
+    stats = tier.stats()
+    entries = tier.entries()
+    print(f"storage tier         {stats['directory']}")
+    print(f"entries              {stats['entries']} "
+          f"({stats['resident_bytes']} B resident"
+          + (f", capacity {stats['capacity_bytes']} B"
+             if stats["capacity_bytes"] else "")
+          + ")")
+    if stats["formats"]:
+        print(f"formats              {', '.join(stats['formats'])}")
+    if entries:
+        now = time.time()
+        print(f"{'key':<34}{'format':<7}{'shape':<18}{'nnz':>10}"
+              f"{'bytes':>12}{'epoch':>7}{'age':>9}")
+        for entry in entries:
+            key = entry.key if len(entry.key) <= 32 else entry.key[:29] + "..."
+            age = max(0.0, now - entry.stored_at)
+            print(f"{key:<34}{entry.format:<7}"
+                  f"{f'{entry.nrows}x{entry.ncols}':<18}{entry.nnz:>10}"
+                  f"{entry.nbytes:>12}{entry.epoch:>7}{age:>8.0f}s")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments import ArtifactStore, ExperimentSpec
 
@@ -1113,6 +1199,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=0.5,
         help="spill cadence in seconds (with --metrics-dir)",
     )
+    p.add_argument(
+        "--metrics-retention-bytes", type=int, default=None,
+        help="rotate each spilled jsonl file once it reaches this many "
+             "bytes (default: unbounded)",
+    )
+    p.add_argument(
+        "--metrics-retention-segments", type=int, default=4,
+        help="rotated segments kept per jsonl file before the oldest "
+             "is dropped (with --metrics-retention-bytes)",
+    )
+    p.add_argument(
+        "--storage-dir", default=None,
+        help="disk tier for evicted engines: converted containers "
+             "demote here instead of being dropped, and promote back "
+             "as mmap views (inspect with 'repro storage DIR')",
+    )
+    p.add_argument(
+        "--storage-capacity-bytes", type=int, default=None,
+        help="cap on resident tier bytes; oldest entries are evicted "
+             "(default: unbounded)",
+    )
+    p.add_argument(
+        "--stream-threshold-bytes", type=int, default=None,
+        help="stream mmap-backed CSR containers at or above this size "
+             "through row-block SpMV (0 = always stream, negative = "
+             "never; default: 64 MiB)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1144,6 +1257,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="render N frames then exit (default: follow until Ctrl-C)",
     )
     p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "storage",
+        help="inspect a serve's --storage-dir disk tier",
+    )
+    p.add_argument("directory", help="a serve's --storage-dir directory")
+    p.set_defaults(func=cmd_storage)
 
     p = sub.add_parser(
         "stream",

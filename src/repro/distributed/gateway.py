@@ -51,6 +51,7 @@ from repro.errors import ValidationError
 from repro.formats.delta import MatrixDelta
 from repro.formats.dynamic import DynamicMatrix
 from repro.obs import Observability
+from repro.obs.metrics import merge_histogram_dumps
 from repro.obs.spans import merge_worker_stages
 from repro.obs.views import build_service_stats
 from repro.runtime.engine import request_key, validate_operand
@@ -237,6 +238,11 @@ class DistributedService:
         self._metrics_lock = threading.Lock()
         self._dispatching = 0
         self._retired_workers = empty_engine_totals()
+        # merged latency buckets of dead worker incarnations (their
+        # live buckets die with them; the last heartbeat's dump folds
+        # in here so fleet quantiles keep covering every request ever
+        # served)
+        self._retired_worker_latency = merge_histogram_dumps(())
         self._retired_counters = {
             "requests_served": 0,
             "updates_served": 0,
@@ -865,6 +871,12 @@ class DistributedService:
                     self._retired_workers, snapshot.get("engines", {}) or
                     empty_engine_totals()
                 )
+                self._retired_worker_latency = merge_histogram_dumps(
+                    (
+                        self._retired_worker_latency,
+                        snapshot.get("latency") or {},
+                    )
+                )
                 folded = self._retired_counters
                 for name in (
                     "requests_served",
@@ -1063,6 +1075,7 @@ class DistributedService:
         with self._metrics_lock:
             engines_total = empty_engine_totals()
             merge_engine_totals(engines_total, self._retired_workers)
+            latency_dumps = [dict(self._retired_worker_latency)]
             shadow_probes = self._retired_counters["shadow_probes"]
             profiled = self._retired_counters["profiled_matrices"]
             cache_total = {
@@ -1086,6 +1099,7 @@ class DistributedService:
             )
             shadow_probes += int(worker_snapshot.get("shadow_probes", 0))
             profiled += int(worker_snapshot.get("profiled_matrices", 0))
+            latency_dumps.append(worker_snapshot.get("latency") or {})
             cache = worker_snapshot.get("engine_cache") or {}
             cache_total["capacity"] += int(cache.get("capacity", 0))
             cache_total["shards"] += int(cache.get("shards", 0))
@@ -1102,6 +1116,7 @@ class DistributedService:
             "engine_cache": cache_total,
             "shadow_probes": shadow_probes,
             "profiled_matrices": profiled,
+            "worker_latency": merge_histogram_dumps(latency_dumps),
         }
 
     def _snapshot_ages(self) -> List[Optional[float]]:
@@ -1172,6 +1187,16 @@ class DistributedService:
         registry.gauge("profiled_matrices", labels=labels).set(
             totals["profiled_matrices"]
         )
+        worker_latency = totals["worker_latency"]
+        registry.gauge("worker_latency_requests", labels=labels).set(
+            worker_latency["count"]
+        )
+        registry.gauge("worker_latency_p50_seconds", labels=labels).set(
+            worker_latency["p50"]
+        )
+        registry.gauge("worker_latency_p99_seconds", labels=labels).set(
+            worker_latency["p99"]
+        )
         supervisor = self.supervisor.stats()
         registry.gauge("workers_alive", labels=labels).set(
             supervisor.get("alive", 0)
@@ -1224,6 +1249,9 @@ class DistributedService:
                 for i in range(self.workers)
             ],
             "worker_snapshot_age_seconds": self._snapshot_ages(),
+            # bucket-merged worker-side service-time distribution: the
+            # fleet's p50/p99 as one histogram would have seen it
+            "worker_latency": totals["worker_latency"],
         }
         return snapshot
 

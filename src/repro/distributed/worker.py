@@ -80,6 +80,7 @@ import numpy as np
 
 from repro.formats.base import FORMAT_IDS
 from repro.kernels import available_backends, probe_backends
+from repro.obs.metrics import Histogram
 from repro.runtime.engine import WorkloadEngine
 from repro.runtime.registry import REGISTRY
 from repro.service.cache import ShardedEngineCache
@@ -137,6 +138,11 @@ class _WorkerState:
         self.requests_served = 0
         self.updates_served = 0
         self.batches = 0
+        # worker-side service-time buckets: shipped raw in every
+        # heartbeat snapshot so the gateway derives fleet p50/p99 from
+        # merged buckets (repro.obs.metrics.merge_histogram_dumps), not
+        # from per-worker summary statistics
+        self.latency = Histogram("worker_latency")
         from repro.service.accounting import empty_engine_totals
 
         self.retired = empty_engine_totals()
@@ -218,6 +224,11 @@ class _WorkerState:
                 self.segments.forget(ref.segment)
         self.requests_served += n
         self.batches += 1
+        # every member of the batch experienced the batch's worker-side
+        # wall time, so each contributes one observation of it
+        batch_seconds = write_done - attach_start
+        for _ in range(n):
+            self.latency.observe(batch_seconds)
         # one shared stage dict per batch: the whole batch rode one
         # kernel launch, so its members share the worker-side timings
         stages = {
@@ -273,6 +284,7 @@ class _WorkerState:
         self.requests_served += 1
         self.updates_served += 1
         self.batches += 1
+        self.latency.observe(kernel_seconds)
         return {
             "epoch": upd.epoch,
             "carried_forward": upd.carried_forward,
@@ -351,6 +363,10 @@ class _WorkerState:
             "matrices": len(self.matrices),
             "engines": engines_total,
             "engine_cache": self.engines.stats(),
+            # raw log-bucket counts, not summary stats: the gateway
+            # merges these across workers (and dead incarnations), so
+            # fleet quantiles are bucket-exact
+            "latency": self.latency.dump(),
             # CLOCK_MONOTONIC is machine-wide on Linux, so the gateway
             # can age this snapshot against its own clock: a stale
             # (busy-worker) heartbeat snapshot is distinguishable from

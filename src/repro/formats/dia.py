@@ -78,11 +78,18 @@ class DIAMatrix(SparseMatrix):
         self.data.setflags(write=False)
 
     def _mask_padding(self) -> None:
+        # write only where a padding slot actually holds a non-zero, so
+        # an already-masked read-only buffer (an mmap view re-attached
+        # from the disk tier) passes through without touching a page
         for k, off in enumerate(self.offsets):
             j_lo = max(0, int(off))
             j_hi = min(self.ncols, self.nrows + int(off))
-            self.data[k, :j_lo] = 0.0
-            self.data[k, max(j_lo, j_hi):] = 0.0
+            head = self.data[k, :j_lo]
+            if head.size and np.any(head):
+                self.data[k, :j_lo] = 0.0
+            tail = self.data[k, max(j_lo, j_hi):]
+            if tail.size and np.any(tail):
+                self.data[k, max(j_lo, j_hi):] = 0.0
 
     # ------------------------------------------------------------------
     @property

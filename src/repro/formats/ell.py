@@ -68,8 +68,11 @@ class ELLMatrix(SparseMatrix):
                 raise ValidationError(
                     f"column indices must lie in [0, {ncols}) or be {PAD_COL}"
                 )
-        # normalise padded slots to exactly (PAD_COL, 0.0)
-        data = np.where(valid, data, 0.0)
+        # normalise padded slots to exactly (PAD_COL, 0.0); skip the
+        # copy when padding is already clean so a read-only mmap buffer
+        # re-attached from the disk tier stays zero-copy
+        if not valid.all() and np.any(data[~valid]):
+            data = np.where(valid, data, 0.0)
         self.col_idx = col_idx
         self.data = data
         self._valid = valid

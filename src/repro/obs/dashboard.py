@@ -26,7 +26,7 @@ __all__ = ["read_snapshots", "render_top", "run_top"]
 _TAIL_BYTES = 1 << 20  # read at most the last 1 MiB of a jsonl file
 
 
-def _read_jsonl_tail(path: str, limit: int) -> List[Dict[str, object]]:
+def _read_one_jsonl_tail(path: str, limit: int) -> List[Dict[str, object]]:
     try:
         size = os.path.getsize(path)
         with open(path, "rb") as fh:
@@ -45,6 +45,28 @@ def _read_jsonl_tail(path: str, limit: int) -> List[Dict[str, object]]:
             records.append(json.loads(line))
         except json.JSONDecodeError:
             continue  # a line mid-append; the next tick completes it
+    return records
+
+
+def _read_jsonl_tail(path: str, limit: int) -> List[Dict[str, object]]:
+    """Last *limit* records of a spilled jsonl, spanning rotations.
+
+    The spiller rotates ``name`` to ``name.1`` (``.1`` to ``.2``, …)
+    when it hits its retention cap; a tail window that lands just after
+    a shift would otherwise shrink to the few lines of the fresh active
+    file, so the remainder is filled by walking back through the
+    numbered segments, newest first.
+    """
+    records = _read_one_jsonl_tail(path, limit)
+    segment = 1
+    while len(records) < limit:
+        older = _read_one_jsonl_tail(
+            f"{path}.{segment}", limit - len(records)
+        )
+        if not older:
+            break
+        records = older + records
+        segment += 1
     return records
 
 

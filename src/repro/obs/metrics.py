@@ -37,6 +37,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "merge_histogram_dumps",
     "MetricsRegistry",
     "render_prometheus",
 ]
@@ -242,6 +243,62 @@ def bucket_quantile(bounds, counts, observed_max: float, q: float) -> float:
             return estimate
         cumulative += bucket_count
     return observed_max
+
+
+def merge_histogram_dumps(dumps) -> Dict[str, object]:
+    """Merge :meth:`Histogram.dump` dicts into one aggregate dump.
+
+    Because every histogram uses *fixed* bucket bounds, merging is
+    exact at the bucket level: counts add element-wise, so quantiles of
+    the merged dump are precisely what one histogram observing the
+    union of all observations would report.  This is how the
+    distributed gateway folds worker-side latency buckets (shipped in
+    heartbeat snapshots) into fleet p50/p99 without ever sampling —
+    mean-of-means and max-of-p99s are both wrong; merged buckets are
+    not.
+
+    Dumps with mismatching bounds raise ``ValueError``; empty or
+    falsy dumps are skipped.  Merging nothing returns a zeroed dump
+    over :data:`LATENCY_BUCKETS`.
+    """
+    bounds: Optional[List[float]] = None
+    counts: Optional[List[int]] = None
+    total = 0
+    total_sum = 0.0
+    observed_max = 0.0
+    for dump in dumps:
+        if not dump:
+            continue
+        dump_bounds = list(dump["bounds"])
+        if bounds is None:
+            bounds = dump_bounds
+            counts = [0] * (len(bounds) + 1)
+        elif dump_bounds != bounds:
+            raise ValueError(
+                "cannot merge histogram dumps with differing bounds"
+            )
+        dump_counts = list(dump["counts"])
+        if len(dump_counts) != len(counts):
+            raise ValueError(
+                "histogram dump counts length does not match bounds"
+            )
+        for index, bucket_count in enumerate(dump_counts):
+            counts[index] += int(bucket_count)
+        total += int(dump["count"])
+        total_sum += float(dump["sum"])
+        observed_max = max(observed_max, float(dump["max"]))
+    if bounds is None:
+        bounds = list(LATENCY_BUCKETS)
+        counts = [0] * (len(bounds) + 1)
+    return {
+        "count": total,
+        "sum": total_sum,
+        "max": observed_max,
+        "bounds": bounds,
+        "counts": counts,
+        "p50": bucket_quantile(bounds, counts, observed_max, 0.50),
+        "p99": bucket_quantile(bounds, counts, observed_max, 0.99),
+    }
 
 
 class MetricsRegistry:

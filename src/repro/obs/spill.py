@@ -13,6 +13,15 @@ the serving process; every ``interval`` seconds it writes:
   and event rings (each record appended exactly once);
 * ``meta.json`` — written once: pid, tier, start time, interval.
 
+The appended jsonl files grow without bound on a long-lived serve, so
+the spiller supports logrotate-style retention: when an append would
+push a file past ``retention_bytes``, the file is shifted to ``.1``
+(``.1`` to ``.2`` and so on, the oldest segment dropped) and the append
+lands in a fresh active file.  Readers that want a window spanning the
+rotation boundary (``repro top``, ``repro metrics``) read the active
+file plus the ``.1`` segment — see
+:func:`repro.obs.dashboard.read_snapshots`.
+
 The spiller is read-only with respect to serving: it runs on its own
 daemon thread, touches only the registry/ring snapshots, and a crash in
 one tick is swallowed (spilling must never take the service down).
@@ -41,10 +50,16 @@ class MetricsSpiller:
         obs: Observability,
         *,
         interval: float = 1.0,
+        retention_bytes: Optional[int] = None,
+        retention_segments: int = 4,
     ) -> None:
         self.directory = str(directory)
         self.obs = obs
         self.interval = float(interval)
+        self.retention_bytes = (
+            int(retention_bytes) if retention_bytes else None
+        )
+        self.retention_segments = max(1, int(retention_segments))
         self._span_seq = 0
         self._event_seq = 0
         self._stop = threading.Event()
@@ -61,6 +76,8 @@ class MetricsSpiller:
             "tier": self.obs.tier,
             "started_at": time.time(),
             "interval_seconds": self.interval,
+            "retention_bytes": self.retention_bytes,
+            "retention_segments": self.retention_segments,
         }
         with open(self._path("meta.json"), "w") as fh:
             json.dump(meta, fh, indent=2)
@@ -85,8 +102,7 @@ class MetricsSpiller:
             separators=(",", ":"),
             default=str,
         )
-        with open(self._path("metrics.jsonl"), "a") as fh:
-            fh.write(line + "\n")
+        self._append_lines("metrics.jsonl", [line])
         self._append_ring(
             "spans.jsonl", self.obs.spans.drain_since(self._span_seq)
         )
@@ -94,15 +110,46 @@ class MetricsSpiller:
             "events.jsonl", self.obs.events.drain_since(self._event_seq)
         )
 
+    def _rotate(self, name: str) -> None:
+        """Shift ``name`` into numbered segments, dropping the oldest.
+
+        ``name.K-1`` becomes ``name.K`` and so on down to ``name`` itself
+        becoming ``name.1`` — the same shift ``logrotate`` performs, so
+        total disk use is bounded by roughly
+        ``retention_bytes * (retention_segments + 1)`` per file.
+        """
+        path = self._path(name)
+        oldest = f"{path}.{self.retention_segments}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for index in range(self.retention_segments - 1, 0, -1):
+            segment = f"{path}.{index}"
+            if os.path.exists(segment):
+                os.replace(segment, f"{path}.{index + 1}")
+        if os.path.exists(path):
+            os.replace(path, f"{path}.1")
+
+    def _append_lines(self, name: str, lines) -> None:
+        if self.retention_bytes is not None:
+            try:
+                if os.path.getsize(self._path(name)) >= self.retention_bytes:
+                    self._rotate(name)
+            except OSError:
+                pass  # no active file yet: nothing to rotate
+        with open(self._path(name), "a") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+
     def _append_ring(self, name: str, records) -> None:
         if not records:
             return
-        with open(self._path(name), "a") as fh:
-            for record in records:
-                fh.write(
-                    json.dumps(record, separators=(",", ":"), default=str)
-                    + "\n"
-                )
+        self._append_lines(
+            name,
+            (
+                json.dumps(record, separators=(",", ":"), default=str)
+                for record in records
+            ),
+        )
         if name == "spans.jsonl":
             self._span_seq = records[-1]["seq"]
         else:

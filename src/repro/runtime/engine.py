@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import copy
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
@@ -46,7 +47,7 @@ from repro.formats.hdc import HDCMatrix
 from repro.formats.hyb import HYBMatrix
 from repro.kernels import check_kernel_backend, default_backend
 from repro.machine.stats import MatrixStats
-from repro.runtime.batch import batched_spmv, matvec
+from repro.runtime.batch import batched_spmv, have_accelerator, matvec
 from repro.runtime.registry import REGISTRY
 from repro.runtime.epoch import (
     RedecisionPolicy,
@@ -65,6 +66,7 @@ __all__ = [
     "CacheCounters",
     "EngineResult",
     "InvalidationCounters",
+    "STREAM_THRESHOLD_BYTES",
     "WorkloadEngine",
     "matrix_fingerprint",
     "request_key",
@@ -72,6 +74,12 @@ __all__ = [
 ]
 
 MatrixLike = Union[SparseMatrix, DynamicMatrix]
+
+#: Default size above which an mmap-backed CSR container is served by
+#: row-block streaming instead of a whole-matrix kernel call (64 MiB —
+#: below it a promoted container fits comfortably in page cache and the
+#: single-call path is cheaper).
+STREAM_THRESHOLD_BYTES = 64 << 20
 
 
 def validate_operand(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
@@ -282,6 +290,16 @@ class WorkloadEngine:
         An explicit :mod:`repro.kernels` name pins every request to that
         backend (with clean fallback when unavailable); ``"auto"``
         re-resolves the best available tier per request.
+    stream_threshold_bytes:
+        Size above which an mmap-backed CSR serving container is served
+        by row-block streaming (:mod:`repro.storage.stream`) instead of
+        one whole-matrix kernel call — the out-of-core path.  ``0``
+        streams every mmap-backed CSR container; ``None`` disables
+        streaming.  Streamed results are bitwise-identical to the
+        non-streamed path on every backend.
+    stream_block_bytes:
+        Row-panel byte budget for the streaming path (``None`` uses
+        :data:`repro.storage.stream.DEFAULT_BLOCK_BYTES`).
     """
 
     def __init__(
@@ -292,6 +310,8 @@ class WorkloadEngine:
         accelerate: bool = True,
         redecision: Optional[RedecisionPolicy] = None,
         kernel_backend: Optional[str] = None,
+        stream_threshold_bytes: Optional[int] = STREAM_THRESHOLD_BYTES,
+        stream_block_bytes: Optional[int] = None,
     ) -> None:
         self.space = space
         self.tuner = tuner
@@ -325,6 +345,22 @@ class WorkloadEngine:
         self.requests_served = 0
         #: Number of first-touch kernel warm-ups this engine triggered.
         self.warmups = 0
+        #: Out-of-core serving policy (see the constructor parameters).
+        self.stream_threshold_bytes = (
+            int(stream_threshold_bytes)
+            if stream_threshold_bytes is not None
+            else None
+        )
+        self.stream_block_bytes = (
+            int(stream_block_bytes) if stream_block_bytes is not None else None
+        )
+        #: Row-block streaming tallies: requests served by streaming,
+        #: panels dispatched, and real wall seconds spent streaming.
+        self.streaming: Dict[str, float] = {
+            "requests": 0,
+            "blocks": 0,
+            "seconds": 0.0,
+        }
         #: Per-kernel-backend request counts and modelled SpMV seconds.
         self.backend_seconds: Dict[str, Dict[str, float]] = {}
         self._stats: Dict[str, MatrixStats] = {}
@@ -559,6 +595,65 @@ class WorkloadEngine:
             concrete = convert(concrete, target)
         self._prepared[fp] = concrete
         return concrete
+
+    def demote_payload(
+        self, key: str
+    ) -> Optional[Tuple[SparseMatrix, Dict[str, object]]]:
+        """The serving container + decision metadata a tier demotion needs.
+
+        Returns ``(prepared, meta)`` for a key holding a converted
+        serving container, or ``None`` when there is nothing worth
+        spilling (no conversion paid yet).  ``meta`` carries the decided
+        format, the serving backend, and the matrix statistics — enough
+        for :meth:`adopt_prepared` on a fresh engine to restore the full
+        first-request artefact chain without recomputing anything.
+        """
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            return None
+        report = self._reports.get(key)
+        meta: Dict[str, object] = {
+            "format": prepared.format,
+            "backend": (
+                report.backend if report is not None else self.space.kernel_backend
+            ),
+        }
+        stats = self._stats.get(key)
+        if stats is not None:
+            meta["stats"] = stats.to_dict()
+        return prepared, meta
+
+    def adopt_prepared(
+        self,
+        key: str,
+        container: SparseMatrix,
+        *,
+        backend: Optional[str] = None,
+        stats: Optional[MatrixStats] = None,
+    ) -> None:
+        """Pre-seed the serving artefacts for *key* from a promoted container.
+
+        The disk tier's promotion path: *container* (typically read-only
+        mmap views re-attached by :meth:`repro.storage.tier.StorageTier
+        .promote`) becomes the memoised serving container, and a
+        decision pinning its format (and *backend*) is installed so the
+        next request is a full cache hit — no stats pass, no tuner, no
+        conversion.  *stats* (persisted with the demoted entry) restores
+        the pricing statistics without an ``O(nnz)`` recompute over the
+        mmapped arrays.  Existing decisions are never overwritten.
+        """
+        from repro.core.tuners.base import TuningReport
+
+        if stats is not None:
+            self.prime_stats(key, stats)
+        self._prepared[key] = container
+        if key not in self._reports:
+            self._reports[key] = TuningReport(
+                format_id=container.format_id,
+                backend=(
+                    str(backend) if backend else self.space.kernel_backend
+                ),
+            )
 
     def prepare(self, matrix: MatrixLike, *, key: Optional[str] = None) -> SparseMatrix:
         """Resolve the serving container for *matrix*: decide + convert.
@@ -835,6 +930,87 @@ class WorkloadEngine:
         entry["requests"] += 1
         entry["seconds"] += seconds
 
+    def _should_stream(self, prepared: SparseMatrix) -> bool:
+        """Whether *prepared* is served out-of-core by row-block streaming.
+
+        Streaming applies to mmap-backed CSR containers at or above the
+        :attr:`stream_threshold_bytes` floor — in-RAM containers and
+        other formats keep the whole-matrix call path.
+        """
+        if self.stream_threshold_bytes is None:
+            return False
+        if not isinstance(prepared, CSRMatrix):
+            return False
+        if prepared.nbytes() < self.stream_threshold_bytes:
+            return False
+        from repro.storage.stream import mmap_backed
+
+        return mmap_backed(prepared)
+
+    def _run_kernel(
+        self,
+        prepared: SparseMatrix,
+        operand: np.ndarray,
+        kb: Optional[str],
+    ) -> np.ndarray:
+        """One kernel call; mmap-backed CSR above threshold streams."""
+        if self._should_stream(prepared):
+            return self._stream_kernel(prepared, operand, kb)
+        if operand.ndim == 2:
+            return batched_spmv(
+                prepared, operand, accelerate=self.accelerate, backend=kb
+            )
+        return matvec(prepared, operand, accelerate=self.accelerate, backend=kb)
+
+    def _stream_kernel(
+        self,
+        prepared: CSRMatrix,
+        operand: np.ndarray,
+        kb: Optional[str],
+    ) -> np.ndarray:
+        """Serve one request by row panels, bitwise-identical per path.
+
+        Each configuration streams through the *same arithmetic* its
+        whole-matrix counterpart uses, so results match bit for bit:
+
+        * compiled (scipy) path — per-panel operators; the compiled CSR
+          kernel accumulates each row locally, so panel rows are exactly
+          the rows of the full-matrix call;
+        * registry backends — per-panel dispatch (row-local kernels) or
+          the carry-seeded prefix-sum replay for the ``numpy`` reference
+          kernel (see :mod:`repro.storage.stream`).
+        """
+        from repro.storage.stream import (
+            iter_row_blocks,
+            plan_block_rows,
+            streaming_spmm,
+            streaming_spmv,
+        )
+
+        started = time.perf_counter()
+        step = plan_block_rows(prepared, self.stream_block_bytes)
+        if kb is None and self.accelerate and have_accelerator():
+            shape = (
+                (prepared.nrows,)
+                if operand.ndim == 1
+                else (prepared.nrows, operand.shape[1])
+            )
+            y = np.empty(shape, dtype=np.float64)
+            for i0, i1, panel in iter_row_blocks(prepared, step):
+                y[i0:i1] = matvec(panel, operand, accelerate=True)
+        elif operand.ndim == 2:
+            y = streaming_spmm(
+                prepared, operand, backend=kb or "numpy", block_rows=step
+            )
+        else:
+            y = streaming_spmv(
+                prepared, operand, backend=kb or "numpy", block_rows=step
+            )
+        self.streaming["requests"] += 1
+        self.streaming["blocks"] += -(-prepared.nrows // step)
+        self.streaming["seconds"] += time.perf_counter() - started
+        return y
+
     def execute(
         self,
         matrix: MatrixLike,
@@ -860,14 +1036,8 @@ class WorkloadEngine:
         backend = self._serving_backend(report, prepared.format)
         kb = None if backend == "numpy" else backend
         operand = np.ascontiguousarray(x, dtype=np.float64)
-        if operand.ndim == 2:
-            y = batched_spmv(
-                prepared, operand, accelerate=self.accelerate, backend=kb
-            )
-            n_vectors = operand.shape[1]
-        else:
-            y = matvec(prepared, operand, accelerate=self.accelerate, backend=kb)
-            n_vectors = 1
+        y = self._run_kernel(prepared, operand, kb)
+        n_vectors = operand.shape[1] if operand.ndim == 2 else 1
         seconds = (
             repetitions
             * spmm_time_factor(max(1, n_vectors))
@@ -949,9 +1119,7 @@ class WorkloadEngine:
             col_of = {i: c for c, i in enumerate(singles)}
             if singles:
                 X = np.stack([queue[i].operand for i in singles], axis=1)
-                Y = batched_spmv(
-                    prepared, X, accelerate=self.accelerate, backend=kb
-                )
+                Y = self._run_kernel(prepared, X, kb)
             for pos, i in enumerate(indices):
                 pending = queue[i]
                 if pos > 0:
@@ -964,12 +1132,7 @@ class WorkloadEngine:
                     y = Y[:, col_of[i]]
                     n_vectors = 1
                 else:
-                    y = batched_spmv(
-                        prepared,
-                        pending.operand,
-                        accelerate=self.accelerate,
-                        backend=kb,
-                    )
+                    y = self._run_kernel(prepared, pending.operand, kb)
                     n_vectors = pending.operand.shape[1]
                 seconds = (
                     pending.repetitions
@@ -1030,6 +1193,7 @@ class WorkloadEngine:
             "seconds": dict(self.seconds),
             "backends": {kb: dict(v) for kb, v in self.backend_seconds.items()},
             "warmups": self.warmups,
+            "streaming": dict(self.streaming),
             "invalidations": self.invalidations.as_dict(),
             "streams": len(self._streams),
         }
@@ -1058,3 +1222,4 @@ class WorkloadEngine:
         self.requests_served = 0
         self.warmups = 0
         self.backend_seconds = {}
+        self.streaming = {"requests": 0, "blocks": 0, "seconds": 0.0}

@@ -30,6 +30,7 @@ ENGINE_TOTAL_KEYS = (
     "invalidations",
     "backends",
     "warmups",
+    "streaming",
 )
 
 
@@ -47,6 +48,7 @@ def empty_engine_totals() -> Dict[str, object]:
         "invalidations": {},
         "backends": {},
         "warmups": 0,
+        "streaming": {"requests": 0, "blocks": 0, "seconds": 0.0},
     }
 
 
@@ -68,6 +70,9 @@ def fold_engine_stats(totals: Dict[str, object], stats: Dict[str, object]) -> No
         slot["requests"] += entry["requests"]
         slot["seconds"] += entry["seconds"]
     totals["warmups"] += stats["warmups"]
+    streaming = totals["streaming"]
+    for name, value in stats.get("streaming", {}).items():
+        streaming[name] = streaming.get(name, 0) + value
 
 
 def merge_engine_totals(

@@ -62,9 +62,11 @@ from repro.errors import ValidationError
 from repro.formats.base import SparseMatrix
 from repro.formats.delta import MatrixDelta
 from repro.formats.dynamic import DynamicMatrix
+from repro.machine.stats import MatrixStats
 from repro.obs import Observability
 from repro.obs.views import build_service_stats
 from repro.runtime.engine import (
+    STREAM_THRESHOLD_BYTES,
     WorkloadEngine,
     request_key,
     validate_operand,
@@ -76,6 +78,8 @@ from repro.service.coalesce import (
     PendingRequest,
     split_stacked,
 )
+from repro.storage.stream import mmap_backed
+from repro.storage.tier import StorageTier
 from repro.utils.concurrency import default_thread_workers
 
 __all__ = ["ServiceResult", "Session", "TuningService", "UpdateResult"]
@@ -188,6 +192,23 @@ class TuningService:
         to every engine the cache builds — how far the incrementally
         maintained statistics may drift across epochs before a mutation
         forces a re-tune.  ``None`` uses the engine default.
+    storage_dir:
+        Optional disk-tier root (:class:`~repro.storage.tier
+        .StorageTier`).  With a tier configured, engine-cache eviction
+        *demotes* the evicted engine's converted container (and its
+        decision + statistics) to disk instead of dropping it, and a
+        later request for the same matrix *promotes* it back as
+        read-only mmap views — the conversion cost of the round trip is
+        replaced by an mmap reattach.  ``None`` (default) keeps plain
+        drop-on-evict behaviour.
+    storage_capacity_bytes:
+        Optional byte cap on the disk tier's resident entries (oldest
+        demoted entries are evicted beyond it).
+    stream_threshold_bytes / stream_block_bytes:
+        Out-of-core streaming policy handed to every engine (see
+        :class:`~repro.runtime.engine.WorkloadEngine`): mmap-backed CSR
+        containers at or above the threshold are served by row-block
+        streaming, bitwise-identical to the in-RAM path.
 
     Use as a context manager (or call :meth:`close`) to shut the worker
     pool down; pending requests are drained first.
@@ -207,6 +228,10 @@ class TuningService:
         shadow_every: int = 0,
         redecision=None,
         observability: bool = True,
+        storage_dir: Optional[str] = None,
+        storage_capacity_bytes: Optional[int] = None,
+        stream_threshold_bytes: Optional[int] = STREAM_THRESHOLD_BYTES,
+        stream_block_bytes: Optional[int] = None,
     ) -> None:
         if workers is None:
             workers = default_thread_workers()
@@ -229,6 +254,15 @@ class TuningService:
         #: Optional :class:`~repro.runtime.epoch.RedecisionPolicy` every
         #: engine is built with (None = the engine default).
         self.redecision = redecision
+        #: Out-of-core streaming policy handed to every engine.
+        self.stream_threshold_bytes = stream_threshold_bytes
+        self.stream_block_bytes = stream_block_bytes
+        #: Disk tier for demoted serving containers (None = drop on evict).
+        self.storage: Optional[StorageTier] = (
+            StorageTier(storage_dir, capacity_bytes=storage_capacity_bytes)
+            if storage_dir is not None
+            else None
+        )
         self.engines = ShardedEngineCache(
             self._make_engine,
             capacity=capacity,
@@ -323,6 +357,8 @@ class TuningService:
             accelerate=self.accelerate,
             redecision=self.redecision,
             kernel_backend=self.kernel_backend,
+            stream_threshold_bytes=self.stream_threshold_bytes,
+            stream_block_bytes=self.stream_block_bytes,
         )
         engine.model_version = str(info.get("version", "-"))
         return engine
@@ -716,6 +752,7 @@ class TuningService:
         """
         observer = self._observer
         features = shadow = None
+        promote_seconds = stream_seconds = 0.0
         serve_start = time.perf_counter()
         with self.engines.lease(fp) as engine:
             # the engine's stamp moves with its tuner (same shard lock),
@@ -725,6 +762,12 @@ class TuningService:
             # likewise the epoch: updates advance it under this same
             # shard lock, so the whole batch serves one matrix version
             epoch = engine.epoch_of(fp)
+            # a fresh engine (cache miss) first tries the disk tier: a
+            # demoted container promotes back as mmap views instead of
+            # paying the stats + tune + convert chain again
+            if self.storage is not None and not engine.has_decision(fp):
+                promote_seconds = self._promote_into(fp, engine)
+            stream_before = engine.streaming["seconds"]
             kernel_start = time.perf_counter()
             if len(batch) > 1 and all(r.stackable for r in batch):
                 results = self._serve_stacked(fp, engine, batch)
@@ -738,6 +781,7 @@ class TuningService:
                     )
                 results = engine.flush()
             kernel_seconds = time.perf_counter() - kernel_start
+            stream_seconds = engine.streaming["seconds"] - stream_before
             # telemetry artefacts are resolved while the engine is leased:
             # features come from the (warm) per-matrix cache, and every
             # shadow_every-th batch per matrix also resolves the rival
@@ -779,6 +823,15 @@ class TuningService:
                     trace_id=request.trace_id,
                 )
             )
+        # tier traffic rides the span timeline: a batch that promoted a
+        # demoted container or streamed row panels shows those stages in
+        # `repro top` next to validate/queue/kernel (absent otherwise,
+        # so storage-free span schemas are unchanged)
+        tier_stages: Dict[str, float] = {}
+        if promote_seconds > 0.0:
+            tier_stages["promote"] = promote_seconds
+        if stream_seconds > 0.0:
+            tier_stages["stream"] = stream_seconds
         spans = (
             [
                 {
@@ -793,6 +846,7 @@ class TuningService:
                         # lease wait + batch assembly ahead of the kernel
                         "coalesce": kernel_start - serve_start,
                         "kernel": kernel_seconds,
+                        **tier_stages,
                     },
                 }
                 for request, engine_result in zip(batch, results)
@@ -910,10 +964,82 @@ class TuningService:
         return split_stacked(block, len(batch))
 
     # ------------------------------------------------------------------
+    # storage tier: demote on evict, promote on return
+    # ------------------------------------------------------------------
+    def _promote_into(self, fp: str, engine: WorkloadEngine) -> float:
+        """Re-attach a demoted container into a fresh engine, if resident.
+
+        Runs under the fingerprint's shard lock (the caller holds the
+        engine lease), so a promote can never race a demotion of the
+        same key.  Restores the serving container (as read-only mmap
+        views), the decided format + backend, and the persisted matrix
+        statistics; returns the wall seconds spent (0.0 on a tier miss).
+        """
+        started = time.perf_counter()
+        promoted = self.storage.promote(fp)
+        if promoted is None:
+            return 0.0
+        meta = self.storage.decision(fp) or {}
+        stats_dict = meta.get("stats")
+        engine.adopt_prepared(
+            fp,
+            promoted,
+            backend=meta.get("backend"),
+            stats=(
+                MatrixStats.from_dict(stats_dict)
+                if isinstance(stats_dict, dict)
+                else None
+            ),
+        )
+        elapsed = time.perf_counter() - started
+        self.obs.event(
+            "tier_promote",
+            fingerprint=fp,
+            format=promoted.format,
+            seconds=elapsed,
+        )
+        return elapsed
+
+    def _demote_engine(self, key: str, engine: WorkloadEngine) -> None:
+        """Spill an evicted engine's serving container to the disk tier.
+
+        A container that is *already* an mmap view of a resident tier
+        entry (a promoted engine being re-evicted) is not rewritten —
+        the entry on disk is still its exact content.  Demotion failures
+        are reported through the event ring and never break eviction.
+        """
+        try:
+            payload = engine.demote_payload(key)
+            if payload is None:
+                return
+            prepared, meta = payload
+            if key in self.storage and mmap_backed(prepared):
+                return
+            entry = self.storage.demote(key, prepared, extra=meta)
+            self.obs.event(
+                "tier_demote",
+                fingerprint=key,
+                format=prepared.format,
+                nbytes=entry.nbytes,
+            )
+        except Exception as exc:
+            self.obs.event(
+                "tier_demote_error",
+                fingerprint=key,
+                error=type(exc).__name__,
+                message=str(exc)[:200],
+            )
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def _retire_engine(self, key: str, engine: WorkloadEngine) -> None:
         """Fold an evicted engine's accounting into the service totals.
+
+        With a disk tier configured, eviction is a *demotion*: the
+        engine's converted serving container spills to the tier first
+        (see :meth:`_demote_engine`), so a later request pays an mmap
+        reattach instead of a re-conversion.
 
         Besides the hit/miss counters and modelled seconds, the engine's
         per-format profile timings are kept (:meth:`profile_times`), so
@@ -923,6 +1049,8 @@ class TuningService:
         stream of distinct matrices must not leak memory in exactly the
         long-lived serving scenario the adaptive loop targets.
         """
+        if self.storage is not None:
+            self._demote_engine(key, engine)
         stats = engine.stats()
         profile = engine.profile_snapshot()
         # oldest-first cap on retired timings; 4x the engine capacity
@@ -981,6 +1109,20 @@ class TuningService:
         registry.gauge("profiled_matrices", labels=labels).set(
             len(self.profile_times())
         )
+        if self.storage is not None:
+            tier = self.storage.stats()
+            for name in (
+                "entries",
+                "resident_bytes",
+                "demotions",
+                "promotions",
+                "promote_misses",
+                "tier_evictions",
+                "bytes_written",
+            ):
+                registry.gauge(f"storage_{name}", labels=labels).set(
+                    tier[name]
+                )
 
     def stats(self) -> Dict[str, object]:
         """One dict with every service-level and engine-level counter.
@@ -995,7 +1137,7 @@ class TuningService:
         tiers.  This is the service's metrics endpoint — callers should
         consume it rather than poking individual attributes.
         """
-        return build_service_stats(
+        stats = build_service_stats(
             self.obs,
             space=self.space.name,
             workers=self.workers,
@@ -1005,6 +1147,11 @@ class TuningService:
             engine_cache=self.engines.stats(),
             profiled_matrices=len(self.profile_times()),
         )
+        if self.storage is not None:
+            # optional block: present only when a disk tier is configured,
+            # so storage-free deployments keep the cross-tier parity schema
+            stats["storage"] = self.storage.stats()
+        return stats
 
     # ------------------------------------------------------------------
     # lifecycle

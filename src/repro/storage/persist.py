@@ -1,0 +1,279 @@
+"""Container persistence: ``.npy`` layouts, fingerprints, mmap reattach.
+
+A persisted container is one *directory* holding ``manifest.json`` plus
+one ``.npy`` file per defining array.  Plain ``.npy`` members (rather
+than a zipped ``.npz``) are what make the disk tier a real memory tier:
+``np.load(path, mmap_mode="r")`` hands back page-cache-backed views
+with zero bytes copied, which a zip archive cannot do.  The layouts:
+
+========  ==========================================================
+format    array files
+========  ==========================================================
+COO       ``row`` / ``col`` / ``data``
+CSR       ``row_ptr`` / ``col_idx`` / ``data``
+DIA       ``offsets`` / ``data``
+ELL       ``col_idx`` / ``data``
+HYB       ``ell__col_idx`` / ``ell__data`` / ``coo__row`` / ...
+HDC       ``dia__offsets`` / ``dia__data`` / ``csr__row_ptr`` / ...
+========  ==========================================================
+
+Publication is atomic: arrays and manifest are written into a hidden
+sibling temp directory which is then ``os.rename``d into place, so a
+reader can never observe a half-written entry.  The manifest carries a
+blake2b content fingerprint over the defining arrays; a round trip is
+bitwise-stable by construction (the arrays written are the exact
+read-only buffers the frozen container holds, and re-attachment feeds
+them back through the normal validating constructors, which never copy
+an already-contiguous ``int64``/``float64`` buffer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import FormatError, ValidationError
+from repro.formats.base import FORMAT_IDS, SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.hdc import HDCMatrix
+from repro.formats.hyb import HYBMatrix
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "container_arrays",
+    "container_fingerprint",
+    "load_container",
+    "save_container",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+#: Defining attribute arrays per leaf format, in fingerprint order.
+_LEAF_ARRAYS = {
+    "COO": ("row", "col", "data"),
+    "CSR": ("row_ptr", "col_idx", "data"),
+    "DIA": ("offsets", "data"),
+    "ELL": ("col_idx", "data"),
+}
+
+#: Composite formats: (attribute, nested format) pairs, in order.
+_COMPOSITES = {
+    "HYB": (("ell", "ELL"), ("coo", "COO")),
+    "HDC": (("dia", "DIA"), ("csr", "CSR")),
+}
+
+#: Separator between a composite prefix and a nested array name.
+_SEP = "__"
+
+
+def container_arrays(matrix: SparseMatrix) -> Dict[str, np.ndarray]:
+    """The flattened ``name -> defining array`` map of *matrix*.
+
+    Composite formats contribute their sub-blocks under a prefix
+    (``ell__data``, ``csr__row_ptr``, ...).  Iteration order is
+    deterministic — it is the fingerprint and file-write order.
+    """
+    fmt = matrix.format.upper()
+    if fmt in _LEAF_ARRAYS:
+        return {name: getattr(matrix, name) for name in _LEAF_ARRAYS[fmt]}
+    if fmt in _COMPOSITES:
+        out: Dict[str, np.ndarray] = {}
+        for attr, sub_fmt in _COMPOSITES[fmt]:
+            block = getattr(matrix, attr)
+            for name in _LEAF_ARRAYS[sub_fmt]:
+                out[f"{attr}{_SEP}{name}"] = getattr(block, name)
+        return out
+    raise FormatError(f"cannot persist unknown format {matrix.format!r}")
+
+
+def container_fingerprint(matrix: SparseMatrix) -> str:
+    """blake2b-128 content fingerprint of a container.
+
+    Covers the format, the shape, and every defining array's dtype,
+    shape and raw bytes — two containers share a fingerprint iff they
+    are bitwise-identical in layout and content.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        f"{matrix.format}:{matrix.nrows}x{matrix.ncols}:".encode()
+    )
+    for name, arr in container_arrays(matrix).items():
+        digest.update(
+            f"{name}:{arr.dtype.str}:{arr.shape}:".encode()
+        )
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+def save_container(
+    matrix: SparseMatrix, directory: str, *, extra: Optional[dict] = None
+) -> dict:
+    """Persist *matrix* into *directory* atomically; returns the manifest.
+
+    The entry is built in a hidden temp sibling and renamed into place
+    (same-filesystem rename is atomic), so concurrent readers observe
+    either nothing or the complete entry.  If *directory* already
+    exists it is replaced.  *extra* is stored verbatim in the manifest
+    under ``"extra"`` — the tier uses it for decision metadata.
+    """
+    fmt = matrix.format.upper()
+    if fmt not in FORMAT_IDS:
+        raise FormatError(f"cannot persist unknown format {matrix.format!r}")
+    arrays = container_arrays(matrix)
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "format": fmt,
+        "nrows": matrix.nrows,
+        "ncols": matrix.ncols,
+        "nnz": int(matrix.nnz),
+        "nbytes": int(matrix.nbytes()),
+        "epoch": int(matrix.epoch),
+        "stable_id": matrix.stable_id if matrix.has_identity else None,
+        "fingerprint": container_fingerprint(matrix),
+        "arrays": {
+            name: {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+            for name, arr in arrays.items()
+        },
+        "extra": dict(extra or {}),
+    }
+    parent = os.path.dirname(os.path.abspath(directory)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp = tempfile.mkdtemp(prefix=".tier-", dir=parent)
+    try:
+        for name, arr in arrays.items():
+            np.save(
+                os.path.join(tmp, f"{name}.npy"),
+                np.ascontiguousarray(arr),
+                allow_pickle=False,
+            )
+        with open(os.path.join(tmp, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        if os.path.isdir(directory):
+            shutil.rmtree(directory)
+        os.rename(tmp, directory)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    return manifest
+
+
+def read_manifest(directory: str) -> dict:
+    """Load and sanity-check a persisted entry's manifest."""
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, "r") as fh:
+        manifest = json.load(fh)
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ValidationError(
+            f"unsupported tier manifest version {manifest.get('version')!r} "
+            f"in {path} (expected {MANIFEST_VERSION})"
+        )
+    if manifest.get("format") not in FORMAT_IDS:
+        raise ValidationError(
+            f"tier manifest {path} names unknown format "
+            f"{manifest.get('format')!r}"
+        )
+    return manifest
+
+
+def _load_arrays(
+    directory: str, manifest: dict, *, mmap: bool
+) -> Dict[str, np.ndarray]:
+    mode = "r" if mmap else None
+    arrays: Dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        arr = np.load(
+            os.path.join(directory, f"{name}.npy"),
+            mmap_mode=mode,
+            allow_pickle=False,
+        )
+        if arr.dtype.str != spec["dtype"] or list(arr.shape) != spec["shape"]:
+            raise ValidationError(
+                f"tier entry {directory} array {name!r} does not match its "
+                f"manifest: {arr.dtype.str}{arr.shape} vs "
+                f"{spec['dtype']}{tuple(spec['shape'])}"
+            )
+        arrays[name] = arr
+    return arrays
+
+
+def _build(fmt: str, nrows: int, ncols: int, arrays: Dict[str, np.ndarray]):
+    if fmt == "COO":
+        # persisted COO came from a frozen container: already canonical
+        return COOMatrix(
+            nrows, ncols, arrays["row"], arrays["col"], arrays["data"],
+            canonical=True,
+        )
+    if fmt == "CSR":
+        return CSRMatrix(
+            nrows, ncols, arrays["row_ptr"], arrays["col_idx"], arrays["data"]
+        )
+    if fmt == "DIA":
+        return DIAMatrix(nrows, ncols, arrays["offsets"], arrays["data"])
+    if fmt == "ELL":
+        return ELLMatrix(nrows, ncols, arrays["col_idx"], arrays["data"])
+    if fmt == "HYB":
+        return HYBMatrix(
+            _build("ELL", nrows, ncols, _sub(arrays, "ell")),
+            _build("COO", nrows, ncols, _sub(arrays, "coo")),
+        )
+    if fmt == "HDC":
+        return HDCMatrix(
+            _build("DIA", nrows, ncols, _sub(arrays, "dia")),
+            _build("CSR", nrows, ncols, _sub(arrays, "csr")),
+        )
+    raise FormatError(f"cannot load unknown format {fmt!r}")
+
+
+def _sub(arrays: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+    tag = prefix + _SEP
+    return {
+        name[len(tag):]: arr
+        for name, arr in arrays.items()
+        if name.startswith(tag)
+    }
+
+
+def load_container(
+    directory: str, *, mmap: bool = True, verify: bool = False
+) -> SparseMatrix:
+    """Re-attach a persisted container from *directory*.
+
+    With ``mmap=True`` (the default) every defining array is a
+    read-only ``np.load(..., mmap_mode="r")`` view — nothing is read
+    until a kernel touches it, so a promoted container costs pages, not
+    resident bytes.  The arrays pass through the normal validating
+    constructors, which never copy an already-contiguous buffer of the
+    right dtype; the round trip is bitwise-stable.
+
+    ``verify=True`` recomputes the content fingerprint (reads every
+    byte) and raises :class:`ValidationError` on mismatch.
+    """
+    manifest = read_manifest(directory)
+    arrays = _load_arrays(directory, manifest, mmap=mmap)
+    matrix = _build(
+        manifest["format"], manifest["nrows"], manifest["ncols"], arrays
+    )
+    # restore the epoch identity so (stable_id, epoch) cache keys keep
+    # resolving to the same version after a demote/promote round trip
+    if manifest.get("stable_id"):
+        matrix._stable_id = manifest["stable_id"]
+    matrix._epoch = int(manifest.get("epoch", 0))
+    if verify:
+        actual = container_fingerprint(matrix)
+        if actual != manifest["fingerprint"]:
+            raise ValidationError(
+                f"tier entry {directory} failed fingerprint verification: "
+                f"{actual} != {manifest['fingerprint']}"
+            )
+    return matrix

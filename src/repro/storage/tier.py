@@ -1,0 +1,329 @@
+"""The disk tier: a demote/promote store for converted containers.
+
+:class:`StorageTier` is what turns engine-cache eviction from a cliff
+into a hierarchy level.  The serving cache demotes a cold engine's
+converted containers here instead of dropping them; a later request for
+the same matrix promotes the entry back as read-only mmap views — the
+conversion cost (the expensive part of a cache miss) is replaced by an
+``np.load(..., mmap_mode="r")`` reattach whose round trip is
+bitwise-stable (:mod:`repro.storage.persist`).
+
+Entries are keyed by the serving-cache key (the matrix fingerprint) and
+live one-per-directory under ``<root>/entries/<blake2b(key)>/``; the
+manifest records the original key, the epoch, and the decision metadata
+(chosen format/backend) so promotion restores both the container and
+the tuner decision it was serving under.  Writes are atomic
+(temp-dir + rename), the in-memory index is rebuilt from disk on
+construction (the tier survives restarts), and every mutation/lookup is
+guarded by one lock — demote/promote latency is file IO, not lock
+contention, so a finer sharding is not worth its complexity here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ValidationError
+from repro.formats.base import SparseMatrix
+from repro.storage.persist import (
+    MANIFEST_NAME,
+    load_container,
+    read_manifest,
+    save_container,
+)
+
+__all__ = ["StorageTier", "TierEntry"]
+
+_ENTRIES_DIR = "entries"
+
+
+def _key_dir(key: str) -> str:
+    """Filesystem-safe directory name for a cache key (keys may hold
+    ``/`` — branched stable ids like ``mx0001/b2``)."""
+    return hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class TierEntry:
+    """One resident entry of the disk tier (the ``repro storage`` row)."""
+
+    key: str
+    path: str
+    format: str
+    nrows: int
+    ncols: int
+    nnz: int
+    nbytes: int
+    epoch: int
+    fingerprint: str
+    stored_at: float
+    extra: dict
+
+
+class StorageTier:
+    """Disk-resident container store with demote/promote accounting.
+
+    Parameters
+    ----------
+    directory:
+        Tier root; created if absent.  Existing entries are indexed at
+        construction, so a tier outlives the process that filled it.
+    mmap:
+        Whether :meth:`promote` re-attaches arrays as mmap views
+        (default) or materialises them in RAM.
+    capacity_bytes:
+        Optional cap on resident tier bytes; demotions evict the
+        oldest entries (by store time) until the new entry fits.
+        ``None`` (default) means unbounded.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        mmap: bool = True,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        self.directory = os.path.abspath(directory)
+        self.mmap = bool(mmap)
+        self.capacity_bytes = (
+            int(capacity_bytes) if capacity_bytes is not None else None
+        )
+        if self.capacity_bytes is not None and self.capacity_bytes <= 0:
+            raise ValidationError(
+                f"capacity_bytes must be positive, got {self.capacity_bytes}"
+            )
+        self._entries_root = os.path.join(self.directory, _ENTRIES_DIR)
+        os.makedirs(self._entries_root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._index: Dict[str, TierEntry] = {}
+        # traffic counters (mirrored into the obs registry by the
+        # service's gauge collector; the tier itself stays obs-free)
+        self.demotions = 0
+        self.promotions = 0
+        self.promote_misses = 0
+        self.compactions = 0
+        self.tier_evictions = 0
+        self.demote_seconds = 0.0
+        self.promote_seconds = 0.0
+        self.bytes_written = 0
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    # index maintenance
+    # ------------------------------------------------------------------
+    def _rebuild_index(self) -> None:
+        for name in sorted(os.listdir(self._entries_root)):
+            path = os.path.join(self._entries_root, name)
+            if name.startswith(".") or not os.path.isdir(path):
+                continue
+            if not os.path.exists(os.path.join(path, MANIFEST_NAME)):
+                continue  # torn entry from a crashed writer: unreachable
+            try:
+                entry = self._entry_from_manifest(path)
+            except (ValidationError, OSError, ValueError):
+                continue  # unreadable entry: leave it for inspection
+            if entry.key:
+                self._index[entry.key] = entry
+
+    def _entry_from_manifest(self, path: str) -> TierEntry:
+        manifest = read_manifest(path)
+        extra = dict(manifest.get("extra") or {})
+        return TierEntry(
+            key=str(extra.pop("tier_key", "")),
+            path=path,
+            format=manifest["format"],
+            nrows=int(manifest["nrows"]),
+            ncols=int(manifest["ncols"]),
+            nnz=int(manifest["nnz"]),
+            nbytes=int(manifest["nbytes"]),
+            epoch=int(manifest.get("epoch", 0)),
+            fingerprint=manifest["fingerprint"],
+            stored_at=float(extra.pop("tier_stored_at", 0.0)),
+            extra=extra,
+        )
+
+    # ------------------------------------------------------------------
+    # demote / promote
+    # ------------------------------------------------------------------
+    def demote(
+        self,
+        key: str,
+        matrix: SparseMatrix,
+        *,
+        extra: Optional[dict] = None,
+    ) -> TierEntry:
+        """Spill one converted container to disk under *key*.
+
+        Replaces any previous entry for the key (a newer epoch
+        supersedes the demoted one).  Returns the resident entry.
+        """
+        start = time.perf_counter()
+        path = os.path.join(self._entries_root, _key_dir(key))
+        stored_extra = dict(extra or {})
+        stored_extra["tier_key"] = key
+        stored_extra["tier_stored_at"] = time.time()
+        save_container(matrix, path, extra=stored_extra)
+        entry = self._entry_from_manifest(path)
+        with self._lock:
+            self._index[key] = entry
+            self.demotions += 1
+            self.bytes_written += entry.nbytes
+            self.demote_seconds += time.perf_counter() - start
+            self._enforce_capacity_locked(keep=key)
+        return entry
+
+    def _enforce_capacity_locked(self, *, keep: str) -> None:
+        if self.capacity_bytes is None:
+            return
+        total = sum(e.nbytes for e in self._index.values())
+        victims = sorted(
+            (e for k, e in self._index.items() if k != keep),
+            key=lambda e: e.stored_at,
+        )
+        for victim in victims:
+            if total <= self.capacity_bytes:
+                break
+            self._index.pop(victim.key, None)
+            shutil.rmtree(victim.path, ignore_errors=True)
+            self.tier_evictions += 1
+            total -= victim.nbytes
+
+    def promote(
+        self,
+        key: str,
+        *,
+        epoch: Optional[int] = None,
+        verify: bool = False,
+    ) -> Optional[SparseMatrix]:
+        """Re-attach the container demoted under *key*, or ``None``.
+
+        With *epoch*, an entry persisted for a different matrix version
+        is treated as a miss (and dropped — it can never be served
+        again).  The returned container's arrays are read-only mmap
+        views when the tier was built with ``mmap=True``.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            entry = self._index.get(key)
+            if entry is not None and epoch is not None and entry.epoch != int(epoch):
+                self._index.pop(key, None)
+                shutil.rmtree(entry.path, ignore_errors=True)
+                entry = None
+        if entry is None:
+            with self._lock:
+                self.promote_misses += 1
+            return None
+        try:
+            matrix = load_container(
+                entry.path, mmap=self.mmap, verify=verify
+            )
+        except (OSError, ValidationError, ValueError):
+            # torn or vanished entry: drop it and report a miss rather
+            # than failing the request — the engine just re-converts
+            with self._lock:
+                self._index.pop(key, None)
+                self.promote_misses += 1
+            shutil.rmtree(entry.path, ignore_errors=True)
+            return None
+        with self._lock:
+            self.promotions += 1
+            self.promote_seconds += time.perf_counter() - start
+        return matrix
+
+    def compact(
+        self,
+        key: str,
+        overlay,
+        base: SparseMatrix,
+        *,
+        format: Optional[str] = None,
+        extra: Optional[dict] = None,
+    ):
+        """Compact a :class:`~repro.formats.delta.DeltaOverlay` to the tier.
+
+        Materialises ``overlay.compact(base, format=format)`` — the
+        epoch-stamped successor container — and writes it straight to
+        disk under *key*, so the caller can drop the RAM copy and
+        :meth:`promote` it back as mmap views on demand.  Returns
+        ``(entry, successor)``.
+        """
+        successor = overlay.compact(base, format=format)
+        entry = self.demote(key, successor, extra=extra)
+        with self._lock:
+            self.compactions += 1
+        return entry, successor
+
+    def decision(self, key: str) -> Optional[dict]:
+        """The decision metadata stored with *key*'s entry, if resident."""
+        with self._lock:
+            entry = self._index.get(key)
+        return dict(entry.extra) if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # maintenance / inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def remove(self, key: str) -> bool:
+        """Drop *key*'s entry from the tier (no-op when absent).
+
+        POSIX note: an already-promoted container keeps serving — its
+        mmap views hold the unlinked files open until released.
+        """
+        with self._lock:
+            entry = self._index.pop(key, None)
+        if entry is None:
+            return False
+        shutil.rmtree(entry.path, ignore_errors=True)
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        with self._lock:
+            entries = list(self._index.values())
+            self._index.clear()
+        for entry in entries:
+            shutil.rmtree(entry.path, ignore_errors=True)
+        return len(entries)
+
+    def entries(self) -> List[TierEntry]:
+        """Resident entries, oldest first (the ``repro storage`` view)."""
+        with self._lock:
+            return sorted(self._index.values(), key=lambda e: e.stored_at)
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(e.nbytes for e in self._index.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Residency + traffic counters (the ``stats()['storage']`` block)."""
+        with self._lock:
+            entries = list(self._index.values())
+            return {
+                "directory": self.directory,
+                "entries": len(entries),
+                "resident_bytes": sum(e.nbytes for e in entries),
+                "capacity_bytes": self.capacity_bytes,
+                "demotions": self.demotions,
+                "promotions": self.promotions,
+                "promote_misses": self.promote_misses,
+                "compactions": self.compactions,
+                "tier_evictions": self.tier_evictions,
+                "demote_seconds": self.demote_seconds,
+                "promote_seconds": self.promote_seconds,
+                "bytes_written": self.bytes_written,
+                "formats": sorted({e.format for e in entries}),
+            }

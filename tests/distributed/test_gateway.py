@@ -207,3 +207,45 @@ class TestLifecycle:
             assert np.array_equal(
                 future.result(timeout=1).y, matrix_a.spmv(x)
             )
+
+
+class TestFleetLatency:
+    def test_worker_latency_merges_across_fleet(
+        self, gateway, matrix_a, matrix_b, rng, wait_until
+    ):
+        """stats() carries a bucket-exact fleet-wide latency histogram.
+
+        Workers ship raw bucket counts in their heartbeats; the gateway
+        merges them, so the fleet histogram covers every request served
+        regardless of which worker handled it.  Heartbeats lag serving,
+        hence the poll.
+        """
+        from repro.obs.metrics import LATENCY_BUCKETS
+
+        served = 0
+        for matrix, key in ((matrix_a, "A"), (matrix_b, "B")):
+            for _ in range(6):
+                x = rng.random(matrix.ncols)
+                gateway.spmv(matrix, x, key=key)
+                served += 1
+
+        def fleet_count():
+            latency = gateway.stats()["distributed"]["worker_latency"]
+            return latency["count"]
+
+        wait_until(lambda: fleet_count() >= served)
+        latency = gateway.stats()["distributed"]["worker_latency"]
+        assert latency["count"] == served
+        assert sum(latency["counts"]) == served
+        assert latency["bounds"] == list(LATENCY_BUCKETS)
+        assert 0.0 <= latency["p50"] <= latency["p99"] <= latency["max"]
+        # the gauge collector reads heartbeat-cached snapshots, which
+        # can lag the live stats() poll above by one heartbeat
+        def gauge():
+            return {
+                r["name"]: r["value"]
+                for r in gateway.obs.registry.dump()
+                if r["type"] == "gauge"
+            }.get("worker_latency_requests")
+
+        wait_until(lambda: gauge() == served)

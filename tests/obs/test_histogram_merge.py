@@ -1,0 +1,99 @@
+"""Histogram bucket merging: fleet quantiles equal one-process quantiles.
+
+Workers ship raw log-bucket counts in their heartbeat snapshots; the
+gateway merges them with :func:`merge_histogram_dumps`.  Because every
+histogram uses the same fixed bounds, the merge is exact at the bucket
+level — the cross-tier parity assertion here is that quantiles of the
+merged dump are *identical* (not approximately equal) to those of a
+single histogram that observed the union of all the observations, which
+is exactly what the in-process tier's histogram would have seen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    bucket_quantile,
+    merge_histogram_dumps,
+)
+
+
+def _observations(seed, n=400):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.lognormal(mean=-7.0, sigma=1.5, size=n))
+
+
+def test_merged_quantiles_equal_union_histogram():
+    """Split the same stream across 3 'workers': merging restores it."""
+    union = Histogram("latency")
+    shards = [Histogram("latency") for _ in range(3)]
+    for i, value in enumerate(_observations(42)):
+        union.observe(value)
+        shards[i % 3].observe(value)
+    merged = merge_histogram_dumps([h.dump() for h in shards])
+    want = union.dump()
+    assert merged["counts"] == want["counts"]
+    assert merged["count"] == want["count"]
+    assert merged["max"] == want["max"]
+    assert merged["p50"] == want["p50"]
+    assert merged["p99"] == want["p99"]
+    assert merged["sum"] == pytest.approx(want["sum"])
+
+
+def test_merge_is_bucket_exact_not_statistical():
+    """Mean-of-means would be wrong here; bucket merge is not."""
+    fast = Histogram("latency")
+    slow = Histogram("latency")
+    for _ in range(99):
+        fast.observe(1e-5)
+    slow.observe(10.0)
+    merged = merge_histogram_dumps([fast.dump(), slow.dump()])
+    # p50 stays in the fast bucket; the single outlier owns the max
+    assert merged["p50"] < 1e-4
+    assert merged["max"] == 10.0
+    assert merged["count"] == 100
+    # re-deriving from raw buckets (the dashboard path) agrees exactly
+    assert merged["p99"] == bucket_quantile(
+        merged["bounds"], merged["counts"], merged["max"], 0.99
+    )
+
+
+def test_merge_skips_empty_and_defaults_bounds():
+    merged = merge_histogram_dumps([])
+    assert merged["count"] == 0
+    assert merged["bounds"] == list(LATENCY_BUCKETS)
+    assert merged["p50"] == 0.0
+    one = Histogram("latency")
+    one.observe(0.5)
+    again = merge_histogram_dumps([{}, one.dump(), None])
+    assert again["count"] == 1
+
+
+def test_merge_rejects_mismatched_bounds():
+    a = Histogram("latency")
+    b = Histogram("other", bounds=(0.1, 1.0, 10.0))
+    a.observe(0.2)
+    b.observe(0.2)
+    with pytest.raises(ValueError):
+        merge_histogram_dumps([a.dump(), b.dump()])
+
+
+def test_merge_is_associative_across_fold_order():
+    """Dead-worker folds happen one at a time; order cannot matter."""
+    dumps = []
+    for seed in (1, 2, 3, 4):
+        h = Histogram("latency")
+        for value in _observations(seed, n=100):
+            h.observe(value)
+        dumps.append(h.dump())
+    all_at_once = merge_histogram_dumps(dumps)
+    incremental = merge_histogram_dumps(())
+    for dump in dumps:
+        incremental = merge_histogram_dumps([incremental, dump])
+    assert incremental["counts"] == all_at_once["counts"]
+    assert incremental["p50"] == all_at_once["p50"]
+    assert incremental["p99"] == all_at_once["p99"]

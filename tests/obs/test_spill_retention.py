@@ -1,0 +1,122 @@
+"""Spill retention: rotation caps disk, readers span the boundary.
+
+A long-lived serve appends to ``metrics.jsonl`` / ``spans.jsonl`` /
+``events.jsonl`` forever; with ``retention_bytes`` set, the spiller
+shifts each file logrotate-style (``name`` → ``name.1`` → … → dropped)
+before an append would exceed the cap.  The invariants: total disk per
+file stays bounded, no record is ever duplicated by a rotation, and the
+dashboard/CLI readers keep returning a full, ordered tail window even
+when it straddles the active/``.1`` boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.dashboard import _read_jsonl_tail, read_snapshots, render_top
+from repro.obs.spill import MetricsSpiller
+
+
+@pytest.fixture
+def rotated(tmp_path):
+    """A spill directory driven far past one retention segment."""
+    obs = Observability(tier="inproc")
+    spiller = MetricsSpiller(
+        str(tmp_path),
+        obs,
+        interval=999.0,
+        retention_bytes=2048,
+        retention_segments=3,
+    )
+    for i in range(150):
+        obs.event("tick", i=i)
+        obs.span(
+            f"trace-{i}",
+            kind="spmv",
+            fingerprint="fp",
+            batch_size=1,
+            stages={"kernel": 0.001},
+        )
+        spiller.write_once()
+    return tmp_path, obs
+
+
+def test_rotation_bounds_disk_and_drops_oldest(rotated):
+    directory, _ = rotated
+    names = sorted(os.listdir(directory))
+    for stem in ("metrics.jsonl", "spans.jsonl", "events.jsonl"):
+        assert f"{stem}.1" in names, f"{stem} never rotated"
+        assert f"{stem}.4" not in names, "oldest segment must be dropped"
+        files = [n for n in names if n.startswith(stem)]
+        assert len(files) <= 4  # active + retention_segments
+        # a file may exceed the cap by at most the one record that
+        # crossed the threshold before the next append rotated it
+        longest = max(
+            len(line)
+            for n in files
+            for line in open(os.path.join(directory, n), "rb")
+        )
+        for n in files:
+            size = os.path.getsize(os.path.join(directory, n))
+            assert size <= 2048 + longest, (
+                f"{n} grew past the retention cap"
+            )
+
+
+def test_no_record_duplicated_or_reordered_by_rotation(rotated):
+    directory, _ = rotated
+    seqs = []
+    for name in ("events.jsonl.3", "events.jsonl.2", "events.jsonl.1",
+                 "events.jsonl"):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            continue
+        for line in open(path):
+            seqs.append(json.loads(line)["seq"])
+    assert seqs == sorted(seqs)
+    assert len(seqs) == len(set(seqs))
+
+
+def test_tail_reader_spans_the_rotation_boundary(rotated):
+    directory, _ = rotated
+    # ask for more records than the fresh active file holds: the window
+    # must be topped up from the .1 segment, ordered, and full-length
+    records = _read_jsonl_tail(
+        os.path.join(directory, "events.jsonl"), 40
+    )
+    assert len(records) == 40
+    seqs = [r["seq"] for r in records]
+    assert seqs == sorted(seqs)
+
+
+def test_dashboard_renders_across_rotation(rotated):
+    directory, _ = rotated
+    snap = read_snapshots(str(directory))
+    assert len(snap["metrics"]) == 2  # throughput needs two snapshots
+    assert snap["spans"] and snap["events"]
+    frame = render_top(str(directory))
+    assert "repro top" in frame
+    assert "no metrics.jsonl yet" not in frame
+
+
+def test_meta_records_retention_config(rotated):
+    directory, _ = rotated
+    meta = json.loads(open(os.path.join(directory, "meta.json")).read())
+    assert meta["retention_bytes"] == 2048
+    assert meta["retention_segments"] == 3
+
+
+def test_retention_disabled_by_default(tmp_path):
+    obs = Observability(tier="inproc")
+    spiller = MetricsSpiller(str(tmp_path), obs, interval=999.0)
+    for i in range(50):
+        obs.event("tick", i=i)
+        spiller.write_once()
+    names = os.listdir(tmp_path)
+    assert not any(".jsonl." in n for n in names), (
+        "no retention configured: nothing may rotate"
+    )

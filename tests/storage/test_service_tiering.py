@@ -1,0 +1,266 @@
+"""Service-level tiering: eviction demotes, hits promote, bits hold.
+
+The load-bearing assertion: a service with a tiny engine cache and a
+disk tier serves a multi-round workload **bitwise identical** to a
+storage-free reference service — demotion, promotion and streaming are
+pure placement decisions, invisible in the numbers.  The rlimit-gated
+test proves the point of the whole layer: under a hard RLIMIT_DATA
+budget that makes the in-RAM copy unbuildable, the mmap-promoted
+streaming path still serves (skipped cleanly where rlimits cannot be
+lowered).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.backends import make_space
+from repro.core import RunFirstTuner
+from repro.formats.coo import COOMatrix
+from repro.service import TuningService
+
+
+def _matrices(count=4, seed=17):
+    rng = np.random.default_rng(seed)
+    out = {}
+    for i in range(count):
+        shape = (31 + 7 * i, 29 + 5 * i)
+        dense = (rng.random(shape) < 0.2) * rng.standard_normal(shape)
+        out[f"mx{i}"] = COOMatrix.from_dense(dense)
+    return out
+
+
+@pytest.fixture
+def space():
+    return make_space("cirrus", "serial")
+
+
+def _serve_rounds(service, matrices, rounds=3, seed=23):
+    rng = np.random.default_rng(seed)
+    results = []
+    for _ in range(rounds):
+        for key, matrix in matrices.items():
+            x = rng.standard_normal(matrix.ncols)
+            results.append(service.spmv(matrix, x, key=key).y)
+    return results
+
+
+def test_demote_promote_cycle_is_bitwise(space, tmp_path):
+    matrices = _matrices()
+    with TuningService(
+        space,
+        RunFirstTuner(),
+        workers=2,
+        capacity=2,  # 4 matrices through 2 slots: every round evicts
+        shards=1,
+        storage_dir=str(tmp_path / "tier"),
+    ) as tiered:
+        got = _serve_rounds(tiered, matrices)
+        stats = tiered.stats()
+    with TuningService(
+        space, RunFirstTuner(), workers=2, capacity=2, shards=1
+    ) as plain:
+        want = _serve_rounds(plain, matrices)
+        plain_stats = plain.stats()
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    storage = stats["storage"]
+    assert storage["demotions"] > 0
+    assert storage["promotions"] > 0
+    assert storage["entries"] > 0
+    # the storage block exists only when a tier is configured — the
+    # cross-tier stats-parity contract stays intact without one
+    assert "storage" not in plain_stats
+
+
+def test_promotion_restores_decision_without_retune(space, tmp_path):
+    matrices = _matrices(count=3)
+    with TuningService(
+        space,
+        RunFirstTuner(),
+        workers=1,
+        capacity=1,
+        shards=1,
+        storage_dir=str(tmp_path / "tier"),
+    ) as service:
+        _serve_rounds(service, matrices, rounds=2)
+        stats = service.stats()
+    engines = stats["engines"]
+    storage = stats["storage"]
+    assert storage["promotions"] >= len(matrices)
+    # promotion adopts the persisted container + decision: round two
+    # re-serves every matrix without paying conversion again
+    assert engines["counters"]["conversion_misses"] == len(matrices)
+
+
+def test_promote_and_stream_appear_as_span_stages(space, tmp_path):
+    matrices = _matrices(count=3)
+    with TuningService(
+        space,
+        RunFirstTuner(),
+        workers=1,
+        capacity=1,
+        shards=1,
+        storage_dir=str(tmp_path / "tier"),
+        stream_threshold_bytes=0,
+        stream_block_bytes=1 << 9,
+    ) as service:
+        _serve_rounds(service, matrices, rounds=2)
+        spans = service.obs.spans.drain_since(0)
+        stats = service.stats()
+    stages = [set(s.get("stages", {})) for s in spans]
+    assert any("promote" in s for s in stages)
+    assert any("stream" in s for s in stages)
+    assert stats["engines"]["streaming"]["requests"] > 0
+
+
+def test_streaming_stats_fold_through_service_totals(space, tmp_path):
+    matrices = _matrices(count=3)
+    with TuningService(
+        space,
+        RunFirstTuner(),
+        workers=1,
+        capacity=1,  # every engine retires; totals must still carry it
+        shards=1,
+        storage_dir=str(tmp_path / "tier"),
+        stream_threshold_bytes=0,
+    ) as service:
+        got = _serve_rounds(service, matrices, rounds=3)
+        stats = service.stats()
+    with TuningService(
+        space, RunFirstTuner(), workers=1, capacity=1, shards=1
+    ) as plain:
+        want = _serve_rounds(plain, matrices, rounds=3)
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    streaming = stats["engines"]["streaming"]
+    assert streaming["requests"] > 0
+    assert streaming["blocks"] >= streaming["requests"]
+    assert streaming["seconds"] > 0.0
+
+
+def test_storage_gauges_reach_metrics_registry(space, tmp_path):
+    matrices = _matrices(count=3)
+    with TuningService(
+        space,
+        RunFirstTuner(),
+        workers=1,
+        capacity=1,
+        shards=1,
+        storage_dir=str(tmp_path / "tier"),
+    ) as service:
+        _serve_rounds(service, matrices, rounds=2)
+        records = {
+            r["name"]: r["value"]
+            for r in service.obs.registry.dump()
+            if r["type"] == "gauge"
+        }
+    assert records.get("storage_demotions", 0) > 0
+    assert records.get("storage_promotions", 0) > 0
+    assert records.get("storage_entries", 0) > 0
+
+
+def test_tier_survives_service_restart(space, tmp_path):
+    matrices = _matrices(count=2)
+    tier_dir = str(tmp_path / "tier")
+    kwargs = dict(
+        workers=1, capacity=1, shards=1, storage_dir=tier_dir
+    )
+    with TuningService(space, RunFirstTuner(), **kwargs) as first:
+        want = _serve_rounds(first, matrices, rounds=1)
+    with TuningService(space, RunFirstTuner(), **kwargs) as second:
+        got = _serve_rounds(second, matrices, rounds=1)
+        stats = second.stats()
+    for g, w in zip(got, want):
+        assert np.array_equal(g, w)
+    # the reborn service found the previous process's entries on disk
+    assert stats["storage"]["promotions"] > 0
+
+
+_OUT_OF_CORE_SCRIPT = textwrap.dedent(
+    """
+    import resource
+    import sys
+
+    import numpy as np
+
+    # Budget: current data segment + headroom for the service machinery,
+    # but far below what an in-RAM copy of the matrix would need.
+    nrows, row_nnz = 120_000, 60  # ~110 MiB of CSR payload
+    payload = nrows * row_nnz * 16
+    def vmdata():
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmData:"):
+                    return int(line.split()[1]) * 1024
+        return 0
+
+    rng = np.random.default_rng(3)
+    row_ptr = np.arange(nrows + 1, dtype=np.int64) * row_nnz
+    col_idx = rng.integers(0, nrows, size=nrows * row_nnz, dtype=np.int64)
+    col_idx = col_idx.reshape(nrows, row_nnz)
+    col_idx.sort(axis=1)
+    data = rng.standard_normal(nrows * row_nnz)
+
+    from repro.formats.csr import CSRMatrix
+    from repro.storage.persist import load_container, save_container
+    from repro.storage.stream import streaming_spmv
+
+    csr = CSRMatrix(nrows, nrows, row_ptr, col_idx.reshape(-1), data)
+    save_container(csr, sys.argv[1] + "/entry")
+    x = rng.standard_normal(nrows)
+    want = streaming_spmv(csr, x, backend="numpy")
+    del csr, col_idx, data, row_ptr
+
+    budget = vmdata() + payload // 3
+    try:
+        resource.setrlimit(resource.RLIMIT_DATA, (budget, budget))
+    except (ValueError, OSError):
+        print("RLIMIT_SKIP")
+        sys.exit(0)
+
+    # the in-RAM copy cannot even be allocated under the budget...
+    try:
+        blob = np.empty(payload // 8, dtype=np.float64)
+        blob[:] = 1.0
+        print("RLIMIT_TOO_LOOSE")
+        sys.exit(1)
+    except MemoryError:
+        pass
+
+    # ...but the mmap-promoted streaming path serves, bitwise.
+    back = load_container(sys.argv[1] + "/entry", mmap=True)
+    got = streaming_spmv(back, x, backend="numpy", block_bytes=1 << 22)
+    print("IDENTICAL" if np.array_equal(got, want) else "MISMATCH")
+    """
+)
+
+
+def test_out_of_core_serve_under_rlimit(tmp_path):
+    """Streaming serves a matrix the data segment cannot hold in RAM."""
+    if not sys.platform.startswith("linux"):
+        pytest.skip("RLIMIT_DATA semantics required (linux-only test)")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", _OUT_OF_CORE_SCRIPT, str(tmp_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    out = proc.stdout.strip().splitlines()
+    if "RLIMIT_SKIP" in out:
+        pytest.skip("cannot lower RLIMIT_DATA in this environment")
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert "IDENTICAL" in out, (proc.stdout, proc.stderr[-2000:])

@@ -1,0 +1,186 @@
+"""StorageTier: demote/promote accounting, restarts, races, lifetimes.
+
+The tier is the serving cache's spill level, so its contract is shaped
+by eviction traffic: a demoted container must promote back bitwise
+(carrying its decision metadata), a tier left on disk must re-index
+after a restart, an epoch-stale entry must read as a miss (never a
+wrong answer), and — the POSIX subtlety — an entry removed while
+promoted must keep serving through its live mmap views.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.formats import DeltaOverlay, convert
+from repro.formats.coo import COOMatrix
+from repro.storage.stream import mmap_backed
+from repro.storage.tier import StorageTier
+
+
+def _matrix(seed=1, shape=(23, 19), density=0.25):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random(shape) < density) * rng.standard_normal(shape)
+    return COOMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def tier(tmp_path):
+    return StorageTier(str(tmp_path / "tier"))
+
+
+def test_demote_promote_bitwise_with_decision(tier):
+    csr = convert(_matrix(), "CSR")
+    entry = tier.demote(
+        "mx/1", csr, extra={"format": "CSR", "backend": "numpy"}
+    )
+    assert entry.key == "mx/1"  # keys with '/' are legal (branch ids)
+    assert "mx/1" in tier
+    back = tier.promote("mx/1", verify=True)
+    assert mmap_backed(back)
+    got, want = back.to_coo(), csr.to_coo()
+    np.testing.assert_array_equal(got.row, want.row)
+    np.testing.assert_array_equal(got.col, want.col)
+    assert np.array_equal(got.data, want.data)
+    assert tier.decision("mx/1") == {"format": "CSR", "backend": "numpy"}
+    stats = tier.stats()
+    assert stats["demotions"] == 1
+    assert stats["promotions"] == 1
+    assert stats["promote_misses"] == 0
+    assert stats["bytes_written"] == entry.nbytes
+
+
+def test_promote_missing_key_counts_miss(tier):
+    assert tier.promote("absent") is None
+    assert tier.stats()["promote_misses"] == 1
+
+
+def test_tier_survives_restart(tmp_path):
+    root = str(tmp_path / "tier")
+    csr = convert(_matrix(2), "CSR")
+    StorageTier(root).demote("k", csr, extra={"backend": "native"})
+    reborn = StorageTier(root)
+    assert "k" in reborn
+    assert len(reborn) == 1
+    assert reborn.decision("k") == {"backend": "native"}
+    back = reborn.promote("k", verify=True)
+    assert np.array_equal(back.to_coo().data, csr.to_coo().data)
+
+
+def test_epoch_mismatch_drops_entry(tier):
+    csr = convert(_matrix(3), "CSR")
+    tier.demote("k", csr)
+    assert tier.promote("k", epoch=7) is None  # entry was epoch 0
+    assert "k" not in tier  # a stale entry can never serve again
+    assert tier.stats()["promote_misses"] == 1
+
+
+def test_capacity_evicts_oldest(tmp_path):
+    csr = convert(_matrix(4), "CSR")
+    nbytes = csr.nbytes()
+    tier = StorageTier(
+        str(tmp_path / "tier"), capacity_bytes=int(2.5 * nbytes)
+    )
+    tier.demote("a", csr)
+    tier.demote("b", csr)
+    tier.demote("c", csr)  # pushes past capacity: 'a' is oldest
+    assert "a" not in tier
+    assert "b" in tier and "c" in tier
+    assert tier.stats()["tier_evictions"] == 1
+    assert tier.resident_bytes() <= int(2.5 * nbytes)
+    with pytest.raises(ValidationError):
+        StorageTier(str(tmp_path / "bad"), capacity_bytes=0)
+
+
+def test_remove_while_promoted_keeps_serving(tier):
+    csr = convert(_matrix(5), "CSR")
+    tier.demote("k", csr)
+    promoted = tier.promote("k")
+    want = csr.spmv(np.ones(csr.ncols))
+    assert tier.remove("k")
+    assert "k" not in tier
+    # POSIX: the unlinked files stay alive behind the live mmap views
+    assert np.array_equal(promoted.spmv(np.ones(csr.ncols)), want)
+    assert not tier.remove("k")  # second remove is a no-op
+
+
+def test_redemote_replaces_entry(tier):
+    first = convert(_matrix(6), "CSR")
+    second = convert(_matrix(7), "CSR")
+    tier.demote("k", first)
+    tier.demote("k", second)
+    assert len(tier) == 1
+    back = tier.promote("k")
+    assert np.array_equal(back.to_coo().data, second.to_coo().data)
+
+
+def test_clear_and_entries_ordering(tier):
+    for i in range(3):
+        tier.demote(f"k{i}", convert(_matrix(8 + i), "CSR"))
+    keys = [e.key for e in tier.entries()]
+    assert keys == ["k0", "k1", "k2"]  # oldest first
+    assert tier.clear() == 3
+    assert len(tier) == 0
+
+
+def test_compact_writes_successor_to_tier(tier):
+    base = convert(_matrix(11), "CSR")
+    overlay = DeltaOverlay()
+    coo = base.to_coo()
+    overlay.delete(int(coo.row[0]), int(coo.col[0]))
+    entry, successor = tier.compact("k", overlay, base, format="CSR")
+    assert entry.nnz == successor.nnz == base.nnz - 1
+    assert tier.stats()["compactions"] == 1
+    back = tier.promote("k", verify=True)
+    assert np.array_equal(back.to_coo().data, successor.to_coo().data)
+
+
+def test_concurrent_demote_promote_race(tier):
+    """Hammering the same key from both sides never corrupts an entry."""
+    csr = convert(_matrix(12), "CSR")
+    want = csr.to_coo().data
+    errors = []
+
+    def demoter():
+        for _ in range(20):
+            tier.demote("hot", csr)
+
+    def promoter():
+        for _ in range(20):
+            back = tier.promote("hot", verify=True)
+            if back is not None and not np.array_equal(
+                back.to_coo().data, want
+            ):
+                errors.append("corrupt promote")
+
+    threads = [threading.Thread(target=demoter)] + [
+        threading.Thread(target=promoter) for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+def test_stats_schema(tier):
+    stats = tier.stats()
+    assert set(stats) == {
+        "directory",
+        "entries",
+        "resident_bytes",
+        "capacity_bytes",
+        "demotions",
+        "promotions",
+        "promote_misses",
+        "compactions",
+        "tier_evictions",
+        "demote_seconds",
+        "promote_seconds",
+        "bytes_written",
+        "formats",
+    }
